@@ -1,0 +1,56 @@
+//! Classic utilization bounds (Liu & Layland 1973).
+
+/// Natural logarithm of 2 — the limit of the Liu–Layland bound.
+pub const LN2: f64 = core::f64::consts::LN_2;
+
+/// The Liu–Layland RMS utilization bound for `n` tasks:
+/// `n(2^{1/n} − 1)`, monotonically decreasing from 1 (n=1) towards `ln 2`.
+///
+/// For `n == 0` the bound is defined as 1.0 (an empty machine of speed `s`
+/// can absorb a task of utilization up to `s`, which matches the paper's
+/// admission test with `|S| = 0`).
+#[inline]
+pub fn liu_layland_bound(n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let n = n as f64;
+    n * ((2.0f64).powf(1.0 / n) - 1.0)
+}
+
+/// The Liu–Layland EDF bound — always 1, provided for symmetry / clarity in
+/// call sites comparing the two admission policies.
+#[inline]
+pub const fn edf_bound() -> f64 {
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ll_bound_known_values() {
+        assert_eq!(liu_layland_bound(1), 1.0);
+        assert!((liu_layland_bound(2) - 2.0 * (2.0f64.sqrt() - 1.0)).abs() < 1e-12);
+        assert!((liu_layland_bound(3) - 3.0 * (2.0f64.powf(1.0 / 3.0) - 1.0)).abs() < 1e-12);
+        assert_eq!(liu_layland_bound(0), 1.0);
+    }
+
+    #[test]
+    fn ll_bound_decreases_towards_ln2() {
+        let mut prev = liu_layland_bound(1);
+        for n in 2..200 {
+            let b = liu_layland_bound(n);
+            assert!(b < prev, "bound must strictly decrease (n={n})");
+            assert!(b > LN2, "bound must stay above ln 2 (n={n})");
+            prev = b;
+        }
+        assert!((liu_layland_bound(1_000_000) - LN2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edf_bound_is_one() {
+        assert_eq!(edf_bound(), 1.0);
+    }
+}

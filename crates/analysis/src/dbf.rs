@@ -1,0 +1,149 @@
+//! Demand-bound functions and the processor-demand criterion (extension).
+//!
+//! The paper treats implicit deadlines only; this module implements the
+//! standard generalization to constrained deadlines (Baruah–Mok–Rosier):
+//! EDF feasibly schedules a sporadic set on a speed-`s` machine iff
+//! `Σ_i dbf_i(t) ≤ s·t` for all `t > 0`, where
+//!
+//! ```text
+//! dbf_i(t) = max(0, ⌊(t − d_i)/p_i⌋ + 1) · c_i
+//! ```
+//!
+//! It suffices to check `t` at absolute deadlines up to a horizon (we use
+//! the hyperperiod, which is always sufficient when total utilization does
+//! not exceed the speed). All arithmetic is exact integer math against the
+//! rational speed.
+
+use hetfeas_model::{Ratio, Task, TaskSet};
+
+/// Demand bound of a single task over an interval of length `t`.
+pub fn dbf(task: &Task, t: u64) -> u128 {
+    if t < task.deadline() {
+        return 0;
+    }
+    let k = (t - task.deadline()) as u128 / task.period() as u128 + 1;
+    k * task.wcet() as u128
+}
+
+/// Total demand bound of a set over an interval of length `t`.
+pub fn total_dbf(tasks: &TaskSet, t: u64) -> u128 {
+    tasks.iter().map(|task| dbf(task, t)).sum()
+}
+
+/// All testing points (absolute deadlines `k·p_i + d_i`) in `(0, horizon]`,
+/// deduplicated and sorted.
+pub fn testing_points(tasks: &TaskSet, horizon: u64) -> Vec<u64> {
+    let mut pts = Vec::new();
+    for t in tasks {
+        let mut point = t.deadline();
+        while point <= horizon {
+            pts.push(point);
+            match point.checked_add(t.period()) {
+                Some(p) => point = p,
+                None => break,
+            }
+        }
+    }
+    pts.sort_unstable();
+    pts.dedup();
+    pts
+}
+
+/// Processor-demand criterion for EDF on a speed-`speed` machine, checked at
+/// every testing point up to `horizon`:
+/// `dbf(t)·den ≤ num·t` for `speed = num/den` — exact integer comparison.
+///
+/// With `horizon` at least the hyperperiod and total utilization at most
+/// `speed`, this is necessary and sufficient.
+pub fn edf_demand_schedulable(tasks: &TaskSet, speed: Ratio, horizon: u64) -> bool {
+    debug_assert!(speed > Ratio::ZERO);
+    let num = speed.numer() as u128;
+    let den = speed.denom() as u128;
+    // Quick necessary condition: long-run demand rate is total utilization.
+    if tasks.total_utilization_ratio() > speed {
+        return false;
+    }
+    for t in testing_points(tasks, horizon) {
+        let demand = total_dbf(tasks, t);
+        match demand.checked_mul(den) {
+            Some(lhs) => {
+                if lhs > num * t as u128 {
+                    return false;
+                }
+            }
+            None => return false, // conservative on overflow
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetfeas_model::Task;
+
+    fn ct(c: u64, p: u64, d: u64) -> Task {
+        Task::constrained(c, p, d).unwrap()
+    }
+
+    #[test]
+    fn dbf_staircase() {
+        let t = ct(2, 10, 6);
+        assert_eq!(dbf(&t, 0), 0);
+        assert_eq!(dbf(&t, 5), 0);
+        assert_eq!(dbf(&t, 6), 2);
+        assert_eq!(dbf(&t, 15), 2);
+        assert_eq!(dbf(&t, 16), 4);
+        assert_eq!(dbf(&t, 26), 6);
+    }
+
+    #[test]
+    fn implicit_deadline_dbf_matches_floor() {
+        let t = Task::implicit(3, 10).unwrap();
+        // dbf(t) = floor(t/10)·3 for implicit deadlines.
+        for x in 0..50 {
+            assert_eq!(dbf(&t, x), (x as u128 / 10) * 3);
+        }
+    }
+
+    #[test]
+    fn testing_points_sorted_unique() {
+        let ts = TaskSet::new(vec![ct(1, 4, 4), ct(1, 6, 3)]);
+        assert_eq!(testing_points(&ts, 12), vec![3, 4, 8, 9, 12]);
+    }
+
+    #[test]
+    fn implicit_sets_match_utilization_test() {
+        // For implicit deadlines, PDC ⇔ util ≤ speed.
+        let ts = TaskSet::from_pairs([(1, 3), (1, 6), (1, 2)]).unwrap(); // util 1.0
+        let h = ts.hyperperiod().unwrap() as u64;
+        assert!(edf_demand_schedulable(&ts, Ratio::ONE, h));
+        assert!(!edf_demand_schedulable(
+            &ts,
+            Ratio::new(99, 100),
+            h
+        ));
+    }
+
+    #[test]
+    fn constrained_set_detects_overload() {
+        // Two tasks whose deadlines squeeze demand: c=2,p=10,d=2 each →
+        // at t=2 demand 4 > 2.
+        let ts = TaskSet::new(vec![ct(2, 10, 2), ct(2, 10, 2)]);
+        assert!(!edf_demand_schedulable(&ts, Ratio::ONE, 100));
+        assert!(edf_demand_schedulable(&ts, Ratio::from_integer(2), 100));
+    }
+
+    #[test]
+    fn fractional_speed_exact() {
+        // c=1, p=d=2 needs exactly speed 1/2.
+        let ts = TaskSet::new(vec![ct(1, 2, 2)]);
+        assert!(edf_demand_schedulable(&ts, Ratio::new(1, 2), 20));
+        assert!(!edf_demand_schedulable(&ts, Ratio::new(49, 100), 20));
+    }
+
+    #[test]
+    fn empty_set_schedulable() {
+        assert!(edf_demand_schedulable(&TaskSet::empty(), Ratio::new(1, 10), 100));
+    }
+}

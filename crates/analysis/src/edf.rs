@@ -1,0 +1,77 @@
+//! EDF schedulability on a single related machine.
+//!
+//! Theorem II.2 (Liu & Layland): an implicit-deadline sporadic task set `S`
+//! is feasibly scheduled by preemptive EDF on a machine of speed `s` iff
+//! `Σ_{τ_i ∈ S} w_i ≤ s`. (The "only if" direction holds for implicit
+//! deadlines because total density equals total utilization.)
+
+use hetfeas_model::{approx_le, Ratio, TaskSet};
+
+/// Exact EDF schedulability test on a speed-`s` machine: `Σ w_i ≤ s`,
+/// compared with the workspace tolerance.
+pub fn edf_schedulable(tasks: &TaskSet, speed: f64) -> bool {
+    edf_schedulable_load(tasks.total_utilization(), speed)
+}
+
+/// EDF test given a pre-computed total utilization (used by the first-fit
+/// partitioner, which maintains running loads incrementally for the O(nm)
+/// bound of §III).
+#[inline]
+pub fn edf_schedulable_load(total_utilization: f64, speed: f64) -> bool {
+    approx_le(total_utilization, speed)
+}
+
+/// Exact rational EDF test: `Σ c_i/p_i ≤ s` with no rounding. Prefer for
+/// oracle/ground-truth classification of knife-edge instances; requires the
+/// periods' lcm to stay within `i128` (see `hetfeas_model::ratio`).
+pub fn edf_schedulable_exact(tasks: &TaskSet, speed: Ratio) -> bool {
+    tasks.total_utilization_ratio() <= speed
+}
+
+/// The largest additional utilization a speed-`s` machine carrying
+/// `current_load` can still admit under EDF (clamped at 0).
+#[inline]
+pub fn edf_slack(current_load: f64, speed: f64) -> f64 {
+    (speed - current_load).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetfeas_model::TaskSet;
+
+    #[test]
+    fn accepts_up_to_capacity() {
+        let ts = TaskSet::from_pairs([(1, 2), (1, 2)]).unwrap(); // util 1.0
+        assert!(edf_schedulable(&ts, 1.0));
+        assert!(edf_schedulable(&ts, 2.0));
+        assert!(!edf_schedulable(&ts, 0.99));
+    }
+
+    #[test]
+    fn exact_knife_edge() {
+        // 1/3 + 1/6 + 1/2 = 1 exactly.
+        let ts = TaskSet::from_pairs([(1, 3), (1, 6), (1, 2)]).unwrap();
+        assert!(edf_schedulable_exact(&ts, Ratio::ONE));
+        assert!(!edf_schedulable_exact(&ts, Ratio::new(999_999, 1_000_000)));
+    }
+
+    #[test]
+    fn fast_machine_hosts_heavy_task() {
+        let ts = TaskSet::from_pairs([(5, 2)]).unwrap(); // util 2.5
+        assert!(!edf_schedulable(&ts, 2.0));
+        assert!(edf_schedulable(&ts, 2.5));
+        assert!(edf_schedulable_exact(&ts, Ratio::new(5, 2)));
+    }
+
+    #[test]
+    fn slack_clamps() {
+        assert_eq!(edf_slack(0.4, 1.0), 0.6);
+        assert_eq!(edf_slack(1.4, 1.0), 0.0);
+    }
+
+    #[test]
+    fn empty_set_always_schedulable() {
+        assert!(edf_schedulable(&TaskSet::empty(), 1e-9));
+    }
+}

@@ -1,0 +1,41 @@
+//! # hetfeas-analysis
+//!
+//! Single-machine schedulability analysis for related (speed-scaled)
+//! machines — the per-machine admission tests of Ahuja–Lu–Moseley §II plus
+//! the exact comparators our experiments use as ground truth:
+//!
+//! * [`edf`] — Theorem II.2: EDF schedulable iff `Σ w_i ≤ s` (exact for
+//!   implicit deadlines).
+//! * [`rms`] — Theorem II.3: the Liu–Layland sufficient RMS test
+//!   `Σ w_i ≤ n(2^{1/n}−1)·s`, and the sharper hyperbolic bound.
+//! * [`rta`] — exact response-time analysis for fixed priorities, in exact
+//!   integer arithmetic against rational speeds.
+//! * [`dbf`](mod@dbf) — demand-bound functions / processor-demand criterion for the
+//!   constrained-deadline extension.
+//! * [`qpa`] — Quick Processor-demand Analysis (Zhang & Burns), the fast
+//!   exact form of the same test.
+//! * [`bounds`] — the classic utilization bound functions themselves.
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod dbf;
+pub mod edf;
+pub mod harmonic;
+pub mod qpa;
+pub mod rms;
+pub mod rta;
+
+pub use bounds::{edf_bound, liu_layland_bound, LN2};
+pub use dbf::{dbf, edf_demand_schedulable, testing_points, total_dbf};
+pub use edf::{edf_schedulable, edf_schedulable_exact, edf_schedulable_load, edf_slack};
+pub use harmonic::{harmonic_chain_count, rms_schedulable_kuo_mok};
+pub use qpa::{busy_period, qpa_schedulable, qpa_schedulable_unit};
+pub use rms::{
+    rms_hyperbolic_product_ok, rms_schedulable_hyperbolic, rms_schedulable_ll,
+    rms_schedulable_ll_load,
+};
+pub use rta::{
+    dm_priority_order, rm_priority_order, rta_response_times, rta_schedulable,
+    rta_schedulable_f64,
+};

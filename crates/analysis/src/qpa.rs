@@ -1,0 +1,231 @@
+//! Quick Processor-demand Analysis (QPA, Zhang & Burns 2009) — the fast
+//! exact EDF test for constrained-deadline sporadic sets (extension; the
+//! paper only needs implicit deadlines, where the utilization test is
+//! already exact and O(n)).
+//!
+//! QPA walks *down* from the analysis bound `L`, jumping directly to
+//! `h(t)` (the demand at `t`) or to the largest absolute deadline below
+//! `t`, instead of enumerating every deadline like the naive
+//! processor-demand criterion in [`crate::dbf`](mod@crate::dbf). Typical speedups are an
+//! order of magnitude; the two are property-tested to agree exactly.
+//!
+//! Related-machine speeds are handled by exact rescaling: on a machine of
+//! speed `num/den`, the system `(c, p, d)` behaves exactly like
+//! `(c·den, p·num, d·num)` on a unit-speed machine, which keeps every
+//! quantity an integer.
+
+use crate::dbf::total_dbf;
+use hetfeas_model::time::div_ceil_u128;
+use hetfeas_model::{Ratio, Task, TaskSet};
+
+/// The synchronous busy-period length: least fixpoint of
+/// `w = Σ ⌈w / p_i⌉ · c_i` (unit speed), or `None` if utilization exceeds
+/// 1 (the recurrence diverges) or arithmetic overflows.
+pub fn busy_period(tasks: &TaskSet) -> Option<u128> {
+    if tasks.is_empty() {
+        return Some(0);
+    }
+    if tasks.total_utilization_ratio() > Ratio::ONE {
+        return None;
+    }
+    let mut w: u128 = tasks.iter().map(|t| t.wcet() as u128).sum();
+    // Convergence within the hyperperiod for U ≤ 1; guard with an
+    // iteration cap anyway.
+    for _ in 0..1_000_000 {
+        let mut next: u128 = 0;
+        for t in tasks {
+            next = next
+                .checked_add(div_ceil_u128(w, t.period() as u128).checked_mul(t.wcet() as u128)?)?;
+        }
+        if next == w {
+            return Some(w);
+        }
+        debug_assert!(next > w);
+        w = next;
+    }
+    None
+}
+
+/// Largest absolute deadline strictly below `t`, or `None` if none exists.
+fn max_deadline_below(tasks: &TaskSet, t: u128) -> Option<u128> {
+    let mut best: Option<u128> = None;
+    for task in tasks {
+        let d = task.deadline() as u128;
+        if d >= t {
+            continue; // even the first deadline is too late
+        }
+        // Largest k with d + k·p < t.
+        let k = (t - 1 - d) / task.period() as u128;
+        let cand = d + k * task.period() as u128;
+        best = Some(best.map_or(cand, |b| b.max(cand)));
+    }
+    best
+}
+
+/// Demand `h(t)` over a window of length `t` (u128 domain wrapper around
+/// [`total_dbf`]; saturates at the horizon-bounded values we use).
+fn h(tasks: &TaskSet, t: u128) -> u128 {
+    total_dbf(tasks, u64::try_from(t).unwrap_or(u64::MAX))
+}
+
+/// Exact EDF schedulability on a *unit-speed* machine via QPA. Assumes
+/// `d_i ≤ p_i` (debug-asserted) — the constrained-deadline model.
+pub fn qpa_schedulable_unit(tasks: &TaskSet) -> bool {
+    debug_assert!(tasks.iter().all(|t| t.deadline() <= t.period()));
+    if tasks.is_empty() {
+        return true;
+    }
+    if tasks.total_utilization_ratio() > Ratio::ONE {
+        return false;
+    }
+    let Some(l) = busy_period(tasks) else { return false };
+    let d_min = tasks.iter().map(|t| t.deadline() as u128).min().expect("non-empty");
+    // Start at the largest deadline strictly inside the busy period.
+    let Some(mut t) = max_deadline_below(tasks, l.max(1)) else {
+        return true; // no deadline inside the busy period ⇒ nothing to miss
+    };
+    loop {
+        let demand = h(tasks, t);
+        if demand > t {
+            return false;
+        }
+        if demand <= d_min {
+            return true;
+        }
+        t = if demand < t {
+            demand
+        } else {
+            match max_deadline_below(tasks, t) {
+                Some(next) => next,
+                None => return true,
+            }
+        };
+    }
+}
+
+/// Exact EDF schedulability on a speed-`speed` machine via QPA, using the
+/// exact integer rescaling described in the module docs.
+///
+/// ```
+/// use hetfeas_analysis::qpa_schedulable;
+/// use hetfeas_model::{Ratio, Task, TaskSet};
+///
+/// let tight = Task::constrained(2, 10, 2).unwrap(); // all work due in 2 ticks
+/// let set = TaskSet::new(vec![tight, tight]);
+/// assert!(!qpa_schedulable(&set, Ratio::ONE));      // demand 4 at t = 2
+/// assert!(qpa_schedulable(&set, Ratio::from_integer(2)));
+/// ```
+pub fn qpa_schedulable(tasks: &TaskSet, speed: Ratio) -> bool {
+    if speed <= Ratio::ZERO {
+        return false;
+    }
+    if tasks.is_empty() {
+        return true;
+    }
+    let num = speed.numer() as u64;
+    let den = speed.denom() as u64;
+    let scaled: Option<TaskSet> = tasks
+        .iter()
+        .map(|t| {
+            let c = t.wcet().checked_mul(den)?;
+            let p = t.period().checked_mul(num)?;
+            let d = t.deadline().checked_mul(num)?;
+            Task::constrained(c, p, d).ok()
+        })
+        .collect::<Option<Vec<_>>>()
+        .map(TaskSet::new);
+    match scaled {
+        Some(s) => qpa_schedulable_unit(&s),
+        None => false, // conservative on overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbf::edf_demand_schedulable;
+    use hetfeas_model::Task;
+
+    fn ct(c: u64, p: u64, d: u64) -> Task {
+        Task::constrained(c, p, d).unwrap()
+    }
+
+    #[test]
+    fn busy_period_examples() {
+        // Single task: busy period = c.
+        let ts = TaskSet::from_pairs([(3, 10)]).unwrap();
+        assert_eq!(busy_period(&ts), Some(3));
+        // Two tasks c=2,p=4 and c=2,p=6: w0=4, w1=ceil(4/4)*2+ceil(4/6)*2=4 ✓.
+        let ts = TaskSet::from_pairs([(2, 4), (2, 6)]).unwrap();
+        assert_eq!(busy_period(&ts), Some(4));
+        // Full utilization: busy period reaches the hyperperiod.
+        let ts = TaskSet::from_pairs([(1, 2), (1, 2)]).unwrap();
+        assert_eq!(busy_period(&ts), Some(2));
+        // Overload diverges.
+        let ts = TaskSet::from_pairs([(3, 2)]).unwrap();
+        assert_eq!(busy_period(&ts), None);
+        assert_eq!(busy_period(&TaskSet::empty()), Some(0));
+    }
+
+    #[test]
+    fn max_deadline_below_walks_the_grid() {
+        let ts = TaskSet::new(vec![ct(1, 4, 3), ct(1, 6, 6)]);
+        // Absolute deadlines: 3,7,11,… and 6,12,18,…
+        assert_eq!(max_deadline_below(&ts, 100), Some(99)); // 3+24·4 = 99
+        assert_eq!(max_deadline_below(&ts, 7), Some(6));
+        assert_eq!(max_deadline_below(&ts, 6), Some(3));
+        assert_eq!(max_deadline_below(&ts, 3), None);
+    }
+
+    #[test]
+    fn agrees_with_naive_pdc_on_fixed_cases() {
+        let cases: Vec<Vec<Task>> = vec![
+            vec![ct(2, 10, 6), ct(3, 15, 10), ct(4, 30, 30)],
+            vec![ct(2, 10, 2), ct(2, 10, 2)],
+            vec![ct(1, 2, 2), ct(1, 4, 3)],
+            vec![ct(5, 20, 9), ct(5, 20, 10), ct(5, 20, 11)],
+            vec![ct(1, 3, 3), ct(1, 4, 4), ct(2, 12, 8)],
+        ];
+        for tasks in cases {
+            let ts = TaskSet::new(tasks);
+            let h = ts.hyperperiod().unwrap() as u64 * 2;
+            let naive = edf_demand_schedulable(&ts, Ratio::ONE, h);
+            let qpa = qpa_schedulable_unit(&ts);
+            assert_eq!(naive, qpa, "disagree on {ts}");
+        }
+    }
+
+    #[test]
+    fn speed_scaling_exact() {
+        // c=1, p=d=2 needs exactly speed 1/2.
+        let ts = TaskSet::new(vec![ct(1, 2, 2)]);
+        assert!(qpa_schedulable(&ts, Ratio::new(1, 2)));
+        assert!(!qpa_schedulable(&ts, Ratio::new(49, 100)));
+        assert!(!qpa_schedulable(&ts, Ratio::ZERO));
+    }
+
+    #[test]
+    fn implicit_deadline_reduces_to_utilization() {
+        let ts = TaskSet::from_pairs([(1, 3), (1, 6), (1, 2)]).unwrap(); // util 1.0
+        assert!(qpa_schedulable_unit(&ts));
+        let ts2 = TaskSet::from_pairs([(1, 3), (1, 6), (1, 2), (1, 1000)]).unwrap();
+        assert!(!qpa_schedulable_unit(&ts2));
+    }
+
+    #[test]
+    fn tight_constrained_set() {
+        // Demand exactly meets supply at the critical deadline.
+        let ts = TaskSet::new(vec![ct(2, 8, 2), ct(6, 8, 8)]);
+        // h(2) = 2 ≤ 2; h(8) = 8 ≤ 8 → schedulable.
+        assert!(qpa_schedulable_unit(&ts));
+        // Tighten the second deadline: h(7) = 8 > 7 → miss.
+        let ts = TaskSet::new(vec![ct(2, 8, 2), ct(6, 8, 7)]);
+        assert!(!qpa_schedulable_unit(&ts));
+    }
+
+    #[test]
+    fn empty_set() {
+        assert!(qpa_schedulable_unit(&TaskSet::empty()));
+        assert!(qpa_schedulable(&TaskSet::empty(), Ratio::new(1, 7)));
+    }
+}

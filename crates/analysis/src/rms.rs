@@ -1,0 +1,101 @@
+//! Rate-monotonic schedulability on a single related machine: the
+//! Liu–Layland sufficient test the paper's algorithm uses (Theorem II.3),
+//! plus the sharper hyperbolic bound (Bini & Buttazzo) as an extension.
+
+use crate::bounds::liu_layland_bound;
+use hetfeas_model::{approx_le, TaskSet};
+
+/// Liu–Layland sufficient RMS test on a speed-`s` machine:
+/// `Σ w_i ≤ n(2^{1/n} − 1)·s` where `n = |S|`.
+pub fn rms_schedulable_ll(tasks: &TaskSet, speed: f64) -> bool {
+    rms_schedulable_ll_load(tasks.total_utilization(), tasks.len(), speed)
+}
+
+/// Liu–Layland test given a pre-computed load and task count. This is the
+/// exact admission predicate of the paper's §III first-fit for RMS:
+/// admitting `τ` onto a machine with `k` tasks and load `L` requires
+/// `L + w ≤ (k+1)(2^{1/(k+1)} − 1)·α·s`; callers pass the post-admission
+/// count and load.
+#[inline]
+pub fn rms_schedulable_ll_load(total_utilization: f64, n_tasks: usize, speed: f64) -> bool {
+    approx_le(total_utilization, liu_layland_bound(n_tasks) * speed)
+}
+
+/// Hyperbolic-bound sufficient RMS test (Bini & Buttazzo 2003):
+/// `Π (w_i/s + 1) ≤ 2`. Strictly dominates Liu–Layland; provided as the
+/// "tighter admission" ablation of experiment E9.
+pub fn rms_schedulable_hyperbolic(tasks: &TaskSet, speed: f64) -> bool {
+    let product: f64 = tasks
+        .iter()
+        .map(|t| t.utilization() / speed + 1.0)
+        .product();
+    approx_le(product, 2.0)
+}
+
+/// Incremental form of the hyperbolic test: the partitioner maintains the
+/// running product `Π (w_i/s + 1)` per machine and admits while it stays
+/// at most 2.
+#[inline]
+pub fn rms_hyperbolic_product_ok(product: f64) -> bool {
+    approx_le(product, 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetfeas_model::TaskSet;
+
+    #[test]
+    fn single_task_up_to_full_speed() {
+        let ts = TaskSet::from_pairs([(1, 1)]).unwrap(); // util 1.0
+        // n=1 → bound = 1.0: a single task may use the whole machine.
+        assert!(rms_schedulable_ll(&ts, 1.0));
+        assert!(rms_schedulable_hyperbolic(&ts, 1.0));
+        assert!(!rms_schedulable_ll(&ts, 0.9));
+    }
+
+    #[test]
+    fn two_tasks_ll_threshold() {
+        // Bound for n=2 is 2(√2−1) ≈ 0.8284.
+        let ts = TaskSet::from_pairs([(41, 100), (41, 100)]).unwrap(); // util 0.82
+        assert!(rms_schedulable_ll(&ts, 1.0));
+        let ts = TaskSet::from_pairs([(42, 100), (42, 100)]).unwrap(); // util 0.84
+        assert!(!rms_schedulable_ll(&ts, 1.0));
+    }
+
+    #[test]
+    fn hyperbolic_dominates_ll() {
+        // Classic example: utils 0.5 and 0.4 fail LL (0.9 > 0.8284) but
+        // pass hyperbolic (1.5·1.4 = 2.1 > 2 — actually fails too); pick
+        // 0.5 & 0.33: 1.5·1.33 = 1.995 ≤ 2, LL: 0.83 > 0.8284 fails.
+        let ts = TaskSet::from_pairs([(1, 2), (33, 100)]).unwrap();
+        assert!(!rms_schedulable_ll(&ts, 1.0));
+        assert!(rms_schedulable_hyperbolic(&ts, 1.0));
+    }
+
+    #[test]
+    fn scales_with_speed() {
+        let ts = TaskSet::from_pairs([(1, 2), (1, 2), (1, 2)]).unwrap(); // util 1.5
+        // n=3 bound ≈ 0.7798 → needs speed ≥ 1.5/0.7798 ≈ 1.924.
+        assert!(!rms_schedulable_ll(&ts, 1.9));
+        assert!(rms_schedulable_ll(&ts, 1.93));
+        assert!(rms_schedulable_hyperbolic(&ts, 2.0)); // (1.25)^3 ≈ 1.95 ≤ 2
+    }
+
+    #[test]
+    fn empty_set_schedulable() {
+        assert!(rms_schedulable_ll(&TaskSet::empty(), 0.1));
+        assert!(rms_schedulable_hyperbolic(&TaskSet::empty(), 0.1));
+    }
+
+    #[test]
+    fn load_form_matches_set_form() {
+        let ts = TaskSet::from_pairs([(1, 4), (1, 5), (1, 6)]).unwrap();
+        for s in [0.5, 0.7, 0.78, 1.0] {
+            assert_eq!(
+                rms_schedulable_ll(&ts, s),
+                rms_schedulable_ll_load(ts.total_utilization(), ts.len(), s)
+            );
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the single-machine analyses.
+
+use hetfeas_analysis::{
+    edf_demand_schedulable, edf_schedulable, edf_schedulable_exact, liu_layland_bound,
+    qpa_schedulable, rm_priority_order, rms_schedulable_hyperbolic, rms_schedulable_ll,
+    rta_response_times, rta_schedulable,
+};
+use hetfeas_model::{Ratio, Task, TaskSet};
+use proptest::prelude::*;
+
+/// Constrained-deadline tasks on the same divisor-friendly menu.
+fn constrained_task() -> impl Strategy<Value = Task> {
+    (
+        1u64..=20,
+        prop::sample::select(vec![4u64, 5, 8, 10, 20, 25, 40, 50]),
+        1u64..=100,
+    )
+        .prop_map(|(c, p, dfrac)| {
+            let c = c.min(p);
+            // deadline in [c, p], biased across the range.
+            let d = c + (p - c) * dfrac.min(100) / 100;
+            Task::constrained(c, p, d.max(1)).unwrap()
+        })
+}
+
+/// Periods from a divisor-friendly menu so hyperperiods stay tiny.
+fn menu_task() -> impl Strategy<Value = Task> {
+    (1u64..=40, prop::sample::select(vec![4u64, 5, 8, 10, 20, 25, 40, 50, 100]))
+        .prop_map(|(c, p)| Task::implicit(c.min(p), p).unwrap())
+}
+
+fn small_set() -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(menu_task(), 1..8).prop_map(TaskSet::new)
+}
+
+proptest! {
+    #[test]
+    fn edf_f64_matches_exact(ts in small_set(), snum in 1i128..8, sden in 1i128..8) {
+        let speed = Ratio::new(snum, sden);
+        let f = edf_schedulable(&ts, speed.to_f64());
+        let e = edf_schedulable_exact(&ts, speed);
+        // They may only disagree within EPS of the boundary; detect by
+        // comparing the exact margin.
+        let margin = (ts.total_utilization_ratio() - speed).to_f64().abs();
+        if margin > 1e-6 {
+            prop_assert_eq!(f, e);
+        }
+    }
+
+    #[test]
+    fn ll_implies_hyperbolic_implies_rta(ts in small_set(), s in 1u64..5) {
+        let speed = s as f64;
+        if rms_schedulable_ll(&ts, speed) {
+            prop_assert!(rms_schedulable_hyperbolic(&ts, speed),
+                "hyperbolic must dominate Liu–Layland");
+        }
+        if rms_schedulable_hyperbolic(&ts, speed) {
+            prop_assert!(rta_schedulable(&ts, Ratio::from_integer(s as i128)),
+                "exact RTA must dominate the hyperbolic bound");
+        }
+    }
+
+    #[test]
+    fn rta_monotone_in_speed(ts in small_set(), s in 1i128..4) {
+        if rta_schedulable(&ts, Ratio::from_integer(s)) {
+            prop_assert!(rta_schedulable(&ts, Ratio::from_integer(s + 1)));
+            prop_assert!(rta_schedulable(&ts, Ratio::new(2 * s + 1, 2)));
+        }
+    }
+
+    #[test]
+    fn rta_response_at_most_deadline_when_some(ts in small_set()) {
+        let order = rm_priority_order(&ts);
+        let rs = rta_response_times(&ts, &order, Ratio::ONE);
+        for (i, r) in rs.iter().enumerate() {
+            if let Some(r) = r {
+                prop_assert!(*r <= Ratio::from_integer(ts[i].deadline() as i128));
+                prop_assert!(*r >= Ratio::from_integer(ts[i].wcet() as i128));
+            }
+        }
+    }
+
+    #[test]
+    fn highest_priority_task_response_is_its_wcet(ts in small_set()) {
+        let order = rm_priority_order(&ts);
+        let rs = rta_response_times(&ts, &order, Ratio::ONE);
+        let top = order[0];
+        // WCET ≤ period holds by construction of menu_task, so the top task
+        // always completes: R = c / 1.
+        prop_assert_eq!(rs[top], Some(Ratio::from_integer(ts[top].wcet() as i128)));
+    }
+
+    #[test]
+    fn pdc_matches_edf_for_implicit(ts in small_set(), snum in 1i128..6, sden in 1i128..4) {
+        let speed = Ratio::new(snum, sden);
+        let h = ts.hyperperiod().unwrap();
+        prop_assume!(h <= u64::MAX as u128);
+        let pdc = edf_demand_schedulable(&ts, speed, h as u64);
+        let util = edf_schedulable_exact(&ts, speed);
+        prop_assert_eq!(pdc, util,
+            "for implicit deadlines PDC must coincide with the utilization test");
+    }
+
+    #[test]
+    fn ll_bound_between_ln2_and_one(n in 0usize..512) {
+        let b = liu_layland_bound(n);
+        prop_assert!(b <= 1.0 + 1e-12);
+        prop_assert!(b >= hetfeas_analysis::LN2 - 1e-12);
+    }
+
+    // QPA ⇔ naive processor-demand criterion, exactly, on constrained sets.
+    #[test]
+    fn qpa_matches_naive_pdc(
+        tasks in prop::collection::vec(constrained_task(), 1..7),
+        snum in 1i128..5,
+        sden in 1i128..4,
+    ) {
+        let ts = TaskSet::new(tasks);
+        let speed = Ratio::new(snum, sden);
+        // Horizon: hyperperiod of the *scaled* system ≥ busy period bound.
+        let h = ts.hyperperiod().unwrap();
+        prop_assume!(h <= (u64::MAX / 8) as u128);
+        let horizon = (h as u64) * 2;
+        let naive = edf_demand_schedulable(&ts, speed, horizon);
+        let quick = qpa_schedulable(&ts, speed);
+        prop_assert_eq!(naive, quick, "QPA vs PDC disagree on {} at speed {}", ts, speed);
+    }
+}

@@ -1,0 +1,41 @@
+//! Cost of the E1–E4 measurement pipeline: the α* bisection and the exact
+//! partitioned branch-and-bound oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetfeas_bench::bench_instance;
+use hetfeas_partition::{exact_partition_edf, min_feasible_alpha, EdfAdmission};
+use std::hint::black_box;
+
+fn bench_bisection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_bisection");
+    for n in [8usize, 16, 32] {
+        let inst = bench_instance(n, 4, 0.95, 31);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(min_feasible_alpha(
+                    &inst.tasks,
+                    &inst.platform,
+                    &EdfAdmission,
+                    4.0,
+                    1e-4,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_partition_edf");
+    group.sample_size(20);
+    for n in [8usize, 12, 16] {
+        let inst = bench_instance(n, 3, 0.9, 32);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(exact_partition_edf(&inst.tasks, &inst.platform, 4_000_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bisection, bench_exact_oracle);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E6 companion: first-fit feasibility test scaling in `n` and `m`.
+//!
+//! The paper claims `O(n log n + n·m)`. Criterion timings over geometric
+//! sweeps let you verify the growth: doubling `n` (at fixed `m`) should
+//! roughly double time; same for `m` at fixed `n` in the worst case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetfeas_bench::bench_instance;
+use hetfeas_model::Augmentation;
+use hetfeas_partition::{first_fit, EdfAdmission, RmsLlAdmission};
+use std::hint::black_box;
+
+fn bench_scale_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ffd_scale_n_m16");
+    for n in [256usize, 1024, 4096, 16384] {
+        let inst = bench_instance(n, 16, 0.9, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(first_fit(
+                    &inst.tasks,
+                    &inst.platform,
+                    Augmentation::NONE,
+                    &EdfAdmission,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scale_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ffd_scale_m_n4096");
+    for m in [4usize, 16, 64, 256] {
+        let inst = bench_instance(4096, m, 0.9, 43);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(first_fit(
+                    &inst.tasks,
+                    &inst.platform,
+                    Augmentation::NONE,
+                    &EdfAdmission,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_admissions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ffd_admission_kind_n1024_m8");
+    let inst = bench_instance(1024, 8, 0.8, 44);
+    group.bench_function("edf", |b| {
+        b.iter(|| {
+            black_box(first_fit(&inst.tasks, &inst.platform, Augmentation::NONE, &EdfAdmission))
+        })
+    });
+    group.bench_function("rms_ll", |b| {
+        b.iter(|| {
+            black_box(first_fit(&inst.tasks, &inst.platform, Augmentation::NONE, &RmsLlAdmission))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale_n, bench_scale_m, bench_admissions);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! LP feasibility: the from-scratch simplex vs the closed-form level
+//! condition. The level algorithm is the oracle the experiments use; the
+//! gap here (orders of magnitude) is why.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetfeas_bench::bench_instance;
+use hetfeas_lp::{level_feasible, lp_feasible_simplex};
+use std::hint::black_box;
+
+fn bench_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_level_closed_form");
+    for n in [16usize, 64, 256, 1024] {
+        let inst = bench_instance(n, 8, 0.9, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(level_feasible(&inst.tasks, &inst.platform)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_simplex");
+    group.sample_size(20);
+    for n in [8usize, 16, 32] {
+        let inst = bench_instance(n, 6, 0.9, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(lp_feasible_simplex(&inst.tasks, &inst.platform)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_level, bench_simplex);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Overhead of the crossbeam-based parallel map vs sequential iteration,
+//! across item costs and block sizes (referenced from
+//! `hetfeas_par::scope_map`'s slot-locking design note).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetfeas_par::{par_map, par_map_with};
+use std::hint::black_box;
+
+fn busy(iterations: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..iterations {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+fn bench_vs_sequential(c: &mut Criterion) {
+    let items: Vec<u64> = (0..512).collect();
+    for cost in [100u64, 10_000] {
+        let mut group = c.benchmark_group(format!("par_map_cost{cost}"));
+        group.bench_function("sequential", |b| {
+            b.iter(|| {
+                let out: Vec<u64> = items.iter().map(|&x| busy(cost) ^ x).collect();
+                black_box(out)
+            })
+        });
+        group.bench_function("par_map", |b| {
+            b.iter(|| black_box(par_map(&items, |&x| busy(cost) ^ x)))
+        });
+        group.finish();
+    }
+}
+
+fn bench_block_sizes(c: &mut Criterion) {
+    let items: Vec<u64> = (0..4096).collect();
+    let mut group = c.benchmark_group("par_map_block_size_cheap_items");
+    for block in [1usize, 16, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, &block| {
+            b.iter(|| black_box(par_map_with(&items, 8, block, |&x| busy(50) ^ x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_sequential, bench_block_sizes);
+criterion_main!(benches);

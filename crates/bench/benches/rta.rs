@@ -1,0 +1,64 @@
+//! Exact schedulability-test costs: RTA vs the O(1) Liu–Layland bound
+//! (the price of the E9 "exact admission" upgrade), and QPA vs the naive
+//! processor-demand criterion (the module-doc speedup claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetfeas_analysis::{
+    edf_demand_schedulable, qpa_schedulable, rms_schedulable_ll, rta_schedulable,
+};
+use hetfeas_bench::bench_taskset;
+use hetfeas_model::{Ratio, Task, TaskSet};
+use std::hint::black_box;
+
+/// Deterministic constrained-deadline variant of the bench fixture.
+fn constrained_taskset(n: usize, u: f64, seed: u64) -> TaskSet {
+    bench_taskset(n, u, seed)
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            // Deadline between 60% and 100% of the period, varying by index.
+            let d = (t.period() * (6 + (i as u64 % 5)) / 10).max(t.wcet());
+            Task::constrained(t.wcet(), t.period(), d).unwrap()
+        })
+        .collect()
+}
+
+fn bench_rta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rta_exact");
+    for n in [4usize, 8, 16, 32, 64] {
+        let ts = bench_taskset(n, 0.7, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ts, |b, ts| {
+            b.iter(|| black_box(rta_schedulable(ts, Ratio::ONE)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rms_liu_layland");
+    for n in [4usize, 64] {
+        let ts = bench_taskset(n, 0.7, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ts, |b, ts| {
+            b.iter(|| black_box(rms_schedulable_ll(ts, 1.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_qpa_vs_naive(c: &mut Criterion) {
+    for n in [8usize, 32] {
+        let ts = constrained_taskset(n, 0.8, 13);
+        let horizon = (ts.hyperperiod().unwrap() as u64).saturating_mul(2);
+        let mut group = c.benchmark_group(format!("edf_constrained_n{n}"));
+        group.bench_function("qpa", |b| {
+            b.iter(|| black_box(qpa_schedulable(&ts, Ratio::ONE)))
+        });
+        group.bench_function("naive_pdc", |b| {
+            b.iter(|| black_box(edf_demand_schedulable(&ts, Ratio::ONE, horizon)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_rta, bench_ll, bench_qpa_vs_naive);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Discrete-event engine throughput: jobs simulated per second under EDF
+//! and RMS, and the cost of the full E7 validation path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetfeas_bench::bench_taskset;
+use hetfeas_model::Ratio;
+use hetfeas_sim::{simulate_machine, validation_horizon, ReleasePattern, SchedPolicy};
+use std::hint::black_box;
+
+fn jobs_in_horizon(ts: &hetfeas_model::TaskSet, horizon: u64) -> u64 {
+    ts.iter()
+        .map(|t| horizon / t.period() + u64::from(!horizon.is_multiple_of(t.period())))
+        .sum()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    for n in [5usize, 10, 20, 40] {
+        let ts = bench_taskset(n, 0.9, 21);
+        let horizon = validation_horizon(&ts).expect("menu periods");
+        group.throughput(Throughput::Elements(jobs_in_horizon(&ts, horizon)));
+        for (policy, label) in [(SchedPolicy::Edf, "edf"), (SchedPolicy::RateMonotonic, "rms")] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(&ts, horizon),
+                |b, (ts, horizon)| {
+                    b.iter(|| {
+                        black_box(
+                            simulate_machine(
+                                ts,
+                                Ratio::ONE,
+                                policy,
+                                ReleasePattern::Periodic,
+                                *horizon,
+                            )
+                            .expect("simulate"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sporadic(c: &mut Criterion) {
+    let ts = bench_taskset(10, 0.8, 22);
+    let horizon = validation_horizon(&ts).expect("menu periods");
+    c.bench_function("sim_sporadic_n10", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_machine(
+                    &ts,
+                    Ratio::ONE,
+                    SchedPolicy::Edf,
+                    ReleasePattern::Sporadic { jitter_frac: 0.3, seed: 5 },
+                    horizon,
+                )
+                .expect("simulate"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_sporadic);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Generator throughput: UUniFast(-Discard), bounded fixed-sum and full
+//! instance generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetfeas_workload::{
+    bounded_fixed_sum, uunifast, uunifast_discard, PeriodMenu, PlatformSpec, UtilizationSampler,
+    WorkloadSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_uunifast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uunifast");
+    for n in [16usize, 256, 4096] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(uunifast(&mut rng, n, 4.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_uunifast_discard(c: &mut Criterion) {
+    c.bench_function("uunifast_discard_n64_tight", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(uunifast_discard(&mut rng, 64, 8.0, 0.5, 10_000)))
+    });
+}
+
+fn bench_bounded_fixed_sum(c: &mut Criterion) {
+    c.bench_function("bounded_fixed_sum_n64", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(bounded_fixed_sum(&mut rng, 64, 8.0, 0.05, 0.5)))
+    });
+}
+
+fn bench_full_instance(c: &mut Criterion) {
+    let spec = WorkloadSpec {
+        n_tasks: 64,
+        normalized_utilization: 0.8,
+        platform: PlatformSpec::BigLittle { big: 2, little: 6, ratio: 4 },
+        sampler: UtilizationSampler::UUniFastCapped,
+        periods: PeriodMenu::standard(),
+    };
+    c.bench_function("workload_full_instance_n64", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(spec.generate(9, i))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_uunifast,
+    bench_uunifast_discard,
+    bench_bounded_fixed_sum,
+    bench_full_instance
+);
+criterion_main!(benches);

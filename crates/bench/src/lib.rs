@@ -1,0 +1,62 @@
+//! # hetfeas-bench
+//!
+//! Shared fixtures for the Criterion benchmarks. Each bench target maps to
+//! a timing claim in the evaluation (`DESIGN.md` §3):
+//!
+//! * `ffd_scaling` — E6: the O(n·m) first-fit feasibility test;
+//! * `lp_feasibility` — simplex vs closed-form level condition;
+//! * `rta` — exact response-time analysis cost;
+//! * `simulator` — discrete-event engine throughput;
+//! * `workload_gen` — generator throughput;
+//! * `alpha_search` — the E1–E4 bisection cost.
+
+use hetfeas_model::TaskSet;
+use hetfeas_workload::{Instance, PeriodMenu, PlatformSpec, UtilizationSampler, WorkloadSpec};
+
+/// A reproducible benchmark instance: `n` tasks on an `m`-machine
+/// uniform-random platform at the given normalized utilization.
+pub fn bench_instance(n: usize, m: usize, u_norm: f64, seed: u64) -> Instance {
+    WorkloadSpec {
+        n_tasks: n,
+        normalized_utilization: u_norm,
+        platform: PlatformSpec::UniformRandom { m, lo: 1, hi: 8 },
+        sampler: UtilizationSampler::UUniFastCapped,
+        periods: PeriodMenu::standard(),
+    }
+    .generate(seed, 0)
+    .expect("benchmark parameters are loose")
+}
+
+/// A single-machine task set of `n` tasks at total utilization `u`.
+pub fn bench_taskset(n: usize, u: f64, seed: u64) -> TaskSet {
+    WorkloadSpec {
+        n_tasks: n,
+        normalized_utilization: u,
+        platform: PlatformSpec::Identical { m: 1 },
+        sampler: UtilizationSampler::UUniFastCapped,
+        periods: PeriodMenu::standard(),
+    }
+    .generate(seed, 0)
+    .expect("benchmark parameters are loose")
+    .tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = bench_instance(32, 4, 0.8, 1);
+        let b = bench_instance(32, 4, 0.8, 1);
+        assert_eq!(a.tasks, b.tasks);
+        assert_eq!(a.platform, b.platform);
+        assert_eq!(a.tasks.len(), 32);
+        assert_eq!(a.platform.len(), 4);
+    }
+
+    #[test]
+    fn taskset_fixture_size() {
+        assert_eq!(bench_taskset(16, 0.5, 2).len(), 16);
+    }
+}

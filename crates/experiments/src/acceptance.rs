@@ -1,0 +1,202 @@
+//! Experiment E5: acceptance-ratio curves vs normalized utilization —
+//! plus the shared sweep machinery reused by the E8/E9 ablations.
+//!
+//! This is the classic empirical-schedulability plot: the fraction of
+//! random task sets each test accepts, as the system load sweeps from idle
+//! to saturated. It shows *who wins where*: the LP (migrative adversary)
+//! dominates the exact partitioned oracle, which dominates FF-EDF, which
+//! dominates FF-RMS; augmented variants show the theorems' speedups
+//! closing the gap.
+
+use crate::config::ExpConfig;
+use crate::table::{pct, Table};
+use hetfeas_model::{Platform, TaskSet};
+use hetfeas_par::par_map_with;
+use hetfeas_workload::{PeriodMenu, PlatformSpec, UtilizationSampler, WorkloadSpec};
+
+/// A named acceptance predicate over an instance.
+pub struct Criterion {
+    /// Column label.
+    pub label: String,
+    /// The predicate; `None` means "undecided" (excluded from the ratio,
+    /// counted in notes).
+    #[allow(clippy::type_complexity)]
+    pub test: Box<dyn Fn(&TaskSet, &Platform) -> Option<bool> + Sync>,
+}
+
+impl Criterion {
+    /// Build a criterion from a closure.
+    pub fn new(
+        label: impl Into<String>,
+        test: impl Fn(&TaskSet, &Platform) -> Option<bool> + Sync + 'static,
+    ) -> Self {
+        Criterion { label: label.into(), test: Box::new(test) }
+    }
+}
+
+/// Sweep normalized utilization over `u_points`, measuring each criterion's
+/// acceptance ratio on `samples` fresh instances per point.
+pub fn acceptance_sweep(
+    cfg: &ExpConfig,
+    title: &str,
+    platform: PlatformSpec,
+    n_tasks: usize,
+    u_points: &[f64],
+    criteria: &[Criterion],
+) -> Table {
+    let mut headers: Vec<&str> = vec!["U/S", "gen"];
+    let labels: Vec<String> = criteria.iter().map(|c| c.label.clone()).collect();
+    for l in &labels {
+        headers.push(l.as_str());
+    }
+    let mut table = Table::new(title, &headers);
+    let mut undecided_total = 0usize;
+
+    for (pi, &u) in u_points.iter().enumerate() {
+        let spec = WorkloadSpec {
+            n_tasks,
+            normalized_utilization: u,
+            platform,
+            sampler: UtilizationSampler::UUniFastCapped,
+            periods: PeriodMenu::standard(),
+        };
+        let seed = cfg.cell_seed(pi as u64);
+        let indices: Vec<u64> = (0..cfg.samples as u64).collect();
+        // For each instance, evaluate every criterion.
+        let per_instance: Vec<Option<Vec<Option<bool>>>> =
+            par_map_with(&indices, cfg.effective_workers(), 1, |&i| {
+                let inst = spec.generate(seed, i)?;
+                Some(
+                    criteria
+                        .iter()
+                        .map(|c| (c.test)(&inst.tasks, &inst.platform))
+                        .collect(),
+                )
+            });
+
+        let generated = per_instance.iter().flatten().count();
+        let mut row = vec![format!("{u:.2}"), generated.to_string()];
+        for (ci, _) in criteria.iter().enumerate() {
+            let mut accepted = 0usize;
+            let mut decided = 0usize;
+            for verdicts in per_instance.iter().flatten() {
+                match verdicts[ci] {
+                    Some(true) => {
+                        accepted += 1;
+                        decided += 1;
+                    }
+                    Some(false) => decided += 1,
+                    None => undecided_total += 1,
+                }
+            }
+            row.push(if decided == 0 {
+                "n/a".to_string()
+            } else {
+                pct(accepted as f64 / decided as f64)
+            });
+        }
+        table.push_row(row);
+    }
+    table.note(format!(
+        "platform = {}, n = {n_tasks}, {} samples/point",
+        platform.label(),
+        cfg.samples
+    ));
+    if undecided_total > 0 {
+        table.note(format!("oracle-undecided evaluations excluded: {undecided_total}"));
+    }
+    table
+}
+
+/// E5: acceptance ratios of the paper's tests against the adversary
+/// oracles, at α = 1 and at the theorem augmentations.
+pub fn e5(cfg: &ExpConfig) -> Vec<Table> {
+    use hetfeas_model::Augmentation;
+    use hetfeas_partition::{
+        exact_partition_edf, first_fit, EdfAdmission, ExactOutcome, RmsLlAdmission,
+    };
+
+    let criteria = vec![
+        Criterion::new("LP", |t: &TaskSet, p: &Platform| {
+            Some(hetfeas_lp::lp_feasible(t, p))
+        }),
+        Criterion::new("OPT-part(EDF)", |t: &TaskSet, p: &Platform| {
+            match exact_partition_edf(t, p, 2_000_000) {
+                ExactOutcome::Feasible(_) => Some(true),
+                ExactOutcome::Infeasible => Some(false),
+                ExactOutcome::Unknown => None,
+            }
+        }),
+        Criterion::new("FF-EDF", |t: &TaskSet, p: &Platform| {
+            Some(first_fit(t, p, Augmentation::NONE, &EdfAdmission).is_feasible())
+        }),
+        Criterion::new("FF-RMS", |t: &TaskSet, p: &Platform| {
+            Some(first_fit(t, p, Augmentation::NONE, &RmsLlAdmission).is_feasible())
+        }),
+        Criterion::new("FF-EDF@2", |t: &TaskSet, p: &Platform| {
+            Some(first_fit(t, p, Augmentation::EDF_VS_PARTITIONED, &EdfAdmission).is_feasible())
+        }),
+        Criterion::new("FF-RMS@2.41", |t: &TaskSet, p: &Platform| {
+            Some(
+                first_fit(t, p, Augmentation::RMS_VS_PARTITIONED, &RmsLlAdmission).is_feasible(),
+            )
+        }),
+    ];
+    let u_points: Vec<f64> = (1..=20).map(|k| k as f64 * 0.05).collect();
+    vec![acceptance_sweep(
+        cfg,
+        "E5: acceptance ratio vs normalized utilization",
+        PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 },
+        10,
+        &u_points,
+        &criteria,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig { samples: 10, seed: 3, workers: 2 }
+    }
+
+    #[test]
+    fn e5_produces_full_sweep() {
+        let t = &e5(&tiny())[0];
+        assert_eq!(t.rows.len(), 20);
+        assert_eq!(t.headers.len(), 2 + 6);
+        // At the lightest load everything is accepted; at U/S = 1.00 the
+        // partitioned heuristics reject nearly everything.
+        let light = &t.rows[0];
+        assert_eq!(light[2], "100.0%", "LP must accept all at U/S=0.05");
+        assert_eq!(light[4], "100.0%", "FF-EDF must accept all at U/S=0.05");
+    }
+
+    #[test]
+    fn acceptance_is_monotone_decreasing_in_load_for_lp() {
+        let t = &e5(&tiny())[0];
+        let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
+        let lp: Vec<f64> = t.rows.iter().map(|r| parse(&r[2])).collect();
+        // Not strictly monotone sample-to-sample (different random sets),
+        // but the first point dominates the last.
+        assert!(lp[0] >= lp[19]);
+    }
+
+    #[test]
+    fn dominance_order_holds_pointwise() {
+        // On the *same* instances: LP ⊇ OPT-part ⊇ FF-EDF ⊇ …, so the
+        // ratios must be ordered in every row.
+        let t = &e5(&tiny())[0];
+        let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap_or(f64::NAN);
+        for row in &t.rows {
+            let lp = parse(&row[2]);
+            let opt = parse(&row[3]);
+            let ff = parse(&row[4]);
+            if !opt.is_nan() {
+                assert!(lp >= opt - 1e-9, "LP < OPT-part in {row:?}");
+                assert!(opt >= ff - 1e-9, "OPT-part < FF-EDF in {row:?}");
+            }
+        }
+    }
+}

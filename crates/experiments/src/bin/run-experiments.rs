@@ -1,0 +1,163 @@
+//! `run-experiments` — regenerate the evaluation tables.
+//!
+//! ```text
+//! run-experiments [IDS…] [--quick] [--seed N] [--samples N]
+//!                 [--workers N] [--csv DIR] [--markdown FILE] [--list]
+//!
+//! IDS        experiment ids (e1 … e15) or `all` (default: all)
+//! --quick    reduced sample counts (smoke run)
+//! --seed N   master seed (default 0xC0FFEE)
+//! --samples N  instances per table cell
+//! --workers N  worker threads (default: all cores)
+//! --csv DIR  additionally write one CSV per table into DIR
+//! --markdown FILE  additionally write all tables as one Markdown report
+//! --list     print the experiment registry and exit
+//! ```
+
+use hetfeas_experiments::{all_experiments, ExpConfig};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+struct Args {
+    ids: Vec<String>,
+    cfg: ExpConfig,
+    csv_dir: Option<String>,
+    markdown: Option<String>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut ids = Vec::new();
+    let mut cfg = ExpConfig::standard();
+    let mut csv_dir = None;
+    let mut markdown = None;
+    let mut list = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => {
+                cfg.samples = ExpConfig::quick().samples;
+            }
+            "--seed" => {
+                cfg.seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--samples" => {
+                cfg.samples = argv
+                    .next()
+                    .ok_or("--samples needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --samples: {e}"))?;
+            }
+            "--workers" => {
+                cfg.workers = argv
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--csv" => {
+                csv_dir = Some(argv.next().ok_or("--csv needs a directory")?);
+            }
+            "--markdown" => {
+                markdown = Some(argv.next().ok_or("--markdown needs a file path")?);
+            }
+            "--list" => list = true,
+            "--help" | "-h" => {
+                return Err("usage: run-experiments [IDS…|all] [--quick] [--seed N] \
+                            [--samples N] [--workers N] [--csv DIR] \
+                            [--markdown FILE] [--list]"
+                    .to_string())
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}"));
+            }
+            id => ids.push(id.to_ascii_lowercase()),
+        }
+    }
+    Ok(Args { ids, cfg, csv_dir, markdown, list })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let registry = all_experiments();
+    if args.list {
+        for e in &registry {
+            println!("{:4}  {}", e.id, e.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let run_all = args.ids.is_empty() || args.ids.iter().any(|i| i == "all");
+    let selected: Vec<_> = registry
+        .iter()
+        .filter(|e| run_all || args.ids.iter().any(|i| i == e.id))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no experiment matches {:?}; try --list", args.ids);
+        return ExitCode::from(2);
+    }
+    for requested in &args.ids {
+        if requested != "all" && !registry.iter().any(|e| e.id == *requested) {
+            eprintln!("unknown experiment id {requested}; try --list");
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(dir) = &args.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+
+    println!(
+        "hetfeas evaluation — seed {:#x}, {} samples/cell, {} workers",
+        args.cfg.seed,
+        args.cfg.samples,
+        args.cfg.effective_workers()
+    );
+    let mut report = format!(
+        "# hetfeas evaluation report\n\nseed `{:#x}`, {} samples/cell.\n\n",
+        args.cfg.seed, args.cfg.samples
+    );
+    for e in selected {
+        eprintln!("[running {}] {}", e.id, e.description);
+        let started = std::time::Instant::now();
+        let tables = (e.run)(&args.cfg);
+        let secs = started.elapsed().as_secs_f64();
+        for (ti, t) in tables.iter().enumerate() {
+            println!("\n{}", t.render());
+            report.push_str(&t.to_markdown());
+            report.push('\n');
+            if let Some(dir) = &args.csv_dir {
+                let path = format!("{dir}/{}_{ti}.csv", e.id);
+                match std::fs::File::create(&path) {
+                    Ok(mut f) => {
+                        if let Err(err) = f.write_all(t.to_csv().as_bytes()) {
+                            eprintln!("write {path}: {err}");
+                        }
+                    }
+                    Err(err) => eprintln!("create {path}: {err}"),
+                }
+            }
+        }
+        eprintln!("[done {} in {secs:.1}s]", e.id);
+    }
+    if let Some(path) = &args.markdown {
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("write {path}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

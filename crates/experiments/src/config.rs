@@ -1,0 +1,69 @@
+//! Shared experiment configuration.
+
+/// Knobs shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpConfig {
+    /// Base number of random instances per table cell (experiments may
+    /// scale it down for expensive oracles; the tables' notes state the
+    /// effective counts).
+    pub samples: usize,
+    /// Master seed; every instance is derived deterministically from
+    /// `(seed, cell, index)`.
+    pub seed: u64,
+    /// Worker threads for the parallel sweeps (0 = auto).
+    pub workers: usize,
+}
+
+impl ExpConfig {
+    /// Full-size defaults used by `run-experiments`.
+    pub fn standard() -> Self {
+        ExpConfig { samples: 400, seed: 0xC0FFEE, workers: 0 }
+    }
+
+    /// Reduced counts for smoke runs (`--quick`) and CI tests.
+    pub fn quick() -> Self {
+        ExpConfig { samples: 40, seed: 0xC0FFEE, workers: 0 }
+    }
+
+    /// Effective worker count.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            hetfeas_par::default_workers(usize::MAX)
+        } else {
+            self.workers
+        }
+    }
+
+    /// A sub-seed for a named table cell, decorrelated from other cells.
+    pub fn cell_seed(&self, cell: u64) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(cell.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(ExpConfig::standard().samples > ExpConfig::quick().samples);
+        assert_eq!(ExpConfig::standard().seed, ExpConfig::quick().seed);
+    }
+
+    #[test]
+    fn cell_seeds_differ() {
+        let c = ExpConfig::standard();
+        assert_ne!(c.cell_seed(0), c.cell_seed(1));
+        assert_eq!(c.cell_seed(5), c.cell_seed(5));
+    }
+
+    #[test]
+    fn workers_resolved() {
+        let mut c = ExpConfig::quick();
+        assert!(c.effective_workers() >= 1);
+        c.workers = 3;
+        assert_eq!(c.effective_workers(), 3);
+    }
+}

@@ -1,0 +1,152 @@
+//! Experiment E10: numeric verification of the paper's constant choices.
+//!
+//! The proofs of Lemmas IV.1/IV.4 (EDF) and V.1/V.4/V.5 (RMS) hinge on a
+//! handful of inequalities between the constants `c_s, c_f, f_w, f_f` and
+//! the augmentation α. The paper asserts each is "> 1" with approximate
+//! values (≈1.005, ≈1.004, ≈1.003…); this table recomputes every one and
+//! verifies it really does clear 1, i.e. the constant system is consistent
+//! and the theorem constants are not typos.
+
+use crate::config::ExpConfig;
+use crate::table::Table;
+
+/// EDF case constants (§IV): `c_s = 2.868`, `c_f = 28.412`,
+/// `f_w = 0.811`, `f_f = 0.125`, α = 2.98.
+pub mod edf {
+    /// Fast-machine speed multiplier `c_s`.
+    pub const C_S: f64 = 2.868;
+    /// Fast-vs-total speed fraction `c_f`.
+    pub const C_F: f64 = 28.412;
+    /// Slow-task utilization fraction `f_w`.
+    pub const F_W: f64 = 0.811;
+    /// Fast-machine processing fraction `f_f`.
+    pub const F_F: f64 = 0.125;
+    /// Theorem I.3 augmentation.
+    pub const ALPHA: f64 = 2.98;
+}
+
+/// RMS case constants (§V): `c_s = 2.00`, `c_f = 13.25`, `f_w = 0.72`,
+/// `f_f = 0.1956`, α = 3.34.
+pub mod rms {
+    /// Fast-machine speed multiplier `c_s`.
+    pub const C_S: f64 = 2.00;
+    /// Fast-vs-total speed fraction `c_f`.
+    pub const C_F: f64 = 13.25;
+    /// Slow-task utilization fraction `f_w`.
+    pub const F_W: f64 = 0.72;
+    /// Fast-machine processing fraction `f_f`.
+    pub const F_F: f64 = 0.1956;
+    /// Theorem I.4 augmentation.
+    pub const ALPHA: f64 = 3.34;
+}
+
+/// The medium-machine fraction `f_{i,m} ≥ (1 + αf_f − α) / (α(1/c_s − 1))`
+/// of Lemmas IV.7/V.7.
+pub fn f_im(alpha: f64, f_f: f64, c_s: f64) -> f64 {
+    (1.0 + alpha * f_f - alpha) / (alpha * (1.0 / c_s - 1.0))
+}
+
+/// All verified inequalities: `(label, value, paper's claim)`.
+pub fn inequalities() -> Vec<(&'static str, f64, &'static str)> {
+    use std::f64::consts::{LN_2, SQRT_2};
+    let mut v = Vec::new();
+    // — EDF —
+    {
+        use edf::*;
+        v.push((
+            "EDF fast-case pivot (α−1)(1/2 + 1/2c_f − 1/(c_s·c_f))",
+            (ALPHA - 1.0) * (0.5 + 0.5 / C_F - 1.0 / (C_S * C_F)),
+            "≈1.005 (Lemma IV.1; actually 1.00055 — paper over-rounds)",
+        ));
+        v.push((
+            "EDF slow-case fast-load α·c_f·f_f·(1−f_w)/2",
+            ALPHA * C_F * F_F * (1.0 - F_W) / 2.0,
+            ">1 (Lemma IV.5)",
+        ));
+        v.push((
+            "EDF slow-case medium-load f_im·f_w·α/2",
+            f_im(ALPHA, F_F, C_S) * F_W * ALPHA / 2.0,
+            ">1 (Lemma IV.4)",
+        ));
+    }
+    // — RMS —
+    {
+        use rms::*;
+        v.push((
+            "RMS fast-case pivot (α−1)(√2−1 + (ln2 − 1/c_s)/c_f)",
+            (ALPHA - 1.0) * (SQRT_2 - 1.0 + (LN_2 - 1.0 / C_S) / C_F),
+            "≈1.004 (Lemma V.1)",
+        ));
+        v.push((
+            "RMS slow-case fast-load (√2−1)·α·c_f·f_f·(1−f_w)",
+            (SQRT_2 - 1.0) * ALPHA * C_F * F_F * (1.0 - F_W),
+            "≈1.003 (Lemma V.5)",
+        ));
+        v.push((
+            "RMS slow-case medium-load (√2−1)·f_im·f_w·α",
+            (SQRT_2 - 1.0) * f_im(ALPHA, F_F, C_S) * F_W * ALPHA,
+            ">1 (Lemma V.4)",
+        ));
+    }
+    v
+}
+
+/// E10: the constants table.
+pub fn e10(_cfg: &ExpConfig) -> Vec<Table> {
+    let mut t = Table::new(
+        "E10: verification of the paper's constant system",
+        &["inequality", "value", "paper claims", "holds (>1)"],
+    );
+    for (label, value, claim) in inequalities() {
+        t.push_row(vec![
+            label.to_string(),
+            format!("{value:.5}"),
+            claim.to_string(),
+            if value > 1.0 { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t.note("constants: EDF c_s=2.868 c_f=28.412 f_w=0.811 f_f=0.125 α=2.98; RMS c_s=2.00 c_f=13.25 f_w=0.72 f_f=0.1956 α=3.34");
+    t.note("f_im = (1+αf_f−α)/(α(1/c_s−1)) — Lemmas IV.7/V.7");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_inequality_clears_one() {
+        for (label, value, _) in inequalities() {
+            assert!(value > 1.0, "{label} = {value} ≤ 1");
+        }
+    }
+
+    #[test]
+    fn values_match_papers_approximations() {
+        let v = inequalities();
+        // The paper prints "≈ 1.005" but the expression evaluates to
+        // 1.00055 — it clears 1 either way (the paper over-rounded).
+        assert!((v[0].1 - 1.00055).abs() < 2e-4, "EDF pivot {}", v[0].1);
+        assert!((v[3].1 - 1.004).abs() < 2e-3, "RMS pivot {}", v[3].1);
+        assert!((v[4].1 - 1.003).abs() < 2e-3, "RMS fast-load {}", v[4].1);
+    }
+
+    #[test]
+    fn f_im_is_positive_fraction_for_edf() {
+        let f = f_im(edf::ALPHA, edf::F_F, edf::C_S);
+        assert!(f > 0.0 && f <= 1.0, "EDF f_im = {f}");
+        // The RMS constant system pushes f_im slightly above 1 — a known
+        // artifact of the paper's rounding, noted in EXPERIMENTS.md.
+        let f = f_im(rms::ALPHA, rms::F_F, rms::C_S);
+        assert!(f > 1.0 && f < 1.02, "RMS f_im = {f}");
+    }
+
+    #[test]
+    fn e10_table_says_yes_everywhere() {
+        let t = &e10(&ExpConfig::quick())[0];
+        assert_eq!(t.rows.len(), 6);
+        for row in &t.rows {
+            assert_eq!(row[3], "yes", "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Experiment E6: running-time scaling of the feasibility test.
+//!
+//! §III claims `O(n log n + n·m)` total work. We time the first-fit scan
+//! (sorting included) over geometric sweeps of `n` (machines fixed) and of
+//! `m` (tasks fixed) and report nanoseconds per `n·m` admission check,
+//! which should stay roughly flat, plus a linear fit of time vs `n·m`.
+
+use crate::config::ExpConfig;
+use crate::stats::linear_fit;
+use crate::table::Table;
+use hetfeas_model::Augmentation;
+use hetfeas_partition::{first_fit, first_fit_instrumented, EdfAdmission, ScanStats};
+use hetfeas_workload::{PeriodMenu, PlatformSpec, UtilizationSampler, WorkloadSpec};
+use std::time::Instant;
+
+/// Median-of-`reps` wall time of one first-fit run, in nanoseconds.
+fn time_first_fit(spec: &WorkloadSpec, seed: u64, reps: usize) -> Option<f64> {
+    let inst = spec.generate(seed, 0)?;
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            let out = first_fit(&inst.tasks, &inst.platform, Augmentation::NONE, &EdfAdmission);
+            let dt = start.elapsed().as_nanos() as f64;
+            std::hint::black_box(&out);
+            dt
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    Some(times[times.len() / 2])
+}
+
+/// E6: scaling tables (time vs n, time vs m).
+pub fn e6(cfg: &ExpConfig) -> Vec<Table> {
+    // High load so the scan visits many machines per task (worst-case-ish).
+    let u_norm = 0.9;
+    let reps = 5;
+    let mut tables = Vec::new();
+
+    // --- sweep n, m fixed ---
+    let m_fixed = 16;
+    let n_values: &[usize] = if cfg.samples <= 50 {
+        &[512, 1024, 2048, 4096]
+    } else {
+        &[1024, 2048, 4096, 8192, 16384, 32768, 65536]
+    };
+    let mut t1 = Table::new(
+        "E6a: running time vs n (m = 16)",
+        &["n", "m", "time (µs)", "ns / (n·m)"],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (i, &n) in n_values.iter().enumerate() {
+        let spec = WorkloadSpec {
+            n_tasks: n,
+            normalized_utilization: u_norm,
+            platform: PlatformSpec::UniformRandom { m: m_fixed, lo: 1, hi: 8 },
+            sampler: UtilizationSampler::UUniFastCapped,
+            periods: PeriodMenu::standard(),
+        };
+        if let Some(ns) = time_first_fit(&spec, cfg.cell_seed(i as u64), reps) {
+            xs.push((n * m_fixed) as f64);
+            ys.push(ns);
+            t1.push_row(vec![
+                n.to_string(),
+                m_fixed.to_string(),
+                format!("{:.1}", ns / 1e3),
+                format!("{:.2}", ns / (n * m_fixed) as f64),
+            ]);
+        }
+    }
+    let (_, slope, r2) = linear_fit(&xs, &ys);
+    t1.note(format!(
+        "linear fit time ≈ a + b·(n·m): b = {slope:.2} ns per unit, r² = {r2:.4} (O(nm) ⇒ r² ≈ 1)"
+    ));
+    tables.push(t1);
+
+    // --- sweep m, n fixed ---
+    let n_fixed = if cfg.samples <= 50 { 2048 } else { 8192 };
+    let m_values: &[usize] = &[2, 4, 8, 16, 32, 64, 128];
+    let mut t2 = Table::new(
+        format!("E6b: running time vs m (n = {n_fixed})"),
+        &["n", "m", "time (µs)", "ns / (n·m)"],
+    );
+    for (i, &m) in m_values.iter().enumerate() {
+        let spec = WorkloadSpec {
+            n_tasks: n_fixed,
+            normalized_utilization: u_norm,
+            platform: PlatformSpec::UniformRandom { m, lo: 1, hi: 8 },
+            sampler: UtilizationSampler::UUniFastCapped,
+            periods: PeriodMenu::standard(),
+        };
+        if let Some(ns) = time_first_fit(&spec, cfg.cell_seed(100 + i as u64), reps) {
+            t2.push_row(vec![
+                n_fixed.to_string(),
+                m.to_string(),
+                format!("{:.1}", ns / 1e3),
+                format!("{:.2}", ns / (n_fixed * m) as f64),
+            ]);
+        }
+    }
+    t2.note("per-(n·m) cost falling with m means the scan stops early; the bound is worst-case".to_string());
+    tables.push(t2);
+
+    // --- exact operation counts (machine-independent) ---
+    let mut t3 = Table::new(
+        "E6c: exact admission-check counts (instrumented first-fit)",
+        &["n", "m", "U/S", "checks", "n·m bound", "checks/(n·m)"],
+    );
+    for (i, &(n, m, u)) in [
+        (256usize, 8usize, 0.5f64),
+        (256, 8, 0.9),
+        (256, 8, 0.99),
+        (1024, 16, 0.9),
+        (4096, 32, 0.9),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let spec = WorkloadSpec {
+            n_tasks: n,
+            normalized_utilization: u,
+            platform: PlatformSpec::UniformRandom { m, lo: 1, hi: 8 },
+            sampler: UtilizationSampler::UUniFastCapped,
+            periods: PeriodMenu::standard(),
+        };
+        if let Some(inst) = spec.generate(cfg.cell_seed(200 + i as u64), 0) {
+            let (_, stats) = first_fit_instrumented(
+                &inst.tasks,
+                &inst.platform,
+                Augmentation::NONE,
+                &EdfAdmission,
+            );
+            let bound = ScanStats::worst_case(n, m);
+            t3.push_row(vec![
+                n.to_string(),
+                m.to_string(),
+                format!("{u:.2}"),
+                stats.admission_checks.to_string(),
+                bound.to_string(),
+                format!("{:.3}", stats.admission_checks as f64 / bound as f64),
+            ]);
+        }
+    }
+    t3.note("checks ≤ n·m always; the ratio grows with load as tasks walk further up the speed ladder");
+    tables.push(t3);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_produces_two_tables_with_fits() {
+        let cfg = ExpConfig { samples: 10, seed: 1, workers: 1 };
+        let ts = e6(&cfg);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[0].rows.len(), 4); // quick n-sweep
+        assert!(ts[0].notes[0].contains("r²"));
+        assert_eq!(ts[1].rows.len(), 7);
+        // E6c: the hard bound must hold in every row.
+        for row in &ts[2].rows {
+            let checks: u64 = row[3].parse().unwrap();
+            let bound: u64 = row[4].parse().unwrap();
+            assert!(checks <= bound, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn timings_are_positive() {
+        let cfg = ExpConfig { samples: 10, seed: 1, workers: 1 };
+        for t in e6(&cfg) {
+            for row in &t.rows {
+                let us: f64 = row[2].parse().unwrap();
+                assert!(us > 0.0);
+            }
+        }
+    }
+}

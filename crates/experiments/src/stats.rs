@@ -1,0 +1,89 @@
+//! Small summary-statistics helpers for experiment tables.
+
+/// Mean of a sample (0.0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Maximum (NaN-free inputs assumed; 0.0 for empty).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(
+        if xs.is_empty() { 0.0 } else { f64::NEG_INFINITY },
+    )
+}
+
+/// `q`-th percentile (0 ≤ q ≤ 100) by the nearest-rank method on a copy.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let rank = ((q / 100.0) * v.len() as f64).ceil() as usize;
+    v[rank.clamp(1, v.len()) - 1]
+}
+
+/// Ordinary least squares fit `y ≈ a + b·x`; returns `(a, b, r²)`.
+/// Degenerate inputs (fewer than 2 points or zero x-variance) give slope 0.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    if xs.len() < 2 {
+        return (ys.first().copied().unwrap_or(0.0), 0.0, 1.0);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    if sxx == 0.0 {
+        return (my, 0.0, 1.0);
+    }
+    let b = sxy / sxx;
+    let a = my - b * mx;
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    (a, b, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_max() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(max(&[1.0, 5.0, 3.0]), 5.0);
+        assert_eq!(max(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 95.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let (a, b, r2) = linear_fit(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate() {
+        assert_eq!(linear_fit(&[1.0], &[7.0]), (7.0, 0.0, 1.0));
+        let (a, b, _) = linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+        assert_eq!((a, b), (2.0, 0.0));
+    }
+}

@@ -1,0 +1,196 @@
+//! Text/CSV table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A rendered experiment result: title, column headers, string rows and
+/// free-form notes (assumptions, bound checks, sample counts).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    /// Experiment title, e.g. `E1: EDF vs partitioned OPT`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+    /// Footnotes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Append a footnote.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render as an aligned monospace table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String], widths: &[usize]| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row, &widths);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "# {n}");
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavoured Markdown table (title as a heading,
+    /// notes as a trailing bullet list).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                let _ = writeln!(out, "* {n}");
+            }
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish quoting; headers first, notes as
+    /// trailing `#` comment lines).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "# {n}");
+        }
+        out
+    }
+}
+
+/// Format a float with 3 decimals (the tables' standard precision).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a ratio as percent with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        let mut t = Table::new("demo", &["k", "value"]);
+        t.push_row(vec!["1".into(), "0.500".into()]);
+        t.push_row(vec!["10".into(), "1.250".into()]);
+        t.note("n = 2 samples");
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let r = demo().render();
+        assert!(r.contains("== demo =="));
+        let lines: Vec<&str> = r.lines().collect();
+        assert!(lines[1].ends_with("value"));
+        assert!(lines[3].ends_with("0.500"));
+        assert!(lines[4].starts_with("10"));
+        assert!(r.contains("# n = 2 samples"));
+    }
+
+    #[test]
+    fn markdown_output() {
+        let m = demo().to_markdown();
+        assert!(m.starts_with("### demo"));
+        assert!(m.contains("| k | value |"));
+        assert!(m.contains("|---|---|"));
+        assert!(m.contains("| 10 | 1.250 |"));
+        assert!(m.contains("* n = 2 samples"));
+    }
+
+    #[test]
+    fn csv_output() {
+        let c = demo().to_csv();
+        assert!(c.starts_with("k,value\n1,0.500\n10,1.250\n# n = 2 samples"));
+    }
+
+    #[test]
+    fn csv_quotes_special_chars() {
+        let mut t = Table::new("q", &["a"]);
+        t.push_row(vec!["x,y".into()]);
+        t.push_row(vec!["he said \"hi\"".into()]);
+        let c = t.to_csv();
+        assert!(c.contains("\"x,y\""));
+        assert!(c.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.5), "50.0%");
+    }
+}

@@ -1,0 +1,204 @@
+//! Closed-form feasibility condition for the paper's LP.
+//!
+//! The LP of §II (constraints (1)–(4)) is exactly the fractional/migrative
+//! feasibility condition for implicit-deadline sporadic tasks on uniform
+//! machines. A classical result (Horvath–Lam–Sethi 1977; Funk–Goossens–
+//! Baruah 2001 for sporadic tasks; the "level algorithm") characterizes it
+//! in closed form: with utilizations sorted `w_1 ≥ … ≥ w_n` and speeds
+//! sorted `s_1 ≥ … ≥ s_m`, a feasible migrative schedule (equivalently, a
+//! feasible LP point) exists iff
+//!
+//! ```text
+//! Σ_{i ≤ k} w_i ≤ Σ_{j ≤ k} s_j   for all k = 1 … min(n, m)−1,   and
+//! Σ_i w_i ≤ Σ_j s_j.
+//! ```
+//!
+//! This gives an `O(n log n + m log m)` *exact* oracle for the paper's
+//! "arbitrary adversary" — cross-validated against the simplex solver in
+//! this crate's property tests.
+
+use hetfeas_model::{Platform, Ratio, TaskSet};
+
+/// Exact LP feasibility via the level-algorithm prefix conditions, in
+/// rational arithmetic.
+pub fn level_feasible(tasks: &TaskSet, platform: &Platform) -> bool {
+    let mut utils: Vec<Ratio> = tasks.iter().map(|t| t.utilization_ratio()).collect();
+    utils.sort_by(|a, b| b.cmp(a));
+    let speeds = platform.speeds_decreasing();
+    level_feasible_sorted(&utils, &speeds)
+}
+
+/// The prefix conditions over pre-sorted (non-increasing) utilizations and
+/// speeds. Exposed for callers that already hold sorted views.
+pub fn level_feasible_sorted(utils_desc: &[Ratio], speeds_desc: &[Ratio]) -> bool {
+    debug_assert!(utils_desc.windows(2).all(|w| w[0] >= w[1]));
+    debug_assert!(speeds_desc.windows(2).all(|w| w[0] >= w[1]));
+    let n = utils_desc.len();
+    let m = speeds_desc.len();
+    if n == 0 {
+        return true;
+    }
+    // Prefix checks for k < min(n, m) plus the total check; note that for
+    // k ≥ m the speed prefix stops growing, so the total check covers all
+    // remaining k at once when n > m, and when n ≤ m the k = n check *is*
+    // the total check.
+    let mut wsum = Ratio::ZERO;
+    let mut ssum = Ratio::ZERO;
+    for k in 0..n.min(m) {
+        wsum += utils_desc[k];
+        ssum += speeds_desc[k];
+        if wsum > ssum {
+            return false;
+        }
+    }
+    if n > m {
+        for &w in &utils_desc[m..] {
+            wsum += w;
+        }
+        if wsum > ssum {
+            return false;
+        }
+    }
+    true
+}
+
+/// `f64` variant of [`level_feasible`] with the workspace tolerance — used
+/// where utilizations are only available as floats.
+pub fn level_feasible_f64(utils: &[f64], speeds: &[f64]) -> bool {
+    let mut u = utils.to_vec();
+    u.sort_by(|a, b| b.partial_cmp(a).expect("utilizations must not be NaN"));
+    let mut s = speeds.to_vec();
+    s.sort_by(|a, b| b.partial_cmp(a).expect("speeds must not be NaN"));
+    let n = u.len();
+    let m = s.len();
+    let mut wsum = 0.0;
+    let mut ssum = 0.0;
+    for k in 0..n.min(m) {
+        wsum += u[k];
+        ssum += s[k];
+        if !hetfeas_model::approx_le(wsum, ssum) {
+            return false;
+        }
+    }
+    if n > m {
+        wsum += u[m..].iter().sum::<f64>();
+        if !hetfeas_model::approx_le(wsum, ssum) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The minimum uniform speed-scaling factor `β` such that the platform with
+/// speeds `β·s_j` is LP-feasible for `tasks` — i.e. the exact "how much
+/// faster must the adversary's machines be" quantity. Computed in closed
+/// form as the max over the prefix ratios:
+///
+/// ```text
+/// β = max( max_{k<min(n,m)} (Σ_{i≤k} w_i)/(Σ_{j≤k} s_j),  (Σ w)/(Σ s) )
+/// ```
+pub fn level_scaling_factor(tasks: &TaskSet, platform: &Platform) -> f64 {
+    let mut utils: Vec<f64> = tasks.iter().map(|t| t.utilization()).collect();
+    utils.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    let mut speeds: Vec<f64> = platform.iter().map(|mc| mc.speed_f64()).collect();
+    speeds.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    let n = utils.len();
+    let m = speeds.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut beta: f64 = 0.0;
+    let mut wsum = 0.0;
+    let mut ssum = 0.0;
+    for k in 0..n.min(m) {
+        wsum += utils[k];
+        ssum += speeds[k];
+        beta = beta.max(wsum / ssum);
+    }
+    if n > m {
+        wsum += utils[m..].iter().sum::<f64>();
+        beta = beta.max(wsum / ssum);
+    }
+    beta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(pairs: &[(u64, u64)]) -> TaskSet {
+        TaskSet::from_pairs(pairs.iter().copied()).unwrap()
+    }
+
+    fn pf(speeds: &[u64]) -> Platform {
+        Platform::from_int_speeds(speeds.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn single_machine_reduces_to_utilization() {
+        let p = pf(&[1]);
+        assert!(level_feasible(&ts(&[(1, 2), (1, 2)]), &p)); // util 1.0
+        assert!(!level_feasible(&ts(&[(1, 2), (1, 2), (1, 100)]), &p));
+    }
+
+    #[test]
+    fn heavy_task_needs_fast_machine() {
+        // w = 1.5 on speeds [1,1]: total speed 2 suffices in sum, but no
+        // single machine can host the heaviest prefix: 1.5 > 1.
+        assert!(!level_feasible(&ts(&[(3, 2)]), &pf(&[1, 1])));
+        assert!(level_feasible(&ts(&[(3, 2)]), &pf(&[2, 1])));
+    }
+
+    #[test]
+    fn prefix_condition_bites_in_the_middle() {
+        // w = (1.5, 1.5, 0.1), s = (2, 1, 1): k=1: 1.5 ≤ 2 ✓;
+        // k=2: 3.0 > 3.0? equal ✓; k=3 total 3.1 > 4? 3.1 ≤ 4 ✓ → feasible.
+        assert!(level_feasible(&ts(&[(3, 2), (3, 2), (1, 10)]), &pf(&[2, 1, 1])));
+        // w = (1.9, 1.9), s = (2, 1, 1): k=2: 3.8 > 3 → infeasible.
+        assert!(!level_feasible(&ts(&[(19, 10), (19, 10)]), &pf(&[2, 1, 1])));
+    }
+
+    #[test]
+    fn more_tasks_than_machines_uses_total() {
+        // 5 tasks of util 0.5 on speeds [1,1]: prefixes fine, total 2.5 > 2.
+        assert!(!level_feasible(&ts(&[(1, 2); 5]), &pf(&[1, 1])));
+        assert!(level_feasible(&ts(&[(1, 2); 4]), &pf(&[1, 1])));
+    }
+
+    #[test]
+    fn empty_taskset_feasible() {
+        assert!(level_feasible(&TaskSet::empty(), &pf(&[1])));
+    }
+
+    #[test]
+    fn f64_variant_agrees() {
+        let t = ts(&[(3, 2), (3, 2), (1, 10)]);
+        let p = pf(&[2, 1, 1]);
+        let utils: Vec<f64> = t.iter().map(|x| x.utilization()).collect();
+        let speeds: Vec<f64> = p.iter().map(|m| m.speed_f64()).collect();
+        assert_eq!(level_feasible(&t, &p), level_feasible_f64(&utils, &speeds));
+    }
+
+    #[test]
+    fn scaling_factor_is_the_feasibility_threshold() {
+        let t = ts(&[(19, 10), (19, 10)]); // prefix-2 violation on [2,1,1]
+        let p = pf(&[2, 1, 1]);
+        let beta = level_scaling_factor(&t, &p);
+        assert!((beta - 3.8 / 3.0).abs() < 1e-12);
+        // Scaling speeds by β makes it exactly feasible.
+        let scaled = Platform::from_f64_speeds(p.iter().map(|m| m.speed_f64() * beta)).unwrap();
+        assert!(level_feasible(&t, &scaled));
+        // And by slightly less does not.
+        let under =
+            Platform::from_f64_speeds(p.iter().map(|m| m.speed_f64() * (beta - 1e-3))).unwrap();
+        assert!(!level_feasible(&t, &under));
+    }
+
+    #[test]
+    fn scaling_factor_of_feasible_set_at_most_one() {
+        let t = ts(&[(1, 2), (1, 4)]);
+        let p = pf(&[1]);
+        assert!(level_scaling_factor(&t, &p) <= 1.0);
+        assert_eq!(level_scaling_factor(&TaskSet::empty(), &p), 0.0);
+    }
+}

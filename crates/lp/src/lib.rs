@@ -1,0 +1,60 @@
+//! # hetfeas-lp
+//!
+//! The paper's natural LP (§II, constraints (1)–(4)) — the "arbitrary
+//! adversary" its Theorems I.3/I.4 compare against — computed two
+//! independent ways:
+//!
+//! * [`simplex`] — a from-scratch dense two-phase primal simplex solver,
+//!   with [`model::build_paper_lp`] constructing the paper's LP verbatim;
+//! * [`level`] — the exact closed-form characterization of the same
+//!   feasibility region (the level-algorithm prefix conditions), in
+//!   rational arithmetic.
+//!
+//! The experiments use [`lp_feasible`] (closed form; exact and O(n log n))
+//! as the oracle, and the property tests assert it coincides with the
+//! simplex answer.
+
+#![warn(missing_docs)]
+
+pub mod level;
+pub mod model;
+pub mod simplex;
+
+pub use level::{level_feasible, level_feasible_f64, level_feasible_sorted, level_scaling_factor};
+pub use model::{build_paper_lp, lp_feasible_simplex, solve_paper_lp, LpPoint};
+pub use simplex::{LinearProgram, LpStatus, Relation};
+
+use hetfeas_model::{Platform, TaskSet};
+
+/// Exact feasibility of the paper's LP — the migrative-adversary oracle.
+///
+/// Delegates to the closed-form level condition, which is provably
+/// equivalent to the LP and runs in `O(n log n + m log m)`.
+///
+/// ```
+/// use hetfeas_lp::lp_feasible;
+/// use hetfeas_model::{Platform, TaskSet};
+///
+/// let platform = Platform::from_int_speeds([2, 1, 1]).unwrap();
+/// // Two 1.5-utilization tasks: top-2 prefix 3.0 ≤ 2 + 1 — feasible.
+/// assert!(lp_feasible(&TaskSet::from_pairs([(3, 2), (3, 2)]).unwrap(), &platform));
+/// // Two 1.9s: prefix 3.8 > 3 — no migrative schedule exists.
+/// assert!(!lp_feasible(&TaskSet::from_pairs([(19, 10), (19, 10)]).unwrap(), &platform));
+/// ```
+pub fn lp_feasible(tasks: &TaskSet, platform: &Platform) -> bool {
+    level_feasible(tasks, platform)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_delegates_to_level() {
+        let t = TaskSet::from_pairs([(1, 2), (1, 2)]).unwrap();
+        let p = Platform::identical(1).unwrap();
+        assert!(lp_feasible(&t, &p));
+        let t2 = TaskSet::from_pairs([(1, 2), (1, 2), (1, 3)]).unwrap();
+        assert!(!lp_feasible(&t2, &p));
+    }
+}

@@ -1,0 +1,193 @@
+//! Builder for the paper's natural LP (§II, constraints (1)–(4)).
+//!
+//! Variables `u_{i,j}` — the utilization of task `i` assigned to machine
+//! `j` — laid out row-major (`var(i, j) = i·m + j`):
+//!
+//! 1. `Σ_j u_{i,j} = w_i`             (every task fully scheduled)
+//! 2. `Σ_j u_{i,j}/s_j ≤ 1`           (a task never runs in parallel with itself)
+//! 3. `Σ_i u_{i,j}/s_j ≤ 1`           (machine capacity)
+//! 4. `u_{i,j} ≥ 0`                   (implicit: simplex variables are non-negative)
+
+use crate::simplex::{LinearProgram, LpStatus, Relation};
+use hetfeas_model::{Platform, TaskSet};
+
+/// Index of variable `u_{i,j}` in the flat layout.
+#[inline]
+pub fn var(i: usize, j: usize, m: usize) -> usize {
+    i * m + j
+}
+
+/// Build the paper's LP for `tasks` on `platform` (adversary speeds, i.e.
+/// *without* the algorithm's augmentation).
+pub fn build_paper_lp(tasks: &TaskSet, platform: &Platform) -> LinearProgram {
+    let n = tasks.len();
+    let m = platform.len();
+    let mut lp = LinearProgram::new(n * m);
+
+    // (1) Σ_j u_ij = w_i.
+    for i in 0..n {
+        let entries: Vec<(usize, f64)> = (0..m).map(|j| (var(i, j, m), 1.0)).collect();
+        lp.add_sparse_row(&entries, Relation::Eq, tasks[i].utilization());
+    }
+    // (2) Σ_j u_ij / s_j ≤ 1.
+    for i in 0..n {
+        let entries: Vec<(usize, f64)> = (0..m)
+            .map(|j| (var(i, j, m), 1.0 / platform.speed_f64(j)))
+            .collect();
+        lp.add_sparse_row(&entries, Relation::Le, 1.0);
+    }
+    // (3) Σ_i u_ij / s_j ≤ 1.
+    for j in 0..m {
+        let inv = 1.0 / platform.speed_f64(j);
+        let entries: Vec<(usize, f64)> = (0..n).map(|i| (var(i, j, m), inv)).collect();
+        lp.add_sparse_row(&entries, Relation::Le, 1.0);
+    }
+    lp
+}
+
+/// A solved feasible LP point, reshaped for inspection.
+#[derive(Debug, Clone)]
+pub struct LpPoint {
+    n: usize,
+    m: usize,
+    u: Vec<f64>,
+}
+
+impl LpPoint {
+    /// `u_{i,j}` — utilization of task `i` on machine `j`.
+    #[inline]
+    pub fn u(&self, i: usize, j: usize) -> f64 {
+        self.u[var(i, j, self.m)]
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.n
+    }
+
+    /// Number of machines.
+    pub fn n_machines(&self) -> usize {
+        self.m
+    }
+
+    /// Verify the point satisfies constraints (1)–(4) within `tol`.
+    pub fn validate(&self, tasks: &TaskSet, platform: &Platform, tol: f64) -> bool {
+        for i in 0..self.n {
+            let total: f64 = (0..self.m).map(|j| self.u(i, j)).sum();
+            if (total - tasks[i].utilization()).abs() > tol {
+                return false;
+            }
+            let frac: f64 = (0..self.m)
+                .map(|j| self.u(i, j) / platform.speed_f64(j))
+                .sum();
+            if frac > 1.0 + tol {
+                return false;
+            }
+        }
+        for j in 0..self.m {
+            let cap: f64 = (0..self.n)
+                .map(|i| self.u(i, j) / platform.speed_f64(j))
+                .sum();
+            if cap > 1.0 + tol {
+                return false;
+            }
+        }
+        self.u.iter().all(|&v| v >= -tol)
+    }
+}
+
+/// Solve the paper's LP; `Some(point)` when feasible.
+pub fn solve_paper_lp(tasks: &TaskSet, platform: &Platform) -> Option<LpPoint> {
+    if tasks.is_empty() {
+        return Some(LpPoint { n: 0, m: platform.len(), u: Vec::new() });
+    }
+    match build_paper_lp(tasks, platform).solve() {
+        LpStatus::Optimal { x, .. } => Some(LpPoint {
+            n: tasks.len(),
+            m: platform.len(),
+            u: x,
+        }),
+        _ => None,
+    }
+}
+
+/// LP feasibility via the simplex solver (the slow, independent oracle; the
+/// closed form in [`crate::level`] is the fast one).
+pub fn lp_feasible_simplex(tasks: &TaskSet, platform: &Platform) -> bool {
+    solve_paper_lp(tasks, platform).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::level_feasible;
+
+    fn ts(pairs: &[(u64, u64)]) -> TaskSet {
+        TaskSet::from_pairs(pairs.iter().copied()).unwrap()
+    }
+
+    fn pf(speeds: &[u64]) -> Platform {
+        Platform::from_int_speeds(speeds.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn variable_layout() {
+        assert_eq!(var(0, 0, 3), 0);
+        assert_eq!(var(0, 2, 3), 2);
+        assert_eq!(var(2, 1, 3), 7);
+    }
+
+    #[test]
+    fn lp_dimensions() {
+        let lp = build_paper_lp(&ts(&[(1, 2), (1, 3)]), &pf(&[1, 2, 3]));
+        assert_eq!(lp.n_vars(), 6);
+        assert_eq!(lp.n_rows(), 2 + 2 + 3);
+    }
+
+    #[test]
+    fn feasible_point_validates() {
+        let t = ts(&[(3, 2), (3, 2), (1, 10)]); // 1.5, 1.5, 0.1
+        let p = pf(&[2, 1, 1]);
+        let point = solve_paper_lp(&t, &p).expect("level-feasible instance");
+        assert!(point.validate(&t, &p, 1e-6));
+        assert_eq!(point.n_tasks(), 3);
+        assert_eq!(point.n_machines(), 3);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // Heaviest task exceeds the fastest machine.
+        assert!(solve_paper_lp(&ts(&[(3, 1)]), &pf(&[2])).is_none());
+        // Total utilization exceeds total speed.
+        assert!(solve_paper_lp(&ts(&[(1, 2); 5]), &pf(&[1, 1])).is_none());
+    }
+
+    #[test]
+    fn agrees_with_level_on_small_grid() {
+        // Exhaustive-ish cross validation on a small deterministic grid.
+        let speeds_options: [&[u64]; 3] = [&[1], &[1, 2], &[1, 1, 4]];
+        let pairs_options: [&[(u64, u64)]; 5] = [
+            &[(1, 2)],
+            &[(3, 2), (1, 2)],
+            &[(3, 2), (3, 2), (1, 10)],
+            &[(1, 2), (1, 2), (1, 2), (1, 2), (1, 2)],
+            &[(5, 2), (1, 4)],
+        ];
+        for sp in speeds_options {
+            for pr in pairs_options {
+                let t = ts(pr);
+                let p = pf(sp);
+                assert_eq!(
+                    lp_feasible_simplex(&t, &p),
+                    level_feasible(&t, &p),
+                    "simplex vs level disagree on {t} / {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_taskset_feasible() {
+        assert!(lp_feasible_simplex(&TaskSet::empty(), &pf(&[1])));
+    }
+}

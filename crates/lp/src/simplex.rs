@@ -1,0 +1,514 @@
+//! A from-scratch dense two-phase primal simplex solver.
+//!
+//! The paper's analysis revolves around the natural LP (§II, constraints
+//! (1)–(4)). The paper never solves it at runtime — and neither does our
+//! feasibility test — but the experiments need LP feasibility as the
+//! "arbitrary adversary" ground truth (E3/E4), and we want it computed two
+//! independent ways: this general solver, and the closed-form level
+//! condition in [`crate::level`]. The two are cross-validated by property
+//! tests.
+//!
+//! Design: textbook tableau simplex over `f64`.
+//!
+//! * Problems are stated as `minimize c·x` subject to mixed `≤ / ≥ / =`
+//!   rows and `x ≥ 0`, then converted to standard form with slack and
+//!   artificial variables.
+//! * Phase 1 minimizes the sum of artificials; a positive optimum means
+//!   infeasible.
+//! * Bland's rule guards against cycling; a small tolerance guards
+//!   degenerate pivots.
+//!
+//! Sizes in this workspace stay modest (≲ 200 rows × 1000 columns), so a
+//! dense tableau with contiguous row storage is the cache-friendly choice
+//! (see the perf-book guidance on flat storage; no per-pivot allocation).
+
+use core::fmt;
+
+/// Relation of a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ a_j x_j ≤ b`
+    Le,
+    /// `Σ a_j x_j ≥ b`
+    Ge,
+    /// `Σ a_j x_j = b`
+    Eq,
+}
+
+/// A linear program `minimize c·x  s.t.  rows, x ≥ 0`.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    n_vars: usize,
+    objective: Vec<f64>,
+    rows: Vec<(Vec<f64>, Relation, f64)>,
+}
+
+/// Solver outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpStatus {
+    /// Optimal solution found: primal values and objective.
+    Optimal {
+        /// Values of the original variables.
+        x: Vec<f64>,
+        /// Objective value `c·x`.
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+impl LpStatus {
+    /// True when a feasible (optimal) point was found.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, LpStatus::Optimal { .. })
+    }
+}
+
+impl fmt::Display for LpStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpStatus::Optimal { objective, .. } => write!(f, "optimal({objective})"),
+            LpStatus::Infeasible => write!(f, "infeasible"),
+            LpStatus::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// Numerical tolerance for pivoting and feasibility decisions.
+const TOL: f64 = 1e-9;
+
+impl LinearProgram {
+    /// New LP over `n_vars` non-negative variables with zero objective
+    /// (a pure feasibility problem until [`set_objective`] is called).
+    ///
+    /// [`set_objective`]: LinearProgram::set_objective
+    pub fn new(n_vars: usize) -> Self {
+        LinearProgram {
+            n_vars,
+            objective: vec![0.0; n_vars],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of constraint rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Set the minimization objective (length must equal `n_vars`).
+    pub fn set_objective(&mut self, c: Vec<f64>) {
+        assert_eq!(c.len(), self.n_vars, "objective length mismatch");
+        self.objective = c;
+    }
+
+    /// Add a constraint row given as a dense coefficient vector.
+    pub fn add_row(&mut self, coeffs: Vec<f64>, rel: Relation, rhs: f64) {
+        assert_eq!(coeffs.len(), self.n_vars, "row length mismatch");
+        self.rows.push((coeffs, rel, rhs));
+    }
+
+    /// Add a sparse constraint row from `(index, coefficient)` pairs.
+    pub fn add_sparse_row(&mut self, entries: &[(usize, f64)], rel: Relation, rhs: f64) {
+        let mut coeffs = vec![0.0; self.n_vars];
+        for &(j, a) in entries {
+            assert!(j < self.n_vars, "variable index out of range");
+            coeffs[j] += a;
+        }
+        self.rows.push((coeffs, rel, rhs));
+    }
+
+    /// Solve the LP by two-phase primal simplex.
+    pub fn solve(&self) -> LpStatus {
+        Tableau::build(self).solve()
+    }
+}
+
+/// Dense simplex tableau in standard form.
+struct Tableau {
+    m: usize,                 // rows
+    total: usize,             // structural + slack + artificial columns
+    n_structural: usize,      // original variables
+    n_artificial: usize,
+    a: Vec<f64>,              // m × total, row-major
+    b: Vec<f64>,              // m
+    basis: Vec<usize>,        // basic column per row
+    cost: Vec<f64>,           // phase-2 cost per column (structural only non-zero)
+    artificial_start: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let m = lp.rows.len();
+        // Count slacks (one per inequality) and artificials (one per row
+        // that lacks an obvious basic slack).
+        let n_slack = lp
+            .rows
+            .iter()
+            .filter(|(_, rel, _)| *rel != Relation::Eq)
+            .count();
+        let n = lp.n_vars;
+        // Worst case every row needs an artificial.
+        let artificial_start = n + n_slack;
+        let total_cap = artificial_start + m;
+
+        let mut a = vec![0.0; m * total_cap];
+        let mut b = vec![0.0; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut n_artificial = 0;
+        let mut slack_col = n;
+
+        for (i, (coeffs, rel, rhs)) in lp.rows.iter().enumerate() {
+            let row = &mut a[i * total_cap..(i + 1) * total_cap];
+            row[..n].copy_from_slice(coeffs);
+            let mut rhs = *rhs;
+            let mut rel = *rel;
+            // Normalize to non-negative rhs.
+            if rhs < 0.0 {
+                for v in row[..n].iter_mut() {
+                    *v = -*v;
+                }
+                rhs = -rhs;
+                rel = match rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+            b[i] = rhs;
+            match rel {
+                Relation::Le => {
+                    row[slack_col] = 1.0;
+                    basis[i] = slack_col; // slack is basic (rhs ≥ 0)
+                    slack_col += 1;
+                }
+                Relation::Ge => {
+                    row[slack_col] = -1.0; // surplus
+                    slack_col += 1;
+                    let art = artificial_start + n_artificial;
+                    row[art] = 1.0;
+                    basis[i] = art;
+                    n_artificial += 1;
+                }
+                Relation::Eq => {
+                    let art = artificial_start + n_artificial;
+                    row[art] = 1.0;
+                    basis[i] = art;
+                    n_artificial += 1;
+                }
+            }
+        }
+
+        let total = artificial_start + n_artificial;
+        // Compact rows to the true width.
+        let mut compact = vec![0.0; m * total];
+        for i in 0..m {
+            compact[i * total..(i + 1) * total]
+                .copy_from_slice(&a[i * total_cap..i * total_cap + total]);
+        }
+
+        let mut cost = vec![0.0; total];
+        cost[..n].copy_from_slice(&lp.objective);
+
+        Tableau {
+            m,
+            total,
+            n_structural: n,
+            n_artificial,
+            a: compact,
+            b,
+            basis,
+            cost,
+            artificial_start,
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.total + j]
+    }
+
+    /// Reduced costs for the given cost vector: `c_j − c_B · B⁻¹ A_j`,
+    /// computed directly from the maintained tableau (which stores
+    /// `B⁻¹ A`).
+    fn reduced_costs(&self, cost: &[f64], reduced: &mut [f64]) {
+        reduced.copy_from_slice(cost);
+        for i in 0..self.m {
+            let cb = cost[self.basis[i]];
+            if cb != 0.0 {
+                let row = &self.a[i * self.total..(i + 1) * self.total];
+                for (r, &aij) in reduced.iter_mut().zip(row) {
+                    *r -= cb * aij;
+                }
+            }
+        }
+    }
+
+    /// Run simplex iterations for `cost`, restricted to columns `< limit`.
+    /// Returns false if unbounded.
+    fn iterate(&mut self, cost: &[f64], limit: usize) -> bool {
+        let mut reduced = vec![0.0; self.total];
+        // An iteration cap prevents livelock from numerical noise; Bland's
+        // rule makes cycling impossible in exact arithmetic, so hitting the
+        // cap indicates tolerance trouble — treat as converged (reduced
+        // costs ≈ 0 at that point for our benign instances).
+        let max_iter = 50 * (self.m + self.total) + 1000;
+        for _ in 0..max_iter {
+            self.reduced_costs(cost, &mut reduced);
+            // Bland: entering = smallest index with negative reduced cost.
+            let Some(enter) = (0..limit).find(|&j| reduced[j] < -TOL) else {
+                return true; // optimal
+            };
+            // Ratio test, Bland tie-break on smallest basis column.
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..self.m {
+                let aij = self.at(i, enter);
+                if aij > TOL {
+                    let ratio = self.b[i] / aij;
+                    match leave {
+                        None => leave = Some((i, ratio)),
+                        Some((li, lr)) => {
+                            if ratio < lr - TOL
+                                || (ratio < lr + TOL && self.basis[i] < self.basis[li])
+                            {
+                                leave = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((leave, _)) = leave else {
+                return false; // unbounded
+            };
+            self.pivot(leave, enter);
+        }
+        true
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let total = self.total;
+        let piv = self.at(row, col);
+        debug_assert!(piv.abs() > TOL);
+        // Normalize pivot row.
+        let inv = 1.0 / piv;
+        for j in 0..total {
+            self.a[row * total + j] *= inv;
+        }
+        self.b[row] *= inv;
+        self.a[row * total + col] = 1.0; // exact
+        // Eliminate the column elsewhere.
+        for i in 0..self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.at(i, col);
+            if factor.abs() <= TOL {
+                self.a[i * total + col] = 0.0;
+                continue;
+            }
+            for j in 0..total {
+                let v = self.a[row * total + j];
+                self.a[i * total + j] -= factor * v;
+            }
+            self.a[i * total + col] = 0.0; // exact
+            self.b[i] -= factor * self.b[row];
+            if self.b[i].abs() < TOL {
+                self.b[i] = 0.0;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    fn solve(mut self) -> LpStatus {
+        // Phase 1: minimize the sum of artificials.
+        if self.n_artificial > 0 {
+            let mut phase1 = vec![0.0; self.total];
+            for c in phase1[self.artificial_start..].iter_mut() {
+                *c = 1.0;
+            }
+            // Phase 1 is always bounded (objective ≥ 0).
+            self.iterate(&phase1.clone(), self.total);
+            let obj1: f64 = (0..self.m)
+                .map(|i| {
+                    if self.basis[i] >= self.artificial_start {
+                        self.b[i]
+                    } else {
+                        0.0
+                    }
+                })
+                .sum();
+            if obj1 > 1e-7 {
+                return LpStatus::Infeasible;
+            }
+            // Drive remaining basic artificials out (degenerate rows).
+            for i in 0..self.m {
+                if self.basis[i] >= self.artificial_start {
+                    if let Some(j) = (0..self.artificial_start)
+                        .find(|&j| self.at(i, j).abs() > TOL)
+                    {
+                        self.pivot(i, j);
+                    }
+                    // Otherwise the row is all-zero (redundant) — harmless.
+                }
+            }
+        }
+        // Phase 2 over structural + slack columns only.
+        let cost = self.cost.clone();
+        if !self.iterate(&cost, self.artificial_start) {
+            return LpStatus::Unbounded;
+        }
+        // Extract solution.
+        let mut x = vec![0.0; self.n_structural];
+        for i in 0..self.m {
+            if self.basis[i] < self.n_structural {
+                x[self.basis[i]] = self.b[i];
+            }
+        }
+        let objective = x
+            .iter()
+            .zip(&self.cost[..self.n_structural])
+            .map(|(xi, ci)| xi * ci)
+            .sum();
+        LpStatus::Optimal { x, objective }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_opt(status: &LpStatus, expect: f64) -> Vec<f64> {
+        match status {
+            LpStatus::Optimal { x, objective } => {
+                assert!(
+                    (objective - expect).abs() < 1e-6,
+                    "objective {objective} != {expect}"
+                );
+                x.clone()
+            }
+            other => panic!("expected optimal({expect}), got {other}"),
+        }
+    }
+
+    #[test]
+    fn simple_minimization() {
+        // min x+y s.t. x+2y ≥ 4, 3x+y ≥ 6 → optimum at (8/5, 6/5), obj 14/5.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![1.0, 1.0]);
+        lp.add_row(vec![1.0, 2.0], Relation::Ge, 4.0);
+        lp.add_row(vec![3.0, 1.0], Relation::Ge, 6.0);
+        let x = assert_opt(&lp.solve(), 14.0 / 5.0);
+        assert!((x[0] - 1.6).abs() < 1e-6);
+        assert!((x[1] - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maximization_via_negated_objective() {
+        // max 3x+2y s.t. x+y ≤ 4, x ≤ 2, y ≤ 3 → (2,2), value 10.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![-3.0, -2.0]);
+        lp.add_row(vec![1.0, 1.0], Relation::Le, 4.0);
+        lp.add_row(vec![1.0, 0.0], Relation::Le, 2.0);
+        lp.add_row(vec![0.0, 1.0], Relation::Le, 3.0);
+        assert_opt(&lp.solve(), -10.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min 2x+3y s.t. x+y = 10, x−y = 2 → (6,4), obj 24.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![2.0, 3.0]);
+        lp.add_row(vec![1.0, 1.0], Relation::Eq, 10.0);
+        lp.add_row(vec![1.0, -1.0], Relation::Eq, 2.0);
+        let x = assert_opt(&lp.solve(), 24.0);
+        assert!((x[0] - 6.0).abs() < 1e-6);
+        assert!((x[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x ≤ 1 and x ≥ 2.
+        let mut lp = LinearProgram::new(1);
+        lp.add_row(vec![1.0], Relation::Le, 1.0);
+        lp.add_row(vec![1.0], Relation::Ge, 2.0);
+        assert_eq!(lp.solve(), LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min −x with x ≥ 0 free upward.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(vec![-1.0]);
+        lp.add_row(vec![1.0], Relation::Ge, 0.0);
+        assert_eq!(lp.solve(), LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn pure_feasibility_problem() {
+        // Zero objective: any feasible vertex is optimal with objective 0.
+        let mut lp = LinearProgram::new(2);
+        lp.add_row(vec![1.0, 1.0], Relation::Eq, 1.0);
+        lp.add_row(vec![1.0, 0.0], Relation::Le, 0.7);
+        let st = lp.solve();
+        assert!(st.is_feasible());
+        if let LpStatus::Optimal { x, .. } = st {
+            assert!((x[0] + x[1] - 1.0).abs() < 1e-7);
+            assert!(x[0] <= 0.7 + 1e-7);
+            assert!(x.iter().all(|&v| v >= -1e-9));
+        }
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // x − y ≤ −1 with x,y ≥ 0 → y ≥ x+1 feasible.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![0.0, 1.0]);
+        lp.add_row(vec![1.0, -1.0], Relation::Le, -1.0);
+        let x = assert_opt(&lp.solve(), 1.0);
+        assert!((x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_rows() {
+        let mut lp = LinearProgram::new(4);
+        lp.set_objective(vec![1.0, 1.0, 1.0, 1.0]);
+        lp.add_sparse_row(&[(0, 1.0), (2, 1.0)], Relation::Ge, 2.0);
+        lp.add_sparse_row(&[(1, 1.0), (3, 1.0)], Relation::Ge, 3.0);
+        assert_opt(&lp.solve(), 5.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![-1.0, -1.0]);
+        lp.add_row(vec![1.0, 0.0], Relation::Le, 1.0);
+        lp.add_row(vec![1.0, 0.0], Relation::Le, 1.0);
+        lp.add_row(vec![0.0, 1.0], Relation::Le, 1.0);
+        lp.add_row(vec![1.0, 1.0], Relation::Le, 2.0);
+        assert_opt(&lp.solve(), -2.0);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // x + y = 1 twice: phase 1 leaves a basic artificial on a zero row.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![1.0, 2.0]);
+        lp.add_row(vec![1.0, 1.0], Relation::Eq, 1.0);
+        lp.add_row(vec![1.0, 1.0], Relation::Eq, 1.0);
+        assert_opt(&lp.solve(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn row_length_checked() {
+        let mut lp = LinearProgram::new(2);
+        lp.add_row(vec![1.0], Relation::Le, 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-validation of the two LP oracles and solver properties.
+
+use hetfeas_lp::{
+    build_paper_lp, level_feasible, level_scaling_factor, lp_feasible_simplex, solve_paper_lp,
+    LinearProgram, LpStatus, Relation,
+};
+use hetfeas_model::{Platform, Task, TaskSet};
+use proptest::prelude::*;
+
+fn menu_task() -> impl Strategy<Value = Task> {
+    (1u64..=60, prop::sample::select(vec![10u64, 20, 25, 40, 50, 100]))
+        .prop_map(|(c, p)| Task::implicit(c, p).unwrap())
+}
+
+fn small_set() -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(menu_task(), 1..10).prop_map(TaskSet::new)
+}
+
+fn small_platform() -> impl Strategy<Value = Platform> {
+    prop::collection::vec(1u64..=6, 1..5)
+        .prop_map(|s| Platform::from_int_speeds(s).unwrap())
+}
+
+proptest! {
+    // The headline invariant: the from-scratch simplex and the closed-form
+    // level condition decide the paper's LP identically (away from the
+    // numerical boundary).
+    #[test]
+    fn simplex_matches_level(ts in small_set(), p in small_platform()) {
+        let closed = level_feasible(&ts, &p);
+        let simplex = lp_feasible_simplex(&ts, &p);
+        if closed != simplex {
+            // Only tolerable within f64 noise of the feasibility boundary.
+            let beta = level_scaling_factor(&ts, &p);
+            prop_assert!((beta - 1.0).abs() < 1e-7,
+                "oracles disagree at β = {beta}: {} on {}", ts, p);
+        }
+    }
+
+    // Feasible simplex points satisfy the paper's constraints (1)-(4).
+    #[test]
+    fn solved_points_validate(ts in small_set(), p in small_platform()) {
+        if let Some(point) = solve_paper_lp(&ts, &p) {
+            prop_assert!(point.validate(&ts, &p, 1e-6));
+        }
+    }
+
+    // Monotonicity: adding a machine never breaks feasibility; adding a
+    // task never creates it.
+    #[test]
+    fn lp_monotone(ts in small_set(), p in small_platform(), extra_speed in 1u64..6) {
+        let feasible = level_feasible(&ts, &p);
+        if feasible {
+            let mut speeds: Vec<u64> = Vec::new();
+            for m in p.iter() {
+                speeds.push(m.speed().numer() as u64);
+            }
+            speeds.push(extra_speed);
+            let bigger = Platform::from_int_speeds(speeds).unwrap();
+            prop_assert!(level_feasible(&ts, &bigger));
+        } else {
+            let mut more = ts.clone();
+            more.push(Task::implicit(1, 100).unwrap());
+            prop_assert!(!level_feasible(&more, &p));
+        }
+    }
+
+    // The scaling factor is exactly the feasibility threshold.
+    #[test]
+    fn scaling_factor_is_threshold(ts in small_set(), p in small_platform()) {
+        let beta = level_scaling_factor(&ts, &p);
+        prop_assume!(beta > 0.0);
+        let above: Vec<f64> = p.iter().map(|m| m.speed_f64() * beta * 1.001).collect();
+        let scaled = Platform::from_f64_speeds(above).unwrap();
+        prop_assert!(level_feasible(&ts, &scaled), "β·1.001 must be feasible");
+        let below: Vec<f64> = p.iter().map(|m| m.speed_f64() * beta * 0.999).collect();
+        let scaled = Platform::from_f64_speeds(below).unwrap();
+        prop_assert!(!level_feasible(&ts, &scaled), "β·0.999 must be infeasible");
+    }
+
+    // β ≤ 1 ⇔ feasible (up to the same tolerance).
+    #[test]
+    fn scaling_factor_consistent_with_feasibility(ts in small_set(), p in small_platform()) {
+        let beta = level_scaling_factor(&ts, &p);
+        prop_assume!((beta - 1.0).abs() > 1e-9);
+        prop_assert_eq!(level_feasible(&ts, &p), beta < 1.0);
+    }
+
+    // Generic simplex sanity on random box-constrained LPs:
+    // min Σ c_i x_i  s.t.  x_i ≤ u_i  and  Σ x_i ≥ r with r ≤ Σ u_i is
+    // always feasible, and the optimum matches the greedy solution.
+    #[test]
+    fn simplex_solves_box_problems(
+        c in prop::collection::vec(1.0f64..5.0, 2..6),
+        u in prop::collection::vec(0.5f64..2.0, 2..6),
+        frac in 0.1f64..0.9,
+    ) {
+        let n = c.len().min(u.len());
+        let (c, u) = (&c[..n], &u[..n]);
+        let total: f64 = u.iter().sum();
+        let r = frac * total;
+        let mut lp = LinearProgram::new(n);
+        lp.set_objective(c.to_vec());
+        for i in 0..n {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            lp.add_row(row, Relation::Le, u[i]);
+        }
+        lp.add_row(vec![1.0; n], Relation::Ge, r);
+        match lp.solve() {
+            LpStatus::Optimal { objective, .. } => {
+                // Greedy: fill cheapest coordinates first.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| c[a].partial_cmp(&c[b]).unwrap());
+                let mut need = r;
+                let mut best = 0.0;
+                for &i in &order {
+                    let take = need.min(u[i]);
+                    best += take * c[i];
+                    need -= take;
+                    if need <= 0.0 { break; }
+                }
+                prop_assert!((objective - best).abs() < 1e-6,
+                    "simplex {objective} vs greedy {best}");
+            }
+            other => prop_assert!(false, "expected optimal, got {other}"),
+        }
+    }
+
+    // Paper LP dimensions follow (n, m).
+    #[test]
+    fn paper_lp_dimensions(ts in small_set(), p in small_platform()) {
+        let lp = build_paper_lp(&ts, &p);
+        prop_assert_eq!(lp.n_vars(), ts.len() * p.len());
+        prop_assert_eq!(lp.n_rows(), 2 * ts.len() + p.len());
+    }
+
+    // The paper's Lemma II.1, checked numerically on solved LP points.
+    // NB the paper's printed premise ("w_i ≤ α·s_{k+1}") is garbled — the
+    // derivation from constraint (2) needs the *slow* machines 1..k to be
+    // slow relative to the task: α·s_k < w_i. (With the printed premise a
+    // one-task instance on [1,1] with w = 0.1 is a counterexample.) That
+    // corrected premise is also exactly how the paper *uses* the lemma
+    // (its slow group M_s has α·s < w_n). Verified here:
+    // α·s_k < w_i  ⇒  w_i ≤ α/(α−1) · Σ_{j>k} u_{i,j}.
+    #[test]
+    fn lemma_ii1_holds_on_solved_points(
+        ts in small_set(),
+        p in small_platform(),
+        alpha_tenths in 15u32..40,
+    ) {
+        let Some(point) = solve_paper_lp(&ts, &p) else {
+            return Ok(()); // infeasible instance — lemma vacuous
+        };
+        let alpha = alpha_tenths as f64 / 10.0;
+        // Machines sorted by increasing speed, as in the paper.
+        let order = p.order_by_increasing_speed();
+        let m = p.len();
+        for i in 0..ts.len() {
+            let w = ts[i].utilization();
+            for k in 0..=m {
+                // Slow set = the k slowest machines; premise: every slow
+                // machine has α·s_j < w (strictly).
+                if k > 0 && alpha * p.speed_f64(order[k - 1]) >= w - 1e-12 {
+                    continue;
+                }
+                let fast_share: f64 = order[k..]
+                    .iter()
+                    .map(|&j| point.u(i, j))
+                    .sum();
+                prop_assert!(
+                    w <= alpha / (alpha - 1.0) * fast_share + 1e-6,
+                    "Lemma II.1 violated: w={w}, α={alpha}, share={fast_share} \
+                     (task {i}, k={k}, {} on {})",
+                    ts, p
+                );
+            }
+        }
+    }
+}

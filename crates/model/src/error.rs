@@ -1,0 +1,74 @@
+//! Error types shared across the workspace.
+
+use core::fmt;
+
+/// Errors raised when constructing or validating model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A task was constructed with a zero period.
+    ZeroPeriod,
+    /// A task was constructed with a zero worst-case execution time.
+    ZeroWcet,
+    /// A task's deadline was zero (constrained-deadline extension).
+    ZeroDeadline,
+    /// A task's utilization exceeds the given limit (e.g. the fastest
+    /// machine's speed), making the instance trivially infeasible in a way
+    /// the caller asked to reject at construction.
+    UtilizationTooLarge {
+        /// Offending task index.
+        task: usize,
+    },
+    /// A platform was constructed with no machines.
+    EmptyPlatform,
+    /// A machine was constructed with a non-positive speed.
+    NonPositiveSpeed,
+    /// An integer computation (hyperperiod, scaled load) overflowed.
+    Overflow(&'static str),
+    /// A speed-augmentation factor below 1 was supplied.
+    AugmentationBelowOne,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ZeroPeriod => write!(f, "task period must be positive"),
+            ModelError::ZeroWcet => write!(f, "task WCET must be positive"),
+            ModelError::ZeroDeadline => write!(f, "task deadline must be positive"),
+            ModelError::UtilizationTooLarge { task } => {
+                write!(f, "task {task} has utilization exceeding the allowed limit")
+            }
+            ModelError::EmptyPlatform => write!(f, "platform must contain at least one machine"),
+            ModelError::NonPositiveSpeed => write!(f, "machine speed must be positive"),
+            ModelError::Overflow(what) => write!(f, "integer overflow computing {what}"),
+            ModelError::AugmentationBelowOne => {
+                write!(f, "speed augmentation factor must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(ModelError::ZeroPeriod.to_string().contains("period"));
+        assert!(ModelError::ZeroWcet.to_string().contains("WCET"));
+        assert!(ModelError::EmptyPlatform.to_string().contains("machine"));
+        assert!(ModelError::Overflow("hyperperiod")
+            .to_string()
+            .contains("hyperperiod"));
+        assert!(ModelError::UtilizationTooLarge { task: 3 }
+            .to_string()
+            .contains('3'));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::ZeroPeriod);
+        assert_eq!(e.to_string(), "task period must be positive");
+    }
+}

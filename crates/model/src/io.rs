@@ -1,0 +1,243 @@
+//! Plain-text serialization of task systems.
+//!
+//! A *system file* describes tasks and machines together, one item per
+//! line; `#` starts a comment. The format is deliberately trivial so
+//! hand-written fixtures, generator output and the `hetfeas` CLI agree:
+//!
+//! ```text
+//! # my system
+//! task 3 10          # wcet=3 work units, period=10 ticks
+//! task 2 10 5        # optional third field: constrained deadline
+//! machine 1          # speed 1
+//! machine 5/2        # rational speed 2.5
+//! ```
+
+use crate::error::ModelError;
+use crate::machine::{Machine, Platform};
+use crate::ratio::Ratio;
+use crate::task::Task;
+use crate::taskset::TaskSet;
+use core::fmt;
+
+/// A parsed system file: tasks plus platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct System {
+    /// The task set (possibly empty).
+    pub tasks: TaskSet,
+    /// The platform (must have at least one machine).
+    pub platform: Platform,
+}
+
+/// Parse errors with line information.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A line could not be interpreted.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The described objects were invalid (zero period, no machines, …).
+    Model(ModelError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Model(e) => write!(f, "invalid system: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ModelError> for ParseError {
+    fn from(e: ModelError) -> Self {
+        ParseError::Model(e)
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Syntax { line, message: message.into() }
+}
+
+fn parse_speed(token: &str, line: usize) -> Result<Ratio, ParseError> {
+    if let Some((num, den)) = token.split_once('/') {
+        let num: i128 = num
+            .parse()
+            .map_err(|_| syntax(line, format!("bad speed numerator {num:?}")))?;
+        let den: i128 = den
+            .parse()
+            .map_err(|_| syntax(line, format!("bad speed denominator {den:?}")))?;
+        if den == 0 {
+            return Err(syntax(line, "speed denominator is zero"));
+        }
+        Ok(Ratio::new(num, den))
+    } else {
+        let v: i128 = token
+            .parse()
+            .map_err(|_| syntax(line, format!("bad speed {token:?}")))?;
+        Ok(Ratio::from_integer(v))
+    }
+}
+
+/// Parse a system file (see module docs for the format).
+pub fn parse_system(input: &str) -> Result<System, ParseError> {
+    let mut tasks = TaskSet::empty();
+    let mut machines: Vec<Machine> = Vec::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let kind = fields.next().expect("non-empty line has a first token");
+        match kind {
+            "task" => {
+                let nums: Vec<&str> = fields.collect();
+                if nums.len() != 2 && nums.len() != 3 {
+                    return Err(syntax(line_no, "task expects: task <wcet> <period> [deadline]"));
+                }
+                let parse =
+                    |s: &str, what: &str| -> Result<u64, ParseError> {
+                        s.parse().map_err(|_| {
+                            syntax(line_no, format!("bad {what} {s:?}"))
+                        })
+                    };
+                let wcet = parse(nums[0], "wcet")?;
+                let period = parse(nums[1], "period")?;
+                let task = if nums.len() == 3 {
+                    Task::constrained(wcet, period, parse(nums[2], "deadline")?)?
+                } else {
+                    Task::implicit(wcet, period)?
+                };
+                tasks.push(task);
+            }
+            "machine" => {
+                let speed = fields
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "machine expects: machine <speed>"))?;
+                if fields.next().is_some() {
+                    return Err(syntax(line_no, "machine takes exactly one field"));
+                }
+                machines.push(Machine::new(parse_speed(speed, line_no)?)?);
+            }
+            other => {
+                return Err(syntax(
+                    line_no,
+                    format!("unknown directive {other:?} (expected task/machine)"),
+                ))
+            }
+        }
+    }
+    Ok(System { tasks, platform: Platform::new(machines)? })
+}
+
+/// Render a system back to the file format ([`parse_system`] inverse).
+pub fn render_system(tasks: &TaskSet, platform: &Platform) -> String {
+    let mut out = String::new();
+    for t in tasks {
+        if t.is_implicit_deadline() {
+            out.push_str(&format!("task {} {}\n", t.wcet(), t.period()));
+        } else {
+            out.push_str(&format!("task {} {} {}\n", t.wcet(), t.period(), t.deadline()));
+        }
+    }
+    for m in platform.iter() {
+        let s = m.speed();
+        if s.is_integer() {
+            out.push_str(&format!("machine {}\n", s.numer()));
+        } else {
+            out.push_str(&format!("machine {}/{}\n", s.numer(), s.denom()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# demo system
+task 3 10
+task 2 10 5   # constrained
+machine 1
+machine 5/2
+";
+
+    #[test]
+    fn parses_sample() {
+        let sys = parse_system(SAMPLE).unwrap();
+        assert_eq!(sys.tasks.len(), 2);
+        assert_eq!(sys.tasks[0], Task::implicit(3, 10).unwrap());
+        assert_eq!(sys.tasks[1], Task::constrained(2, 10, 5).unwrap());
+        assert_eq!(sys.platform.len(), 2);
+        assert_eq!(sys.platform.machine(1).speed(), Ratio::new(5, 2));
+    }
+
+    #[test]
+    fn roundtrips() {
+        let sys = parse_system(SAMPLE).unwrap();
+        let rendered = render_system(&sys.tasks, &sys.platform);
+        let back = parse_system(&rendered).unwrap();
+        assert_eq!(back, sys);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let sys = parse_system("\n  # nothing\n task 1 2 # tail comment\nmachine 1\n").unwrap();
+        assert_eq!(sys.tasks.len(), 1);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_system("task 1 2\nbogus 3\nmachine 1").unwrap_err();
+        match err {
+            ParseError::Syntax { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("bogus"));
+            }
+            other => panic!("expected syntax error, got {other}"),
+        }
+        assert!(parse_system("task 1\nmachine 1").is_err()); // arity
+        assert!(parse_system("task 1 2\nmachine 1 9").is_err()); // arity
+        assert!(parse_system("task x 2\nmachine 1").is_err()); // number
+        assert!(parse_system("task 1 2\nmachine 1/0").is_err()); // zero den
+    }
+
+    #[test]
+    fn model_errors_propagate() {
+        assert!(matches!(
+            parse_system("task 0 5\nmachine 1"),
+            Err(ParseError::Model(ModelError::ZeroWcet))
+        ));
+        assert!(matches!(
+            parse_system("task 1 5"),
+            Err(ParseError::Model(ModelError::EmptyPlatform))
+        ));
+        assert!(matches!(
+            parse_system("task 1 5\nmachine -2"),
+            Err(ParseError::Model(ModelError::NonPositiveSpeed))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = parse_system("nope").unwrap_err();
+        assert!(e.to_string().starts_with("line 1:"));
+        let e = parse_system("task 1 5").unwrap_err();
+        assert!(e.to_string().contains("machine"));
+    }
+
+    #[test]
+    fn empty_taskset_is_fine_with_machines() {
+        let sys = parse_system("machine 3\n").unwrap();
+        assert!(sys.tasks.is_empty());
+        assert_eq!(sys.platform.len(), 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! Machines, platforms and speed augmentation.
+//!
+//! The paper's *related* (uniform) machine model: machine `m_j` has speed
+//! `s_j`, meaning it completes `s_j` work units per tick. Speeds are exact
+//! rationals so the simulator and the exact oracles never round.
+
+use crate::error::ModelError;
+use crate::ratio::Ratio;
+use core::fmt;
+
+/// A single machine with a positive rational speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Machine {
+    speed: Ratio,
+}
+
+impl Machine {
+    /// Machine with the given rational speed (must be positive).
+    pub fn new(speed: Ratio) -> Result<Self, ModelError> {
+        if speed <= Ratio::ZERO {
+            return Err(ModelError::NonPositiveSpeed);
+        }
+        Ok(Machine { speed })
+    }
+
+    /// Machine with integer speed.
+    pub fn from_speed(speed: u64) -> Result<Self, ModelError> {
+        Self::new(Ratio::from_integer(speed as i128))
+    }
+
+    /// Machine whose speed is the closest rational to `speed` with
+    /// denominator at most 1 000 000 (exact for typical inputs like `2.5`).
+    pub fn from_f64(speed: f64) -> Result<Self, ModelError> {
+        let r = Ratio::approximate_f64(speed, 1_000_000).ok_or(ModelError::NonPositiveSpeed)?;
+        Self::new(r)
+    }
+
+    /// Speed as an exact rational.
+    #[inline]
+    pub const fn speed(&self) -> Ratio {
+        self.speed
+    }
+
+    /// Speed as `f64`.
+    #[inline]
+    pub fn speed_f64(&self) -> f64 {
+        self.speed.to_f64()
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "machine(s={})", self.speed)
+    }
+}
+
+/// A heterogeneous (related-machine) platform: a non-empty set of machines.
+///
+/// Machine order is preserved as given; the paper's algorithm works on the
+/// *speed-sorted view* from [`Platform::order_by_increasing_speed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Platform {
+    machines: Vec<Machine>,
+}
+
+impl Platform {
+    /// Create a platform from machines (must be non-empty).
+    pub fn new(machines: Vec<Machine>) -> Result<Self, ModelError> {
+        if machines.is_empty() {
+            return Err(ModelError::EmptyPlatform);
+        }
+        Ok(Platform { machines })
+    }
+
+    /// `m` unit-speed machines (the identical-machine special case).
+    pub fn identical(m: usize) -> Result<Self, ModelError> {
+        Self::uniform_speed(m, 1)
+    }
+
+    /// `m` machines all with integer speed `s`.
+    pub fn uniform_speed(m: usize, s: u64) -> Result<Self, ModelError> {
+        if m == 0 {
+            return Err(ModelError::EmptyPlatform);
+        }
+        let machine = Machine::from_speed(s)?;
+        Ok(Platform { machines: vec![machine; m] })
+    }
+
+    /// Platform from integer speeds.
+    pub fn from_int_speeds<I: IntoIterator<Item = u64>>(speeds: I) -> Result<Self, ModelError> {
+        let machines = speeds
+            .into_iter()
+            .map(Machine::from_speed)
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(machines)
+    }
+
+    /// Platform from `f64` speeds (rationalized; see [`Machine::from_f64`]).
+    pub fn from_f64_speeds<I: IntoIterator<Item = f64>>(speeds: I) -> Result<Self, ModelError> {
+        let machines = speeds
+            .into_iter()
+            .map(Machine::from_f64)
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(machines)
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Always false (platforms are non-empty by construction); provided for
+    /// clippy-idiomatic pairing with [`Platform::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Machine at `index`.
+    #[inline]
+    pub fn machine(&self, index: usize) -> &Machine {
+        &self.machines[index]
+    }
+
+    /// Iterate over machines in insertion order.
+    pub fn iter(&self) -> core::slice::Iter<'_, Machine> {
+        self.machines.iter()
+    }
+
+    /// Speed of machine `index` as `f64`.
+    #[inline]
+    pub fn speed_f64(&self, index: usize) -> f64 {
+        self.machines[index].speed_f64()
+    }
+
+    /// Sum of all speeds as `f64`.
+    pub fn total_speed(&self) -> f64 {
+        self.machines.iter().map(Machine::speed_f64).sum()
+    }
+
+    /// Sum of all speeds as an exact rational.
+    pub fn total_speed_ratio(&self) -> Ratio {
+        self.machines.iter().map(|m| m.speed()).sum()
+    }
+
+    /// Fastest machine speed as `f64` (platforms are non-empty).
+    pub fn max_speed(&self) -> f64 {
+        self.machines
+            .iter()
+            .map(Machine::speed_f64)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Indices of machines ordered by non-decreasing speed, ties broken by
+    /// original index. This is the order the paper's first-fit scans.
+    pub fn order_by_increasing_speed(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.machines.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.machines[a]
+                .speed()
+                .cmp(&self.machines[b].speed())
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// Speeds sorted in non-increasing order (used by the level-algorithm
+    /// feasibility condition).
+    pub fn speeds_decreasing(&self) -> Vec<Ratio> {
+        let mut v: Vec<Ratio> = self.machines.iter().map(|m| m.speed()).collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "platform[")?;
+        for (i, m) in self.machines.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", m.speed())?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Speed-augmentation factor `α ≥ 1` handed to the algorithm: machine `m_j`
+/// runs at speed `α·s_j` in the algorithm's schedule while the adversary
+/// keeps speed `s_j` (paper §II).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Augmentation(f64);
+
+impl Augmentation {
+    /// No augmentation (`α = 1`).
+    pub const NONE: Augmentation = Augmentation(1.0);
+
+    /// Theorem I.1: EDF first-fit vs a *partitioned* adversary.
+    pub const EDF_VS_PARTITIONED: Augmentation = Augmentation(2.0);
+    /// Theorem I.2: RMS first-fit vs a *partitioned* adversary
+    /// (`α = 1/(√2−1) = √2+1`).
+    pub const RMS_VS_PARTITIONED: Augmentation = Augmentation(std::f64::consts::SQRT_2 + 1.0);
+    /// Theorem I.3: EDF first-fit vs an arbitrary (migrative/LP) adversary.
+    pub const EDF_VS_ANY: Augmentation = Augmentation(2.98);
+    /// Theorem I.4: RMS first-fit vs an arbitrary (migrative/LP) adversary.
+    pub const RMS_VS_ANY: Augmentation = Augmentation(3.34);
+
+    /// Create an augmentation factor; must be ≥ 1 and finite.
+    pub fn new(alpha: f64) -> Result<Self, ModelError> {
+        if !alpha.is_finite() || alpha < 1.0 {
+            return Err(ModelError::AugmentationBelowOne);
+        }
+        Ok(Augmentation(alpha))
+    }
+
+    /// The raw factor.
+    #[inline]
+    pub const fn factor(&self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Augmentation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_construction() {
+        assert_eq!(Machine::from_speed(2).unwrap().speed_f64(), 2.0);
+        assert_eq!(
+            Machine::from_f64(2.5).unwrap().speed(),
+            Ratio::new(5, 2)
+        );
+        assert_eq!(
+            Machine::new(Ratio::ZERO),
+            Err(ModelError::NonPositiveSpeed)
+        );
+        assert_eq!(
+            Machine::new(Ratio::new(-1, 2)),
+            Err(ModelError::NonPositiveSpeed)
+        );
+    }
+
+    #[test]
+    fn platform_construction_and_totals() {
+        let p = Platform::from_int_speeds([1, 4, 2]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.total_speed(), 7.0);
+        assert_eq!(p.total_speed_ratio(), Ratio::from_integer(7));
+        assert_eq!(p.max_speed(), 4.0);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn empty_platform_rejected() {
+        assert_eq!(Platform::new(vec![]), Err(ModelError::EmptyPlatform));
+        assert_eq!(Platform::identical(0), Err(ModelError::EmptyPlatform));
+    }
+
+    #[test]
+    fn identical_platform() {
+        let p = Platform::identical(4).unwrap();
+        assert_eq!(p.len(), 4);
+        assert!(p.iter().all(|m| m.speed() == Ratio::ONE));
+    }
+
+    #[test]
+    fn speed_ordering_stable() {
+        let p = Platform::from_int_speeds([4, 1, 2, 1]).unwrap();
+        assert_eq!(p.order_by_increasing_speed(), vec![1, 3, 2, 0]);
+        assert_eq!(
+            p.speeds_decreasing(),
+            vec![
+                Ratio::from_integer(4),
+                Ratio::from_integer(2),
+                Ratio::ONE,
+                Ratio::ONE
+            ]
+        );
+    }
+
+    #[test]
+    fn augmentation_validation_and_constants() {
+        assert!(Augmentation::new(0.99).is_err());
+        assert!(Augmentation::new(f64::NAN).is_err());
+        assert_eq!(Augmentation::new(1.0).unwrap().factor(), 1.0);
+        assert_eq!(Augmentation::EDF_VS_PARTITIONED.factor(), 2.0);
+        assert!((Augmentation::RMS_VS_PARTITIONED.factor() - 2.414_213_562_373_095).abs() < 1e-12);
+        assert_eq!(Augmentation::EDF_VS_ANY.factor(), 2.98);
+        assert_eq!(Augmentation::RMS_VS_ANY.factor(), 3.34);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Platform::from_int_speeds([1, 2]).unwrap();
+        assert_eq!(p.to_string(), "platform[1, 2]");
+        assert_eq!(Machine::from_speed(3).unwrap().to_string(), "machine(s=3)");
+        assert_eq!(Augmentation::NONE.to_string(), "α=1");
+    }
+}

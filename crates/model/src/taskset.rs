@@ -1,0 +1,268 @@
+//! Task-set container and orderings.
+
+use crate::error::ModelError;
+use crate::ratio::Ratio;
+use crate::task::Task;
+use crate::time::hyperperiod;
+use core::fmt;
+use core::ops::Index;
+
+/// An ordered collection of sporadic tasks.
+///
+/// The container preserves insertion order; the paper's algorithm operates
+/// on a *utilization-sorted view* obtained from
+/// [`TaskSet::order_by_decreasing_utilization`], leaving the underlying set
+/// untouched so callers can correlate results back to their original task
+/// indices.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Create a task set from the given tasks (may be empty).
+    pub fn new(tasks: Vec<Task>) -> Self {
+        TaskSet { tasks }
+    }
+
+    /// The empty task set.
+    pub fn empty() -> Self {
+        TaskSet { tasks: Vec::new() }
+    }
+
+    /// Build an implicit-deadline set from `(wcet, period)` pairs.
+    pub fn from_pairs<I>(pairs: I) -> Result<Self, ModelError>
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        let tasks = pairs
+            .into_iter()
+            .map(|(c, p)| Task::implicit(c, p))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TaskSet { tasks })
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if there are no tasks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Append a task.
+    pub fn push(&mut self, task: Task) {
+        self.tasks.push(task);
+    }
+
+    /// Task at `index`, if any.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<&Task> {
+        self.tasks.get(index)
+    }
+
+    /// Iterate over tasks in insertion order.
+    pub fn iter(&self) -> core::slice::Iter<'_, Task> {
+        self.tasks.iter()
+    }
+
+    /// Borrow the underlying slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Total utilization `Σ c_i / p_i` as `f64`.
+    pub fn total_utilization(&self) -> f64 {
+        self.tasks.iter().map(Task::utilization).sum()
+    }
+
+    /// Total utilization as an exact rational.
+    ///
+    /// Prefer this only for sets whose periods share small common multiples;
+    /// see the overflow discussion in [`Ratio`].
+    pub fn total_utilization_ratio(&self) -> Ratio {
+        self.tasks.iter().map(Task::utilization_ratio).sum()
+    }
+
+    /// Largest single-task utilization (0.0 for an empty set).
+    pub fn max_utilization(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(Task::utilization)
+            .fold(0.0, f64::max)
+    }
+
+    /// Indices of tasks ordered by non-increasing utilization, ties broken
+    /// by original index (a deterministic total order — required so the
+    /// paper's first-fit is reproducible).
+    pub fn order_by_decreasing_utilization(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.tasks.len()).collect();
+        // Exact rational comparison avoids f64 tie ambiguity between e.g.
+        // 1/3 and 2/6.
+        idx.sort_by(|&a, &b| {
+            self.tasks[b]
+                .utilization_ratio()
+                .cmp(&self.tasks[a].utilization_ratio())
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// Hyperperiod (lcm of periods), `None` when empty or on overflow.
+    pub fn hyperperiod(&self) -> Option<u128> {
+        hyperperiod(self.tasks.iter().map(|t| t.period()))
+    }
+
+    /// Exact per-task scaled loads `c_i · (H / p_i)` against the set's own
+    /// hyperperiod. Returns `None` if the hyperperiod overflows or any
+    /// individual load overflows.
+    pub fn scaled_loads(&self) -> Option<(u128, Vec<u128>)> {
+        let h = self.hyperperiod()?;
+        let loads = self
+            .tasks
+            .iter()
+            .map(|t| t.scaled_load(h))
+            .collect::<Option<Vec<_>>>()?;
+        Some((h, loads))
+    }
+
+    /// True when every task has `deadline == period`.
+    pub fn is_implicit_deadline(&self) -> bool {
+        self.tasks.iter().all(Task::is_implicit_deadline)
+    }
+
+    /// Sub-set restricted to the given indices (in the given order).
+    pub fn select(&self, indices: &[usize]) -> TaskSet {
+        TaskSet {
+            tasks: indices.iter().map(|&i| self.tasks[i]).collect(),
+        }
+    }
+}
+
+impl Index<usize> for TaskSet {
+    type Output = Task;
+    fn index(&self, index: usize) -> &Task {
+        &self.tasks[index]
+    }
+}
+
+impl FromIterator<Task> for TaskSet {
+    fn from_iter<I: IntoIterator<Item = Task>>(iter: I) -> Self {
+        TaskSet { tasks: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a TaskSet {
+    type Item = &'a Task;
+    type IntoIter = core::slice::Iter<'a, Task>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+impl fmt::Display for TaskSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tasks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> TaskSet {
+        TaskSet::from_pairs([(1, 4), (3, 6), (2, 12)]).unwrap()
+    }
+
+    #[test]
+    fn totals() {
+        let ts = demo();
+        assert_eq!(ts.len(), 3);
+        assert!((ts.total_utilization() - (0.25 + 0.5 + 1.0 / 6.0)).abs() < 1e-12);
+        assert_eq!(
+            ts.total_utilization_ratio(),
+            Ratio::new(1, 4) + Ratio::new(1, 2) + Ratio::new(1, 6)
+        );
+        assert_eq!(ts.max_utilization(), 0.5);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let ts = TaskSet::empty();
+        assert!(ts.is_empty());
+        assert_eq!(ts.total_utilization(), 0.0);
+        assert_eq!(ts.max_utilization(), 0.0);
+        assert_eq!(ts.hyperperiod(), None);
+        assert!(ts.order_by_decreasing_utilization().is_empty());
+    }
+
+    #[test]
+    fn ordering_is_by_decreasing_utilization_with_stable_ties() {
+        // utils: 0.25, 0.5, 1/6 → order 1, 0, 2
+        assert_eq!(demo().order_by_decreasing_utilization(), vec![1, 0, 2]);
+        // Exact ties keep original index order.
+        let ts = TaskSet::from_pairs([(2, 6), (1, 3), (1, 2)]).unwrap();
+        assert_eq!(ts.order_by_decreasing_utilization(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn hyperperiod_and_scaled_loads() {
+        let ts = demo();
+        assert_eq!(ts.hyperperiod(), Some(12));
+        let (h, loads) = ts.scaled_loads().unwrap();
+        assert_eq!(h, 12);
+        assert_eq!(loads, vec![3, 6, 2]);
+        // load/h equals utilization exactly.
+        for (t, &l) in ts.iter().zip(&loads) {
+            assert_eq!(
+                Ratio::new(l as i128, h as i128),
+                t.utilization_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn select_reorders() {
+        let ts = demo();
+        let sel = ts.select(&[2, 0]);
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel[0], ts[2]);
+        assert_eq!(sel[1], ts[0]);
+    }
+
+    #[test]
+    fn from_iterator_and_index() {
+        let ts: TaskSet = [(1u64, 2u64), (1, 5)]
+            .into_iter()
+            .map(|(c, p)| Task::implicit(c, p).unwrap())
+            .collect();
+        assert_eq!(ts[1].period(), 5);
+        assert!(ts.is_implicit_deadline());
+    }
+
+    #[test]
+    fn display_lists_tasks() {
+        let ts = TaskSet::from_pairs([(1, 4), (3, 6)]).unwrap();
+        assert_eq!(ts.to_string(), "{τ(c=1, p=4), τ(c=3, p=6)}");
+    }
+
+    #[test]
+    fn implicit_deadline_detection() {
+        let mut ts = demo();
+        assert!(ts.is_implicit_deadline());
+        ts.push(Task::constrained(1, 10, 5).unwrap());
+        assert!(!ts.is_implicit_deadline());
+    }
+}

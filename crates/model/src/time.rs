@@ -1,0 +1,123 @@
+//! Integer time utilities.
+//!
+//! The simulator and the exact analysis paths work in discrete integer time
+//! (see `DESIGN.md` §7). Periods and worst-case execution times are `u64`
+//! "ticks"; hyperperiods can exceed `u64` so lcm computations are checked.
+
+/// Discrete time instant / duration, in ticks.
+pub type Tick = u64;
+
+/// Greatest common divisor (Euclid) of two `u64` values.
+#[inline]
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Greatest common divisor of two `u128` values.
+#[inline]
+pub fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple, `None` on overflow or if either argument is zero.
+#[inline]
+pub fn checked_lcm(a: u64, b: u64) -> Option<u64> {
+    if a == 0 || b == 0 {
+        return None;
+    }
+    (a / gcd(a, b)).checked_mul(b)
+}
+
+/// Least common multiple over `u128`, `None` on overflow / zero argument.
+#[inline]
+pub fn checked_lcm_u128(a: u128, b: u128) -> Option<u128> {
+    if a == 0 || b == 0 {
+        return None;
+    }
+    (a / gcd_u128(a, b)).checked_mul(b)
+}
+
+/// Hyperperiod (lcm) of a sequence of periods. Returns `None` if the
+/// sequence is empty, contains a zero, or the lcm overflows `u128`.
+pub fn hyperperiod<I: IntoIterator<Item = u64>>(periods: I) -> Option<u128> {
+    let mut acc: Option<u128> = None;
+    for p in periods {
+        if p == 0 {
+            return None;
+        }
+        acc = Some(match acc {
+            None => p as u128,
+            Some(h) => checked_lcm_u128(h, p as u128)?,
+        });
+    }
+    acc
+}
+
+/// Ceiling division `a / b` for `u64`, `b > 0`.
+#[inline]
+pub fn div_ceil(a: u64, b: u64) -> u64 {
+    debug_assert!(b > 0);
+    a / b + u64::from(!a.is_multiple_of(b))
+}
+
+/// Ceiling division for `u128`, `b > 0`.
+#[inline]
+pub fn div_ceil_u128(a: u128, b: u128) -> u128 {
+    debug_assert!(b > 0);
+    a / b + u128::from(!a.is_multiple_of(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd_u128(1 << 70, 1 << 65), 1 << 65);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(checked_lcm(4, 6), Some(12));
+        assert_eq!(checked_lcm(7, 7), Some(7));
+        assert_eq!(checked_lcm(0, 3), None);
+        assert_eq!(checked_lcm(u64::MAX, u64::MAX - 1), None);
+    }
+
+    #[test]
+    fn hyperperiod_of_typical_menu() {
+        let h = hyperperiod([10u64, 20, 25, 50, 100]).unwrap();
+        assert_eq!(h, 100);
+        let h = hyperperiod([10u64, 15, 12]).unwrap();
+        assert_eq!(h, 60);
+    }
+
+    #[test]
+    fn hyperperiod_edge_cases() {
+        assert_eq!(hyperperiod(core::iter::empty::<u64>()), None);
+        assert_eq!(hyperperiod([5u64, 0]), None);
+        assert_eq!(hyperperiod([42u64]), Some(42));
+    }
+
+    #[test]
+    fn div_ceil_basics() {
+        assert_eq!(div_ceil(10, 3), 4);
+        assert_eq!(div_ceil(9, 3), 3);
+        assert_eq!(div_ceil(0, 3), 0);
+        assert_eq!(div_ceil_u128(10, 4), 3);
+    }
+}

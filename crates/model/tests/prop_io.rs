@@ -1,0 +1,54 @@
+//! Round-trip property tests for the system file format.
+
+use hetfeas_model::{parse_system, render_system, Machine, Platform, Ratio, Task, TaskSet};
+use proptest::prelude::*;
+
+fn arb_task() -> impl Strategy<Value = Task> {
+    (1u64..=10_000, 1u64..=100_000, 0u64..=2).prop_map(|(c, p, kind)| match kind {
+        0 => Task::implicit(c, p).unwrap(),
+        1 => Task::constrained(c, p, p.div_ceil(2).max(1)).unwrap(),
+        _ => Task::constrained(c, p, (p * 2).max(1)).unwrap(), // arbitrary deadline
+    })
+}
+
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    (1i128..=1_000, 1i128..=100).prop_map(|(n, d)| Machine::new(Ratio::new(n, d)).unwrap())
+}
+
+proptest! {
+    // parse ∘ render = id on every valid system.
+    #[test]
+    fn roundtrip(
+        tasks in prop::collection::vec(arb_task(), 0..30),
+        machines in prop::collection::vec(arb_machine(), 1..10),
+    ) {
+        let ts = TaskSet::new(tasks);
+        let platform = Platform::new(machines).unwrap();
+        let text = render_system(&ts, &platform);
+        let parsed = parse_system(&text).expect("rendered systems reparse");
+        prop_assert_eq!(parsed.tasks, ts);
+        prop_assert_eq!(parsed.platform, platform);
+    }
+
+    // Arbitrary junk never panics — it errors.
+    #[test]
+    fn junk_never_panics(input in "\\PC{0,200}") {
+        let _ = parse_system(&input);
+    }
+
+    // Line-oriented junk with plausible prefixes also errors gracefully.
+    #[test]
+    fn near_miss_lines_error(
+        word in "[a-z]{1,8}",
+        a in any::<i64>(),
+        b in any::<i64>(),
+    ) {
+        let input = format!("{word} {a} {b}\nmachine 1\n");
+        let out = parse_system(&input);
+        if word == "task" && a > 0 && b > 0 {
+            prop_assert!(out.is_ok());
+        } else if word != "machine" {
+            prop_assert!(out.is_err() || word == "task");
+        }
+    }
+}

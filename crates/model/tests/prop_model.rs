@@ -1,0 +1,130 @@
+//! Property-based tests for the model substrate: `Ratio` algebra laws,
+//! ordering consistency, task-set invariants.
+
+use hetfeas_model::{Platform, Ratio, Task, TaskSet};
+use proptest::prelude::*;
+
+/// Strategy for ratios with bounded components (keeps products well inside
+/// `i128` so no checked-op fallback triggers).
+fn small_ratio() -> impl Strategy<Value = Ratio> {
+    (-1_000_000i128..=1_000_000, 1i128..=1_000_000).prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+fn small_task() -> impl Strategy<Value = Task> {
+    (1u64..=1_000, 1u64..=10_000).prop_map(|(c, p)| Task::implicit(c, p).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn ratio_add_commutes(a in small_ratio(), b in small_ratio()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn ratio_mul_commutes(a in small_ratio(), b in small_ratio()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn ratio_add_associates(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn ratio_distributes(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn ratio_sub_inverts_add(a in small_ratio(), b in small_ratio()) {
+        prop_assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn ratio_is_normalized(a in small_ratio()) {
+        prop_assert!(a.denom() > 0);
+        prop_assert_eq!(hetfeas_model::gcd_i128(a.numer().abs(), a.denom()).max(1), 1);
+    }
+
+    #[test]
+    fn ratio_order_matches_f64(a in small_ratio(), b in small_ratio()) {
+        // f64 has 53 bits of mantissa; with components ≤ 1e6 the cross
+        // products are ≤ 1e12 < 2^53, so exact and float orders agree.
+        let exact = a.cmp(&b);
+        let float = a.to_f64().partial_cmp(&b.to_f64()).unwrap();
+        prop_assert_eq!(exact, float);
+    }
+
+    #[test]
+    fn ratio_recip_roundtrips(a in small_ratio()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.recip().recip(), a);
+        prop_assert_eq!(a * a.recip(), Ratio::ONE);
+    }
+
+    #[test]
+    fn ratio_floor_ceil_bracket(a in small_ratio()) {
+        let f = a.floor();
+        let c = a.ceil();
+        prop_assert!(Ratio::from_integer(f) <= a);
+        prop_assert!(a <= Ratio::from_integer(c));
+        prop_assert!(c - f <= 1);
+    }
+
+    #[test]
+    fn taskset_order_is_sorted_permutation(tasks in prop::collection::vec(small_task(), 0..40)) {
+        let ts = TaskSet::new(tasks);
+        let order = ts.order_by_decreasing_utilization();
+        // Is a permutation of 0..n.
+        let mut seen = vec![false; ts.len()];
+        for &i in &order {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        // Non-increasing utilization.
+        for w in order.windows(2) {
+            prop_assert!(
+                ts[w[0]].utilization_ratio() >= ts[w[1]].utilization_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn taskset_total_utilization_matches_ratio(tasks in prop::collection::vec(
+        // Menu periods keep the common denominator tiny: summing many
+        // arbitrary coprime denominators overflows `Ratio` by design
+        // (documented in `ratio`'s module docs — use the f64 path there).
+        (1u64..=1_000, prop::sample::select(vec![8u64, 10, 20, 25, 40, 50, 100, 125, 200])),
+        0..12,
+    )) {
+        let ts = TaskSet::from_pairs(tasks).unwrap();
+        let exact = ts.total_utilization_ratio().to_f64();
+        prop_assert!((ts.total_utilization() - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_loads_are_exact_utilizations(tasks in prop::collection::vec(
+        (1u64..=100, prop::sample::select(vec![5u64, 10, 20, 25, 40, 50, 100])),
+        1..16,
+    )) {
+        let ts = TaskSet::from_pairs(tasks).unwrap();
+        let (h, loads) = ts.scaled_loads().expect("menu periods have small lcm");
+        for (t, &l) in ts.iter().zip(&loads) {
+            prop_assert_eq!(Ratio::new(l as i128, h as i128), t.utilization_ratio());
+        }
+    }
+
+    #[test]
+    fn platform_speed_order_is_sorted_permutation(speeds in prop::collection::vec(1u64..=64, 1..20)) {
+        let p = Platform::from_int_speeds(speeds).unwrap();
+        let order = p.order_by_increasing_speed();
+        let mut seen = vec![false; p.len()];
+        for &i in &order {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        for w in order.windows(2) {
+            prop_assert!(p.machine(w[0]).speed() <= p.machine(w[1]).speed());
+        }
+    }
+}

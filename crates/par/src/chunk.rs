@@ -1,0 +1,71 @@
+//! Chunking helpers for splitting index ranges across workers.
+
+/// Split `0..len` into at most `workers` contiguous chunks of nearly equal
+/// size (difference ≤ 1). Returns `(start, end)` pairs; empty input yields
+/// no chunks.
+pub fn even_chunks(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    if len == 0 || workers == 0 {
+        return Vec::new();
+    }
+    let workers = workers.min(len);
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// A sensible worker count: `available_parallelism`, clamped to `[1, cap]`.
+pub fn default_workers(cap: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, cap.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_range_exactly() {
+        for len in [0usize, 1, 5, 16, 17, 100] {
+            for workers in [1usize, 2, 3, 8, 200] {
+                let chunks = even_chunks(len, workers);
+                if len == 0 {
+                    assert!(chunks.is_empty());
+                    continue;
+                }
+                assert_eq!(chunks[0].0, 0);
+                assert_eq!(chunks.last().unwrap().1, len);
+                for w in chunks.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "chunks must be contiguous");
+                }
+                // Balanced within 1.
+                let sizes: Vec<usize> = chunks.iter().map(|(a, b)| b - a).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1);
+                assert!(chunks.len() <= workers.min(len));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_empty() {
+        assert!(even_chunks(10, 0).is_empty());
+    }
+
+    #[test]
+    fn default_workers_positive_and_capped() {
+        let w = default_workers(4);
+        assert!((1..=4).contains(&w));
+        assert_eq!(default_workers(0), 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! # hetfeas-par
+//!
+//! Minimal data-parallel substrate for the experiment harness: an
+//! order-preserving [`par_map`] built on `crossbeam` scoped threads with a
+//! shared atomic work cursor, chunking helpers, and a [`Progress`] counter.
+//!
+//! Rationale: the guides for this workspace call for data-parallel sweeps,
+//! and `crossbeam`/`parking_lot` are the sanctioned dependencies — so we
+//! implement exactly the subset of a rayon-style API the experiments need
+//! (see `DESIGN.md` §2).
+
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod progress;
+pub mod scope_map;
+
+pub use chunk::{default_workers, even_chunks};
+pub use progress::Progress;
+pub use scope_map::{par_for_each, par_map, par_map_with};

@@ -1,0 +1,102 @@
+//! Lightweight shared progress counter for long experiment sweeps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A thread-safe progress tracker: workers `tick()`, an observer renders.
+#[derive(Debug)]
+pub struct Progress {
+    total: u64,
+    done: AtomicU64,
+    started: Instant,
+}
+
+impl Progress {
+    /// New tracker expecting `total` ticks.
+    pub fn new(total: u64) -> Self {
+        Progress {
+            total,
+            done: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Record one completed unit; returns the new completed count.
+    pub fn tick(&self) -> u64 {
+        self.done.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Completed units so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Expected total.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Completed fraction in `[0, 1]` (1 when `total == 0`).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.done() as f64 / self.total as f64
+        }
+    }
+
+    /// Seconds since construction.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// One-line status like `1234/5000 (24.7%) 3.1s`.
+    pub fn status_line(&self) -> String {
+        format!(
+            "{}/{} ({:.1}%) {:.1}s",
+            self.done(),
+            self.total,
+            100.0 * self.fraction(),
+            self.elapsed_secs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_accumulate() {
+        let p = Progress::new(3);
+        assert_eq!(p.done(), 0);
+        assert_eq!(p.tick(), 1);
+        assert_eq!(p.tick(), 2);
+        assert_eq!(p.done(), 2);
+        assert!((p.fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_total_is_complete() {
+        let p = Progress::new(0);
+        assert_eq!(p.fraction(), 1.0);
+    }
+
+    #[test]
+    fn status_line_mentions_counts() {
+        let p = Progress::new(10);
+        p.tick();
+        let s = p.status_line();
+        assert!(s.starts_with("1/10"), "{s}");
+    }
+
+    #[test]
+    fn concurrent_ticks_are_exact() {
+        let p = Progress::new(1000);
+        let items: Vec<u32> = (0..1000).collect();
+        crate::par_for_each(&items, |_| {
+            p.tick();
+        });
+        assert_eq!(p.done(), 1000);
+    }
+}

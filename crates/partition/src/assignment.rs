@@ -1,0 +1,274 @@
+//! Task-to-machine assignments and feasibility-test outcomes.
+
+use crate::admission::AdmissionTest;
+use hetfeas_model::{Platform, TaskSet};
+use core::fmt;
+
+/// A (possibly partial) mapping of tasks to machines.
+///
+/// Indices refer to the *original* task-set and platform order, not the
+/// sorted views the algorithm iterates over, so callers can interpret the
+/// result without re-deriving the sort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    per_task: Vec<Option<usize>>,
+    per_machine: Vec<Vec<usize>>,
+}
+
+impl Assignment {
+    /// An empty assignment for `n_tasks` tasks and `n_machines` machines.
+    pub fn new(n_tasks: usize, n_machines: usize) -> Self {
+        Assignment {
+            per_task: vec![None; n_tasks],
+            per_machine: vec![Vec::new(); n_machines],
+        }
+    }
+
+    /// Record that `task` runs on `machine`.
+    ///
+    /// # Panics
+    /// Panics if the task is already assigned (a partitioned schedule maps
+    /// each task to exactly one machine).
+    pub fn assign(&mut self, task: usize, machine: usize) {
+        assert!(
+            self.per_task[task].is_none(),
+            "task {task} already assigned"
+        );
+        self.per_task[task] = Some(machine);
+        self.per_machine[machine].push(task);
+    }
+
+    /// Remove the assignment of `task` (used by backtracking search).
+    pub fn unassign(&mut self, task: usize) {
+        if let Some(m) = self.per_task[task].take() {
+            let pos = self.per_machine[m]
+                .iter()
+                .position(|&t| t == task)
+                .expect("per_machine inconsistent with per_task");
+            self.per_machine[m].remove(pos);
+        }
+    }
+
+    /// Machine hosting `task`, if assigned.
+    #[inline]
+    pub fn machine_of(&self, task: usize) -> Option<usize> {
+        self.per_task[task]
+    }
+
+    /// Task indices on `machine`.
+    #[inline]
+    pub fn tasks_on(&self, machine: usize) -> &[usize] {
+        &self.per_machine[machine]
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn machine_count(&self) -> usize {
+        self.per_machine.len()
+    }
+
+    /// Number of tasks covered (assigned).
+    pub fn assigned_count(&self) -> usize {
+        self.per_task.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// True if every task has a machine.
+    pub fn is_complete(&self) -> bool {
+        self.per_task.iter().all(Option::is_some)
+    }
+
+    /// Materialize the task set running on `machine`.
+    pub fn taskset_on(&self, machine: usize, tasks: &TaskSet) -> TaskSet {
+        tasks.select(&self.per_machine[machine])
+    }
+
+    /// Utilization load on `machine`.
+    pub fn load_on(&self, machine: usize, tasks: &TaskSet) -> f64 {
+        self.per_machine[machine]
+            .iter()
+            .map(|&t| tasks[t].utilization())
+            .sum()
+    }
+
+    /// Re-validate the assignment from scratch against an admission test at
+    /// augmented speeds `alpha · s_j`: replays each machine's tasks through
+    /// the admission test. Used by tests and the simulator to confirm the
+    /// incremental state never drifted.
+    pub fn validate<A: AdmissionTest>(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        alpha: f64,
+        admission: &A,
+    ) -> bool {
+        if !self.is_complete() || self.per_machine.len() != platform.len() {
+            return false;
+        }
+        for (m, assigned) in self.per_machine.iter().enumerate() {
+            let speed = alpha * platform.speed_f64(m);
+            let mut state = admission.empty_state();
+            for &t in assigned {
+                match admission.admit(&state, &tasks[t], speed) {
+                    Some(next) => state = next,
+                    None => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (m, ts) in self.per_machine.iter().enumerate() {
+            if m > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "m{m}←{ts:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why the feasibility test declared failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureWitness {
+    /// Index (in original order) of the task `τ_n` that could not be placed.
+    pub failing_task: usize,
+    /// Utilization `w_n` of the failing task.
+    pub failing_utilization: f64,
+    /// The partial assignment built before failure (tasks after `τ_n` in
+    /// the sorted order are unassigned).
+    pub partial: Assignment,
+}
+
+/// Outcome of a partitioned feasibility test.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// All tasks placed; the per-machine scheduler meets all deadlines on
+    /// the α-augmented platform (Theorems II.2/II.3).
+    Feasible(Assignment),
+    /// Some task could not be placed. When α is at least the relevant
+    /// theorem constant this certifies the adversary also fails at speed 1.
+    Infeasible(FailureWitness),
+}
+
+impl Outcome {
+    /// True for [`Outcome::Feasible`].
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Outcome::Feasible(_))
+    }
+
+    /// The assignment if feasible.
+    pub fn assignment(&self) -> Option<&Assignment> {
+        match self {
+            Outcome::Feasible(a) => Some(a),
+            Outcome::Infeasible(_) => None,
+        }
+    }
+
+    /// The witness if infeasible.
+    pub fn witness(&self) -> Option<&FailureWitness> {
+        match self {
+            Outcome::Feasible(_) => None,
+            Outcome::Infeasible(w) => Some(w),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::EdfAdmission;
+    use hetfeas_model::Platform;
+
+    #[test]
+    fn assign_and_query() {
+        let mut a = Assignment::new(3, 2);
+        a.assign(0, 1);
+        a.assign(2, 1);
+        assert_eq!(a.machine_of(0), Some(1));
+        assert_eq!(a.machine_of(1), None);
+        assert_eq!(a.tasks_on(1), &[0, 2]);
+        assert_eq!(a.tasks_on(0), &[] as &[usize]);
+        assert_eq!(a.assigned_count(), 2);
+        assert!(!a.is_complete());
+        a.assign(1, 0);
+        assert!(a.is_complete());
+    }
+
+    #[test]
+    fn unassign_supports_backtracking() {
+        let mut a = Assignment::new(2, 2);
+        a.assign(0, 0);
+        a.assign(1, 0);
+        a.unassign(0);
+        assert_eq!(a.machine_of(0), None);
+        assert_eq!(a.tasks_on(0), &[1]);
+        a.assign(0, 1);
+        assert_eq!(a.machine_of(0), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already assigned")]
+    fn double_assign_panics() {
+        let mut a = Assignment::new(1, 2);
+        a.assign(0, 0);
+        a.assign(0, 1);
+    }
+
+    #[test]
+    fn loads_and_tasksets() {
+        let tasks = TaskSet::from_pairs([(1, 2), (1, 4)]).unwrap();
+        let mut a = Assignment::new(2, 2);
+        a.assign(0, 0);
+        a.assign(1, 0);
+        assert_eq!(a.load_on(0, &tasks), 0.75);
+        assert_eq!(a.load_on(1, &tasks), 0.0);
+        let on0 = a.taskset_on(0, &tasks);
+        assert_eq!(on0.len(), 2);
+    }
+
+    #[test]
+    fn validate_replays_admission() {
+        let tasks = TaskSet::from_pairs([(1, 2), (1, 2), (1, 2)]).unwrap(); // 0.5 each
+        let platform = Platform::from_int_speeds([1, 1]).unwrap();
+        let mut good = Assignment::new(3, 2);
+        good.assign(0, 0);
+        good.assign(1, 0);
+        good.assign(2, 1);
+        assert!(good.validate(&tasks, &platform, 1.0, &EdfAdmission));
+
+        let mut bad = Assignment::new(3, 2);
+        bad.assign(0, 0);
+        bad.assign(1, 0);
+        bad.assign(2, 0); // 1.5 > 1.0 on machine 0
+        assert!(!bad.validate(&tasks, &platform, 1.0, &EdfAdmission));
+        // ... unless augmented.
+        assert!(bad.validate(&tasks, &platform, 1.5, &EdfAdmission));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let a = Assignment::new(0, 1);
+        let f = Outcome::Feasible(a.clone());
+        assert!(f.is_feasible());
+        assert!(f.assignment().is_some());
+        assert!(f.witness().is_none());
+        let w = Outcome::Infeasible(FailureWitness {
+            failing_task: 7,
+            failing_utilization: 0.9,
+            partial: a,
+        });
+        assert!(!w.is_feasible());
+        assert_eq!(w.witness().unwrap().failing_task, 7);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut a = Assignment::new(2, 2);
+        a.assign(0, 0);
+        a.assign(1, 0);
+        assert_eq!(a.to_string(), "m0←[0, 1]; m1←[]");
+    }
+}

@@ -1,0 +1,161 @@
+//! Constrained-deadline admission tests (extension beyond the paper).
+//!
+//! The paper's model is implicit-deadline only. The natural next step its
+//! related-work section points to is `d_i ≤ p_i`, where the EDF
+//! single-machine test becomes the processor-demand criterion. Two
+//! admissions are provided for the same first-fit skeleton:
+//!
+//! * [`DensityAdmission`] — O(1) sufficient test `Σ c_i/d_i ≤ α·s`
+//!   (density bound; conservative);
+//! * [`EdfDemandAdmission`] — exact per-machine test via QPA
+//!   (`hetfeas_analysis::qpa`); O(pseudo-polynomial) per admission.
+//!
+//! Both collapse to the paper's EDF test on implicit-deadline inputs
+//! (density = utilization; QPA ⇔ utilization bound).
+
+use crate::admission::AdmissionTest;
+use hetfeas_analysis::qpa_schedulable;
+use hetfeas_model::{approx_le, Ratio, Task, TaskSet};
+
+/// Sufficient constrained-deadline EDF admission by total density.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DensityAdmission;
+
+impl AdmissionTest for DensityAdmission {
+    type State = f64;
+
+    fn empty_state(&self) -> f64 {
+        0.0
+    }
+
+    fn admit(&self, state: &f64, task: &Task, speed: f64) -> Option<f64> {
+        let next = state + task.density();
+        approx_le(next, speed).then_some(next)
+    }
+
+    fn load(&self, state: &f64) -> f64 {
+        *state
+    }
+
+    fn name(&self) -> &'static str {
+        "EDF-density"
+    }
+}
+
+/// Exact constrained-deadline EDF admission via QPA.
+///
+/// State is the accumulated task set plus its running utilization (for
+/// `load`). Like [`crate::admission::RmsRtaAdmission`], this trades the
+/// paper's O(1) admission for exactness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdfDemandAdmission;
+
+/// State for [`EdfDemandAdmission`].
+#[derive(Debug, Clone, Default)]
+pub struct DemandState {
+    /// Tasks assigned so far.
+    pub tasks: TaskSet,
+    /// Their total utilization (reporting only).
+    pub load: f64,
+}
+
+impl AdmissionTest for EdfDemandAdmission {
+    type State = DemandState;
+
+    fn empty_state(&self) -> DemandState {
+        DemandState::default()
+    }
+
+    fn admit(&self, state: &DemandState, task: &Task, speed: f64) -> Option<DemandState> {
+        let mut tasks = state.tasks.clone();
+        tasks.push(*task);
+        let speed = Ratio::approximate_f64(speed, 1_000_000)?;
+        qpa_schedulable(&tasks, speed).then(|| DemandState {
+            tasks,
+            load: state.load + task.utilization(),
+        })
+    }
+
+    fn load(&self, state: &DemandState) -> f64 {
+        state.load
+    }
+
+    fn name(&self) -> &'static str {
+        "EDF-QPA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::first_fit::first_fit;
+    use hetfeas_model::{Augmentation, Platform, Task};
+
+    fn ct(c: u64, p: u64, d: u64) -> Task {
+        Task::constrained(c, p, d).unwrap()
+    }
+
+    #[test]
+    fn density_is_conservative_qpa_exact() {
+        // Task with tight deadline: c=2, p=10, d=2 → density 1.0, util 0.2.
+        let a = DensityAdmission;
+        let q = EdfDemandAdmission;
+        let t = ct(2, 10, 2);
+        // Density admits one such task on a unit machine but not two.
+        let s1 = a.admit(&a.empty_state(), &t, 1.0).unwrap();
+        assert!(a.admit(&s1, &t, 1.0).is_none());
+        // QPA agrees here (demand 4 at t=2 > 2).
+        let s1 = q.admit(&q.empty_state(), &t, 1.0).unwrap();
+        assert!(q.admit(&s1, &t, 1.0).is_none());
+        // But QPA admits a mix density rejects: d=2 task + background task
+        // c=6, p=10, d=10: density 1.0 + 0.6 > 1, yet demand fits
+        // (h(2)=2, h(10)=8 ≤ 10).
+        let bg = ct(6, 10, 10);
+        let s1 = q.admit(&q.empty_state(), &t, 1.0).unwrap();
+        assert!(q.admit(&s1, &bg, 1.0).is_some(), "QPA must admit the mix");
+        let s1 = a.admit(&a.empty_state(), &t, 1.0).unwrap();
+        assert!(a.admit(&s1, &bg, 1.0).is_none(), "density must reject the mix");
+    }
+
+    #[test]
+    fn implicit_deadlines_match_edf_admission() {
+        use crate::admission::EdfAdmission;
+        let tasks = TaskSet::from_pairs([(3, 10), (4, 10), (9, 10), (5, 20)]).unwrap();
+        let p = Platform::from_int_speeds([1, 2]).unwrap();
+        let plain = first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission);
+        let dens = first_fit(&tasks, &p, Augmentation::NONE, &DensityAdmission);
+        let qpa = first_fit(&tasks, &p, Augmentation::NONE, &EdfDemandAdmission);
+        assert_eq!(plain.is_feasible(), dens.is_feasible());
+        assert_eq!(plain.is_feasible(), qpa.is_feasible());
+        // Identical placement decisions for implicit deadlines.
+        assert_eq!(plain.assignment(), dens.assignment());
+        assert_eq!(plain.assignment(), qpa.assignment());
+    }
+
+    #[test]
+    fn constrained_first_fit_end_to_end() {
+        // Mixed constrained workload across two machines.
+        let tasks = TaskSet::new(vec![
+            ct(2, 10, 3),
+            ct(2, 10, 3),
+            ct(6, 10, 10),
+            ct(3, 20, 10),
+            ct(8, 40, 40),
+        ]);
+        let p = Platform::from_int_speeds([1, 1]).unwrap();
+        let out = first_fit(&tasks, &p, Augmentation::NONE, &EdfDemandAdmission);
+        let a = out.assignment().expect("QPA packing fits");
+        assert!(a.validate(&tasks, &p, 1.0, &EdfDemandAdmission));
+        // Density-based FF is at most as permissive.
+        let dens = first_fit(&tasks, &p, Augmentation::NONE, &DensityAdmission);
+        if dens.is_feasible() {
+            assert!(out.is_feasible());
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(DensityAdmission.name(), "EDF-density");
+        assert_eq!(EdfDemandAdmission.name(), "EDF-QPA");
+    }
+}

@@ -1,0 +1,270 @@
+//! The paper's partitioned feasibility test (§III).
+//!
+//! 1. Sort tasks by non-increasing utilization.
+//! 2. Sort machines by non-decreasing speed.
+//! 3. First-fit: assign each task to the first (slowest) machine whose
+//!    single-machine admission test accepts it at augmented speed `α·s_j`.
+//! 4. If no machine accepts, declare failure.
+//!
+//! Running time: `O(n log n + m log m)` for the sorts plus `O(n·m)`
+//! admission checks, matching the paper's claim (each check is O(1) for the
+//! EDF and RMS-LL admission tests).
+
+use crate::admission::AdmissionTest;
+use crate::assignment::{Assignment, FailureWitness, Outcome};
+use hetfeas_model::{Augmentation, Platform, TaskSet};
+
+/// The paper's feasibility test with EDF or RMS admission (or any other
+/// [`AdmissionTest`]): first-fit by decreasing utilization over machines by
+/// increasing speed, with speed augmentation `α`.
+///
+/// Returns [`Outcome::Feasible`] with a complete assignment, or
+/// [`Outcome::Infeasible`] with the failing task. When `alpha` is at least
+/// the relevant theorem constant (see [`Augmentation`]'s associated
+/// constants), infeasibility certifies that the corresponding adversary
+/// cannot schedule the set on the *un*-augmented platform.
+///
+/// ```
+/// use hetfeas_model::{Augmentation, Platform, TaskSet};
+/// use hetfeas_partition::{first_fit, EdfAdmission};
+///
+/// let tasks = TaskSet::from_pairs([(3, 10), (4, 10), (9, 10)]).unwrap();
+/// let platform = Platform::from_int_speeds([1, 2]).unwrap();
+/// let outcome = first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission);
+/// assert!(outcome.is_feasible());
+/// ```
+pub fn first_fit<A: AdmissionTest>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    alpha: Augmentation,
+    admission: &A,
+) -> Outcome {
+    let task_order = tasks.order_by_decreasing_utilization();
+    let machine_order = platform.order_by_increasing_speed();
+    first_fit_ordered(tasks, platform, alpha, admission, &task_order, &machine_order)
+}
+
+/// First-fit over explicit task/machine orders (the paper's algorithm uses
+/// decreasing-utilization tasks and increasing-speed machines; the E8
+/// ablation passes other orders). `task_order` and `machine_order` must be
+/// permutations of the respective index ranges.
+pub fn first_fit_ordered<A: AdmissionTest>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    alpha: Augmentation,
+    admission: &A,
+    task_order: &[usize],
+    machine_order: &[usize],
+) -> Outcome {
+    debug_assert_eq!(task_order.len(), tasks.len());
+    debug_assert_eq!(machine_order.len(), platform.len());
+    let alpha = alpha.factor();
+
+    // Augmented speeds in scan order, plus one admission state per machine.
+    let speeds: Vec<f64> = machine_order
+        .iter()
+        .map(|&m| alpha * platform.speed_f64(m))
+        .collect();
+    let mut states: Vec<A::State> = (0..platform.len())
+        .map(|_| admission.empty_state())
+        .collect();
+
+    let mut assignment = Assignment::new(tasks.len(), platform.len());
+    for &ti in task_order {
+        let task = &tasks[ti];
+        let mut placed = false;
+        for (slot, &mi) in machine_order.iter().enumerate() {
+            if let Some(next) = admission.admit(&states[slot], task, speeds[slot]) {
+                states[slot] = next;
+                assignment.assign(ti, mi);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return Outcome::Infeasible(FailureWitness {
+                failing_task: ti,
+                failing_utilization: task.utilization(),
+                partial: assignment,
+            });
+        }
+    }
+    Outcome::Feasible(assignment)
+}
+
+/// Smallest augmentation factor (within `tol`) at which the first-fit test
+/// accepts `tasks`, searched over `[1, hi]` by bisection; `None` if even
+/// `hi` does not suffice.
+///
+/// Acceptance is monotone in α for the EDF and RMS-LL admission tests
+/// (both capacity bounds scale linearly with speed), which the property
+/// tests verify — so bisection is exact up to `tol`.
+pub fn min_feasible_alpha<A: AdmissionTest>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    admission: &A,
+    hi: f64,
+    tol: f64,
+) -> Option<f64> {
+    let accepts = |alpha: f64| {
+        first_fit(
+            tasks,
+            platform,
+            Augmentation::new(alpha).expect("bisection stays ≥ 1"),
+            admission,
+        )
+        .is_feasible()
+    };
+    if accepts(1.0) {
+        return Some(1.0);
+    }
+    if !accepts(hi) {
+        return None;
+    }
+    let (mut lo, mut hi) = (1.0, hi);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if accepts(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::{EdfAdmission, RmsLlAdmission};
+    use hetfeas_model::Augmentation;
+
+    fn platform(speeds: &[u64]) -> Platform {
+        Platform::from_int_speeds(speeds.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn assigns_heavy_tasks_to_slowest_feasible_machine() {
+        // Tasks 0.9, 0.4, 0.3 on speeds [1, 2]: first-fit places 0.9 on the
+        // speed-1 machine (it fits), then 0.4 and 0.3... 0.9+0.4 > 1 so 0.4
+        // goes to machine 2, 0.3 won't fit machine 1 (1.2 > 1) → machine 2.
+        let tasks = TaskSet::from_pairs([(9, 10), (4, 10), (3, 10)]).unwrap();
+        let p = platform(&[1, 2]);
+        let out = first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission);
+        let a = out.assignment().expect("feasible");
+        assert_eq!(a.machine_of(0), Some(0));
+        assert_eq!(a.machine_of(1), Some(1));
+        assert_eq!(a.machine_of(2), Some(1));
+        assert!(a.validate(&tasks, &p, 1.0, &EdfAdmission));
+    }
+
+    #[test]
+    fn machine_scan_is_by_increasing_speed_regardless_of_input_order() {
+        // Platform given fast-first; the algorithm must still prefer slow.
+        let tasks = TaskSet::from_pairs([(1, 2)]).unwrap();
+        let p = platform(&[4, 1]);
+        let out = first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission);
+        assert_eq!(out.assignment().unwrap().machine_of(0), Some(1));
+    }
+
+    #[test]
+    fn failure_reports_first_unplaceable_task_in_sorted_order() {
+        // utils 0.8, 0.8, 0.8 on speeds [1,1]: third 0.8 fails.
+        let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p = platform(&[1, 1]);
+        let out = first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission);
+        let w = out.witness().expect("infeasible");
+        assert_eq!(w.failing_task, 2);
+        assert_eq!(w.failing_utilization, 0.8);
+        assert_eq!(w.partial.assigned_count(), 2);
+    }
+
+    #[test]
+    fn augmentation_rescues_rejected_sets() {
+        let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p = platform(&[1, 1]);
+        assert!(!first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission).is_feasible());
+        assert!(first_fit(
+            &tasks,
+            &p,
+            Augmentation::EDF_VS_PARTITIONED,
+            &EdfAdmission
+        )
+        .is_feasible());
+    }
+
+    #[test]
+    fn task_too_heavy_for_any_machine_fails_even_on_empty_platform() {
+        let tasks = TaskSet::from_pairs([(3, 1)]).unwrap(); // util 3
+        let p = platform(&[1, 2]);
+        let out = first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission);
+        assert_eq!(out.witness().unwrap().failing_task, 0);
+        // Speed augmentation 1.5 makes the fast machine speed 3 — fits.
+        let out = first_fit(
+            &tasks,
+            &p,
+            Augmentation::new(1.5).unwrap(),
+            &EdfAdmission,
+        );
+        assert!(out.is_feasible());
+    }
+
+    #[test]
+    fn rms_is_stricter_than_edf() {
+        // Two tasks of 0.45 on one speed-1 machine: EDF fits (0.9 ≤ 1),
+        // RMS-LL does not (bound 0.8284).
+        let tasks = TaskSet::from_pairs([(45, 100), (45, 100)]).unwrap();
+        let p = platform(&[1]);
+        assert!(first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission).is_feasible());
+        assert!(!first_fit(&tasks, &p, Augmentation::NONE, &RmsLlAdmission).is_feasible());
+    }
+
+    #[test]
+    fn empty_taskset_is_trivially_feasible() {
+        let out = first_fit(
+            &TaskSet::empty(),
+            &platform(&[1]),
+            Augmentation::NONE,
+            &EdfAdmission,
+        );
+        assert!(out.is_feasible());
+        assert!(out.assignment().unwrap().is_complete());
+    }
+
+    #[test]
+    fn min_alpha_bisection() {
+        // Three 0.8 tasks on two unit machines need α = 1.6 (two on one
+        // machine: 1.6 ≤ α).
+        let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p = platform(&[1, 1]);
+        let a = min_feasible_alpha(&tasks, &p, &EdfAdmission, 4.0, 1e-6).unwrap();
+        assert!((a - 1.6).abs() < 1e-5, "got {a}");
+        // Already-feasible sets need exactly 1.
+        let light = TaskSet::from_pairs([(1, 10)]).unwrap();
+        assert_eq!(
+            min_feasible_alpha(&light, &p, &EdfAdmission, 4.0, 1e-6),
+            Some(1.0)
+        );
+        // Impossible even at hi.
+        let heavy = TaskSet::from_pairs([(100, 10)]).unwrap();
+        assert_eq!(
+            min_feasible_alpha(&heavy, &p, &EdfAdmission, 2.0, 1e-6),
+            None
+        );
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic() {
+        // Equal utilizations and equal speeds: assignment must be repeatable.
+        let tasks = TaskSet::from_pairs([(1, 2), (2, 4), (3, 6)]).unwrap();
+        let p = platform(&[1, 1, 1]);
+        let a1 = first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission);
+        let a2 = first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission);
+        assert_eq!(a1, a2);
+        // All three 0.5-util tasks pack pairwise: 0.5+0.5 on m0, 0.5 on m1.
+        let a = a1.assignment().unwrap();
+        assert_eq!(a.machine_of(0), Some(0));
+        assert_eq!(a.machine_of(1), Some(0));
+        assert_eq!(a.machine_of(2), Some(1));
+    }
+}

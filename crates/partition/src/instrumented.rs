@@ -1,0 +1,141 @@
+//! Operation-counting first-fit — the *exact* companion to the wall-clock
+//! E6 measurement.
+//!
+//! Wall-clock timing of the O(n·m) claim is noisy and machine-dependent;
+//! counting admission checks is neither. [`first_fit_instrumented`] runs
+//! the identical algorithm while tallying every admission attempt and
+//! machine visit, so the `checks ≤ n·m` bound (and the typical-case
+//! behaviour far below it) can be asserted in tests and reported in
+//! tables.
+
+use crate::admission::AdmissionTest;
+use crate::assignment::{Assignment, FailureWitness, Outcome};
+use hetfeas_model::{Augmentation, Platform, TaskSet};
+
+/// Exact work counters for one first-fit run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanStats {
+    /// Admission-test invocations (the paper's unit of work).
+    pub admission_checks: u64,
+    /// Tasks placed successfully.
+    pub placed: u64,
+    /// Machine slots visited across all tasks (equals `admission_checks`
+    /// for first-fit; kept separate for future strategies).
+    pub machines_visited: u64,
+}
+
+impl ScanStats {
+    /// The theoretical worst case for the given instance shape.
+    pub fn worst_case(n_tasks: usize, n_machines: usize) -> u64 {
+        n_tasks as u64 * n_machines as u64
+    }
+}
+
+/// [`crate::first_fit()`] plus exact operation counts.
+pub fn first_fit_instrumented<A: AdmissionTest>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    alpha: Augmentation,
+    admission: &A,
+) -> (Outcome, ScanStats) {
+    let task_order = tasks.order_by_decreasing_utilization();
+    let machine_order = platform.order_by_increasing_speed();
+    let alpha = alpha.factor();
+
+    let speeds: Vec<f64> = machine_order
+        .iter()
+        .map(|&m| alpha * platform.speed_f64(m))
+        .collect();
+    let mut states: Vec<A::State> = (0..platform.len())
+        .map(|_| admission.empty_state())
+        .collect();
+    let mut assignment = Assignment::new(tasks.len(), platform.len());
+    let mut stats = ScanStats::default();
+
+    for &ti in &task_order {
+        let task = &tasks[ti];
+        let mut placed = false;
+        for (slot, &mi) in machine_order.iter().enumerate() {
+            stats.admission_checks += 1;
+            stats.machines_visited += 1;
+            if let Some(next) = admission.admit(&states[slot], task, speeds[slot]) {
+                states[slot] = next;
+                assignment.assign(ti, mi);
+                stats.placed += 1;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return (
+                Outcome::Infeasible(FailureWitness {
+                    failing_task: ti,
+                    failing_utilization: task.utilization(),
+                    partial: assignment,
+                }),
+                stats,
+            );
+        }
+    }
+    (Outcome::Feasible(assignment), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::EdfAdmission;
+    use crate::first_fit::first_fit;
+
+    fn setup(pairs: &[(u64, u64)], speeds: &[u64]) -> (TaskSet, Platform) {
+        (
+            TaskSet::from_pairs(pairs.iter().copied()).unwrap(),
+            Platform::from_int_speeds(speeds.iter().copied()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn matches_uninstrumented_outcome() {
+        let (ts, p) = setup(&[(9, 10), (4, 10), (3, 10)], &[1, 2]);
+        let (out, _) = first_fit_instrumented(&ts, &p, Augmentation::NONE, &EdfAdmission);
+        assert_eq!(out, first_fit(&ts, &p, Augmentation::NONE, &EdfAdmission));
+    }
+
+    #[test]
+    fn counts_bounded_by_nm() {
+        let (ts, p) = setup(&[(9, 10), (9, 10), (9, 10), (9, 10)], &[1, 1, 1]);
+        let (_, stats) = first_fit_instrumented(&ts, &p, Augmentation::NONE, &EdfAdmission);
+        assert!(stats.admission_checks <= ScanStats::worst_case(ts.len(), p.len()));
+        assert_eq!(stats.admission_checks, stats.machines_visited);
+    }
+
+    #[test]
+    fn light_load_checks_one_machine_per_task() {
+        // Everything fits the slowest machine → exactly n checks.
+        let (ts, p) = setup(&[(1, 100); 5], &[1, 1, 1, 1]);
+        let (out, stats) = first_fit_instrumented(&ts, &p, Augmentation::NONE, &EdfAdmission);
+        assert!(out.is_feasible());
+        assert_eq!(stats.admission_checks, 5);
+        assert_eq!(stats.placed, 5);
+    }
+
+    #[test]
+    fn failure_scans_every_machine_for_the_failing_task() {
+        let (ts, p) = setup(&[(9, 10), (9, 10), (9, 10)], &[1, 1]);
+        let (out, stats) = first_fit_instrumented(&ts, &p, Augmentation::NONE, &EdfAdmission);
+        assert!(!out.is_feasible());
+        // Task 1: 1 check (fits m0). Task 2: m0 full, m1 ok → 2 checks.
+        // Task 3: scans both and fails → 2 checks.
+        assert_eq!(stats.admission_checks, 1 + 2 + 2);
+        assert_eq!(stats.placed, 2);
+    }
+
+    #[test]
+    fn saturated_instance_approaches_worst_case() {
+        // Tasks sized so each new one walks past all filled machines.
+        let (ts, p) = setup(&[(1, 1); 4], &[1, 1, 1, 1]);
+        let (out, stats) = first_fit_instrumented(&ts, &p, Augmentation::NONE, &EdfAdmission);
+        assert!(out.is_feasible());
+        // Task k (1-based) performs k checks: 1+2+3+4 = 10 = n(n+1)/2.
+        assert_eq!(stats.admission_checks, 10);
+    }
+}

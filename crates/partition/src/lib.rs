@@ -1,0 +1,48 @@
+//! # hetfeas-partition
+//!
+//! The paper's contribution: partitioned feasibility tests for sporadic
+//! tasks on related (heterogeneous-speed) machines, plus the exact
+//! partitioned oracles the approximation theorems compare against.
+//!
+//! * [`first_fit()`] — the §III algorithm: tasks by decreasing utilization,
+//!   machines by increasing speed, first-fit with a pluggable per-machine
+//!   [`AdmissionTest`] and speed augmentation `α`.
+//! * [`admission`] — EDF (Theorem II.2), RMS via Liu–Layland (Theorem
+//!   II.3), plus hyperbolic and exact-RTA admissions for the ablations.
+//! * [`variants`] — task/machine orders and fit strategies (experiment E8).
+//! * [`constrained`] — constrained-deadline admissions (density bound and
+//!   exact QPA) — the extension the paper's related work points to.
+//! * [`exact`] — branch-and-bound optimal partitioned feasibility (the
+//!   Theorem I.1/I.2 adversary).
+//! * [`lp_rounding`] — an LP-guided rounding baseline (experiment E11).
+//! * [`splitting`] — semi-partitioned EDF with two-machine task splitting
+//!   (experiment E16).
+//! * [`min_feasible_alpha`] — bisection for the empirical augmentation
+//!   factor α* (experiments E1–E4).
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod assignment;
+pub mod constrained;
+pub mod exact;
+pub mod exact_rational;
+pub mod first_fit;
+pub mod instrumented;
+pub mod lp_rounding;
+pub mod splitting;
+pub mod variants;
+
+pub use admission::{
+    AdmissionTest, EdfAdmission, HyperbolicState, RmsHyperbolicAdmission, RmsKuoMokAdmission,
+    RmsLlAdmission, RmsLlState, RmsRtaAdmission,
+};
+pub use assignment::{Assignment, FailureWitness, Outcome};
+pub use constrained::{DemandState, DensityAdmission, EdfDemandAdmission};
+pub use exact::{exact_partition, exact_partition_edf, exact_partition_rms, ExactOutcome};
+pub use exact_rational::exact_partition_edf_rational;
+pub use first_fit::{first_fit, first_fit_ordered, min_feasible_alpha};
+pub use instrumented::{first_fit_instrumented, ScanStats};
+pub use lp_rounding::lp_rounding_partition;
+pub use splitting::{semi_partition, Placement, SplitOutcome};
+pub use variants::{partition_with, FitStrategy, HeuristicConfig, MachineOrder, TaskOrder};

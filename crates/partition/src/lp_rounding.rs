@@ -1,0 +1,102 @@
+//! LP-guided rounding partitioner — a baseline the paper does not study.
+//!
+//! The paper's analysis lives entirely in the LP; a natural question is
+//! whether *using* the LP algorithmically (not just analytically) buys
+//! anything over the oblivious first-fit. This heuristic solves the paper's
+//! LP on the α-augmented platform and greedily rounds: tasks in
+//! non-increasing utilization order go to the admitting machine where the
+//! LP placed the largest utilization share. Experiment E11 compares it
+//! against first-fit.
+//!
+//! (There is no approximation guarantee claimed here — rounding the
+//! feasibility LP can fail even when first-fit succeeds; it is a baseline,
+//! not an improvement.)
+
+use crate::assignment::Assignment;
+use hetfeas_lp::solve_paper_lp;
+use hetfeas_model::{approx_le, Augmentation, Platform, TaskSet};
+
+/// Partition by greedy rounding of the paper's LP at augmented speeds
+/// `alpha·s_j`, with EDF per-machine admission. Returns `None` when the LP
+/// is infeasible or the rounding gets stuck.
+pub fn lp_rounding_partition(
+    tasks: &TaskSet,
+    platform: &Platform,
+    alpha: Augmentation,
+) -> Option<Assignment> {
+    let alpha = alpha.factor();
+    let aug_speeds: Vec<f64> = (0..platform.len())
+        .map(|j| alpha * platform.speed_f64(j))
+        .collect();
+    let augmented = Platform::from_f64_speeds(aug_speeds.iter().copied()).ok()?;
+    let point = solve_paper_lp(tasks, &augmented)?;
+
+    let order = tasks.order_by_decreasing_utilization();
+    let mut loads = vec![0.0f64; platform.len()];
+    let mut assignment = Assignment::new(tasks.len(), platform.len());
+    for ti in order {
+        let w = tasks[ti].utilization();
+        // Machines ranked by the LP's fractional preference for this task.
+        let mut ranked: Vec<usize> = (0..platform.len()).collect();
+        ranked.sort_by(|&a, &b| {
+            point
+                .u(ti, b)
+                .partial_cmp(&point.u(ti, a))
+                .expect("LP values are finite")
+                .then(a.cmp(&b))
+        });
+        let slot = ranked
+            .into_iter()
+            .find(|&j| approx_le(loads[j] + w, aug_speeds[j]))?;
+        loads[slot] += w;
+        assignment.assign(ti, slot);
+    }
+    Some(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::EdfAdmission;
+    use crate::first_fit::first_fit;
+
+    #[test]
+    fn rounds_a_feasible_instance() {
+        let tasks = TaskSet::from_pairs([(9, 10), (4, 10), (3, 10), (6, 20)]).unwrap();
+        let platform = Platform::from_int_speeds([1, 2]).unwrap();
+        let a = lp_rounding_partition(&tasks, &platform, Augmentation::NONE)
+            .expect("instance is partitionable");
+        assert!(a.is_complete());
+        assert!(a.validate(&tasks, &platform, 1.0, &EdfAdmission));
+    }
+
+    #[test]
+    fn infeasible_lp_returns_none() {
+        let tasks = TaskSet::from_pairs([(3, 1)]).unwrap(); // util 3 > max speed
+        let platform = Platform::from_int_speeds([1, 2]).unwrap();
+        assert!(lp_rounding_partition(&tasks, &platform, Augmentation::NONE).is_none());
+    }
+
+    #[test]
+    fn augmentation_rescues() {
+        let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let platform = Platform::identical(2).unwrap();
+        assert!(lp_rounding_partition(&tasks, &platform, Augmentation::NONE).is_none());
+        let a = lp_rounding_partition(&tasks, &platform, Augmentation::EDF_VS_PARTITIONED)
+            .expect("α = 2 gives plenty of room");
+        assert!(a.validate(&tasks, &platform, 2.0, &EdfAdmission));
+    }
+
+    #[test]
+    fn agreement_rate_with_first_fit_on_small_grid() {
+        // Neither strictly dominates; verify both accept clearly-loose
+        // instances and both reject clearly-impossible ones.
+        let platform = Platform::from_int_speeds([1, 1, 2]).unwrap();
+        let loose = TaskSet::from_pairs([(1, 10), (1, 10), (1, 10)]).unwrap();
+        assert!(first_fit(&loose, &platform, Augmentation::NONE, &EdfAdmission).is_feasible());
+        assert!(lp_rounding_partition(&loose, &platform, Augmentation::NONE).is_some());
+        let hopeless = TaskSet::from_pairs(vec![(1, 1); 5]).unwrap(); // 5.0 > 4.0
+        assert!(!first_fit(&hopeless, &platform, Augmentation::NONE, &EdfAdmission).is_feasible());
+        assert!(lp_rounding_partition(&hopeless, &platform, Augmentation::NONE).is_none());
+    }
+}

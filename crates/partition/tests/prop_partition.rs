@@ -1,0 +1,239 @@
+//! Property tests for the partitioning algorithms — the invariant list of
+//! `DESIGN.md` §5.
+
+use hetfeas_lp::lp_feasible;
+use hetfeas_model::{Augmentation, Platform, Task, TaskSet};
+use hetfeas_partition::{
+    exact_partition, exact_partition_edf, exact_partition_edf_rational, first_fit,
+    min_feasible_alpha, partition_with, semi_partition, EdfAdmission, ExactOutcome, FitStrategy,
+    HeuristicConfig, Outcome, RmsLlAdmission,
+};
+use proptest::prelude::*;
+
+fn menu_task() -> impl Strategy<Value = Task> {
+    (1u64..=60, prop::sample::select(vec![10u64, 20, 25, 40, 50, 100]))
+        .prop_map(|(c, p)| Task::implicit(c, p).unwrap())
+}
+
+fn small_set(max: usize) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(menu_task(), 0..max).prop_map(TaskSet::new)
+}
+
+fn small_platform() -> impl Strategy<Value = Platform> {
+    prop::collection::vec(1u64..=6, 1..5)
+        .prop_map(|s| Platform::from_int_speeds(s).unwrap())
+}
+
+fn alpha() -> impl Strategy<Value = Augmentation> {
+    (10u32..=40).prop_map(|a| Augmentation::new(a as f64 / 10.0).unwrap())
+}
+
+proptest! {
+    // First-fit soundness: a feasible outcome is complete, validates
+    // against the admission test, and assigns every task exactly once.
+    #[test]
+    fn ff_assignment_is_valid(ts in small_set(14), p in small_platform(), a in alpha()) {
+        match first_fit(&ts, &p, a, &EdfAdmission) {
+            Outcome::Feasible(assignment) => {
+                prop_assert!(assignment.is_complete());
+                prop_assert_eq!(assignment.assigned_count(), ts.len());
+                prop_assert!(assignment.validate(&ts, &p, a.factor(), &EdfAdmission));
+                // Each task appears exactly once across machines.
+                let mut seen = vec![false; ts.len()];
+                for m in 0..p.len() {
+                    for &t in assignment.tasks_on(m) {
+                        prop_assert!(!seen[t], "task {t} assigned twice");
+                        seen[t] = true;
+                    }
+                }
+                prop_assert!(seen.iter().all(|&s| s));
+            }
+            Outcome::Infeasible(w) => {
+                prop_assert!(w.failing_task < ts.len());
+                prop_assert!(!w.partial.is_complete() || ts.is_empty());
+            }
+        }
+    }
+
+    // FF failure is real: when the witness says τ_n cannot be placed, no
+    // machine admits it on top of the partial assignment.
+    #[test]
+    fn ff_failure_witness_is_tight(ts in small_set(14), p in small_platform()) {
+        if let Outcome::Infeasible(w) = first_fit(&ts, &p, Augmentation::NONE, &EdfAdmission) {
+            let task = &ts[w.failing_task];
+            for m in 0..p.len() {
+                let load = w.partial.load_on(m, &ts);
+                let cap = p.speed_f64(m);
+                prop_assert!(
+                    load + task.utilization() > cap + 1e-9,
+                    "machine {m} could still host the failing task"
+                );
+            }
+        }
+    }
+
+    // Monotonicity in α for both admissions.
+    #[test]
+    fn ff_monotone_in_alpha(ts in small_set(12), p in small_platform(), a in alpha()) {
+        let bigger = Augmentation::new(a.factor() * 1.5).unwrap();
+        if first_fit(&ts, &p, a, &EdfAdmission).is_feasible() {
+            prop_assert!(first_fit(&ts, &p, bigger, &EdfAdmission).is_feasible());
+        }
+        if first_fit(&ts, &p, a, &RmsLlAdmission).is_feasible() {
+            prop_assert!(first_fit(&ts, &p, bigger, &RmsLlAdmission).is_feasible());
+        }
+    }
+
+    // Subset closure for EDF admission: accepting a set implies accepting
+    // any prefix of its decreasing-utilization order... more strongly, any
+    // subset. (Remove a random task.)
+    #[test]
+    fn ff_edf_accepts_subsets(ts in small_set(12), p in small_platform(), drop in 0usize..12) {
+        prop_assume!(!ts.is_empty());
+        if first_fit(&ts, &p, Augmentation::NONE, &EdfAdmission).is_feasible() {
+            let drop = drop % ts.len();
+            let keep: Vec<usize> = (0..ts.len()).filter(|&i| i != drop).collect();
+            let sub = ts.select(&keep);
+            prop_assert!(
+                first_fit(&sub, &p, Augmentation::NONE, &EdfAdmission).is_feasible(),
+                "removing a task broke EDF first-fit acceptance"
+            );
+        }
+    }
+
+    // FF feasible ⇒ exact partition feasible ⇒ LP feasible (oracle chain).
+    #[test]
+    fn oracle_dominance_chain(ts in small_set(10), p in small_platform()) {
+        let ff = first_fit(&ts, &p, Augmentation::NONE, &EdfAdmission).is_feasible();
+        let exact = exact_partition_edf(&ts, &p, 2_000_000);
+        prop_assume!(exact.is_decided());
+        if ff {
+            prop_assert!(exact.is_feasible(), "FF-feasible but exact says infeasible");
+        }
+        if exact.is_feasible() {
+            prop_assert!(lp_feasible(&ts, &p), "partition exists but LP infeasible");
+        }
+    }
+
+    // Theorem I.1 on random instances: exact-partition feasible ⇒ FF-EDF
+    // accepts at α = 2.
+    #[test]
+    fn theorem_i1_random(ts in small_set(10), p in small_platform()) {
+        if exact_partition_edf(&ts, &p, 2_000_000).is_feasible() {
+            prop_assert!(
+                first_fit(&ts, &p, Augmentation::EDF_VS_PARTITIONED, &EdfAdmission).is_feasible()
+            );
+        }
+    }
+
+    // Theorem I.3 on random instances: LP feasible ⇒ FF-EDF at α = 2.98.
+    #[test]
+    fn theorem_i3_random(ts in small_set(12), p in small_platform()) {
+        if lp_feasible(&ts, &p) {
+            prop_assert!(
+                first_fit(&ts, &p, Augmentation::EDF_VS_ANY, &EdfAdmission).is_feasible()
+            );
+        }
+    }
+
+    // Theorem I.4 on random instances: LP feasible ⇒ FF-RMS at α = 3.34.
+    #[test]
+    fn theorem_i4_random(ts in small_set(12), p in small_platform()) {
+        if lp_feasible(&ts, &p) {
+            prop_assert!(
+                first_fit(&ts, &p, Augmentation::RMS_VS_ANY, &RmsLlAdmission).is_feasible()
+            );
+        }
+    }
+
+    // The exact search with any fit strategy agrees with first-fit on
+    // outcomes only in one direction; but every *strategy variant* that
+    // succeeds must produce a valid assignment.
+    #[test]
+    fn variants_produce_valid_assignments(ts in small_set(12), p in small_platform()) {
+        for fit in [FitStrategy::FirstFit, FitStrategy::BestFit, FitStrategy::WorstFit] {
+            let config = HeuristicConfig { fit, ..HeuristicConfig::PAPER };
+            if let Outcome::Feasible(a) =
+                partition_with(&ts, &p, Augmentation::NONE, &EdfAdmission, config)
+            {
+                prop_assert!(a.validate(&ts, &p, 1.0, &EdfAdmission), "{:?}", fit);
+            }
+        }
+    }
+
+    // Bisection consistency: FF accepts at the returned α* and (when
+    // α* > 1) rejects just below it.
+    #[test]
+    fn min_alpha_is_the_threshold(ts in small_set(10), p in small_platform()) {
+        if let Some(a) = min_feasible_alpha(&ts, &p, &EdfAdmission, 8.0, 1e-6) {
+            prop_assert!(first_fit(&ts, &p, Augmentation::new(a).unwrap(), &EdfAdmission)
+                .is_feasible());
+            if a > 1.0 + 1e-5 {
+                prop_assert!(!first_fit(
+                    &ts,
+                    &p,
+                    Augmentation::new(a - 1e-4).unwrap(),
+                    &EdfAdmission
+                )
+                .is_feasible());
+            }
+        }
+    }
+
+    // Exact oracle with RMS-LL admission dominates FF with the same
+    // admission (it searches all placements).
+    #[test]
+    fn exact_dominates_ff_for_ll(ts in small_set(8), p in small_platform()) {
+        if first_fit(&ts, &p, Augmentation::NONE, &RmsLlAdmission).is_feasible() {
+            let exact = exact_partition(
+                &ts,
+                &p,
+                Augmentation::NONE,
+                &RmsLlAdmission,
+                2_000_000,
+            );
+            prop_assume!(exact.is_decided());
+            prop_assert!(exact.is_feasible());
+        }
+    }
+}
+
+proptest! {
+    // The pure-integer exact oracle agrees with the f64 one away from
+    // capacity boundaries (at the boundary the rational answer wins by
+    // definition — it accepts exactly-full machines the f64 epsilon also
+    // accepts, so in practice they coincide).
+    #[test]
+    fn rational_oracle_matches_f64(ts in small_set(9), p in small_platform()) {
+        let rational = exact_partition_edf_rational(&ts, &p, 2_000_000);
+        let float = exact_partition_edf(&ts, &p, 2_000_000);
+        prop_assume!(rational.is_decided() && float.is_decided());
+        prop_assert_eq!(
+            rational.is_feasible(), float.is_feasible(),
+            "exact oracles disagree on {} / {}", ts, p
+        );
+    }
+
+    // Semi-partitioning sits between pure partitioning and migration:
+    // FF-feasible ⇒ semi-feasible (whole placements use the same exact
+    // admission), and semi-feasible ⇒ LP-feasible (splitting is restricted
+    // migration).
+    #[test]
+    fn semi_partition_sandwich(ts in small_set(10), p in small_platform()) {
+        let ff = first_fit(&ts, &p, Augmentation::NONE, &EdfAdmission).is_feasible();
+        let semi = semi_partition(&ts, &p, Augmentation::NONE).is_feasible();
+        if ff {
+            prop_assert!(semi, "FF accepted but semi rejected: {} on {}", ts, p);
+        }
+        if semi {
+            prop_assert!(lp_feasible(&ts, &p), "semi accepted an LP-infeasible set: {} on {}", ts, p);
+        }
+    }
+}
+
+#[test]
+fn regression_exact_outcome_variants() {
+    // Pin the ExactOutcome API shape used by the experiments.
+    let e = ExactOutcome::Infeasible;
+    assert!(e.is_decided() && !e.is_feasible());
+}

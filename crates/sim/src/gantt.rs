@@ -1,0 +1,159 @@
+//! Trace analysis and text Gantt rendering.
+//!
+//! The engine can record an execution trace ([`TraceSegment`]); this module
+//! turns traces into per-task statistics and compact ASCII Gantt charts —
+//! handy in examples, debugging, and the CLI's verbose output.
+
+use crate::engine::TraceSegment;
+
+/// Per-task execution statistics extracted from a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TaskTraceStats {
+    /// Total scaled ticks the task executed.
+    pub execution: u64,
+    /// Number of distinct execution segments (≥ number of dispatches).
+    pub segments: u64,
+    /// First tick the task ran, if ever.
+    pub first_start: Option<u64>,
+    /// Last tick the task ran (exclusive end).
+    pub last_end: Option<u64>,
+}
+
+/// Aggregate a trace into per-task stats (indexed by task id; the vector
+/// is sized to the largest task index + 1).
+pub fn per_task_stats(trace: &[TraceSegment]) -> Vec<TaskTraceStats> {
+    let n = trace.iter().map(|s| s.task + 1).max().unwrap_or(0);
+    let mut out = vec![TaskTraceStats::default(); n];
+    for seg in trace {
+        let st = &mut out[seg.task];
+        st.execution += seg.end - seg.start;
+        st.segments += 1;
+        st.first_start = Some(st.first_start.map_or(seg.start, |f| f.min(seg.start)));
+        st.last_end = Some(st.last_end.map_or(seg.end, |l| l.max(seg.end)));
+    }
+    out
+}
+
+/// Fraction of `[0, horizon)` covered by execution (machine utilization as
+/// observed in the trace).
+pub fn observed_utilization(trace: &[TraceSegment], horizon: u64) -> f64 {
+    if horizon == 0 {
+        return 0.0;
+    }
+    let busy: u64 = trace
+        .iter()
+        .map(|s| s.end.min(horizon).saturating_sub(s.start.min(horizon)))
+        .sum();
+    busy as f64 / horizon as f64
+}
+
+/// Render a trace as an ASCII Gantt chart: one row per task, `width`
+/// character columns spanning `[0, horizon)`. A cell shows the task's
+/// glyph when the task runs during (most of) that slice, `·` when idle.
+///
+/// Intended for quick terminal inspection, not exact visualization: each
+/// column aggregates `horizon/width` ticks and is marked if the task runs
+/// at the column's midpoint.
+pub fn render_gantt(trace: &[TraceSegment], horizon: u64, width: usize) -> String {
+    let n_tasks = trace.iter().map(|s| s.task + 1).max().unwrap_or(0);
+    if n_tasks == 0 || horizon == 0 || width == 0 {
+        return String::new();
+    }
+    let glyph = |task: usize| -> char {
+        let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+        alphabet.chars().nth(task % alphabet.len()).expect("non-empty alphabet")
+    };
+    let mut out = String::new();
+    for task in 0..n_tasks {
+        out.push_str(&format!("τ{task:<3} "));
+        for col in 0..width {
+            // Midpoint tick of the column.
+            let t = (2 * col as u128 + 1) * horizon as u128 / (2 * width as u128);
+            let t = t as u64;
+            let running = trace
+                .iter()
+                .any(|s| s.task == task && s.start <= t && t < s.end);
+            out.push(if running { glyph(task) } else { '·' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(task: usize, start: u64, end: u64) -> TraceSegment {
+        TraceSegment { task, start, end }
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let trace = vec![seg(0, 0, 2), seg(1, 2, 5), seg(0, 5, 13)];
+        let stats = per_task_stats(&trace);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].execution, 10);
+        assert_eq!(stats[0].segments, 2);
+        assert_eq!(stats[0].first_start, Some(0));
+        assert_eq!(stats[0].last_end, Some(13));
+        assert_eq!(stats[1].execution, 3);
+        assert_eq!(stats[1].segments, 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert!(per_task_stats(&[]).is_empty());
+        assert_eq!(observed_utilization(&[], 100), 0.0);
+        assert_eq!(render_gantt(&[], 100, 10), "");
+    }
+
+    #[test]
+    fn utilization_measured() {
+        let trace = vec![seg(0, 0, 50)];
+        assert_eq!(observed_utilization(&trace, 100), 0.5);
+        assert_eq!(observed_utilization(&trace, 0), 0.0);
+        // Segments past the horizon are clipped.
+        let trace = vec![seg(0, 50, 150)];
+        assert_eq!(observed_utilization(&trace, 100), 0.5);
+    }
+
+    #[test]
+    fn gantt_shape() {
+        let trace = vec![seg(0, 0, 5), seg(1, 5, 10)];
+        let g = render_gantt(&trace, 10, 10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("τ0"));
+        // Task 0 occupies the first half of its row, idle after.
+        let row0: Vec<char> = lines[0].chars().skip(5).collect();
+        assert_eq!(row0[..5].iter().collect::<String>(), "AAAAA");
+        assert_eq!(row0[5..].iter().collect::<String>(), "·····");
+        let row1: Vec<char> = lines[1].chars().skip(5).collect();
+        assert_eq!(row1[5..].iter().collect::<String>(), "BBBBB");
+    }
+
+    #[test]
+    fn gantt_from_real_engine_trace() {
+        use crate::engine::{run, EngineConfig};
+        use crate::job::Job;
+        use crate::policy::SchedPolicy;
+        let jobs = [
+            Job { task: 0, release: 0, deadline: 100, work: 10 },
+            Job { task: 1, release: 2, deadline: 6, work: 3 },
+        ];
+        let (_, trace) = run(
+            &jobs,
+            SchedPolicy::Edf,
+            &[],
+            EngineConfig { record_trace: true, max_recorded_misses: 8 },
+        );
+        let stats = per_task_stats(&trace);
+        assert_eq!(stats[0].execution, 10);
+        assert_eq!(stats[1].execution, 3);
+        let g = render_gantt(&trace, 13, 13);
+        assert!(g.contains('A') && g.contains('B'));
+        // Machine fully busy until t = 13.
+        assert!((observed_utilization(&trace, 13) - 1.0).abs() < 1e-12);
+    }
+}

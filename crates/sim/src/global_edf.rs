@@ -1,0 +1,213 @@
+//! Global EDF on identical unit-speed machines (baseline, extension).
+//!
+//! The paper studies *partitioned* scheduling; the textbook alternative is
+//! global scheduling, where the `m` earliest-deadline ready jobs run on the
+//! `m` machines and jobs migrate freely. Global EDF is **not** optimal on
+//! multiprocessors — the Dhall effect makes it miss deadlines at total
+//! utilization barely above 1 regardless of `m` — which is a standard
+//! motivation for partitioned approaches like the paper's. Experiment E15
+//! quantifies this against first-fit.
+//!
+//! Restricted to identical unit-speed machines so that every event lands
+//! on an integer tick (the general related-machine global EDF needs
+//! rational event times and is deliberately out of scope — the *optimal*
+//! migrative scheduler for that case is [`crate::fluid`]).
+
+use crate::job::{Job, MissRecord, SimReport};
+use crate::source::{releases, ReleasePattern};
+use hetfeas_model::TaskSet;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulate global EDF of `tasks` on `m` identical unit-speed machines
+/// over `horizon` ticks of releases.
+///
+/// At every event (release or completion) the `m` pending jobs with the
+/// earliest absolute deadlines run, each at rate 1; ties break by release
+/// then job id (deterministic).
+pub fn simulate_global_edf(
+    tasks: &TaskSet,
+    m: usize,
+    pattern: ReleasePattern,
+    horizon: u64,
+) -> SimReport {
+    assert!(m > 0, "at least one machine");
+    let jobs: Vec<Job> = releases(tasks, pattern, horizon)
+        .into_iter()
+        .map(|(task, release)| Job {
+            task,
+            release,
+            deadline: release + tasks[task].deadline(),
+            work: tasks[task].wcet(),
+        })
+        .collect();
+
+    let mut report = SimReport::default();
+    let mut remaining: Vec<u64> = jobs.iter().map(|j| j.work).collect();
+    // Pending jobs keyed by (deadline, release, id).
+    let mut pending: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    let mut next_release = 0usize;
+    let mut t: u64 = jobs.first().map_or(0, |j| j.release);
+    let mut running_prev: Vec<usize> = Vec::new();
+
+    loop {
+        while next_release < jobs.len() && jobs[next_release].release <= t {
+            let id = next_release;
+            pending.push(Reverse((jobs[id].deadline, jobs[id].release, id)));
+            next_release += 1;
+        }
+        if pending.is_empty() {
+            match jobs.get(next_release) {
+                Some(j) => {
+                    report.idle_time += (j.release - t) * m as u64;
+                    t = j.release;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        // Select the m earliest-deadline jobs.
+        let mut running: Vec<usize> = Vec::with_capacity(m);
+        let mut stash: Vec<Reverse<(u64, u64, usize)>> = Vec::new();
+        while running.len() < m {
+            match pending.pop() {
+                Some(Reverse(key)) => {
+                    running.push(key.2);
+                    stash.push(Reverse(key));
+                }
+                None => break,
+            }
+        }
+        for key in stash {
+            pending.push(key);
+        }
+
+        // Preemptions: a previously-running, still-unfinished job displaced
+        // from the running set.
+        for &prev in &running_prev {
+            if remaining[prev] > 0 && !running.contains(&prev) {
+                report.preemptions += 1;
+            }
+        }
+
+        // Advance to the next event.
+        let min_remaining = running.iter().map(|&id| remaining[id]).min().expect("non-empty");
+        let mut dt = min_remaining;
+        if let Some(j) = jobs.get(next_release) {
+            dt = dt.min(j.release - t);
+        }
+        debug_assert!(dt > 0);
+        for &id in &running {
+            remaining[id] -= dt;
+        }
+        report.busy_time += dt * running.len() as u64;
+        report.idle_time += dt * (m - running.len()) as u64;
+        t += dt;
+
+        // Complete finished jobs (remove from pending).
+        let mut survivors: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        while let Some(Reverse(key)) = pending.pop() {
+            let id = key.2;
+            if remaining[id] == 0 {
+                report.jobs_completed += 1;
+                let job = &jobs[id];
+                if report.max_response.len() <= job.task {
+                    report.max_response.resize(job.task + 1, 0);
+                }
+                let response = t - job.release;
+                let slot = &mut report.max_response[job.task];
+                *slot = (*slot).max(response);
+                let lateness = t as i128 - job.deadline as i128;
+                report.max_lateness =
+                    Some(report.max_lateness.map_or(lateness, |x| x.max(lateness)));
+                if t > job.deadline {
+                    report.miss_count += 1;
+                    if report.misses.len() < 64 {
+                        report.misses.push(MissRecord {
+                            task: job.task,
+                            release: job.release,
+                            deadline: job.deadline,
+                            completion: t,
+                        });
+                    }
+                }
+            } else {
+                survivors.push(Reverse(key));
+            }
+        }
+        pending = survivors;
+        running_prev = running;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_machine_matches_uniprocessor_edf() {
+        // util exactly 1.0: EDF meets everything.
+        let ts = TaskSet::from_pairs([(1, 2), (1, 3), (1, 6)]).unwrap();
+        let r = simulate_global_edf(&ts, 1, ReleasePattern::Periodic, 12);
+        assert!(r.all_deadlines_met());
+        assert_eq!(r.idle_time, 0);
+    }
+
+    #[test]
+    fn parallelism_helps_light_tasks() {
+        // Four tasks of util 0.5 on 2 machines: global EDF schedules them.
+        let ts = TaskSet::from_pairs(vec![(1, 2); 4]).unwrap();
+        let r = simulate_global_edf(&ts, 2, ReleasePattern::Periodic, 20);
+        assert!(r.all_deadlines_met(), "misses: {:?}", r.misses);
+    }
+
+    #[test]
+    fn dhall_effect() {
+        // The classic pathology: m light short-period tasks + one heavy
+        // task of utilization 1. Total utilization 1 + ε, yet global EDF
+        // on m machines misses: at t = 0 the light jobs' earlier deadlines
+        // claim every machine, the heavy job starts one tick late, and a
+        // full-utilization task has no slack to give.
+        let ts = TaskSet::from_pairs([(1, 10), (1, 10), (12, 12)]).unwrap();
+        let r = simulate_global_edf(&ts, 2, ReleasePattern::Periodic, 60);
+        assert!(!r.all_deadlines_met(), "Dhall instance must miss under global EDF");
+        assert_eq!(r.misses[0].task, 2, "the heavy task misses");
+        // The same set is trivially partitioned-feasible: heavy task alone
+        // on one machine (12/12 = 1), both light tasks on the other (0.2).
+        use hetfeas_model::{Augmentation, Platform};
+        use hetfeas_partition::{first_fit, EdfAdmission};
+        let p = Platform::identical(2).unwrap();
+        assert!(first_fit(&ts, &p, Augmentation::NONE, &EdfAdmission).is_feasible());
+    }
+
+    #[test]
+    fn overload_misses() {
+        let ts = TaskSet::from_pairs([(2, 2), (2, 2), (1, 2)]).unwrap(); // util 2.5 on 2
+        let r = simulate_global_edf(&ts, 2, ReleasePattern::Periodic, 10);
+        assert!(!r.all_deadlines_met());
+    }
+
+    #[test]
+    fn work_conservation_and_counters() {
+        let ts = TaskSet::from_pairs([(1, 4), (2, 8)]).unwrap();
+        let r = simulate_global_edf(&ts, 2, ReleasePattern::Periodic, 8);
+        // Releases: t0 ×2 + t4 → work = 1+1+2 = 4.
+        assert_eq!(r.busy_time, 4);
+        assert_eq!(r.jobs_completed, 3);
+        assert!(r.all_deadlines_met());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = simulate_global_edf(&TaskSet::empty(), 3, ReleasePattern::Periodic, 10);
+        assert_eq!(r, SimReport::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_rejected() {
+        let ts = TaskSet::from_pairs([(1, 2)]).unwrap();
+        let _ = simulate_global_edf(&ts, 0, ReleasePattern::Periodic, 10);
+    }
+}

@@ -1,0 +1,133 @@
+//! Jobs and simulation reports.
+//!
+//! All quantities are in *scaled ticks*: for a machine of rational speed
+//! `num/den`, real ticks are multiplied by `num` and work units by `den`,
+//! so one scaled work unit takes exactly one scaled tick — every schedule
+//! event lands on an integer and the simulation is exact (see `DESIGN.md`
+//! §7).
+
+/// One job instance released by a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Index of the generating task (within the simulated machine's set).
+    pub task: usize,
+    /// Release time (scaled ticks).
+    pub release: u64,
+    /// Absolute deadline (scaled ticks).
+    pub deadline: u64,
+    /// Total execution demand (scaled work units = scaled ticks).
+    pub work: u64,
+}
+
+/// A deadline miss observed by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissRecord {
+    /// Task index.
+    pub task: usize,
+    /// Release time of the offending job (scaled ticks).
+    pub release: u64,
+    /// Its absolute deadline (scaled ticks).
+    pub deadline: u64,
+    /// When it actually completed (scaled ticks).
+    pub completion: u64,
+}
+
+/// Aggregate outcome of simulating one machine (or, summed, a platform).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimReport {
+    /// Number of jobs that completed.
+    pub jobs_completed: u64,
+    /// Deadline misses, in completion order (capped by the engine's
+    /// `max_recorded_misses`).
+    pub misses: Vec<MissRecord>,
+    /// Total number of misses (even beyond the recorded cap).
+    pub miss_count: u64,
+    /// Scaled ticks the processor spent executing.
+    pub busy_time: u64,
+    /// Scaled ticks the processor idled between the first release and the
+    /// last completion.
+    pub idle_time: u64,
+    /// Maximum lateness `completion − deadline` over all jobs (negative
+    /// when everything finishes early; `None` when no job completed).
+    pub max_lateness: Option<i128>,
+    /// Number of preemptions (a running job displaced before completing).
+    pub preemptions: u64,
+    /// Largest observed response time (completion − release, scaled ticks)
+    /// per task index; 0 for tasks that completed no job. Sized to the
+    /// largest task index seen.
+    pub max_response: Vec<u64>,
+}
+
+impl SimReport {
+    /// True when no job missed its deadline.
+    pub fn all_deadlines_met(&self) -> bool {
+        self.miss_count == 0
+    }
+
+    /// Merge another machine's report into this one (for platform-level
+    /// aggregation). `max_lateness` takes the max; counters add.
+    pub fn absorb(&mut self, other: &SimReport) {
+        self.jobs_completed += other.jobs_completed;
+        self.miss_count += other.miss_count;
+        self.misses.extend_from_slice(&other.misses);
+        self.busy_time += other.busy_time;
+        self.idle_time += other.idle_time;
+        self.max_lateness = match (self.max_lateness, other.max_lateness) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.preemptions += other.preemptions;
+        // Per-machine task indices are local; platform-level aggregation
+        // keeps the pairwise max by position (callers that need global
+        // task identities should query per-machine reports instead).
+        if self.max_response.len() < other.max_response.len() {
+            self.max_response.resize(other.max_response.len(), 0);
+        }
+        for (a, &b) in self.max_response.iter_mut().zip(&other.max_response) {
+            *a = (*a).max(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_report_is_clean() {
+        let r = SimReport::default();
+        assert!(r.all_deadlines_met());
+        assert_eq!(r.jobs_completed, 0);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = SimReport {
+            jobs_completed: 2,
+            miss_count: 1,
+            misses: vec![MissRecord { task: 0, release: 0, deadline: 5, completion: 7 }],
+            busy_time: 10,
+            idle_time: 1,
+            max_lateness: Some(2),
+            preemptions: 1,
+            max_response: vec![7],
+        };
+        let b = SimReport {
+            jobs_completed: 3,
+            miss_count: 0,
+            misses: vec![],
+            busy_time: 4,
+            idle_time: 0,
+            max_lateness: Some(-3),
+            preemptions: 0,
+            max_response: vec![2, 4],
+        };
+        a.absorb(&b);
+        assert_eq!(a.jobs_completed, 5);
+        assert_eq!(a.miss_count, 1);
+        assert_eq!(a.busy_time, 14);
+        assert_eq!(a.max_lateness, Some(2));
+        assert_eq!(a.max_response, vec![7, 4]);
+        assert!(!a.all_deadlines_met());
+    }
+}

@@ -1,0 +1,42 @@
+//! # hetfeas-sim
+//!
+//! Exact integer-time discrete-event simulation of preemptive EDF and
+//! rate-monotonic scheduling on related machines — the workspace's
+//! substitute for a hardware testbed (the paper has none; `DESIGN.md`
+//! documents the substitution).
+//!
+//! * [`engine`] — the event-driven single-machine core (releases and
+//!   completions are the only events; everything lands on integers).
+//! * [`machine`] — scaling a task set onto a rational-speed machine.
+//! * [`partition_sim`] — replaying a partitioned [`Assignment`] machine by
+//!   machine (partitioned ⇒ machines are independent).
+//! * [`source`] — synchronous periodic (critical instant) and jittered
+//!   sporadic release patterns.
+//! * [`fluid`] — the level algorithm: a constructive exact-rational
+//!   simulation of the optimal *migrative* scheduler (the LP adversary).
+//! * [`global_edf`] — global EDF on identical machines (the non-optimal
+//!   migrative baseline; exhibits the Dhall effect — experiment E15).
+//!
+//! [`Assignment`]: hetfeas_partition::Assignment
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod fluid;
+pub mod gantt;
+pub mod global_edf;
+pub mod job;
+pub mod machine;
+pub mod partition_sim;
+pub mod policy;
+pub mod source;
+
+pub use engine::{EngineConfig, TraceSegment};
+pub use fluid::{level_schedulable, run_level_algorithm, FluidSlice, LevelRun};
+pub use global_edf::simulate_global_edf;
+pub use gantt::{observed_utilization, per_task_stats, render_gantt, TaskTraceStats};
+pub use job::{Job, MissRecord, SimReport};
+pub use machine::{scaled_jobs, simulate_machine, simulate_machine_traced, validation_horizon};
+pub use partition_sim::{simulate_partition, validate_assignment};
+pub use policy::SchedPolicy;
+pub use source::{releases, ReleasePattern};

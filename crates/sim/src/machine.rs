@@ -1,0 +1,234 @@
+//! Simulating one related machine: scaling, job expansion, engine run.
+
+use crate::engine::{run, EngineConfig, TraceSegment};
+use crate::job::{Job, SimReport};
+use crate::policy::SchedPolicy;
+use crate::source::{releases, ReleasePattern};
+use hetfeas_model::{ModelError, Ratio, TaskSet};
+
+/// Expand `tasks` into scaled jobs for a machine of speed `num/den` over
+/// `horizon` (unscaled ticks, exclusive on releases).
+///
+/// Scaling: times × `num`, work × `den` — one scaled work unit then takes
+/// exactly one scaled tick (`DESIGN.md` §7).
+pub fn scaled_jobs(
+    tasks: &TaskSet,
+    speed: Ratio,
+    pattern: ReleasePattern,
+    horizon: u64,
+) -> Result<Vec<Job>, ModelError> {
+    if speed <= Ratio::ZERO {
+        return Err(ModelError::NonPositiveSpeed);
+    }
+    let num = u64::try_from(speed.numer()).map_err(|_| ModelError::Overflow("speed numerator"))?;
+    let den = u64::try_from(speed.denom()).map_err(|_| ModelError::Overflow("speed denominator"))?;
+    let mut jobs = Vec::new();
+    for (task, release) in releases(tasks, pattern, horizon) {
+        let t = &tasks[task];
+        let release = release
+            .checked_mul(num)
+            .ok_or(ModelError::Overflow("scaled release"))?;
+        let deadline = release
+            .checked_add(
+                t.deadline()
+                    .checked_mul(num)
+                    .ok_or(ModelError::Overflow("scaled deadline"))?,
+            )
+            .ok_or(ModelError::Overflow("scaled deadline"))?;
+        let work = t
+            .wcet()
+            .checked_mul(den)
+            .ok_or(ModelError::Overflow("scaled work"))?;
+        jobs.push(Job { task, release, deadline, work });
+    }
+    Ok(jobs)
+}
+
+/// Simulate `tasks` on a machine of rational speed `speed` under `policy`,
+/// releasing jobs per `pattern` for `horizon` unscaled ticks.
+///
+/// ```
+/// use hetfeas_model::{Ratio, TaskSet};
+/// use hetfeas_sim::{simulate_machine, ReleasePattern, SchedPolicy};
+///
+/// // Utilization exactly 1 — EDF meets every deadline, with zero idle time.
+/// let tasks = TaskSet::from_pairs([(1, 2), (1, 3), (1, 6)]).unwrap();
+/// let report = simulate_machine(
+///     &tasks, Ratio::ONE, SchedPolicy::Edf, ReleasePattern::Periodic, 12,
+/// ).unwrap();
+/// assert!(report.all_deadlines_met());
+/// assert_eq!(report.idle_time, 0);
+/// ```
+pub fn simulate_machine(
+    tasks: &TaskSet,
+    speed: Ratio,
+    policy: SchedPolicy,
+    pattern: ReleasePattern,
+    horizon: u64,
+) -> Result<SimReport, ModelError> {
+    let (report, _) = simulate_machine_traced(
+        tasks,
+        speed,
+        policy,
+        pattern,
+        horizon,
+        EngineConfig::default(),
+    )?;
+    Ok(report)
+}
+
+/// [`simulate_machine`] with explicit engine config; returns the trace too.
+pub fn simulate_machine_traced(
+    tasks: &TaskSet,
+    speed: Ratio,
+    policy: SchedPolicy,
+    pattern: ReleasePattern,
+    horizon: u64,
+    config: EngineConfig,
+) -> Result<(SimReport, Vec<TraceSegment>), ModelError> {
+    let jobs = scaled_jobs(tasks, speed, pattern, horizon)?;
+    let ranks = policy.ranks(tasks);
+    Ok(run(&jobs, policy, &ranks, config))
+}
+
+/// The default validation horizon: two hyperperiods of the set (for a
+/// synchronous periodic release pattern, one hyperperiod already suffices
+/// for EDF/FP with met deadlines; the second catches carried-in effects
+/// defensively). `None` when the hyperperiod overflows `u64`.
+pub fn validation_horizon(tasks: &TaskSet) -> Option<u64> {
+    let h = tasks.hyperperiod()?;
+    let two = h.checked_mul(2)?;
+    u64::try_from(two).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_at_capacity_meets_deadlines_under_edf() {
+        // util exactly 1.0 on a unit machine.
+        let ts = TaskSet::from_pairs([(1, 2), (1, 3), (1, 6)]).unwrap();
+        let h = validation_horizon(&ts).unwrap();
+        let r = simulate_machine(&ts, Ratio::ONE, SchedPolicy::Edf, ReleasePattern::Periodic, h)
+            .unwrap();
+        assert!(r.all_deadlines_met(), "misses: {:?}", r.misses);
+        // The machine is saturated: no idle time inside the horizon.
+        assert_eq!(r.idle_time, 0);
+    }
+
+    #[test]
+    fn overload_misses_under_edf() {
+        let ts = TaskSet::from_pairs([(2, 3), (2, 4)]).unwrap(); // util ≈ 1.17
+        let r = simulate_machine(&ts, Ratio::ONE, SchedPolicy::Edf, ReleasePattern::Periodic, 24)
+            .unwrap();
+        assert!(!r.all_deadlines_met());
+    }
+
+    #[test]
+    fn fractional_speed_is_exact() {
+        // c=3, p=4 at speed 3/4 → execution takes exactly the period.
+        let ts = TaskSet::from_pairs([(3, 4)]).unwrap();
+        let r = simulate_machine(
+            &ts,
+            Ratio::new(3, 4),
+            SchedPolicy::Edf,
+            ReleasePattern::Periodic,
+            40,
+        )
+        .unwrap();
+        assert!(r.all_deadlines_met());
+        assert_eq!(r.max_lateness, Some(0)); // finishes exactly at each deadline
+        // A hair slower ⇒ every job misses.
+        let r = simulate_machine(
+            &ts,
+            Ratio::new(74, 100),
+            SchedPolicy::Edf,
+            ReleasePattern::Periodic,
+            40,
+        )
+        .unwrap();
+        assert!(!r.all_deadlines_met());
+    }
+
+    #[test]
+    fn rm_schedules_what_rta_promises() {
+        let ts = TaskSet::from_pairs([(1, 4), (2, 6), (3, 13)]).unwrap();
+        let h = validation_horizon(&ts).unwrap();
+        let r = simulate_machine(
+            &ts,
+            Ratio::ONE,
+            SchedPolicy::RateMonotonic,
+            ReleasePattern::Periodic,
+            h,
+        )
+        .unwrap();
+        assert!(r.all_deadlines_met());
+    }
+
+    #[test]
+    fn rm_misses_where_edf_survives() {
+        // The classic full-utilization pair (c,p) = (2,4),(5,10): EDF
+        // schedules it (util exactly 1), RM misses the long task.
+        let ts = TaskSet::from_pairs([(2, 4), (5, 10)]).unwrap();
+        let h = validation_horizon(&ts).unwrap();
+        let edf =
+            simulate_machine(&ts, Ratio::ONE, SchedPolicy::Edf, ReleasePattern::Periodic, h)
+                .unwrap();
+        let rm = simulate_machine(
+            &ts,
+            Ratio::ONE,
+            SchedPolicy::RateMonotonic,
+            ReleasePattern::Periodic,
+            h,
+        )
+        .unwrap();
+        assert!(edf.all_deadlines_met());
+        assert!(!rm.all_deadlines_met());
+    }
+
+    #[test]
+    fn sporadic_releases_never_harder_than_periodic() {
+        // A set feasible under the periodic worst case stays feasible with
+        // sporadic slack.
+        let ts = TaskSet::from_pairs([(1, 2), (1, 3), (1, 6)]).unwrap();
+        let r = simulate_machine(
+            &ts,
+            Ratio::ONE,
+            SchedPolicy::Edf,
+            ReleasePattern::Sporadic { jitter_frac: 0.4, seed: 17 },
+            1000,
+        )
+        .unwrap();
+        assert!(r.all_deadlines_met());
+    }
+
+    #[test]
+    fn empty_set_is_quiet() {
+        let r = simulate_machine(
+            &TaskSet::empty(),
+            Ratio::ONE,
+            SchedPolicy::Edf,
+            ReleasePattern::Periodic,
+            100,
+        )
+        .unwrap();
+        assert_eq!(r.jobs_completed, 0);
+    }
+
+    #[test]
+    fn zero_speed_rejected() {
+        let ts = TaskSet::from_pairs([(1, 2)]).unwrap();
+        assert!(matches!(
+            simulate_machine(&ts, Ratio::ZERO, SchedPolicy::Edf, ReleasePattern::Periodic, 10),
+            Err(ModelError::NonPositiveSpeed)
+        ));
+    }
+
+    #[test]
+    fn validation_horizon_is_two_hyperperiods() {
+        let ts = TaskSet::from_pairs([(1, 4), (1, 6)]).unwrap();
+        assert_eq!(validation_horizon(&ts), Some(24));
+        assert_eq!(validation_horizon(&TaskSet::empty()), None);
+    }
+}

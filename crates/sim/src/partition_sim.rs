@@ -1,0 +1,155 @@
+//! Platform-level simulation of a partitioned schedule.
+//!
+//! Partitioned scheduling means each machine is an independent
+//! single-machine system — so the platform simulation is per-machine
+//! simulation plus aggregation. This is the workspace's stand-in for the
+//! hardware testbed the paper never had (see `DESIGN.md` substitutions):
+//! experiment E7 replays every accepted assignment here and checks that
+//! zero deadlines are missed on the α-augmented platform.
+
+use crate::job::SimReport;
+use crate::machine::{simulate_machine, validation_horizon};
+use crate::policy::SchedPolicy;
+use crate::source::ReleasePattern;
+use hetfeas_model::{ModelError, Platform, Ratio, TaskSet};
+use hetfeas_partition::Assignment;
+
+/// Simulate a complete partitioned assignment on `platform` with machine
+/// speeds multiplied by `alpha` (the algorithm's speed augmentation as an
+/// exact rational — e.g. `Ratio::new(149, 50)` for α = 2.98).
+///
+/// `horizon` is in unscaled ticks; pass [`validation_horizon`]'s value for
+/// a full hyperperiod-level check, or a smaller budget for smoke tests.
+pub fn simulate_partition(
+    tasks: &TaskSet,
+    platform: &Platform,
+    assignment: &Assignment,
+    alpha: Ratio,
+    policy: SchedPolicy,
+    pattern: ReleasePattern,
+    horizon: u64,
+) -> Result<SimReport, ModelError> {
+    if !assignment.is_complete() {
+        // An incomplete assignment has no defined schedule; treat as error
+        // rather than silently simulating a subset.
+        return Err(ModelError::UtilizationTooLarge { task: usize::MAX });
+    }
+    let mut total = SimReport::default();
+    for m in 0..platform.len() {
+        let subset = assignment.taskset_on(m, tasks);
+        if subset.is_empty() {
+            continue;
+        }
+        let speed = platform
+            .machine(m)
+            .speed()
+            .checked_mul(&alpha)
+            .ok_or(ModelError::Overflow("augmented speed"))?;
+        let report = simulate_machine(&subset, speed, policy, pattern, horizon)?;
+        total.absorb(&report);
+    }
+    Ok(total)
+}
+
+/// Convenience: simulate with the set's own validation horizon
+/// (two hyperperiods) under the synchronous periodic worst case.
+pub fn validate_assignment(
+    tasks: &TaskSet,
+    platform: &Platform,
+    assignment: &Assignment,
+    alpha: Ratio,
+    policy: SchedPolicy,
+) -> Result<SimReport, ModelError> {
+    let horizon = validation_horizon(tasks).ok_or(ModelError::Overflow("validation horizon"))?;
+    simulate_partition(
+        tasks,
+        platform,
+        assignment,
+        alpha,
+        policy,
+        ReleasePattern::Periodic,
+        horizon,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetfeas_model::Augmentation;
+    use hetfeas_partition::{first_fit, EdfAdmission, RmsLlAdmission};
+
+    #[test]
+    fn accepted_edf_partition_meets_all_deadlines() {
+        let tasks = TaskSet::from_pairs([(9, 10), (4, 10), (3, 10), (6, 20)]).unwrap();
+        let platform = Platform::from_int_speeds([1, 2]).unwrap();
+        let out = first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission);
+        let a = out.assignment().expect("feasible");
+        let r = validate_assignment(&tasks, &platform, a, Ratio::ONE, SchedPolicy::Edf).unwrap();
+        assert!(r.all_deadlines_met(), "misses: {:?}", r.misses);
+        assert_eq!(r.jobs_completed % 1, 0);
+    }
+
+    #[test]
+    fn accepted_rms_partition_meets_all_deadlines() {
+        let tasks = TaskSet::from_pairs([(1, 10), (2, 20), (3, 25), (1, 50), (2, 40)]).unwrap();
+        let platform = Platform::from_int_speeds([1, 1]).unwrap();
+        let out = first_fit(&tasks, &platform, Augmentation::NONE, &RmsLlAdmission);
+        let a = out.assignment().expect("feasible");
+        let r = validate_assignment(&tasks, &platform, a, Ratio::ONE, SchedPolicy::RateMonotonic)
+            .unwrap();
+        assert!(r.all_deadlines_met(), "misses: {:?}", r.misses);
+    }
+
+    #[test]
+    fn deliberately_overloaded_assignment_misses() {
+        // Force both tasks (total util 1.4) onto the slow machine.
+        let tasks = TaskSet::from_pairs([(7, 10), (7, 10)]).unwrap();
+        let platform = Platform::from_int_speeds([1, 4]).unwrap();
+        let mut a = Assignment::new(2, 2);
+        a.assign(0, 0);
+        a.assign(1, 0);
+        let r = validate_assignment(&tasks, &platform, &a, Ratio::ONE, SchedPolicy::Edf).unwrap();
+        assert!(!r.all_deadlines_met());
+        // The same assignment at α = 2 is fine (speed 2 ≥ 1.4).
+        let r = validate_assignment(&tasks, &platform, &a, Ratio::from_integer(2), SchedPolicy::Edf)
+            .unwrap();
+        assert!(r.all_deadlines_met());
+    }
+
+    #[test]
+    fn fractional_alpha_is_exact() {
+        // util 1.49 on a unit machine at α = 149/100 → exactly feasible.
+        let tasks = TaskSet::from_pairs([(149, 100)]).unwrap();
+        let platform = Platform::identical(1).unwrap();
+        let mut a = Assignment::new(1, 1);
+        a.assign(0, 0);
+        let ok =
+            validate_assignment(&tasks, &platform, &a, Ratio::new(149, 100), SchedPolicy::Edf)
+                .unwrap();
+        assert!(ok.all_deadlines_met());
+        let under =
+            validate_assignment(&tasks, &platform, &a, Ratio::new(148, 100), SchedPolicy::Edf)
+                .unwrap();
+        assert!(!under.all_deadlines_met());
+    }
+
+    #[test]
+    fn incomplete_assignment_rejected() {
+        let tasks = TaskSet::from_pairs([(1, 2), (1, 2)]).unwrap();
+        let platform = Platform::identical(2).unwrap();
+        let mut a = Assignment::new(2, 2);
+        a.assign(0, 0);
+        assert!(validate_assignment(&tasks, &platform, &a, Ratio::ONE, SchedPolicy::Edf).is_err());
+    }
+
+    #[test]
+    fn empty_machines_are_skipped() {
+        let tasks = TaskSet::from_pairs([(1, 2)]).unwrap();
+        let platform = Platform::identical(3).unwrap();
+        let mut a = Assignment::new(1, 3);
+        a.assign(0, 1);
+        let r = validate_assignment(&tasks, &platform, &a, Ratio::ONE, SchedPolicy::Edf).unwrap();
+        assert!(r.all_deadlines_met());
+        assert_eq!(r.jobs_completed, 2); // two hyperperiods of p=2 → 4/2... horizon 4, releases at 0,2
+    }
+}

@@ -1,0 +1,73 @@
+//! Scheduling policies for the single-machine engine.
+
+use hetfeas_model::TaskSet;
+
+/// Which preemptive scheduler runs on the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Earliest-Deadline-First: dynamic priority by absolute deadline.
+    Edf,
+    /// Rate-monotonic: static priority by period (smaller period = higher
+    /// priority; ties by task index), the paper's RMS.
+    RateMonotonic,
+}
+
+impl SchedPolicy {
+    /// Static priority rank per task (lower = higher priority). For EDF
+    /// the rank is unused (dynamic priorities), so the identity is
+    /// returned.
+    pub fn ranks(&self, tasks: &TaskSet) -> Vec<u64> {
+        match self {
+            SchedPolicy::Edf => (0..tasks.len() as u64).collect(),
+            SchedPolicy::RateMonotonic => {
+                let order = hetfeas_analysis_rank(tasks);
+                let mut ranks = vec![0u64; tasks.len()];
+                for (rank, &task) in order.iter().enumerate() {
+                    ranks[task] = rank as u64;
+                }
+                ranks
+            }
+        }
+    }
+
+    /// Label for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicy::Edf => "EDF",
+            SchedPolicy::RateMonotonic => "RMS",
+        }
+    }
+}
+
+/// Rate-monotonic order (period ascending, ties by index). Local copy of
+/// `hetfeas_analysis::rm_priority_order` to keep this crate's dependency
+/// surface minimal (the definitions must — and are tested to — agree).
+fn hetfeas_analysis_rank(tasks: &TaskSet) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..tasks.len()).collect();
+    idx.sort_by(|&a, &b| tasks[a].period().cmp(&tasks[b].period()).then(a.cmp(&b)));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rm_ranks_by_period() {
+        let ts = TaskSet::from_pairs([(1, 10), (1, 5), (1, 10), (1, 2)]).unwrap();
+        // Periods 10,5,10,2 → priority order: 3 (p=2), 1 (p=5), 0, 2.
+        assert_eq!(SchedPolicy::RateMonotonic.ranks(&ts), vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn edf_ranks_are_identity_placeholder() {
+        let ts = TaskSet::from_pairs([(1, 10), (1, 5)]).unwrap();
+        assert_eq!(SchedPolicy::Edf.ranks(&ts), vec![0, 1]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SchedPolicy::Edf.name(), "EDF");
+        assert_eq!(SchedPolicy::RateMonotonic.name(), "RMS");
+    }
+}

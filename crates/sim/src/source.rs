@@ -1,0 +1,137 @@
+//! Job release patterns.
+//!
+//! Sporadic tasks may release *at most* every `p_i` ticks. The synchronous
+//! periodic pattern (all tasks release at 0 and exactly every period) is
+//! the worst case for implicit-deadline feasibility, so validation uses it;
+//! the jittered pattern exercises genuinely sporadic arrivals.
+
+use hetfeas_model::TaskSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How jobs are released.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReleasePattern {
+    /// Synchronous periodic: task `i` releases at `0, p_i, 2p_i, …`
+    /// (the critical instant — worst case).
+    Periodic,
+    /// Sporadic: consecutive releases are separated by
+    /// `p_i + U(0, jitter_frac·p_i)` ticks, seeded for reproducibility.
+    Sporadic {
+        /// Extra inter-arrival slack as a fraction of the period.
+        jitter_frac: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Generate all `(task, release_tick)` pairs with `release < horizon`
+/// (unscaled ticks), sorted by release time (ties by task index).
+pub fn releases(tasks: &TaskSet, pattern: ReleasePattern, horizon: u64) -> Vec<(usize, u64)> {
+    let mut out = Vec::new();
+    match pattern {
+        ReleasePattern::Periodic => {
+            for (i, t) in tasks.iter().enumerate() {
+                let mut r = 0u64;
+                while r < horizon {
+                    out.push((i, r));
+                    match r.checked_add(t.period()) {
+                        Some(next) => r = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+        ReleasePattern::Sporadic { jitter_frac, seed } => {
+            assert!(
+                (0.0..=10.0).contains(&jitter_frac),
+                "jitter fraction out of sane range"
+            );
+            for (i, t) in tasks.iter().enumerate() {
+                // Independent stream per task so adding tasks never
+                // perturbs the others.
+                let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+                let mut r = 0u64;
+                while r < horizon {
+                    out.push((i, r));
+                    let jitter = (rng.gen::<f64>() * jitter_frac * t.period() as f64) as u64;
+                    match r.checked_add(t.period()).and_then(|x| x.checked_add(jitter)) {
+                        Some(next) => r = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable_by_key(|&(task, rel)| (rel, task));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_releases_every_period() {
+        let ts = TaskSet::from_pairs([(1, 4), (1, 6)]).unwrap();
+        let r = releases(&ts, ReleasePattern::Periodic, 12);
+        assert_eq!(
+            r,
+            vec![(0, 0), (1, 0), (0, 4), (1, 6), (0, 8)],
+        );
+    }
+
+    #[test]
+    fn horizon_is_exclusive() {
+        let ts = TaskSet::from_pairs([(1, 4)]).unwrap();
+        let r = releases(&ts, ReleasePattern::Periodic, 4);
+        assert_eq!(r, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn sporadic_gaps_at_least_period() {
+        let ts = TaskSet::from_pairs([(1, 10), (2, 25)]).unwrap();
+        let r = releases(
+            &ts,
+            ReleasePattern::Sporadic { jitter_frac: 0.5, seed: 99 },
+            1000,
+        );
+        for task in 0..2 {
+            let times: Vec<u64> = r.iter().filter(|(t, _)| *t == task).map(|&(_, x)| x).collect();
+            assert!(!times.is_empty());
+            let p = ts[task].period();
+            for w in times.windows(2) {
+                assert!(w[1] - w[0] >= p, "sporadic gap below period");
+                assert!(w[1] - w[0] <= p + p / 2 + 1, "jitter exceeded bound");
+            }
+        }
+    }
+
+    #[test]
+    fn sporadic_is_deterministic_per_seed() {
+        let ts = TaskSet::from_pairs([(1, 10)]).unwrap();
+        let p = ReleasePattern::Sporadic { jitter_frac: 1.0, seed: 5 };
+        assert_eq!(releases(&ts, p, 500), releases(&ts, p, 500));
+    }
+
+    #[test]
+    fn zero_jitter_sporadic_equals_periodic() {
+        let ts = TaskSet::from_pairs([(1, 7), (1, 11)]).unwrap();
+        let s = releases(
+            &ts,
+            ReleasePattern::Sporadic { jitter_frac: 0.0, seed: 1 },
+            200,
+        );
+        let p = releases(&ts, ReleasePattern::Periodic, 200);
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn output_sorted_by_release() {
+        let ts = TaskSet::from_pairs([(1, 3), (1, 5), (1, 7)]).unwrap();
+        let r = releases(&ts, ReleasePattern::Periodic, 100);
+        for w in r.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

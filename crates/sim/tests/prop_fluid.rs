@@ -1,0 +1,91 @@
+//! Three-way cross-validation of the migrative adversary: the level
+//! algorithm *simulation* must complete exactly when the closed-form
+//! prefix conditions hold, which in turn coincide with the paper's LP.
+
+use hetfeas_lp::{level_feasible_sorted, lp_feasible_simplex};
+use hetfeas_model::{Platform, Ratio, TaskSet};
+use hetfeas_sim::{level_schedulable, run_level_algorithm};
+use proptest::prelude::*;
+
+fn small_ratios(max_num: i128, len: core::ops::Range<usize>) -> impl Strategy<Value = Vec<Ratio>> {
+    prop::collection::vec(
+        (1i128..=max_num, 1i128..=8).prop_map(|(n, d)| Ratio::new(n, d)),
+        len,
+    )
+}
+
+proptest! {
+    // The headline equivalence: simulation completes ⇔ prefix conditions.
+    #[test]
+    fn level_run_matches_closed_form(
+        demands in small_ratios(12, 1..8),
+        speeds in small_ratios(6, 1..5),
+    ) {
+        let mut d_sorted = demands.clone();
+        d_sorted.sort_by(|a, b| b.cmp(a));
+        let mut s_sorted = speeds.clone();
+        s_sorted.sort_by(|a, b| b.cmp(a));
+        let closed = level_feasible_sorted(&d_sorted, &s_sorted);
+        let simulated = level_schedulable(&demands, &speeds);
+        prop_assert_eq!(closed, simulated,
+            "level algorithm vs prefix conditions disagree: d={:?} s={:?}",
+            demands, speeds);
+    }
+
+    // And both agree with the simplex on the paper's LP, via integer task
+    // sets (utilization = demand over a unit window).
+    #[test]
+    fn level_run_matches_simplex(
+        pairs in prop::collection::vec((1u64..=30, 5u64..=30), 1..6),
+        speeds in prop::collection::vec(1u64..=5, 1..4),
+    ) {
+        let ts = TaskSet::from_pairs(pairs).unwrap();
+        let platform = Platform::from_int_speeds(speeds.clone()).unwrap();
+        let demands: Vec<Ratio> = ts.iter().map(|t| t.utilization_ratio()).collect();
+        let speed_ratios: Vec<Ratio> =
+            platform.iter().map(|m| m.speed()).collect();
+        let simulated = level_schedulable(&demands, &speed_ratios);
+        let lp = lp_feasible_simplex(&ts, &platform);
+        // The simplex works in f64; tolerate boundary disagreement only.
+        if simulated != lp {
+            let beta = hetfeas_lp::level_scaling_factor(&ts, &platform);
+            prop_assert!((beta - 1.0).abs() < 1e-7,
+                "level sim vs simplex disagree away from boundary (β={beta})");
+        }
+    }
+
+    // Work conservation: delivered work never exceeds capacity and equals
+    // total demand on completion.
+    #[test]
+    fn level_run_conserves_work(
+        demands in small_ratios(12, 1..8),
+        speeds in small_ratios(6, 1..5),
+    ) {
+        let window = Ratio::ONE;
+        let run = run_level_algorithm(&demands, &speeds, window);
+        let total_demand: Ratio = demands.iter().copied().sum();
+        let capacity: Ratio = speeds.iter().copied().sum();
+        let delivered = run.delivered();
+        prop_assert!(delivered <= capacity + Ratio::new(1, 1_000_000_000));
+        let left: Ratio = run.remaining.iter().copied().sum();
+        prop_assert_eq!(delivered + left, total_demand, "work must be conserved exactly");
+        if run.completed {
+            prop_assert_eq!(delivered, total_demand);
+        }
+    }
+
+    // No job ever runs faster than the fastest machine (per-job rate cap).
+    #[test]
+    fn per_job_rate_bounded_by_fastest_machine(
+        demands in small_ratios(12, 1..8),
+        speeds in small_ratios(6, 1..5),
+    ) {
+        let run = run_level_algorithm(&demands, &speeds, Ratio::ONE);
+        let max_speed = speeds.iter().copied().max().unwrap();
+        for slice in &run.slices {
+            for (_, rate) in &slice.groups {
+                prop_assert!(*rate <= max_speed, "rate {} exceeds fastest {}", rate, max_speed);
+            }
+        }
+    }
+}

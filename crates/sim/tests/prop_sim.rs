@@ -1,0 +1,140 @@
+//! Cross-validation of the simulator against the analytical tests:
+//! the discrete-event engine and the closed-form theory must agree.
+
+use hetfeas_analysis::{edf_schedulable_exact, rta_response_times, rm_priority_order, rta_schedulable};
+use hetfeas_model::{Ratio, Task, TaskSet};
+use hetfeas_sim::{
+    simulate_machine, validation_horizon, ReleasePattern, SchedPolicy,
+};
+use proptest::prelude::*;
+
+/// Tasks with divisor-friendly periods and WCET ≤ period.
+fn menu_task() -> impl Strategy<Value = Task> {
+    (1u64..=30, prop::sample::select(vec![4u64, 5, 8, 10, 20, 25, 40, 50]))
+        .prop_map(|(c, p)| Task::implicit(c.min(p), p).unwrap())
+}
+
+fn small_set() -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(menu_task(), 1..6).prop_map(TaskSet::new)
+}
+
+fn small_speed() -> impl Strategy<Value = Ratio> {
+    (1i128..=6, 1i128..=4).prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+proptest! {
+    // EDF exactness: Σw ≤ s  ⇔  no miss over the validation horizon under
+    // the synchronous periodic worst case (Theorem II.2 both directions).
+    #[test]
+    fn edf_simulation_matches_utilization_test(ts in small_set(), speed in small_speed()) {
+        let horizon = validation_horizon(&ts).unwrap();
+        let report = simulate_machine(
+            &ts, speed, SchedPolicy::Edf, ReleasePattern::Periodic, horizon,
+        ).unwrap();
+        let theory = edf_schedulable_exact(&ts, speed);
+        prop_assert_eq!(
+            report.all_deadlines_met(), theory,
+            "EDF sim vs utilization test disagree: {} at speed {} ({} misses)",
+            ts, speed, report.miss_count
+        );
+    }
+
+    // RM exactness: exact RTA ⇔ no miss over the validation horizon.
+    #[test]
+    fn rm_simulation_matches_rta(ts in small_set(), speed in small_speed()) {
+        let horizon = validation_horizon(&ts).unwrap();
+        let report = simulate_machine(
+            &ts, speed, SchedPolicy::RateMonotonic, ReleasePattern::Periodic, horizon,
+        ).unwrap();
+        let theory = rta_schedulable(&ts, speed);
+        prop_assert_eq!(
+            report.all_deadlines_met(), theory,
+            "RM sim vs RTA disagree: {} at speed {} ({} misses)",
+            ts, speed, report.miss_count
+        );
+    }
+
+    // Work conservation: busy time equals total released work (scaled) when
+    // every job completes — the engine never loses or invents work.
+    #[test]
+    fn busy_time_equals_released_work(ts in small_set(), speed in small_speed()) {
+        let horizon = validation_horizon(&ts).unwrap();
+        let report = simulate_machine(
+            &ts, speed, SchedPolicy::Edf, ReleasePattern::Periodic, horizon,
+        ).unwrap();
+        let den = speed.denom() as u64;
+        let released: u64 = ts.iter()
+            .map(|t| (horizon / t.period() + u64::from(!horizon.is_multiple_of(t.period()))) * t.wcet() * den)
+            .sum();
+        prop_assert_eq!(report.busy_time, released);
+        let jobs: u64 = ts.iter()
+            .map(|t| horizon / t.period() + u64::from(!horizon.is_multiple_of(t.period())))
+            .sum();
+        prop_assert_eq!(report.jobs_completed, jobs);
+    }
+
+    // Sporadic slack never hurts: a set with no misses under the periodic
+    // worst case has none under jittered sporadic releases either.
+    #[test]
+    fn sporadic_dominated_by_periodic(ts in small_set(), seed in 0u64..1000) {
+        let horizon = validation_horizon(&ts).unwrap();
+        let periodic = simulate_machine(
+            &ts, Ratio::ONE, SchedPolicy::Edf, ReleasePattern::Periodic, horizon,
+        ).unwrap();
+        prop_assume!(periodic.all_deadlines_met());
+        let sporadic = simulate_machine(
+            &ts,
+            Ratio::ONE,
+            SchedPolicy::Edf,
+            ReleasePattern::Sporadic { jitter_frac: 0.5, seed },
+            horizon,
+        ).unwrap();
+        prop_assert!(sporadic.all_deadlines_met());
+    }
+
+    // Speed monotonicity: raising the speed never introduces misses.
+    #[test]
+    fn faster_machine_never_worse(ts in small_set(), speed in small_speed()) {
+        let horizon = validation_horizon(&ts).unwrap();
+        let base = simulate_machine(
+            &ts, speed, SchedPolicy::RateMonotonic, ReleasePattern::Periodic, horizon,
+        ).unwrap();
+        prop_assume!(base.all_deadlines_met());
+        let faster = simulate_machine(
+            &ts,
+            speed * Ratio::new(3, 2),
+            SchedPolicy::RateMonotonic,
+            ReleasePattern::Periodic,
+            horizon,
+        ).unwrap();
+        prop_assert!(faster.all_deadlines_met());
+    }
+
+    // Critical-instant exactness: under RM with synchronous periodic
+    // releases, the worst observed response time of every task equals the
+    // RTA fixed point exactly (scaled by the speed numerator).
+    #[test]
+    fn observed_response_equals_rta(ts in small_set(), speed in small_speed()) {
+        prop_assume!(rta_schedulable(&ts, speed));
+        let horizon = validation_horizon(&ts).unwrap();
+        let report = simulate_machine(
+            &ts, speed, SchedPolicy::RateMonotonic, ReleasePattern::Periodic, horizon,
+        ).unwrap();
+        let order = rm_priority_order(&ts);
+        let rta = rta_response_times(&ts, &order, speed);
+        let num = speed.numer();
+        for (task, r) in rta.iter().enumerate() {
+            let r = r.expect("schedulable by assumption");
+            // R is in ticks; the engine reports scaled ticks (× num).
+            let scaled = r * hetfeas_model::Ratio::from_integer(num);
+            prop_assert!(scaled.is_integer(),
+                "RTA response times land on scaled integers");
+            prop_assert_eq!(
+                report.max_response[task] as i128,
+                scaled.numer(),
+                "observed response ≠ RTA for task {} in {} at speed {}",
+                task, ts, speed
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Bounded fixed-sum utilization sampling.
+//!
+//! Heterogeneous experiments often need utilizations with *individual
+//! bounds* (e.g. "some tasks heavier than the slow machines" to exercise
+//! the paper's medium/fast machine cases). The gold standard is Stafford's
+//! RandFixedSum (uniform over the bounded simplex); we implement the
+//! conditional-sequential approximation that is standard in schedulability
+//! studies when exact uniformity is not required: draw each component
+//! uniformly from the range that keeps the remaining sum attainable, then
+//! shuffle to remove positional bias. The result is supported on exactly
+//! the bounded simplex (every sample is valid and every valid point has
+//! positive density) but is not perfectly uniform — acceptable here since
+//! our experiments sweep the total utilization systematically. Documented
+//! as a substitution in `DESIGN.md`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Sample `n` values in `[lo, hi]` summing to `total` (within f64
+/// rounding). Returns `None` if no such vector exists
+/// (`total ∉ [n·lo, n·hi]`) or for degenerate inputs.
+pub fn bounded_fixed_sum<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    total: f64,
+    lo: f64,
+    hi: f64,
+) -> Option<Vec<f64>> {
+    if n == 0 {
+        return (total.abs() < 1e-12).then(Vec::new);
+    }
+    if !(lo.is_finite() && hi.is_finite() && total.is_finite()) || lo > hi || lo < 0.0 {
+        return None;
+    }
+    let eps = 1e-12;
+    if total < n as f64 * lo - eps || total > n as f64 * hi + eps {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut remaining = total;
+    for k in 0..n {
+        let left = (n - k - 1) as f64;
+        // u must leave the remaining components a reachable sum:
+        // remaining − u ∈ [left·lo, left·hi].
+        let min_u = (remaining - left * hi).max(lo);
+        let max_u = (remaining - left * lo).min(hi);
+        if min_u > max_u + eps {
+            return None; // numerically unreachable (should not happen)
+        }
+        let u = if max_u - min_u < eps {
+            min_u
+        } else {
+            rng.gen_range(min_u..=max_u)
+        };
+        out.push(u);
+        remaining -= u;
+    }
+    out.shuffle(rng);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_sum_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let v = bounded_fixed_sum(&mut rng, 6, 2.4, 0.1, 0.8).unwrap();
+            assert_eq!(v.len(), 6);
+            assert!((v.iter().sum::<f64>() - 2.4).abs() < 1e-9);
+            assert!(v.iter().all(|&u| (0.1..=0.8 + 1e-12).contains(&u)));
+        }
+    }
+
+    #[test]
+    fn infeasible_ranges_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(bounded_fixed_sum(&mut rng, 3, 3.0, 0.0, 0.5).is_none()); // max 1.5
+        assert!(bounded_fixed_sum(&mut rng, 3, 0.1, 0.2, 0.5).is_none()); // min 0.6
+        assert!(bounded_fixed_sum(&mut rng, 3, 1.0, 0.5, 0.2).is_none()); // lo > hi
+        assert!(bounded_fixed_sum(&mut rng, 3, 1.0, -0.1, 0.5).is_none()); // negative lo
+    }
+
+    #[test]
+    fn tight_cases_hit_exact_corners() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = bounded_fixed_sum(&mut rng, 4, 2.0, 0.5, 0.5).unwrap();
+        assert_eq!(v, vec![0.5; 4]);
+        let v = bounded_fixed_sum(&mut rng, 1, 0.7, 0.0, 1.0).unwrap();
+        assert!((v[0] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_n() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(bounded_fixed_sum(&mut rng, 0, 0.0, 0.0, 1.0), Some(vec![]));
+        assert_eq!(bounded_fixed_sum(&mut rng, 0, 1.0, 0.0, 1.0), None);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = bounded_fixed_sum(&mut StdRng::seed_from_u64(77), 5, 1.5, 0.0, 1.0);
+        let b = bounded_fixed_sum(&mut StdRng::seed_from_u64(77), 5, 1.5, 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_removes_positional_bias() {
+        // First position must not systematically carry the constrained
+        // value; check the mean of position 0 ≈ total/n.
+        let mut rng = StdRng::seed_from_u64(100);
+        let trials = 20_000;
+        let mut first = 0.0;
+        for _ in 0..trials {
+            first += bounded_fixed_sum(&mut rng, 4, 2.0, 0.0, 1.0).unwrap()[0];
+        }
+        let avg = first / trials as f64;
+        assert!((avg - 0.5).abs() < 0.02, "position-0 mean {avg}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # hetfeas-workload
+//!
+//! Reproducible random workload and platform generation for the
+//! experiments: UUniFast(-Discard), bounded fixed-sum utilizations,
+//! divisor-friendly period menus, and heterogeneous platform families
+//! (big.LITTLE, geometric, uniform-random). All sampling is seeded and
+//! `(seed, index) → instance` is a pure function, so every experiment
+//! table is exactly regenerable.
+
+#![warn(missing_docs)]
+
+pub mod fixedsum;
+pub mod periods;
+pub mod platforms;
+pub mod scenarios;
+pub mod spec;
+pub mod transform;
+pub mod uunifast;
+
+pub use fixedsum::bounded_fixed_sum;
+pub use periods::{discretize, discretize_all, discretize_on_period, PeriodMenu};
+pub use platforms::PlatformSpec;
+pub use scenarios::Scenario;
+pub use spec::{Instance, UtilizationSampler, WorkloadSpec};
+pub use transform::shrink_deadlines;
+pub use uunifast::{uunifast, uunifast_discard};

@@ -1,0 +1,168 @@
+//! Period selection and utilization→task discretization.
+//!
+//! The workspace keeps simulator time and oracle arithmetic exact by
+//! drawing periods from a *menu* whose lcm is small (so hyperperiods fit
+//! `u64` and utilizations share a common denominator). This mirrors common
+//! practice in empirical schedulability studies, where periods come from a
+//! log-uniform grid.
+
+use hetfeas_model::time::hyperperiod;
+use hetfeas_model::{ModelError, Task, TaskSet};
+use rand::Rng;
+
+/// A menu of allowed periods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeriodMenu {
+    periods: Vec<u64>,
+}
+
+impl PeriodMenu {
+    /// The default divisor-friendly menu spanning two orders of magnitude;
+    /// lcm = 6000, so even 10⁵-task hyperperiod math stays tiny.
+    pub fn standard() -> Self {
+        PeriodMenu::new(vec![10, 20, 25, 40, 50, 75, 100, 120, 150, 200, 250, 300, 400, 500, 600, 750, 1000])
+            .expect("static menu is valid")
+    }
+
+    /// A short harmonic menu (powers of two × 10) — RM-friendly workloads.
+    pub fn harmonic() -> Self {
+        PeriodMenu::new(vec![10, 20, 40, 80, 160, 320]).expect("static menu is valid")
+    }
+
+    /// Custom menu; must be non-empty, zero-free and have an lcm fitting
+    /// `u64` (checked).
+    pub fn new(mut periods: Vec<u64>) -> Result<Self, ModelError> {
+        if periods.is_empty() {
+            return Err(ModelError::ZeroPeriod);
+        }
+        periods.sort_unstable();
+        periods.dedup();
+        if periods[0] == 0 {
+            return Err(ModelError::ZeroPeriod);
+        }
+        let h = hyperperiod(periods.iter().copied()).ok_or(ModelError::Overflow("period menu lcm"))?;
+        if h > u64::MAX as u128 {
+            return Err(ModelError::Overflow("period menu lcm"));
+        }
+        Ok(PeriodMenu { periods })
+    }
+
+    /// The allowed periods (sorted ascending).
+    pub fn periods(&self) -> &[u64] {
+        &self.periods
+    }
+
+    /// lcm of the menu.
+    pub fn lcm(&self) -> u64 {
+        hyperperiod(self.periods.iter().copied()).expect("validated at construction") as u64
+    }
+
+    /// Draw a period log-uniformly: uniform over menu *indices*, which for
+    /// a geometric-ish menu approximates log-uniform period magnitudes.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.periods[rng.gen_range(0..self.periods.len())]
+    }
+}
+
+/// Turn a target utilization into an integer task on a period from the
+/// menu: `c = round(u·p)` clamped to `[1, …]`. Returns the task together
+/// with its *actual* utilization (which differs from `u` by at most
+/// `1/(2p)` plus the clamp at 1).
+pub fn discretize<R: Rng + ?Sized>(rng: &mut R, u: f64, menu: &PeriodMenu) -> (Task, f64) {
+    assert!(u > 0.0 && u.is_finite(), "utilization must be positive");
+    let p = menu.sample(rng);
+    discretize_on_period(u, p)
+}
+
+/// Deterministic variant of [`discretize`] for a chosen period.
+pub fn discretize_on_period(u: f64, p: u64) -> (Task, f64) {
+    let c = ((u * p as f64).round() as u64).max(1);
+    let task = Task::implicit(c, p).expect("c ≥ 1, p ≥ 1");
+    (task, task.utilization())
+}
+
+/// Discretize a whole utilization vector into a [`TaskSet`].
+pub fn discretize_all<R: Rng + ?Sized>(
+    rng: &mut R,
+    utils: &[f64],
+    menu: &PeriodMenu,
+) -> TaskSet {
+    utils
+        .iter()
+        .map(|&u| discretize(rng, u, menu).0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_menu_has_small_lcm() {
+        let m = PeriodMenu::standard();
+        assert_eq!(m.lcm(), 6000);
+        assert!(m.periods().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn harmonic_menu() {
+        let m = PeriodMenu::harmonic();
+        assert_eq!(m.lcm(), 320);
+    }
+
+    #[test]
+    fn custom_menu_validation() {
+        assert!(PeriodMenu::new(vec![]).is_err());
+        assert!(PeriodMenu::new(vec![0, 5]).is_err());
+        let m = PeriodMenu::new(vec![6, 4, 6]).unwrap();
+        assert_eq!(m.periods(), &[4, 6]);
+        assert_eq!(m.lcm(), 12);
+    }
+
+    #[test]
+    fn overflowing_menu_rejected() {
+        // Coprime huge periods blow past u64.
+        let big: Vec<u64> = vec![u64::MAX - 1, u64::MAX - 2, u64::MAX - 4];
+        assert!(PeriodMenu::new(big).is_err());
+    }
+
+    #[test]
+    fn sampling_stays_in_menu() {
+        let m = PeriodMenu::standard();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(m.periods().contains(&m.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn discretization_error_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let menu = PeriodMenu::standard();
+        for &u in &[0.05, 0.3, 0.71, 1.4, 2.9] {
+            let (task, actual) = discretize(&mut rng, u, &menu);
+            let p = task.period() as f64;
+            assert!(
+                (actual - u).abs() <= 0.5 / p + 1e-12,
+                "u={u} actual={actual} p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_utilization_clamps_to_one_unit() {
+        let (task, actual) = discretize_on_period(1e-6, 10);
+        assert_eq!(task.wcet(), 1);
+        assert_eq!(actual, 0.1);
+    }
+
+    #[test]
+    fn discretize_all_preserves_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ts = discretize_all(&mut rng, &[0.2, 0.4, 0.6], &PeriodMenu::standard());
+        assert_eq!(ts.len(), 3);
+        assert!(ts.hyperperiod().unwrap() <= 6000);
+    }
+}

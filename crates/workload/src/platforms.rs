@@ -1,0 +1,185 @@
+//! Heterogeneous platform generators.
+//!
+//! The paper motivates related machines with asymmetric chips ("a large
+//! number of low power … processors" plus "a smaller set of high power"
+//! ones, §I). These generators produce the platform families the
+//! experiments sweep.
+
+use hetfeas_model::{ModelError, Platform};
+use rand::Rng;
+
+/// A platform family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlatformSpec {
+    /// `m` machines, all speed 1.
+    Identical {
+        /// Number of machines.
+        m: usize,
+    },
+    /// `m` machines with integer speeds drawn uniformly from `[lo, hi]`.
+    UniformRandom {
+        /// Number of machines.
+        m: usize,
+        /// Minimum speed (inclusive).
+        lo: u64,
+        /// Maximum speed (inclusive).
+        hi: u64,
+    },
+    /// A big.LITTLE-style chip: `little` slow cores of speed 1 and `big`
+    /// fast cores of speed `ratio`.
+    BigLittle {
+        /// Number of fast cores.
+        big: usize,
+        /// Number of slow cores.
+        little: usize,
+        /// Speed of the fast cores relative to the slow ones.
+        ratio: u64,
+    },
+    /// Geometric speeds `base^0, base^1, …, base^(m−1)` — maximal
+    /// heterogeneity, stressing the paper's slow/medium/fast machine
+    /// grouping.
+    Geometric {
+        /// Number of machines.
+        m: usize,
+        /// Speed ratio between consecutive machines.
+        base: u64,
+    },
+}
+
+impl PlatformSpec {
+    /// Number of machines the spec describes.
+    pub fn machine_count(&self) -> usize {
+        match *self {
+            PlatformSpec::Identical { m } => m,
+            PlatformSpec::UniformRandom { m, .. } => m,
+            PlatformSpec::BigLittle { big, little, .. } => big + little,
+            PlatformSpec::Geometric { m, .. } => m,
+        }
+    }
+
+    /// Materialize a platform (random specs draw from `rng`).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Platform, ModelError> {
+        match *self {
+            PlatformSpec::Identical { m } => Platform::identical(m),
+            PlatformSpec::UniformRandom { m, lo, hi } => {
+                if m == 0 {
+                    return Err(ModelError::EmptyPlatform);
+                }
+                if lo == 0 || lo > hi {
+                    return Err(ModelError::NonPositiveSpeed);
+                }
+                Platform::from_int_speeds((0..m).map(|_| rng.gen_range(lo..=hi)))
+            }
+            PlatformSpec::BigLittle { big, little, ratio } => {
+                if big + little == 0 {
+                    return Err(ModelError::EmptyPlatform);
+                }
+                if ratio == 0 {
+                    return Err(ModelError::NonPositiveSpeed);
+                }
+                let speeds = std::iter::repeat_n(1u64, little)
+                    .chain(std::iter::repeat_n(ratio, big));
+                Platform::from_int_speeds(speeds)
+            }
+            PlatformSpec::Geometric { m, base } => {
+                if m == 0 {
+                    return Err(ModelError::EmptyPlatform);
+                }
+                if base == 0 {
+                    return Err(ModelError::NonPositiveSpeed);
+                }
+                let mut speeds = Vec::with_capacity(m);
+                let mut s: u64 = 1;
+                for k in 0..m {
+                    speeds.push(s);
+                    if k + 1 < m {
+                        s = s.checked_mul(base).ok_or(ModelError::Overflow("geometric speed"))?;
+                    }
+                }
+                Platform::from_int_speeds(speeds)
+            }
+        }
+    }
+
+    /// Label for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            PlatformSpec::Identical { m } => format!("identical(m={m})"),
+            PlatformSpec::UniformRandom { m, lo, hi } => format!("uniform(m={m},{lo}..{hi})"),
+            PlatformSpec::BigLittle { big, little, ratio } => {
+                format!("big.LITTLE({big}+{little},x{ratio})")
+            }
+            PlatformSpec::Geometric { m, base } => format!("geometric(m={m},b={base})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_platform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = PlatformSpec::Identical { m: 3 }.generate(&mut rng).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.total_speed(), 3.0);
+    }
+
+    #[test]
+    fn uniform_random_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = PlatformSpec::UniformRandom { m: 50, lo: 2, hi: 5 };
+        let p = spec.generate(&mut rng).unwrap();
+        assert_eq!(p.len(), 50);
+        assert!(p.iter().all(|m| (2.0..=5.0).contains(&m.speed_f64())));
+    }
+
+    #[test]
+    fn big_little_layout() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = PlatformSpec::BigLittle { big: 2, little: 4, ratio: 3 };
+        assert_eq!(spec.machine_count(), 6);
+        let p = spec.generate(&mut rng).unwrap();
+        let slow = p.iter().filter(|m| m.speed_f64() == 1.0).count();
+        let fast = p.iter().filter(|m| m.speed_f64() == 3.0).count();
+        assert_eq!((slow, fast), (4, 2));
+    }
+
+    #[test]
+    fn geometric_speeds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = PlatformSpec::Geometric { m: 4, base: 2 }.generate(&mut rng).unwrap();
+        let speeds: Vec<f64> = p.iter().map(|m| m.speed_f64()).collect();
+        assert_eq!(speeds, vec![1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(PlatformSpec::Identical { m: 0 }.generate(&mut rng).is_err());
+        assert!(PlatformSpec::UniformRandom { m: 2, lo: 0, hi: 3 }
+            .generate(&mut rng)
+            .is_err());
+        assert!(PlatformSpec::UniformRandom { m: 2, lo: 5, hi: 3 }
+            .generate(&mut rng)
+            .is_err());
+        assert!(PlatformSpec::BigLittle { big: 0, little: 0, ratio: 2 }
+            .generate(&mut rng)
+            .is_err());
+        assert!(PlatformSpec::Geometric { m: 80, base: 4 }
+            .generate(&mut rng)
+            .is_err()); // overflow
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PlatformSpec::Identical { m: 4 }.label(), "identical(m=4)");
+        assert_eq!(
+            PlatformSpec::BigLittle { big: 2, little: 4, ratio: 3 }.label(),
+            "big.LITTLE(2+4,x3)"
+        );
+    }
+}

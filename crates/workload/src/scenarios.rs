@@ -1,0 +1,150 @@
+//! Named workload scenarios — realistic-flavoured presets for examples,
+//! the CLI generator and quick experimentation.
+//!
+//! Parameters follow common shapes from the empirical literature rather
+//! than any specific proprietary trace (`DESIGN.md` substitutions): rate
+//! sets typical of automotive ECUs (1–1000 ms rates), harmonic avionics
+//! tables, media pipelines on asymmetric mobile SoCs, and a server-style
+//! consolidation mix.
+
+use crate::periods::PeriodMenu;
+use crate::platforms::PlatformSpec;
+use crate::spec::{UtilizationSampler, WorkloadSpec};
+
+/// A named scenario preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Automotive ECU: many small control tasks on identical cores,
+    /// periods on the classic 1/2/5/10/20/50/100 ms grid (ticks = 0.1 ms).
+    AutomotiveEcu,
+    /// Avionics: harmonic rate groups on a dual-speed flight computer,
+    /// moderate load (certification headroom).
+    AvionicsHarmonic,
+    /// Mobile SoC media pipeline: few heavy streaming tasks plus
+    /// background work on a big.LITTLE chip, high load.
+    MobileMedia,
+    /// Server consolidation: heterogeneous speed ladder, heavy-tailed
+    /// utilizations, near saturation.
+    ServerConsolidation,
+}
+
+impl Scenario {
+    /// All scenarios, for iteration / CLI listing.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::AutomotiveEcu,
+        Scenario::AvionicsHarmonic,
+        Scenario::MobileMedia,
+        Scenario::ServerConsolidation,
+    ];
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Option<Scenario> {
+        match name {
+            "automotive" => Some(Scenario::AutomotiveEcu),
+            "avionics" => Some(Scenario::AvionicsHarmonic),
+            "media" => Some(Scenario::MobileMedia),
+            "server" => Some(Scenario::ServerConsolidation),
+            _ => None,
+        }
+    }
+
+    /// CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::AutomotiveEcu => "automotive",
+            Scenario::AvionicsHarmonic => "avionics",
+            Scenario::MobileMedia => "media",
+            Scenario::ServerConsolidation => "server",
+        }
+    }
+
+    /// The workload family this scenario describes.
+    pub fn spec(&self) -> WorkloadSpec {
+        match self {
+            Scenario::AutomotiveEcu => WorkloadSpec {
+                n_tasks: 30,
+                normalized_utilization: 0.65,
+                platform: PlatformSpec::Identical { m: 4 },
+                sampler: UtilizationSampler::UUniFastCapped,
+                // 1/2/5/10/20/50/100 ms at 0.1 ms ticks.
+                periods: PeriodMenu::new(vec![10, 20, 50, 100, 200, 500, 1000])
+                    .expect("static menu"),
+            },
+            Scenario::AvionicsHarmonic => WorkloadSpec {
+                n_tasks: 12,
+                normalized_utilization: 0.55,
+                platform: PlatformSpec::BigLittle { big: 1, little: 1, ratio: 2 },
+                sampler: UtilizationSampler::UUniFastCapped,
+                periods: PeriodMenu::harmonic(),
+            },
+            Scenario::MobileMedia => WorkloadSpec {
+                n_tasks: 10,
+                normalized_utilization: 0.85,
+                platform: PlatformSpec::BigLittle { big: 2, little: 4, ratio: 4 },
+                sampler: UtilizationSampler::BoundedFixedSum { lo: 0.05, hi: f64::INFINITY },
+                periods: PeriodMenu::standard(),
+            },
+            Scenario::ServerConsolidation => WorkloadSpec {
+                n_tasks: 24,
+                normalized_utilization: 0.9,
+                platform: PlatformSpec::Geometric { m: 5, base: 2 },
+                sampler: UtilizationSampler::BoundedFixedSum { lo: 0.01, hi: 1.5 },
+                periods: PeriodMenu::standard(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scenario::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_scenario_generates() {
+        for s in Scenario::ALL {
+            let spec = s.spec();
+            for idx in 0..5 {
+                let inst = spec
+                    .generate(2026, idx)
+                    .unwrap_or_else(|| panic!("{} failed to generate", s.name()));
+                assert_eq!(inst.tasks.len(), spec.n_tasks, "{}", s.name());
+                assert_eq!(inst.platform.len(), spec.platform.machine_count());
+                // Hyperperiods stay simulable.
+                assert!(inst.tasks.hyperperiod().unwrap() <= 1_000_000);
+            }
+        }
+    }
+
+    #[test]
+    fn automotive_uses_ecu_periods() {
+        let inst = Scenario::AutomotiveEcu.spec().generate(1, 0).unwrap();
+        let menu = [10u64, 20, 50, 100, 200, 500, 1000];
+        for t in &inst.tasks {
+            assert!(menu.contains(&t.period()));
+        }
+    }
+
+    #[test]
+    fn avionics_is_harmonic() {
+        let inst = Scenario::AvionicsHarmonic.spec().generate(1, 0).unwrap();
+        // Harmonic menu: every pair of periods divides one way or another.
+        for a in &inst.tasks {
+            for b in &inst.tasks {
+                let (lo, hi) = if a.period() <= b.period() {
+                    (a.period(), b.period())
+                } else {
+                    (b.period(), a.period())
+                };
+                assert_eq!(hi % lo, 0, "non-harmonic pair {lo}, {hi}");
+            }
+        }
+    }
+}

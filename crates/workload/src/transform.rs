@@ -1,0 +1,78 @@
+//! Task-set transformations applied after generation.
+
+use hetfeas_model::{Task, TaskSet};
+use rand::Rng;
+
+/// Produce a constrained-deadline variant of an implicit-deadline set:
+/// each task's deadline is shrunk to `round(f · p)` with `f` drawn
+/// uniformly from `[frac_min, 1]`, clamped so `deadline ≥ wcet` (otherwise
+/// the task would be trivially unschedulable at any speed ≥ 1).
+///
+/// # Panics
+/// Panics unless `0 < frac_min ≤ 1`.
+pub fn shrink_deadlines<R: Rng + ?Sized>(
+    rng: &mut R,
+    tasks: &TaskSet,
+    frac_min: f64,
+) -> TaskSet {
+    assert!(
+        frac_min > 0.0 && frac_min <= 1.0,
+        "deadline shrink fraction must be in (0, 1]"
+    );
+    tasks
+        .iter()
+        .map(|t| {
+            let f = rng.gen_range(frac_min..=1.0);
+            let d = ((t.period() as f64 * f).round() as u64)
+                .clamp(t.wcet().min(t.period()), t.period());
+            Task::constrained(t.wcet(), t.period(), d.max(1))
+                .expect("clamped deadline is valid")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base() -> TaskSet {
+        TaskSet::from_pairs([(2, 10), (5, 20), (1, 40), (30, 40)]).unwrap()
+    }
+
+    #[test]
+    fn deadlines_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let ts = shrink_deadlines(&mut rng, &base(), 0.3);
+            for (orig, t) in base().iter().zip(&ts) {
+                assert!(t.deadline() <= t.period());
+                assert!(t.deadline() >= t.wcet().min(t.period()));
+                assert_eq!(t.period(), orig.period());
+                assert_eq!(t.wcet(), orig.wcet());
+            }
+        }
+    }
+
+    #[test]
+    fn frac_one_keeps_implicit() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ts = shrink_deadlines(&mut rng, &base(), 1.0);
+        assert!(ts.is_implicit_deadline());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = shrink_deadlines(&mut StdRng::seed_from_u64(8), &base(), 0.5);
+        let b = shrink_deadlines(&mut StdRng::seed_from_u64(8), &base(), 0.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_frac_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = shrink_deadlines(&mut rng, &base(), 0.0);
+    }
+}

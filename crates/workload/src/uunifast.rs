@@ -1,0 +1,139 @@
+//! UUniFast and UUniFast-Discard utilization generators.
+//!
+//! UUniFast (Bini & Buttazzo 2005) samples `n` task utilizations uniformly
+//! from the simplex `{u ∈ R^n_{>0} : Σ u_i = U}` in O(n). UUniFast-Discard
+//! (Davis & Burns) rejects samples containing a component above a cap —
+//! needed on heterogeneous platforms where no task may exceed the fastest
+//! machine's (augmented) speed.
+
+use rand::Rng;
+
+/// Sample `n` utilizations summing exactly (up to f64 rounding) to `total`,
+/// uniformly over the open simplex. Returns an empty vector for `n == 0`.
+///
+/// # Panics
+/// Panics if `total` is not finite and positive while `n > 0`.
+pub fn uunifast<R: Rng + ?Sized>(rng: &mut R, n: usize, total: f64) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(
+        total.is_finite() && total > 0.0,
+        "total utilization must be positive"
+    );
+    let mut out = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let exp = 1.0 / (n - i) as f64;
+        let next = sum * rng.gen::<f64>().powf(exp);
+        out.push(sum - next);
+        sum = next;
+    }
+    out.push(sum);
+    out
+}
+
+/// UUniFast-Discard: resample until every component is at most `cap`
+/// (and strictly positive). Returns `None` after `max_attempts` failures —
+/// callers should treat that as "parameter combination too tight" rather
+/// than loop forever (e.g. `total = n·cap` has vanishing acceptance).
+pub fn uunifast_discard<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    total: f64,
+    cap: f64,
+    max_attempts: usize,
+) -> Option<Vec<f64>> {
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    if total > cap * n as f64 {
+        return None; // impossible
+    }
+    for _ in 0..max_attempts {
+        let sample = uunifast(rng, n, total);
+        if sample.iter().all(|&u| u > 0.0 && u <= cap) {
+            return Some(sample);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sums_to_total() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 5, 50] {
+            for total in [0.1, 1.0, 3.7] {
+                let u = uunifast(&mut rng, n, total);
+                assert_eq!(u.len(), n);
+                let sum: f64 = u.iter().sum();
+                assert!((sum - total).abs() < 1e-9, "n={n} total={total} sum={sum}");
+                assert!(u.iter().all(|&x| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tasks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(uunifast(&mut rng, 0, 1.0).is_empty());
+        assert_eq!(uunifast_discard(&mut rng, 0, 1.0, 0.5, 10), Some(vec![]));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = uunifast(&mut StdRng::seed_from_u64(7), 10, 2.0);
+        let b = uunifast(&mut StdRng::seed_from_u64(7), 10, 2.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn discard_respects_cap() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let u = uunifast_discard(&mut rng, 8, 2.0, 0.5, 10_000).expect("loose cap");
+        assert!(u.iter().all(|&x| x <= 0.5));
+        assert!((u.iter().sum::<f64>() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discard_reports_impossible_combinations() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(uunifast_discard(&mut rng, 4, 3.0, 0.5, 100), None); // 3 > 4·0.5 = 2
+    }
+
+    #[test]
+    fn distribution_mean_is_uniform() {
+        // Each component of the uniform simplex has mean total/n.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 4;
+        let total = 2.0;
+        let trials = 20_000;
+        let mut mean = vec![0.0; n];
+        for _ in 0..trials {
+            for (m, u) in mean.iter_mut().zip(uunifast(&mut rng, n, total)) {
+                *m += u;
+            }
+        }
+        for m in &mean {
+            let avg = m / trials as f64;
+            assert!(
+                (avg - total / n as f64).abs() < 0.02,
+                "component mean {avg} far from {}",
+                total / n as f64
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_total() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = uunifast(&mut rng, 3, 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the workload generators (`DESIGN.md` §5).
+
+use hetfeas_workload::{
+    bounded_fixed_sum, discretize_all, shrink_deadlines, uunifast, uunifast_discard, PeriodMenu,
+    PlatformSpec, Scenario, UtilizationSampler, WorkloadSpec,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    // UUniFast: exact target sum, all components in (0, total].
+    #[test]
+    fn uunifast_sums_exactly(seed in 0u64..10_000, n in 1usize..64, total_pct in 1u32..400) {
+        let total = total_pct as f64 / 100.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = uunifast(&mut rng, n, total);
+        prop_assert_eq!(u.len(), n);
+        let sum: f64 = u.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-9);
+        prop_assert!(u.iter().all(|&x| x >= 0.0 && x <= total + 1e-12));
+    }
+
+    // UUniFast-Discard: cap respected whenever it returns a sample.
+    #[test]
+    fn uunifast_discard_respects_cap(seed in 0u64..10_000, n in 2usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cap = 0.6;
+        let total = 0.4 * n as f64 * cap; // comfortably attainable
+        if let Some(u) = uunifast_discard(&mut rng, n, total, cap, 1000) {
+            prop_assert!(u.iter().all(|&x| x <= cap));
+            prop_assert!((u.iter().sum::<f64>() - total).abs() < 1e-9);
+        }
+    }
+
+    // Bounded fixed-sum: bounds and total respected on every sample.
+    #[test]
+    fn bounded_fixed_sum_valid(
+        seed in 0u64..10_000,
+        n in 1usize..20,
+        lo_pct in 0u32..30,
+        span_pct in 1u32..70,
+        fill in 0.0f64..1.0,
+    ) {
+        let lo = lo_pct as f64 / 100.0;
+        let hi = lo + span_pct as f64 / 100.0;
+        let total = (n as f64) * (lo + fill * (hi - lo));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = bounded_fixed_sum(&mut rng, n, total, lo, hi)
+            .expect("total within [n·lo, n·hi] by construction");
+        prop_assert_eq!(v.len(), n);
+        prop_assert!((v.iter().sum::<f64>() - total).abs() < 1e-8);
+        prop_assert!(v.iter().all(|&x| x >= lo - 1e-9 && x <= hi + 1e-9));
+    }
+
+    // Discretization: bounded per-task error, periods from the menu.
+    #[test]
+    fn discretization_bounded_error(seed in 0u64..10_000, utils in prop::collection::vec(0.01f64..2.0, 1..20)) {
+        let menu = PeriodMenu::standard();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ts = discretize_all(&mut rng, &utils, &menu);
+        prop_assert_eq!(ts.len(), utils.len());
+        for (t, &u) in ts.iter().zip(&utils) {
+            prop_assert!(menu.periods().contains(&t.period()));
+            let err = (t.utilization() - u).abs();
+            let rounding_ok = err <= 0.5 / t.period() as f64 + 1e-12;
+            // Tiny utilizations clamp to one work unit (documented).
+            let clamped = t.wcet() == 1 && u <= 1.0 / t.period() as f64;
+            prop_assert!(rounding_ok || clamped,
+                "discretization error {err} too large for u={u}, p={}", t.period());
+        }
+    }
+
+    // Full pipeline determinism: (seed, index) is a pure function.
+    #[test]
+    fn spec_is_pure(seed in 0u64..1000, index in 0u64..50) {
+        let spec = WorkloadSpec::default_family();
+        let a = spec.generate(seed, index);
+        let b = spec.generate(seed, index);
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(x.tasks, y.tasks);
+                prop_assert_eq!(x.platform, y.platform);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "determinism violated"),
+        }
+    }
+
+    // Platform specs generate the advertised machine counts and positive
+    // speeds.
+    #[test]
+    fn platform_specs_valid(seed in 0u64..1000, m in 1usize..12, ratio in 1u64..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for spec in [
+            PlatformSpec::Identical { m },
+            PlatformSpec::UniformRandom { m, lo: 1, hi: 8 },
+            PlatformSpec::BigLittle { big: (m / 2).max(1), little: m / 2 + 1, ratio },
+            PlatformSpec::Geometric { m: m.min(8), base: 2 },
+        ] {
+            let p = spec.generate(&mut rng).expect("valid spec");
+            prop_assert_eq!(p.len(), spec.machine_count());
+            prop_assert!(p.iter().all(|mm| mm.speed_f64() > 0.0));
+        }
+    }
+
+    // Deadline shrinking keeps tasks valid and within [wcet, period].
+    #[test]
+    fn shrink_deadlines_valid(seed in 0u64..1000, frac_pct in 1u32..=100) {
+        let spec = WorkloadSpec::default_family();
+        let Some(inst) = spec.generate(seed, 0) else { return Ok(()) };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frac = frac_pct as f64 / 100.0;
+        let shrunk = shrink_deadlines(&mut rng, &inst.tasks, frac);
+        for (orig, t) in inst.tasks.iter().zip(&shrunk) {
+            prop_assert!(t.deadline() <= t.period());
+            prop_assert!(t.deadline() >= t.wcet().min(t.period()));
+            prop_assert_eq!(t.period(), orig.period());
+        }
+    }
+}
+
+#[test]
+fn scenarios_generate_deterministically() {
+    for s in Scenario::ALL {
+        let a = s.spec().generate(1, 0);
+        let b = s.spec().generate(1, 0);
+        assert_eq!(a.map(|i| i.tasks), b.map(|i| i.tasks), "{}", s.name());
+    }
+}
+
+#[test]
+fn samplers_accept_infinite_hi() {
+    let spec = WorkloadSpec {
+        sampler: UtilizationSampler::BoundedFixedSum { lo: 0.0, hi: f64::INFINITY },
+        ..WorkloadSpec::default_family()
+    };
+    assert!(spec.generate(3, 0).is_some());
+}

@@ -1,0 +1,71 @@
+//! Capacity planning with augmentation search: "how much faster must this
+//! platform be?" and "which upgrade fixes it?".
+//!
+//! The speed-augmentation lens of the paper doubles as a capacity-planning
+//! tool: the least α at which the feasibility test accepts a workload is
+//! exactly the uniform speed-up the platform needs. This example takes an
+//! overloaded platform, reports α* for EDF and RMS, compares against the
+//! LP lower bound (the level scaling factor β — no scheduler can need
+//! less), and then evaluates discrete upgrade options.
+//!
+//! ```text
+//! cargo run --example capacity_planning
+//! ```
+
+use hetfeas::lp::level_scaling_factor;
+use hetfeas::model::{Platform, TaskSet};
+use hetfeas::partition::{min_feasible_alpha, EdfAdmission, RmsLlAdmission};
+
+fn main() {
+    // A workload that has outgrown its platform.
+    let tasks = TaskSet::from_pairs([
+        (9, 10),  // 0.90
+        (8, 10),  // 0.80
+        (7, 10),  // 0.70
+        (13, 20), // 0.65
+        (6, 10),  // 0.60
+        (11, 20), // 0.55
+        (4, 10),  // 0.40
+        (3, 10),  // 0.30
+        (5, 20),  // 0.25
+        (2, 10),  // 0.20
+    ])
+    .expect("tasks");
+    let platform = Platform::from_int_speeds([1, 1, 2]).expect("platform");
+
+    println!("workload: {} tasks, total utilization {:.2}", tasks.len(), tasks.total_utilization());
+    println!("platform: {platform}, total speed {:.1}\n", platform.total_speed());
+
+    // Lower bound: even a migrative scheduler needs β× speed.
+    let beta = level_scaling_factor(&tasks, &platform);
+    println!("LP lower bound (level scaling factor) β = {:.3}", beta);
+
+    // What the partitioned tests actually need.
+    let a_edf = min_feasible_alpha(&tasks, &platform, &EdfAdmission, 4.0, 1e-6)
+        .expect("within theorem bound");
+    let a_rms = min_feasible_alpha(&tasks, &platform, &RmsLlAdmission, 5.0, 1e-6)
+        .expect("within theorem bound");
+    println!("first-fit EDF needs      α* = {a_edf:.3}  (theorem bound 2 vs partitioned OPT)");
+    println!("first-fit RMS (LL) needs α* = {a_rms:.3}  (theorem bound 2.414)\n");
+
+    // Discrete upgrade menu: evaluate each by whether EDF-FF accepts at α=1.
+    let upgrades: &[(&str, Vec<u64>)] = &[
+        ("add one LITTLE core   [1,1,1,2]", vec![1, 1, 1, 2]),
+        ("add one big core      [1,1,2,2]", vec![1, 1, 2, 2]),
+        ("replace big with 3×   [1,1,3]", vec![1, 1, 3]),
+        ("double everything     [2,2,4]", vec![2, 2, 4]),
+    ];
+    println!("upgrade options:");
+    for (label, speeds) in upgrades {
+        let candidate = Platform::from_int_speeds(speeds.iter().copied()).expect("platform");
+        let alpha = min_feasible_alpha(&tasks, &candidate, &EdfAdmission, 4.0, 1e-6);
+        match alpha {
+            Some(a) if a <= 1.0 => println!("  {label:36} → fits as-is (α* = 1.000)"),
+            Some(a) => println!("  {label:36} → still needs α* = {a:.3}"),
+            None => println!("  {label:36} → insufficient even at α = 4"),
+        }
+    }
+
+    // Sanity: the partitioned requirement can never beat the LP bound.
+    assert!(a_edf + 1e-9 >= beta, "partitioned EDF cannot need less than the LP");
+}

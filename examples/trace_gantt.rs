@@ -1,0 +1,94 @@
+//! Visualize what the per-machine schedulers actually do: run the
+//! partitioned feasibility test, simulate each machine with trace
+//! recording, and print ASCII Gantt charts plus per-task execution stats.
+//!
+//! Also demonstrates the EDF-vs-RMS behavioural difference on the same
+//! assignment: the famous full-utilization pair misses under RMS but not
+//! under EDF.
+//!
+//! ```text
+//! cargo run --example trace_gantt
+//! ```
+
+use hetfeas::model::{Augmentation, Platform, Ratio, TaskSet};
+use hetfeas::partition::{first_fit, EdfAdmission};
+use hetfeas::sim::{
+    observed_utilization, per_task_stats, render_gantt, simulate_machine_traced, EngineConfig,
+    ReleasePattern, SchedPolicy,
+};
+
+fn main() {
+    // --- Part 1: a partitioned system, per-machine Gantt charts ---
+    let tasks = TaskSet::from_pairs([(2, 8), (3, 12), (4, 24), (6, 12), (2, 6)]).unwrap();
+    let platform = Platform::from_int_speeds([1, 2]).unwrap();
+    let outcome = first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission);
+    let assignment = outcome.assignment().expect("feasible demo system");
+
+    println!("system: {tasks} on {platform}\n");
+    for m in 0..platform.len() {
+        let subset = assignment.taskset_on(m, &tasks);
+        if subset.is_empty() {
+            continue;
+        }
+        let horizon = 24; // one hyperperiod of the demo set
+        let (report, trace) = simulate_machine_traced(
+            &subset,
+            platform.machine(m).speed(),
+            SchedPolicy::Edf,
+            ReleasePattern::Periodic,
+            horizon,
+            EngineConfig { record_trace: true, max_recorded_misses: 16 },
+        )
+        .expect("simulate");
+        // The engine works in scaled ticks: ticks × speed numerator.
+        let scaled_horizon = horizon * platform.machine(m).speed().numer() as u64;
+        println!(
+            "machine {m} (speed {}): {} jobs, busy {:.0}%, {} preemptions",
+            platform.machine(m).speed(),
+            report.jobs_completed,
+            100.0 * observed_utilization(&trace, scaled_horizon),
+            report.preemptions,
+        );
+        print!("{}", render_gantt(&trace, scaled_horizon, 72));
+        for (local, st) in per_task_stats(&trace).iter().enumerate() {
+            let global = assignment.tasks_on(m)[local];
+            println!(
+                "    τ{global} ({}): ran {} scaled ticks in {} segments",
+                tasks[global], st.execution, st.segments
+            );
+        }
+        println!();
+    }
+
+    // --- Part 2: EDF vs RMS on the same overloaded-for-RM set ---
+    let pair = TaskSet::from_pairs([(2, 4), (5, 10)]).unwrap(); // util exactly 1
+    println!("EDF vs RMS on {} (utilization exactly 1.0):\n", pair);
+    for policy in [SchedPolicy::Edf, SchedPolicy::RateMonotonic] {
+        let (report, trace) = simulate_machine_traced(
+            &pair,
+            Ratio::ONE,
+            policy,
+            ReleasePattern::Periodic,
+            20,
+            EngineConfig { record_trace: true, max_recorded_misses: 16 },
+        )
+        .expect("simulate");
+        println!(
+            "{}: {} misses{}",
+            policy.name(),
+            report.miss_count,
+            if report.miss_count > 0 {
+                format!(
+                    " (first: task {} due {} finished {})",
+                    report.misses[0].task, report.misses[0].deadline, report.misses[0].completion
+                )
+            } else {
+                String::new()
+            }
+        );
+        println!("{}", render_gantt(&trace, 20, 60));
+    }
+    println!("EDF meets every deadline at full utilization; RMS gives the long task");
+    println!("static low priority and overruns — exactly the Liu–Layland gap the");
+    println!("paper's Theorem I.2 pays the extra √2+1 augmentation for.");
+}

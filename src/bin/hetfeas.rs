@@ -1,0 +1,356 @@
+//! `hetfeas` — command-line front end for the feasibility tests.
+//!
+//! ```text
+//! hetfeas check    SYSTEM.txt [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [-v]
+//! hetfeas alpha    SYSTEM.txt [--policy …]          least feasible augmentation + LP bound
+//! hetfeas oracles  SYSTEM.txt                       LP / exact-partition ground truth
+//! hetfeas simulate SYSTEM.txt [--policy …] [--alpha X] [--jitter F] [--seed N]
+//! hetfeas generate --tasks N --machines M --util U [--platform KIND] [--seed N]
+//! ```
+//!
+//! System files: `task <wcet> <period> [deadline]` and `machine <speed>`
+//! lines (see `hetfeas::model::io`). Exit codes: 0 feasible / clean,
+//! 1 infeasible / misses, 2 usage or I/O error.
+
+use hetfeas::analysis;
+use hetfeas::lp::{level_scaling_factor, lp_feasible};
+use hetfeas::model::{parse_system, render_system, Augmentation, Ratio, System};
+use hetfeas::partition::{
+    exact_partition_edf, exact_partition_rms, first_fit, min_feasible_alpha, AdmissionTest,
+    EdfAdmission, ExactOutcome, Outcome, RmsHyperbolicAdmission, RmsLlAdmission, RmsRtaAdmission,
+};
+use hetfeas::sim::{validate_assignment, ReleasePattern, SchedPolicy};
+use hetfeas::workload::{PeriodMenu, PlatformSpec, Scenario, UtilizationSampler, WorkloadSpec};
+use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Policy {
+    Edf,
+    RmsLl,
+    RmsHyperbolic,
+    RmsRta,
+}
+
+impl Policy {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "edf" => Ok(Policy::Edf),
+            "rms" | "rms-ll" => Ok(Policy::RmsLl),
+            "rms-hyp" | "rms-hyperbolic" => Ok(Policy::RmsHyperbolic),
+            "rms-rta" => Ok(Policy::RmsRta),
+            other => Err(format!("unknown policy {other:?} (edf|rms|rms-hyp|rms-rta)")),
+        }
+    }
+
+    fn sched(self) -> SchedPolicy {
+        match self {
+            Policy::Edf => SchedPolicy::Edf,
+            _ => SchedPolicy::RateMonotonic,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Policy::Edf => "EDF",
+            Policy::RmsLl => "RMS (Liu–Layland)",
+            Policy::RmsHyperbolic => "RMS (hyperbolic)",
+            Policy::RmsRta => "RMS (exact RTA)",
+        }
+    }
+}
+
+fn run_ff(sys: &System, policy: Policy, alpha: Augmentation) -> Outcome {
+    match policy {
+        Policy::Edf => first_fit(&sys.tasks, &sys.platform, alpha, &EdfAdmission),
+        Policy::RmsLl => first_fit(&sys.tasks, &sys.platform, alpha, &RmsLlAdmission),
+        Policy::RmsHyperbolic => {
+            first_fit(&sys.tasks, &sys.platform, alpha, &RmsHyperbolicAdmission)
+        }
+        Policy::RmsRta => first_fit(&sys.tasks, &sys.platform, alpha, &RmsRtaAdmission),
+    }
+}
+
+fn min_alpha(sys: &System, policy: Policy, hi: f64) -> Option<f64> {
+    fn go<A: AdmissionTest>(sys: &System, a: &A, hi: f64) -> Option<f64> {
+        min_feasible_alpha(&sys.tasks, &sys.platform, a, hi, 1e-6)
+    }
+    match policy {
+        Policy::Edf => go(sys, &EdfAdmission, hi),
+        Policy::RmsLl => go(sys, &RmsLlAdmission, hi),
+        Policy::RmsHyperbolic => go(sys, &RmsHyperbolicAdmission, hi),
+        Policy::RmsRta => go(sys, &RmsRtaAdmission, hi),
+    }
+}
+
+struct Common {
+    file: Option<String>,
+    policy: Policy,
+    alpha: f64,
+    verbose: bool,
+    jitter: Option<f64>,
+    seed: u64,
+    // generate-only
+    tasks: usize,
+    machines: usize,
+    util: f64,
+    platform: String,
+    scenario: Option<String>,
+}
+
+fn parse_common(args: &[String]) -> Result<Common, String> {
+    let mut c = Common {
+        file: None,
+        policy: Policy::Edf,
+        alpha: 1.0,
+        verbose: false,
+        jitter: None,
+        seed: 1,
+        tasks: 10,
+        machines: 4,
+        util: 0.7,
+        platform: "big-little".into(),
+        scenario: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--policy" => c.policy = Policy::parse(&next("--policy")?)?,
+            "--alpha" => c.alpha = next("--alpha")?.parse().map_err(|e| format!("bad --alpha: {e}"))?,
+            "--jitter" => c.jitter = Some(next("--jitter")?.parse().map_err(|e| format!("bad --jitter: {e}"))?),
+            "--seed" => c.seed = next("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--tasks" => c.tasks = next("--tasks")?.parse().map_err(|e| format!("bad --tasks: {e}"))?,
+            "--machines" => c.machines = next("--machines")?.parse().map_err(|e| format!("bad --machines: {e}"))?,
+            "--util" => c.util = next("--util")?.parse().map_err(|e| format!("bad --util: {e}"))?,
+            "--platform" => c.platform = next("--platform")?,
+            "--scenario" => c.scenario = Some(next("--scenario")?),
+            "-v" | "--verbose" => c.verbose = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            path => {
+                if c.file.replace(path.to_string()).is_some() {
+                    return Err("more than one input file".into());
+                }
+            }
+        }
+    }
+    Ok(c)
+}
+
+fn load(c: &Common) -> Result<System, String> {
+    let path = c.file.as_ref().ok_or("missing SYSTEM file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse_system(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_check(c: &Common) -> Result<ExitCode, String> {
+    let sys = load(c)?;
+    let alpha = Augmentation::new(c.alpha).map_err(|e| e.to_string())?;
+    println!(
+        "{} tasks (ΣU = {:.3}), {} machines (ΣS = {:.3}), policy {}, α = {}",
+        sys.tasks.len(),
+        sys.tasks.total_utilization(),
+        sys.platform.len(),
+        sys.platform.total_speed(),
+        c.policy.name(),
+        c.alpha
+    );
+    match run_ff(&sys, c.policy, alpha) {
+        Outcome::Feasible(a) => {
+            println!("FEASIBLE");
+            if c.verbose {
+                for m in 0..sys.platform.len() {
+                    println!(
+                        "  machine {m} (speed {}): tasks {:?}, load {:.3}",
+                        sys.platform.machine(m).speed(),
+                        a.tasks_on(m),
+                        a.load_on(m, &sys.tasks),
+                    );
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Outcome::Infeasible(w) => {
+            println!(
+                "INFEASIBLE — task {} (utilization {:.3}) fits no machine",
+                w.failing_task, w.failing_utilization
+            );
+            let (bound, name) = match c.policy {
+                Policy::Edf => (2.0, "partitioned (Theorem I.1)"),
+                _ => (Augmentation::RMS_VS_PARTITIONED.factor(), "partitioned (Theorem I.2)"),
+            };
+            if c.alpha >= bound {
+                println!("⇒ provably infeasible for any {name} scheduler at speed 1");
+            }
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+fn cmd_alpha(c: &Common) -> Result<ExitCode, String> {
+    let sys = load(c)?;
+    let beta = level_scaling_factor(&sys.tasks, &sys.platform);
+    println!("LP lower bound β (no scheduler can need less): {beta:.4}");
+    match min_alpha(&sys, c.policy, 64.0) {
+        Some(a) => {
+            println!("first-fit {} needs α* = {a:.4}", c.policy.name());
+            println!("overhead vs LP bound: {:.3}×", a / beta.max(1e-12));
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            println!("first-fit {} infeasible even at α = 64", c.policy.name());
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+fn cmd_oracles(c: &Common) -> Result<ExitCode, String> {
+    let sys = load(c)?;
+    println!(
+        "LP (migrative adversary): {}",
+        if lp_feasible(&sys.tasks, &sys.platform) { "feasible" } else { "infeasible" }
+    );
+    let budget = 8_000_000;
+    let fmt = |o: ExactOutcome| match o {
+        ExactOutcome::Feasible(_) => "feasible".to_string(),
+        ExactOutcome::Infeasible => "infeasible".to_string(),
+        ExactOutcome::Unknown => format!("undecided within {budget} nodes"),
+    };
+    println!(
+        "optimal partitioned EDF: {}",
+        fmt(exact_partition_edf(&sys.tasks, &sys.platform, budget))
+    );
+    println!(
+        "optimal partitioned RMS (exact RTA): {}",
+        fmt(exact_partition_rms(&sys.tasks, &sys.platform, budget / 8))
+    );
+    // Single-machine quick facts when m = 1.
+    if sys.platform.len() == 1 {
+        let s = sys.platform.machine(0).speed();
+        println!(
+            "single machine: EDF {}, RTA {}",
+            if analysis::edf_schedulable_exact(&sys.tasks, s) { "ok" } else { "overload" },
+            if analysis::rta_schedulable(&sys.tasks, s) { "ok" } else { "miss" },
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_simulate(c: &Common) -> Result<ExitCode, String> {
+    let sys = load(c)?;
+    let alpha = Augmentation::new(c.alpha).map_err(|e| e.to_string())?;
+    let Outcome::Feasible(assignment) = run_ff(&sys, c.policy, alpha) else {
+        println!("first-fit rejects this system at α = {} — nothing to simulate", c.alpha);
+        return Ok(ExitCode::from(1));
+    };
+    let alpha_ratio = Ratio::approximate_f64(c.alpha, 1_000_000)
+        .ok_or("cannot rationalize --alpha for the exact simulator")?;
+    let report = if let Some(j) = c.jitter {
+        let horizon = hetfeas::sim::validation_horizon(&sys.tasks)
+            .ok_or("hyperperiod too large for simulation")?;
+        hetfeas::sim::simulate_partition(
+            &sys.tasks,
+            &sys.platform,
+            &assignment,
+            alpha_ratio,
+            c.policy.sched(),
+            ReleasePattern::Sporadic { jitter_frac: j, seed: c.seed },
+            horizon,
+        )
+    } else {
+        validate_assignment(&sys.tasks, &sys.platform, &assignment, alpha_ratio, c.policy.sched())
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "simulated 2 hyperperiods: {} jobs, {} misses, {} preemptions, max lateness {:?}",
+        report.jobs_completed, report.miss_count, report.preemptions, report.max_lateness
+    );
+    if c.verbose {
+        for m in &report.misses {
+            println!(
+                "  miss: task {} released {} deadline {} completed {}",
+                m.task, m.release, m.deadline, m.completion
+            );
+        }
+    }
+    Ok(if report.miss_count == 0 { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn cmd_generate(c: &Common) -> Result<ExitCode, String> {
+    if let Some(name) = &c.scenario {
+        let scenario = Scenario::parse(name).ok_or_else(|| {
+            format!(
+                "unknown --scenario {name:?} (available: {})",
+                Scenario::ALL.map(|s| s.name()).join(", ")
+            )
+        })?;
+        let inst = scenario
+            .spec()
+            .generate(c.seed, 0)
+            .ok_or("scenario generator could not satisfy its parameters")?;
+        print!("{}", render_system(&inst.tasks, &inst.platform));
+        return Ok(ExitCode::SUCCESS);
+    }
+    let platform = match c.platform.as_str() {
+        "identical" => PlatformSpec::Identical { m: c.machines },
+        "big-little" => PlatformSpec::BigLittle {
+            big: (c.machines / 3).max(1),
+            little: c.machines - (c.machines / 3).max(1),
+            ratio: 3,
+        },
+        "geometric" => PlatformSpec::Geometric { m: c.machines, base: 2 },
+        "uniform" => PlatformSpec::UniformRandom { m: c.machines, lo: 1, hi: 8 },
+        other => return Err(format!("unknown --platform {other:?}")),
+    };
+    let spec = WorkloadSpec {
+        n_tasks: c.tasks,
+        normalized_utilization: c.util,
+        platform,
+        sampler: UtilizationSampler::UUniFastCapped,
+        periods: PeriodMenu::standard(),
+    };
+    let inst = spec
+        .generate(c.seed, 0)
+        .ok_or("generator could not satisfy the parameters (utilization too tight?)")?;
+    print!("{}", render_system(&inst.tasks, &inst.platform));
+    Ok(ExitCode::SUCCESS)
+}
+
+const USAGE: &str = "usage: hetfeas <check|alpha|oracles|simulate|generate> [ARGS]
+  check    SYSTEM [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [-v]
+  alpha    SYSTEM [--policy …]
+  oracles  SYSTEM
+  simulate SYSTEM [--policy …] [--alpha X] [--jitter F] [--seed N] [-v]
+  generate --tasks N --machines M --util U [--platform identical|big-little|geometric|uniform]
+           [--scenario automotive|avionics|media|server] [--seed N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let common = match parse_common(rest) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "check" => cmd_check(&common),
+        "alpha" => cmd_alpha(&common),
+        "oracles" => cmd_oracles(&common),
+        "simulate" => cmd_simulate(&common),
+        "generate" => cmd_generate(&common),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # hetfeas — partitioned feasibility tests for sporadic tasks on heterogeneous machines
+//!
+//! Facade crate re-exporting the `hetfeas` workspace: a reproduction of
+//! Ahuja, Lu & Moseley, *Partitioned Feasibility Tests for Sporadic Tasks on
+//! Heterogeneous Machines* (IPPS 2016).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hetfeas::model::{Augmentation, Platform, TaskSet};
+//! use hetfeas::partition::{first_fit, EdfAdmission};
+//!
+//! // Three tasks, two machines of speeds 1 and 2.
+//! let tasks = TaskSet::from_pairs([(3, 10), (4, 10), (9, 10)]).unwrap();
+//! let platform = Platform::from_int_speeds([1, 2]).unwrap();
+//!
+//! // The paper's feasibility test: first-fit by decreasing utilization onto
+//! // machines by increasing speed, EDF admission, speed augmentation α.
+//! let outcome = first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission);
+//! assert!(outcome.is_feasible());
+//! ```
+//!
+//! See the crate-level docs of the member crates for details:
+//! [`model`], [`analysis`], [`partition`], [`lp`], [`sim`], [`workload`],
+//! [`par`], [`experiments`].
+
+pub use hetfeas_analysis as analysis;
+pub use hetfeas_experiments as experiments;
+pub use hetfeas_lp as lp;
+pub use hetfeas_model as model;
+pub use hetfeas_par as par;
+pub use hetfeas_partition as partition;
+pub use hetfeas_sim as sim;
+pub use hetfeas_workload as workload;

@@ -1,0 +1,144 @@
+//! End-to-end tests of the `hetfeas` CLI binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn hetfeas(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hetfeas"))
+        .args(args)
+        .output()
+        .expect("spawn hetfeas")
+}
+
+/// Self-cleaning temp file (no external tempfile crate needed).
+struct TempSystem(PathBuf);
+
+impl TempSystem {
+    fn to_str(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempSystem {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn write_system(content: &str) -> TempSystem {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "hetfeas-cli-test-{}-{}.txt",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, content).expect("write temp system file");
+    TempSystem(path)
+}
+
+const FEASIBLE: &str = "task 9 10\ntask 4 10\ntask 3 10\nmachine 1\nmachine 2\n";
+const INFEASIBLE: &str = "task 8 10\ntask 8 10\ntask 8 10\nmachine 1\nmachine 1\n";
+
+#[test]
+fn check_feasible_exits_zero() {
+    let path = write_system(FEASIBLE);
+    let out = hetfeas(&["check", path.to_str(), "-v"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("FEASIBLE"));
+    assert!(stdout.contains("machine 0"));
+}
+
+#[test]
+fn check_infeasible_exits_one_and_cites_theorem_at_alpha_two() {
+    // Five 0.9-utilization tasks on two unit machines stay infeasible even
+    // at α = 2 (4 fit pairwise, the fifth does not) — so the CLI must cite
+    // Theorem I.1's partitioned-infeasibility certificate.
+    let path = write_system("task 9 10
+task 9 10
+task 9 10
+task 9 10
+task 9 10
+machine 1
+machine 1
+");
+    let out = hetfeas(&["check", path.to_str(), "--alpha", "2"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("INFEASIBLE"));
+    assert!(stdout.contains("provably infeasible"), "{stdout}");
+}
+
+#[test]
+fn alpha_reports_bisection_and_lp_bound() {
+    let path = write_system(INFEASIBLE);
+    let out = hetfeas(&["alpha", path.to_str()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("β"));
+    // Known instance: α* = 1.6 (see partition unit tests).
+    assert!(stdout.contains("α* = 1.6000"), "{stdout}");
+}
+
+#[test]
+fn oracles_report_all_three() {
+    let path = write_system(FEASIBLE);
+    let out = hetfeas(&["oracles", path.to_str()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("LP (migrative adversary): feasible"));
+    assert!(stdout.contains("optimal partitioned EDF: feasible"));
+    assert!(stdout.contains("optimal partitioned RMS"));
+}
+
+#[test]
+fn simulate_reports_zero_misses() {
+    let path = write_system(FEASIBLE);
+    let out = hetfeas(&["simulate", path.to_str()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 misses"), "{stdout}");
+}
+
+#[test]
+fn generate_then_check_roundtrip() {
+    let out = hetfeas(&[
+        "generate", "--tasks", "8", "--machines", "4", "--util", "0.6", "--seed", "5",
+    ]);
+    assert!(out.status.success());
+    let system = String::from_utf8(out.stdout).unwrap();
+    assert!(system.lines().filter(|l| l.starts_with("task")).count() == 8);
+    assert!(system.lines().filter(|l| l.starts_with("machine")).count() == 4);
+    let path = write_system(&system);
+    let out = hetfeas(&["check", path.to_str()]);
+    assert!(out.status.success(), "generated 0.6-load system must be feasible");
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    assert_eq!(hetfeas(&[]).status.code(), Some(2));
+    assert_eq!(hetfeas(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(hetfeas(&["check", "/nonexistent/file.txt"]).status.code(), Some(2));
+    assert_eq!(hetfeas(&["check", "--alpha"]).status.code(), Some(2));
+    let path = write_system("task 1 2\nbogus\nmachine 1\n");
+    let out = hetfeas(&["check", path.to_str()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("line 2"));
+}
+
+#[test]
+fn policy_flag_selects_admission() {
+    // A pair of 0.45-utilization tasks on one machine: EDF ok, RMS-LL not.
+    let path = write_system("task 45 100\ntask 45 100\nmachine 1\n");
+    assert!(hetfeas(&["check", path.to_str(), "--policy", "edf"]).status.success());
+    assert_eq!(
+        hetfeas(&["check", path.to_str(), "--policy", "rms"]).status.code(),
+        Some(1)
+    );
+    // Exact RTA admission also rejects (0.9 > LL? exact RM: equal periods,
+    // R2 = 90 ≤ 100 — actually schedulable!).
+    assert!(hetfeas(&["check", path.to_str(), "--policy", "rms-rta"])
+        .status
+        .success());
+}

@@ -1,0 +1,137 @@
+//! Exhaustive verification on a small discrete grid — no randomness, every
+//! instance in the family is checked, so any coherence bug in the oracle
+//! chain shows up deterministically.
+//!
+//! Family: utilizations from {0.25, 0.5, 0.75, 1.0} (as c/p = k/4), up to
+//! 4 tasks, platforms [1], [1,1], [1,2]. That is 4+16+64+256 task sets ×
+//! 3 platforms = 1 020 instances, each pushed through first-fit (EDF and
+//! RMS), the exact branch-and-bound, the LP, and the level-algorithm
+//! simulation.
+
+use hetfeas::lp::lp_feasible;
+use hetfeas::model::{Augmentation, Platform, Ratio, TaskSet};
+use hetfeas::partition::{
+    exact_partition_edf, exact_partition_rms, first_fit, EdfAdmission, RmsLlAdmission,
+};
+use hetfeas::sim::{level_schedulable, validate_assignment, SchedPolicy};
+
+fn all_tasksets(max_n: usize) -> Vec<TaskSet> {
+    let mut out = Vec::new();
+    // wcets from 1..=4 over period 4 → utils 0.25..1.0.
+    fn rec(prefix: &mut Vec<u64>, max_n: usize, out: &mut Vec<TaskSet>) {
+        if !prefix.is_empty() {
+            out.push(TaskSet::from_pairs(prefix.iter().map(|&c| (c, 4))).unwrap());
+        }
+        if prefix.len() == max_n {
+            return;
+        }
+        // Non-decreasing wcets to kill permutation duplicates (every
+        // algorithm here is permutation-invariant up to tie-breaking of
+        // equal utilizations, and feasibility certainly is).
+        let lo = prefix.last().copied().unwrap_or(1);
+        for c in lo..=4 {
+            prefix.push(c);
+            rec(prefix, max_n, out);
+            prefix.pop();
+        }
+    }
+    rec(&mut Vec::new(), max_n, &mut out);
+    out
+}
+
+fn platforms() -> Vec<Platform> {
+    vec![
+        Platform::identical(1).unwrap(),
+        Platform::identical(2).unwrap(),
+        Platform::from_int_speeds([1, 2]).unwrap(),
+    ]
+}
+
+#[test]
+fn exhaustive_oracle_coherence() {
+    let mut checked = 0usize;
+    for platform in platforms() {
+        for ts in all_tasksets(4) {
+            checked += 1;
+            let ff_edf = first_fit(&ts, &platform, Augmentation::NONE, &EdfAdmission);
+            let exact_edf = exact_partition_edf(&ts, &platform, 1 << 20);
+            assert!(exact_edf.is_decided(), "budget must suffice at this size");
+            let lp = lp_feasible(&ts, &platform);
+            let demands: Vec<Ratio> = ts.iter().map(|t| t.utilization_ratio()).collect();
+            let speeds: Vec<Ratio> = platform.iter().map(|m| m.speed()).collect();
+            let fluid = level_schedulable(&demands, &speeds);
+
+            // Chain: FF ⊆ exact ⊆ LP = fluid.
+            if ff_edf.is_feasible() {
+                assert!(exact_edf.is_feasible(), "FF ⊄ exact on {ts} / {platform}");
+            }
+            if exact_edf.is_feasible() {
+                assert!(lp, "exact ⊄ LP on {ts} / {platform}");
+            }
+            assert_eq!(lp, fluid, "LP ≠ level simulation on {ts} / {platform}");
+
+            // Theorem I.1 exhaustively: exact-feasible ⇒ FF-EDF@2 accepts.
+            if exact_edf.is_feasible() {
+                assert!(
+                    first_fit(&ts, &platform, Augmentation::EDF_VS_PARTITIONED, &EdfAdmission)
+                        .is_feasible(),
+                    "Theorem I.1 fails on {ts} / {platform}"
+                );
+            }
+            // Theorem I.3 exhaustively: LP-feasible ⇒ FF-EDF@2.98 accepts.
+            if lp {
+                assert!(
+                    first_fit(&ts, &platform, Augmentation::EDF_VS_ANY, &EdfAdmission)
+                        .is_feasible(),
+                    "Theorem I.3 fails on {ts} / {platform}"
+                );
+            }
+
+            // Simulator agreement for every accepted EDF assignment.
+            if let Some(a) = ff_edf.assignment() {
+                let rep = validate_assignment(&ts, &platform, a, Ratio::ONE, SchedPolicy::Edf)
+                    .expect("simulate");
+                assert_eq!(rep.miss_count, 0, "accepted but missed: {ts} / {platform}");
+            }
+        }
+    }
+    assert_eq!(checked, 3 * (4 + 10 + 20 + 35), "combinatorial family size");
+}
+
+#[test]
+fn exhaustive_rms_chain() {
+    for platform in platforms() {
+        for ts in all_tasksets(3) {
+            let ff = first_fit(&ts, &platform, Augmentation::NONE, &RmsLlAdmission);
+            let exact = exact_partition_rms(&ts, &platform, 1 << 20);
+            assert!(exact.is_decided());
+            // FF with LL admission ⊆ exact RTA partitioning.
+            if ff.is_feasible() {
+                assert!(exact.is_feasible(), "LL-FF ⊄ exact RTA on {ts} / {platform}");
+            }
+            // Theorem I.2 exhaustively.
+            if exact.is_feasible() {
+                assert!(
+                    first_fit(&ts, &platform, Augmentation::RMS_VS_PARTITIONED, &RmsLlAdmission)
+                        .is_feasible(),
+                    "Theorem I.2 fails on {ts} / {platform}"
+                );
+            }
+            // Theorem I.4 exhaustively.
+            if lp_feasible(&ts, &platform) {
+                assert!(
+                    first_fit(&ts, &platform, Augmentation::RMS_VS_ANY, &RmsLlAdmission)
+                        .is_feasible(),
+                    "Theorem I.4 fails on {ts} / {platform}"
+                );
+            }
+            // Accepted RMS assignments survive simulation.
+            if let Some(a) = ff.assignment() {
+                let rep =
+                    validate_assignment(&ts, &platform, a, Ratio::ONE, SchedPolicy::RateMonotonic)
+                        .expect("simulate");
+                assert_eq!(rep.miss_count, 0, "accepted RMS missed: {ts} / {platform}");
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end validation of semi-partitioned splitting: every accepted
+//! placement — whole tasks and split pieces alike — is replayed in the
+//! exact simulator machine by machine, under the sporadic abstraction the
+//! analysis uses (each piece an independent constrained-deadline task).
+
+use hetfeas::model::{Augmentation, Platform, Task, TaskSet};
+use hetfeas::partition::{first_fit, semi_partition, EdfAdmission, Placement, SplitOutcome};
+use hetfeas::sim::{simulate_machine, validation_horizon, ReleasePattern, SchedPolicy};
+use hetfeas::workload::{PeriodMenu, PlatformSpec, UtilizationSampler, WorkloadSpec};
+
+/// Rebuild each machine's (possibly constrained) task set from placements.
+fn machine_sets(
+    tasks: &TaskSet,
+    platform: &Platform,
+    placements: &[Placement],
+) -> Vec<TaskSet> {
+    let mut per_machine: Vec<Vec<Task>> = vec![Vec::new(); platform.len()];
+    for (ti, pl) in placements.iter().enumerate() {
+        match pl {
+            Placement::Whole { machine } => per_machine[*machine].push(tasks[ti]),
+            Placement::Split { first, second } => {
+                let p = tasks[ti].period();
+                per_machine[first.0].push(Task::constrained(first.1, p, first.2).unwrap());
+                per_machine[second.0].push(Task::constrained(second.1, p, second.2).unwrap());
+            }
+        }
+    }
+    per_machine.into_iter().map(TaskSet::new).collect()
+}
+
+#[test]
+fn accepted_splits_simulate_cleanly() {
+    let spec = WorkloadSpec {
+        n_tasks: 10,
+        normalized_utilization: 0.95, // high load → splits actually happen
+        platform: PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 },
+        sampler: UtilizationSampler::UUniFastCapped,
+        periods: PeriodMenu::standard(),
+    };
+    let mut split_instances = 0usize;
+    for i in 0..60 {
+        let Some(inst) = spec.generate(20260705, i) else { continue };
+        let SplitOutcome::Feasible(placements) =
+            semi_partition(&inst.tasks, &inst.platform, Augmentation::NONE)
+        else {
+            continue;
+        };
+        let had_split = placements.iter().any(|p| matches!(p, Placement::Split { .. }));
+        split_instances += usize::from(had_split);
+        for (m, set) in machine_sets(&inst.tasks, &inst.platform, &placements)
+            .into_iter()
+            .enumerate()
+        {
+            if set.is_empty() {
+                continue;
+            }
+            let horizon = validation_horizon(&set).expect("menu periods");
+            let report = simulate_machine(
+                &set,
+                inst.platform.machine(m).speed(),
+                SchedPolicy::Edf,
+                ReleasePattern::Periodic,
+                horizon,
+            )
+            .expect("simulate");
+            assert_eq!(
+                report.miss_count, 0,
+                "split machine {m} missed on instance {i}: {set}"
+            );
+        }
+    }
+    assert!(
+        split_instances >= 3,
+        "workload too easy — only {split_instances} instances exercised splitting"
+    );
+}
+
+#[test]
+fn splitting_strictly_extends_first_fit_on_this_family() {
+    let spec = WorkloadSpec {
+        n_tasks: 10,
+        normalized_utilization: 0.95,
+        platform: PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 },
+        sampler: UtilizationSampler::UUniFastCapped,
+        periods: PeriodMenu::standard(),
+    };
+    let (mut ff_n, mut semi_n) = (0usize, 0usize);
+    for i in 0..80 {
+        let Some(inst) = spec.generate(777_000, i) else { continue };
+        let ff = first_fit(&inst.tasks, &inst.platform, Augmentation::NONE, &EdfAdmission)
+            .is_feasible();
+        let semi = semi_partition(&inst.tasks, &inst.platform, Augmentation::NONE).is_feasible();
+        assert!(!ff || semi, "FF ⊆ semi violated on instance {i}");
+        ff_n += usize::from(ff);
+        semi_n += usize::from(semi);
+    }
+    assert!(
+        semi_n > ff_n,
+        "expected splitting to rescue at least one instance ({semi_n} vs {ff_n})"
+    );
+}

@@ -1,0 +1,149 @@
+//! Hand-constructed adversarial instances probing the theorems' edges:
+//! known worst-case families for first-fit, knife-edge utilizations, and
+//! the asymmetric platforms the paper's slow/medium/fast analysis targets.
+
+use hetfeas::lp::{level_scaling_factor, lp_feasible};
+use hetfeas::model::{Augmentation, Platform, TaskSet};
+use hetfeas::partition::{
+    exact_partition_edf, first_fit, min_feasible_alpha, EdfAdmission, ExactOutcome,
+    RmsLlAdmission,
+};
+
+/// The classic first-fit stressor on identical machines: m machines,
+/// m+1 tasks of utilization just over 1/2. The adversary cannot schedule
+/// them either (pigeonhole), so this does NOT separate FF from OPT — it
+/// verifies they agree.
+#[test]
+fn pigeonhole_family_agrees_with_exact() {
+    for m in 2..6 {
+        let tasks = TaskSet::from_pairs(vec![(51, 100); m + 1]).unwrap();
+        let platform = Platform::identical(m).unwrap();
+        assert!(!first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission).is_feasible());
+        assert_eq!(
+            exact_partition_edf(&tasks, &platform, 1 << 22),
+            ExactOutcome::Infeasible
+        );
+        // The *migrative* adversary schedules them fine (total 0.51(m+1)
+        // ≤ m and each w ≤ 1) — exactly the partitioned-vs-migrative gap
+        // the paper's two adversary classes capture.
+        assert!(lp_feasible(&tasks, &platform), "migration handles m+1 half-loads");
+    }
+}
+
+/// A genuine FF-vs-OPT gap: 2 machines, tasks (0.5, 0.5, 0.5, 0.5, 1.0)…
+/// FF(dec) places 1.0 first. Construct instead the textbook gap for
+/// decreasing first-fit: utils {0.6, 0.6, 0.4, 0.4, 0.4, 0.4} on three
+/// unit machines — OPT pairs 0.6+0.4 twice and 0.4+0.4 once; FF(dec) puts
+/// 0.6+0.4 … actually also fits. Decreasing first-fit is 11/9-competitive
+/// for bin packing, so gaps exist but are intricate; this test instead
+/// *certifies a measured gap* found by search: the α* from bisection
+/// exceeds 1 while the exact oracle succeeds.
+#[test]
+fn measured_ff_opt_gap_instance() {
+    // utils: 0.46, 0.46, 0.30, 0.30, 0.24, 0.24 on two unit machines.
+    // OPT: {0.46, 0.30, 0.24} = 1.00 twice. FF(dec): m0 ← 0.46, 0.46 →
+    // 0.92; m1 ← 0.30, 0.30 → 0.60; 0.24 → m1 (0.84); 0.24 → m1? 1.08 ✗
+    // m0 1.16 ✗ → FF fails while OPT packs perfectly.
+    let tasks = TaskSet::from_pairs([
+        (46, 100),
+        (46, 100),
+        (30, 100),
+        (30, 100),
+        (24, 100),
+        (24, 100),
+    ])
+    .unwrap();
+    let platform = Platform::identical(2).unwrap();
+    assert!(
+        !first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission).is_feasible(),
+        "FF must fail at α = 1"
+    );
+    assert!(
+        exact_partition_edf(&tasks, &platform, 1 << 20).is_feasible(),
+        "a perfect 2-way partition exists"
+    );
+    let alpha = min_feasible_alpha(&tasks, &platform, &EdfAdmission, 3.0, 1e-6).unwrap();
+    assert!(alpha > 1.0 && alpha <= 2.0, "gap α* = {alpha} within Theorem I.1");
+    // The specific value: the final 0.24 task fits machine 1 once
+    // 0.30+0.30+0.24+0.24 = 1.08 ≤ α, so α* = 1.08.
+    assert!((alpha - 1.08).abs() < 1e-3, "α* = {alpha}");
+}
+
+/// Knife-edge: total utilization exactly equals total speed, per-machine
+/// perfect packing required and possible.
+#[test]
+fn exact_saturation_feasible() {
+    // Speeds [1, 2]; tasks 1.0 and 2.0 exactly.
+    let tasks = TaskSet::from_pairs([(1, 1), (2, 1)]).unwrap();
+    let platform = Platform::from_int_speeds([1, 2]).unwrap();
+    let out = first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission);
+    assert!(out.is_feasible(), "exact saturation must be accepted (non-strict bound)");
+    assert!(lp_feasible(&tasks, &platform));
+    assert!((level_scaling_factor(&tasks, &platform) - 1.0).abs() < 1e-12);
+}
+
+/// A single heavy task heavier than every slow machine exercises the
+/// paper's "slow machines cannot host τ_n" case.
+#[test]
+fn heavy_task_skips_slow_machines() {
+    let tasks = TaskSet::from_pairs([(15, 10)]).unwrap(); // w = 1.5
+    let platform = Platform::from_int_speeds([1, 1, 1, 2]).unwrap();
+    let out = first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission);
+    assert_eq!(out.assignment().unwrap().machine_of(0), Some(3));
+    // With every machine too slow, failure at α = 1 but the LP agrees
+    // (constraint (2): a task cannot exceed the fastest machine).
+    let slow = Platform::from_int_speeds([1, 1, 1]).unwrap();
+    assert!(!first_fit(&tasks, &slow, Augmentation::NONE, &EdfAdmission).is_feasible());
+    assert!(!lp_feasible(&tasks, &slow));
+}
+
+/// The RMS factor-2.41 witness shape: pairs of tasks at the Liu–Layland
+/// boundary. Verifies the theorem's α rescues them and the bound is not
+/// violated on the family.
+#[test]
+fn rms_boundary_pairs() {
+    for k in 1..6 {
+        // 2k tasks of utilization 0.5 on k unit machines: exact RM can
+        // schedule 2 per machine only if 1.0 ≤ ... RM needs harmonic; with
+        // equal periods RM = FIFO-ish and 0.5+0.5 = 1.0 is schedulable
+        // (same period ⇒ both complete). LL rejects (bound 0.828).
+        let tasks = TaskSet::from_pairs(vec![(1, 2); 2 * k]).unwrap();
+        let platform = Platform::identical(k).unwrap();
+        assert!(
+            !first_fit(&tasks, &platform, Augmentation::NONE, &RmsLlAdmission).is_feasible(),
+            "LL must reject 0.5+0.5 pairs at α = 1"
+        );
+        assert!(
+            first_fit(&tasks, &platform, Augmentation::RMS_VS_PARTITIONED, &RmsLlAdmission)
+                .is_feasible(),
+            "α = 2.414 must rescue the pairs (Theorem I.2)"
+        );
+    }
+}
+
+/// Geometric speed ladders: the slow/medium/fast grouping of §IV with a
+/// wide speed range; FF must walk up the ladder correctly.
+#[test]
+fn geometric_ladder_placement() {
+    let platform = Platform::from_int_speeds([1, 2, 4, 8]).unwrap();
+    // Tasks sized to fit exactly one rung each (utilization = rung speed).
+    let tasks = TaskSet::from_pairs([(8, 1), (4, 1), (2, 1), (1, 1)]).unwrap();
+    let out = first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission);
+    let a = out.assignment().expect("one task per rung fits");
+    // Decreasing utilization: 8, 4, 2, 1 → machines 3, 2, 1, 0.
+    assert_eq!(a.machine_of(0), Some(3));
+    assert_eq!(a.machine_of(1), Some(2));
+    assert_eq!(a.machine_of(2), Some(1));
+    assert_eq!(a.machine_of(3), Some(0));
+}
+
+/// Empty and degenerate inputs across the public API.
+#[test]
+fn degenerate_inputs() {
+    let empty = TaskSet::empty();
+    let p = Platform::identical(1).unwrap();
+    assert!(first_fit(&empty, &p, Augmentation::NONE, &EdfAdmission).is_feasible());
+    assert!(lp_feasible(&empty, &p));
+    assert!(exact_partition_edf(&empty, &p, 10).is_feasible());
+    assert_eq!(min_feasible_alpha(&empty, &p, &EdfAdmission, 2.0, 1e-6), Some(1.0));
+}
