@@ -1,7 +1,32 @@
 //! Classic utilization bounds (Liu & Layland 1973).
 
+use std::sync::OnceLock;
+
 /// Natural logarithm of 2 — the limit of the Liu–Layland bound.
 pub const LN2: f64 = core::f64::consts::LN_2;
+
+/// Table size for the memoized Liu–Layland bound: machines holding up to
+/// 64 tasks hit the table, larger counts fall back to the closed form.
+const LL_TABLE_LEN: usize = 65;
+
+/// The closed form `n(2^{1/n} − 1)` (one `powf` — the memoized table is
+/// built from this, so table hits are bit-identical to the closed form).
+#[inline]
+fn ll_closed_form(n: usize) -> f64 {
+    let n = n as f64;
+    n * ((2.0f64).powf(1.0 / n) - 1.0)
+}
+
+fn ll_table() -> &'static [f64; LL_TABLE_LEN] {
+    static TABLE: OnceLock<[f64; LL_TABLE_LEN]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [1.0; LL_TABLE_LEN];
+        for (n, slot) in t.iter_mut().enumerate().skip(1) {
+            *slot = ll_closed_form(n);
+        }
+        t
+    })
+}
 
 /// The Liu–Layland RMS utilization bound for `n` tasks:
 /// `n(2^{1/n} − 1)`, monotonically decreasing from 1 (n=1) towards `ln 2`.
@@ -9,13 +34,18 @@ pub const LN2: f64 = core::f64::consts::LN_2;
 /// For `n == 0` the bound is defined as 1.0 (an empty machine of speed `s`
 /// can absorb a task of utilization up to `s`, which matches the paper's
 /// admission test with `|S| = 0`).
+///
+/// This sits inside the RMS admission hot loop of the first-fit test, so
+/// `n ≤ 64` is served from a lazily built table instead of recomputing the
+/// `powf`; the table is built from the same closed form, so memoized and
+/// direct values are bit-identical.
 #[inline]
 pub fn liu_layland_bound(n: usize) -> f64 {
-    if n == 0 {
-        return 1.0;
+    if n < LL_TABLE_LEN {
+        ll_table()[n]
+    } else {
+        ll_closed_form(n)
     }
-    let n = n as f64;
-    n * ((2.0f64).powf(1.0 / n) - 1.0)
 }
 
 /// The Liu–Layland EDF bound — always 1, provided for symmetry / clarity in
@@ -52,5 +82,15 @@ mod tests {
     #[test]
     fn edf_bound_is_one() {
         assert_eq!(edf_bound(), 1.0);
+    }
+
+    #[test]
+    fn memoized_table_is_bit_identical_to_closed_form() {
+        // Table hits (n ≤ 64) and the fallback must agree exactly with the
+        // closed form — admission decisions depend on exact f64 equality.
+        for n in 1..200 {
+            assert_eq!(liu_layland_bound(n), ll_closed_form(n), "n={n}");
+        }
+        assert_eq!(liu_layland_bound(0), 1.0);
     }
 }

@@ -3,14 +3,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hetfeas_bench::bench_instance;
-use hetfeas_partition::{exact_partition_edf, min_feasible_alpha, EdfAdmission};
+use hetfeas_partition::{exact_partition_edf, min_feasible_alpha, EdfAdmission, FirstFitEngine};
 use std::hint::black_box;
 
 fn bench_bisection(c: &mut Criterion) {
     let mut group = c.benchmark_group("alpha_bisection");
     for n in [8usize, 16, 32] {
         let inst = bench_instance(n, 4, 0.95, 31);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+        group.bench_with_input(BenchmarkId::new("bisect", n), &inst, |b, inst| {
             b.iter(|| {
                 black_box(min_feasible_alpha(
                     &inst.tasks,
@@ -20,6 +20,12 @@ fn bench_bisection(c: &mut Criterion) {
                     1e-4,
                 ))
             })
+        });
+        // Warm-started engine search: sorts hoisted out of the probe loop,
+        // exponential bracketing, indexed O(log m) probes.
+        group.bench_with_input(BenchmarkId::new("engine_warm", n), &inst, |b, inst| {
+            let mut engine = FirstFitEngine::new(EdfAdmission);
+            b.iter(|| black_box(engine.min_feasible_alpha(&inst.tasks, &inst.platform, 4.0, 1e-4)))
         });
     }
     group.finish();

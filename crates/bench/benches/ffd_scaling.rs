@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hetfeas_bench::bench_instance;
 use hetfeas_model::Augmentation;
-use hetfeas_partition::{first_fit, EdfAdmission, RmsLlAdmission};
+use hetfeas_partition::{first_fit, EdfAdmission, FirstFitEngine, RmsLlAdmission};
 use std::hint::black_box;
 
 fn bench_scale_n(c: &mut Criterion) {
@@ -48,6 +48,33 @@ fn bench_scale_m(c: &mut Criterion) {
     group.finish();
 }
 
+/// The ISSUE's acceptance benchmark: at n = 4096, the linear scan grows
+/// linearly in m while the indexed engine's per-placement cost is
+/// O(log m) — its m = 1024 time must stay < 2× its m = 64 time.
+fn bench_scan_vs_indexed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ffd_scan_vs_indexed_n4096");
+    group.sample_size(10);
+    for m in [64usize, 256, 1024, 4096] {
+        let inst = bench_instance(4096, m, 0.9, 45);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("scan", m), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(first_fit(
+                    &inst.tasks,
+                    &inst.platform,
+                    Augmentation::NONE,
+                    &EdfAdmission,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", m), &inst, |b, inst| {
+            let mut engine = FirstFitEngine::new(EdfAdmission);
+            b.iter(|| black_box(engine.run(&inst.tasks, &inst.platform, Augmentation::NONE)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_admissions(c: &mut Criterion) {
     let mut group = c.benchmark_group("ffd_admission_kind_n1024_m8");
     let inst = bench_instance(1024, 8, 0.8, 44);
@@ -64,5 +91,11 @@ fn bench_admissions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scale_n, bench_scale_m, bench_admissions);
+criterion_group!(
+    benches,
+    bench_scale_n,
+    bench_scale_m,
+    bench_scan_vs_indexed,
+    bench_admissions
+);
 criterion_main!(benches);

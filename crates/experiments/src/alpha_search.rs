@@ -8,7 +8,7 @@
 
 use crate::stats;
 use hetfeas_model::{Platform, TaskSet};
-use hetfeas_partition::{min_feasible_alpha, AdmissionTest};
+use hetfeas_partition::{min_feasible_alpha, AdmissionTest, FirstFitEngine, IndexableAdmission};
 
 /// Bisection tolerance for α*.
 pub const ALPHA_TOL: f64 = 1e-4;
@@ -25,6 +25,20 @@ pub fn empirical_alpha<A: AdmissionTest>(
     bound: f64,
 ) -> Option<f64> {
     min_feasible_alpha(tasks, platform, admission, bound + 1.0, ALPHA_TOL)
+}
+
+/// [`empirical_alpha`] on the indexed engine: sorts run once per instance
+/// and every probe is an `O((n+m)·log m)` indexed scan with exponential
+/// bracketing — the E1–E4 sweeps measure thousands of instances, so this
+/// is their hot path. Only for indexable admissions (EDF, RMS-LL,
+/// hyperbolic); RTA/Kuo–Mok sweeps keep using [`empirical_alpha`].
+pub fn empirical_alpha_indexed<A: IndexableAdmission>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    admission: A,
+    bound: f64,
+) -> Option<f64> {
+    FirstFitEngine::new(admission).min_feasible_alpha(tasks, platform, bound + 1.0, ALPHA_TOL)
 }
 
 /// Aggregate α* statistics for a table row.
@@ -107,6 +121,18 @@ mod tests {
         let p = Platform::identical(2).unwrap();
         let a = empirical_alpha(&tasks, &p, &EdfAdmission, 2.0).unwrap();
         assert!((a - 1.6).abs() < 1e-3, "α* = {a}");
+    }
+
+    #[test]
+    fn indexed_alpha_agrees_with_bisection() {
+        let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p = Platform::identical(2).unwrap();
+        let cold = empirical_alpha(&tasks, &p, &EdfAdmission, 2.0).unwrap();
+        let warm = empirical_alpha_indexed(&tasks, &p, EdfAdmission, 2.0).unwrap();
+        assert!((warm - cold).abs() <= 2.0 * ALPHA_TOL, "{warm} vs {cold}");
+        // Trivial instance: both return exactly 1.
+        let light = TaskSet::from_pairs([(1, 10)]).unwrap();
+        assert_eq!(empirical_alpha_indexed(&light, &p, EdfAdmission, 2.0), Some(1.0));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! bound on the algorithm's approximation ratio for that setting — to be
 //! compared against the paper's upper bounds (2 / 2.414 / 2.98 / 3.34).
 
-use crate::alpha_search::empirical_alpha;
+use crate::alpha_search::empirical_alpha_indexed;
 use crate::config::ExpConfig;
 use crate::table::{f3, Table};
 use hetfeas_lp::lp_feasible;
@@ -75,12 +75,14 @@ impl Setting {
     }
 
     fn alpha(&self, tasks: &TaskSet, platform: &Platform) -> Option<f64> {
+        // The search evaluates α* per mutation — the indexed warm-started
+        // engine keeps the inner loop cheap.
         match self {
             Setting::EdfVsPartitioned | Setting::EdfVsLp => {
-                empirical_alpha(tasks, platform, &EdfAdmission, self.bound())
+                empirical_alpha_indexed(tasks, platform, EdfAdmission, self.bound())
             }
             Setting::RmsVsPartitioned | Setting::RmsVsLp => {
-                empirical_alpha(tasks, platform, &RmsLlAdmission, self.bound())
+                empirical_alpha_indexed(tasks, platform, RmsLlAdmission, self.bound())
             }
         }
     }

@@ -7,7 +7,7 @@
 //! α* ≤ bound; the tables report the empirical distribution and the
 //! violation count (which must be zero).
 
-use crate::alpha_search::{empirical_alpha, AlphaStats};
+use crate::alpha_search::{empirical_alpha_indexed, AlphaStats};
 use crate::config::ExpConfig;
 use crate::table::{f3, Table};
 use hetfeas_lp::lp_feasible;
@@ -225,9 +225,11 @@ fn measure_alpha(
     platform: &Platform,
     bound: f64,
 ) -> Option<f64> {
+    // Both admissions are indexable, so the α-search runs on the engine
+    // (sorts hoisted, O(log m) probes).
     match admission {
-        FfAdmission::Edf => empirical_alpha(tasks, platform, &EdfAdmission, bound),
-        FfAdmission::RmsLl => empirical_alpha(tasks, platform, &RmsLlAdmission, bound),
+        FfAdmission::Edf => empirical_alpha_indexed(tasks, platform, EdfAdmission, bound),
+        FfAdmission::RmsLl => empirical_alpha_indexed(tasks, platform, RmsLlAdmission, bound),
     }
 }
 

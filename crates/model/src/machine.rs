@@ -155,14 +155,22 @@ impl Platform {
     /// Indices of machines ordered by non-decreasing speed, ties broken by
     /// original index. This is the order the paper's first-fit scans.
     pub fn order_by_increasing_speed(&self) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.machines.len()).collect();
+        let mut idx = Vec::new();
+        self.order_by_increasing_speed_into(&mut idx);
+        idx
+    }
+
+    /// [`Platform::order_by_increasing_speed`] into a caller-owned buffer,
+    /// so repeated sorts reuse the allocation. The buffer is cleared first.
+    pub fn order_by_increasing_speed_into(&self, idx: &mut Vec<usize>) {
+        idx.clear();
+        idx.extend(0..self.machines.len());
         idx.sort_by(|&a, &b| {
             self.machines[a]
                 .speed()
                 .cmp(&self.machines[b].speed())
                 .then(a.cmp(&b))
         });
-        idx
     }
 
     /// Speeds sorted in non-increasing order (used by the level-algorithm

@@ -101,7 +101,17 @@ impl TaskSet {
     /// by original index (a deterministic total order — required so the
     /// paper's first-fit is reproducible).
     pub fn order_by_decreasing_utilization(&self) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.tasks.len()).collect();
+        let mut idx = Vec::new();
+        self.order_by_decreasing_utilization_into(&mut idx);
+        idx
+    }
+
+    /// [`TaskSet::order_by_decreasing_utilization`] into a caller-owned
+    /// buffer, so repeated sorts (e.g. an engine probing many α values)
+    /// reuse the allocation. The buffer is cleared first.
+    pub fn order_by_decreasing_utilization_into(&self, idx: &mut Vec<usize>) {
+        idx.clear();
+        idx.extend(0..self.tasks.len());
         // Exact rational comparison avoids f64 tie ambiguity between e.g.
         // 1/3 and 2/6.
         idx.sort_by(|&a, &b| {
@@ -110,7 +120,6 @@ impl TaskSet {
                 .cmp(&self.tasks[a].utilization_ratio())
                 .then(a.cmp(&b))
         });
-        idx
     }
 
     /// Hyperperiod (lcm of periods), `None` when empty or on overflow.

@@ -1,0 +1,603 @@
+//! Indexed first-fit engine: the §III test in `O((n+m)·log m)`.
+//!
+//! The reference [`crate::first_fit()`] scans machines linearly per task —
+//! `O(n·m)` admission checks in the worst case. Every higher layer (the
+//! α-bisection, the E1–E17 sweeps, the benches) calls it thousands of
+//! times, so [`FirstFitEngine`] replaces the scan with a max-segment-tree
+//! over per-machine *residual capacities*:
+//!
+//! * EDF: the residual of machine `j` is `α·s_j − load_j`;
+//! * RMS-LL: it is `bound(k_j + 1)·α·s_j − load_j` where `k_j` is the
+//!   number of tasks already on `j`.
+//!
+//! Both residuals change only on the machine that admits the task, so a
+//! point update keeps the tree valid, and "first (slowest) machine that
+//! admits τ" becomes a descend-left query: `O(log m)` per placement instead
+//! of `O(m)`. Total: `O(n log n + m log m)` for the sorts plus
+//! `O((n+m)·log m)` for the placements.
+//!
+//! ## Exact equivalence with the reference scan
+//!
+//! Tree thresholds are *hints*: each [`IndexableAdmission::residual_hint`]
+//! over-approximates (by a ~1e-12 relative slack, far below [`EPS`]) the
+//! largest utilization the exact [`AdmissionTest::admit`] predicate would
+//! accept, and every candidate leaf is re-checked with that exact
+//! predicate before placing. A rejected candidate resumes the query to its
+//! right. Hence the engine admits each task on *exactly* the machine the
+//! reference scan picks — outcomes (assignments, witnesses, tie-breaking)
+//! are byte-identical, which `tests/prop_engine.rs` asserts. Admissions
+//! whose acceptance is not a threshold on the candidate's utilization
+//! (exact RTA, Kuo–Mok — they re-inspect the whole accumulated set) cannot
+//! be indexed this way and stay on the linear reference path.
+//!
+//! The engine owns its workspaces (sort permutations, admission states,
+//! the tree), so repeated calls — e.g. the probes of
+//! [`FirstFitEngine::min_feasible_alpha`] — amortize all allocation, and
+//! [`FirstFitEngine::prepare`]/[`FirstFitEngine::probe`] additionally
+//! hoist the two sorts out of multi-α loops.
+
+use crate::admission::{
+    AdmissionTest, EdfAdmission, HyperbolicState, RmsHyperbolicAdmission, RmsLlAdmission,
+    RmsLlState,
+};
+use crate::assignment::{Assignment, FailureWitness, Outcome};
+use hetfeas_analysis::liu_layland_bound;
+use hetfeas_model::{Augmentation, Platform, TaskSet, EPS};
+
+/// Relative slack added to residual hints so f64 rounding in
+/// `capacity − load` can never make the tree skip a machine the exact
+/// admission predicate would accept. ~1e-12 is ≥ 10³× the accumulated
+/// rounding error of the few flops involved and ≤ 10⁻³× [`EPS`], so false
+/// positives (cost: one wasted exact re-check) are vanishingly rare and
+/// false negatives are impossible.
+const HINT_SLACK: f64 = 1e-12;
+
+#[inline]
+fn relaxed_residual(capacity_rhs: f64, load: f64) -> f64 {
+    (capacity_rhs - load) + HINT_SLACK * capacity_rhs.abs().max(load.abs()).max(1.0)
+}
+
+/// An [`AdmissionTest`] whose acceptance of a candidate task is a threshold
+/// on the candidate's utilization — the property that lets a residual
+/// max-tree index it.
+///
+/// # Contract
+/// `residual_hint(state, speed)` must be ≥ the utilization of **every**
+/// task that `admit(state, task, speed)` would accept (over-approximation
+/// is fine: the engine re-checks candidates with the exact `admit`;
+/// under-approximation would silently skip machines and is a bug).
+pub trait IndexableAdmission: AdmissionTest {
+    /// Upper bound on the utilization of any task [`AdmissionTest::admit`]
+    /// accepts in `state` at augmented speed `speed`.
+    fn residual_hint(&self, state: &Self::State, speed: f64) -> f64;
+}
+
+impl IndexableAdmission for EdfAdmission {
+    fn residual_hint(&self, state: &f64, speed: f64) -> f64 {
+        // admit: approx_le(load + u, speed), i.e. load + u ≤ rhs.
+        let rhs = speed + EPS * speed.abs().max(1.0);
+        relaxed_residual(rhs, *state)
+    }
+}
+
+impl IndexableAdmission for RmsLlAdmission {
+    fn residual_hint(&self, state: &RmsLlState, speed: f64) -> f64 {
+        // admit: approx_le(load + u, bound(count + 1) · speed).
+        let cap = liu_layland_bound(state.count + 1) * speed;
+        let rhs = cap + EPS * cap.abs().max(1.0);
+        relaxed_residual(rhs, state.load)
+    }
+}
+
+impl IndexableAdmission for RmsHyperbolicAdmission {
+    fn residual_hint(&self, state: &HyperbolicState, speed: f64) -> f64 {
+        // admit: approx_le(product · (u/speed + 1), 2), so
+        // u ≤ speed · (rhs/product − 1) with rhs the ε-padded 2.
+        let rhs = 2.0 + EPS * 2.0;
+        let bound = speed * (rhs / state.product - 1.0);
+        bound + HINT_SLACK * bound.abs().max(speed.abs()).max(1.0)
+    }
+}
+
+/// Max-segment-tree over `f64` leaf values supporting point updates and
+/// "leftmost leaf ≥ threshold at or after position `from`" in `O(log m)`.
+#[derive(Debug, Clone, Default)]
+struct MaxTree {
+    /// Power-of-two leaf span (0 until first rebuild).
+    leaves: usize,
+    /// 1-based heap layout: `node[1]` root, leaf `i` at `node[leaves + i]`;
+    /// padding leaves are `-∞` so they never match a query.
+    node: Vec<f64>,
+}
+
+impl MaxTree {
+    /// Reset the tree to `values`, reusing the backing allocation.
+    fn rebuild(&mut self, values: &[f64]) {
+        let leaves = values.len().max(1).next_power_of_two();
+        self.leaves = leaves;
+        self.node.clear();
+        self.node.resize(2 * leaves, f64::NEG_INFINITY);
+        self.node[leaves..leaves + values.len()].copy_from_slice(values);
+        for i in (1..leaves).rev() {
+            self.node[i] = self.node[2 * i].max(self.node[2 * i + 1]);
+        }
+    }
+
+    /// Set leaf `i` to `v` and repair ancestors.
+    fn update(&mut self, i: usize, v: f64) {
+        let mut i = self.leaves + i;
+        self.node[i] = v;
+        while i > 1 {
+            i /= 2;
+            self.node[i] = self.node[2 * i].max(self.node[2 * i + 1]);
+        }
+    }
+
+    /// Index of the leftmost leaf `≥ from` whose value is `≥ threshold`.
+    fn first_at_least(&self, from: usize, threshold: f64) -> Option<usize> {
+        if from >= self.leaves {
+            return None;
+        }
+        let mut i = self.leaves + from;
+        if self.node[i] >= threshold {
+            return Some(from);
+        }
+        // Climb until a right-sibling subtree can contain a match.
+        loop {
+            if i == 1 {
+                return None;
+            }
+            if i & 1 == 0 {
+                if self.node[i + 1] >= threshold {
+                    i += 1;
+                    break;
+                }
+                i += 1; // sibling exhausted too — climb from it
+            }
+            i /= 2;
+        }
+        // Descend to the leftmost qualifying leaf.
+        while i < self.leaves {
+            i *= 2;
+            if self.node[i] < threshold {
+                i += 1;
+            }
+        }
+        Some(i - self.leaves)
+    }
+}
+
+/// Reusable indexed first-fit: same outcomes as [`crate::first_fit()`],
+/// `O((n+m)·log m)` placements, zero per-call allocation after warm-up.
+///
+/// ```
+/// use hetfeas_model::{Augmentation, Platform, TaskSet};
+/// use hetfeas_partition::{first_fit, EdfAdmission, FirstFitEngine};
+///
+/// let tasks = TaskSet::from_pairs([(3, 10), (4, 10), (9, 10)]).unwrap();
+/// let platform = Platform::from_int_speeds([1, 2]).unwrap();
+/// let mut engine = FirstFitEngine::new(EdfAdmission);
+/// let indexed = engine.run(&tasks, &platform, Augmentation::NONE);
+/// let reference = first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission);
+/// assert_eq!(indexed, reference);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirstFitEngine<A: IndexableAdmission> {
+    admission: A,
+    task_order: Vec<usize>,
+    machine_order: Vec<usize>,
+    /// Un-augmented speeds in machine-scan order (filled by `prepare`).
+    base_speeds: Vec<f64>,
+    /// α-augmented speeds in machine-scan order (filled per probe).
+    speeds: Vec<f64>,
+    states: Vec<A::State>,
+    residuals: Vec<f64>,
+    tree: MaxTree,
+    /// `(n, m)` of the instance `prepare` last saw, for misuse checks.
+    prepared_for: Option<(usize, usize)>,
+}
+
+impl<A: IndexableAdmission> FirstFitEngine<A> {
+    /// A fresh engine for the given admission test. Workspaces grow on
+    /// first use and are reused by every later call.
+    pub fn new(admission: A) -> Self {
+        FirstFitEngine {
+            admission,
+            task_order: Vec::new(),
+            machine_order: Vec::new(),
+            base_speeds: Vec::new(),
+            speeds: Vec::new(),
+            states: Vec::new(),
+            residuals: Vec::new(),
+            tree: MaxTree::default(),
+            prepared_for: None,
+        }
+    }
+
+    /// The admission test this engine indexes.
+    pub fn admission(&self) -> &A {
+        &self.admission
+    }
+
+    /// Hoist the per-instance work out of a multi-α loop: sort tasks by
+    /// decreasing utilization and machines by increasing speed, and cache
+    /// the scan-order speeds. Call once per instance, then [`Self::probe`]
+    /// per α value.
+    pub fn prepare(&mut self, tasks: &TaskSet, platform: &Platform) {
+        tasks.order_by_decreasing_utilization_into(&mut self.task_order);
+        platform.order_by_increasing_speed_into(&mut self.machine_order);
+        self.base_speeds.clear();
+        self.base_speeds
+            .extend(self.machine_order.iter().map(|&m| platform.speed_f64(m)));
+        self.prepared_for = Some((tasks.len(), platform.len()));
+    }
+
+    /// Run the first-fit test at augmentation `alpha` over the orders
+    /// cached by the last [`Self::prepare`] call. `tasks` and `platform`
+    /// must be the same instance handed to `prepare` (checked by shape in
+    /// debug builds; passing a different same-shaped instance silently
+    /// reuses the stale sort and produces garbage).
+    pub fn probe(&mut self, tasks: &TaskSet, platform: &Platform, alpha: Augmentation) -> Outcome {
+        debug_assert_eq!(
+            self.prepared_for,
+            Some((tasks.len(), platform.len())),
+            "probe() without a matching prepare()"
+        );
+        let alpha = alpha.factor();
+        self.speeds.clear();
+        self.speeds.extend(self.base_speeds.iter().map(|&s| alpha * s));
+
+        self.states.clear();
+        self.states
+            .extend((0..platform.len()).map(|_| self.admission.empty_state()));
+        self.residuals.clear();
+        self.residuals.extend(
+            self.states
+                .iter()
+                .zip(&self.speeds)
+                .map(|(st, &sp)| self.admission.residual_hint(st, sp)),
+        );
+        self.tree.rebuild(&self.residuals);
+
+        let mut assignment = Assignment::new(tasks.len(), platform.len());
+        for idx in 0..self.task_order.len() {
+            let ti = self.task_order[idx];
+            let task = &tasks[ti];
+            let u = task.utilization();
+            let mut from = 0usize;
+            let placed = loop {
+                let Some(slot) = self.tree.first_at_least(from, u) else {
+                    break None;
+                };
+                // Exact re-check: the hint over-approximates, the reference
+                // predicate decides.
+                if let Some(next) = self.admission.admit(&self.states[slot], task, self.speeds[slot])
+                {
+                    let hint = self.admission.residual_hint(&next, self.speeds[slot]);
+                    self.states[slot] = next;
+                    self.tree.update(slot, hint);
+                    break Some(slot);
+                }
+                from = slot + 1;
+            };
+            match placed {
+                Some(slot) => assignment.assign(ti, self.machine_order[slot]),
+                None => {
+                    return Outcome::Infeasible(FailureWitness {
+                        failing_task: ti,
+                        failing_utilization: u,
+                        partial: assignment,
+                    })
+                }
+            }
+        }
+        Outcome::Feasible(assignment)
+    }
+
+    /// One-shot indexed first-fit: [`Self::prepare`] + [`Self::probe`].
+    /// Drop-in replacement for [`crate::first_fit()`] with an indexable
+    /// admission — identical outcomes, `O((n+m)·log m)` placements.
+    pub fn run(&mut self, tasks: &TaskSet, platform: &Platform, alpha: Augmentation) -> Outcome {
+        self.prepare(tasks, platform);
+        self.probe(tasks, platform, alpha)
+    }
+
+    /// Warm-started α-search: smallest augmentation (within `tol`) in
+    /// `[1, hi]` at which the test accepts `tasks`, or `None` if even `hi`
+    /// does not suffice — the engine counterpart of
+    /// [`crate::min_feasible_alpha`].
+    ///
+    /// The sorts run once (not once per probe), and the search brackets α*
+    /// by exponential (galloping) search from 1 before bisecting, so
+    /// near-feasible instances — the common case in the E1–E4 sweeps —
+    /// converge in a handful of cheap probes.
+    ///
+    /// Invalid searches (`hi` below 1 or non-finite, `tol` non-positive or
+    /// non-finite) return `None` instead of panicking.
+    pub fn min_feasible_alpha(
+        &mut self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        hi: f64,
+        tol: f64,
+    ) -> Option<f64> {
+        if !hi.is_finite() || hi < 1.0 || !tol.is_finite() || tol <= 0.0 {
+            return None;
+        }
+        self.prepare(tasks, platform);
+        if self.probe(tasks, platform, Augmentation::NONE).is_feasible() {
+            return Some(1.0);
+        }
+        // Gallop: grow the bracket geometrically from 1 until acceptance.
+        let mut lo = 1.0f64;
+        let mut step = tol.max(1e-3);
+        let mut hi_b;
+        loop {
+            let cand = (1.0 + step).min(hi);
+            let aug = Augmentation::new(cand).expect("cand ∈ [1, hi], finite");
+            if self.probe(tasks, platform, aug).is_feasible() {
+                hi_b = cand;
+                break;
+            }
+            if cand >= hi {
+                return None;
+            }
+            lo = cand;
+            step *= 2.0;
+        }
+        while hi_b - lo > tol {
+            let mid = 0.5 * (lo + hi_b);
+            let aug = Augmentation::new(mid).expect("mid ≥ lo ≥ 1");
+            if self.probe(tasks, platform, aug).is_feasible() {
+                hi_b = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::first_fit::{first_fit, min_feasible_alpha};
+    use hetfeas_model::Task;
+
+    fn platform(speeds: &[u64]) -> Platform {
+        Platform::from_int_speeds(speeds.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn maxtree_basic_queries() {
+        let mut t = MaxTree::default();
+        t.rebuild(&[0.5, 0.2, 0.9, 0.4, 0.9]);
+        assert_eq!(t.first_at_least(0, 0.1), Some(0));
+        assert_eq!(t.first_at_least(0, 0.6), Some(2));
+        assert_eq!(t.first_at_least(3, 0.6), Some(4));
+        assert_eq!(t.first_at_least(0, 0.95), None);
+        assert_eq!(t.first_at_least(5, 0.0), None);
+        t.update(2, 0.0);
+        assert_eq!(t.first_at_least(0, 0.6), Some(4));
+        t.update(0, 1.5);
+        assert_eq!(t.first_at_least(0, 1.0), Some(0));
+        assert_eq!(t.first_at_least(1, 1.0), None);
+    }
+
+    #[test]
+    fn maxtree_single_leaf() {
+        let mut t = MaxTree::default();
+        t.rebuild(&[0.3]);
+        assert_eq!(t.first_at_least(0, 0.3), Some(0));
+        assert_eq!(t.first_at_least(0, 0.31), None);
+        assert_eq!(t.first_at_least(1, 0.0), None);
+    }
+
+    #[test]
+    fn maxtree_rebuild_shrinks_and_grows() {
+        let mut t = MaxTree::default();
+        t.rebuild(&[1.0; 9]);
+        assert_eq!(t.first_at_least(8, 1.0), Some(8));
+        t.rebuild(&[0.5, 0.7]);
+        assert_eq!(t.first_at_least(0, 0.6), Some(1));
+        assert_eq!(t.first_at_least(2, 0.0), None);
+    }
+
+    #[test]
+    fn engine_matches_reference_on_basic_cases() {
+        let tasks = TaskSet::from_pairs([(9, 10), (4, 10), (3, 10)]).unwrap();
+        let p = platform(&[1, 2]);
+        let mut e = FirstFitEngine::new(EdfAdmission);
+        assert_eq!(
+            e.run(&tasks, &p, Augmentation::NONE),
+            first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission)
+        );
+        // Infeasible case: identical witness.
+        let heavy = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p2 = platform(&[1, 1]);
+        assert_eq!(
+            e.run(&heavy, &p2, Augmentation::NONE),
+            first_fit(&heavy, &p2, Augmentation::NONE, &EdfAdmission)
+        );
+        assert_eq!(
+            e.run(&heavy, &p2, Augmentation::EDF_VS_PARTITIONED),
+            first_fit(&heavy, &p2, Augmentation::EDF_VS_PARTITIONED, &EdfAdmission)
+        );
+    }
+
+    #[test]
+    fn engine_empty_taskset_is_feasible() {
+        let mut e = FirstFitEngine::new(EdfAdmission);
+        let out = e.run(&TaskSet::empty(), &platform(&[1]), Augmentation::NONE);
+        assert!(out.is_feasible());
+        assert!(out.assignment().unwrap().is_complete());
+    }
+
+    #[test]
+    fn engine_reuse_across_instances_is_clean() {
+        // A big instance followed by a small one must not leak state.
+        let mut e = FirstFitEngine::new(EdfAdmission);
+        let big = TaskSet::from_pairs((0..40).map(|_| (1u64, 10u64))).unwrap();
+        let p_big = platform(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        e.run(&big, &p_big, Augmentation::NONE);
+        let small = TaskSet::from_pairs([(1, 2)]).unwrap();
+        let p_small = platform(&[4, 1]);
+        let out = e.run(&small, &p_small, Augmentation::NONE);
+        assert_eq!(out.assignment().unwrap().machine_of(0), Some(1));
+    }
+
+    /// Tiny deterministic PRNG (xorshift64*) so the equivalence sweep runs
+    /// without external crates.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    fn random_instance(rng: &mut Rng) -> (TaskSet, Platform) {
+        let n = rng.below(14) as usize;
+        let m = 1 + rng.below(4) as usize;
+        let periods = [10u64, 20, 25, 40, 50, 100];
+        let tasks: TaskSet = (0..n)
+            .map(|_| {
+                let p = periods[rng.below(6) as usize];
+                Task::implicit(1 + rng.below(60), p).unwrap()
+            })
+            .collect();
+        let speeds: Vec<u64> = (0..m).map(|_| 1 + rng.below(6)).collect();
+        (tasks, Platform::from_int_speeds(speeds).unwrap())
+    }
+
+    /// 300-case randomized equivalence sweep over EDF, RMS-LL and
+    /// hyperbolic admissions at several α — a dependency-free mirror of
+    /// the proptest suite in `tests/prop_engine.rs`.
+    #[test]
+    fn engine_equals_reference_on_random_instances() {
+        let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+        let alphas = [1.0, 1.3, 2.0, 3.0];
+        let mut edf = FirstFitEngine::new(EdfAdmission);
+        let mut rms = FirstFitEngine::new(RmsLlAdmission);
+        let mut hyp = FirstFitEngine::new(RmsHyperbolicAdmission);
+        for case in 0..300 {
+            let (ts, p) = random_instance(&mut rng);
+            for &a in &alphas {
+                let aug = Augmentation::new(a).unwrap();
+                assert_eq!(
+                    edf.run(&ts, &p, aug),
+                    first_fit(&ts, &p, aug, &EdfAdmission),
+                    "EDF mismatch (case {case}, α={a}): {ts} on {p}"
+                );
+                assert_eq!(
+                    rms.run(&ts, &p, aug),
+                    first_fit(&ts, &p, aug, &RmsLlAdmission),
+                    "RMS-LL mismatch (case {case}, α={a}): {ts} on {p}"
+                );
+                assert_eq!(
+                    hyp.run(&ts, &p, aug),
+                    first_fit(&ts, &p, aug, &RmsHyperbolicAdmission),
+                    "hyperbolic mismatch (case {case}, α={a}): {ts} on {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_handles_exact_boundary_loads() {
+        // Loads that land exactly on capacity exercise the EPS padding and
+        // the hint slack together.
+        let tasks = TaskSet::from_pairs([(1, 2), (1, 2), (1, 2), (1, 2)]).unwrap();
+        let p = platform(&[1, 1]);
+        let mut e = FirstFitEngine::new(EdfAdmission);
+        let out = e.run(&tasks, &p, Augmentation::NONE);
+        assert_eq!(out, first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission));
+        assert!(out.is_feasible());
+    }
+
+    #[test]
+    fn warm_probe_reuses_sorts() {
+        let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p = platform(&[1, 1]);
+        let mut e = FirstFitEngine::new(EdfAdmission);
+        e.prepare(&tasks, &p);
+        assert!(!e.probe(&tasks, &p, Augmentation::NONE).is_feasible());
+        assert!(e
+            .probe(&tasks, &p, Augmentation::new(1.6).unwrap())
+            .is_feasible());
+        assert!(!e
+            .probe(&tasks, &p, Augmentation::new(1.59).unwrap())
+            .is_feasible());
+    }
+
+    #[test]
+    fn engine_min_alpha_matches_bisection() {
+        let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p = platform(&[1, 1]);
+        let mut e = FirstFitEngine::new(EdfAdmission);
+        let warm = e.min_feasible_alpha(&tasks, &p, 4.0, 1e-6).unwrap();
+        let cold = min_feasible_alpha(&tasks, &p, &EdfAdmission, 4.0, 1e-6).unwrap();
+        // Different probe sequences, same threshold up to tolerance.
+        assert!((warm - 1.6).abs() < 1e-5, "warm α* = {warm}");
+        assert!((warm - cold).abs() < 2e-6, "warm {warm} vs cold {cold}");
+        // Feasible at 1 → exactly 1.
+        let light = TaskSet::from_pairs([(1, 10)]).unwrap();
+        assert_eq!(e.min_feasible_alpha(&light, &p, 4.0, 1e-6), Some(1.0));
+        // Impossible even at hi.
+        let heavy = TaskSet::from_pairs([(100, 10)]).unwrap();
+        assert_eq!(e.min_feasible_alpha(&heavy, &p, 2.0, 1e-6), None);
+    }
+
+    #[test]
+    fn engine_min_alpha_rejects_invalid_searches() {
+        let tasks = TaskSet::from_pairs([(8, 10)]).unwrap();
+        let p = platform(&[1]);
+        let mut e = FirstFitEngine::new(EdfAdmission);
+        assert_eq!(e.min_feasible_alpha(&tasks, &p, 0.5, 1e-6), None);
+        assert_eq!(e.min_feasible_alpha(&tasks, &p, f64::NAN, 1e-6), None);
+        assert_eq!(e.min_feasible_alpha(&tasks, &p, 4.0, f64::NAN), None);
+        assert_eq!(e.min_feasible_alpha(&tasks, &p, 4.0, 0.0), None);
+        assert_eq!(e.min_feasible_alpha(&tasks, &p, 4.0, -1.0), None);
+        assert_eq!(e.min_feasible_alpha(&tasks, &p, f64::INFINITY, 1e-6), None);
+    }
+
+    #[test]
+    fn residual_hints_never_undershoot_admissible_tasks() {
+        // Directly stress the IndexableAdmission contract on random states.
+        let mut rng = Rng(0xDEAD_BEEF_CAFE_1234);
+        let periods = [10u64, 20, 25, 40, 50, 100];
+        for _ in 0..2000 {
+            let speed = 1.0 + rng.below(60) as f64 / 10.0;
+            let task =
+                Task::implicit(1 + rng.below(60), periods[rng.below(6) as usize]).unwrap();
+            // Build a random RMS-LL state by stuffing tasks.
+            let rms = RmsLlAdmission;
+            let mut st = rms.empty_state();
+            for _ in 0..rng.below(5) {
+                let filler =
+                    Task::implicit(1 + rng.below(20), periods[rng.below(6) as usize]).unwrap();
+                if let Some(next) = rms.admit(&st, &filler, speed) {
+                    st = next;
+                }
+            }
+            if rms.admit(&st, &task, speed).is_some() {
+                assert!(
+                    rms.residual_hint(&st, speed) >= task.utilization(),
+                    "RMS-LL hint undershoots: {st:?} speed {speed} task {task}"
+                );
+            }
+            let edf = EdfAdmission;
+            let load = rng.below(100) as f64 / 37.0;
+            if edf.admit(&load, &task, speed).is_some() {
+                assert!(edf.residual_hint(&load, speed) >= task.utilization());
+            }
+        }
+    }
+}

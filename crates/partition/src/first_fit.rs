@@ -8,7 +8,13 @@
 //!
 //! Running time: `O(n log n + m log m)` for the sorts plus `O(n·m)`
 //! admission checks, matching the paper's claim (each check is O(1) for the
-//! EDF and RMS-LL admission tests).
+//! EDF and RMS-LL admission tests). This module is the *reference*
+//! implementation — the oracle the property tests compare against, and the
+//! only path supporting non-indexable admissions (exact RTA, Kuo–Mok). For
+//! the indexable tests (EDF, RMS-LL, hyperbolic) the segment-tree engine in
+//! [`crate::engine`] produces byte-identical outcomes in
+//! `O((n+m)·log m)` placements with reusable workspaces; prefer
+//! [`crate::FirstFitEngine`] in hot loops.
 
 use crate::admission::AdmissionTest;
 use crate::assignment::{Assignment, FailureWitness, Outcome};
@@ -99,6 +105,13 @@ pub fn first_fit_ordered<A: AdmissionTest>(
 /// Acceptance is monotone in α for the EDF and RMS-LL admission tests
 /// (both capacity bounds scale linearly with speed), which the property
 /// tests verify — so bisection is exact up to `tol`.
+///
+/// The task/machine sorts are computed once and shared by every bisection
+/// probe via [`first_fit_ordered`]. Invalid searches (`hi` below 1 or
+/// non-finite, `tol` non-positive or non-finite) return `None`. For
+/// indexable admissions, [`crate::FirstFitEngine::min_feasible_alpha`]
+/// additionally replaces each probe's linear scan with the `O(log m)`
+/// indexed one.
 pub fn min_feasible_alpha<A: AdmissionTest>(
     tasks: &TaskSet,
     platform: &Platform,
@@ -106,12 +119,19 @@ pub fn min_feasible_alpha<A: AdmissionTest>(
     hi: f64,
     tol: f64,
 ) -> Option<f64> {
+    if !hi.is_finite() || hi < 1.0 || !tol.is_finite() || tol <= 0.0 {
+        return None;
+    }
+    let task_order = tasks.order_by_decreasing_utilization();
+    let machine_order = platform.order_by_increasing_speed();
     let accepts = |alpha: f64| {
-        first_fit(
+        first_fit_ordered(
             tasks,
             platform,
-            Augmentation::new(alpha).expect("bisection stays ≥ 1"),
+            Augmentation::new(alpha).expect("alpha ∈ [1, hi], finite"),
             admission,
+            &task_order,
+            &machine_order,
         )
         .is_feasible()
     };
@@ -249,6 +269,26 @@ mod tests {
         let heavy = TaskSet::from_pairs([(100, 10)]).unwrap();
         assert_eq!(
             min_feasible_alpha(&heavy, &p, &EdfAdmission, 2.0, 1e-6),
+            None
+        );
+    }
+
+    #[test]
+    fn min_alpha_rejects_invalid_searches_without_panicking() {
+        let tasks = TaskSet::from_pairs([(8, 10)]).unwrap();
+        let p = platform(&[1]);
+        assert_eq!(min_feasible_alpha(&tasks, &p, &EdfAdmission, 0.5, 1e-6), None);
+        assert_eq!(
+            min_feasible_alpha(&tasks, &p, &EdfAdmission, f64::NAN, 1e-6),
+            None
+        );
+        assert_eq!(
+            min_feasible_alpha(&tasks, &p, &EdfAdmission, 4.0, f64::NAN),
+            None
+        );
+        assert_eq!(min_feasible_alpha(&tasks, &p, &EdfAdmission, 4.0, 0.0), None);
+        assert_eq!(
+            min_feasible_alpha(&tasks, &p, &EdfAdmission, f64::INFINITY, 1e-6),
             None
         );
     }

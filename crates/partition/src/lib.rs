@@ -19,12 +19,15 @@
 //!   (experiment E16).
 //! * [`min_feasible_alpha`] — bisection for the empirical augmentation
 //!   factor α* (experiments E1–E4).
+//! * [`engine`] — [`FirstFitEngine`], the indexed `O((n+m)·log m)` version
+//!   of the §III scan with reusable workspaces and a warm-started α-search.
 
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod assignment;
 pub mod constrained;
+pub mod engine;
 pub mod exact;
 pub mod exact_rational;
 pub mod first_fit;
@@ -39,6 +42,7 @@ pub use admission::{
 };
 pub use assignment::{Assignment, FailureWitness, Outcome};
 pub use constrained::{DemandState, DensityAdmission, EdfDemandAdmission};
+pub use engine::{FirstFitEngine, IndexableAdmission};
 pub use exact::{exact_partition, exact_partition_edf, exact_partition_rms, ExactOutcome};
 pub use exact_rational::exact_partition_edf_rational;
 pub use first_fit::{first_fit, first_fit_ordered, min_feasible_alpha};

@@ -1,0 +1,125 @@
+//! Property tests for the indexed first-fit engine: byte-identical
+//! equivalence with the reference scan (assignments *and* failure
+//! witnesses, hence identical tie-breaking), across admissions and α.
+
+use hetfeas_model::{Augmentation, Platform, Task, TaskSet};
+use hetfeas_partition::{
+    first_fit, min_feasible_alpha, EdfAdmission, FirstFitEngine, RmsHyperbolicAdmission,
+    RmsLlAdmission,
+};
+use proptest::prelude::*;
+
+fn menu_task() -> impl Strategy<Value = Task> {
+    (1u64..=60, prop::sample::select(vec![10u64, 20, 25, 40, 50, 100]))
+        .prop_map(|(c, p)| Task::implicit(c, p).unwrap())
+}
+
+fn small_set(max: usize) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(menu_task(), 0..max).prop_map(TaskSet::new)
+}
+
+fn small_platform() -> impl Strategy<Value = Platform> {
+    prop::collection::vec(1u64..=6, 1..5)
+        .prop_map(|s| Platform::from_int_speeds(s).unwrap())
+}
+
+fn alpha() -> impl Strategy<Value = Augmentation> {
+    (10u32..=40).prop_map(|a| Augmentation::new(a as f64 / 10.0).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The engine is a drop-in replacement: identical Outcome — same
+    // Assignment on success, same FailureWitness (failing task, its
+    // utilization, the partial assignment) on failure — for EDF.
+    #[test]
+    fn engine_equals_reference_edf(ts in small_set(16), p in small_platform(), a in alpha()) {
+        let mut engine = FirstFitEngine::new(EdfAdmission);
+        prop_assert_eq!(
+            engine.run(&ts, &p, a),
+            first_fit(&ts, &p, a, &EdfAdmission),
+            "EDF engine/reference diverge on {} / {} at {}", ts, p, a
+        );
+    }
+
+    // Same for RMS-LL, whose residual depends on the per-machine task
+    // count as well as the load.
+    #[test]
+    fn engine_equals_reference_rms_ll(ts in small_set(16), p in small_platform(), a in alpha()) {
+        let mut engine = FirstFitEngine::new(RmsLlAdmission);
+        prop_assert_eq!(
+            engine.run(&ts, &p, a),
+            first_fit(&ts, &p, a, &RmsLlAdmission),
+            "RMS-LL engine/reference diverge on {} / {} at {}", ts, p, a
+        );
+    }
+
+    // And for the hyperbolic admission (multiplicative residual).
+    #[test]
+    fn engine_equals_reference_hyperbolic(ts in small_set(16), p in small_platform(), a in alpha()) {
+        let mut engine = FirstFitEngine::new(RmsHyperbolicAdmission);
+        prop_assert_eq!(
+            engine.run(&ts, &p, a),
+            first_fit(&ts, &p, a, &RmsHyperbolicAdmission),
+            "hyperbolic engine/reference diverge on {} / {} at {}", ts, p, a
+        );
+    }
+
+    // Workspace reuse must not leak state between instances: running the
+    // same instance on a fresh engine and on one warmed by a different
+    // instance gives identical outcomes.
+    #[test]
+    fn engine_reuse_is_stateless(
+        warmup in small_set(16),
+        ts in small_set(16),
+        wp in small_platform(),
+        p in small_platform(),
+        a in alpha(),
+    ) {
+        let mut fresh = FirstFitEngine::new(EdfAdmission);
+        let expected = fresh.run(&ts, &p, a);
+        let mut warmed = FirstFitEngine::new(EdfAdmission);
+        warmed.run(&warmup, &wp, a);
+        prop_assert_eq!(warmed.run(&ts, &p, a), expected);
+    }
+
+    // Warm-started α-search agrees with the reference bisection up to the
+    // tolerance (different probe sequences can land on different sides of
+    // the same threshold, hence 2·tol).
+    #[test]
+    fn engine_alpha_search_matches_reference(ts in small_set(12), p in small_platform()) {
+        let mut engine = FirstFitEngine::new(EdfAdmission);
+        let warm = engine.min_feasible_alpha(&ts, &p, 8.0, 1e-6);
+        let cold = min_feasible_alpha(&ts, &p, &EdfAdmission, 8.0, 1e-6);
+        match (warm, cold) {
+            (Some(w), Some(c)) => prop_assert!(
+                (w - c).abs() <= 2e-6,
+                "warm α* = {w} vs cold α* = {c} on {} / {}", ts, p
+            ),
+            (None, None) => {}
+            (w, c) => prop_assert!(false, "satisfiability disagrees: {w:?} vs {c:?}"),
+        }
+    }
+}
+
+#[test]
+fn engine_tie_breaking_is_deterministic() {
+    // Mirror of `tie_breaking_is_deterministic`: equal utilizations and
+    // equal speeds — repeated engine runs (same engine and fresh engines)
+    // must produce the identical assignment the reference produces.
+    let tasks = TaskSet::from_pairs([(1, 2), (2, 4), (3, 6)]).unwrap();
+    let p = Platform::from_int_speeds([1, 1, 1]).unwrap();
+    let mut engine = FirstFitEngine::new(EdfAdmission);
+    let a1 = engine.run(&tasks, &p, Augmentation::NONE);
+    let a2 = engine.run(&tasks, &p, Augmentation::NONE);
+    let a3 = FirstFitEngine::new(EdfAdmission).run(&tasks, &p, Augmentation::NONE);
+    let reference = first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission);
+    assert_eq!(a1, a2);
+    assert_eq!(a1, a3);
+    assert_eq!(a1, reference);
+    let a = a1.assignment().unwrap();
+    assert_eq!(a.machine_of(0), Some(0));
+    assert_eq!(a.machine_of(1), Some(0));
+    assert_eq!(a.machine_of(2), Some(1));
+}

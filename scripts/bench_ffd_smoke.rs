@@ -1,0 +1,143 @@
+//! Smoke benchmark for the scan-vs-indexed first-fit comparison — the
+//! offline companion to `crates/bench/benches/ffd_scaling.rs`'s
+//! `ffd_scan_vs_indexed_n4096` group. Compiled by `scripts/bench_smoke.sh`
+//! with plain `rustc` against the workspace rlibs (no Criterion, no
+//! external crates), so it runs in sandboxed CI and emits `BENCH_ffd.json`
+//! with median ns/iter for the linear scan vs the indexed engine.
+//!
+//! Instances mirror `hetfeas_bench::bench_instance`: uniform-random integer
+//! speeds in 1..=8, UUniFast utilizations (capped at 0.95 per task) at
+//! normalized utilization 0.9, periods from the standard menu.
+
+use hetfeas_model::{Augmentation, Platform, Task, TaskSet};
+use hetfeas_partition::{first_fit, EdfAdmission, FirstFitEngine};
+use std::time::Instant;
+
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in (0, 1).
+    fn uniform(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+}
+
+/// UUniFast (Bini & Buttazzo) with a per-task cap, as in the workload
+/// crate's `UUniFastCapped`.
+fn uunifast_capped(rng: &mut Rng, n: usize, total: f64, cap: f64) -> Vec<f64> {
+    let mut utils = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 0..n {
+        let remaining = (n - i - 1) as f64;
+        let next = if remaining > 0.0 {
+            sum * rng.uniform().powf(1.0 / remaining)
+        } else {
+            0.0
+        };
+        utils.push((sum - next).clamp(1e-4, cap));
+        sum = next;
+    }
+    utils
+}
+
+fn instance(n: usize, m: usize, u_norm: f64, seed: u64) -> (TaskSet, Platform) {
+    let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    let speeds: Vec<u64> = (0..m).map(|_| 1 + rng.next_u64() % 8).collect();
+    let total_speed: u64 = speeds.iter().sum();
+    // Cap the target so n capped tasks can actually carry it.
+    let target = (u_norm * total_speed as f64).min(0.90 * n as f64);
+    let periods = [100u64, 200, 250, 400, 500, 1000];
+    let tasks: TaskSet = uunifast_capped(&mut rng, n, target, 0.95)
+        .into_iter()
+        .map(|u| {
+            let p = periods[(rng.next_u64() % periods.len() as u64) as usize];
+            Task::implicit(((u * p as f64).round() as u64).max(1), p).expect("c ≥ 1")
+        })
+        .collect();
+    (tasks, Platform::from_int_speeds(speeds).expect("m ≥ 1"))
+}
+
+fn median_ns<F: FnMut() -> u128>(reps: usize, mut run: F) -> f64 {
+    let mut times: Vec<u128> = (0..reps).map(|_| run()).collect();
+    times.sort_unstable();
+    times[times.len() / 2] as f64
+}
+
+fn main() {
+    let n = 4096usize;
+    let reps = 10usize;
+    let ms = [64usize, 256, 1024, 4096];
+    let mut rows = Vec::new();
+
+    for (i, &m) in ms.iter().enumerate() {
+        let (tasks, platform) = instance(n, m, 0.9, 45 + i as u64);
+        let mut engine = FirstFitEngine::new(EdfAdmission);
+
+        // Equivalence sanity before timing anything.
+        let reference = first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission);
+        assert_eq!(
+            engine.run(&tasks, &platform, Augmentation::NONE),
+            reference,
+            "engine diverged from reference at m = {m}"
+        );
+
+        let scan_ns = median_ns(reps, || {
+            let start = Instant::now();
+            std::hint::black_box(first_fit(
+                &tasks,
+                &platform,
+                Augmentation::NONE,
+                &EdfAdmission,
+            ));
+            start.elapsed().as_nanos()
+        });
+        let indexed_ns = median_ns(reps, || {
+            let start = Instant::now();
+            std::hint::black_box(engine.run(&tasks, &platform, Augmentation::NONE));
+            start.elapsed().as_nanos()
+        });
+        eprintln!(
+            "m = {m:4}: scan {:.1} µs, indexed {:.1} µs, speedup {:.2}x",
+            scan_ns / 1e3,
+            indexed_ns / 1e3,
+            scan_ns / indexed_ns
+        );
+        rows.push((m, scan_ns, indexed_ns));
+    }
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|&(m, scan, indexed)| {
+            format!(
+                "    {{\"m\": {m}, \"scan_ns\": {scan:.0}, \"indexed_ns\": {indexed:.0}, \
+                 \"speedup\": {:.2}}}",
+                scan / indexed
+            )
+        })
+        .collect();
+    println!(
+        "{{\n  \"bench\": \"ffd_scan_vs_indexed\",\n  \"n\": {n},\n  \"admission\": \"EDF\",\n  \
+         \"reps\": {reps},\n  \"unit\": \"ns/iter (median)\",\n  \"results\": [\n{}\n  ]\n}}",
+        entries.join(",\n")
+    );
+
+    // The ISSUE's acceptance gate: indexed time at m = 1024 < 2× its time
+    // at m = 64 (the linear scan is ≳ 8× there).
+    let at = |m: usize| rows.iter().find(|r| r.0 == m).expect("swept");
+    let ratio = at(1024).2 / at(64).2;
+    eprintln!("indexed m=1024 / m=64 time ratio: {ratio:.2} (gate: < 2)");
+    assert!(
+        ratio < 2.0,
+        "indexed engine is not sub-linear in m: ratio {ratio:.2}"
+    );
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Smoke-benchmark the first-fit scan-vs-indexed comparison and emit
+# BENCH_ffd.json (n, m, median ns/iter for scan vs indexed) at the repo
+# root, so successive PRs have a perf trajectory to compare against.
+#
+# Uses a plain-rustc harness (scripts/bench_ffd_smoke.rs) compiled against
+# the workspace rlibs — no Criterion, no registry access — so it also runs
+# in sandboxed CI. When the cargo registry IS reachable, pass --criterion
+# to additionally run the full Criterion group at --sample-size 10.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="${BENCH_OUT:-$repo/BENCH_ffd.json}"
+build="$(mktemp -d)"
+trap 'rm -rf "$build"' EXIT
+
+echo "building workspace rlibs (release) ..." >&2
+rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_model \
+    "$repo/crates/model/src/lib.rs" -o "$build/libhetfeas_model.rlib"
+rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_analysis \
+    "$repo/crates/analysis/src/lib.rs" \
+    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    -o "$build/libhetfeas_analysis.rlib"
+rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_lp \
+    "$repo/crates/lp/src/lib.rs" \
+    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    -o "$build/libhetfeas_lp.rlib"
+rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_partition \
+    "$repo/crates/partition/src/lib.rs" -L "$build" \
+    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    --extern hetfeas_analysis="$build/libhetfeas_analysis.rlib" \
+    --extern hetfeas_lp="$build/libhetfeas_lp.rlib" \
+    -o "$build/libhetfeas_partition.rlib"
+
+echo "building + running the smoke harness ..." >&2
+rustc --edition 2021 -O --crate-name bench_ffd_smoke \
+    "$repo/scripts/bench_ffd_smoke.rs" -L "$build" \
+    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    --extern hetfeas_partition="$build/libhetfeas_partition.rlib" \
+    -o "$build/bench_ffd_smoke"
+"$build/bench_ffd_smoke" > "$out"
+echo "wrote $out" >&2
+
+if [[ "${1:-}" == "--criterion" ]]; then
+    echo "running the Criterion group (needs a reachable registry) ..." >&2
+    cargo bench -p hetfeas-bench --bench ffd_scaling -- \
+        ffd_scan_vs_indexed_n4096 --sample-size 10
+fi
