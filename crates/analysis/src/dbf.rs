@@ -118,11 +118,7 @@ mod tests {
         let ts = TaskSet::from_pairs([(1, 3), (1, 6), (1, 2)]).unwrap(); // util 1.0
         let h = ts.hyperperiod().unwrap() as u64;
         assert!(edf_demand_schedulable(&ts, Ratio::ONE, h));
-        assert!(!edf_demand_schedulable(
-            &ts,
-            Ratio::new(99, 100),
-            h
-        ));
+        assert!(!edf_demand_schedulable(&ts, Ratio::new(99, 100), h));
     }
 
     #[test]
@@ -144,6 +140,10 @@ mod tests {
 
     #[test]
     fn empty_set_schedulable() {
-        assert!(edf_demand_schedulable(&TaskSet::empty(), Ratio::new(1, 10), 100));
+        assert!(edf_demand_schedulable(
+            &TaskSet::empty(),
+            Ratio::new(1, 10),
+            100
+        ));
     }
 }

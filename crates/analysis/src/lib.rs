@@ -36,6 +36,5 @@ pub use rms::{
     rms_schedulable_ll_load,
 };
 pub use rta::{
-    dm_priority_order, rm_priority_order, rta_response_times, rta_schedulable,
-    rta_schedulable_f64,
+    dm_priority_order, rm_priority_order, rta_response_times, rta_schedulable, rta_schedulable_f64,
 };

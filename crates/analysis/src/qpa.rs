@@ -78,8 +78,14 @@ pub fn qpa_schedulable_unit(tasks: &TaskSet) -> bool {
     if tasks.total_utilization_ratio() > Ratio::ONE {
         return false;
     }
-    let Some(l) = busy_period(tasks) else { return false };
-    let d_min = tasks.iter().map(|t| t.deadline() as u128).min().expect("non-empty");
+    let Some(l) = busy_period(tasks) else {
+        return false;
+    };
+    let d_min = tasks
+        .iter()
+        .map(|t| t.deadline() as u128)
+        .min()
+        .expect("non-empty");
     // Start at the largest deadline strictly inside the busy period.
     let Some(mut t) = max_deadline_below(tasks, l.max(1)) else {
         return true; // no deadline inside the busy period ⇒ nothing to miss

@@ -48,7 +48,7 @@ mod tests {
     #[test]
     fn single_task_up_to_full_speed() {
         let ts = TaskSet::from_pairs([(1, 1)]).unwrap(); // util 1.0
-        // n=1 → bound = 1.0: a single task may use the whole machine.
+                                                         // n=1 → bound = 1.0: a single task may use the whole machine.
         assert!(rms_schedulable_ll(&ts, 1.0));
         assert!(rms_schedulable_hyperbolic(&ts, 1.0));
         assert!(!rms_schedulable_ll(&ts, 0.9));
@@ -76,7 +76,7 @@ mod tests {
     #[test]
     fn scales_with_speed() {
         let ts = TaskSet::from_pairs([(1, 2), (1, 2), (1, 2)]).unwrap(); // util 1.5
-        // n=3 bound ≈ 0.7798 → needs speed ≥ 1.5/0.7798 ≈ 1.924.
+                                                                         // n=3 bound ≈ 0.7798 → needs speed ≥ 1.5/0.7798 ≈ 1.924.
         assert!(!rms_schedulable_ll(&ts, 1.9));
         assert!(rms_schedulable_ll(&ts, 1.93));
         assert!(rms_schedulable_hyperbolic(&ts, 2.0)); // (1.25)^3 ≈ 1.95 ≤ 2

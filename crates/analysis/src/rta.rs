@@ -39,7 +39,12 @@ pub fn rm_priority_order(tasks: &TaskSet) -> Vec<usize> {
 /// extension): indices by increasing relative deadline.
 pub fn dm_priority_order(tasks: &TaskSet) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..tasks.len()).collect();
-    idx.sort_by(|&a, &b| tasks[a].deadline().cmp(&tasks[b].deadline()).then(a.cmp(&b)));
+    idx.sort_by(|&a, &b| {
+        tasks[a]
+            .deadline()
+            .cmp(&tasks[b].deadline())
+            .then(a.cmp(&b))
+    });
     idx
 }
 
@@ -54,11 +59,7 @@ pub fn dm_priority_order(tasks: &TaskSet) -> Vec<usize> {
 ///
 /// Exactness requires `deadline ≤ period` for every task (critical-instant
 /// RTA); this is asserted in debug builds.
-pub fn rta_response_times(
-    tasks: &TaskSet,
-    priority: &[usize],
-    speed: Ratio,
-) -> Vec<Option<Ratio>> {
+pub fn rta_response_times(tasks: &TaskSet, priority: &[usize], speed: Ratio) -> Vec<Option<Ratio>> {
     debug_assert!(speed > Ratio::ZERO);
     debug_assert!(
         tasks.iter().all(|t| t.deadline() <= t.period()),
@@ -73,7 +74,9 @@ pub fn rta_response_times(
         let budget = (t.deadline() as u128).checked_mul(num);
         let Some(budget) = budget else { continue };
         // Scaled execution times of this task and all higher-priority tasks.
-        let Some(ci) = (t.wcet() as u128).checked_mul(den) else { continue };
+        let Some(ci) = (t.wcet() as u128).checked_mul(den) else {
+            continue;
+        };
         let hp: Vec<(u128, u128)> = priority[..rank]
             .iter()
             .map(|&j| {
@@ -93,7 +96,10 @@ pub fn rta_response_times(
             let mut next = ci;
             let mut overflow = false;
             for &(pj, cj) in &hp {
-                match div_ceil_u128(r, pj).checked_mul(cj).and_then(|x| next.checked_add(x)) {
+                match div_ceil_u128(r, pj)
+                    .checked_mul(cj)
+                    .and_then(|x| next.checked_add(x))
+                {
                     Some(v) => next = v,
                     None => {
                         overflow = true;

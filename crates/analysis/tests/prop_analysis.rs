@@ -25,7 +25,10 @@ fn constrained_task() -> impl Strategy<Value = Task> {
 
 /// Periods from a divisor-friendly menu so hyperperiods stay tiny.
 fn menu_task() -> impl Strategy<Value = Task> {
-    (1u64..=40, prop::sample::select(vec![4u64, 5, 8, 10, 20, 25, 40, 50, 100]))
+    (
+        1u64..=40,
+        prop::sample::select(vec![4u64, 5, 8, 10, 20, 25, 40, 50, 100]),
+    )
         .prop_map(|(c, p)| Task::implicit(c.min(p), p).unwrap())
 }
 

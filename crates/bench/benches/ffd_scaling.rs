@@ -80,12 +80,22 @@ fn bench_admissions(c: &mut Criterion) {
     let inst = bench_instance(1024, 8, 0.8, 44);
     group.bench_function("edf", |b| {
         b.iter(|| {
-            black_box(first_fit(&inst.tasks, &inst.platform, Augmentation::NONE, &EdfAdmission))
+            black_box(first_fit(
+                &inst.tasks,
+                &inst.platform,
+                Augmentation::NONE,
+                &EdfAdmission,
+            ))
         })
     });
     group.bench_function("rms_ll", |b| {
         b.iter(|| {
-            black_box(first_fit(&inst.tasks, &inst.platform, Augmentation::NONE, &RmsLlAdmission))
+            black_box(first_fit(
+                &inst.tasks,
+                &inst.platform,
+                Augmentation::NONE,
+                &RmsLlAdmission,
+            ))
         })
     });
     group.finish();

@@ -19,7 +19,10 @@ fn bench_engine(c: &mut Criterion) {
         let ts = bench_taskset(n, 0.9, 21);
         let horizon = validation_horizon(&ts).expect("menu periods");
         group.throughput(Throughput::Elements(jobs_in_horizon(&ts, horizon)));
-        for (policy, label) in [(SchedPolicy::Edf, "edf"), (SchedPolicy::RateMonotonic, "rms")] {
+        for (policy, label) in [
+            (SchedPolicy::Edf, "edf"),
+            (SchedPolicy::RateMonotonic, "rms"),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(label, n),
                 &(&ts, horizon),
@@ -53,7 +56,10 @@ fn bench_sporadic(c: &mut Criterion) {
                     &ts,
                     Ratio::ONE,
                     SchedPolicy::Edf,
-                    ReleasePattern::Sporadic { jitter_frac: 0.3, seed: 5 },
+                    ReleasePattern::Sporadic {
+                        jitter_frac: 0.3,
+                        seed: 5,
+                    },
                     horizon,
                 )
                 .expect("simulate"),

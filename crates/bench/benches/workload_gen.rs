@@ -40,7 +40,11 @@ fn bench_full_instance(c: &mut Criterion) {
     let spec = WorkloadSpec {
         n_tasks: 64,
         normalized_utilization: 0.8,
-        platform: PlatformSpec::BigLittle { big: 2, little: 6, ratio: 4 },
+        platform: PlatformSpec::BigLittle {
+            big: 2,
+            little: 6,
+            ratio: 4,
+        },
         sampler: UtilizationSampler::UUniFastCapped,
         periods: PeriodMenu::standard(),
     };

@@ -26,18 +26,37 @@ fn variant_criterion(config: HeuristicConfig) -> Criterion {
 pub fn e8(cfg: &ExpConfig) -> Vec<Table> {
     let variants = [
         HeuristicConfig::PAPER,
-        HeuristicConfig { task_order: TaskOrder::IncreasingUtilization, ..HeuristicConfig::PAPER },
-        HeuristicConfig { task_order: TaskOrder::AsGiven, ..HeuristicConfig::PAPER },
-        HeuristicConfig { machine_order: MachineOrder::DecreasingSpeed, ..HeuristicConfig::PAPER },
-        HeuristicConfig { fit: FitStrategy::BestFit, ..HeuristicConfig::PAPER },
-        HeuristicConfig { fit: FitStrategy::WorstFit, ..HeuristicConfig::PAPER },
+        HeuristicConfig {
+            task_order: TaskOrder::IncreasingUtilization,
+            ..HeuristicConfig::PAPER
+        },
+        HeuristicConfig {
+            task_order: TaskOrder::AsGiven,
+            ..HeuristicConfig::PAPER
+        },
+        HeuristicConfig {
+            machine_order: MachineOrder::DecreasingSpeed,
+            ..HeuristicConfig::PAPER
+        },
+        HeuristicConfig {
+            fit: FitStrategy::BestFit,
+            ..HeuristicConfig::PAPER
+        },
+        HeuristicConfig {
+            fit: FitStrategy::WorstFit,
+            ..HeuristicConfig::PAPER
+        },
     ];
     let criteria: Vec<Criterion> = variants.into_iter().map(variant_criterion).collect();
     let u_points: Vec<f64> = (8..=20).map(|k| k as f64 * 0.05).collect();
     vec![acceptance_sweep(
         cfg,
         "E8: ordering & fit-strategy ablation (EDF admission, α = 1)",
-        PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 },
+        PlatformSpec::BigLittle {
+            big: 1,
+            little: 3,
+            ratio: 3,
+        },
         10,
         &u_points,
         &criteria,
@@ -64,7 +83,11 @@ pub fn e9(cfg: &ExpConfig) -> Vec<Table> {
     vec![acceptance_sweep(
         cfg,
         "E9: RMS admission tightness (LL vs hyperbolic vs Kuo-Mok vs exact RTA)",
-        PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 },
+        PlatformSpec::BigLittle {
+            big: 1,
+            little: 3,
+            ratio: 3,
+        },
         10,
         &u_points,
         &criteria,
@@ -76,7 +99,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpConfig {
-        ExpConfig { samples: 10, seed: 5, workers: 2 }
+        ExpConfig {
+            samples: 10,
+            seed: 5,
+            workers: 2,
+        }
     }
 
     fn parse(s: &str) -> f64 {

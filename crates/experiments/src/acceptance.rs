@@ -30,7 +30,10 @@ impl Criterion {
         label: impl Into<String>,
         test: impl Fn(&TaskSet, &Platform) -> Option<bool> + Sync + 'static,
     ) -> Self {
-        Criterion { label: label.into(), test: Box::new(test) }
+        Criterion {
+            label: label.into(),
+            test: Box::new(test),
+        }
     }
 }
 
@@ -103,7 +106,9 @@ pub fn acceptance_sweep(
         cfg.samples
     ));
     if undecided_total > 0 {
-        table.note(format!("oracle-undecided evaluations excluded: {undecided_total}"));
+        table.note(format!(
+            "oracle-undecided evaluations excluded: {undecided_total}"
+        ));
     }
     table
 }
@@ -120,13 +125,14 @@ pub fn e5(cfg: &ExpConfig) -> Vec<Table> {
         Criterion::new("LP", |t: &TaskSet, p: &Platform| {
             Some(hetfeas_lp::lp_feasible(t, p))
         }),
-        Criterion::new("OPT-part(EDF)", |t: &TaskSet, p: &Platform| {
-            match exact_partition_edf(t, p, 2_000_000) {
+        Criterion::new(
+            "OPT-part(EDF)",
+            |t: &TaskSet, p: &Platform| match exact_partition_edf(t, p, 2_000_000) {
                 ExactOutcome::Feasible(_) => Some(true),
                 ExactOutcome::Infeasible => Some(false),
                 ExactOutcome::Unknown => None,
-            }
-        }),
+            },
+        ),
         Criterion::new("FF-EDF", |t: &TaskSet, p: &Platform| {
             Some(first_fit(t, p, Augmentation::NONE, &EdfAdmission).is_feasible())
         }),
@@ -137,16 +143,18 @@ pub fn e5(cfg: &ExpConfig) -> Vec<Table> {
             Some(first_fit(t, p, Augmentation::EDF_VS_PARTITIONED, &EdfAdmission).is_feasible())
         }),
         Criterion::new("FF-RMS@2.41", |t: &TaskSet, p: &Platform| {
-            Some(
-                first_fit(t, p, Augmentation::RMS_VS_PARTITIONED, &RmsLlAdmission).is_feasible(),
-            )
+            Some(first_fit(t, p, Augmentation::RMS_VS_PARTITIONED, &RmsLlAdmission).is_feasible())
         }),
     ];
     let u_points: Vec<f64> = (1..=20).map(|k| k as f64 * 0.05).collect();
     vec![acceptance_sweep(
         cfg,
         "E5: acceptance ratio vs normalized utilization",
-        PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 },
+        PlatformSpec::BigLittle {
+            big: 1,
+            little: 3,
+            ratio: 3,
+        },
         10,
         &u_points,
         &criteria,
@@ -158,7 +166,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpConfig {
-        ExpConfig { samples: 10, seed: 3, workers: 2 }
+        ExpConfig {
+            samples: 10,
+            seed: 3,
+            workers: 2,
+        }
     }
 
     #[test]

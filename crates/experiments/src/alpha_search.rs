@@ -132,7 +132,10 @@ mod tests {
         assert!((warm - cold).abs() <= 2.0 * ALPHA_TOL, "{warm} vs {cold}");
         // Trivial instance: both return exactly 1.
         let light = TaskSet::from_pairs([(1, 10)]).unwrap();
-        assert_eq!(empirical_alpha_indexed(&light, &p, EdfAdmission, 2.0), Some(1.0));
+        assert_eq!(
+            empirical_alpha_indexed(&light, &p, EdfAdmission, 2.0),
+            Some(1.0)
+        );
     }
 
     #[test]

@@ -47,14 +47,17 @@ pub fn e11(cfg: &ExpConfig) -> Vec<Table> {
     let mut tables = vec![acceptance_sweep(
         cfg,
         "E11: LP-rounding baseline vs first-fit (EDF, α = 1)",
-        PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 },
+        PlatformSpec::BigLittle {
+            big: 1,
+            little: 3,
+            ratio: 3,
+        },
         10,
         &u_points,
         &criteria,
     )];
-    tables[0].note(
-        "LP-round = solve the paper's LP, then greedily round by largest fractional share",
-    );
+    tables[0]
+        .note("LP-round = solve the paper's LP, then greedily round by largest fractional share");
     tables
 }
 
@@ -69,7 +72,11 @@ pub fn e12(cfg: &ExpConfig) -> Vec<Table> {
         let spec = WorkloadSpec {
             n_tasks: 10,
             normalized_utilization: u,
-            platform: PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 },
+            platform: PlatformSpec::BigLittle {
+                big: 1,
+                little: 3,
+                ratio: 3,
+            },
             sampler: UtilizationSampler::UUniFastCapped,
             periods: PeriodMenu::standard(),
         };
@@ -110,7 +117,9 @@ pub fn e12(cfg: &ExpConfig) -> Vec<Table> {
             pct(q_acc as f64 / gen.max(1) as f64),
         ]);
     }
-    table.note("deadlines shrunk uniformly from [0.6p, p]; density = Σc/d ≤ s (sufficient), QPA exact");
+    table.note(
+        "deadlines shrunk uniformly from [0.6p, p]; density = Σc/d ≤ s (sufficient), QPA exact",
+    );
     vec![table]
 }
 
@@ -123,7 +132,11 @@ pub fn e13(cfg: &ExpConfig) -> Vec<Table> {
     let spec = WorkloadSpec {
         n_tasks: 10,
         normalized_utilization: 0.85,
-        platform: PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 },
+        platform: PlatformSpec::BigLittle {
+            big: 1,
+            little: 3,
+            ratio: 3,
+        },
         sampler: UtilizationSampler::UUniFastCapped,
         periods: PeriodMenu::standard(),
     };
@@ -145,7 +158,10 @@ pub fn e13(cfg: &ExpConfig) -> Vec<Table> {
                 let pattern = if jitter == 0.0 {
                     ReleasePattern::Periodic
                 } else {
-                    ReleasePattern::Sporadic { jitter_frac: jitter, seed: seed ^ (ji as u64) ^ i }
+                    ReleasePattern::Sporadic {
+                        jitter_frac: jitter,
+                        seed: seed ^ (ji as u64) ^ i,
+                    }
                 };
                 let report = simulate_partition(
                     &inst.tasks,
@@ -186,13 +202,24 @@ pub fn e15(cfg: &ExpConfig) -> Vec<Table> {
     let m = 4usize;
     let mut table = Table::new(
         "E15: partitioned FF-EDF vs global EDF (identical machines, m = 4)",
-        &["workload", "U/S", "gen", "FF-EDF", "global EDF", "global-only", "FF-only"],
+        &[
+            "workload",
+            "U/S",
+            "gen",
+            "FF-EDF",
+            "global EDF",
+            "global-only",
+            "FF-only",
+        ],
     );
     // Two families: balanced UUniFast, and a heavy-mix (half the tasks
     // near utilization 1 — Dhall territory).
     let families: Vec<(&str, UtilizationSampler)> = vec![
         ("balanced", UtilizationSampler::UUniFastCapped),
-        ("heavy-mix", UtilizationSampler::BoundedFixedSum { lo: 0.05, hi: 1.0 }),
+        (
+            "heavy-mix",
+            UtilizationSampler::BoundedFixedSum { lo: 0.05, hi: 1.0 },
+        ),
     ];
     for (fi, (label, sampler)) in families.into_iter().enumerate() {
         for (ui, u) in [0.6, 0.75, 0.9].into_iter().enumerate() {
@@ -216,13 +243,9 @@ pub fn e15(cfg: &ExpConfig) -> Vec<Table> {
                     )
                     .is_feasible();
                     let horizon = validation_horizon(&inst.tasks)?;
-                    let global = simulate_global_edf(
-                        &inst.tasks,
-                        m,
-                        ReleasePattern::Periodic,
-                        horizon,
-                    )
-                    .all_deadlines_met();
+                    let global =
+                        simulate_global_edf(&inst.tasks, m, ReleasePattern::Periodic, horizon)
+                            .all_deadlines_met();
                     Some((ff, global))
                 });
             let mut gen = 0usize;
@@ -245,12 +268,12 @@ pub fn e15(cfg: &ExpConfig) -> Vec<Table> {
             ]);
         }
     }
-    table.note("global-EDF acceptance is empirical (no misses over 2 hyperperiods, synchronous periodic)");
+    table.note(
+        "global-EDF acceptance is empirical (no misses over 2 hyperperiods, synchronous periodic)",
+    );
     table.note("FF-only = instances partitioned FF schedules but global EDF misses (Dhall effect)");
     vec![table]
 }
-
-
 
 /// E16: semi-partitioned task splitting vs pure partitioning vs the LP.
 ///
@@ -273,12 +296,17 @@ pub fn e16(cfg: &ExpConfig) -> Vec<Table> {
     let mut tables = vec![acceptance_sweep(
         cfg,
         "E16: semi-partitioned splitting vs partitioning vs migration",
-        PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 },
+        PlatformSpec::BigLittle {
+            big: 1,
+            little: 3,
+            ratio: 3,
+        },
         10,
         &u_points,
         &criteria,
     )];
-    tables[0].note("semi-split = first-fit with a two-machine QPA-admitted C=D-style split fallback");
+    tables[0]
+        .note("semi-split = first-fit with a two-machine QPA-admitted C=D-style split fallback");
     tables
 }
 
@@ -291,7 +319,10 @@ pub fn e16(cfg: &ExpConfig) -> Vec<Table> {
 /// continuous "utilizations as given" reference.
 pub fn e17(cfg: &ExpConfig) -> Vec<Table> {
     let menus: Vec<(&str, PeriodMenu)> = vec![
-        ("coarse{100,1000}", PeriodMenu::new(vec![100, 1000]).expect("static")),
+        (
+            "coarse{100,1000}",
+            PeriodMenu::new(vec![100, 1000]).expect("static"),
+        ),
         ("standard", PeriodMenu::standard()),
         (
             "fine(divisors of 6000)",
@@ -310,7 +341,11 @@ pub fn e17(cfg: &ExpConfig) -> Vec<Table> {
         "E17: period-menu granularity (FF-EDF acceptance, α = 1)",
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    let platform_spec = PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 };
+    let platform_spec = PlatformSpec::BigLittle {
+        big: 1,
+        little: 3,
+        ratio: 3,
+    };
     for (pi, u) in [0.80f64, 0.85, 0.90, 0.95].into_iter().enumerate() {
         let seed = cfg.cell_seed(600 + pi as u64);
         let indices: Vec<u64> = (0..cfg.samples as u64).collect();
@@ -330,11 +365,8 @@ pub fn e17(cfg: &ExpConfig) -> Vec<Table> {
                         .iter()
                         .map(|&w| {
                             let p = 1_000_000u64;
-                            hetfeas_model::Task::implicit(
-                                ((w * p as f64).round() as u64).max(1),
-                                p,
-                            )
-                            .expect("valid")
+                            hetfeas_model::Task::implicit(((w * p as f64).round() as u64).max(1), p)
+                                .expect("valid")
                         })
                         .collect();
                     first_fit(&ts, &platform, Augmentation::NONE, &EdfAdmission).is_feasible()
@@ -378,7 +410,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpConfig {
-        ExpConfig { samples: 8, seed: 13, workers: 2 }
+        ExpConfig {
+            samples: 8,
+            seed: 13,
+            workers: 2,
+        }
     }
 
     fn parse(s: &str) -> f64 {
@@ -421,7 +457,10 @@ mod tests {
         // instances than it loses (the Dhall effect dominates at m = 4).
         let ff_only: usize = t.rows.iter().map(|r| r[6].parse::<usize>().unwrap()).sum();
         let gl_only: usize = t.rows.iter().map(|r| r[5].parse::<usize>().unwrap()).sum();
-        assert!(ff_only >= gl_only, "expected FF-EDF to dominate: {ff_only} vs {gl_only}");
+        assert!(
+            ff_only >= gl_only,
+            "expected FF-EDF to dominate: {ff_only} vs {gl_only}"
+        );
     }
 
     #[test]

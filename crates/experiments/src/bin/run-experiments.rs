@@ -78,7 +78,13 @@ fn parse_args() -> Result<Args, String> {
             id => ids.push(id.to_ascii_lowercase()),
         }
     }
-    Ok(Args { ids, cfg, csv_dir, markdown, list })
+    Ok(Args {
+        ids,
+        cfg,
+        csv_dir,
+        markdown,
+        list,
+    })
 }
 
 fn main() -> ExitCode {

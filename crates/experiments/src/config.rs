@@ -17,12 +17,20 @@ pub struct ExpConfig {
 impl ExpConfig {
     /// Full-size defaults used by `run-experiments`.
     pub fn standard() -> Self {
-        ExpConfig { samples: 400, seed: 0xC0FFEE, workers: 0 }
+        ExpConfig {
+            samples: 400,
+            seed: 0xC0FFEE,
+            workers: 0,
+        }
     }
 
     /// Reduced counts for smoke runs (`--quick`) and CI tests.
     pub fn quick() -> Self {
-        ExpConfig { samples: 40, seed: 0xC0FFEE, workers: 0 }
+        ExpConfig {
+            samples: 40,
+            seed: 0xC0FFEE,
+            workers: 0,
+        }
     }
 
     /// Effective worker count.

@@ -33,8 +33,8 @@
 
 pub mod ablation;
 pub mod acceptance;
-pub mod baselines;
 pub mod alpha_search;
+pub mod baselines;
 pub mod config;
 pub mod constants;
 pub mod lowerbound;
@@ -166,7 +166,11 @@ mod tests {
     fn every_experiment_runs_in_quick_mode() {
         // Smoke-run the cheap ones end to end; the expensive oracles are
         // exercised by their module tests with small samples.
-        let cfg = ExpConfig { samples: 4, seed: 1, workers: 2 };
+        let cfg = ExpConfig {
+            samples: 4,
+            seed: 1,
+            workers: 2,
+        };
         for e in all_experiments() {
             let tables = (e.run)(&cfg);
             assert!(!tables.is_empty(), "{} produced no tables", e.id);

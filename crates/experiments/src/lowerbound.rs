@@ -58,7 +58,12 @@ impl Setting {
         }
     }
 
-    fn adversary_feasible(&self, tasks: &TaskSet, platform: &Platform, budget: u64) -> Option<bool> {
+    fn adversary_feasible(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        budget: u64,
+    ) -> Option<bool> {
         match self {
             Setting::EdfVsPartitioned => match exact_partition_edf(tasks, platform, budget) {
                 ExactOutcome::Feasible(_) => Some(true),
@@ -162,7 +167,9 @@ pub fn search_worst_instance(
             if setting.adversary_feasible(&ts, platform, budget) != Some(true) {
                 continue;
             }
-            let Some(alpha) = setting.alpha(&ts, platform) else { continue };
+            let Some(alpha) = setting.alpha(&ts, platform) else {
+                continue;
+            };
             let util: u64 = mutant.iter().sum();
             let improves = alpha > current_alpha + 1e-9
                 || (alpha >= current_alpha - 1e-9 && util > current_util);
@@ -171,7 +178,11 @@ pub fn search_worst_instance(
                 current_util = util;
                 wcets = mutant;
                 if alpha > best.alpha {
-                    best = SearchResult { tasks: ts, alpha, evaluations: evals };
+                    best = SearchResult {
+                        tasks: ts,
+                        alpha,
+                        evaluations: evals,
+                    };
                 }
             }
         }
@@ -184,17 +195,45 @@ pub fn search_worst_instance(
 pub fn e14(cfg: &ExpConfig) -> Vec<Table> {
     let mut table = Table::new(
         "E14: adversarial lower-bound search (worst instance found)",
-        &["setting", "platform", "n", "evals", "worst α*", "upper bound", "worst instance (utils)"],
+        &[
+            "setting",
+            "platform",
+            "n",
+            "evals",
+            "worst α*",
+            "upper bound",
+            "worst instance (utils)",
+        ],
     );
     // Budget scales with --samples: quick runs stay fast.
     let restarts = (cfg.samples / 10).clamp(2, 12);
     let steps = (cfg.samples * 2).clamp(40, 600);
     let cases: Vec<(Setting, Platform, usize)> = vec![
-        (Setting::EdfVsPartitioned, Platform::identical(2).unwrap(), 6),
-        (Setting::EdfVsPartitioned, Platform::from_int_speeds([1, 1, 3]).unwrap(), 8),
-        (Setting::RmsVsPartitioned, Platform::identical(2).unwrap(), 6),
-        (Setting::EdfVsLp, Platform::from_int_speeds([1, 1, 4]).unwrap(), 8),
-        (Setting::RmsVsLp, Platform::from_int_speeds([1, 1, 4]).unwrap(), 8),
+        (
+            Setting::EdfVsPartitioned,
+            Platform::identical(2).unwrap(),
+            6,
+        ),
+        (
+            Setting::EdfVsPartitioned,
+            Platform::from_int_speeds([1, 1, 3]).unwrap(),
+            8,
+        ),
+        (
+            Setting::RmsVsPartitioned,
+            Platform::identical(2).unwrap(),
+            6,
+        ),
+        (
+            Setting::EdfVsLp,
+            Platform::from_int_speeds([1, 1, 4]).unwrap(),
+            8,
+        ),
+        (
+            Setting::RmsVsLp,
+            Platform::from_int_speeds([1, 1, 4]).unwrap(),
+            8,
+        ),
     ];
     for (ci, (setting, platform, n)) in cases.into_iter().enumerate() {
         let result = search_worst_instance(
@@ -225,7 +264,9 @@ pub fn e14(cfg: &ExpConfig) -> Vec<Table> {
         ]);
     }
     table.note("α* of the worst instance is a certified lower bound on the algorithm's ratio for that platform/n");
-    table.note(format!("local search: {restarts} restarts × {steps} mutation steps, ±0.1 utilization moves"));
+    table.note(format!(
+        "local search: {restarts} restarts × {steps} mutation steps, ±0.1 utilization moves"
+    ));
     vec![table]
 }
 
@@ -254,7 +295,11 @@ mod tests {
 
     #[test]
     fn e14_table_within_bounds() {
-        let cfg = ExpConfig { samples: 20, seed: 2, workers: 1 };
+        let cfg = ExpConfig {
+            samples: 20,
+            seed: 2,
+            workers: 1,
+        };
         let t = &e14(&cfg)[0];
         assert_eq!(t.rows.len(), 5);
         for row in &t.rows {

@@ -28,7 +28,11 @@ fn run_cell(cfg: &ExpConfig, policy: SchedPolicy, u_norm: f64, cell: u64) -> Cel
     let spec = WorkloadSpec {
         n_tasks: 10,
         normalized_utilization: u_norm,
-        platform: PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 },
+        platform: PlatformSpec::BigLittle {
+            big: 1,
+            little: 3,
+            ratio: 3,
+        },
         sampler: UtilizationSampler::UUniFastCapped,
         periods: PeriodMenu::standard(),
     };
@@ -39,12 +43,18 @@ fn run_cell(cfg: &ExpConfig, policy: SchedPolicy, u_norm: f64, cell: u64) -> Cel
         par_map_with(&indices, cfg.effective_workers(), 1, |&i| {
             let inst = spec.generate(seed, i)?;
             let outcome = match policy {
-                SchedPolicy::Edf => {
-                    first_fit(&inst.tasks, &inst.platform, Augmentation::NONE, &EdfAdmission)
-                }
-                SchedPolicy::RateMonotonic => {
-                    first_fit(&inst.tasks, &inst.platform, Augmentation::NONE, &RmsLlAdmission)
-                }
+                SchedPolicy::Edf => first_fit(
+                    &inst.tasks,
+                    &inst.platform,
+                    Augmentation::NONE,
+                    &EdfAdmission,
+                ),
+                SchedPolicy::RateMonotonic => first_fit(
+                    &inst.tasks,
+                    &inst.platform,
+                    Augmentation::NONE,
+                    &RmsLlAdmission,
+                ),
             };
             match outcome.assignment() {
                 Some(a) => {
@@ -102,11 +112,21 @@ pub fn e7(cfg: &ExpConfig) -> Vec<Table> {
     let mut table = Table::new(
         "E7: simulation validation of accepted partitions",
         &[
-            "policy", "U/S", "gen", "accepted", "validated", "missed jobs", "forced", "forced w/ miss",
+            "policy",
+            "U/S",
+            "gen",
+            "accepted",
+            "validated",
+            "missed jobs",
+            "forced",
+            "forced w/ miss",
         ],
     );
     let mut cell = 0u64;
-    for (policy, label) in [(SchedPolicy::Edf, "EDF"), (SchedPolicy::RateMonotonic, "RMS")] {
+    for (policy, label) in [
+        (SchedPolicy::Edf, "EDF"),
+        (SchedPolicy::RateMonotonic, "RMS"),
+    ] {
         for u in [0.5, 0.7, 0.9] {
             let o = run_cell(cfg, policy, u, cell);
             cell += 1;
@@ -123,7 +143,8 @@ pub fn e7(cfg: &ExpConfig) -> Vec<Table> {
         }
     }
     table.note("validated must equal accepted and missed jobs must be 0 (Theorems II.2/II.3)");
-    table.note("forced = rejected instances replayed with a round-robin assignment (control group)");
+    table
+        .note("forced = rejected instances replayed with a round-robin assignment (control group)");
     table.note("horizon = 2 hyperperiods, synchronous periodic releases (critical instant)");
     vec![table]
 }
@@ -134,7 +155,11 @@ mod tests {
 
     #[test]
     fn e7_accepted_assignments_never_miss() {
-        let cfg = ExpConfig { samples: 15, seed: 11, workers: 2 };
+        let cfg = ExpConfig {
+            samples: 15,
+            seed: 11,
+            workers: 2,
+        };
         let t = &e7(&cfg)[0];
         assert_eq!(t.rows.len(), 6);
         for row in &t.rows {
@@ -145,7 +170,11 @@ mod tests {
 
     #[test]
     fn e7_control_group_detects_overload_at_high_load() {
-        let cfg = ExpConfig { samples: 30, seed: 11, workers: 2 };
+        let cfg = ExpConfig {
+            samples: 30,
+            seed: 11,
+            workers: 2,
+        };
         let t = &e7(&cfg)[0];
         // At U/S = 0.9 the RMS heuristic rejects a fair share; most forced
         // round-robin assignments should miss. We only require: whenever

@@ -1,5 +1,43 @@
 //! Small summary-statistics helpers for experiment tables.
 
+use crate::table::Table;
+use hetfeas_obs::Snapshot;
+
+/// Human-readable duration from nanoseconds (`"742 ns"`, `"1.24 ms"`, …).
+pub fn format_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Render a metrics snapshot's timers as a phase-timing table (one row per
+/// timer name, in name order). Empty snapshot → empty table.
+pub fn phase_table(title: impl Into<String>, snap: &Snapshot) -> Table {
+    let mut t = Table::new(title, &["phase", "calls", "total", "mean", "max"]);
+    for (name, stat) in &snap.timers {
+        let mean_ns = if stat.count == 0 {
+            0
+        } else {
+            stat.total_ns / stat.count
+        };
+        t.push_row(vec![
+            name.clone(),
+            stat.count.to_string(),
+            format_ns(stat.total_ns),
+            format_ns(mean_ns),
+            format_ns(stat.max_ns),
+        ]);
+    }
+    t
+}
+
 /// Mean of a sample (0.0 for an empty slice).
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -11,9 +49,14 @@ pub fn mean(xs: &[f64]) -> f64 {
 
 /// Maximum (NaN-free inputs assumed; 0.0 for empty).
 pub fn max(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(
-        if xs.is_empty() { 0.0 } else { f64::NEG_INFINITY },
-    )
+    xs.iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(if xs.is_empty() {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        })
 }
 
 /// `q`-th percentile (0 ≤ q ≤ 100) by the nearest-rank method on a copy.
@@ -44,13 +87,41 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     let b = sxy / sxx;
     let a = my - b * mx;
     let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     (a, b, r2)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert_eq!(format_ns(742), "742 ns");
+        assert_eq!(format_ns(1_240), "1.24 µs");
+        assert_eq!(format_ns(1_240_000), "1.24 ms");
+        assert_eq!(format_ns(2_500_000_000), "2.50 s");
+    }
+
+    #[test]
+    fn phase_table_lists_timers_in_name_order() {
+        use hetfeas_obs::{MemorySink, MetricsSink};
+        let sink = MemorySink::new();
+        sink.record_ns("e6.n_sweep", 2_000);
+        sink.record_ns("e6.n_sweep", 4_000);
+        sink.record_ns("e6.counts", 500);
+        let t = phase_table("phases", &sink.snapshot());
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "e6.counts");
+        assert_eq!(t.rows[1][0], "e6.n_sweep");
+        assert_eq!(t.rows[1][1], "2");
+        assert_eq!(t.rows[1][2], "6.00 µs");
+        assert_eq!(t.rows[1][3], "3.00 µs");
+    }
 
     #[test]
     fn mean_and_max() {

@@ -94,13 +94,23 @@ pub struct Cell {
 impl Cell {
     /// Cell with the standard period menu.
     pub fn new(platform: PlatformSpec, n: usize, u_norm: f64) -> Self {
-        Cell { platform, n, u_norm, menu: None }
+        Cell {
+            platform,
+            n,
+            u_norm,
+            menu: None,
+        }
     }
 
     /// Cell with the harmonic period menu (RM-friendly: exact RM can reach
     /// utilization 1, maximizing the gap to the Liu–Layland admission).
     pub fn harmonic(platform: PlatformSpec, n: usize, u_norm: f64) -> Self {
-        Cell { platform, n, u_norm, menu: Some(PeriodMenu::harmonic()) }
+        Cell {
+            platform,
+            n,
+            u_norm,
+            menu: Some(PeriodMenu::harmonic()),
+        }
     }
 }
 
@@ -126,8 +136,7 @@ pub fn run_theorem(
     let mut table = Table::new(
         format!("{id}: {title}"),
         &[
-            "platform", "n", "U/S", "gen", "feas", "mean α*", "p95 α*", "max α*", "bound",
-            "viol",
+            "platform", "n", "U/S", "gen", "feas", "mean α*", "p95 α*", "max α*", "bound", "viol",
         ],
     );
     let mut total_undecided = 0usize;
@@ -145,25 +154,20 @@ pub fn run_theorem(
         let indices: Vec<u64> = (0..cfg.samples as u64).collect();
         // (adversary verdict, measured α*, contrapositive ok) per instance.
         type Sample = Option<(Option<bool>, Option<f64>, bool)>;
-        let results: Vec<Sample> = par_map_with(
-            &indices,
-            cfg.effective_workers(),
-            1,
-            |&i| {
-                let inst = spec.generate(seed, i)?;
-                let feasible = adversary.decide(&inst.tasks, &inst.platform);
-                let alpha = if feasible == Some(true) {
-                    Some(measure_alpha(admission, &inst.tasks, &inst.platform, bound))
-                } else {
-                    None
-                };
-                // Contrapositive check: FF rejecting at α = bound must
-                // imply adversary infeasibility (when decided).
-                let ff_at_bound = ff_accepts(admission, &inst.tasks, &inst.platform, bound);
-                let contrapositive_ok = ff_at_bound || feasible != Some(true);
-                Some((feasible, alpha.flatten(), contrapositive_ok))
-            },
-        );
+        let results: Vec<Sample> = par_map_with(&indices, cfg.effective_workers(), 1, |&i| {
+            let inst = spec.generate(seed, i)?;
+            let feasible = adversary.decide(&inst.tasks, &inst.platform);
+            let alpha = if feasible == Some(true) {
+                Some(measure_alpha(admission, &inst.tasks, &inst.platform, bound))
+            } else {
+                None
+            };
+            // Contrapositive check: FF rejecting at α = bound must
+            // imply adversary infeasibility (when decided).
+            let ff_at_bound = ff_accepts(admission, &inst.tasks, &inst.platform, bound);
+            let contrapositive_ok = ff_at_bound || feasible != Some(true);
+            Some((feasible, alpha.flatten(), contrapositive_ok))
+        });
 
         let mut cr = CellResult {
             stats: AlphaStats::default(),
@@ -251,11 +255,35 @@ pub fn e1(cfg: &ExpConfig) -> Vec<Table> {
     let cells = vec![
         Cell::new(PlatformSpec::Identical { m: 3 }, 8, 0.80),
         Cell::new(PlatformSpec::Identical { m: 3 }, 8, 0.95),
-        Cell::new(PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 }, 10, 0.80),
-        Cell::new(PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 }, 10, 0.95),
+        Cell::new(
+            PlatformSpec::BigLittle {
+                big: 1,
+                little: 3,
+                ratio: 3,
+            },
+            10,
+            0.80,
+        ),
+        Cell::new(
+            PlatformSpec::BigLittle {
+                big: 1,
+                little: 3,
+                ratio: 3,
+            },
+            10,
+            0.95,
+        ),
         Cell::new(PlatformSpec::Geometric { m: 3, base: 2 }, 12, 0.90),
         Cell::new(PlatformSpec::Identical { m: 3 }, 8, 1.00),
-        Cell::new(PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 }, 10, 1.00),
+        Cell::new(
+            PlatformSpec::BigLittle {
+                big: 1,
+                little: 3,
+                ratio: 3,
+            },
+            10,
+            1.00,
+        ),
     ];
     vec![run_theorem(
         cfg,
@@ -274,11 +302,27 @@ pub fn e2(cfg: &ExpConfig) -> Vec<Table> {
     let cells = vec![
         Cell::new(PlatformSpec::Identical { m: 2 }, 6, 0.55),
         Cell::new(PlatformSpec::Identical { m: 2 }, 6, 0.70),
-        Cell::new(PlatformSpec::BigLittle { big: 1, little: 2, ratio: 2 }, 8, 0.60),
+        Cell::new(
+            PlatformSpec::BigLittle {
+                big: 1,
+                little: 2,
+                ratio: 2,
+            },
+            8,
+            0.60,
+        ),
         Cell::new(PlatformSpec::Geometric { m: 3, base: 2 }, 8, 0.60),
         Cell::new(PlatformSpec::Identical { m: 2 }, 6, 0.80),
         Cell::harmonic(PlatformSpec::Identical { m: 2 }, 6, 0.85),
-        Cell::harmonic(PlatformSpec::BigLittle { big: 1, little: 2, ratio: 2 }, 8, 0.80),
+        Cell::harmonic(
+            PlatformSpec::BigLittle {
+                big: 1,
+                little: 2,
+                ratio: 2,
+            },
+            8,
+            0.80,
+        ),
     ];
     vec![run_theorem(
         cfg,
@@ -294,8 +338,24 @@ pub fn e2(cfg: &ExpConfig) -> Vec<Table> {
 /// E3 — Theorem I.3: FF-EDF vs the LP (arbitrary adversary), bound 2.98.
 pub fn e3(cfg: &ExpConfig) -> Vec<Table> {
     let cells = vec![
-        Cell::new(PlatformSpec::BigLittle { big: 2, little: 6, ratio: 4 }, 16, 0.85),
-        Cell::new(PlatformSpec::BigLittle { big: 2, little: 6, ratio: 4 }, 16, 0.98),
+        Cell::new(
+            PlatformSpec::BigLittle {
+                big: 2,
+                little: 6,
+                ratio: 4,
+            },
+            16,
+            0.85,
+        ),
+        Cell::new(
+            PlatformSpec::BigLittle {
+                big: 2,
+                little: 6,
+                ratio: 4,
+            },
+            16,
+            0.98,
+        ),
         Cell::new(PlatformSpec::Geometric { m: 5, base: 2 }, 24, 0.90),
         Cell::new(PlatformSpec::UniformRandom { m: 6, lo: 1, hi: 8 }, 32, 0.90),
         Cell::new(PlatformSpec::Identical { m: 8 }, 32, 0.95),
@@ -314,8 +374,24 @@ pub fn e3(cfg: &ExpConfig) -> Vec<Table> {
 /// E4 — Theorem I.4: FF-RMS(LL) vs the LP, bound 3.34.
 pub fn e4(cfg: &ExpConfig) -> Vec<Table> {
     let cells = vec![
-        Cell::new(PlatformSpec::BigLittle { big: 2, little: 6, ratio: 4 }, 16, 0.60),
-        Cell::new(PlatformSpec::BigLittle { big: 2, little: 6, ratio: 4 }, 16, 0.80),
+        Cell::new(
+            PlatformSpec::BigLittle {
+                big: 2,
+                little: 6,
+                ratio: 4,
+            },
+            16,
+            0.60,
+        ),
+        Cell::new(
+            PlatformSpec::BigLittle {
+                big: 2,
+                little: 6,
+                ratio: 4,
+            },
+            16,
+            0.80,
+        ),
         Cell::new(PlatformSpec::Geometric { m: 5, base: 2 }, 24, 0.70),
         Cell::new(PlatformSpec::UniformRandom { m: 6, lo: 1, hi: 8 }, 32, 0.70),
     ];
@@ -335,7 +411,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpConfig {
-        ExpConfig { samples: 12, seed: 7, workers: 2 }
+        ExpConfig {
+            samples: 12,
+            seed: 7,
+            workers: 2,
+        }
     }
 
     #[test]

@@ -153,7 +153,10 @@ mod tests {
     fn prefix_condition_bites_in_the_middle() {
         // w = (1.5, 1.5, 0.1), s = (2, 1, 1): k=1: 1.5 ≤ 2 ✓;
         // k=2: 3.0 > 3.0? equal ✓; k=3 total 3.1 > 4? 3.1 ≤ 4 ✓ → feasible.
-        assert!(level_feasible(&ts(&[(3, 2), (3, 2), (1, 10)]), &pf(&[2, 1, 1])));
+        assert!(level_feasible(
+            &ts(&[(3, 2), (3, 2), (1, 10)]),
+            &pf(&[2, 1, 1])
+        ));
         // w = (1.9, 1.9), s = (2, 1, 1): k=2: 3.8 > 3 → infeasible.
         assert!(!level_feasible(&ts(&[(19, 10), (19, 10)]), &pf(&[2, 1, 1])));
     }

@@ -99,7 +99,11 @@ impl LpPoint {
 /// Solve the paper's LP; `Some(point)` when feasible.
 pub fn solve_paper_lp(tasks: &TaskSet, platform: &Platform) -> Option<LpPoint> {
     if tasks.is_empty() {
-        return Some(LpPoint { n: 0, m: platform.len(), u: Vec::new() });
+        return Some(LpPoint {
+            n: 0,
+            m: platform.len(),
+            u: Vec::new(),
+        });
     }
     match build_paper_lp(tasks, platform).solve() {
         LpStatus::Optimal { x, .. } => Some(LpPoint {

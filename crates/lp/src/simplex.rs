@@ -132,14 +132,14 @@ impl LinearProgram {
 
 /// Dense simplex tableau in standard form.
 struct Tableau {
-    m: usize,                 // rows
-    total: usize,             // structural + slack + artificial columns
-    n_structural: usize,      // original variables
+    m: usize,            // rows
+    total: usize,        // structural + slack + artificial columns
+    n_structural: usize, // original variables
     n_artificial: usize,
-    a: Vec<f64>,              // m × total, row-major
-    b: Vec<f64>,              // m
-    basis: Vec<usize>,        // basic column per row
-    cost: Vec<f64>,           // phase-2 cost per column (structural only non-zero)
+    a: Vec<f64>,       // m × total, row-major
+    b: Vec<f64>,       // m
+    basis: Vec<usize>, // basic column per row
+    cost: Vec<f64>,    // phase-2 cost per column (structural only non-zero)
     artificial_start: usize,
 }
 
@@ -302,7 +302,7 @@ impl Tableau {
         }
         self.b[row] *= inv;
         self.a[row * total + col] = 1.0; // exact
-        // Eliminate the column elsewhere.
+                                         // Eliminate the column elsewhere.
         for i in 0..self.m {
             if i == row {
                 continue;
@@ -349,8 +349,7 @@ impl Tableau {
             // Drive remaining basic artificials out (degenerate rows).
             for i in 0..self.m {
                 if self.basis[i] >= self.artificial_start {
-                    if let Some(j) = (0..self.artificial_start)
-                        .find(|&j| self.at(i, j).abs() > TOL)
+                    if let Some(j) = (0..self.artificial_start).find(|&j| self.at(i, j).abs() > TOL)
                     {
                         self.pivot(i, j);
                     }

@@ -8,7 +8,10 @@ use hetfeas_model::{Platform, Task, TaskSet};
 use proptest::prelude::*;
 
 fn menu_task() -> impl Strategy<Value = Task> {
-    (1u64..=60, prop::sample::select(vec![10u64, 20, 25, 40, 50, 100]))
+    (
+        1u64..=60,
+        prop::sample::select(vec![10u64, 20, 25, 40, 50, 100]),
+    )
         .prop_map(|(c, p)| Task::implicit(c, p).unwrap())
 }
 
@@ -17,8 +20,7 @@ fn small_set() -> impl Strategy<Value = TaskSet> {
 }
 
 fn small_platform() -> impl Strategy<Value = Platform> {
-    prop::collection::vec(1u64..=6, 1..5)
-        .prop_map(|s| Platform::from_int_speeds(s).unwrap())
+    prop::collection::vec(1u64..=6, 1..5).prop_map(|s| Platform::from_int_speeds(s).unwrap())
 }
 
 proptest! {

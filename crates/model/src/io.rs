@@ -60,7 +60,10 @@ impl From<ModelError> for ParseError {
 }
 
 fn syntax(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError::Syntax { line, message: message.into() }
+    ParseError::Syntax {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_speed(token: &str, line: usize) -> Result<Ratio, ParseError> {
@@ -100,14 +103,15 @@ pub fn parse_system(input: &str) -> Result<System, ParseError> {
             "task" => {
                 let nums: Vec<&str> = fields.collect();
                 if nums.len() != 2 && nums.len() != 3 {
-                    return Err(syntax(line_no, "task expects: task <wcet> <period> [deadline]"));
+                    return Err(syntax(
+                        line_no,
+                        "task expects: task <wcet> <period> [deadline]",
+                    ));
                 }
-                let parse =
-                    |s: &str, what: &str| -> Result<u64, ParseError> {
-                        s.parse().map_err(|_| {
-                            syntax(line_no, format!("bad {what} {s:?}"))
-                        })
-                    };
+                let parse = |s: &str, what: &str| -> Result<u64, ParseError> {
+                    s.parse()
+                        .map_err(|_| syntax(line_no, format!("bad {what} {s:?}")))
+                };
                 let wcet = parse(nums[0], "wcet")?;
                 let period = parse(nums[1], "period")?;
                 let task = if nums.len() == 3 {
@@ -134,7 +138,10 @@ pub fn parse_system(input: &str) -> Result<System, ParseError> {
             }
         }
     }
-    Ok(System { tasks, platform: Platform::new(machines)? })
+    Ok(System {
+        tasks,
+        platform: Platform::new(machines)?,
+    })
 }
 
 /// Render a system back to the file format ([`parse_system`] inverse).
@@ -144,7 +151,12 @@ pub fn render_system(tasks: &TaskSet, platform: &Platform) -> String {
         if t.is_implicit_deadline() {
             out.push_str(&format!("task {} {}\n", t.wcet(), t.period()));
         } else {
-            out.push_str(&format!("task {} {} {}\n", t.wcet(), t.period(), t.deadline()));
+            out.push_str(&format!(
+                "task {} {} {}\n",
+                t.wcet(),
+                t.period(),
+                t.deadline()
+            ));
         }
     }
     for m in platform.iter() {

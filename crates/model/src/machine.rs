@@ -83,7 +83,9 @@ impl Platform {
             return Err(ModelError::EmptyPlatform);
         }
         let machine = Machine::from_speed(s)?;
-        Ok(Platform { machines: vec![machine; m] })
+        Ok(Platform {
+            machines: vec![machine; m],
+        })
     }
 
     /// Platform from integer speeds.
@@ -243,14 +245,8 @@ mod tests {
     #[test]
     fn machine_construction() {
         assert_eq!(Machine::from_speed(2).unwrap().speed_f64(), 2.0);
-        assert_eq!(
-            Machine::from_f64(2.5).unwrap().speed(),
-            Ratio::new(5, 2)
-        );
-        assert_eq!(
-            Machine::new(Ratio::ZERO),
-            Err(ModelError::NonPositiveSpeed)
-        );
+        assert_eq!(Machine::from_f64(2.5).unwrap().speed(), Ratio::new(5, 2));
+        assert_eq!(Machine::new(Ratio::ZERO), Err(ModelError::NonPositiveSpeed));
         assert_eq!(
             Machine::new(Ratio::new(-1, 2)),
             Err(ModelError::NonPositiveSpeed)

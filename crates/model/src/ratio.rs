@@ -11,7 +11,7 @@
 //! reduce eagerly by the gcd, and arithmetic panics on overflow (the
 //! workloads we generate keep numerators far below `i128::MAX`; an overflow
 //! indicates a misuse such as summing thousands of incommensurable periods,
-//! for which the f64 path should be used instead — see `DESIGN.md` §7).
+//! for which the f64 path should be used instead — see `DESIGN.md` §8).
 
 use core::cmp::Ordering;
 use core::fmt;
@@ -58,7 +58,11 @@ impl Ratio {
     #[inline]
     pub fn new(num: i128, den: i128) -> Self {
         assert!(den != 0, "Ratio denominator must be non-zero");
-        let sign = if (num < 0) != (den < 0) && num != 0 { -1 } else { 1 };
+        let sign = if (num < 0) != (den < 0) && num != 0 {
+            -1
+        } else {
+            1
+        };
         let (num, den) = (num.unsigned_abs(), den.unsigned_abs());
         let g = gcd_i128(num as i128, den as i128).max(1);
         Ratio {
@@ -155,7 +159,10 @@ impl Ratio {
     /// Absolute value.
     #[inline]
     pub fn abs(&self) -> Ratio {
-        Ratio { num: self.num.abs(), den: self.den }
+        Ratio {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// Floor as an integer.
@@ -197,13 +204,21 @@ impl Ratio {
     /// Minimum of two ratios.
     #[inline]
     pub fn min(self, other: Ratio) -> Ratio {
-        if self <= other { self } else { other }
+        if self <= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// Maximum of two ratios.
     #[inline]
     pub fn max(self, other: Ratio) -> Ratio {
-        if self >= other { self } else { other }
+        if self >= other {
+            self
+        } else {
+            other
+        }
     }
 }
 
@@ -289,7 +304,8 @@ impl Sub for Ratio {
 impl Mul for Ratio {
     type Output = Ratio;
     fn mul(self, rhs: Ratio) -> Ratio {
-        self.checked_mul(&rhs).expect("Ratio multiplication overflow")
+        self.checked_mul(&rhs)
+            .expect("Ratio multiplication overflow")
     }
 }
 
@@ -304,7 +320,10 @@ impl Div for Ratio {
 impl Neg for Ratio {
     type Output = Ratio;
     fn neg(self) -> Ratio {
-        Ratio { num: -self.num, den: self.den }
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -370,7 +389,10 @@ mod tests {
         assert!(Ratio::new(7, 7) == Ratio::ONE);
         let mut v = vec![Ratio::new(3, 4), Ratio::new(2, 3), Ratio::new(5, 6)];
         v.sort();
-        assert_eq!(v, vec![Ratio::new(2, 3), Ratio::new(3, 4), Ratio::new(5, 6)]);
+        assert_eq!(
+            v,
+            vec![Ratio::new(2, 3), Ratio::new(3, 4), Ratio::new(5, 6)]
+        );
     }
 
     #[test]
@@ -410,8 +432,14 @@ mod tests {
     #[test]
     fn approximate_f64_roundtrips_simple_values() {
         assert_eq!(Ratio::approximate_f64(0.5, 1000).unwrap(), Ratio::new(1, 2));
-        assert_eq!(Ratio::approximate_f64(2.98, 1000).unwrap(), Ratio::new(149, 50));
-        assert_eq!(Ratio::approximate_f64(3.0, 1000).unwrap(), Ratio::from_integer(3));
+        assert_eq!(
+            Ratio::approximate_f64(2.98, 1000).unwrap(),
+            Ratio::new(149, 50)
+        );
+        assert_eq!(
+            Ratio::approximate_f64(3.0, 1000).unwrap(),
+            Ratio::from_integer(3)
+        );
         assert_eq!(
             Ratio::approximate_f64(-0.25, 1000).unwrap(),
             Ratio::new(-1, 4)

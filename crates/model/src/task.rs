@@ -51,7 +51,11 @@ impl Task {
         if deadline == 0 {
             return Err(ModelError::ZeroDeadline);
         }
-        Ok(Task { wcet, period, deadline })
+        Ok(Task {
+            wcet,
+            period,
+            deadline,
+        })
     }
 
     /// Worst-case execution time in work units.
@@ -117,7 +121,11 @@ impl fmt::Display for Task {
         if self.is_implicit_deadline() {
             write!(f, "τ(c={}, p={})", self.wcet, self.period)
         } else {
-            write!(f, "τ(c={}, p={}, d={})", self.wcet, self.period, self.deadline)
+            write!(
+                f,
+                "τ(c={}, p={}, d={})",
+                self.wcet, self.period, self.deadline
+            )
         }
     }
 }

@@ -91,10 +91,7 @@ impl TaskSet {
 
     /// Largest single-task utilization (0.0 for an empty set).
     pub fn max_utilization(&self) -> f64 {
-        self.tasks
-            .iter()
-            .map(Task::utilization)
-            .fold(0.0, f64::max)
+        self.tasks.iter().map(Task::utilization).fold(0.0, f64::max)
     }
 
     /// Indices of tasks ordered by non-increasing utilization, ties broken
@@ -162,7 +159,9 @@ impl Index<usize> for TaskSet {
 
 impl FromIterator<Task> for TaskSet {
     fn from_iter<I: IntoIterator<Item = Task>>(iter: I) -> Self {
-        TaskSet { tasks: iter.into_iter().collect() }
+        TaskSet {
+            tasks: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -235,10 +234,7 @@ mod tests {
         assert_eq!(loads, vec![3, 6, 2]);
         // load/h equals utilization exactly.
         for (t, &l) in ts.iter().zip(&loads) {
-            assert_eq!(
-                Ratio::new(l as i128, h as i128),
-                t.utilization_ratio()
-            );
+            assert_eq!(Ratio::new(l as i128, h as i128), t.utilization_ratio());
         }
     }
 

@@ -1,0 +1,58 @@
+//! # hetfeas-obs
+//!
+//! Workspace-wide observability: a metrics substrate that costs *nothing*
+//! when disabled, plus dependency-free JSON run reports.
+//!
+//! The hot paths of this workspace (the first-fit scan, the indexed
+//! engine's tree descents, the α-bisection probes) run millions of times
+//! per experiment sweep, so instrumentation must follow two rules:
+//!
+//! 1. **Zero cost when off.** Every instrumented function is generic over
+//!    [`MetricsSink`]; the no-op implementation for `()` has empty
+//!    `#[inline(always)]` methods and `ENABLED = false`, so after
+//!    monomorphization the disabled call sites compile to the exact code
+//!    that existed before instrumentation. [`ScopedTimer`] consults
+//!    [`MetricsSink::ENABLED`] *before* reading the clock, so even
+//!    `Instant::now()` vanishes.
+//! 2. **Exact when on.** [`MemorySink`] tallies counters with atomics,
+//!    aggregates scoped monotonic timers, and sketches value distributions
+//!    in log2-bucket histograms — all queryable and snapshottable, so
+//!    tests can assert exact work counts (the conformance battery in
+//!    `crates/partition/tests` does).
+//!
+//! [`RunReport`] turns a [`Snapshot`] plus free-form metadata into a JSON
+//! document, written with the same hand-rolled discipline as the rest of
+//! the workspace (no serde); [`json`] also provides the tiny parser the
+//! round-trip tests use.
+//!
+//! ```
+//! use hetfeas_obs::{MemorySink, MetricsSink, RunReport};
+//!
+//! let sink = MemorySink::new();
+//! sink.counter_add("work.items", 3);
+//! {
+//!     let _t = sink.timer("work.phase");
+//!     // ... measured region ...
+//! }
+//! sink.observe("work.sizes", 1000);
+//!
+//! let mut report = RunReport::new("demo", "example");
+//! report.attach_metrics(&sink.snapshot());
+//! let text = report.render();
+//! let parsed = hetfeas_obs::json::parse(&text).unwrap();
+//! assert_eq!(parsed.get("counters").unwrap().get("work.items").unwrap().as_u64(), Some(3));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod json;
+pub mod report;
+pub mod sink;
+pub mod timer;
+
+pub use histogram::{HistogramSnapshot, Log2Histogram};
+pub use json::Json;
+pub use report::RunReport;
+pub use sink::{MemorySink, MetricsSink, Snapshot, TimerStat};
+pub use timer::ScopedTimer;

@@ -1,0 +1,215 @@
+//! JSON run reports: structured output for a single tool invocation.
+
+use crate::json::Json;
+use crate::sink::Snapshot;
+
+/// A machine-readable record of one run: what was invoked, what it
+/// concluded, and (optionally) the metrics it gathered along the way.
+///
+/// Top-level keys render in a stable order — `tool`, `version`, `command`,
+/// then caller-set keys in insertion order, then `counters`, `timers`,
+/// `histograms` — so downstream consumers can diff reports textually.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    tool: String,
+    version: String,
+    command: String,
+    fields: Vec<(String, Json)>,
+    metrics: Option<Snapshot>,
+}
+
+impl RunReport {
+    /// Start a report for `tool` (e.g. `"hetfeas"`) running `command`
+    /// (e.g. `"check"`). The version is taken from this crate's build.
+    pub fn new(tool: impl Into<String>, command: impl Into<String>) -> Self {
+        RunReport {
+            tool: tool.into(),
+            version: option_env!("CARGO_PKG_VERSION")
+                .unwrap_or("0.0.0")
+                .to_string(),
+            command: command.into(),
+            fields: Vec::new(),
+            metrics: None,
+        }
+    }
+
+    /// Set (or replace) a top-level field. Caller-set fields render after
+    /// the fixed header keys, in first-insertion order.
+    pub fn set(&mut self, key: impl Into<String>, value: Json) -> &mut Self {
+        let key = key.into();
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.fields.push((key, value));
+        }
+        self
+    }
+
+    /// Attach a metrics snapshot; its contents render under `counters`,
+    /// `timers` and `histograms`. A later call replaces an earlier one.
+    pub fn attach_metrics(&mut self, snapshot: &Snapshot) -> &mut Self {
+        self.metrics = Some(snapshot.clone());
+        self
+    }
+
+    /// The report as a JSON value tree.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("tool".to_string(), Json::str(&self.tool)),
+            ("version".to_string(), Json::str(&self.version)),
+            ("command".to_string(), Json::str(&self.command)),
+        ];
+        members.extend(self.fields.iter().cloned());
+        if let Some(snap) = &self.metrics {
+            members.push(("counters".to_string(), counters_json(snap)));
+            members.push(("timers".to_string(), timers_json(snap)));
+            members.push(("histograms".to_string(), histograms_json(snap)));
+        }
+        Json::Obj(members)
+    }
+
+    /// The report as pretty-printed JSON text (two-space indent, trailing
+    /// newline — ready to write to a file).
+    pub fn render(&self) -> String {
+        let mut text = self.to_json().render_pretty(2);
+        text.push('\n');
+        text
+    }
+}
+
+fn counters_json(snap: &Snapshot) -> Json {
+    Json::Obj(
+        snap.counters
+            .iter()
+            .map(|(name, value)| (name.clone(), Json::UInt(*value)))
+            .collect(),
+    )
+}
+
+fn timers_json(snap: &Snapshot) -> Json {
+    Json::Obj(
+        snap.timers
+            .iter()
+            .map(|(name, stat)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("count".to_string(), Json::UInt(stat.count)),
+                        ("total_ns".to_string(), Json::UInt(stat.total_ns)),
+                        ("max_ns".to_string(), Json::UInt(stat.max_ns)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn histograms_json(snap: &Snapshot) -> Json {
+    Json::Obj(
+        snap.histograms
+            .iter()
+            .map(|(name, hist)| {
+                // Sparse form: only populated buckets, as [upper_edge, count].
+                let buckets = hist
+                    .nonzero()
+                    .into_iter()
+                    .map(|(edge, count)| Json::Arr(vec![Json::UInt(edge), Json::UInt(count)]))
+                    .collect();
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("count".to_string(), Json::UInt(hist.count())),
+                        ("buckets".to_string(), Json::Arr(buckets)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::sink::{MemorySink, MetricsSink};
+
+    #[test]
+    fn header_keys_come_first_and_in_order() {
+        let mut r = RunReport::new("hetfeas", "check");
+        r.set("verdict", Json::str("feasible"));
+        r.set("alpha", Json::Float(2.0));
+        let v = r.to_json();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["tool", "version", "command", "verdict", "alpha"]);
+        assert_eq!(v.get("tool").unwrap().as_str(), Some("hetfeas"));
+        assert_eq!(v.get("command").unwrap().as_str(), Some("check"));
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut r = RunReport::new("t", "c");
+        r.set("a", Json::Int(1));
+        r.set("b", Json::Int(2));
+        r.set("a", Json::Int(3));
+        let v = r.to_json();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["tool", "version", "command", "a", "b"]);
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn metrics_render_and_round_trip() {
+        let sink = MemorySink::new();
+        sink.counter_add("ff.admission_checks", 12);
+        sink.record_ns("phase.partition", 500);
+        sink.observe("ff.checks_per_task", 3);
+        sink.observe("ff.checks_per_task", 3);
+
+        let mut r = RunReport::new("hetfeas", "check");
+        r.attach_metrics(&sink.snapshot());
+        let text = r.render();
+        assert!(text.ends_with('\n'));
+
+        let v = json::parse(&text).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("ff.admission_checks")
+                .unwrap()
+                .as_u64(),
+            Some(12)
+        );
+        let t = v.get("timers").unwrap().get("phase.partition").unwrap();
+        assert_eq!(t.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(t.get("total_ns").unwrap().as_u64(), Some(500));
+        let h = v
+            .get("histograms")
+            .unwrap()
+            .get("ff.checks_per_task")
+            .unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(2));
+        // One populated bucket: values 2..=3 share upper edge 3.
+        let buckets = h.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].as_array().unwrap()[0].as_u64(), Some(3));
+        assert_eq!(buckets[0].as_array().unwrap()[1].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn without_metrics_no_metric_keys() {
+        let v = RunReport::new("t", "c").to_json();
+        assert!(v.get("counters").is_none());
+        assert!(v.get("timers").is_none());
+        assert!(v.get("histograms").is_none());
+    }
+}

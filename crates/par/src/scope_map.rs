@@ -108,7 +108,10 @@ mod tests {
     #[test]
     fn single_item_and_single_worker() {
         assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
-        assert_eq!(par_map_with(&[1, 2, 3], 1, 1, |&x| x * 10), vec![10, 20, 30]);
+        assert_eq!(
+            par_map_with(&[1, 2, 3], 1, 1, |&x| x * 10),
+            vec![10, 20, 30]
+        );
     }
 
     #[test]

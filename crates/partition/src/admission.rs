@@ -123,7 +123,10 @@ impl AdmissionTest for RmsHyperbolicAdmission {
     type State = HyperbolicState;
 
     fn empty_state(&self) -> HyperbolicState {
-        HyperbolicState { product: 1.0, load: 0.0 }
+        HyperbolicState {
+            product: 1.0,
+            load: 0.0,
+        }
     }
 
     fn admit(&self, state: &HyperbolicState, task: &Task, speed: f64) -> Option<HyperbolicState> {
@@ -260,7 +263,9 @@ mod tests {
         let mut st = a.empty_state();
         // Harmonic set reaching utilization 1.0 — LL would refuse, RTA admits.
         for task in [t(1, 2), t(1, 4), t(2, 8)] {
-            st = a.admit(&st, &task, 1.0).expect("harmonic set is RM-schedulable");
+            st = a
+                .admit(&st, &task, 1.0)
+                .expect("harmonic set is RM-schedulable");
         }
         assert!((a.load(&st) - 1.0).abs() < 1e-12);
         assert!(a.admit(&st, &t(1, 1000), 1.0).is_none());

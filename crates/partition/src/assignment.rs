@@ -1,8 +1,8 @@
 //! Task-to-machine assignments and feasibility-test outcomes.
 
 use crate::admission::AdmissionTest;
-use hetfeas_model::{Platform, TaskSet};
 use core::fmt;
+use hetfeas_model::{Platform, TaskSet};
 
 /// A (possibly partial) mapping of tasks to machines.
 ///

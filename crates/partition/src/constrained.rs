@@ -114,7 +114,10 @@ mod tests {
         let s1 = q.admit(&q.empty_state(), &t, 1.0).unwrap();
         assert!(q.admit(&s1, &bg, 1.0).is_some(), "QPA must admit the mix");
         let s1 = a.admit(&a.empty_state(), &t, 1.0).unwrap();
-        assert!(a.admit(&s1, &bg, 1.0).is_none(), "density must reject the mix");
+        assert!(
+            a.admit(&s1, &bg, 1.0).is_none(),
+            "density must reject the mix"
+        );
     }
 
     #[test]

@@ -41,8 +41,10 @@ use crate::admission::{
     RmsLlState,
 };
 use crate::assignment::{Assignment, FailureWitness, Outcome};
+use crate::metrics;
 use hetfeas_analysis::liu_layland_bound;
 use hetfeas_model::{Augmentation, Platform, TaskSet, EPS};
+use hetfeas_obs::MetricsSink;
 
 /// Relative slack added to residual hints so f64 rounding in
 /// `capacity − load` can never make the tree skip a machine the exact
@@ -238,6 +240,28 @@ impl<A: IndexableAdmission> FirstFitEngine<A> {
     /// debug builds; passing a different same-shaped instance silently
     /// reuses the stale sort and produces garbage).
     pub fn probe(&mut self, tasks: &TaskSet, platform: &Platform, alpha: Augmentation) -> Outcome {
+        self.probe_with(tasks, platform, alpha, &())
+    }
+
+    /// [`Self::probe`] with metrics. Emits two families into `sink` (see
+    /// [`crate::metrics`]):
+    ///
+    /// * `ff.*` in *reference-scan units*, derived from the byte-identical
+    ///   placement sequence (a task placed at scan slot `s` would have cost
+    ///   the reference `s + 1` checks; a failing task costs `m`) — so the
+    ///   engine and [`crate::first_fit_with`] report identical `ff.*`
+    ///   numbers for the same instance;
+    /// * `engine.*` for the work actually done: tree descents, exact
+    ///   re-checks, and re-verification misses.
+    ///
+    /// Counts accumulate in locals and flush once per probe.
+    pub fn probe_with<S: MetricsSink>(
+        &mut self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        alpha: Augmentation,
+        sink: &S,
+    ) -> Outcome {
         debug_assert_eq!(
             self.prepared_for,
             Some((tasks.len(), platform.len())),
@@ -245,7 +269,8 @@ impl<A: IndexableAdmission> FirstFitEngine<A> {
         );
         let alpha = alpha.factor();
         self.speeds.clear();
-        self.speeds.extend(self.base_speeds.iter().map(|&s| alpha * s));
+        self.speeds
+            .extend(self.base_speeds.iter().map(|&s| alpha * s));
 
         self.states.clear();
         self.states
@@ -259,6 +284,22 @@ impl<A: IndexableAdmission> FirstFitEngine<A> {
         );
         self.tree.rebuild(&self.residuals);
 
+        let mut scan_checks = 0u64;
+        let mut placed_count = 0u64;
+        let mut descents = 0u64;
+        let mut exact_checks = 0u64;
+        let mut misses = 0u64;
+        let flush = |scan_checks: u64, placed: u64, descents: u64, exact: u64, misses: u64| {
+            if S::ENABLED {
+                sink.counter_add(metrics::FF_ADMISSION_CHECKS, scan_checks);
+                sink.counter_add(metrics::FF_MACHINES_VISITED, scan_checks);
+                sink.counter_add(metrics::FF_PLACED, placed);
+                sink.counter_add(metrics::ENGINE_TREE_DESCENTS, descents);
+                sink.counter_add(metrics::ENGINE_EXACT_CHECKS, exact);
+                sink.counter_add(metrics::ENGINE_REVERIFY_MISSES, misses);
+            }
+        };
+
         let mut assignment = Assignment::new(tasks.len(), platform.len());
         for idx in 0..self.task_order.len() {
             let ti = self.task_order[idx];
@@ -266,31 +307,57 @@ impl<A: IndexableAdmission> FirstFitEngine<A> {
             let u = task.utilization();
             let mut from = 0usize;
             let placed = loop {
+                if S::ENABLED {
+                    descents += 1;
+                }
                 let Some(slot) = self.tree.first_at_least(from, u) else {
                     break None;
                 };
                 // Exact re-check: the hint over-approximates, the reference
                 // predicate decides.
-                if let Some(next) = self.admission.admit(&self.states[slot], task, self.speeds[slot])
+                if S::ENABLED {
+                    exact_checks += 1;
+                }
+                if let Some(next) =
+                    self.admission
+                        .admit(&self.states[slot], task, self.speeds[slot])
                 {
                     let hint = self.admission.residual_hint(&next, self.speeds[slot]);
                     self.states[slot] = next;
                     self.tree.update(slot, hint);
                     break Some(slot);
                 }
+                if S::ENABLED {
+                    misses += 1;
+                }
                 from = slot + 1;
             };
             match placed {
-                Some(slot) => assignment.assign(ti, self.machine_order[slot]),
+                Some(slot) => {
+                    if S::ENABLED {
+                        // The reference scan visits slots 0..=slot.
+                        scan_checks += slot as u64 + 1;
+                        sink.observe(metrics::FF_CHECKS_PER_TASK, slot as u64 + 1);
+                        placed_count += 1;
+                    }
+                    assignment.assign(ti, self.machine_order[slot]);
+                }
                 None => {
+                    if S::ENABLED {
+                        // The reference scan visits every machine and fails.
+                        scan_checks += platform.len() as u64;
+                        sink.observe(metrics::FF_CHECKS_PER_TASK, platform.len() as u64);
+                    }
+                    flush(scan_checks, placed_count, descents, exact_checks, misses);
                     return Outcome::Infeasible(FailureWitness {
                         failing_task: ti,
                         failing_utilization: u,
                         partial: assignment,
-                    })
+                    });
                 }
             }
         }
+        flush(scan_checks, placed_count, descents, exact_checks, misses);
         Outcome::Feasible(assignment)
     }
 
@@ -298,8 +365,19 @@ impl<A: IndexableAdmission> FirstFitEngine<A> {
     /// Drop-in replacement for [`crate::first_fit()`] with an indexable
     /// admission — identical outcomes, `O((n+m)·log m)` placements.
     pub fn run(&mut self, tasks: &TaskSet, platform: &Platform, alpha: Augmentation) -> Outcome {
+        self.run_with(tasks, platform, alpha, &())
+    }
+
+    /// [`Self::run`] with metrics (see [`Self::probe_with`]).
+    pub fn run_with<S: MetricsSink>(
+        &mut self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        alpha: Augmentation,
+        sink: &S,
+    ) -> Outcome {
         self.prepare(tasks, platform);
-        self.probe(tasks, platform, alpha)
+        self.probe_with(tasks, platform, alpha, sink)
     }
 
     /// Warm-started α-search: smallest augmentation (within `tol`) in
@@ -321,38 +399,80 @@ impl<A: IndexableAdmission> FirstFitEngine<A> {
         hi: f64,
         tol: f64,
     ) -> Option<f64> {
+        self.min_feasible_alpha_with(tasks, platform, hi, tol, &())
+    }
+
+    /// [`Self::min_feasible_alpha`] with metrics: every probe adds one to
+    /// `alpha.probes` (plus its own `ff.*`/`engine.*` counts, see
+    /// [`Self::probe_with`]), bracketing probes additionally count under
+    /// `alpha.bracket_probes`, and each bisection halving adds one to
+    /// `alpha.bisect_iters`.
+    pub fn min_feasible_alpha_with<S: MetricsSink>(
+        &mut self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        hi: f64,
+        tol: f64,
+        sink: &S,
+    ) -> Option<f64> {
         if !hi.is_finite() || hi < 1.0 || !tol.is_finite() || tol <= 0.0 {
             return None;
         }
         self.prepare(tasks, platform);
-        if self.probe(tasks, platform, Augmentation::NONE).is_feasible() {
+        if S::ENABLED {
+            sink.counter_add(metrics::ALPHA_PROBES, 1);
+        }
+        if self
+            .probe_with(tasks, platform, Augmentation::NONE, sink)
+            .is_feasible()
+        {
             return Some(1.0);
         }
         // Gallop: grow the bracket geometrically from 1 until acceptance.
         let mut lo = 1.0f64;
         let mut step = tol.max(1e-3);
+        let mut bracket_probes = 0u64;
         let mut hi_b;
         loop {
             let cand = (1.0 + step).min(hi);
             let aug = Augmentation::new(cand).expect("cand ∈ [1, hi], finite");
-            if self.probe(tasks, platform, aug).is_feasible() {
+            bracket_probes += 1;
+            if S::ENABLED {
+                sink.counter_add(metrics::ALPHA_PROBES, 1);
+            }
+            let feasible = self.probe_with(tasks, platform, aug, sink).is_feasible();
+            if feasible {
                 hi_b = cand;
                 break;
             }
             if cand >= hi {
+                if S::ENABLED {
+                    sink.counter_add(metrics::ALPHA_BRACKET_PROBES, bracket_probes);
+                }
                 return None;
             }
             lo = cand;
             step *= 2.0;
         }
+        if S::ENABLED {
+            sink.counter_add(metrics::ALPHA_BRACKET_PROBES, bracket_probes);
+        }
+        let mut iters = 0u64;
         while hi_b - lo > tol {
+            iters += 1;
             let mid = 0.5 * (lo + hi_b);
             let aug = Augmentation::new(mid).expect("mid ≥ lo ≥ 1");
-            if self.probe(tasks, platform, aug).is_feasible() {
+            if S::ENABLED {
+                sink.counter_add(metrics::ALPHA_PROBES, 1);
+            }
+            if self.probe_with(tasks, platform, aug, sink).is_feasible() {
                 hi_b = mid;
             } else {
                 lo = mid;
             }
+        }
+        if S::ENABLED {
+            sink.counter_add(metrics::ALPHA_BISECT_ITERS, iters);
         }
         Some(hi_b)
     }
@@ -510,6 +630,76 @@ mod tests {
         }
     }
 
+    /// The engine's `ff.*` counters are *scan-equivalent*: derived from the
+    /// byte-identical placement sequence, they must equal the reference
+    /// scan's actual counts exactly — while the engine's own exact checks
+    /// never exceed them (that is the point of the index).
+    #[test]
+    fn engine_counters_match_reference_scan() {
+        use crate::instrumented::{first_fit_instrumented, ScanStats};
+        use hetfeas_obs::MemorySink;
+        let mut rng = Rng(0x1234_5678_9ABC_DEF0);
+        let mut e = FirstFitEngine::new(EdfAdmission);
+        let mut rms = FirstFitEngine::new(RmsLlAdmission);
+        for case in 0..200 {
+            let (ts, p) = random_instance(&mut rng);
+            for &a in &[1.0, 1.5, 2.0] {
+                let aug = Augmentation::new(a).unwrap();
+                for admissible in [true, false] {
+                    let sink = MemorySink::new();
+                    let (out, reference, stats) = if admissible {
+                        let out = e.run_with(&ts, &p, aug, &sink);
+                        let (r, s) = first_fit_instrumented(&ts, &p, aug, &EdfAdmission);
+                        (out, r, s)
+                    } else {
+                        let out = rms.run_with(&ts, &p, aug, &sink);
+                        let (r, s) = first_fit_instrumented(&ts, &p, aug, &RmsLlAdmission);
+                        (out, r, s)
+                    };
+                    assert_eq!(out, reference, "outcome mismatch (case {case}, α={a})");
+                    assert_eq!(
+                        ScanStats::from_sink(&sink),
+                        stats,
+                        "counter mismatch (case {case}, α={a}): {ts} on {p}"
+                    );
+                    // Engine work: every exact check corresponds to a slot
+                    // the reference scan also visited.
+                    assert!(
+                        sink.counter(metrics::ENGINE_EXACT_CHECKS) <= stats.admission_checks,
+                        "engine re-checked more slots than the scan visited"
+                    );
+                    // One histogram sample per task considered.
+                    let considered = stats.placed + u64::from(!out.is_feasible());
+                    assert_eq!(
+                        sink.histogram(metrics::FF_CHECKS_PER_TASK)
+                            .map_or(0, |h| h.count()),
+                        considered
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_alpha_search_counts_probes() {
+        use hetfeas_obs::MemorySink;
+        let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p = platform(&[1, 1]);
+        let mut e = FirstFitEngine::new(EdfAdmission);
+        let sink = MemorySink::new();
+        let a = e
+            .min_feasible_alpha_with(&tasks, &p, 4.0, 1e-6, &sink)
+            .unwrap();
+        assert!((a - 1.6).abs() < 1e-5);
+        let probes = sink.counter(metrics::ALPHA_PROBES);
+        let brackets = sink.counter(metrics::ALPHA_BRACKET_PROBES);
+        let iters = sink.counter(metrics::ALPHA_BISECT_ITERS);
+        // initial α=1 probe + bracket probes + one probe per bisect iter.
+        assert_eq!(probes, 1 + brackets + iters);
+        assert!(brackets >= 1);
+        assert!(iters >= 1);
+    }
+
     #[test]
     fn engine_handles_exact_boundary_loads() {
         // Loads that land exactly on capacity exercise the EPS padding and
@@ -518,7 +708,10 @@ mod tests {
         let p = platform(&[1, 1]);
         let mut e = FirstFitEngine::new(EdfAdmission);
         let out = e.run(&tasks, &p, Augmentation::NONE);
-        assert_eq!(out, first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission));
+        assert_eq!(
+            out,
+            first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission)
+        );
         assert!(out.is_feasible());
     }
 
@@ -575,8 +768,7 @@ mod tests {
         let periods = [10u64, 20, 25, 40, 50, 100];
         for _ in 0..2000 {
             let speed = 1.0 + rng.below(60) as f64 / 10.0;
-            let task =
-                Task::implicit(1 + rng.below(60), periods[rng.below(6) as usize]).unwrap();
+            let task = Task::implicit(1 + rng.below(60), periods[rng.below(6) as usize]).unwrap();
             // Build a random RMS-LL state by stuffing tasks.
             let rms = RmsLlAdmission;
             let mut st = rms.empty_state();

@@ -52,8 +52,8 @@ impl ExactOutcome {
 struct Search<'a, A: AdmissionTest> {
     tasks: &'a TaskSet,
     order: Vec<usize>,
-    speeds: Vec<f64>,      // augmented speeds, in machine scan order
-    machines: Vec<usize>,  // original machine index per scan slot
+    speeds: Vec<f64>,     // augmented speeds, in machine scan order
+    machines: Vec<usize>, // original machine index per scan slot
     admission: &'a A,
     suffix_util: Vec<f64>, // suffix_util[d] = Σ util of order[d..]
     nodes_left: u64,
@@ -115,8 +115,7 @@ impl<A: AdmissionTest> Search<'_, A> {
                 }
                 tried_empty_speed.push(self.speeds[slot]);
             }
-            let Some(next) = self.admission.admit(&states[slot], task, self.speeds[slot])
-            else {
+            let Some(next) = self.admission.admit(&states[slot], task, self.speeds[slot]) else {
                 continue;
             };
             let saved = core::mem::replace(&mut states[slot], next);
@@ -262,7 +261,12 @@ mod tests {
         // exact here; assert that agreement.
         let tasks = TaskSet::from_pairs([(50, 100), (41, 100), (41, 100), (41, 100)]).unwrap();
         let p = Platform::from_int_speeds([1, 1]).unwrap();
-        let ff = first_fit(&tasks, &p, Augmentation::NONE, &crate::admission::RmsLlAdmission);
+        let ff = first_fit(
+            &tasks,
+            &p,
+            Augmentation::NONE,
+            &crate::admission::RmsLlAdmission,
+        );
         assert!(!ff.is_feasible());
         let exact = exact_partition(
             &tasks,
@@ -358,7 +362,12 @@ mod tests {
         // partition succeeds — the gap E9 quantifies.
         let tasks = TaskSet::from_pairs([(1, 2), (1, 4), (2, 8), (1, 2), (1, 4), (2, 8)]).unwrap();
         let p = Platform::identical(2).unwrap();
-        let ff = first_fit(&tasks, &p, Augmentation::NONE, &crate::admission::RmsLlAdmission);
+        let ff = first_fit(
+            &tasks,
+            &p,
+            Augmentation::NONE,
+            &crate::admission::RmsLlAdmission,
+        );
         assert!(!ff.is_feasible());
         let exact = exact_partition_rms(&tasks, &p, 1 << 20);
         assert!(exact.is_feasible());

@@ -21,11 +21,11 @@ use crate::exact::ExactOutcome;
 use hetfeas_model::{Platform, TaskSet};
 
 struct RSearch<'a> {
-    loads: &'a [u128],        // per task (sorted order applied via `order`)
-    order: Vec<usize>,        // task indices, decreasing load
-    caps: Vec<(u128, u128)>,  // per machine slot: (num·H, den)
-    machines: Vec<usize>,     // original machine index per slot
-    suffix: Vec<u128>,        // suffix sums of ordered loads
+    loads: &'a [u128],       // per task (sorted order applied via `order`)
+    order: Vec<usize>,       // task indices, decreasing load
+    caps: Vec<(u128, u128)>, // per machine slot: (num·H, den)
+    machines: Vec<usize>,    // original machine index per slot
+    suffix: Vec<u128>,       // suffix sums of ordered loads
     nodes_left: u64,
 }
 
@@ -91,7 +91,11 @@ impl RSearch<'_> {
             assignment.unassign(ti);
             used[slot] -= load;
         }
-        if exhausted { None } else { Some(false) }
+        if exhausted {
+            None
+        } else {
+            Some(false)
+        }
     }
 }
 
@@ -157,7 +161,17 @@ mod tests {
         let cases: Vec<(Vec<(u64, u64)>, &Platform)> = vec![
             (vec![(6, 10), (6, 10), (4, 10), (4, 10)], &p2),
             (vec![(8, 10), (8, 10), (8, 10)], &p2),
-            (vec![(46, 100), (46, 100), (30, 100), (30, 100), (24, 100), (24, 100)], &p2),
+            (
+                vec![
+                    (46, 100),
+                    (46, 100),
+                    (30, 100),
+                    (30, 100),
+                    (24, 100),
+                    (24, 100),
+                ],
+                &p2,
+            ),
             (vec![(9, 10), (9, 10), (9, 10)], &p12),
             (vec![(1, 2); 9], &p2),
         ];

@@ -18,7 +18,9 @@
 
 use crate::admission::AdmissionTest;
 use crate::assignment::{Assignment, FailureWitness, Outcome};
+use crate::metrics;
 use hetfeas_model::{Augmentation, Platform, TaskSet};
+use hetfeas_obs::MetricsSink;
 
 /// The paper's feasibility test with EDF or RMS admission (or any other
 /// [`AdmissionTest`]): first-fit by decreasing utilization over machines by
@@ -45,9 +47,31 @@ pub fn first_fit<A: AdmissionTest>(
     alpha: Augmentation,
     admission: &A,
 ) -> Outcome {
+    first_fit_with(tasks, platform, alpha, admission, &())
+}
+
+/// [`first_fit`] with metrics: emits `ff.*` counters and the
+/// `ff.checks_per_task` histogram (see [`crate::metrics`]) into `sink`.
+/// Passing `&()` selects the no-op sink and compiles to exactly
+/// [`first_fit`].
+pub fn first_fit_with<A: AdmissionTest, S: MetricsSink>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    alpha: Augmentation,
+    admission: &A,
+    sink: &S,
+) -> Outcome {
     let task_order = tasks.order_by_decreasing_utilization();
     let machine_order = platform.order_by_increasing_speed();
-    first_fit_ordered(tasks, platform, alpha, admission, &task_order, &machine_order)
+    first_fit_ordered_with(
+        tasks,
+        platform,
+        alpha,
+        admission,
+        &task_order,
+        &machine_order,
+        sink,
+    )
 }
 
 /// First-fit over explicit task/machine orders (the paper's algorithm uses
@@ -62,6 +86,30 @@ pub fn first_fit_ordered<A: AdmissionTest>(
     task_order: &[usize],
     machine_order: &[usize],
 ) -> Outcome {
+    first_fit_ordered_with(
+        tasks,
+        platform,
+        alpha,
+        admission,
+        task_order,
+        machine_order,
+        &(),
+    )
+}
+
+/// [`first_fit_ordered`] with metrics (see [`first_fit_with`]). The hot
+/// loop accumulates counts into locals and flushes once at the end, so an
+/// enabled sink adds a handful of map operations per *run*, not per check.
+#[allow(clippy::too_many_arguments)]
+pub fn first_fit_ordered_with<A: AdmissionTest, S: MetricsSink>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    alpha: Augmentation,
+    admission: &A,
+    task_order: &[usize],
+    machine_order: &[usize],
+    sink: &S,
+) -> Outcome {
     debug_assert_eq!(task_order.len(), tasks.len());
     debug_assert_eq!(machine_order.len(), platform.len());
     let alpha = alpha.factor();
@@ -75,11 +123,23 @@ pub fn first_fit_ordered<A: AdmissionTest>(
         .map(|_| admission.empty_state())
         .collect();
 
+    let flush = |checks: u64, placed: u64| {
+        if S::ENABLED {
+            sink.counter_add(metrics::FF_ADMISSION_CHECKS, checks);
+            sink.counter_add(metrics::FF_MACHINES_VISITED, checks);
+            sink.counter_add(metrics::FF_PLACED, placed);
+        }
+    };
+
+    let mut checks = 0u64;
+    let mut placed_count = 0u64;
     let mut assignment = Assignment::new(tasks.len(), platform.len());
     for &ti in task_order {
         let task = &tasks[ti];
         let mut placed = false;
+        let mut task_checks = 0u64;
         for (slot, &mi) in machine_order.iter().enumerate() {
+            task_checks += 1;
             if let Some(next) = admission.admit(&states[slot], task, speeds[slot]) {
                 states[slot] = next;
                 assignment.assign(ti, mi);
@@ -87,14 +147,21 @@ pub fn first_fit_ordered<A: AdmissionTest>(
                 break;
             }
         }
+        if S::ENABLED {
+            checks += task_checks;
+            sink.observe(metrics::FF_CHECKS_PER_TASK, task_checks);
+        }
         if !placed {
+            flush(checks, placed_count);
             return Outcome::Infeasible(FailureWitness {
                 failing_task: ti,
                 failing_utilization: task.utilization(),
                 partial: assignment,
             });
         }
+        placed_count += 1;
     }
+    flush(checks, placed_count);
     Outcome::Feasible(assignment)
 }
 
@@ -119,19 +186,37 @@ pub fn min_feasible_alpha<A: AdmissionTest>(
     hi: f64,
     tol: f64,
 ) -> Option<f64> {
+    min_feasible_alpha_with(tasks, platform, admission, hi, tol, &())
+}
+
+/// [`min_feasible_alpha`] with metrics: each first-fit probe adds one to
+/// `alpha.probes` (and emits its own `ff.*` counts into `sink`), and each
+/// bisection halving adds one to `alpha.bisect_iters`.
+pub fn min_feasible_alpha_with<A: AdmissionTest, S: MetricsSink>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    admission: &A,
+    hi: f64,
+    tol: f64,
+    sink: &S,
+) -> Option<f64> {
     if !hi.is_finite() || hi < 1.0 || !tol.is_finite() || tol <= 0.0 {
         return None;
     }
     let task_order = tasks.order_by_decreasing_utilization();
     let machine_order = platform.order_by_increasing_speed();
     let accepts = |alpha: f64| {
-        first_fit_ordered(
+        if S::ENABLED {
+            sink.counter_add(metrics::ALPHA_PROBES, 1);
+        }
+        first_fit_ordered_with(
             tasks,
             platform,
             Augmentation::new(alpha).expect("alpha ∈ [1, hi], finite"),
             admission,
             &task_order,
             &machine_order,
+            sink,
         )
         .is_feasible()
     };
@@ -142,13 +227,18 @@ pub fn min_feasible_alpha<A: AdmissionTest>(
         return None;
     }
     let (mut lo, mut hi) = (1.0, hi);
+    let mut iters = 0u64;
     while hi - lo > tol {
+        iters += 1;
         let mid = 0.5 * (lo + hi);
         if accepts(mid) {
             hi = mid;
         } else {
             lo = mid;
         }
+    }
+    if S::ENABLED {
+        sink.counter_add(metrics::ALPHA_BISECT_ITERS, iters);
     }
     Some(hi)
 }
@@ -204,13 +294,9 @@ mod tests {
         let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
         let p = platform(&[1, 1]);
         assert!(!first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission).is_feasible());
-        assert!(first_fit(
-            &tasks,
-            &p,
-            Augmentation::EDF_VS_PARTITIONED,
-            &EdfAdmission
-        )
-        .is_feasible());
+        assert!(
+            first_fit(&tasks, &p, Augmentation::EDF_VS_PARTITIONED, &EdfAdmission).is_feasible()
+        );
     }
 
     #[test]
@@ -220,12 +306,7 @@ mod tests {
         let out = first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission);
         assert_eq!(out.witness().unwrap().failing_task, 0);
         // Speed augmentation 1.5 makes the fast machine speed 3 — fits.
-        let out = first_fit(
-            &tasks,
-            &p,
-            Augmentation::new(1.5).unwrap(),
-            &EdfAdmission,
-        );
+        let out = first_fit(&tasks, &p, Augmentation::new(1.5).unwrap(), &EdfAdmission);
         assert!(out.is_feasible());
     }
 
@@ -277,7 +358,10 @@ mod tests {
     fn min_alpha_rejects_invalid_searches_without_panicking() {
         let tasks = TaskSet::from_pairs([(8, 10)]).unwrap();
         let p = platform(&[1]);
-        assert_eq!(min_feasible_alpha(&tasks, &p, &EdfAdmission, 0.5, 1e-6), None);
+        assert_eq!(
+            min_feasible_alpha(&tasks, &p, &EdfAdmission, 0.5, 1e-6),
+            None
+        );
         assert_eq!(
             min_feasible_alpha(&tasks, &p, &EdfAdmission, f64::NAN, 1e-6),
             None
@@ -286,7 +370,10 @@ mod tests {
             min_feasible_alpha(&tasks, &p, &EdfAdmission, 4.0, f64::NAN),
             None
         );
-        assert_eq!(min_feasible_alpha(&tasks, &p, &EdfAdmission, 4.0, 0.0), None);
+        assert_eq!(
+            min_feasible_alpha(&tasks, &p, &EdfAdmission, 4.0, 0.0),
+            None
+        );
         assert_eq!(
             min_feasible_alpha(&tasks, &p, &EdfAdmission, f64::INFINITY, 1e-6),
             None

@@ -2,15 +2,19 @@
 //! E6 measurement.
 //!
 //! Wall-clock timing of the O(n·m) claim is noisy and machine-dependent;
-//! counting admission checks is neither. [`first_fit_instrumented`] runs
-//! the identical algorithm while tallying every admission attempt and
-//! machine visit, so the `checks ≤ n·m` bound (and the typical-case
-//! behaviour far below it) can be asserted in tests and reported in
-//! tables.
+//! counting admission checks is neither. [`first_fit_instrumented`] is a
+//! thin adapter: it runs [`crate::first_fit_with`] against a
+//! [`MemorySink`] and reads the `ff.*` counters (see [`crate::metrics`])
+//! back into the flat [`ScanStats`] struct, so the `checks ≤ n·m` bound
+//! (and the typical-case behaviour far below it) can be asserted in tests
+//! and reported in tables without touching the sink API.
 
 use crate::admission::AdmissionTest;
-use crate::assignment::{Assignment, FailureWitness, Outcome};
+use crate::assignment::Outcome;
+use crate::first_fit::first_fit_with;
+use crate::metrics;
 use hetfeas_model::{Augmentation, Platform, TaskSet};
+use hetfeas_obs::MemorySink;
 
 /// Exact work counters for one first-fit run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -31,6 +35,18 @@ impl ScanStats {
     }
 }
 
+impl ScanStats {
+    /// Read the `ff.*` counters out of a sink that observed one or more
+    /// first-fit runs.
+    pub fn from_sink(sink: &MemorySink) -> ScanStats {
+        ScanStats {
+            admission_checks: sink.counter(metrics::FF_ADMISSION_CHECKS),
+            placed: sink.counter(metrics::FF_PLACED),
+            machines_visited: sink.counter(metrics::FF_MACHINES_VISITED),
+        }
+    }
+}
+
 /// [`crate::first_fit()`] plus exact operation counts.
 pub fn first_fit_instrumented<A: AdmissionTest>(
     tasks: &TaskSet,
@@ -38,46 +54,9 @@ pub fn first_fit_instrumented<A: AdmissionTest>(
     alpha: Augmentation,
     admission: &A,
 ) -> (Outcome, ScanStats) {
-    let task_order = tasks.order_by_decreasing_utilization();
-    let machine_order = platform.order_by_increasing_speed();
-    let alpha = alpha.factor();
-
-    let speeds: Vec<f64> = machine_order
-        .iter()
-        .map(|&m| alpha * platform.speed_f64(m))
-        .collect();
-    let mut states: Vec<A::State> = (0..platform.len())
-        .map(|_| admission.empty_state())
-        .collect();
-    let mut assignment = Assignment::new(tasks.len(), platform.len());
-    let mut stats = ScanStats::default();
-
-    for &ti in &task_order {
-        let task = &tasks[ti];
-        let mut placed = false;
-        for (slot, &mi) in machine_order.iter().enumerate() {
-            stats.admission_checks += 1;
-            stats.machines_visited += 1;
-            if let Some(next) = admission.admit(&states[slot], task, speeds[slot]) {
-                states[slot] = next;
-                assignment.assign(ti, mi);
-                stats.placed += 1;
-                placed = true;
-                break;
-            }
-        }
-        if !placed {
-            return (
-                Outcome::Infeasible(FailureWitness {
-                    failing_task: ti,
-                    failing_utilization: task.utilization(),
-                    partial: assignment,
-                }),
-                stats,
-            );
-        }
-    }
-    (Outcome::Feasible(assignment), stats)
+    let sink = MemorySink::new();
+    let outcome = first_fit_with(tasks, platform, alpha, admission, &sink);
+    (outcome, ScanStats::from_sink(&sink))
 }
 
 #[cfg(test)]

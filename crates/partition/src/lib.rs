@@ -21,6 +21,10 @@
 //!   factor α* (experiments E1–E4).
 //! * [`engine`] — [`FirstFitEngine`], the indexed `O((n+m)·log m)` version
 //!   of the §III scan with reusable workspaces and a warm-started α-search.
+//! * [`metrics`] — metric names for the instrumented paths (`ff.*`,
+//!   `engine.*`, `alpha.*`). Every hot-path entry point has a `_with`
+//!   variant generic over [`hetfeas_obs::MetricsSink`]; passing `&()`
+//!   compiles the instrumentation away entirely.
 
 #![warn(missing_docs)]
 
@@ -33,6 +37,7 @@ pub mod exact_rational;
 pub mod first_fit;
 pub mod instrumented;
 pub mod lp_rounding;
+pub mod metrics;
 pub mod splitting;
 pub mod variants;
 
@@ -45,7 +50,10 @@ pub use constrained::{DemandState, DensityAdmission, EdfDemandAdmission};
 pub use engine::{FirstFitEngine, IndexableAdmission};
 pub use exact::{exact_partition, exact_partition_edf, exact_partition_rms, ExactOutcome};
 pub use exact_rational::exact_partition_edf_rational;
-pub use first_fit::{first_fit, first_fit_ordered, min_feasible_alpha};
+pub use first_fit::{
+    first_fit, first_fit_ordered, first_fit_ordered_with, first_fit_with, min_feasible_alpha,
+    min_feasible_alpha_with,
+};
 pub use instrumented::{first_fit_instrumented, ScanStats};
 pub use lp_rounding::lp_rounding_partition;
 pub use splitting::{semi_partition, Placement, SplitOutcome};

@@ -1,0 +1,49 @@
+//! Metric names emitted by this crate's instrumented paths.
+//!
+//! Names live in a dotted namespace, grouped by emitter:
+//!
+//! * `ff.*` — the §III first-fit scan, in *reference-scan units*: one
+//!   admission check per machine slot visited. The indexed engine emits
+//!   the **same** `ff.*` numbers (derived from its byte-identical
+//!   placement sequence: a task placed at scan slot `s` costs `s + 1`
+//!   reference checks, a failing task costs `m`), so reports are
+//!   comparable across the two paths and the differential tests in
+//!   `tests/prop_engine.rs` can assert exact equality.
+//! * `engine.*` — the indexed engine's *actual* work: segment-tree
+//!   descents, exact admission re-checks, and re-verification misses
+//!   (candidates the relaxed hint admitted but the exact predicate
+//!   rejected).
+//! * `alpha.*` — α-search probe counts for both the cold bisection
+//!   ([`crate::min_feasible_alpha`]) and the engine's warm-started
+//!   bracket + bisection search.
+//!
+//! All counters are cheap to emit: the hot loops accumulate into locals
+//! and flush once per run, guarded on [`MetricsSink::ENABLED`] so the
+//! no-op sink costs nothing.
+//!
+//! [`MetricsSink::ENABLED`]: hetfeas_obs::MetricsSink::ENABLED
+
+/// Admission-test invocations in reference-scan units (counter).
+pub const FF_ADMISSION_CHECKS: &str = "ff.admission_checks";
+/// Tasks placed successfully (counter).
+pub const FF_PLACED: &str = "ff.placed";
+/// Machine slots visited; equals [`FF_ADMISSION_CHECKS`] for first-fit
+/// (counter, kept separate for future strategies).
+pub const FF_MACHINES_VISITED: &str = "ff.machines_visited";
+/// Reference-scan checks needed per task (log2 histogram).
+pub const FF_CHECKS_PER_TASK: &str = "ff.checks_per_task";
+
+/// Segment-tree descend-left queries issued by the engine (counter).
+pub const ENGINE_TREE_DESCENTS: &str = "engine.tree_descents";
+/// Exact admission re-checks of tree candidates (counter).
+pub const ENGINE_EXACT_CHECKS: &str = "engine.exact_checks";
+/// Candidates the relaxed hint offered but the exact predicate rejected
+/// (counter; should stay near zero — each miss is one wasted re-check).
+pub const ENGINE_REVERIFY_MISSES: &str = "engine.reverify_misses";
+
+/// First-fit probes issued by an α-search, all phases (counter).
+pub const ALPHA_PROBES: &str = "alpha.probes";
+/// Probes spent bracketing α* in the engine's galloping phase (counter).
+pub const ALPHA_BRACKET_PROBES: &str = "alpha.bracket_probes";
+/// Bisection iterations after the bracket (counter).
+pub const ALPHA_BISECT_ITERS: &str = "alpha.bisect_iters";

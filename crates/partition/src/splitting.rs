@@ -23,9 +23,9 @@
 //! machine admits a task whole, try all two-machine splits over a budget
 //! grid, keeping the first that both target machines admit.
 
+use crate::admission::AdmissionTest;
 use crate::assignment::FailureWitness;
 use crate::constrained::EdfDemandAdmission;
-use crate::admission::AdmissionTest;
 use hetfeas_model::{Augmentation, Platform, Task, TaskSet};
 
 /// Where (part of) a task ended up.
@@ -63,9 +63,11 @@ impl SplitOutcome {
     /// Number of split tasks, if feasible.
     pub fn splits(&self) -> Option<usize> {
         match self {
-            SplitOutcome::Feasible(p) => {
-                Some(p.iter().filter(|x| matches!(x, Placement::Split { .. })).count())
-            }
+            SplitOutcome::Feasible(p) => Some(
+                p.iter()
+                    .filter(|x| matches!(x, Placement::Split { .. }))
+                    .count(),
+            ),
             SplitOutcome::Infeasible(_) => None,
         }
     }
@@ -110,11 +112,7 @@ fn split_pieces(task: &Task, num: u64, den: u64) -> Option<(Task, Task)> {
 /// assert!(semi.is_feasible());
 /// assert!(semi.splits().unwrap() >= 1);
 /// ```
-pub fn semi_partition(
-    tasks: &TaskSet,
-    platform: &Platform,
-    alpha: Augmentation,
-) -> SplitOutcome {
+pub fn semi_partition(tasks: &TaskSet, platform: &Platform, alpha: Augmentation) -> SplitOutcome {
     let admission = EdfDemandAdmission;
     let task_order = tasks.order_by_decreasing_utilization();
     let machine_order = platform.order_by_increasing_speed();
@@ -141,7 +139,9 @@ pub fn semi_partition(
         // 2. Split fallback over a budget grid, first-fit over ordered
         //    machine pairs (a ≠ b).
         for num in 1..8u64 {
-            let Some((piece1, piece2)) = split_pieces(task, num, 8) else { continue };
+            let Some((piece1, piece2)) = split_pieces(task, num, 8) else {
+                continue;
+            };
             for (sa, &ma) in machine_order.iter().enumerate() {
                 let Some(state_a) = admission.admit(&states[sa], &piece1, speeds[sa]) else {
                     continue;
@@ -178,7 +178,10 @@ pub fn semi_partition(
         });
     }
     SplitOutcome::Feasible(
-        placements.into_iter().map(|p| p.expect("all tasks placed")).collect(),
+        placements
+            .into_iter()
+            .map(|p| p.expect("all tasks placed"))
+            .collect(),
     )
 }
 
@@ -226,7 +229,10 @@ mod tests {
         let platform = Platform::identical(2).unwrap();
         assert!(!first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission).is_feasible());
         let out = semi_partition(&tasks, &platform, Augmentation::NONE);
-        assert!(out.is_feasible(), "splitting must rescue the pigeonhole: {out:?}");
+        assert!(
+            out.is_feasible(),
+            "splitting must rescue the pigeonhole: {out:?}"
+        );
         assert!(out.splits().unwrap() >= 1);
     }
 
@@ -274,13 +280,12 @@ mod tests {
     }
 
     #[test]
-    fn semi_never_accepts_lp_infeasible(
-    ) {
+    fn semi_never_accepts_lp_infeasible() {
         // Spot-check: splitting stays within the migrative envelope.
         let platform = Platform::from_int_speeds([1, 2]).unwrap();
         for pairs in [
-            vec![(19u64, 10u64), (19, 10)],      // two 1.9s: prefix-2 gives 3.8 > 3
-            vec![(25, 10)],                      // 2.5 > fastest speed 2
+            vec![(19u64, 10u64), (19, 10)], // two 1.9s: prefix-2 gives 3.8 > 3
+            vec![(25, 10)],                 // 2.5 > fastest speed 2
         ] {
             let tasks = TaskSet::from_pairs(pairs).unwrap();
             assert!(!hetfeas_lp::lp_feasible(&tasks, &platform));

@@ -228,8 +228,14 @@ mod tests {
     #[test]
     fn orders_materialize_correct_permutations() {
         let (tasks, p) = setup();
-        assert_eq!(TaskOrder::DecreasingUtilization.order(&tasks), vec![0, 1, 2, 3]);
-        assert_eq!(TaskOrder::IncreasingUtilization.order(&tasks), vec![3, 2, 1, 0]);
+        assert_eq!(
+            TaskOrder::DecreasingUtilization.order(&tasks),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(
+            TaskOrder::IncreasingUtilization.order(&tasks),
+            vec![3, 2, 1, 0]
+        );
         assert_eq!(TaskOrder::AsGiven.order(&tasks), vec![0, 1, 2, 3]);
         assert_eq!(MachineOrder::IncreasingSpeed.order(&p), vec![0, 1]);
         assert_eq!(MachineOrder::DecreasingSpeed.order(&p), vec![1, 0]);
@@ -245,7 +251,10 @@ mod tests {
             &p,
             Augmentation::NONE,
             &EdfAdmission,
-            HeuristicConfig { fit: FitStrategy::BestFit, ..HeuristicConfig::PAPER },
+            HeuristicConfig {
+                fit: FitStrategy::BestFit,
+                ..HeuristicConfig::PAPER
+            },
         );
         let a = bf.assignment().unwrap();
         assert_eq!(a.machine_of(0), a.machine_of(1), "best-fit packs together");
@@ -255,7 +264,10 @@ mod tests {
             &p,
             Augmentation::NONE,
             &EdfAdmission,
-            HeuristicConfig { fit: FitStrategy::WorstFit, ..HeuristicConfig::PAPER },
+            HeuristicConfig {
+                fit: FitStrategy::WorstFit,
+                ..HeuristicConfig::PAPER
+            },
         );
         let a = wf.assignment().unwrap();
         assert_ne!(a.machine_of(0), a.machine_of(1), "worst-fit spreads");
@@ -296,7 +308,10 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(HeuristicConfig::PAPER.label(), "dec-util/inc-speed/first-fit");
+        assert_eq!(
+            HeuristicConfig::PAPER.label(),
+            "dec-util/inc-speed/first-fit"
+        );
         assert_eq!(FitStrategy::BestFit.name(), "best-fit");
         assert_eq!(TaskOrder::AsGiven.name(), "as-given");
         assert_eq!(MachineOrder::DecreasingSpeed.name(), "dec-speed");

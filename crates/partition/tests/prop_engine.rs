@@ -3,14 +3,18 @@
 //! witnesses, hence identical tie-breaking), across admissions and α.
 
 use hetfeas_model::{Augmentation, Platform, Task, TaskSet};
+use hetfeas_obs::MemorySink;
 use hetfeas_partition::{
-    first_fit, min_feasible_alpha, EdfAdmission, FirstFitEngine, RmsHyperbolicAdmission,
-    RmsLlAdmission,
+    first_fit, first_fit_instrumented, first_fit_with, metrics, min_feasible_alpha, EdfAdmission,
+    FirstFitEngine, RmsHyperbolicAdmission, RmsLlAdmission, ScanStats,
 };
 use proptest::prelude::*;
 
 fn menu_task() -> impl Strategy<Value = Task> {
-    (1u64..=60, prop::sample::select(vec![10u64, 20, 25, 40, 50, 100]))
+    (
+        1u64..=60,
+        prop::sample::select(vec![10u64, 20, 25, 40, 50, 100]),
+    )
         .prop_map(|(c, p)| Task::implicit(c, p).unwrap())
 }
 
@@ -19,8 +23,7 @@ fn small_set(max: usize) -> impl Strategy<Value = TaskSet> {
 }
 
 fn small_platform() -> impl Strategy<Value = Platform> {
-    prop::collection::vec(1u64..=6, 1..5)
-        .prop_map(|s| Platform::from_int_speeds(s).unwrap())
+    prop::collection::vec(1u64..=6, 1..5).prop_map(|s| Platform::from_int_speeds(s).unwrap())
 }
 
 fn alpha() -> impl Strategy<Value = Augmentation> {
@@ -82,6 +85,38 @@ proptest! {
         let mut warmed = FirstFitEngine::new(EdfAdmission);
         warmed.run(&warmup, &wp, a);
         prop_assert_eq!(warmed.run(&ts, &p, a), expected);
+    }
+
+    // Differential counter test: the instrumented scan, a plain scan run
+    // against a MemorySink, and the indexed engine (whose ff.* counters are
+    // derived scan-equivalently from its placements) must all report the
+    // same admission_checks / placed / machines_visited on the same
+    // instance — and of course the same outcome.
+    #[test]
+    fn counters_agree_across_implementations(
+        ts in small_set(16),
+        p in small_platform(),
+        a in alpha(),
+    ) {
+        let (ref_out, ref_stats) = first_fit_instrumented(&ts, &p, a, &EdfAdmission);
+
+        let scan_sink = MemorySink::new();
+        let scan_out = first_fit_with(&ts, &p, a, &EdfAdmission, &scan_sink);
+        prop_assert_eq!(&scan_out, &ref_out);
+        prop_assert_eq!(ScanStats::from_sink(&scan_sink), ref_stats);
+
+        let engine_sink = MemorySink::new();
+        let mut engine = FirstFitEngine::new(EdfAdmission);
+        let engine_out = engine.run_with(&ts, &p, a, &engine_sink);
+        prop_assert_eq!(&engine_out, &ref_out);
+        prop_assert_eq!(ScanStats::from_sink(&engine_sink), ref_stats);
+
+        // The engine's own work counters stay within the scan's budget:
+        // every exact check corresponds to at most one reference check.
+        prop_assert!(
+            engine_sink.counter(metrics::ENGINE_EXACT_CHECKS) <= ref_stats.admission_checks,
+            "engine did more exact checks than the scan on {} / {} at {}", ts, p, a
+        );
     }
 
     // Warm-started α-search agrees with the reference bisection up to the

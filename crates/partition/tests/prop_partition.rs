@@ -11,7 +11,10 @@ use hetfeas_partition::{
 use proptest::prelude::*;
 
 fn menu_task() -> impl Strategy<Value = Task> {
-    (1u64..=60, prop::sample::select(vec![10u64, 20, 25, 40, 50, 100]))
+    (
+        1u64..=60,
+        prop::sample::select(vec![10u64, 20, 25, 40, 50, 100]),
+    )
         .prop_map(|(c, p)| Task::implicit(c, p).unwrap())
 }
 
@@ -20,8 +23,7 @@ fn small_set(max: usize) -> impl Strategy<Value = TaskSet> {
 }
 
 fn small_platform() -> impl Strategy<Value = Platform> {
-    prop::collection::vec(1u64..=6, 1..5)
-        .prop_map(|s| Platform::from_int_speeds(s).unwrap())
+    prop::collection::vec(1u64..=6, 1..5).prop_map(|s| Platform::from_int_speeds(s).unwrap())
 }
 
 fn alpha() -> impl Strategy<Value = Augmentation> {

@@ -33,7 +33,10 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { record_trace: false, max_recorded_misses: 64 }
+        EngineConfig {
+            record_trace: false,
+            max_recorded_misses: 64,
+        }
     }
 }
 
@@ -116,7 +119,11 @@ pub fn run(
                 Some(TraceSegment { end, task, .. }) if *end == t && *task == jobs[id].task => {
                     *end = run_until;
                 }
-                _ => trace.push(TraceSegment { start: t, end: run_until, task: jobs[id].task }),
+                _ => trace.push(TraceSegment {
+                    start: t,
+                    end: run_until,
+                    task: jobs[id].task,
+                }),
             }
         }
         t = run_until;
@@ -157,7 +164,12 @@ mod tests {
     use super::*;
 
     fn j(task: usize, release: u64, deadline: u64, work: u64) -> Job {
-        Job { task, release, deadline, work }
+        Job {
+            task,
+            release,
+            deadline,
+            work,
+        }
     }
 
     fn run_edf(jobs: &[Job]) -> (SimReport, Vec<TraceSegment>) {
@@ -165,7 +177,10 @@ mod tests {
             jobs,
             SchedPolicy::Edf,
             &[],
-            EngineConfig { record_trace: true, max_recorded_misses: 64 },
+            EngineConfig {
+                record_trace: true,
+                max_recorded_misses: 64,
+            },
         )
     }
 
@@ -176,7 +191,14 @@ mod tests {
         assert!(r.all_deadlines_met());
         assert_eq!(r.busy_time, 4);
         assert_eq!(r.max_lateness, Some(-6));
-        assert_eq!(trace, vec![TraceSegment { start: 0, end: 4, task: 0 }]);
+        assert_eq!(
+            trace,
+            vec![TraceSegment {
+                start: 0,
+                end: 4,
+                task: 0
+            }]
+        );
     }
 
     #[test]
@@ -190,9 +212,21 @@ mod tests {
         assert_eq!(
             trace,
             vec![
-                TraceSegment { start: 0, end: 2, task: 0 },
-                TraceSegment { start: 2, end: 5, task: 1 },
-                TraceSegment { start: 5, end: 13, task: 0 },
+                TraceSegment {
+                    start: 0,
+                    end: 2,
+                    task: 0
+                },
+                TraceSegment {
+                    start: 2,
+                    end: 5,
+                    task: 1
+                },
+                TraceSegment {
+                    start: 5,
+                    end: 13,
+                    task: 0
+                },
             ]
         );
     }
@@ -206,7 +240,10 @@ mod tests {
             &jobs,
             SchedPolicy::RateMonotonic,
             &ranks,
-            EngineConfig { record_trace: true, max_recorded_misses: 8 },
+            EngineConfig {
+                record_trace: true,
+                max_recorded_misses: 8,
+            },
         );
         // Task 1 waits for task 0 → finishes at 13 > 6: one miss.
         assert_eq!(r.miss_count, 1);
@@ -242,7 +279,10 @@ mod tests {
             &jobs,
             SchedPolicy::Edf,
             &[],
-            EngineConfig { record_trace: false, max_recorded_misses: 3 },
+            EngineConfig {
+                record_trace: false,
+                max_recorded_misses: 3,
+            },
         );
         assert_eq!(r.miss_count, 10);
         assert_eq!(r.misses.len(), 3);
@@ -267,8 +307,16 @@ mod tests {
         assert_eq!(
             trace,
             vec![
-                TraceSegment { start: 0, end: 4, task: 0 },
-                TraceSegment { start: 4, end: 5, task: 1 },
+                TraceSegment {
+                    start: 0,
+                    end: 4,
+                    task: 0
+                },
+                TraceSegment {
+                    start: 4,
+                    end: 5,
+                    task: 1
+                },
             ]
         );
     }

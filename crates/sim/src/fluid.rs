@@ -68,7 +68,9 @@ impl LevelRun {
 /// Sorted (descending) view of current levels as groups of equal value.
 /// Returns `(level, member job indices)` for non-zero levels.
 fn groups_desc(levels: &[Ratio]) -> Vec<(Ratio, Vec<usize>)> {
-    let mut idx: Vec<usize> = (0..levels.len()).filter(|&i| !levels[i].is_zero()).collect();
+    let mut idx: Vec<usize> = (0..levels.len())
+        .filter(|&i| !levels[i].is_zero())
+        .collect();
     idx.sort_by(|&a, &b| levels[b].cmp(&levels[a]).then(a.cmp(&b)));
     let mut out: Vec<(Ratio, Vec<usize>)> = Vec::new();
     for i in idx {
@@ -100,8 +102,14 @@ fn groups_desc(levels: &[Ratio]) -> Vec<(Ratio, Vec<usize>)> {
 /// are O(n) events, each O(n log n) — comfortably fast for the workloads
 /// here.
 pub fn run_level_algorithm(demands: &[Ratio], speeds: &[Ratio], window: Ratio) -> LevelRun {
-    assert!(demands.iter().all(|d| *d >= Ratio::ZERO), "demands must be non-negative");
-    assert!(speeds.iter().all(|s| *s > Ratio::ZERO), "speeds must be positive");
+    assert!(
+        demands.iter().all(|d| *d >= Ratio::ZERO),
+        "demands must be non-negative"
+    );
+    assert!(
+        speeds.iter().all(|s| *s > Ratio::ZERO),
+        "speeds must be positive"
+    );
     assert!(window >= Ratio::ZERO);
 
     let mut speeds_desc: Vec<Ratio> = speeds.to_vec();
@@ -122,12 +130,7 @@ pub fn run_level_algorithm(demands: &[Ratio], speeds: &[Ratio], window: Ratio) -
         let mut pos = 0usize;
         for (_, members) in &groups {
             let len = members.len();
-            let agg: Ratio = speeds_desc
-                .iter()
-                .skip(pos)
-                .take(len)
-                .copied()
-                .sum();
+            let agg: Ratio = speeds_desc.iter().skip(pos).take(len).copied().sum();
             rates.push(agg / Ratio::from_integer(len as i128));
             pos += len;
         }
@@ -165,12 +168,19 @@ pub fn run_level_algorithm(demands: &[Ratio], speeds: &[Ratio], window: Ratio) -
             }
             slice_groups.push((members.clone(), rates[g]));
         }
-        slices.push(FluidSlice { duration: dt, groups: slice_groups });
+        slices.push(FluidSlice {
+            duration: dt,
+            groups: slice_groups,
+        });
         elapsed += dt;
     }
 
     let completed = levels.iter().all(Ratio::is_zero);
-    LevelRun { completed, remaining: levels, slices }
+    LevelRun {
+        completed,
+        remaining: levels,
+        slices,
+    }
 }
 
 /// Convenience: can the migrative level scheduler complete utilization-

@@ -61,7 +61,10 @@ pub fn render_gantt(trace: &[TraceSegment], horizon: u64, width: usize) -> Strin
     }
     let glyph = |task: usize| -> char {
         let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
-        alphabet.chars().nth(task % alphabet.len()).expect("non-empty alphabet")
+        alphabet
+            .chars()
+            .nth(task % alphabet.len())
+            .expect("non-empty alphabet")
     };
     let mut out = String::new();
     for task in 0..n_tasks {
@@ -139,14 +142,27 @@ mod tests {
         use crate::job::Job;
         use crate::policy::SchedPolicy;
         let jobs = [
-            Job { task: 0, release: 0, deadline: 100, work: 10 },
-            Job { task: 1, release: 2, deadline: 6, work: 3 },
+            Job {
+                task: 0,
+                release: 0,
+                deadline: 100,
+                work: 10,
+            },
+            Job {
+                task: 1,
+                release: 2,
+                deadline: 6,
+                work: 3,
+            },
         ];
         let (_, trace) = run(
             &jobs,
             SchedPolicy::Edf,
             &[],
-            EngineConfig { record_trace: true, max_recorded_misses: 8 },
+            EngineConfig {
+                record_trace: true,
+                max_recorded_misses: 8,
+            },
         );
         let stats = per_task_stats(&trace);
         assert_eq!(stats[0].execution, 10);

@@ -91,7 +91,11 @@ pub fn simulate_global_edf(
         }
 
         // Advance to the next event.
-        let min_remaining = running.iter().map(|&id| remaining[id]).min().expect("non-empty");
+        let min_remaining = running
+            .iter()
+            .map(|&id| remaining[id])
+            .min()
+            .expect("non-empty");
         let mut dt = min_remaining;
         if let Some(j) = jobs.get(next_release) {
             dt = dt.min(j.release - t);
@@ -171,7 +175,10 @@ mod tests {
         // full-utilization task has no slack to give.
         let ts = TaskSet::from_pairs([(1, 10), (1, 10), (12, 12)]).unwrap();
         let r = simulate_global_edf(&ts, 2, ReleasePattern::Periodic, 60);
-        assert!(!r.all_deadlines_met(), "Dhall instance must miss under global EDF");
+        assert!(
+            !r.all_deadlines_met(),
+            "Dhall instance must miss under global EDF"
+        );
         assert_eq!(r.misses[0].task, 2, "the heavy task misses");
         // The same set is trivially partitioned-feasible: heavy task alone
         // on one machine (12/12 = 1), both light tasks on the other (0.2).

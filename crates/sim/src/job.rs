@@ -4,7 +4,7 @@
 //! `num/den`, real ticks are multiplied by `num` and work units by `den`,
 //! so one scaled work unit takes exactly one scaled tick — every schedule
 //! event lands on an integer and the simulation is exact (see `DESIGN.md`
-//! §7).
+//! §8).
 
 /// One job instance released by a task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,7 +105,12 @@ mod tests {
         let mut a = SimReport {
             jobs_completed: 2,
             miss_count: 1,
-            misses: vec![MissRecord { task: 0, release: 0, deadline: 5, completion: 7 }],
+            misses: vec![MissRecord {
+                task: 0,
+                release: 0,
+                deadline: 5,
+                completion: 7,
+            }],
             busy_time: 10,
             idle_time: 1,
             max_lateness: Some(2),

@@ -33,8 +33,8 @@ pub mod source;
 
 pub use engine::{EngineConfig, TraceSegment};
 pub use fluid::{level_schedulable, run_level_algorithm, FluidSlice, LevelRun};
-pub use global_edf::simulate_global_edf;
 pub use gantt::{observed_utilization, per_task_stats, render_gantt, TaskTraceStats};
+pub use global_edf::simulate_global_edf;
 pub use job::{Job, MissRecord, SimReport};
 pub use machine::{scaled_jobs, simulate_machine, simulate_machine_traced, validation_horizon};
 pub use partition_sim::{simulate_partition, validate_assignment};

@@ -10,7 +10,7 @@ use hetfeas_model::{ModelError, Ratio, TaskSet};
 /// `horizon` (unscaled ticks, exclusive on releases).
 ///
 /// Scaling: times × `num`, work × `den` — one scaled work unit then takes
-/// exactly one scaled tick (`DESIGN.md` §7).
+/// exactly one scaled tick (`DESIGN.md` §8).
 pub fn scaled_jobs(
     tasks: &TaskSet,
     speed: Ratio,
@@ -21,7 +21,8 @@ pub fn scaled_jobs(
         return Err(ModelError::NonPositiveSpeed);
     }
     let num = u64::try_from(speed.numer()).map_err(|_| ModelError::Overflow("speed numerator"))?;
-    let den = u64::try_from(speed.denom()).map_err(|_| ModelError::Overflow("speed denominator"))?;
+    let den =
+        u64::try_from(speed.denom()).map_err(|_| ModelError::Overflow("speed denominator"))?;
     let mut jobs = Vec::new();
     for (task, release) in releases(tasks, pattern, horizon) {
         let t = &tasks[task];
@@ -39,7 +40,12 @@ pub fn scaled_jobs(
             .wcet()
             .checked_mul(den)
             .ok_or(ModelError::Overflow("scaled work"))?;
-        jobs.push(Job { task, release, deadline, work });
+        jobs.push(Job {
+            task,
+            release,
+            deadline,
+            work,
+        });
     }
     Ok(jobs)
 }
@@ -110,8 +116,14 @@ mod tests {
         // util exactly 1.0 on a unit machine.
         let ts = TaskSet::from_pairs([(1, 2), (1, 3), (1, 6)]).unwrap();
         let h = validation_horizon(&ts).unwrap();
-        let r = simulate_machine(&ts, Ratio::ONE, SchedPolicy::Edf, ReleasePattern::Periodic, h)
-            .unwrap();
+        let r = simulate_machine(
+            &ts,
+            Ratio::ONE,
+            SchedPolicy::Edf,
+            ReleasePattern::Periodic,
+            h,
+        )
+        .unwrap();
         assert!(r.all_deadlines_met(), "misses: {:?}", r.misses);
         // The machine is saturated: no idle time inside the horizon.
         assert_eq!(r.idle_time, 0);
@@ -120,8 +132,14 @@ mod tests {
     #[test]
     fn overload_misses_under_edf() {
         let ts = TaskSet::from_pairs([(2, 3), (2, 4)]).unwrap(); // util ≈ 1.17
-        let r = simulate_machine(&ts, Ratio::ONE, SchedPolicy::Edf, ReleasePattern::Periodic, 24)
-            .unwrap();
+        let r = simulate_machine(
+            &ts,
+            Ratio::ONE,
+            SchedPolicy::Edf,
+            ReleasePattern::Periodic,
+            24,
+        )
+        .unwrap();
         assert!(!r.all_deadlines_met());
     }
 
@@ -139,7 +157,7 @@ mod tests {
         .unwrap();
         assert!(r.all_deadlines_met());
         assert_eq!(r.max_lateness, Some(0)); // finishes exactly at each deadline
-        // A hair slower ⇒ every job misses.
+                                             // A hair slower ⇒ every job misses.
         let r = simulate_machine(
             &ts,
             Ratio::new(74, 100),
@@ -172,9 +190,14 @@ mod tests {
         // schedules it (util exactly 1), RM misses the long task.
         let ts = TaskSet::from_pairs([(2, 4), (5, 10)]).unwrap();
         let h = validation_horizon(&ts).unwrap();
-        let edf =
-            simulate_machine(&ts, Ratio::ONE, SchedPolicy::Edf, ReleasePattern::Periodic, h)
-                .unwrap();
+        let edf = simulate_machine(
+            &ts,
+            Ratio::ONE,
+            SchedPolicy::Edf,
+            ReleasePattern::Periodic,
+            h,
+        )
+        .unwrap();
         let rm = simulate_machine(
             &ts,
             Ratio::ONE,
@@ -196,7 +219,10 @@ mod tests {
             &ts,
             Ratio::ONE,
             SchedPolicy::Edf,
-            ReleasePattern::Sporadic { jitter_frac: 0.4, seed: 17 },
+            ReleasePattern::Sporadic {
+                jitter_frac: 0.4,
+                seed: 17,
+            },
             1000,
         )
         .unwrap();
@@ -220,7 +246,13 @@ mod tests {
     fn zero_speed_rejected() {
         let ts = TaskSet::from_pairs([(1, 2)]).unwrap();
         assert!(matches!(
-            simulate_machine(&ts, Ratio::ZERO, SchedPolicy::Edf, ReleasePattern::Periodic, 10),
+            simulate_machine(
+                &ts,
+                Ratio::ZERO,
+                SchedPolicy::Edf,
+                ReleasePattern::Periodic,
+                10
+            ),
             Err(ModelError::NonPositiveSpeed)
         ));
     }

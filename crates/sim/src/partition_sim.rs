@@ -111,8 +111,14 @@ mod tests {
         let r = validate_assignment(&tasks, &platform, &a, Ratio::ONE, SchedPolicy::Edf).unwrap();
         assert!(!r.all_deadlines_met());
         // The same assignment at α = 2 is fine (speed 2 ≥ 1.4).
-        let r = validate_assignment(&tasks, &platform, &a, Ratio::from_integer(2), SchedPolicy::Edf)
-            .unwrap();
+        let r = validate_assignment(
+            &tasks,
+            &platform,
+            &a,
+            Ratio::from_integer(2),
+            SchedPolicy::Edf,
+        )
+        .unwrap();
         assert!(r.all_deadlines_met());
     }
 
@@ -123,13 +129,23 @@ mod tests {
         let platform = Platform::identical(1).unwrap();
         let mut a = Assignment::new(1, 1);
         a.assign(0, 0);
-        let ok =
-            validate_assignment(&tasks, &platform, &a, Ratio::new(149, 100), SchedPolicy::Edf)
-                .unwrap();
+        let ok = validate_assignment(
+            &tasks,
+            &platform,
+            &a,
+            Ratio::new(149, 100),
+            SchedPolicy::Edf,
+        )
+        .unwrap();
         assert!(ok.all_deadlines_met());
-        let under =
-            validate_assignment(&tasks, &platform, &a, Ratio::new(148, 100), SchedPolicy::Edf)
-                .unwrap();
+        let under = validate_assignment(
+            &tasks,
+            &platform,
+            &a,
+            Ratio::new(148, 100),
+            SchedPolicy::Edf,
+        )
+        .unwrap();
         assert!(!under.all_deadlines_met());
     }
 

@@ -55,7 +55,10 @@ pub fn releases(tasks: &TaskSet, pattern: ReleasePattern, horizon: u64) -> Vec<(
                 while r < horizon {
                     out.push((i, r));
                     let jitter = (rng.gen::<f64>() * jitter_frac * t.period() as f64) as u64;
-                    match r.checked_add(t.period()).and_then(|x| x.checked_add(jitter)) {
+                    match r
+                        .checked_add(t.period())
+                        .and_then(|x| x.checked_add(jitter))
+                    {
                         Some(next) => r = next,
                         None => break,
                     }
@@ -75,10 +78,7 @@ mod tests {
     fn periodic_releases_every_period() {
         let ts = TaskSet::from_pairs([(1, 4), (1, 6)]).unwrap();
         let r = releases(&ts, ReleasePattern::Periodic, 12);
-        assert_eq!(
-            r,
-            vec![(0, 0), (1, 0), (0, 4), (1, 6), (0, 8)],
-        );
+        assert_eq!(r, vec![(0, 0), (1, 0), (0, 4), (1, 6), (0, 8)],);
     }
 
     #[test]
@@ -93,11 +93,18 @@ mod tests {
         let ts = TaskSet::from_pairs([(1, 10), (2, 25)]).unwrap();
         let r = releases(
             &ts,
-            ReleasePattern::Sporadic { jitter_frac: 0.5, seed: 99 },
+            ReleasePattern::Sporadic {
+                jitter_frac: 0.5,
+                seed: 99,
+            },
             1000,
         );
         for task in 0..2 {
-            let times: Vec<u64> = r.iter().filter(|(t, _)| *t == task).map(|&(_, x)| x).collect();
+            let times: Vec<u64> = r
+                .iter()
+                .filter(|(t, _)| *t == task)
+                .map(|&(_, x)| x)
+                .collect();
             assert!(!times.is_empty());
             let p = ts[task].period();
             for w in times.windows(2) {
@@ -110,7 +117,10 @@ mod tests {
     #[test]
     fn sporadic_is_deterministic_per_seed() {
         let ts = TaskSet::from_pairs([(1, 10)]).unwrap();
-        let p = ReleasePattern::Sporadic { jitter_frac: 1.0, seed: 5 };
+        let p = ReleasePattern::Sporadic {
+            jitter_frac: 1.0,
+            seed: 5,
+        };
         assert_eq!(releases(&ts, p, 500), releases(&ts, p, 500));
     }
 
@@ -119,7 +129,10 @@ mod tests {
         let ts = TaskSet::from_pairs([(1, 7), (1, 11)]).unwrap();
         let s = releases(
             &ts,
-            ReleasePattern::Sporadic { jitter_frac: 0.0, seed: 1 },
+            ReleasePattern::Sporadic {
+                jitter_frac: 0.0,
+                seed: 1,
+            },
             200,
         );
         let p = releases(&ts, ReleasePattern::Periodic, 200);

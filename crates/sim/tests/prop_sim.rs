@@ -1,16 +1,19 @@
 //! Cross-validation of the simulator against the analytical tests:
 //! the discrete-event engine and the closed-form theory must agree.
 
-use hetfeas_analysis::{edf_schedulable_exact, rta_response_times, rm_priority_order, rta_schedulable};
-use hetfeas_model::{Ratio, Task, TaskSet};
-use hetfeas_sim::{
-    simulate_machine, validation_horizon, ReleasePattern, SchedPolicy,
+use hetfeas_analysis::{
+    edf_schedulable_exact, rm_priority_order, rta_response_times, rta_schedulable,
 };
+use hetfeas_model::{Ratio, Task, TaskSet};
+use hetfeas_sim::{simulate_machine, validation_horizon, ReleasePattern, SchedPolicy};
 use proptest::prelude::*;
 
 /// Tasks with divisor-friendly periods and WCET ≤ period.
 fn menu_task() -> impl Strategy<Value = Task> {
-    (1u64..=30, prop::sample::select(vec![4u64, 5, 8, 10, 20, 25, 40, 50]))
+    (
+        1u64..=30,
+        prop::sample::select(vec![4u64, 5, 8, 10, 20, 25, 40, 50]),
+    )
         .prop_map(|(c, p)| Task::implicit(c.min(p), p).unwrap())
 }
 

@@ -20,8 +20,10 @@ impl PeriodMenu {
     /// The default divisor-friendly menu spanning two orders of magnitude;
     /// lcm = 6000, so even 10⁵-task hyperperiod math stays tiny.
     pub fn standard() -> Self {
-        PeriodMenu::new(vec![10, 20, 25, 40, 50, 75, 100, 120, 150, 200, 250, 300, 400, 500, 600, 750, 1000])
-            .expect("static menu is valid")
+        PeriodMenu::new(vec![
+            10, 20, 25, 40, 50, 75, 100, 120, 150, 200, 250, 300, 400, 500, 600, 750, 1000,
+        ])
+        .expect("static menu is valid")
     }
 
     /// A short harmonic menu (powers of two × 10) — RM-friendly workloads.
@@ -40,7 +42,8 @@ impl PeriodMenu {
         if periods[0] == 0 {
             return Err(ModelError::ZeroPeriod);
         }
-        let h = hyperperiod(periods.iter().copied()).ok_or(ModelError::Overflow("period menu lcm"))?;
+        let h =
+            hyperperiod(periods.iter().copied()).ok_or(ModelError::Overflow("period menu lcm"))?;
         if h > u64::MAX as u128 {
             return Err(ModelError::Overflow("period menu lcm"));
         }
@@ -82,15 +85,8 @@ pub fn discretize_on_period(u: f64, p: u64) -> (Task, f64) {
 }
 
 /// Discretize a whole utilization vector into a [`TaskSet`].
-pub fn discretize_all<R: Rng + ?Sized>(
-    rng: &mut R,
-    utils: &[f64],
-    menu: &PeriodMenu,
-) -> TaskSet {
-    utils
-        .iter()
-        .map(|&u| discretize(rng, u, menu).0)
-        .collect()
+pub fn discretize_all<R: Rng + ?Sized>(rng: &mut R, utils: &[f64], menu: &PeriodMenu) -> TaskSet {
+    utils.iter().map(|&u| discretize(rng, u, menu).0).collect()
 }
 
 #[cfg(test)]

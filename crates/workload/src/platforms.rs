@@ -77,8 +77,8 @@ impl PlatformSpec {
                 if ratio == 0 {
                     return Err(ModelError::NonPositiveSpeed);
                 }
-                let speeds = std::iter::repeat_n(1u64, little)
-                    .chain(std::iter::repeat_n(ratio, big));
+                let speeds =
+                    std::iter::repeat_n(1u64, little).chain(std::iter::repeat_n(ratio, big));
                 Platform::from_int_speeds(speeds)
             }
             PlatformSpec::Geometric { m, base } => {
@@ -93,7 +93,9 @@ impl PlatformSpec {
                 for k in 0..m {
                     speeds.push(s);
                     if k + 1 < m {
-                        s = s.checked_mul(base).ok_or(ModelError::Overflow("geometric speed"))?;
+                        s = s
+                            .checked_mul(base)
+                            .ok_or(ModelError::Overflow("geometric speed"))?;
                     }
                 }
                 Platform::from_int_speeds(speeds)
@@ -131,7 +133,11 @@ mod tests {
     #[test]
     fn uniform_random_in_range() {
         let mut rng = StdRng::seed_from_u64(2);
-        let spec = PlatformSpec::UniformRandom { m: 50, lo: 2, hi: 5 };
+        let spec = PlatformSpec::UniformRandom {
+            m: 50,
+            lo: 2,
+            hi: 5,
+        };
         let p = spec.generate(&mut rng).unwrap();
         assert_eq!(p.len(), 50);
         assert!(p.iter().all(|m| (2.0..=5.0).contains(&m.speed_f64())));
@@ -140,7 +146,11 @@ mod tests {
     #[test]
     fn big_little_layout() {
         let mut rng = StdRng::seed_from_u64(3);
-        let spec = PlatformSpec::BigLittle { big: 2, little: 4, ratio: 3 };
+        let spec = PlatformSpec::BigLittle {
+            big: 2,
+            little: 4,
+            ratio: 3,
+        };
         assert_eq!(spec.machine_count(), 6);
         let p = spec.generate(&mut rng).unwrap();
         let slow = p.iter().filter(|m| m.speed_f64() == 1.0).count();
@@ -151,7 +161,9 @@ mod tests {
     #[test]
     fn geometric_speeds() {
         let mut rng = StdRng::seed_from_u64(4);
-        let p = PlatformSpec::Geometric { m: 4, base: 2 }.generate(&mut rng).unwrap();
+        let p = PlatformSpec::Geometric { m: 4, base: 2 }
+            .generate(&mut rng)
+            .unwrap();
         let speeds: Vec<f64> = p.iter().map(|m| m.speed_f64()).collect();
         assert_eq!(speeds, vec![1.0, 2.0, 4.0, 8.0]);
     }
@@ -166,9 +178,13 @@ mod tests {
         assert!(PlatformSpec::UniformRandom { m: 2, lo: 5, hi: 3 }
             .generate(&mut rng)
             .is_err());
-        assert!(PlatformSpec::BigLittle { big: 0, little: 0, ratio: 2 }
-            .generate(&mut rng)
-            .is_err());
+        assert!(PlatformSpec::BigLittle {
+            big: 0,
+            little: 0,
+            ratio: 2
+        }
+        .generate(&mut rng)
+        .is_err());
         assert!(PlatformSpec::Geometric { m: 80, base: 4 }
             .generate(&mut rng)
             .is_err()); // overflow
@@ -178,7 +194,12 @@ mod tests {
     fn labels() {
         assert_eq!(PlatformSpec::Identical { m: 4 }.label(), "identical(m=4)");
         assert_eq!(
-            PlatformSpec::BigLittle { big: 2, little: 4, ratio: 3 }.label(),
+            PlatformSpec::BigLittle {
+                big: 2,
+                little: 4,
+                ratio: 3
+            }
+            .label(),
             "big.LITTLE(2+4,x3)"
         );
     }

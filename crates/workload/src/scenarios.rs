@@ -73,15 +73,26 @@ impl Scenario {
             Scenario::AvionicsHarmonic => WorkloadSpec {
                 n_tasks: 12,
                 normalized_utilization: 0.55,
-                platform: PlatformSpec::BigLittle { big: 1, little: 1, ratio: 2 },
+                platform: PlatformSpec::BigLittle {
+                    big: 1,
+                    little: 1,
+                    ratio: 2,
+                },
                 sampler: UtilizationSampler::UUniFastCapped,
                 periods: PeriodMenu::harmonic(),
             },
             Scenario::MobileMedia => WorkloadSpec {
                 n_tasks: 10,
                 normalized_utilization: 0.85,
-                platform: PlatformSpec::BigLittle { big: 2, little: 4, ratio: 4 },
-                sampler: UtilizationSampler::BoundedFixedSum { lo: 0.05, hi: f64::INFINITY },
+                platform: PlatformSpec::BigLittle {
+                    big: 2,
+                    little: 4,
+                    ratio: 4,
+                },
+                sampler: UtilizationSampler::BoundedFixedSum {
+                    lo: 0.05,
+                    hi: f64::INFINITY,
+                },
                 periods: PeriodMenu::standard(),
             },
             Scenario::ServerConsolidation => WorkloadSpec {

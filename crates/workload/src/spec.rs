@@ -60,7 +60,11 @@ impl WorkloadSpec {
         WorkloadSpec {
             n_tasks: 12,
             normalized_utilization: 0.6,
-            platform: PlatformSpec::BigLittle { big: 2, little: 4, ratio: 4 },
+            platform: PlatformSpec::BigLittle {
+                big: 2,
+                little: 4,
+                ratio: 4,
+            },
             sampler: UtilizationSampler::UUniFastCapped,
             periods: PeriodMenu::standard(),
         }
@@ -72,8 +76,7 @@ impl WorkloadSpec {
     /// (e.g. the target utilization is unattainable under the caps).
     pub fn generate(&self, seed: u64, index: u64) -> Option<Instance> {
         // Decorrelate (seed, index) with SplitMix64-style mixing.
-        let mut z = seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         let mut rng = StdRng::seed_from_u64(z ^ (z >> 31));
@@ -95,7 +98,11 @@ impl WorkloadSpec {
             }
         };
         let tasks = discretize_all(rng, &utils, &self.periods);
-        Some(Instance { tasks, platform, target_utilization: target })
+        Some(Instance {
+            tasks,
+            platform,
+            target_utilization: target,
+        })
     }
 }
 
@@ -153,7 +160,11 @@ mod tests {
         let spec = WorkloadSpec {
             n_tasks: 2,
             normalized_utilization: 1.0,
-            platform: PlatformSpec::BigLittle { big: 1, little: 5, ratio: 10 },
+            platform: PlatformSpec::BigLittle {
+                big: 1,
+                little: 5,
+                ratio: 10,
+            },
             sampler: UtilizationSampler::UUniFastCapped,
             periods: PeriodMenu::standard(),
         };

@@ -10,11 +10,7 @@ use rand::Rng;
 ///
 /// # Panics
 /// Panics unless `0 < frac_min ≤ 1`.
-pub fn shrink_deadlines<R: Rng + ?Sized>(
-    rng: &mut R,
-    tasks: &TaskSet,
-    frac_min: f64,
-) -> TaskSet {
+pub fn shrink_deadlines<R: Rng + ?Sized>(rng: &mut R, tasks: &TaskSet, frac_min: f64) -> TaskSet {
     assert!(
         frac_min > 0.0 && frac_min <= 1.0,
         "deadline shrink fraction must be in (0, 1]"
@@ -25,8 +21,7 @@ pub fn shrink_deadlines<R: Rng + ?Sized>(
             let f = rng.gen_range(frac_min..=1.0);
             let d = ((t.period() as f64 * f).round() as u64)
                 .clamp(t.wcet().min(t.period()), t.period());
-            Task::constrained(t.wcet(), t.period(), d.max(1))
-                .expect("clamped deadline is valid")
+            Task::constrained(t.wcet(), t.period(), d.max(1)).expect("clamped deadline is valid")
         })
         .collect()
 }

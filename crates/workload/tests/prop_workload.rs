@@ -132,7 +132,10 @@ fn scenarios_generate_deterministically() {
 #[test]
 fn samplers_accept_infinite_hi() {
     let spec = WorkloadSpec {
-        sampler: UtilizationSampler::BoundedFixedSum { lo: 0.0, hi: f64::INFINITY },
+        sampler: UtilizationSampler::BoundedFixedSum {
+            lo: 0.0,
+            hi: f64::INFINITY,
+        },
         ..WorkloadSpec::default_family()
     };
     assert!(spec.generate(3, 0).is_some());

@@ -38,7 +38,10 @@ fn main() {
 
     println!("avionics task table (ticks of 2.5 ms):");
     for (i, &(name, c, p)) in table.iter().enumerate() {
-        println!("  τ{i}: {name:32} c={c:3} p={p:4} w={:.3}", tasks[i].utilization());
+        println!(
+            "  τ{i}: {name:32} c={c:3} p={p:4} w={:.3}",
+            tasks[i].utilization()
+        );
     }
     println!(
         "total utilization {:.3} on speeds [1, 2]\n",
@@ -49,14 +52,22 @@ fn main() {
     let ll = first_fit(&tasks, &platform, Augmentation::NONE, &RmsLlAdmission);
     println!(
         "RMS first-fit with Liu–Layland admission: {}",
-        if ll.is_feasible() { "FEASIBLE" } else { "infeasible" }
+        if ll.is_feasible() {
+            "FEASIBLE"
+        } else {
+            "infeasible"
+        }
     );
 
     // Exact RTA admission (the E9 upgrade) — admits harmonic sets LL cannot.
     let rta = first_fit(&tasks, &platform, Augmentation::NONE, &RmsRtaAdmission);
     println!(
         "RMS first-fit with exact RTA admission:   {}",
-        if rta.is_feasible() { "FEASIBLE" } else { "infeasible" }
+        if rta.is_feasible() {
+            "FEASIBLE"
+        } else {
+            "infeasible"
+        }
     );
     let assignment = rta
         .assignment()
@@ -100,5 +111,8 @@ fn main() {
         "\nsimulator: {} jobs over 2 hyperperiods, {} misses, {} preemptions",
         report.jobs_completed, report.miss_count, report.preemptions
     );
-    assert_eq!(report.miss_count, 0, "exact admission must be deadline-safe");
+    assert_eq!(
+        report.miss_count, 0,
+        "exact admission must be deadline-safe"
+    );
 }

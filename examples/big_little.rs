@@ -21,13 +21,20 @@ use hetfeas_workload::PlatformSpec;
 fn main() {
     // 4 LITTLE cores (speed 1) + 2 big cores (speed 3).
     let platform = Platform::from_int_speeds([1, 1, 1, 1, 3, 3]).expect("platform");
-    println!("platform: {platform} (total speed {})\n", platform.total_speed());
+    println!(
+        "platform: {platform} (total speed {})\n",
+        platform.total_speed()
+    );
 
     // A reproducible submission stream: 30 candidate tasks.
     let spec = WorkloadSpec {
         n_tasks: 30,
         normalized_utilization: 1.1, // oversubscribed on purpose
-        platform: PlatformSpec::BigLittle { big: 2, little: 4, ratio: 3 },
+        platform: PlatformSpec::BigLittle {
+            big: 2,
+            little: 4,
+            ratio: 3,
+        },
         sampler: UtilizationSampler::UUniFastCapped,
         periods: PeriodMenu::standard(),
     };
@@ -77,9 +84,18 @@ fn main() {
         );
     }
 
-    assert!(lp_feasible(&admitted, &platform), "LP must accept the admitted set");
-    let report = validate_assignment(&admitted, &platform, assignment, Ratio::ONE, SchedPolicy::Edf)
-        .expect("simulation");
+    assert!(
+        lp_feasible(&admitted, &platform),
+        "LP must accept the admitted set"
+    );
+    let report = validate_assignment(
+        &admitted,
+        &platform,
+        assignment,
+        Ratio::ONE,
+        SchedPolicy::Edf,
+    )
+    .expect("simulation");
     println!(
         "\nLP check: feasible; level scaling factor β = {:.3}",
         level_scaling_factor(&admitted, &platform)

@@ -33,8 +33,15 @@ fn main() {
     .expect("tasks");
     let platform = Platform::from_int_speeds([1, 1, 2]).expect("platform");
 
-    println!("workload: {} tasks, total utilization {:.2}", tasks.len(), tasks.total_utilization());
-    println!("platform: {platform}, total speed {:.1}\n", platform.total_speed());
+    println!(
+        "workload: {} tasks, total utilization {:.2}",
+        tasks.len(),
+        tasks.total_utilization()
+    );
+    println!(
+        "platform: {platform}, total speed {:.1}\n",
+        platform.total_speed()
+    );
 
     // Lower bound: even a migrative scheduler needs β× speed.
     let beta = level_scaling_factor(&tasks, &platform);
@@ -67,5 +74,8 @@ fn main() {
     }
 
     // Sanity: the partitioned requirement can never beat the LP bound.
-    assert!(a_edf + 1e-9 >= beta, "partitioned EDF cannot need less than the LP");
+    assert!(
+        a_edf + 1e-9 >= beta,
+        "partitioned EDF cannot need less than the LP"
+    );
 }

@@ -31,7 +31,8 @@ fn main() {
     .collect();
     let platform = Platform::from_int_speeds([1, 1]).expect("platform");
 
-    println!("constrained workload (utilization {:.2}, total density {:.2}) on {platform}\n",
+    println!(
+        "constrained workload (utilization {:.2}, total density {:.2}) on {platform}\n",
         tasks.total_utilization(),
         tasks.iter().map(Task::density).sum::<f64>(),
     );
@@ -41,7 +42,11 @@ fn main() {
     let naive = first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission);
     println!(
         "implicit-deadline EDF admission says: {} — but it ignores deadlines!",
-        if naive.is_feasible() { "feasible" } else { "infeasible" }
+        if naive.is_feasible() {
+            "feasible"
+        } else {
+            "infeasible"
+        }
     );
     if let Some(a) = naive.assignment() {
         // Check each machine against the true demand criterion.
@@ -51,7 +56,11 @@ fn main() {
             println!(
                 "  machine {m}: tasks {:?} → demand-criterion {}",
                 a.tasks_on(m),
-                if ok { "OK" } else { "VIOLATED (deadline would be missed)" }
+                if ok {
+                    "OK"
+                } else {
+                    "VIOLATED (deadline would be missed)"
+                }
             );
         }
     }
@@ -60,14 +69,22 @@ fn main() {
     let dens = first_fit(&tasks, &platform, Augmentation::NONE, &DensityAdmission);
     println!(
         "\ndensity admission (Σ c/d ≤ s): {}",
-        if dens.is_feasible() { "feasible" } else { "infeasible — too conservative here" }
+        if dens.is_feasible() {
+            "feasible"
+        } else {
+            "infeasible — too conservative here"
+        }
     );
 
     // 3. Exact QPA admission: sound and tight.
     let qpa = first_fit(&tasks, &platform, Augmentation::NONE, &EdfDemandAdmission);
     println!(
         "exact QPA admission:            {}",
-        if qpa.is_feasible() { "FEASIBLE" } else { "infeasible" }
+        if qpa.is_feasible() {
+            "FEASIBLE"
+        } else {
+            "infeasible"
+        }
     );
     let a = qpa.assignment().expect("QPA finds the packing");
     for m in 0..platform.len() {

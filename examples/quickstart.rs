@@ -55,7 +55,11 @@ fn main() {
     let outcome = first_fit(&tasks, &platform, Augmentation::NONE, &RmsLlAdmission);
     println!(
         "RMS first-fit at α=1: {}",
-        if outcome.is_feasible() { "FEASIBLE" } else { "infeasible" }
+        if outcome.is_feasible() {
+            "FEASIBLE"
+        } else {
+            "infeasible"
+        }
     );
     // The Liu–Layland admission is conservative; Theorem I.2 says α = 2.414
     // suffices against any partitioned adversary.
@@ -67,6 +71,10 @@ fn main() {
     );
     println!(
         "RMS first-fit at α=2.414: {}",
-        if outcome.is_feasible() { "FEASIBLE" } else { "infeasible" }
+        if outcome.is_feasible() {
+            "FEASIBLE"
+        } else {
+            "infeasible"
+        }
     );
 }

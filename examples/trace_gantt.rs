@@ -37,7 +37,10 @@ fn main() {
             SchedPolicy::Edf,
             ReleasePattern::Periodic,
             horizon,
-            EngineConfig { record_trace: true, max_recorded_misses: 16 },
+            EngineConfig {
+                record_trace: true,
+                max_recorded_misses: 16,
+            },
         )
         .expect("simulate");
         // The engine works in scaled ticks: ticks × speed numerator.
@@ -70,7 +73,10 @@ fn main() {
             policy,
             ReleasePattern::Periodic,
             20,
-            EngineConfig { record_trace: true, max_recorded_misses: 16 },
+            EngineConfig {
+                record_trace: true,
+                max_recorded_misses: 16,
+            },
         )
         .expect("simulate");
         println!(

@@ -25,11 +25,14 @@ rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_lp \
     "$repo/crates/lp/src/lib.rs" \
     --extern hetfeas_model="$build/libhetfeas_model.rlib" \
     -o "$build/libhetfeas_lp.rlib"
+rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_obs \
+    "$repo/crates/obs/src/lib.rs" -o "$build/libhetfeas_obs.rlib"
 rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_partition \
     "$repo/crates/partition/src/lib.rs" -L "$build" \
     --extern hetfeas_model="$build/libhetfeas_model.rlib" \
     --extern hetfeas_analysis="$build/libhetfeas_analysis.rlib" \
     --extern hetfeas_lp="$build/libhetfeas_lp.rlib" \
+    --extern hetfeas_obs="$build/libhetfeas_obs.rlib" \
     -o "$build/libhetfeas_partition.rlib"
 
 echo "building + running the smoke harness ..." >&2

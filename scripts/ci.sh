@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Repository CI entry point: formatting, lints, tests, and a perf
+# no-regression gate on the first-fit scan-vs-indexed smoke benchmark.
+#
+#   scripts/ci.sh             full run (needs a reachable cargo registry
+#                             for clippy and the dev-dependency tests)
+#   CI_OFFLINE=1 scripts/ci.sh
+#                             sandboxed fallback: skips clippy and runs
+#                             scripts/offline_check.sh (plain rustc, stub
+#                             deps) instead of `cargo test`
+#   BENCH_GATE_TOL=0.15       tighten the perf gate (default 0.25 = the
+#                             fresh indexed-vs-scan speedup may be at most
+#                             25% below the committed BENCH_ffd.json)
+#   SKIP_BENCH_GATE=1         skip the benchmark gate entirely (e.g. on
+#                             noisy shared runners)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+offline="${CI_OFFLINE:-}"
+if [[ -z "$offline" ]] && ! cargo fetch --quiet 2>/dev/null; then
+    echo "ci: cargo registry unreachable — falling back to offline mode" >&2
+    offline=1
+fi
+
+echo "== cargo fmt --check" >&2
+cargo fmt --all --check
+
+if [[ -n "$offline" ]]; then
+    echo "== offline build + test (scripts/offline_check.sh)" >&2
+    bash scripts/offline_check.sh
+else
+    echo "== cargo clippy -D warnings" >&2
+    cargo clippy --workspace --all-targets -- -D warnings
+    echo "== cargo test -q" >&2
+    cargo test -q
+fi
+
+if [[ -n "${SKIP_BENCH_GATE:-}" ]]; then
+    echo "== bench gate skipped (SKIP_BENCH_GATE set)" >&2
+    exit 0
+fi
+
+echo "== bench smoke + no-regression gate" >&2
+baseline="$repo/BENCH_ffd.json"
+if [[ ! -f "$baseline" ]]; then
+    echo "ci: no committed BENCH_ffd.json — nothing to gate against" >&2
+    exit 0
+fi
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+BENCH_OUT="$fresh" bash scripts/bench_smoke.sh
+
+# One "m speedup" pair per result row (the row format is emitted by
+# scripts/bench_ffd_smoke.rs and stable across PRs).
+rows() {
+    sed -n 's/.*"m": *\([0-9]*\),.*"speedup": *\([0-9.]*\).*/\1 \2/p' "$1"
+}
+
+rows "$baseline" | while read -r m base; do
+    now="$(rows "$fresh" | awk -v m="$m" '$1 == m { print $2 }')"
+    if [[ -z "$now" ]]; then
+        echo "ci: FAIL — fresh benchmark lost the m=$m row" >&2
+        exit 1
+    fi
+    awk -v m="$m" -v base="$base" -v now="$now" \
+        -v tol="${BENCH_GATE_TOL:-0.25}" 'BEGIN {
+        floor = base * (1 - tol)
+        if (now < floor) {
+            printf "ci: FAIL — m=%s speedup %.2f below gate %.2f (baseline %.2f)\n",
+                m, now, floor, base > "/dev/stderr"
+            exit 1
+        }
+        printf "ci: m=%s speedup %.2f vs baseline %.2f — ok\n",
+            m, now, base > "/dev/stderr"
+    }'
+done
+
+echo "ci: all gates passed" >&2

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Build and test the whole workspace with plain rustc — no cargo registry
+# access. This is the sandboxed-CI fallback: cargo cannot resolve the
+# external dev-dependencies (proptest, criterion, rand, …) without a
+# network, so we compile the workspace crates as rlibs in dependency order
+# against the tiny API-compatible stand-ins in scripts/stubs/ and run every
+# unit-test binary plus the integration suites.
+#
+# Coverage notes vs `cargo test`:
+#   * proptest-based suites (tests/prop_*.rs, proptest dev-deps) are
+#     skipped — they need the real proptest crate;
+#   * rand-backed tests run against the stub generator, so seed streams
+#     differ from rand::StdRng (the suites assert properties, not exact
+#     draws);
+#   * doctests are not run.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${OFFLINE_BUILD_DIR:-$(mktemp -d)}"
+[[ -n "${OFFLINE_BUILD_DIR:-}" ]] || trap 'rm -rf "$build"' EXIT
+opt=(--edition 2021 -O)
+
+lib() { # lib <crate_name> <src> [--extern ...]
+    local name="$1" src="$2"
+    shift 2
+    rustc "${opt[@]}" --crate-type rlib --crate-name "$name" "$src" \
+        -L "$build" "$@" -o "$build/lib$name.rlib"
+}
+
+testbin() { # testbin <crate_name> <src> [--extern ...]
+    local name="$1" src="$2"
+    shift 2
+    rustc "${opt[@]}" --test --crate-name "${name}_tests" "$src" \
+        -L "$build" "$@" -o "$build/${name}_tests"
+    echo "--- $name unit tests" >&2
+    "$build/${name}_tests" -q
+}
+
+echo "building stub crates (rand, crossbeam, parking_lot) ..." >&2
+lib rand "$repo/scripts/stubs/rand.rs"
+lib crossbeam "$repo/scripts/stubs/crossbeam.rs"
+lib parking_lot "$repo/scripts/stubs/parking_lot.rs"
+
+echo "building + testing workspace crates in dependency order ..." >&2
+X_MODEL=(--extern hetfeas_model="$build/libhetfeas_model.rlib")
+lib hetfeas_model "$repo/crates/model/src/lib.rs"
+testbin hetfeas_model "$repo/crates/model/src/lib.rs"
+
+lib hetfeas_obs "$repo/crates/obs/src/lib.rs"
+testbin hetfeas_obs "$repo/crates/obs/src/lib.rs"
+
+lib hetfeas_analysis "$repo/crates/analysis/src/lib.rs" "${X_MODEL[@]}"
+testbin hetfeas_analysis "$repo/crates/analysis/src/lib.rs" "${X_MODEL[@]}"
+
+lib hetfeas_lp "$repo/crates/lp/src/lib.rs" "${X_MODEL[@]}"
+testbin hetfeas_lp "$repo/crates/lp/src/lib.rs" "${X_MODEL[@]}"
+
+X_PAR=(--extern crossbeam="$build/libcrossbeam.rlib"
+       --extern parking_lot="$build/libparking_lot.rlib")
+lib hetfeas_par "$repo/crates/par/src/lib.rs" "${X_PAR[@]}"
+testbin hetfeas_par "$repo/crates/par/src/lib.rs" "${X_PAR[@]}"
+
+X_PARTITION=("${X_MODEL[@]}"
+    --extern hetfeas_analysis="$build/libhetfeas_analysis.rlib"
+    --extern hetfeas_lp="$build/libhetfeas_lp.rlib"
+    --extern hetfeas_obs="$build/libhetfeas_obs.rlib")
+lib hetfeas_partition "$repo/crates/partition/src/lib.rs" "${X_PARTITION[@]}"
+testbin hetfeas_partition "$repo/crates/partition/src/lib.rs" "${X_PARTITION[@]}"
+
+# The metamorphic suite is dependency-free (no proptest), so it runs here
+# alongside the unit tests; prop_engine.rs still needs cargo + proptest.
+testbin prop_metamorphic "$repo/crates/partition/tests/prop_metamorphic.rs" \
+    "${X_PARTITION[@]}" \
+    --extern hetfeas_partition="$build/libhetfeas_partition.rlib"
+
+X_RAND=(--extern rand="$build/librand.rlib")
+lib hetfeas_workload "$repo/crates/workload/src/lib.rs" "${X_MODEL[@]}" "${X_RAND[@]}"
+testbin hetfeas_workload "$repo/crates/workload/src/lib.rs" "${X_MODEL[@]}" "${X_RAND[@]}"
+
+X_SIM=("${X_MODEL[@]}" "${X_RAND[@]}"
+    --extern hetfeas_partition="$build/libhetfeas_partition.rlib")
+lib hetfeas_sim "$repo/crates/sim/src/lib.rs" "${X_SIM[@]}"
+testbin hetfeas_sim "$repo/crates/sim/src/lib.rs" "${X_SIM[@]}" \
+    --extern hetfeas_analysis="$build/libhetfeas_analysis.rlib" \
+    --extern hetfeas_workload="$build/libhetfeas_workload.rlib" \
+    --extern hetfeas_lp="$build/libhetfeas_lp.rlib"
+
+X_EXPERIMENTS=("${X_PARTITION[@]}" "${X_RAND[@]}"
+    --extern hetfeas_partition="$build/libhetfeas_partition.rlib"
+    --extern hetfeas_sim="$build/libhetfeas_sim.rlib"
+    --extern hetfeas_workload="$build/libhetfeas_workload.rlib"
+    --extern hetfeas_par="$build/libhetfeas_par.rlib")
+lib hetfeas_experiments "$repo/crates/experiments/src/lib.rs" "${X_EXPERIMENTS[@]}"
+testbin hetfeas_experiments "$repo/crates/experiments/src/lib.rs" "${X_EXPERIMENTS[@]}"
+
+X_FACADE=("${X_EXPERIMENTS[@]}"
+    --extern hetfeas_experiments="$build/libhetfeas_experiments.rlib")
+lib hetfeas "$repo/src/lib.rs" "${X_FACADE[@]}"
+
+echo "building the hetfeas binary ..." >&2
+rustc "${opt[@]}" --crate-name hetfeas "$repo/src/bin/hetfeas.rs" \
+    -L "$build" --extern hetfeas="$build/libhetfeas.rlib" \
+    -o "$build/hetfeas"
+
+echo "building + running integration tests ..." >&2
+for t in integration_cli integration_exhaustive integration_pipeline \
+         integration_splitting integration_theorem_edges; do
+    CARGO_BIN_EXE_hetfeas="$build/hetfeas" \
+        rustc "${opt[@]}" --test --crate-name "$t" "$repo/tests/$t.rs" \
+        -L "$build" --extern hetfeas="$build/libhetfeas.rlib" \
+        -o "$build/$t"
+    echo "--- $t" >&2
+    "$build/$t" -q
+done
+
+echo "offline check passed" >&2

@@ -1,0 +1,51 @@
+//! Offline stand-in for the `crossbeam` crate (scoped threads only), used
+//! by `scripts/offline_check.sh` when the registry is unreachable.
+//!
+//! Runs spawned closures *sequentially at spawn time*. The workspace's only
+//! consumer (`hetfeas_par::par_map`) distributes work through a shared
+//! atomic cursor, so sequential execution yields identical results — the
+//! first "worker" simply drains the cursor — and panics propagate out of
+//! `scope` with their original payload, like a crossbeam join would.
+
+/// Scoped-thread API surface.
+pub mod thread {
+    use std::any::Any;
+    use std::marker::PhantomData;
+
+    /// Sequential stand-in for `crossbeam::thread::Scope`.
+    pub struct Scope<'env> {
+        _env: PhantomData<&'env ()>,
+    }
+
+    /// Handle to a "thread" that already ran to completion at spawn time.
+    pub struct ScopedJoinHandle<T> {
+        result: T,
+    }
+
+    impl<T> ScopedJoinHandle<T> {
+        /// The closure's result (it ran eagerly; joining cannot fail).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            Ok(self.result)
+        }
+    }
+
+    impl<'env> Scope<'env> {
+        /// Run `f` immediately on the calling thread.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+        where
+            F: FnOnce(&Scope<'env>) -> T,
+        {
+            ScopedJoinHandle { result: f(self) }
+        }
+    }
+
+    /// Sequential stand-in for `crossbeam::thread::scope`: always `Ok`
+    /// unless `f` (or a spawned closure, which runs inline) panics — and
+    /// then the panic unwinds with its original payload.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        Ok(f(&Scope { _env: PhantomData }))
+    }
+}

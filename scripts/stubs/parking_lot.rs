@@ -1,0 +1,29 @@
+//! Offline stand-in for the `parking_lot` crate (Mutex only), used by
+//! `scripts/offline_check.sh` when the registry is unreachable. Wraps
+//! `std::sync::Mutex` and panics on poisoning (parking_lot has no poison
+//! concept; the workspace never locks across a panic).
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdGuard};
+
+/// `parking_lot::Mutex` stand-in over `std::sync::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap `value`.
+    pub fn new(value: T) -> Self {
+        Mutex { inner: StdMutex::new(value) }
+    }
+
+    /// Lock, parking_lot-style (no `Result`).
+    pub fn lock(&self) -> StdGuard<'_, T> {
+        self.inner.lock().expect("mutex poisoned")
+    }
+
+    /// Consume and return the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("mutex poisoned")
+    }
+}

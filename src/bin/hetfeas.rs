@@ -1,23 +1,31 @@
 //! `hetfeas` — command-line front end for the feasibility tests.
 //!
 //! ```text
-//! hetfeas check    SYSTEM.txt [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [-v]
-//! hetfeas alpha    SYSTEM.txt [--policy …]          least feasible augmentation + LP bound
-//! hetfeas oracles  SYSTEM.txt                       LP / exact-partition ground truth
-//! hetfeas simulate SYSTEM.txt [--policy …] [--alpha X] [--jitter F] [--seed N]
+//! hetfeas check    SYSTEM.txt [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [--report FILE] [-v]
+//! hetfeas alpha    SYSTEM.txt [--policy …] [--report FILE]   least feasible augmentation + LP bound
+//! hetfeas oracles  SYSTEM.txt                                LP / exact-partition ground truth
+//! hetfeas simulate SYSTEM.txt [--policy …] [--alpha X] [--jitter F] [--seed N] [--report FILE]
 //! hetfeas generate --tasks N --machines M --util U [--platform KIND] [--seed N]
 //! ```
 //!
 //! System files: `task <wcet> <period> [deadline]` and `machine <speed>`
 //! lines (see `hetfeas::model::io`). Exit codes: 0 feasible / clean,
 //! 1 infeasible / misses, 2 usage or I/O error.
+//!
+//! `--report FILE` writes a JSON run report (verdict, instance shape,
+//! `ff.*`/`alpha.*` work counters, phase timers — see
+//! `hetfeas::partition::metrics`) after the run completes. The report is
+//! rendered fully in memory and written only on success, so a run that
+//! exits 2 never leaves a partial file behind.
 
 use hetfeas::analysis;
 use hetfeas::lp::{level_scaling_factor, lp_feasible};
 use hetfeas::model::{parse_system, render_system, Augmentation, Ratio, System};
+use hetfeas::obs::{Json, MemorySink, MetricsSink, RunReport};
 use hetfeas::partition::{
-    exact_partition_edf, exact_partition_rms, first_fit, min_feasible_alpha, AdmissionTest,
-    EdfAdmission, ExactOutcome, Outcome, RmsHyperbolicAdmission, RmsLlAdmission, RmsRtaAdmission,
+    exact_partition_edf, exact_partition_rms, first_fit_with, min_feasible_alpha_with,
+    AdmissionTest, EdfAdmission, ExactOutcome, Outcome, RmsHyperbolicAdmission, RmsLlAdmission,
+    RmsRtaAdmission,
 };
 use hetfeas::sim::{validate_assignment, ReleasePattern, SchedPolicy};
 use hetfeas::workload::{PeriodMenu, PlatformSpec, Scenario, UtilizationSampler, WorkloadSpec};
@@ -38,7 +46,9 @@ impl Policy {
             "rms" | "rms-ll" => Ok(Policy::RmsLl),
             "rms-hyp" | "rms-hyperbolic" => Ok(Policy::RmsHyperbolic),
             "rms-rta" => Ok(Policy::RmsRta),
-            other => Err(format!("unknown policy {other:?} (edf|rms|rms-hyp|rms-rta)")),
+            other => Err(format!(
+                "unknown policy {other:?} (edf|rms|rms-hyp|rms-rta)"
+            )),
         }
     }
 
@@ -57,29 +67,74 @@ impl Policy {
             Policy::RmsRta => "RMS (exact RTA)",
         }
     }
+
+    /// Canonical flag spelling, used as the `policy` field of run reports.
+    fn key(self) -> &'static str {
+        match self {
+            Policy::Edf => "edf",
+            Policy::RmsLl => "rms-ll",
+            Policy::RmsHyperbolic => "rms-hyp",
+            Policy::RmsRta => "rms-rta",
+        }
+    }
 }
 
 fn run_ff(sys: &System, policy: Policy, alpha: Augmentation) -> Outcome {
+    run_ff_with(sys, policy, alpha, &())
+}
+
+fn run_ff_with<S: MetricsSink>(
+    sys: &System,
+    policy: Policy,
+    alpha: Augmentation,
+    sink: &S,
+) -> Outcome {
     match policy {
-        Policy::Edf => first_fit(&sys.tasks, &sys.platform, alpha, &EdfAdmission),
-        Policy::RmsLl => first_fit(&sys.tasks, &sys.platform, alpha, &RmsLlAdmission),
-        Policy::RmsHyperbolic => {
-            first_fit(&sys.tasks, &sys.platform, alpha, &RmsHyperbolicAdmission)
-        }
-        Policy::RmsRta => first_fit(&sys.tasks, &sys.platform, alpha, &RmsRtaAdmission),
+        Policy::Edf => first_fit_with(&sys.tasks, &sys.platform, alpha, &EdfAdmission, sink),
+        Policy::RmsLl => first_fit_with(&sys.tasks, &sys.platform, alpha, &RmsLlAdmission, sink),
+        Policy::RmsHyperbolic => first_fit_with(
+            &sys.tasks,
+            &sys.platform,
+            alpha,
+            &RmsHyperbolicAdmission,
+            sink,
+        ),
+        Policy::RmsRta => first_fit_with(&sys.tasks, &sys.platform, alpha, &RmsRtaAdmission, sink),
     }
 }
 
-fn min_alpha(sys: &System, policy: Policy, hi: f64) -> Option<f64> {
-    fn go<A: AdmissionTest>(sys: &System, a: &A, hi: f64) -> Option<f64> {
-        min_feasible_alpha(&sys.tasks, &sys.platform, a, hi, 1e-6)
+fn min_alpha_with<S: MetricsSink>(sys: &System, policy: Policy, hi: f64, sink: &S) -> Option<f64> {
+    fn go<A: AdmissionTest, S: MetricsSink>(sys: &System, a: &A, hi: f64, sink: &S) -> Option<f64> {
+        min_feasible_alpha_with(&sys.tasks, &sys.platform, a, hi, 1e-6, sink)
     }
     match policy {
-        Policy::Edf => go(sys, &EdfAdmission, hi),
-        Policy::RmsLl => go(sys, &RmsLlAdmission, hi),
-        Policy::RmsHyperbolic => go(sys, &RmsHyperbolicAdmission, hi),
-        Policy::RmsRta => go(sys, &RmsRtaAdmission, hi),
+        Policy::Edf => go(sys, &EdfAdmission, hi, sink),
+        Policy::RmsLl => go(sys, &RmsLlAdmission, hi, sink),
+        Policy::RmsHyperbolic => go(sys, &RmsHyperbolicAdmission, hi, sink),
+        Policy::RmsRta => go(sys, &RmsRtaAdmission, hi, sink),
     }
+}
+
+/// Start a run report with the fields every subcommand shares: the input
+/// file, policy key, and instance shape.
+fn base_report(command: &str, c: &Common, sys: &System) -> RunReport {
+    let mut r = RunReport::new("hetfeas", command);
+    r.set("input", Json::Str(c.file.clone().unwrap_or_default()))
+        .set("policy", Json::Str(c.policy.key().into()))
+        .set("n_tasks", Json::UInt(sys.tasks.len() as u64))
+        .set("n_machines", Json::UInt(sys.platform.len() as u64))
+        .set(
+            "total_utilization",
+            Json::Float(sys.tasks.total_utilization()),
+        )
+        .set("total_speed", Json::Float(sys.platform.total_speed()));
+    r
+}
+
+/// Render and write a finished report. Called only after the run computed a
+/// verdict, so error paths never leave a partial file behind.
+fn write_report(path: &str, report: &RunReport) -> Result<(), String> {
+    std::fs::write(path, report.render()).map_err(|e| format!("write {path}: {e}"))
 }
 
 struct Common {
@@ -89,6 +144,7 @@ struct Common {
     verbose: bool,
     jitter: Option<f64>,
     seed: u64,
+    report: Option<String>,
     // generate-only
     tasks: usize,
     machines: usize,
@@ -105,6 +161,7 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         verbose: false,
         jitter: None,
         seed: 1,
+        report: None,
         tasks: 10,
         machines: 4,
         util: 0.7,
@@ -114,18 +171,47 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = |what: &str| -> Result<String, String> {
-            it.next().cloned().ok_or_else(|| format!("{what} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
         };
         match a.as_str() {
             "--policy" => c.policy = Policy::parse(&next("--policy")?)?,
-            "--alpha" => c.alpha = next("--alpha")?.parse().map_err(|e| format!("bad --alpha: {e}"))?,
-            "--jitter" => c.jitter = Some(next("--jitter")?.parse().map_err(|e| format!("bad --jitter: {e}"))?),
-            "--seed" => c.seed = next("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
-            "--tasks" => c.tasks = next("--tasks")?.parse().map_err(|e| format!("bad --tasks: {e}"))?,
-            "--machines" => c.machines = next("--machines")?.parse().map_err(|e| format!("bad --machines: {e}"))?,
-            "--util" => c.util = next("--util")?.parse().map_err(|e| format!("bad --util: {e}"))?,
+            "--alpha" => {
+                c.alpha = next("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("bad --alpha: {e}"))?
+            }
+            "--jitter" => {
+                c.jitter = Some(
+                    next("--jitter")?
+                        .parse()
+                        .map_err(|e| format!("bad --jitter: {e}"))?,
+                )
+            }
+            "--seed" => {
+                c.seed = next("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--tasks" => {
+                c.tasks = next("--tasks")?
+                    .parse()
+                    .map_err(|e| format!("bad --tasks: {e}"))?
+            }
+            "--machines" => {
+                c.machines = next("--machines")?
+                    .parse()
+                    .map_err(|e| format!("bad --machines: {e}"))?
+            }
+            "--util" => {
+                c.util = next("--util")?
+                    .parse()
+                    .map_err(|e| format!("bad --util: {e}"))?
+            }
             "--platform" => c.platform = next("--platform")?,
             "--scenario" => c.scenario = Some(next("--scenario")?),
+            "--report" => c.report = Some(next("--report")?),
             "-v" | "--verbose" => c.verbose = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             path => {
@@ -156,7 +242,15 @@ fn cmd_check(c: &Common) -> Result<ExitCode, String> {
         c.policy.name(),
         c.alpha
     );
-    match run_ff(&sys, c.policy, alpha) {
+    let sink = c.report.as_ref().map(|_| MemorySink::new());
+    let outcome = match &sink {
+        Some(s) => {
+            let _t = s.timer("phase.partition");
+            run_ff_with(&sys, c.policy, alpha, s)
+        }
+        None => run_ff(&sys, c.policy, alpha),
+    };
+    let code = match &outcome {
         Outcome::Feasible(a) => {
             println!("FEASIBLE");
             if c.verbose {
@@ -169,7 +263,7 @@ fn cmd_check(c: &Common) -> Result<ExitCode, String> {
                     );
                 }
             }
-            Ok(ExitCode::SUCCESS)
+            ExitCode::SUCCESS
         }
         Outcome::Infeasible(w) => {
             println!(
@@ -178,38 +272,95 @@ fn cmd_check(c: &Common) -> Result<ExitCode, String> {
             );
             let (bound, name) = match c.policy {
                 Policy::Edf => (2.0, "partitioned (Theorem I.1)"),
-                _ => (Augmentation::RMS_VS_PARTITIONED.factor(), "partitioned (Theorem I.2)"),
+                _ => (
+                    Augmentation::RMS_VS_PARTITIONED.factor(),
+                    "partitioned (Theorem I.2)",
+                ),
             };
             if c.alpha >= bound {
                 println!("⇒ provably infeasible for any {name} scheduler at speed 1");
             }
-            Ok(ExitCode::from(1))
+            ExitCode::from(1)
         }
+    };
+    if let (Some(path), Some(s)) = (&c.report, &sink) {
+        let mut r = base_report("check", c, &sys);
+        r.set("alpha", Json::Float(c.alpha));
+        match &outcome {
+            Outcome::Feasible(_) => {
+                r.set("verdict", Json::Str("feasible".into()));
+            }
+            Outcome::Infeasible(w) => {
+                r.set("verdict", Json::Str("infeasible".into()))
+                    .set("failing_task", Json::UInt(w.failing_task as u64))
+                    .set("failing_utilization", Json::Float(w.failing_utilization));
+            }
+        }
+        r.attach_metrics(&s.snapshot());
+        write_report(path, &r)?;
     }
+    Ok(code)
 }
 
 fn cmd_alpha(c: &Common) -> Result<ExitCode, String> {
     let sys = load(c)?;
-    let beta = level_scaling_factor(&sys.tasks, &sys.platform);
+    let sink = c.report.as_ref().map(|_| MemorySink::new());
+    let beta = match &sink {
+        Some(s) => {
+            let _t = s.timer("phase.lp_bound");
+            level_scaling_factor(&sys.tasks, &sys.platform)
+        }
+        None => level_scaling_factor(&sys.tasks, &sys.platform),
+    };
     println!("LP lower bound β (no scheduler can need less): {beta:.4}");
-    match min_alpha(&sys, c.policy, 64.0) {
+    let star = match &sink {
+        Some(s) => {
+            let _t = s.timer("phase.alpha_search");
+            min_alpha_with(&sys, c.policy, 64.0, s)
+        }
+        None => min_alpha_with(&sys, c.policy, 64.0, &()),
+    };
+    let code = match star {
         Some(a) => {
             println!("first-fit {} needs α* = {a:.4}", c.policy.name());
             println!("overhead vs LP bound: {:.3}×", a / beta.max(1e-12));
-            Ok(ExitCode::SUCCESS)
+            ExitCode::SUCCESS
         }
         None => {
             println!("first-fit {} infeasible even at α = 64", c.policy.name());
-            Ok(ExitCode::from(1))
+            ExitCode::from(1)
         }
+    };
+    if let (Some(path), Some(s)) = (&c.report, &sink) {
+        let mut r = base_report("alpha", c, &sys);
+        r.set("lp_beta", Json::Float(beta))
+            .set("alpha_star", star.map_or(Json::Null, Json::Float))
+            .set(
+                "verdict",
+                Json::Str(
+                    if star.is_some() {
+                        "feasible"
+                    } else {
+                        "infeasible"
+                    }
+                    .into(),
+                ),
+            );
+        r.attach_metrics(&s.snapshot());
+        write_report(path, &r)?;
     }
+    Ok(code)
 }
 
 fn cmd_oracles(c: &Common) -> Result<ExitCode, String> {
     let sys = load(c)?;
     println!(
         "LP (migrative adversary): {}",
-        if lp_feasible(&sys.tasks, &sys.platform) { "feasible" } else { "infeasible" }
+        if lp_feasible(&sys.tasks, &sys.platform) {
+            "feasible"
+        } else {
+            "infeasible"
+        }
     );
     let budget = 8_000_000;
     let fmt = |o: ExactOutcome| match o {
@@ -230,8 +381,16 @@ fn cmd_oracles(c: &Common) -> Result<ExitCode, String> {
         let s = sys.platform.machine(0).speed();
         println!(
             "single machine: EDF {}, RTA {}",
-            if analysis::edf_schedulable_exact(&sys.tasks, s) { "ok" } else { "overload" },
-            if analysis::rta_schedulable(&sys.tasks, s) { "ok" } else { "miss" },
+            if analysis::edf_schedulable_exact(&sys.tasks, s) {
+                "ok"
+            } else {
+                "overload"
+            },
+            if analysis::rta_schedulable(&sys.tasks, s) {
+                "ok"
+            } else {
+                "miss"
+            },
         );
     }
     Ok(ExitCode::SUCCESS)
@@ -240,12 +399,31 @@ fn cmd_oracles(c: &Common) -> Result<ExitCode, String> {
 fn cmd_simulate(c: &Common) -> Result<ExitCode, String> {
     let sys = load(c)?;
     let alpha = Augmentation::new(c.alpha).map_err(|e| e.to_string())?;
-    let Outcome::Feasible(assignment) = run_ff(&sys, c.policy, alpha) else {
-        println!("first-fit rejects this system at α = {} — nothing to simulate", c.alpha);
+    let sink = c.report.as_ref().map(|_| MemorySink::new());
+    let outcome = match &sink {
+        Some(s) => {
+            let _t = s.timer("phase.partition");
+            run_ff_with(&sys, c.policy, alpha, s)
+        }
+        None => run_ff(&sys, c.policy, alpha),
+    };
+    let Outcome::Feasible(assignment) = outcome else {
+        println!(
+            "first-fit rejects this system at α = {} — nothing to simulate",
+            c.alpha
+        );
+        if let (Some(path), Some(s)) = (&c.report, &sink) {
+            let mut r = base_report("simulate", c, &sys);
+            r.set("alpha", Json::Float(c.alpha))
+                .set("verdict", Json::Str("rejected".into()));
+            r.attach_metrics(&s.snapshot());
+            write_report(path, &r)?;
+        }
         return Ok(ExitCode::from(1));
     };
     let alpha_ratio = Ratio::approximate_f64(c.alpha, 1_000_000)
         .ok_or("cannot rationalize --alpha for the exact simulator")?;
+    let _sim_phase = sink.as_ref().map(|s| s.timer("phase.simulate"));
     let report = if let Some(j) = c.jitter {
         let horizon = hetfeas::sim::validation_horizon(&sys.tasks)
             .ok_or("hyperperiod too large for simulation")?;
@@ -255,13 +433,23 @@ fn cmd_simulate(c: &Common) -> Result<ExitCode, String> {
             &assignment,
             alpha_ratio,
             c.policy.sched(),
-            ReleasePattern::Sporadic { jitter_frac: j, seed: c.seed },
+            ReleasePattern::Sporadic {
+                jitter_frac: j,
+                seed: c.seed,
+            },
             horizon,
         )
     } else {
-        validate_assignment(&sys.tasks, &sys.platform, &assignment, alpha_ratio, c.policy.sched())
+        validate_assignment(
+            &sys.tasks,
+            &sys.platform,
+            &assignment,
+            alpha_ratio,
+            c.policy.sched(),
+        )
     }
     .map_err(|e| e.to_string())?;
+    drop(_sim_phase);
     println!(
         "simulated 2 hyperperiods: {} jobs, {} misses, {} preemptions, max lateness {:?}",
         report.jobs_completed, report.miss_count, report.preemptions, report.max_lateness
@@ -274,7 +462,31 @@ fn cmd_simulate(c: &Common) -> Result<ExitCode, String> {
             );
         }
     }
-    Ok(if report.miss_count == 0 { ExitCode::SUCCESS } else { ExitCode::from(1) })
+    if let (Some(path), Some(s)) = (&c.report, &sink) {
+        let mut r = base_report("simulate", c, &sys);
+        r.set("alpha", Json::Float(c.alpha))
+            .set("jobs_completed", Json::UInt(report.jobs_completed))
+            .set("miss_count", Json::UInt(report.miss_count))
+            .set("preemptions", Json::UInt(report.preemptions))
+            .set(
+                "verdict",
+                Json::Str(
+                    if report.miss_count == 0 {
+                        "clean"
+                    } else {
+                        "misses"
+                    }
+                    .into(),
+                ),
+            );
+        r.attach_metrics(&s.snapshot());
+        write_report(path, &r)?;
+    }
+    Ok(if report.miss_count == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }
 
 fn cmd_generate(c: &Common) -> Result<ExitCode, String> {
@@ -299,8 +511,15 @@ fn cmd_generate(c: &Common) -> Result<ExitCode, String> {
             little: c.machines - (c.machines / 3).max(1),
             ratio: 3,
         },
-        "geometric" => PlatformSpec::Geometric { m: c.machines, base: 2 },
-        "uniform" => PlatformSpec::UniformRandom { m: c.machines, lo: 1, hi: 8 },
+        "geometric" => PlatformSpec::Geometric {
+            m: c.machines,
+            base: 2,
+        },
+        "uniform" => PlatformSpec::UniformRandom {
+            m: c.machines,
+            lo: 1,
+            hi: 8,
+        },
         other => return Err(format!("unknown --platform {other:?}")),
     };
     let spec = WorkloadSpec {
@@ -318,12 +537,13 @@ fn cmd_generate(c: &Common) -> Result<ExitCode, String> {
 }
 
 const USAGE: &str = "usage: hetfeas <check|alpha|oracles|simulate|generate> [ARGS]
-  check    SYSTEM [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [-v]
-  alpha    SYSTEM [--policy …]
+  check    SYSTEM [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [--report FILE] [-v]
+  alpha    SYSTEM [--policy …] [--report FILE]
   oracles  SYSTEM
-  simulate SYSTEM [--policy …] [--alpha X] [--jitter F] [--seed N] [-v]
+  simulate SYSTEM [--policy …] [--alpha X] [--jitter F] [--seed N] [--report FILE] [-v]
   generate --tasks N --machines M --util U [--platform identical|big-little|geometric|uniform]
-           [--scenario automotive|avionics|media|server] [--seed N]";
+           [--scenario automotive|avionics|media|server] [--seed N]
+  --report FILE writes a JSON run report (verdict + work counters + phase timers)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -22,12 +22,13 @@
 //!
 //! See the crate-level docs of the member crates for details:
 //! [`model`], [`analysis`], [`partition`], [`lp`], [`sim`], [`workload`],
-//! [`par`], [`experiments`].
+//! [`par`], [`obs`], [`experiments`].
 
 pub use hetfeas_analysis as analysis;
 pub use hetfeas_experiments as experiments;
 pub use hetfeas_lp as lp;
 pub use hetfeas_model as model;
+pub use hetfeas_obs as obs;
 pub use hetfeas_par as par;
 pub use hetfeas_partition as partition;
 pub use hetfeas_sim as sim;

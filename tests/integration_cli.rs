@@ -1,5 +1,8 @@
 //! End-to-end tests of the `hetfeas` CLI binary.
 
+use hetfeas::model::{parse_system, Augmentation};
+use hetfeas::obs::json;
+use hetfeas::partition::{first_fit_instrumented, EdfAdmission};
 use std::path::PathBuf;
 use std::process::{Command, Output};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,15 +29,19 @@ impl Drop for TempSystem {
     }
 }
 
-fn write_system(content: &str) -> TempSystem {
+fn temp_path(ext: &str) -> TempSystem {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
-    let path = std::env::temp_dir().join(format!(
-        "hetfeas-cli-test-{}-{}.txt",
+    TempSystem(std::env::temp_dir().join(format!(
+        "hetfeas-cli-test-{}-{}.{ext}",
         std::process::id(),
         COUNTER.fetch_add(1, Ordering::Relaxed)
-    ));
-    std::fs::write(&path, content).expect("write temp system file");
-    TempSystem(path)
+    )))
+}
+
+fn write_system(content: &str) -> TempSystem {
+    let path = temp_path("txt");
+    std::fs::write(&path.0, content).expect("write temp system file");
+    path
 }
 
 const FEASIBLE: &str = "task 9 10\ntask 4 10\ntask 3 10\nmachine 1\nmachine 2\n";
@@ -55,14 +62,16 @@ fn check_infeasible_exits_one_and_cites_theorem_at_alpha_two() {
     // Five 0.9-utilization tasks on two unit machines stay infeasible even
     // at α = 2 (4 fit pairwise, the fifth does not) — so the CLI must cite
     // Theorem I.1's partitioned-infeasibility certificate.
-    let path = write_system("task 9 10
+    let path = write_system(
+        "task 9 10
 task 9 10
 task 9 10
 task 9 10
 task 9 10
 machine 1
 machine 1
-");
+",
+    );
     let out = hetfeas(&["check", path.to_str(), "--alpha", "2"]);
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).unwrap();
@@ -104,7 +113,15 @@ fn simulate_reports_zero_misses() {
 #[test]
 fn generate_then_check_roundtrip() {
     let out = hetfeas(&[
-        "generate", "--tasks", "8", "--machines", "4", "--util", "0.6", "--seed", "5",
+        "generate",
+        "--tasks",
+        "8",
+        "--machines",
+        "4",
+        "--util",
+        "0.6",
+        "--seed",
+        "5",
     ]);
     assert!(out.status.success());
     let system = String::from_utf8(out.stdout).unwrap();
@@ -112,14 +129,20 @@ fn generate_then_check_roundtrip() {
     assert!(system.lines().filter(|l| l.starts_with("machine")).count() == 4);
     let path = write_system(&system);
     let out = hetfeas(&["check", path.to_str()]);
-    assert!(out.status.success(), "generated 0.6-load system must be feasible");
+    assert!(
+        out.status.success(),
+        "generated 0.6-load system must be feasible"
+    );
 }
 
 #[test]
 fn bad_usage_exits_two() {
     assert_eq!(hetfeas(&[]).status.code(), Some(2));
     assert_eq!(hetfeas(&["frobnicate"]).status.code(), Some(2));
-    assert_eq!(hetfeas(&["check", "/nonexistent/file.txt"]).status.code(), Some(2));
+    assert_eq!(
+        hetfeas(&["check", "/nonexistent/file.txt"]).status.code(),
+        Some(2)
+    );
     assert_eq!(hetfeas(&["check", "--alpha"]).status.code(), Some(2));
     let path = write_system("task 1 2\nbogus\nmachine 1\n");
     let out = hetfeas(&["check", path.to_str()]);
@@ -128,12 +151,172 @@ fn bad_usage_exits_two() {
 }
 
 #[test]
+fn report_flag_writes_wellformed_json_and_round_trips_counters() {
+    let sys = write_system(FEASIBLE);
+    let report = temp_path("json");
+    let out = hetfeas(&["check", sys.to_str(), "--report", report.to_str()]);
+    assert!(
+        out.status.success(),
+        "exit code must be unchanged by --report: {out:?}"
+    );
+
+    let text = std::fs::read_to_string(&report.0).expect("report file written");
+    let v = json::parse(&text).expect("report must be well-formed JSON");
+
+    // Stable top-level keys, in render order.
+    let keys: Vec<&str> = v
+        .as_object()
+        .unwrap()
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        keys,
+        vec![
+            "tool",
+            "version",
+            "command",
+            "input",
+            "policy",
+            "n_tasks",
+            "n_machines",
+            "total_utilization",
+            "total_speed",
+            "alpha",
+            "verdict",
+            "counters",
+            "timers",
+            "histograms",
+        ],
+        "top-level report keys changed"
+    );
+    assert_eq!(v.get("tool").unwrap().as_str(), Some("hetfeas"));
+    assert_eq!(v.get("command").unwrap().as_str(), Some("check"));
+    assert_eq!(v.get("verdict").unwrap().as_str(), Some("feasible"));
+    assert_eq!(v.get("n_tasks").unwrap().as_u64(), Some(3));
+    assert_eq!(v.get("n_machines").unwrap().as_u64(), Some(2));
+
+    // Acceptance criterion: the reported admission-check counter equals
+    // the instrumented in-process run on the same system.
+    let parsed = parse_system(FEASIBLE).unwrap();
+    let (_, stats) = first_fit_instrumented(
+        &parsed.tasks,
+        &parsed.platform,
+        Augmentation::NONE,
+        &EdfAdmission,
+    );
+    let counters = v.get("counters").unwrap();
+    assert_eq!(
+        counters.get("ff.admission_checks").unwrap().as_u64(),
+        Some(stats.admission_checks),
+        "reported counters diverge from the instrumented scan"
+    );
+    assert_eq!(
+        counters.get("ff.placed").unwrap().as_u64(),
+        Some(stats.placed)
+    );
+
+    // The partition phase timer fired exactly once.
+    let timer = v.get("timers").unwrap().get("phase.partition").unwrap();
+    assert_eq!(timer.get("count").unwrap().as_u64(), Some(1));
+}
+
+#[test]
+fn report_flag_keeps_infeasible_exit_code() {
+    let sys = write_system(INFEASIBLE);
+    let report = temp_path("json");
+    let out = hetfeas(&["check", sys.to_str(), "--report", report.to_str()]);
+    assert_eq!(out.status.code(), Some(1), "--report must not mask exit 1");
+    let v = json::parse(&std::fs::read_to_string(&report.0).unwrap()).unwrap();
+    assert_eq!(v.get("verdict").unwrap().as_str(), Some("infeasible"));
+    assert!(v.get("failing_task").unwrap().as_u64().is_some());
+}
+
+#[test]
+fn report_flag_works_for_alpha_and_simulate() {
+    let sys = write_system(INFEASIBLE);
+    let report = temp_path("json");
+    let out = hetfeas(&["alpha", sys.to_str(), "--report", report.to_str()]);
+    assert!(out.status.success());
+    let v = json::parse(&std::fs::read_to_string(&report.0).unwrap()).unwrap();
+    assert_eq!(v.get("command").unwrap().as_str(), Some("alpha"));
+    // Known instance: α* = 1.6 (see `alpha_reports_bisection_and_lp_bound`).
+    let star = v.get("alpha_star").unwrap().as_f64().unwrap();
+    assert!((star - 1.6).abs() < 1e-3, "alpha_star = {star}");
+    assert!(v.get("lp_beta").unwrap().as_f64().is_some());
+    assert!(
+        v.get("counters")
+            .unwrap()
+            .get("alpha.probes")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+
+    let sys = write_system(FEASIBLE);
+    let report = temp_path("json");
+    let out = hetfeas(&["simulate", sys.to_str(), "--report", report.to_str()]);
+    assert!(out.status.success());
+    let v = json::parse(&std::fs::read_to_string(&report.0).unwrap()).unwrap();
+    assert_eq!(v.get("command").unwrap().as_str(), Some("simulate"));
+    assert_eq!(v.get("verdict").unwrap().as_str(), Some("clean"));
+    assert_eq!(v.get("miss_count").unwrap().as_u64(), Some(0));
+    assert!(v.get("jobs_completed").unwrap().as_u64().unwrap() > 0);
+    let timers = v.get("timers").unwrap();
+    assert!(timers.get("phase.partition").is_some());
+    assert!(timers.get("phase.simulate").is_some());
+}
+
+#[test]
+fn report_error_paths_exit_two_without_partial_file() {
+    // Unreadable input: exit 2, no report file.
+    let report = temp_path("json");
+    let out = hetfeas(&[
+        "check",
+        "/nonexistent/file.txt",
+        "--report",
+        report.to_str(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        !report.0.exists(),
+        "error run must not leave a partial report"
+    );
+
+    // Empty system file (no machines): parse error, exit 2, no report.
+    let sys = write_system("");
+    let report = temp_path("json");
+    let out = hetfeas(&["check", sys.to_str(), "--report", report.to_str()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!report.0.exists());
+
+    // Invalid system line: same contract.
+    let sys = write_system("task 1 2\nbogus\nmachine 1\n");
+    let report = temp_path("json");
+    let out = hetfeas(&["alpha", sys.to_str(), "--report", report.to_str()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!report.0.exists());
+
+    // --report with no value is a usage error.
+    let sys = write_system(FEASIBLE);
+    assert_eq!(
+        hetfeas(&["check", sys.to_str(), "--report"]).status.code(),
+        Some(2)
+    );
+}
+
+#[test]
 fn policy_flag_selects_admission() {
     // A pair of 0.45-utilization tasks on one machine: EDF ok, RMS-LL not.
     let path = write_system("task 45 100\ntask 45 100\nmachine 1\n");
-    assert!(hetfeas(&["check", path.to_str(), "--policy", "edf"]).status.success());
+    assert!(hetfeas(&["check", path.to_str(), "--policy", "edf"])
+        .status
+        .success());
     assert_eq!(
-        hetfeas(&["check", path.to_str(), "--policy", "rms"]).status.code(),
+        hetfeas(&["check", path.to_str(), "--policy", "rms"])
+            .status
+            .code(),
         Some(1)
     );
     // Exact RTA admission also rejects (0.9 > LL? exact RM: equal periods,

@@ -10,8 +10,10 @@
 
 use hetfeas::lp::lp_feasible;
 use hetfeas::model::{Augmentation, Platform, Ratio, TaskSet};
+use hetfeas::obs::MemorySink;
 use hetfeas::partition::{
-    exact_partition_edf, exact_partition_rms, first_fit, EdfAdmission, RmsLlAdmission,
+    exact_partition_edf, exact_partition_rms, first_fit, first_fit_instrumented, EdfAdmission,
+    FirstFitEngine, RmsLlAdmission, ScanStats,
 };
 use hetfeas::sim::{level_schedulable, validate_assignment, SchedPolicy};
 
@@ -73,8 +75,13 @@ fn exhaustive_oracle_coherence() {
             // Theorem I.1 exhaustively: exact-feasible ⇒ FF-EDF@2 accepts.
             if exact_edf.is_feasible() {
                 assert!(
-                    first_fit(&ts, &platform, Augmentation::EDF_VS_PARTITIONED, &EdfAdmission)
-                        .is_feasible(),
+                    first_fit(
+                        &ts,
+                        &platform,
+                        Augmentation::EDF_VS_PARTITIONED,
+                        &EdfAdmission
+                    )
+                    .is_feasible(),
                     "Theorem I.1 fails on {ts} / {platform}"
                 );
             }
@@ -98,6 +105,148 @@ fn exhaustive_oracle_coherence() {
     assert_eq!(checked, 3 * (4 + 10 + 20 + 35), "combinatorial family size");
 }
 
+/// Wider conformance grid: tasks off a two-period utilization menu
+/// ({k/4} ∪ {k/5}), every non-decreasing multiset of size ≤ `max_n`.
+fn mixed_tasksets(max_n: usize) -> Vec<TaskSet> {
+    const MENU: [(u64, u64); 9] = [
+        (1, 5),
+        (1, 4),
+        (2, 5),
+        (2, 4),
+        (3, 5),
+        (3, 4),
+        (4, 5),
+        (4, 4),
+        (5, 5),
+    ];
+    let mut out = Vec::new();
+    fn rec(prefix: &mut Vec<usize>, max_n: usize, out: &mut Vec<TaskSet>) {
+        if !prefix.is_empty() {
+            out.push(TaskSet::from_pairs(prefix.iter().map(|&i| MENU[i])).unwrap());
+        }
+        if prefix.len() == max_n {
+            return;
+        }
+        let lo = prefix.last().copied().unwrap_or(0);
+        for i in lo..MENU.len() {
+            prefix.push(i);
+            rec(prefix, max_n, out);
+            prefix.pop();
+        }
+    }
+    rec(&mut Vec::new(), max_n, &mut out);
+    out
+}
+
+/// Every platform with m ≤ 3 machines over the speed menu {1, 2}.
+fn wide_platforms() -> Vec<Platform> {
+    [
+        vec![1],
+        vec![2],
+        vec![1, 1],
+        vec![1, 2],
+        vec![2, 2],
+        vec![1, 1, 1],
+        vec![1, 1, 2],
+        vec![1, 2, 2],
+        vec![2, 2, 2],
+    ]
+    .into_iter()
+    .map(|s| Platform::from_int_speeds(s).unwrap())
+    .collect()
+}
+
+/// Conformance tier at the theorem constants, over the full n ≤ 4, m ≤ 3
+/// coarse grid: whenever the exact partitioned oracle fits the instance at
+/// speed 1, first-fit at α = 2 (EDF, Theorem I.1) and at α = 1/(√2−1)
+/// (RMS-LL, Theorem I.2) must accept — no exceptions anywhere in the
+/// family. The same sweep cross-checks the observability layer: the
+/// instrumented scan's counters stay within the analytic worst case and
+/// the indexed engine reports identical scan-equivalent counters.
+#[test]
+fn exhaustive_theorem_constants_wide_grid() {
+    let tasksets = mixed_tasksets(4);
+    let mut checked = 0usize;
+    for platform in wide_platforms() {
+        for ts in &tasksets {
+            checked += 1;
+            let exact = exact_partition_edf(ts, &platform, 1 << 20);
+            assert!(
+                exact.is_decided(),
+                "EDF budget must suffice at n ≤ 4, m ≤ 3"
+            );
+            if exact.is_feasible() {
+                assert!(
+                    first_fit(
+                        ts,
+                        &platform,
+                        Augmentation::EDF_VS_PARTITIONED,
+                        &EdfAdmission
+                    )
+                    .is_feasible(),
+                    "Theorem I.1 violated at α = 2 on {ts} / {platform}"
+                );
+            }
+
+            // Counter conformance rides the same sweep: the scan does at
+            // most n·m admission checks and places at most n tasks, and
+            // the engine's derived counters match the scan exactly.
+            let (outcome, stats) =
+                first_fit_instrumented(ts, &platform, Augmentation::NONE, &EdfAdmission);
+            let worst = ScanStats::worst_case(ts.len(), platform.len());
+            assert!(stats.admission_checks <= worst, "{ts} / {platform}");
+            assert!(stats.placed <= ts.len() as u64, "{ts} / {platform}");
+            let sink = MemorySink::new();
+            let engine_outcome = FirstFitEngine::new(EdfAdmission).run_with(
+                ts,
+                &platform,
+                Augmentation::NONE,
+                &sink,
+            );
+            assert_eq!(
+                engine_outcome, outcome,
+                "engine diverges on {ts} / {platform}"
+            );
+            assert_eq!(
+                ScanStats::from_sink(&sink),
+                stats,
+                "engine counters diverge on {ts} / {platform}"
+            );
+        }
+    }
+    // 9-element menu, non-decreasing multisets of sizes 1..=4:
+    // 9 + 45 + 165 + 495 = 714 task sets on each of the 9 platforms.
+    assert_eq!(checked, 9 * 714, "combinatorial family size");
+}
+
+/// RMS half of the conformance tier (n ≤ 3 keeps the exact RTA
+/// branch-and-bound cheap): exact-partitioned-feasible at speed 1 ⇒
+/// first-fit RMS-LL accepts at the Theorem I.2 constant √2 + 1.
+#[test]
+fn exhaustive_rms_theorem_constant_wide_grid() {
+    for platform in wide_platforms() {
+        for ts in mixed_tasksets(3) {
+            let exact = exact_partition_rms(&ts, &platform, 1 << 20);
+            assert!(
+                exact.is_decided(),
+                "RMS budget must suffice at n ≤ 3, m ≤ 3"
+            );
+            if exact.is_feasible() {
+                assert!(
+                    first_fit(
+                        &ts,
+                        &platform,
+                        Augmentation::RMS_VS_PARTITIONED,
+                        &RmsLlAdmission
+                    )
+                    .is_feasible(),
+                    "Theorem I.2 violated at α = √2 + 1 on {ts} / {platform}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn exhaustive_rms_chain() {
     for platform in platforms() {
@@ -107,13 +256,21 @@ fn exhaustive_rms_chain() {
             assert!(exact.is_decided());
             // FF with LL admission ⊆ exact RTA partitioning.
             if ff.is_feasible() {
-                assert!(exact.is_feasible(), "LL-FF ⊄ exact RTA on {ts} / {platform}");
+                assert!(
+                    exact.is_feasible(),
+                    "LL-FF ⊄ exact RTA on {ts} / {platform}"
+                );
             }
             // Theorem I.2 exhaustively.
             if exact.is_feasible() {
                 assert!(
-                    first_fit(&ts, &platform, Augmentation::RMS_VS_PARTITIONED, &RmsLlAdmission)
-                        .is_feasible(),
+                    first_fit(
+                        &ts,
+                        &platform,
+                        Augmentation::RMS_VS_PARTITIONED,
+                        &RmsLlAdmission
+                    )
+                    .is_feasible(),
                     "Theorem I.2 fails on {ts} / {platform}"
                 );
             }

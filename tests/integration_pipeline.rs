@@ -14,7 +14,11 @@ fn family(u_norm: f64) -> WorkloadSpec {
     WorkloadSpec {
         n_tasks: 10,
         normalized_utilization: u_norm,
-        platform: PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 },
+        platform: PlatformSpec::BigLittle {
+            big: 1,
+            little: 3,
+            ratio: 3,
+        },
         sampler: UtilizationSampler::UUniFastCapped,
         periods: PeriodMenu::standard(),
     }
@@ -27,7 +31,9 @@ fn family(u_norm: f64) -> WorkloadSpec {
 fn soundness_chain_edf() {
     let spec = family(0.9);
     for i in 0..40 {
-        let Some(inst) = spec.generate(424242, i) else { continue };
+        let Some(inst) = spec.generate(424242, i) else {
+            continue;
+        };
         let (tasks, platform) = (&inst.tasks, &inst.platform);
 
         // 1. Acceptance at α = 1 ⇒ zero misses in simulation.
@@ -35,12 +41,20 @@ fn soundness_chain_edf() {
         {
             let report = validate_assignment(tasks, platform, a, Ratio::ONE, SchedPolicy::Edf)
                 .expect("simulate");
-            assert_eq!(report.miss_count, 0, "accepted partition missed: instance {i}");
+            assert_eq!(
+                report.miss_count, 0,
+                "accepted partition missed: instance {i}"
+            );
         }
 
         // 2. Theorem I.1: rejection at α = 2 ⇒ no partitioned schedule.
-        if !first_fit(tasks, platform, Augmentation::EDF_VS_PARTITIONED, &EdfAdmission)
-            .is_feasible()
+        if !first_fit(
+            tasks,
+            platform,
+            Augmentation::EDF_VS_PARTITIONED,
+            &EdfAdmission,
+        )
+        .is_feasible()
         {
             if let ExactOutcome::Feasible(_) = exact_partition_edf(tasks, platform, 4_000_000) {
                 panic!("Theorem I.1 violated on instance {i}: {tasks}")
@@ -62,7 +76,9 @@ fn soundness_chain_edf() {
 fn soundness_chain_rms() {
     let spec = family(0.6);
     for i in 0..30 {
-        let Some(inst) = spec.generate(777, i) else { continue };
+        let Some(inst) = spec.generate(777, i) else {
+            continue;
+        };
         let (tasks, platform) = (&inst.tasks, &inst.platform);
 
         if let Some(a) =
@@ -71,7 +87,10 @@ fn soundness_chain_rms() {
             let report =
                 validate_assignment(tasks, platform, a, Ratio::ONE, SchedPolicy::RateMonotonic)
                     .expect("simulate");
-            assert_eq!(report.miss_count, 0, "accepted RMS partition missed: instance {i}");
+            assert_eq!(
+                report.miss_count, 0,
+                "accepted RMS partition missed: instance {i}"
+            );
             // And per machine, exact RTA agrees with acceptance.
             for m in 0..platform.len() {
                 let subset = a.taskset_on(m, tasks);
@@ -97,9 +116,14 @@ fn soundness_chain_rms() {
 #[test]
 fn lp_oracles_agree_end_to_end() {
     for (j, u) in [0.6, 0.9, 1.0, 1.1].into_iter().enumerate() {
-        let spec = WorkloadSpec { n_tasks: 6, ..family(u) };
+        let spec = WorkloadSpec {
+            n_tasks: 6,
+            ..family(u)
+        };
         for i in 0..10 {
-            let Some(inst) = spec.generate(31337 + j as u64, i) else { continue };
+            let Some(inst) = spec.generate(31337 + j as u64, i) else {
+                continue;
+            };
             let closed = lp_feasible(&inst.tasks, &inst.platform);
             let simplex = lp_feasible_simplex(&inst.tasks, &inst.platform);
             // Boundary instances may classify differently within f64
@@ -127,7 +151,9 @@ fn lp_oracles_agree_end_to_end() {
 fn acceptance_monotone_in_alpha() {
     let spec = family(0.95);
     for i in 0..20 {
-        let Some(inst) = spec.generate(99, i) else { continue };
+        let Some(inst) = spec.generate(99, i) else {
+            continue;
+        };
         let alphas = [1.0, 1.3, 1.7, 2.0, 2.5, 3.0];
         let mut accepted_before = false;
         for &a in &alphas {
@@ -154,7 +180,12 @@ fn pipeline_is_deterministic() {
     let spec = family(0.8);
     let run = || {
         let inst = spec.generate(5150, 3).unwrap();
-        let out = first_fit(&inst.tasks, &inst.platform, Augmentation::NONE, &EdfAdmission);
+        let out = first_fit(
+            &inst.tasks,
+            &inst.platform,
+            Augmentation::NONE,
+            &EdfAdmission,
+        );
         format!("{:?}", out)
     };
     assert_eq!(run(), run());

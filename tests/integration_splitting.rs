@@ -9,11 +9,7 @@ use hetfeas::sim::{simulate_machine, validation_horizon, ReleasePattern, SchedPo
 use hetfeas::workload::{PeriodMenu, PlatformSpec, UtilizationSampler, WorkloadSpec};
 
 /// Rebuild each machine's (possibly constrained) task set from placements.
-fn machine_sets(
-    tasks: &TaskSet,
-    platform: &Platform,
-    placements: &[Placement],
-) -> Vec<TaskSet> {
+fn machine_sets(tasks: &TaskSet, platform: &Platform, placements: &[Placement]) -> Vec<TaskSet> {
     let mut per_machine: Vec<Vec<Task>> = vec![Vec::new(); platform.len()];
     for (ti, pl) in placements.iter().enumerate() {
         match pl {
@@ -33,19 +29,27 @@ fn accepted_splits_simulate_cleanly() {
     let spec = WorkloadSpec {
         n_tasks: 10,
         normalized_utilization: 0.95, // high load → splits actually happen
-        platform: PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 },
+        platform: PlatformSpec::BigLittle {
+            big: 1,
+            little: 3,
+            ratio: 3,
+        },
         sampler: UtilizationSampler::UUniFastCapped,
         periods: PeriodMenu::standard(),
     };
     let mut split_instances = 0usize;
     for i in 0..60 {
-        let Some(inst) = spec.generate(20260705, i) else { continue };
+        let Some(inst) = spec.generate(20260705, i) else {
+            continue;
+        };
         let SplitOutcome::Feasible(placements) =
             semi_partition(&inst.tasks, &inst.platform, Augmentation::NONE)
         else {
             continue;
         };
-        let had_split = placements.iter().any(|p| matches!(p, Placement::Split { .. }));
+        let had_split = placements
+            .iter()
+            .any(|p| matches!(p, Placement::Split { .. }));
         split_instances += usize::from(had_split);
         for (m, set) in machine_sets(&inst.tasks, &inst.platform, &placements)
             .into_iter()
@@ -80,15 +84,26 @@ fn splitting_strictly_extends_first_fit_on_this_family() {
     let spec = WorkloadSpec {
         n_tasks: 10,
         normalized_utilization: 0.95,
-        platform: PlatformSpec::BigLittle { big: 1, little: 3, ratio: 3 },
+        platform: PlatformSpec::BigLittle {
+            big: 1,
+            little: 3,
+            ratio: 3,
+        },
         sampler: UtilizationSampler::UUniFastCapped,
         periods: PeriodMenu::standard(),
     };
     let (mut ff_n, mut semi_n) = (0usize, 0usize);
     for i in 0..80 {
-        let Some(inst) = spec.generate(777_000, i) else { continue };
-        let ff = first_fit(&inst.tasks, &inst.platform, Augmentation::NONE, &EdfAdmission)
-            .is_feasible();
+        let Some(inst) = spec.generate(777_000, i) else {
+            continue;
+        };
+        let ff = first_fit(
+            &inst.tasks,
+            &inst.platform,
+            Augmentation::NONE,
+            &EdfAdmission,
+        )
+        .is_feasible();
         let semi = semi_partition(&inst.tasks, &inst.platform, Augmentation::NONE).is_feasible();
         assert!(!ff || semi, "FF ⊆ semi violated on instance {i}");
         ff_n += usize::from(ff);

@@ -5,8 +5,7 @@
 use hetfeas::lp::{level_scaling_factor, lp_feasible};
 use hetfeas::model::{Augmentation, Platform, TaskSet};
 use hetfeas::partition::{
-    exact_partition_edf, first_fit, min_feasible_alpha, EdfAdmission, ExactOutcome,
-    RmsLlAdmission,
+    exact_partition_edf, first_fit, min_feasible_alpha, EdfAdmission, ExactOutcome, RmsLlAdmission,
 };
 
 /// The classic first-fit stressor on identical machines: m machines,
@@ -26,7 +25,10 @@ fn pigeonhole_family_agrees_with_exact() {
         // The *migrative* adversary schedules them fine (total 0.51(m+1)
         // ≤ m and each w ≤ 1) — exactly the partitioned-vs-migrative gap
         // the paper's two adversary classes capture.
-        assert!(lp_feasible(&tasks, &platform), "migration handles m+1 half-loads");
+        assert!(
+            lp_feasible(&tasks, &platform),
+            "migration handles m+1 half-loads"
+        );
     }
 }
 
@@ -63,7 +65,10 @@ fn measured_ff_opt_gap_instance() {
         "a perfect 2-way partition exists"
     );
     let alpha = min_feasible_alpha(&tasks, &platform, &EdfAdmission, 3.0, 1e-6).unwrap();
-    assert!(alpha > 1.0 && alpha <= 2.0, "gap α* = {alpha} within Theorem I.1");
+    assert!(
+        alpha > 1.0 && alpha <= 2.0,
+        "gap α* = {alpha} within Theorem I.1"
+    );
     // The specific value: the final 0.24 task fits machine 1 once
     // 0.30+0.30+0.24+0.24 = 1.08 ≤ α, so α* = 1.08.
     assert!((alpha - 1.08).abs() < 1e-3, "α* = {alpha}");
@@ -77,7 +82,10 @@ fn exact_saturation_feasible() {
     let tasks = TaskSet::from_pairs([(1, 1), (2, 1)]).unwrap();
     let platform = Platform::from_int_speeds([1, 2]).unwrap();
     let out = first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission);
-    assert!(out.is_feasible(), "exact saturation must be accepted (non-strict bound)");
+    assert!(
+        out.is_feasible(),
+        "exact saturation must be accepted (non-strict bound)"
+    );
     assert!(lp_feasible(&tasks, &platform));
     assert!((level_scaling_factor(&tasks, &platform) - 1.0).abs() < 1e-12);
 }
@@ -114,8 +122,13 @@ fn rms_boundary_pairs() {
             "LL must reject 0.5+0.5 pairs at α = 1"
         );
         assert!(
-            first_fit(&tasks, &platform, Augmentation::RMS_VS_PARTITIONED, &RmsLlAdmission)
-                .is_feasible(),
+            first_fit(
+                &tasks,
+                &platform,
+                Augmentation::RMS_VS_PARTITIONED,
+                &RmsLlAdmission
+            )
+            .is_feasible(),
             "α = 2.414 must rescue the pairs (Theorem I.2)"
         );
     }
@@ -145,5 +158,8 @@ fn degenerate_inputs() {
     assert!(first_fit(&empty, &p, Augmentation::NONE, &EdfAdmission).is_feasible());
     assert!(lp_feasible(&empty, &p));
     assert!(exact_partition_edf(&empty, &p, 10).is_feasible());
-    assert_eq!(min_feasible_alpha(&empty, &p, &EdfAdmission, 2.0, 1e-6), Some(1.0));
+    assert_eq!(
+        min_feasible_alpha(&empty, &p, &EdfAdmission, 2.0, 1e-6),
+        Some(1.0)
+    );
 }
