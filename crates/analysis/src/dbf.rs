@@ -15,6 +15,7 @@
 //! rational speed.
 
 use hetfeas_model::{Ratio, Task, TaskSet};
+use hetfeas_robust::{Exhaustion, Gas};
 
 /// Demand bound of a single task over an interval of length `t`.
 pub fn dbf(task: &Task, t: u64) -> u128 {
@@ -56,25 +57,59 @@ pub fn testing_points(tasks: &TaskSet, horizon: u64) -> Vec<u64> {
 /// With `horizon` at least the hyperperiod and total utilization at most
 /// `speed`, this is necessary and sufficient.
 pub fn edf_demand_schedulable(tasks: &TaskSet, speed: Ratio, horizon: u64) -> bool {
+    edf_demand_schedulable_within(tasks, speed, horizon, &mut Gas::unlimited())
+        .expect("unlimited gas cannot exhaust")
+}
+
+/// [`edf_demand_schedulable`] under an execution budget. The testing
+/// points are generated lazily (next-deadline merge over the tasks) so an
+/// absurd horizon costs neither memory nor unmetered time: each point
+/// checked ticks `gas` once per task.
+pub fn edf_demand_schedulable_within(
+    tasks: &TaskSet,
+    speed: Ratio,
+    horizon: u64,
+    gas: &mut Gas,
+) -> Result<bool, Exhaustion> {
     debug_assert!(speed > Ratio::ZERO);
     let num = speed.numer() as u128;
     let den = speed.denom() as u128;
     // Quick necessary condition: long-run demand rate is total utilization.
-    if tasks.total_utilization_ratio() > speed {
-        return false;
+    match tasks.try_total_utilization_ratio() {
+        Ok(u) if u <= speed => {}
+        // Overloaded, or overflow (cannot certify the horizon suffices).
+        _ => return Ok(false),
     }
-    for t in testing_points(tasks, horizon) {
+    // Lazy merge of the per-task deadline grids `d_i + k·p_i`; a grid whose
+    // next point overflows u64 drops out (`None`).
+    let mut next: Vec<Option<u64>> = tasks.iter().map(|t| Some(t.deadline())).collect();
+    loop {
+        let Some(t) = next
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&p| p <= horizon)
+            .min()
+        else {
+            return Ok(true); // no testing point left inside the horizon
+        };
+        gas.tick_n(tasks.len() as u64)?;
         let demand = total_dbf(tasks, t);
         match demand.checked_mul(den) {
             Some(lhs) => {
                 if lhs > num * t as u128 {
-                    return false;
+                    return Ok(false);
                 }
             }
-            None => return false, // conservative on overflow
+            None => return Ok(false), // conservative on overflow
+        }
+        // Advance every grid sitting at t.
+        for (slot, task) in next.iter_mut().zip(tasks.iter()) {
+            if *slot == Some(t) {
+                *slot = t.checked_add(task.period());
+            }
         }
     }
-    true
 }
 
 #[cfg(test)]
@@ -145,5 +180,33 @@ mod tests {
             Ratio::new(1, 10),
             100
         ));
+    }
+
+    #[test]
+    fn overflowing_utilization_is_conservative_not_fatal() {
+        let ts =
+            TaskSet::from_pairs((0..4u64).map(|i| (u64::MAX - 2 - 2 * i, u64::MAX - 1 - 2 * i)))
+                .unwrap();
+        // Ratio sum overflows i128; must classify false, not panic.
+        assert!(!edf_demand_schedulable(&ts, Ratio::from_integer(1000), 100));
+    }
+
+    #[test]
+    fn budgeted_pdc_exhausts_instead_of_scanning_forever() {
+        use hetfeas_robust::{Budget, Exhaustion, Gas};
+        // Dense grid: period 1 task yields ~horizon testing points; the
+        // lazy scan must stop on gas, not materialize them.
+        let ts = TaskSet::new(vec![ct(1, 2, 1), ct(1, 4, 4)]);
+        let mut gas = Budget::ops(10).gas();
+        assert_eq!(
+            edf_demand_schedulable_within(&ts, Ratio::ONE, u64::MAX / 2, &mut gas),
+            Err(Exhaustion::Ops)
+        );
+        // And agrees with the eager API when the budget suffices.
+        let mut gas = Gas::unlimited();
+        assert_eq!(
+            edf_demand_schedulable_within(&ts, Ratio::ONE, 16, &mut gas),
+            Ok(edf_demand_schedulable(&ts, Ratio::ONE, 16))
+        );
     }
 }

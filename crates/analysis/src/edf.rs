@@ -24,8 +24,10 @@ pub fn edf_schedulable_load(total_utilization: f64, speed: f64) -> bool {
 /// Exact rational EDF test: `Σ c_i/p_i ≤ s` with no rounding. Prefer for
 /// oracle/ground-truth classification of knife-edge instances; requires the
 /// periods' lcm to stay within `i128` (see `hetfeas_model::ratio`).
+/// Conservative `false` when the sum overflows — this entry point never
+/// panics on valid inputs.
 pub fn edf_schedulable_exact(tasks: &TaskSet, speed: Ratio) -> bool {
-    tasks.total_utilization_ratio() <= speed
+    matches!(tasks.try_total_utilization_ratio(), Ok(u) if u <= speed)
 }
 
 /// The largest additional utilization a speed-`s` machine carrying
@@ -73,5 +75,15 @@ mod tests {
     #[test]
     fn empty_set_always_schedulable() {
         assert!(edf_schedulable(&TaskSet::empty(), 1e-9));
+    }
+
+    #[test]
+    fn exact_test_survives_ratio_overflow() {
+        // Coprime-ish periods near u64::MAX: the rational sum overflows
+        // i128, which must classify as false rather than panic.
+        let ts =
+            TaskSet::from_pairs((0..4u64).map(|i| (u64::MAX - 2 - 2 * i, u64::MAX - 1 - 2 * i)))
+                .unwrap();
+        assert!(!edf_schedulable_exact(&ts, Ratio::from_integer(1_000_000)));
     }
 }

@@ -27,14 +27,20 @@ pub mod rms;
 pub mod rta;
 
 pub use bounds::{edf_bound, liu_layland_bound, LN2};
-pub use dbf::{dbf, edf_demand_schedulable, testing_points, total_dbf};
+pub use dbf::{
+    dbf, edf_demand_schedulable, edf_demand_schedulable_within, testing_points, total_dbf,
+};
 pub use edf::{edf_schedulable, edf_schedulable_exact, edf_schedulable_load, edf_slack};
 pub use harmonic::{harmonic_chain_count, rms_schedulable_kuo_mok};
-pub use qpa::{busy_period, qpa_schedulable, qpa_schedulable_unit};
+pub use qpa::{
+    busy_period, busy_period_within, qpa_checked_within, qpa_schedulable, qpa_schedulable_checked,
+    qpa_schedulable_unit, qpa_schedulable_unit_checked, qpa_schedulable_within,
+};
 pub use rms::{
     rms_hyperbolic_product_ok, rms_schedulable_hyperbolic, rms_schedulable_ll,
     rms_schedulable_ll_load,
 };
 pub use rta::{
-    dm_priority_order, rm_priority_order, rta_response_times, rta_schedulable, rta_schedulable_f64,
+    dm_priority_order, rm_priority_order, rta_response_times, rta_response_times_within,
+    rta_schedulable, rta_schedulable_f64, rta_schedulable_within,
 };

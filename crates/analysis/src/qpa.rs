@@ -16,34 +16,51 @@
 
 use crate::dbf::total_dbf;
 use hetfeas_model::time::div_ceil_u128;
-use hetfeas_model::{Ratio, Task, TaskSet};
+use hetfeas_model::{ModelError, Ratio, Task, TaskSet};
+use hetfeas_robust::{Exhaustion, Gas};
 
 /// The synchronous busy-period length: least fixpoint of
 /// `w = Σ ⌈w / p_i⌉ · c_i` (unit speed), or `None` if utilization exceeds
 /// 1 (the recurrence diverges) or arithmetic overflows.
 pub fn busy_period(tasks: &TaskSet) -> Option<u128> {
+    busy_period_within(tasks, &mut Gas::unlimited()).expect("unlimited gas cannot exhaust")
+}
+
+/// [`busy_period`] under an execution budget: each fixed-point iteration
+/// ticks `gas` once per task, so a pathological recurrence stops with
+/// `Err(Exhaustion)` instead of burning the full iteration cap.
+pub fn busy_period_within(tasks: &TaskSet, gas: &mut Gas) -> Result<Option<u128>, Exhaustion> {
     if tasks.is_empty() {
-        return Some(0);
+        return Ok(Some(0));
     }
-    if tasks.total_utilization_ratio() > Ratio::ONE {
-        return None;
+    match tasks.try_total_utilization_ratio() {
+        Ok(u) if u <= Ratio::ONE => {}
+        // Overloaded (diverges) or overflow (can't certify convergence).
+        _ => return Ok(None),
     }
     let mut w: u128 = tasks.iter().map(|t| t.wcet() as u128).sum();
     // Convergence within the hyperperiod for U ≤ 1; guard with an
     // iteration cap anyway.
     for _ in 0..1_000_000 {
+        gas.tick_n(tasks.len() as u64)?;
         let mut next: u128 = 0;
         for t in tasks {
-            next = next
-                .checked_add(div_ceil_u128(w, t.period() as u128).checked_mul(t.wcet() as u128)?)?;
+            let Some(term) = div_ceil_u128(w, t.period() as u128).checked_mul(t.wcet() as u128)
+            else {
+                return Ok(None);
+            };
+            let Some(sum) = next.checked_add(term) else {
+                return Ok(None);
+            };
+            next = sum;
         }
         if next == w {
-            return Some(w);
+            return Ok(Some(w));
         }
         debug_assert!(next > w);
         w = next;
     }
-    None
+    Ok(None)
 }
 
 /// Largest absolute deadline strictly below `t`, or `None` if none exists.
@@ -63,23 +80,42 @@ fn max_deadline_below(tasks: &TaskSet, t: u128) -> Option<u128> {
 }
 
 /// Demand `h(t)` over a window of length `t` (u128 domain wrapper around
-/// [`total_dbf`]; saturates at the horizon-bounded values we use).
-fn h(tasks: &TaskSet, t: u128) -> u128 {
-    total_dbf(tasks, u64::try_from(t).unwrap_or(u64::MAX))
+/// [`total_dbf`]). `None` when `t` exceeds the `u64` DBF domain — the
+/// caller must surface [`ModelError::Overflow`] rather than quietly test a
+/// truncated time bound.
+fn h(tasks: &TaskSet, t: u128) -> Option<u128> {
+    Some(total_dbf(tasks, u64::try_from(t).ok()?))
 }
 
 /// Exact EDF schedulability on a *unit-speed* machine via QPA. Assumes
 /// `d_i ≤ p_i` (debug-asserted) — the constrained-deadline model.
+///
+/// Conservative wrapper over [`qpa_schedulable_unit_checked`]: arithmetic
+/// overflow classifies as *not schedulable*.
 pub fn qpa_schedulable_unit(tasks: &TaskSet) -> bool {
+    qpa_schedulable_unit_checked(tasks).unwrap_or(false)
+}
+
+/// [`qpa_schedulable_unit`] with overflow surfaced: when the busy period
+/// lands outside the `u64` demand-bound domain the verdict would be taken
+/// at the wrong time bound, so it is `Err(ModelError::Overflow)` instead.
+pub fn qpa_schedulable_unit_checked(tasks: &TaskSet) -> Result<bool, ModelError> {
+    qpa_unit_core(tasks, &mut Gas::unlimited()).expect("unlimited gas cannot exhaust")
+}
+
+/// The QPA walk itself, budgeted: one gas tick per demand probe.
+fn qpa_unit_core(tasks: &TaskSet, gas: &mut Gas) -> Result<Result<bool, ModelError>, Exhaustion> {
     debug_assert!(tasks.iter().all(|t| t.deadline() <= t.period()));
     if tasks.is_empty() {
-        return true;
+        return Ok(Ok(true));
     }
-    if tasks.total_utilization_ratio() > Ratio::ONE {
-        return false;
+    match tasks.try_total_utilization_ratio() {
+        Ok(u) if u > Ratio::ONE => return Ok(Ok(false)),
+        Ok(_) => {}
+        Err(e) => return Ok(Err(e)),
     }
-    let Some(l) = busy_period(tasks) else {
-        return false;
+    let Some(l) = busy_period_within(tasks, gas)? else {
+        return Ok(Ok(false));
     };
     let d_min = tasks
         .iter()
@@ -88,22 +124,25 @@ pub fn qpa_schedulable_unit(tasks: &TaskSet) -> bool {
         .expect("non-empty");
     // Start at the largest deadline strictly inside the busy period.
     let Some(mut t) = max_deadline_below(tasks, l.max(1)) else {
-        return true; // no deadline inside the busy period ⇒ nothing to miss
+        return Ok(Ok(true)); // no deadline inside the busy period ⇒ nothing to miss
     };
     loop {
-        let demand = h(tasks, t);
+        gas.tick_n(tasks.len() as u64)?;
+        let Some(demand) = h(tasks, t) else {
+            return Ok(Err(ModelError::Overflow("QPA demand bound")));
+        };
         if demand > t {
-            return false;
+            return Ok(Ok(false));
         }
         if demand <= d_min {
-            return true;
+            return Ok(Ok(true));
         }
         t = if demand < t {
             demand
         } else {
             match max_deadline_below(tasks, t) {
                 Some(next) => next,
-                None => return true,
+                None => return Ok(Ok(true)),
             }
         };
     }
@@ -122,11 +161,39 @@ pub fn qpa_schedulable_unit(tasks: &TaskSet) -> bool {
 /// assert!(qpa_schedulable(&set, Ratio::from_integer(2)));
 /// ```
 pub fn qpa_schedulable(tasks: &TaskSet, speed: Ratio) -> bool {
+    qpa_schedulable_checked(tasks, speed).unwrap_or(false)
+}
+
+/// [`qpa_schedulable`] with overflow surfaced as
+/// `Err(ModelError::Overflow)` instead of a silent conservative `false` —
+/// callers that degrade (rather than reject) on overflow need the
+/// distinction.
+pub fn qpa_schedulable_checked(tasks: &TaskSet, speed: Ratio) -> Result<bool, ModelError> {
+    qpa_checked_within(tasks, speed, &mut Gas::unlimited()).expect("unlimited gas cannot exhaust")
+}
+
+/// [`qpa_schedulable`] under an execution budget: conservative `false` on
+/// arithmetic overflow, `Err(Exhaustion)` when the budget runs out first.
+pub fn qpa_schedulable_within(
+    tasks: &TaskSet,
+    speed: Ratio,
+    gas: &mut Gas,
+) -> Result<bool, Exhaustion> {
+    Ok(qpa_checked_within(tasks, speed, gas)?.unwrap_or(false))
+}
+
+/// Full-fidelity budgeted QPA: the outer `Err` is budget exhaustion, the
+/// inner `Err` is arithmetic overflow (wrong-domain time bound).
+pub fn qpa_checked_within(
+    tasks: &TaskSet,
+    speed: Ratio,
+    gas: &mut Gas,
+) -> Result<Result<bool, ModelError>, Exhaustion> {
     if speed <= Ratio::ZERO {
-        return false;
+        return Ok(Ok(false));
     }
     if tasks.is_empty() {
-        return true;
+        return Ok(Ok(true));
     }
     let num = speed.numer() as u64;
     let den = speed.denom() as u64;
@@ -141,8 +208,8 @@ pub fn qpa_schedulable(tasks: &TaskSet, speed: Ratio) -> bool {
         .collect::<Option<Vec<_>>>()
         .map(TaskSet::new);
     match scaled {
-        Some(s) => qpa_schedulable_unit(&s),
-        None => false, // conservative on overflow
+        Some(s) => qpa_unit_core(&s, gas),
+        None => Ok(Err(ModelError::Overflow("QPA speed rescaling"))),
     }
 }
 
@@ -233,5 +300,76 @@ mod tests {
     fn empty_set() {
         assert!(qpa_schedulable_unit(&TaskSet::empty()));
         assert!(qpa_schedulable(&TaskSet::empty(), Ratio::new(1, 7)));
+    }
+
+    #[test]
+    fn checked_variant_surfaces_rescaling_overflow() {
+        // Rescaling by 1/3 multiplies wcet by 3: overflows u64.
+        let ts = TaskSet::from_pairs([(u64::MAX - 1, u64::MAX)]).unwrap();
+        assert_eq!(
+            qpa_schedulable_checked(&ts, Ratio::new(1, 3)),
+            Err(hetfeas_model::ModelError::Overflow("QPA speed rescaling"))
+        );
+        // The bool wrapper stays conservative.
+        assert!(!qpa_schedulable(&ts, Ratio::new(1, 3)));
+    }
+
+    #[test]
+    fn checked_variant_surfaces_utilization_overflow() {
+        let ts =
+            TaskSet::from_pairs((0..4u64).map(|i| (u64::MAX - 2 - 2 * i, u64::MAX - 1 - 2 * i)))
+                .unwrap();
+        assert!(matches!(
+            qpa_schedulable_unit_checked(&ts),
+            Err(hetfeas_model::ModelError::Overflow(_))
+        ));
+        assert!(!qpa_schedulable_unit(&ts));
+    }
+
+    #[test]
+    fn checked_agrees_with_bool_api_on_ordinary_sets() {
+        let cases = [
+            vec![ct(2, 10, 6), ct(3, 15, 10), ct(4, 30, 30)],
+            vec![ct(2, 10, 2), ct(2, 10, 2)],
+            vec![ct(5, 20, 9), ct(5, 20, 10), ct(5, 20, 11)],
+        ];
+        for tasks in cases {
+            let ts = TaskSet::new(tasks);
+            assert_eq!(
+                qpa_schedulable_unit_checked(&ts),
+                Ok(qpa_schedulable_unit(&ts))
+            );
+            for speed in [Ratio::ONE, Ratio::new(1, 2), Ratio::from_integer(3)] {
+                assert_eq!(
+                    qpa_schedulable_checked(&ts, speed),
+                    Ok(qpa_schedulable(&ts, speed))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_qpa_exhausts_and_agrees() {
+        use hetfeas_robust::Budget;
+        let ts = TaskSet::new(vec![ct(2, 8, 2), ct(6, 8, 8)]);
+        // Generous budget: same verdict as the unbudgeted API.
+        let mut gas = Budget::ops(1_000_000).gas();
+        assert_eq!(qpa_schedulable_within(&ts, Ratio::ONE, &mut gas), Ok(true));
+        // Starved budget: exhaustion, not a wrong answer.
+        let mut gas = Budget::ops(1).gas();
+        assert_eq!(
+            qpa_schedulable_within(&ts, Ratio::ONE, &mut gas),
+            Err(Exhaustion::Ops)
+        );
+    }
+
+    #[test]
+    fn budgeted_busy_period_matches() {
+        use hetfeas_robust::Budget;
+        let ts = TaskSet::from_pairs([(2, 4), (2, 6)]).unwrap();
+        let mut gas = Budget::ops(10_000).gas();
+        assert_eq!(busy_period_within(&ts, &mut gas), Ok(Some(4)));
+        let mut gas = Budget::ops(1).gas();
+        assert_eq!(busy_period_within(&ts, &mut gas), Err(Exhaustion::Ops));
     }
 }

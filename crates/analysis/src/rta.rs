@@ -25,6 +25,7 @@
 
 use hetfeas_model::time::div_ceil_u128;
 use hetfeas_model::{Ratio, TaskSet};
+use hetfeas_robust::{Exhaustion, Gas};
 
 /// Rate-monotonic priority order: indices sorted by increasing period
 /// (higher priority first), ties broken by original index. This matches the
@@ -60,6 +61,22 @@ pub fn dm_priority_order(tasks: &TaskSet) -> Vec<usize> {
 /// Exactness requires `deadline ≤ period` for every task (critical-instant
 /// RTA); this is asserted in debug builds.
 pub fn rta_response_times(tasks: &TaskSet, priority: &[usize], speed: Ratio) -> Vec<Option<Ratio>> {
+    rta_response_times_within(tasks, priority, speed, &mut Gas::unlimited())
+        .expect("unlimited gas cannot exhaust")
+}
+
+/// [`rta_response_times`] under an execution budget.
+///
+/// The fixed-point recurrence is bounded only by `R ≤ d_i` — with
+/// near-`u64::MAX` deadlines that is ~2⁶⁴ iterations, a *de facto* hang.
+/// Each iteration ticks `gas` once per interfering task, so a runaway
+/// recurrence stops with `Err(Exhaustion)` instead.
+pub fn rta_response_times_within(
+    tasks: &TaskSet,
+    priority: &[usize],
+    speed: Ratio,
+    gas: &mut Gas,
+) -> Result<Vec<Option<Ratio>>, Exhaustion> {
     debug_assert!(speed > Ratio::ZERO);
     debug_assert!(
         tasks.iter().all(|t| t.deadline() <= t.period()),
@@ -90,6 +107,7 @@ pub fn rta_response_times(tasks: &TaskSet, priority: &[usize], speed: Ratio) -> 
 
         let mut r = ci;
         let converged = loop {
+            gas.tick_n(hp.len() as u64 + 1)?;
             if r > budget {
                 break None;
             }
@@ -125,7 +143,7 @@ pub fn rta_response_times(tasks: &TaskSet, priority: &[usize], speed: Ratio) -> 
             }
         });
     }
-    out
+    Ok(out)
 }
 
 /// Exact fixed-priority schedulability under rate-monotonic priorities on a
@@ -135,6 +153,18 @@ pub fn rta_schedulable(tasks: &TaskSet, speed: Ratio) -> bool {
     rta_response_times(tasks, &order, speed)
         .iter()
         .all(Option::is_some)
+}
+
+/// [`rta_schedulable`] under an execution budget.
+pub fn rta_schedulable_within(
+    tasks: &TaskSet,
+    speed: Ratio,
+    gas: &mut Gas,
+) -> Result<bool, Exhaustion> {
+    let order = rm_priority_order(tasks);
+    Ok(rta_response_times_within(tasks, &order, speed, gas)?
+        .iter()
+        .all(Option::is_some))
 }
 
 /// Convenience wrapper taking an `f64` speed (rationalized with denominator
@@ -227,6 +257,30 @@ mod tests {
     #[test]
     fn empty_set() {
         assert!(rta_schedulable(&TaskSet::empty(), Ratio::ONE));
+    }
+
+    #[test]
+    fn budgeted_rta_agrees_when_budget_suffices() {
+        use hetfeas_robust::Budget;
+        let ts = TaskSet::from_pairs([(1, 4), (2, 6), (3, 13)]).unwrap();
+        let mut gas = Budget::ops(100_000).gas();
+        assert_eq!(rta_schedulable_within(&ts, Ratio::ONE, &mut gas), Ok(true));
+    }
+
+    #[test]
+    fn budgeted_rta_stops_runaway_recurrence() {
+        use hetfeas_robust::{Budget, Exhaustion};
+        // Saturating high-priority task (util 1) plus a huge-deadline task:
+        // the recurrence climbs by 1 per iteration toward a ~2⁶² budget —
+        // a de-facto hang without gas.
+        let mut ts = TaskSet::empty();
+        ts.push(hetfeas_model::Task::implicit(1, 1).unwrap());
+        ts.push(hetfeas_model::Task::implicit(1, 1 << 62).unwrap());
+        let mut gas = Budget::ops(100_000).gas();
+        assert_eq!(
+            rta_schedulable_within(&ts, Ratio::ONE, &mut gas),
+            Err(Exhaustion::Ops)
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! run-experiments [IDS…] [--quick] [--seed N] [--samples N]
-//!                 [--workers N] [--csv DIR] [--markdown FILE] [--list]
+//!                 [--workers N] [--csv DIR] [--markdown FILE]
+//!                 [--checkpoint FILE] [--resume FILE] [--list]
 //!
 //! IDS        experiment ids (e1 … e15) or `all` (default: all)
 //! --quick    reduced sample counts (smoke run)
@@ -11,10 +12,19 @@
 //! --workers N  worker threads (default: all cores)
 //! --csv DIR  additionally write one CSV per table into DIR
 //! --markdown FILE  additionally write all tables as one Markdown report
+//! --checkpoint FILE  write a JSON snapshot after every finished experiment
+//! --resume FILE  replay experiments already completed in FILE
 //! --list     print the experiment registry and exit
 //! ```
+//!
+//! Every experiment runs behind a panic firewall: a poisoned cell renders
+//! an `✗panic` marker table and the sweep continues. Panicked cells are
+//! never checkpointed, so a `--resume` run retries them. Pass the same
+//! path to both flags to continue a killed run in place.
 
-use hetfeas_experiments::{all_experiments, ExpConfig};
+use hetfeas_experiments::{all_experiments, run_checkpointed, Checkpoint, ExpConfig};
+use hetfeas_obs::MemorySink;
+use hetfeas_robust::metrics::{ROBUST_PANICS, SWEEP_CELLS_RESUMED, SWEEP_CELLS_RUN};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -23,6 +33,8 @@ struct Args {
     cfg: ExpConfig,
     csv_dir: Option<String>,
     markdown: Option<String>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
     list: bool,
 }
 
@@ -31,6 +43,8 @@ fn parse_args() -> Result<Args, String> {
     let mut cfg = ExpConfig::standard();
     let mut csv_dir = None;
     let mut markdown = None;
+    let mut checkpoint = None;
+    let mut resume = None;
     let mut list = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -65,11 +79,18 @@ fn parse_args() -> Result<Args, String> {
             "--markdown" => {
                 markdown = Some(argv.next().ok_or("--markdown needs a file path")?);
             }
+            "--checkpoint" => {
+                checkpoint = Some(argv.next().ok_or("--checkpoint needs a file path")?);
+            }
+            "--resume" => {
+                resume = Some(argv.next().ok_or("--resume needs a file path")?);
+            }
             "--list" => list = true,
             "--help" | "-h" => {
                 return Err("usage: run-experiments [IDS…|all] [--quick] [--seed N] \
                             [--samples N] [--workers N] [--csv DIR] \
-                            [--markdown FILE] [--list]"
+                            [--markdown FILE] [--checkpoint FILE] [--resume FILE] \
+                            [--list]"
                     .to_string())
             }
             other if other.starts_with('-') => {
@@ -83,6 +104,8 @@ fn parse_args() -> Result<Args, String> {
         cfg,
         csv_dir,
         markdown,
+        checkpoint,
+        resume,
         list,
     })
 }
@@ -136,17 +159,62 @@ fn main() -> ExitCode {
         "# hetfeas evaluation report\n\nseed `{:#x}`, {} samples/cell.\n\n",
         args.cfg.seed, args.cfg.samples
     );
-    for e in selected {
-        eprintln!("[running {}] {}", e.id, e.description);
-        let started = std::time::Instant::now();
-        let tables = (e.run)(&args.cfg);
-        let secs = started.elapsed().as_secs_f64();
-        for (ti, t) in tables.iter().enumerate() {
+
+    let resume = match &args.resume {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match Checkpoint::parse(&text) {
+                Ok(cp) => {
+                    eprintln!("[resuming from {path}: {} completed cells]", cp.len());
+                    cp
+                }
+                Err(e) => {
+                    eprintln!("cannot resume from {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            // A missing resume file is a fresh start, not an error — this
+            // lets scripts pass the same path to --checkpoint and --resume
+            // unconditionally.
+            Err(_) => Checkpoint::new(),
+        },
+        None => Checkpoint::new(),
+    };
+
+    let sink = MemorySink::new();
+    let ids: Vec<&str> = selected.iter().map(|e| e.id).collect();
+    let cfg = args.cfg;
+    let outcomes = run_checkpointed(
+        &ids,
+        &resume,
+        &sink,
+        |id| {
+            let e = selected.iter().find(|e| e.id == id).expect("selected id");
+            eprintln!("[running {}] {}", e.id, e.description);
+            let started = std::time::Instant::now();
+            let tables = (e.run)(&cfg);
+            eprintln!("[done {} in {:.1}s]", e.id, started.elapsed().as_secs_f64());
+            tables
+        },
+        |cp| match &args.checkpoint {
+            Some(path) => std::fs::write(path, cp.render()).map_err(|e| e.to_string()),
+            None => Ok(()),
+        },
+    );
+
+    let mut panicked = 0u32;
+    for outcome in &outcomes {
+        if outcome.panicked {
+            panicked += 1;
+        }
+        if outcome.resumed {
+            eprintln!("[resumed {} from checkpoint]", outcome.id);
+        }
+        for (ti, t) in outcome.tables.iter().enumerate() {
             println!("\n{}", t.render());
             report.push_str(&t.to_markdown());
             report.push('\n');
             if let Some(dir) = &args.csv_dir {
-                let path = format!("{dir}/{}_{ti}.csv", e.id);
+                let path = format!("{dir}/{}_{ti}.csv", outcome.id);
                 match std::fs::File::create(&path) {
                     Ok(mut f) => {
                         if let Err(err) = f.write_all(t.to_csv().as_bytes()) {
@@ -157,13 +225,21 @@ fn main() -> ExitCode {
                 }
             }
         }
-        eprintln!("[done {} in {secs:.1}s]", e.id);
     }
+    eprintln!(
+        "[sweep: {} run, {} resumed, {} panicked]",
+        sink.counter(SWEEP_CELLS_RUN),
+        sink.counter(SWEEP_CELLS_RESUMED),
+        sink.counter(ROBUST_PANICS)
+    );
     if let Some(path) = &args.markdown {
         if let Err(e) = std::fs::write(path, &report) {
             eprintln!("write {path}: {e}");
             return ExitCode::from(1);
         }
+    }
+    if panicked > 0 {
+        return ExitCode::from(3);
     }
     ExitCode::SUCCESS
 }

@@ -41,10 +41,12 @@ pub mod lowerbound;
 pub mod runtime;
 pub mod simulation;
 pub mod stats;
+pub mod sweep;
 pub mod table;
 pub mod theorems;
 
 pub use config::ExpConfig;
+pub use sweep::{run_checkpointed, CellOutcome, Checkpoint};
 pub use table::Table;
 
 /// An experiment entry: id, one-line description, runner.

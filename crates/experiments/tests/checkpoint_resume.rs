@@ -1,0 +1,106 @@
+//! Kill-and-resume behaviour of the checkpointed sweep, end to end on
+//! real experiment cells: a run interrupted after some cells completes
+//! the rest under `--resume` semantics without recomputing finished work.
+
+use hetfeas_experiments::{constants, run_checkpointed, Checkpoint, ExpConfig};
+use hetfeas_obs::MemorySink;
+use hetfeas_robust::metrics::{ROBUST_PANICS, SWEEP_CELLS_RESUMED, SWEEP_CELLS_RUN};
+
+fn quick() -> ExpConfig {
+    ExpConfig {
+        samples: 4,
+        seed: 7,
+        workers: 1,
+    }
+}
+
+#[test]
+fn killed_sweep_resumes_without_recomputing_completed_cells() {
+    let cfg = quick();
+    // "First process": runs only the first cell, then dies — the
+    // checkpoint callback captures what would have hit disk.
+    let sink1 = MemorySink::new();
+    let mut snapshot = Checkpoint::new();
+    let first = run_checkpointed(
+        &["e10"],
+        &Checkpoint::new(),
+        &sink1,
+        |_| constants::e10(&cfg),
+        |cp| {
+            snapshot = cp.clone();
+            Ok(())
+        },
+    );
+    assert_eq!(sink1.counter(SWEEP_CELLS_RUN), 1);
+    assert!(snapshot.contains("e10"));
+
+    // Round-trip through the serialized form, exactly as --resume would.
+    let restored = Checkpoint::parse(&snapshot.render()).expect("valid checkpoint");
+
+    // "Second process": asked for the full sweep, resumes the done cell.
+    let sink2 = MemorySink::new();
+    let mut computed = Vec::new();
+    let second = run_checkpointed(
+        &["e10", "e10-again"],
+        &restored,
+        &sink2,
+        |id| {
+            computed.push(id.to_string());
+            constants::e10(&cfg)
+        },
+        |_| Ok(()),
+    );
+    // Only the unfinished cell was recomputed …
+    assert_eq!(computed, vec!["e10-again"]);
+    assert_eq!(sink2.counter(SWEEP_CELLS_RESUMED), 1);
+    assert_eq!(sink2.counter(SWEEP_CELLS_RUN), 1);
+    assert_eq!(sink2.counter(ROBUST_PANICS), 0);
+    // … and the replayed tables are byte-identical to the original run.
+    assert!(second[0].resumed);
+    assert_eq!(second[0].tables, first[0].tables);
+    assert!(!second[0].tables.is_empty());
+}
+
+#[test]
+fn panicked_cell_is_retried_on_resume() {
+    let sink = MemorySink::new();
+    let mut snapshot = Checkpoint::new();
+    let mut attempt = 0u32;
+    let cfg = quick();
+    // First pass: the cell panics, the sweep survives, nothing checkpointed.
+    let out = run_checkpointed(
+        &["flaky"],
+        &Checkpoint::new(),
+        &sink,
+        |_| {
+            attempt += 1;
+            panic!("injected fault");
+        },
+        |cp| {
+            snapshot = cp.clone();
+            Ok(())
+        },
+    );
+    assert!(out[0].panicked);
+    assert_eq!(sink.counter(ROBUST_PANICS), 1);
+    assert!(
+        snapshot.is_empty(),
+        "panicked cell must not be checkpointed"
+    );
+
+    // Resume: the cell runs again (and succeeds this time).
+    let sink2 = MemorySink::new();
+    let out = run_checkpointed(
+        &["flaky"],
+        &snapshot,
+        &sink2,
+        |_| {
+            attempt += 1;
+            constants::e10(&cfg)
+        },
+        |_| Ok(()),
+    );
+    assert_eq!(attempt, 2);
+    assert!(!out[0].panicked && !out[0].resumed);
+    assert_eq!(sink2.counter(SWEEP_CELLS_RUN), 1);
+}

@@ -21,6 +21,10 @@ use hetfeas_model::{Platform, Ratio, TaskSet};
 
 /// Exact LP feasibility via the level-algorithm prefix conditions, in
 /// rational arithmetic.
+///
+/// Never panics on valid inputs: when the exact rational prefix sums
+/// overflow `i128` (pathological near-`u64::MAX` periods), the verdict
+/// falls back to the `f64` projection of the same condition.
 pub fn level_feasible(tasks: &TaskSet, platform: &Platform) -> bool {
     let mut utils: Vec<Ratio> = tasks.iter().map(|t| t.utilization_ratio()).collect();
     utils.sort_by(|a, b| b.cmp(a));
@@ -29,14 +33,28 @@ pub fn level_feasible(tasks: &TaskSet, platform: &Platform) -> bool {
 }
 
 /// The prefix conditions over pre-sorted (non-increasing) utilizations and
-/// speeds. Exposed for callers that already hold sorted views.
+/// speeds. Exposed for callers that already hold sorted views. Falls back
+/// to the `f64` projection when the exact sums overflow (see
+/// [`level_feasible`]).
 pub fn level_feasible_sorted(utils_desc: &[Ratio], speeds_desc: &[Ratio]) -> bool {
+    match level_feasible_sorted_exact(utils_desc, speeds_desc) {
+        Some(ans) => ans,
+        None => {
+            let u: Vec<f64> = utils_desc.iter().map(Ratio::to_f64).collect();
+            let s: Vec<f64> = speeds_desc.iter().map(Ratio::to_f64).collect();
+            level_feasible_f64(&u, &s)
+        }
+    }
+}
+
+/// The exact rational prefix check; `None` when a sum overflows `i128`.
+fn level_feasible_sorted_exact(utils_desc: &[Ratio], speeds_desc: &[Ratio]) -> Option<bool> {
     debug_assert!(utils_desc.windows(2).all(|w| w[0] >= w[1]));
     debug_assert!(speeds_desc.windows(2).all(|w| w[0] >= w[1]));
     let n = utils_desc.len();
     let m = speeds_desc.len();
     if n == 0 {
-        return true;
+        return Some(true);
     }
     // Prefix checks for k < min(n, m) plus the total check; note that for
     // k ≥ m the speed prefix stops growing, so the total check covers all
@@ -45,21 +63,21 @@ pub fn level_feasible_sorted(utils_desc: &[Ratio], speeds_desc: &[Ratio]) -> boo
     let mut wsum = Ratio::ZERO;
     let mut ssum = Ratio::ZERO;
     for k in 0..n.min(m) {
-        wsum += utils_desc[k];
-        ssum += speeds_desc[k];
+        wsum = wsum.checked_add(&utils_desc[k])?;
+        ssum = ssum.checked_add(&speeds_desc[k])?;
         if wsum > ssum {
-            return false;
+            return Some(false);
         }
     }
     if n > m {
-        for &w in &utils_desc[m..] {
-            wsum += w;
+        for w in &utils_desc[m..] {
+            wsum = wsum.checked_add(w)?;
         }
         if wsum > ssum {
-            return false;
+            return Some(false);
         }
     }
-    true
+    Some(true)
 }
 
 /// `f64` variant of [`level_feasible`] with the workspace tolerance — used
@@ -195,6 +213,19 @@ mod tests {
         let under =
             Platform::from_f64_speeds(p.iter().map(|m| m.speed_f64() * (beta - 1e-3))).unwrap();
         assert!(!level_feasible(&t, &under));
+    }
+
+    #[test]
+    fn overflowing_prefix_sums_fall_back_instead_of_panicking() {
+        // Near-u64::MAX coprime periods: the exact rational prefix sum
+        // overflows i128 on the first addition; the f64 fallback still
+        // classifies the (wildly overloaded) set as infeasible.
+        let t =
+            TaskSet::from_pairs((0..4u64).map(|i| (u64::MAX - 2 - 2 * i, u64::MAX - 1 - 2 * i)))
+                .unwrap();
+        assert!(!level_feasible(&t, &pf(&[1, 1])));
+        // And a platform with enough machines hosts the ~unit-util tasks.
+        assert!(level_feasible(&t, &pf(&[2, 2, 2, 2])));
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub mod model;
 pub mod simplex;
 
 pub use level::{level_feasible, level_feasible_f64, level_feasible_sorted, level_scaling_factor};
-pub use model::{build_paper_lp, lp_feasible_simplex, solve_paper_lp, LpPoint};
+pub use model::{
+    build_paper_lp, lp_feasible_simplex, solve_paper_lp, solve_paper_lp_within, LpPoint,
+};
 pub use simplex::{LinearProgram, LpStatus, Relation};
 
 use hetfeas_model::{Platform, TaskSet};
@@ -29,7 +31,9 @@ use hetfeas_model::{Platform, TaskSet};
 /// Exact feasibility of the paper's LP — the migrative-adversary oracle.
 ///
 /// Delegates to the closed-form level condition, which is provably
-/// equivalent to the LP and runs in `O(n log n + m log m)`.
+/// equivalent to the LP and runs in `O(n log n + m log m)`. Never panics
+/// on valid inputs: rational overflow falls back to the `f64` projection
+/// (see [`level_feasible`]).
 ///
 /// ```
 /// use hetfeas_lp::lp_feasible;

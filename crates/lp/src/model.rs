@@ -10,6 +10,7 @@
 
 use crate::simplex::{LinearProgram, LpStatus, Relation};
 use hetfeas_model::{Platform, TaskSet};
+use hetfeas_robust::{Exhaustion, Gas};
 
 /// Index of variable `u_{i,j}` in the flat layout.
 #[inline]
@@ -98,21 +99,33 @@ impl LpPoint {
 
 /// Solve the paper's LP; `Some(point)` when feasible.
 pub fn solve_paper_lp(tasks: &TaskSet, platform: &Platform) -> Option<LpPoint> {
+    solve_paper_lp_within(tasks, platform, &mut Gas::unlimited())
+        .expect("unlimited gas cannot exhaust")
+}
+
+/// [`solve_paper_lp`] under an execution budget: the simplex pivots tick
+/// `gas`, so an adversarial (degenerate/cycling) instance returns
+/// `Err(Exhaustion)` instead of spinning.
+pub fn solve_paper_lp_within(
+    tasks: &TaskSet,
+    platform: &Platform,
+    gas: &mut Gas,
+) -> Result<Option<LpPoint>, Exhaustion> {
     if tasks.is_empty() {
-        return Some(LpPoint {
+        return Ok(Some(LpPoint {
             n: 0,
             m: platform.len(),
             u: Vec::new(),
-        });
+        }));
     }
-    match build_paper_lp(tasks, platform).solve() {
+    Ok(match build_paper_lp(tasks, platform).solve_within(gas)? {
         LpStatus::Optimal { x, .. } => Some(LpPoint {
             n: tasks.len(),
             m: platform.len(),
             u: x,
         }),
         _ => None,
-    }
+    })
 }
 
 /// LP feasibility via the simplex solver (the slow, independent oracle; the

@@ -23,6 +23,7 @@
 //! (see the perf-book guidance on flat storage; no per-pivot allocation).
 
 use core::fmt;
+use hetfeas_robust::{Exhaustion, Gas};
 
 /// Relation of a constraint row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,7 +127,16 @@ impl LinearProgram {
 
     /// Solve the LP by two-phase primal simplex.
     pub fn solve(&self) -> LpStatus {
-        Tableau::build(self).solve()
+        self.solve_within(&mut Gas::unlimited())
+            .expect("unlimited gas cannot exhaust")
+    }
+
+    /// [`solve`](LinearProgram::solve) under an execution budget: each
+    /// pivot ticks `gas` proportionally to the tableau width, so a
+    /// degenerate or cycling instance stops with `Err(Exhaustion)` instead
+    /// of spinning until the internal iteration cap.
+    pub fn solve_within(&self, gas: &mut Gas) -> Result<LpStatus, Exhaustion> {
+        Tableau::build(self).solve(gas)
     }
 }
 
@@ -251,19 +261,23 @@ impl Tableau {
     }
 
     /// Run simplex iterations for `cost`, restricted to columns `< limit`.
-    /// Returns false if unbounded.
-    fn iterate(&mut self, cost: &[f64], limit: usize) -> bool {
+    /// Returns `Ok(false)` if unbounded.
+    fn iterate(&mut self, cost: &[f64], limit: usize, gas: &mut Gas) -> Result<bool, Exhaustion> {
         let mut reduced = vec![0.0; self.total];
         // An iteration cap prevents livelock from numerical noise; Bland's
         // rule makes cycling impossible in exact arithmetic, so hitting the
         // cap indicates tolerance trouble — treat as converged (reduced
         // costs ≈ 0 at that point for our benign instances).
         let max_iter = 50 * (self.m + self.total) + 1000;
+        // Each pass recomputes reduced costs (m·total work) and pivots
+        // (m·total work), so charge gas proportionally.
+        let pass_cost = (self.m as u64 + 1) * self.total as u64 + 1;
         for _ in 0..max_iter {
+            gas.tick_n(pass_cost)?;
             self.reduced_costs(cost, &mut reduced);
             // Bland: entering = smallest index with negative reduced cost.
             let Some(enter) = (0..limit).find(|&j| reduced[j] < -TOL) else {
-                return true; // optimal
+                return Ok(true); // optimal
             };
             // Ratio test, Bland tie-break on smallest basis column.
             let mut leave: Option<(usize, f64)> = None;
@@ -284,11 +298,11 @@ impl Tableau {
                 }
             }
             let Some((leave, _)) = leave else {
-                return false; // unbounded
+                return Ok(false); // unbounded
             };
             self.pivot(leave, enter);
         }
-        true
+        Ok(true)
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
@@ -325,7 +339,7 @@ impl Tableau {
         self.basis[row] = col;
     }
 
-    fn solve(mut self) -> LpStatus {
+    fn solve(mut self, gas: &mut Gas) -> Result<LpStatus, Exhaustion> {
         // Phase 1: minimize the sum of artificials.
         if self.n_artificial > 0 {
             let mut phase1 = vec![0.0; self.total];
@@ -333,7 +347,7 @@ impl Tableau {
                 *c = 1.0;
             }
             // Phase 1 is always bounded (objective ≥ 0).
-            self.iterate(&phase1.clone(), self.total);
+            self.iterate(&phase1.clone(), self.total, gas)?;
             let obj1: f64 = (0..self.m)
                 .map(|i| {
                     if self.basis[i] >= self.artificial_start {
@@ -344,7 +358,7 @@ impl Tableau {
                 })
                 .sum();
             if obj1 > 1e-7 {
-                return LpStatus::Infeasible;
+                return Ok(LpStatus::Infeasible);
             }
             // Drive remaining basic artificials out (degenerate rows).
             for i in 0..self.m {
@@ -359,8 +373,8 @@ impl Tableau {
         }
         // Phase 2 over structural + slack columns only.
         let cost = self.cost.clone();
-        if !self.iterate(&cost, self.artificial_start) {
-            return LpStatus::Unbounded;
+        if !self.iterate(&cost, self.artificial_start, gas)? {
+            return Ok(LpStatus::Unbounded);
         }
         // Extract solution.
         let mut x = vec![0.0; self.n_structural];
@@ -374,7 +388,7 @@ impl Tableau {
             .zip(&self.cost[..self.n_structural])
             .map(|(xi, ci)| xi * ci)
             .sum();
-        LpStatus::Optimal { x, objective }
+        Ok(LpStatus::Optimal { x, objective })
     }
 }
 
@@ -509,5 +523,32 @@ mod tests {
     fn row_length_checked() {
         let mut lp = LinearProgram::new(2);
         lp.add_row(vec![1.0], Relation::Le, 1.0);
+    }
+
+    #[test]
+    fn budgeted_solve_agrees_when_budget_suffices() {
+        use hetfeas_robust::Budget;
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![1.0, 1.0]);
+        lp.add_row(vec![1.0, 2.0], Relation::Ge, 4.0);
+        lp.add_row(vec![3.0, 1.0], Relation::Ge, 6.0);
+        let mut gas = Budget::ops(1_000_000).gas();
+        assert_eq!(lp.solve_within(&mut gas), Ok(lp.solve()));
+    }
+
+    #[test]
+    fn budgeted_solve_exhausts_on_starved_budget() {
+        use hetfeas_robust::{Budget, Exhaustion};
+        // A problem large enough that phase 1 needs many pivots.
+        let n = 20;
+        let mut lp = LinearProgram::new(n);
+        lp.set_objective(vec![1.0; n]);
+        for i in 0..n {
+            let mut row = vec![1.0; n];
+            row[i] = 2.0;
+            lp.add_row(row, Relation::Ge, (i + 1) as f64);
+        }
+        let mut gas = Budget::ops(5).gas();
+        assert_eq!(lp.solve_within(&mut gas), Err(Exhaustion::Ops));
     }
 }

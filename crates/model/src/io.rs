@@ -28,13 +28,15 @@ pub struct System {
     pub platform: Platform,
 }
 
-/// Parse errors with line information.
+/// Parse errors with line/column information.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParseError {
     /// A line could not be interpreted.
     Syntax {
         /// 1-based line number.
         line: usize,
+        /// 1-based byte column of the offending token.
+        col: usize,
         /// Explanation.
         message: String,
     },
@@ -45,7 +47,9 @@ pub enum ParseError {
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Syntax { line, col, message } => {
+                write!(f, "line {line}, col {col}: {message}")
+            }
             ParseError::Model(e) => write!(f, "invalid system: {e}"),
         }
     }
@@ -59,80 +63,113 @@ impl From<ModelError> for ParseError {
     }
 }
 
-fn syntax(line: usize, message: impl Into<String>) -> ParseError {
+fn syntax(line: usize, col: usize, message: impl Into<String>) -> ParseError {
     ParseError::Syntax {
         line,
+        col,
         message: message.into(),
     }
 }
 
-fn parse_speed(token: &str, line: usize) -> Result<Ratio, ParseError> {
+/// Split the comment-stripped part of a line into whitespace-separated
+/// tokens paired with their 1-based byte column in the original line, so
+/// diagnostics can point at the offending token.
+fn tokens_with_cols(content: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, ch) in content.char_indices() {
+        if ch.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((s + 1, &content[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s + 1, &content[s..]));
+    }
+    out
+}
+
+fn parse_speed(token: &str, line: usize, col: usize) -> Result<Ratio, ParseError> {
     if let Some((num, den)) = token.split_once('/') {
         let num: i128 = num
             .parse()
-            .map_err(|_| syntax(line, format!("bad speed numerator {num:?}")))?;
+            .map_err(|_| syntax(line, col, format!("bad speed numerator {num:?}")))?;
         let den: i128 = den
             .parse()
-            .map_err(|_| syntax(line, format!("bad speed denominator {den:?}")))?;
+            .map_err(|_| syntax(line, col, format!("bad speed denominator {den:?}")))?;
         if den == 0 {
-            return Err(syntax(line, "speed denominator is zero"));
+            return Err(syntax(line, col, "speed denominator is zero"));
         }
         Ok(Ratio::new(num, den))
     } else {
         let v: i128 = token
             .parse()
-            .map_err(|_| syntax(line, format!("bad speed {token:?}")))?;
+            .map_err(|_| syntax(line, col, format!("bad speed {token:?}")))?;
         Ok(Ratio::from_integer(v))
     }
 }
 
 /// Parse a system file (see module docs for the format).
+///
+/// Hardened against hostile input: any malformed text — huge numbers,
+/// NUL bytes, truncated lines, pathological whitespace — yields an
+/// `Err(ParseError)` carrying the 1-based line and column of the offending
+/// token; this function never panics (property-tested in
+/// `tests/fuzz_io.rs`).
 pub fn parse_system(input: &str) -> Result<System, ParseError> {
     let mut tasks = TaskSet::empty();
     let mut machines: Vec<Machine> = Vec::new();
 
     for (idx, raw) in input.lines().enumerate() {
         let line_no = idx + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let mut fields = line.split_whitespace();
-        let kind = fields.next().expect("non-empty line has a first token");
+        let content = raw.split('#').next().unwrap_or("");
+        let toks = tokens_with_cols(content);
+        let Some(&(kind_col, kind)) = toks.first() else {
+            continue; // blank or comment-only line
+        };
         match kind {
             "task" => {
-                let nums: Vec<&str> = fields.collect();
+                let nums = &toks[1..];
                 if nums.len() != 2 && nums.len() != 3 {
                     return Err(syntax(
                         line_no,
+                        kind_col,
                         "task expects: task <wcet> <period> [deadline]",
                     ));
                 }
-                let parse = |s: &str, what: &str| -> Result<u64, ParseError> {
+                let parse = |&(col, s): &(usize, &str), what: &str| -> Result<u64, ParseError> {
                     s.parse()
-                        .map_err(|_| syntax(line_no, format!("bad {what} {s:?}")))
+                        .map_err(|_| syntax(line_no, col, format!("bad {what} {s:?}")))
                 };
-                let wcet = parse(nums[0], "wcet")?;
-                let period = parse(nums[1], "period")?;
+                let wcet = parse(&nums[0], "wcet")?;
+                let period = parse(&nums[1], "period")?;
                 let task = if nums.len() == 3 {
-                    Task::constrained(wcet, period, parse(nums[2], "deadline")?)?
+                    Task::constrained(wcet, period, parse(&nums[2], "deadline")?)?
                 } else {
                     Task::implicit(wcet, period)?
                 };
                 tasks.push(task);
             }
             "machine" => {
-                let speed = fields
-                    .next()
-                    .ok_or_else(|| syntax(line_no, "machine expects: machine <speed>"))?;
-                if fields.next().is_some() {
-                    return Err(syntax(line_no, "machine takes exactly one field"));
+                let &(speed_col, speed) = toks
+                    .get(1)
+                    .ok_or_else(|| syntax(line_no, kind_col, "machine expects: machine <speed>"))?;
+                if let Some(&(extra_col, _)) = toks.get(2) {
+                    return Err(syntax(
+                        line_no,
+                        extra_col,
+                        "machine takes exactly one field",
+                    ));
                 }
-                machines.push(Machine::new(parse_speed(speed, line_no)?)?);
+                machines.push(Machine::new(parse_speed(speed, line_no, speed_col)?)?);
             }
             other => {
                 return Err(syntax(
                     line_no,
+                    kind_col,
                     format!("unknown directive {other:?} (expected task/machine)"),
                 ))
             }
@@ -210,8 +247,9 @@ machine 5/2
     fn syntax_errors_carry_line_numbers() {
         let err = parse_system("task 1 2\nbogus 3\nmachine 1").unwrap_err();
         match err {
-            ParseError::Syntax { line, message } => {
+            ParseError::Syntax { line, col, message } => {
                 assert_eq!(line, 2);
+                assert_eq!(col, 1);
                 assert!(message.contains("bogus"));
             }
             other => panic!("expected syntax error, got {other}"),
@@ -220,6 +258,48 @@ machine 5/2
         assert!(parse_system("task 1 2\nmachine 1 9").is_err()); // arity
         assert!(parse_system("task x 2\nmachine 1").is_err()); // number
         assert!(parse_system("task 1 2\nmachine 1/0").is_err()); // zero den
+    }
+
+    #[test]
+    fn columns_point_at_the_offending_token() {
+        // "task 1 x" — the bad period starts at byte column 8.
+        match parse_system("task 1 x\nmachine 1").unwrap_err() {
+            ParseError::Syntax { line, col, .. } => {
+                assert_eq!((line, col), (1, 8));
+            }
+            other => panic!("expected syntax error, got {other}"),
+        }
+        // Leading whitespace shifts the column.
+        match parse_system("   frob\nmachine 1").unwrap_err() {
+            ParseError::Syntax { line, col, .. } => {
+                assert_eq!((line, col), (1, 4));
+            }
+            other => panic!("expected syntax error, got {other}"),
+        }
+        // Extra machine field flagged at its own column.
+        match parse_system("machine 1 9").unwrap_err() {
+            ParseError::Syntax { col, .. } => assert_eq!(col, 11),
+            other => panic!("expected syntax error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn hostile_inputs_error_instead_of_panicking() {
+        // Huge numbers that overflow u64/i128.
+        assert!(parse_system("task 99999999999999999999999999 5\nmachine 1").is_err());
+        assert!(parse_system("machine 170141183460469231731687303715884105728").is_err());
+        // NUL bytes and control characters.
+        assert!(parse_system("task\u{0} 1 2\nmachine 1").is_err());
+        assert!(parse_system("\u{0}\nmachine 1").is_err());
+        // Truncated directives.
+        assert!(parse_system("task").is_err());
+        assert!(parse_system("machine").is_err());
+        // Deep whitespace still parses (whitespace is not hostile per se).
+        let sys = parse_system("task\t\t1 \t 2\n\n\n   machine\t3\n").unwrap();
+        assert_eq!(sys.tasks.len(), 1);
+        assert_eq!(sys.platform.len(), 1);
+        // Negative task fields are bad numbers, not panics.
+        assert!(parse_system("task -1 2\nmachine 1").is_err());
     }
 
     #[test]
@@ -241,7 +321,7 @@ machine 5/2
     #[test]
     fn error_display() {
         let e = parse_system("nope").unwrap_err();
-        assert!(e.to_string().starts_with("line 1:"));
+        assert!(e.to_string().starts_with("line 1, col 1:"));
         let e = parse_system("task 1 5").unwrap_err();
         assert!(e.to_string().contains("machine"));
     }

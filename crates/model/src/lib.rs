@@ -22,7 +22,7 @@
 //!
 //! Algorithmic comparisons run in `f64` with the workspace-wide epsilon
 //! [`EPS`] via [`approx_le`]/[`approx_ge`]; exact paths (simulator, oracles)
-//! use [`Ratio`] and integer scaled loads. See `DESIGN.md` §8.
+//! use [`Ratio`] and integer scaled loads. See `DESIGN.md` §9.
 
 #![warn(missing_docs)]
 

@@ -84,9 +84,25 @@ impl TaskSet {
     /// Total utilization as an exact rational.
     ///
     /// Prefer this only for sets whose periods share small common multiples;
-    /// see the overflow discussion in [`Ratio`].
+    /// see the overflow discussion in [`Ratio`]. Panics if the sum
+    /// overflows `i128` — public entry points must use
+    /// [`TaskSet::try_total_utilization_ratio`] instead.
     pub fn total_utilization_ratio(&self) -> Ratio {
         self.tasks.iter().map(Task::utilization_ratio).sum()
+    }
+
+    /// Total utilization as an exact rational, with overflow surfaced as
+    /// `Err(ModelError::Overflow)` instead of a panic. Sets with many
+    /// coprime periods (whose lcm exceeds `i128`) land here; callers
+    /// typically fall back to the `f64` total or a conservative verdict.
+    pub fn try_total_utilization_ratio(&self) -> Result<Ratio, ModelError> {
+        let mut total = Ratio::ZERO;
+        for t in &self.tasks {
+            total = total
+                .checked_add(&t.utilization_ratio())
+                .ok_or(ModelError::Overflow("total utilization"))?;
+        }
+        Ok(total)
     }
 
     /// Largest single-task utilization (0.0 for an empty set).
@@ -204,6 +220,28 @@ mod tests {
             Ratio::new(1, 4) + Ratio::new(1, 2) + Ratio::new(1, 6)
         );
         assert_eq!(ts.max_utilization(), 0.5);
+    }
+
+    #[test]
+    fn try_total_utilization_surfaces_overflow() {
+        let ts = demo();
+        assert_eq!(
+            ts.try_total_utilization_ratio().unwrap(),
+            ts.total_utilization_ratio()
+        );
+        // Periods near u64::MAX with distinct values: common denominator
+        // blows past i128, which must be an Err, not a panic.
+        let huge =
+            TaskSet::from_pairs((0..4u64).map(|i| (u64::MAX - 2 - 2 * i, u64::MAX - 1 - 2 * i)))
+                .unwrap();
+        assert_eq!(
+            huge.try_total_utilization_ratio(),
+            Err(ModelError::Overflow("total utilization"))
+        );
+        assert_eq!(
+            TaskSet::empty().try_total_utilization_ratio(),
+            Ok(Ratio::ZERO)
+        );
     }
 
     #[test]

@@ -151,6 +151,13 @@ pub enum Outcome {
     /// Some task could not be placed. When α is at least the relevant
     /// theorem constant this certifies the adversary also fails at speed 1.
     Infeasible(FailureWitness),
+    /// The execution budget ran out mid-scan. Certifies nothing either way;
+    /// the partial assignment is sound for the tasks it covers and lets a
+    /// resumed or degraded run pick up where this one stopped.
+    BudgetExhausted {
+        /// Tasks placed before the budget ran out.
+        partial: Assignment,
+    },
 }
 
 impl Outcome {
@@ -159,19 +166,34 @@ impl Outcome {
         matches!(self, Outcome::Feasible(_))
     }
 
+    /// True for a definite answer (not [`Outcome::BudgetExhausted`]).
+    pub fn is_decided(&self) -> bool {
+        !matches!(self, Outcome::BudgetExhausted { .. })
+    }
+
     /// The assignment if feasible.
     pub fn assignment(&self) -> Option<&Assignment> {
         match self {
             Outcome::Feasible(a) => Some(a),
-            Outcome::Infeasible(_) => None,
+            _ => None,
         }
     }
 
     /// The witness if infeasible.
     pub fn witness(&self) -> Option<&FailureWitness> {
         match self {
-            Outcome::Feasible(_) => None,
             Outcome::Infeasible(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// The partial assignment of an undecided or failed run (the complete
+    /// one for [`Outcome::Feasible`]).
+    pub fn partial(&self) -> &Assignment {
+        match self {
+            Outcome::Feasible(a) => a,
+            Outcome::Infeasible(w) => &w.partial,
+            Outcome::BudgetExhausted { partial } => partial,
         }
     }
 }
@@ -262,6 +284,22 @@ mod tests {
         });
         assert!(!w.is_feasible());
         assert_eq!(w.witness().unwrap().failing_task, 7);
+        assert!(w.is_decided());
+    }
+
+    #[test]
+    fn budget_exhausted_is_undecided() {
+        let mut partial = Assignment::new(2, 1);
+        partial.assign(0, 0);
+        let out = Outcome::BudgetExhausted {
+            partial: partial.clone(),
+        };
+        assert!(!out.is_feasible());
+        assert!(!out.is_decided());
+        assert!(out.assignment().is_none());
+        assert!(out.witness().is_none());
+        assert_eq!(out.partial().assigned_count(), 1);
+        assert_eq!(out.partial(), &partial);
     }
 
     #[test]

@@ -476,6 +476,57 @@ impl<A: IndexableAdmission> FirstFitEngine<A> {
         }
         Some(hi_b)
     }
+
+    /// [`Self::min_feasible_alpha`] under an execution budget: each probe
+    /// ticks `gas` by `n + m` (a probe is `O((n+m)·log m)` work), so a
+    /// wall-clock or ops limit stops the α-search with `Err(Exhaustion)`
+    /// instead of running the full gallop + bisection.
+    pub fn min_feasible_alpha_within(
+        &mut self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        hi: f64,
+        tol: f64,
+        gas: &mut hetfeas_robust::Gas,
+    ) -> Result<Option<f64>, hetfeas_robust::Exhaustion> {
+        if !hi.is_finite() || hi < 1.0 || !tol.is_finite() || tol <= 0.0 {
+            return Ok(None);
+        }
+        self.prepare(tasks, platform);
+        let probe_cost = (tasks.len() + platform.len()) as u64 + 1;
+        let probe = |eng: &mut Self, alpha: f64, gas: &mut hetfeas_robust::Gas| {
+            gas.tick_n(probe_cost)?;
+            let aug = Augmentation::new(alpha).expect("alpha ∈ [1, hi], finite");
+            Ok(eng.probe(tasks, platform, aug).is_feasible())
+        };
+        if probe(self, 1.0, gas)? {
+            return Ok(Some(1.0));
+        }
+        let mut lo = 1.0f64;
+        let mut step = tol.max(1e-3);
+        let mut hi_b;
+        loop {
+            let cand = (1.0 + step).min(hi);
+            if probe(self, cand, gas)? {
+                hi_b = cand;
+                break;
+            }
+            if cand >= hi {
+                return Ok(None);
+            }
+            lo = cand;
+            step *= 2.0;
+        }
+        while hi_b - lo > tol {
+            let mid = 0.5 * (lo + hi_b);
+            if probe(self, mid, gas)? {
+                hi_b = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(Some(hi_b))
+    }
 }
 
 #[cfg(test)]
@@ -791,5 +842,24 @@ mod tests {
                 assert!(edf.residual_hint(&load, speed) >= task.utilization());
             }
         }
+    }
+
+    #[test]
+    fn budgeted_alpha_search_agrees_and_exhausts() {
+        use hetfeas_robust::{Budget, Exhaustion, Gas};
+        let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p = platform(&[1, 1]);
+        let mut eng = FirstFitEngine::new(EdfAdmission);
+        let a = eng
+            .min_feasible_alpha_within(&tasks, &p, 4.0, 1e-6, &mut Gas::unlimited())
+            .unwrap()
+            .unwrap();
+        let reference = eng.min_feasible_alpha(&tasks, &p, 4.0, 1e-6).unwrap();
+        assert!((a - reference).abs() < 1e-9, "{a} vs {reference}");
+        let mut gas = Budget::ops(2).gas();
+        assert_eq!(
+            eng.min_feasible_alpha_within(&tasks, &p, 4.0, 1e-6, &mut gas),
+            Err(Exhaustion::Ops)
+        );
     }
 }

@@ -25,6 +25,7 @@
 use crate::admission::AdmissionTest;
 use crate::assignment::Assignment;
 use hetfeas_model::{Augmentation, Platform, TaskSet, EPS};
+use hetfeas_robust::Gas;
 
 /// Result of the exact search.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +58,7 @@ struct Search<'a, A: AdmissionTest> {
     admission: &'a A,
     suffix_util: Vec<f64>, // suffix_util[d] = Σ util of order[d..]
     nodes_left: u64,
+    gas: &'a mut Gas,
 }
 
 impl<A: AdmissionTest> Search<'_, A> {
@@ -83,7 +85,7 @@ impl<A: AdmissionTest> Search<'_, A> {
         if depth == self.order.len() {
             return Some(true);
         }
-        if self.nodes_left == 0 {
+        if self.nodes_left == 0 || self.gas.tick().is_err() {
             return None;
         }
         self.nodes_left -= 1;
@@ -123,7 +125,14 @@ impl<A: AdmissionTest> Search<'_, A> {
             match self.dfs(depth + 1, states, assignment) {
                 Some(true) => return Some(true),
                 Some(false) => {}
-                None => exhausted = true,
+                // The budget is gone — trying sibling subtrees would just
+                // burn more of it. Abandon the whole search immediately.
+                None => {
+                    assignment.unassign(ti);
+                    states[slot] = saved;
+                    exhausted = true;
+                    break;
+                }
             }
             assignment.unassign(ti);
             states[slot] = saved;
@@ -145,6 +154,28 @@ pub fn exact_partition<A: AdmissionTest>(
     admission: &A,
     node_budget: u64,
 ) -> ExactOutcome {
+    exact_partition_within(
+        tasks,
+        platform,
+        alpha,
+        admission,
+        node_budget,
+        &mut Gas::unlimited(),
+    )
+}
+
+/// [`exact_partition`] under an execution budget: each branch node ticks
+/// `gas` once, so a wall-clock or ops limit ends the search with
+/// [`ExactOutcome::Unknown`] exactly like an exhausted node budget — a
+/// salvageable "undecided", never a hang.
+pub fn exact_partition_within<A: AdmissionTest>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    alpha: Augmentation,
+    admission: &A,
+    node_budget: u64,
+    gas: &mut Gas,
+) -> ExactOutcome {
     let machine_order = platform.order_by_increasing_speed();
     let order = tasks.order_by_decreasing_utilization();
     let mut suffix_util = vec![0.0; order.len() + 1];
@@ -163,6 +194,7 @@ pub fn exact_partition<A: AdmissionTest>(
         admission,
         suffix_util,
         nodes_left: node_budget,
+        gas,
     }
     .run()
 }
@@ -381,5 +413,28 @@ mod tests {
         assert!(!ExactOutcome::Unknown.is_decided());
         assert!(ExactOutcome::Infeasible.is_decided());
         assert!(!ExactOutcome::Infeasible.is_feasible());
+    }
+
+    #[test]
+    fn gas_exhaustion_reports_unknown() {
+        use hetfeas_robust::Budget;
+        // The exponential refutation instance: 13 tasks of util 0.334 on 6
+        // unit machines — only 2 fit per machine, so infeasible, but the
+        // trivial utilization check (4.342 < 6) cannot see it.
+        let tasks = TaskSet::from_pairs(vec![(334, 1000); 13]).unwrap();
+        let p = Platform::identical(6).unwrap();
+        let mut gas = Budget::ops(1_000).gas();
+        let out = exact_partition_within(
+            &tasks,
+            &p,
+            Augmentation::NONE,
+            &EdfAdmission,
+            u64::MAX,
+            &mut gas,
+        );
+        assert_eq!(out, ExactOutcome::Unknown);
+        // With unlimited gas and a large node budget the search refutes it.
+        let out = exact_partition_edf(&tasks, &p, 1 << 22);
+        assert_eq!(out, ExactOutcome::Infeasible);
     }
 }

@@ -19,6 +19,7 @@
 use crate::assignment::Assignment;
 use crate::exact::ExactOutcome;
 use hetfeas_model::{Platform, TaskSet};
+use hetfeas_robust::Gas;
 
 struct RSearch<'a> {
     loads: &'a [u128],       // per task (sorted order applied via `order`)
@@ -27,6 +28,7 @@ struct RSearch<'a> {
     machines: Vec<usize>,    // original machine index per slot
     suffix: Vec<u128>,       // suffix sums of ordered loads
     nodes_left: u64,
+    gas: &'a mut Gas,
 }
 
 impl RSearch<'_> {
@@ -54,7 +56,7 @@ impl RSearch<'_> {
         if depth == self.order.len() {
             return Some(true);
         }
-        if self.nodes_left == 0 {
+        if self.nodes_left == 0 || self.gas.tick().is_err() {
             return None;
         }
         self.nodes_left -= 1;
@@ -86,7 +88,13 @@ impl RSearch<'_> {
             match self.dfs(depth + 1, used, assignment) {
                 Some(true) => return Some(true),
                 Some(false) => {}
-                None => exhausted = true,
+                // Budget gone — abandon sibling subtrees immediately.
+                None => {
+                    assignment.unassign(ti);
+                    used[slot] -= load;
+                    exhausted = true;
+                    break;
+                }
             }
             assignment.unassign(ti);
             used[slot] -= load;
@@ -108,6 +116,17 @@ pub fn exact_partition_edf_rational(
     tasks: &TaskSet,
     platform: &Platform,
     node_budget: u64,
+) -> ExactOutcome {
+    exact_partition_edf_rational_within(tasks, platform, node_budget, &mut Gas::unlimited())
+}
+
+/// [`exact_partition_edf_rational`] under an execution budget: each branch
+/// node ticks `gas`; exhaustion yields [`ExactOutcome::Unknown`].
+pub fn exact_partition_edf_rational_within(
+    tasks: &TaskSet,
+    platform: &Platform,
+    node_budget: u64,
+    gas: &mut Gas,
 ) -> ExactOutcome {
     if tasks.is_empty() {
         return ExactOutcome::Feasible(Assignment::new(0, platform.len()));
@@ -139,6 +158,7 @@ pub fn exact_partition_edf_rational(
         machines: machine_order,
         suffix,
         nodes_left: node_budget,
+        gas,
     };
     let mut used = vec![0u128; platform.len()];
     let mut assignment = Assignment::new(tasks.len(), platform.len());
@@ -211,6 +231,18 @@ mod tests {
         assert_eq!(
             exact_partition_edf_rational(&over, &p, 1 << 16),
             ExactOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn gas_exhaustion_reports_unknown() {
+        use hetfeas_robust::Budget;
+        let deep = TaskSet::from_pairs(vec![(5, 10); 12]).unwrap();
+        let p6 = Platform::identical(6).unwrap();
+        let mut gas = Budget::ops(2).gas();
+        assert_eq!(
+            exact_partition_edf_rational_within(&deep, &p6, u64::MAX, &mut gas),
+            ExactOutcome::Unknown
         );
     }
 

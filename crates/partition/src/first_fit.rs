@@ -21,6 +21,7 @@ use crate::assignment::{Assignment, FailureWitness, Outcome};
 use crate::metrics;
 use hetfeas_model::{Augmentation, Platform, TaskSet};
 use hetfeas_obs::MetricsSink;
+use hetfeas_robust::{Exhaustion, Gas};
 
 /// The paper's feasibility test with EDF or RMS admission (or any other
 /// [`AdmissionTest`]): first-fit by decreasing utilization over machines by
@@ -110,6 +111,55 @@ pub fn first_fit_ordered_with<A: AdmissionTest, S: MetricsSink>(
     machine_order: &[usize],
     sink: &S,
 ) -> Outcome {
+    first_fit_ordered_within_with(
+        tasks,
+        platform,
+        alpha,
+        admission,
+        task_order,
+        machine_order,
+        &mut Gas::unlimited(),
+        sink,
+    )
+}
+
+/// [`first_fit`] under an execution budget: each admission check ticks
+/// `gas` once, and exhaustion returns [`Outcome::BudgetExhausted`] with
+/// the partial assignment built so far instead of finishing the scan.
+pub fn first_fit_within<A: AdmissionTest>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    alpha: Augmentation,
+    admission: &A,
+    gas: &mut Gas,
+) -> Outcome {
+    let task_order = tasks.order_by_decreasing_utilization();
+    let machine_order = platform.order_by_increasing_speed();
+    first_fit_ordered_within_with(
+        tasks,
+        platform,
+        alpha,
+        admission,
+        &task_order,
+        &machine_order,
+        gas,
+        &(),
+    )
+}
+
+/// [`first_fit_ordered_with`] under an execution budget (the most general
+/// form — explicit orders, metrics sink and gas meter).
+#[allow(clippy::too_many_arguments)]
+pub fn first_fit_ordered_within_with<A: AdmissionTest, S: MetricsSink>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    alpha: Augmentation,
+    admission: &A,
+    task_order: &[usize],
+    machine_order: &[usize],
+    gas: &mut Gas,
+    sink: &S,
+) -> Outcome {
     debug_assert_eq!(task_order.len(), tasks.len());
     debug_assert_eq!(machine_order.len(), platform.len());
     let alpha = alpha.factor();
@@ -139,6 +189,12 @@ pub fn first_fit_ordered_with<A: AdmissionTest, S: MetricsSink>(
         let mut placed = false;
         let mut task_checks = 0u64;
         for (slot, &mi) in machine_order.iter().enumerate() {
+            if gas.tick().is_err() {
+                flush(checks + task_checks, placed_count);
+                return Outcome::BudgetExhausted {
+                    partial: assignment,
+                };
+            }
             task_checks += 1;
             if let Some(next) = admission.admit(&states[slot], task, speeds[slot]) {
                 states[slot] = next;
@@ -241,6 +297,59 @@ pub fn min_feasible_alpha_with<A: AdmissionTest, S: MetricsSink>(
         sink.counter_add(metrics::ALPHA_BISECT_ITERS, iters);
     }
     Some(hi)
+}
+
+/// [`min_feasible_alpha`] under an execution budget: every first-fit probe
+/// runs against `gas`, and exhaustion surfaces as `Err(Exhaustion)`
+/// (distinguishable from the in-band `Ok(None)` "even `hi` fails").
+pub fn min_feasible_alpha_within<A: AdmissionTest>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    admission: &A,
+    hi: f64,
+    tol: f64,
+    gas: &mut Gas,
+) -> Result<Option<f64>, Exhaustion> {
+    if !hi.is_finite() || hi < 1.0 || !tol.is_finite() || tol <= 0.0 {
+        return Ok(None);
+    }
+    let task_order = tasks.order_by_decreasing_utilization();
+    let machine_order = platform.order_by_increasing_speed();
+    let accepts = |alpha: f64, gas: &mut Gas| -> Result<bool, Exhaustion> {
+        let out = first_fit_ordered_within_with(
+            tasks,
+            platform,
+            Augmentation::new(alpha).expect("alpha ∈ [1, hi], finite"),
+            admission,
+            &task_order,
+            &machine_order,
+            gas,
+            &(),
+        );
+        match out {
+            Outcome::BudgetExhausted { .. } => {
+                // Ops exhaustion leaves check_now() Ok — default to Ops.
+                Err(gas.check_now().err().unwrap_or(Exhaustion::Ops))
+            }
+            other => Ok(other.is_feasible()),
+        }
+    };
+    if accepts(1.0, gas)? {
+        return Ok(Some(1.0));
+    }
+    if !accepts(hi, gas)? {
+        return Ok(None);
+    }
+    let (mut lo, mut hi) = (1.0, hi);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if accepts(mid, gas)? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(Some(hi))
 }
 
 #[cfg(test)]
@@ -377,6 +486,41 @@ mod tests {
         assert_eq!(
             min_feasible_alpha(&tasks, &p, &EdfAdmission, f64::INFINITY, 1e-6),
             None
+        );
+    }
+
+    #[test]
+    fn budgeted_first_fit_agrees_and_exhausts() {
+        use hetfeas_robust::Budget;
+        let tasks = TaskSet::from_pairs([(9, 10), (4, 10), (3, 10)]).unwrap();
+        let p = platform(&[1, 2]);
+        // Ample budget: identical to the unbudgeted scan.
+        let mut gas = Budget::ops(1_000).gas();
+        assert_eq!(
+            first_fit_within(&tasks, &p, Augmentation::NONE, &EdfAdmission, &mut gas),
+            first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission)
+        );
+        // One admission check of budget: stops with a partial assignment.
+        let mut gas = Budget::ops(1).gas();
+        let out = first_fit_within(&tasks, &p, Augmentation::NONE, &EdfAdmission, &mut gas);
+        assert!(!out.is_decided());
+        assert!(out.partial().assigned_count() <= 1);
+    }
+
+    #[test]
+    fn budgeted_min_alpha_agrees_and_exhausts() {
+        use hetfeas_robust::{Budget, Exhaustion, Gas};
+        let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p = platform(&[1, 1]);
+        let a =
+            min_feasible_alpha_within(&tasks, &p, &EdfAdmission, 4.0, 1e-6, &mut Gas::unlimited())
+                .unwrap()
+                .unwrap();
+        assert!((a - 1.6).abs() < 1e-5);
+        let mut gas = Budget::ops(3).gas();
+        assert_eq!(
+            min_feasible_alpha_within(&tasks, &p, &EdfAdmission, 4.0, 1e-6, &mut gas),
+            Err(Exhaustion::Ops)
         );
     }
 

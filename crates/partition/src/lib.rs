@@ -25,12 +25,20 @@
 //!   `engine.*`, `alpha.*`). Every hot-path entry point has a `_with`
 //!   variant generic over [`hetfeas_obs::MetricsSink`]; passing `&()`
 //!   compiles the instrumentation away entirely.
+//! * [`degrade`] — graceful-degradation ladders: when a budgeted exact (or
+//!   LP) computation exhausts its [`hetfeas_robust::Budget`], fall back to
+//!   cheaper tests whose one-sided guarantees still yield a *sound*
+//!   verdict. Unbounded entry points additionally have `_within` variants
+//!   taking a [`hetfeas_robust::Gas`] meter; exhaustion surfaces as
+//!   [`Outcome::BudgetExhausted`] / [`ExactOutcome::Unknown`] instead of a
+//!   hang.
 
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod assignment;
 pub mod constrained;
+pub mod degrade;
 pub mod engine;
 pub mod exact;
 pub mod exact_rational;
@@ -47,12 +55,18 @@ pub use admission::{
 };
 pub use assignment::{Assignment, FailureWitness, Outcome};
 pub use constrained::{DemandState, DensityAdmission, EdfDemandAdmission};
+pub use degrade::{
+    exact_partition_edf_degraded, lp_feasible_degraded, LadderReport, LadderVerdict,
+};
 pub use engine::{FirstFitEngine, IndexableAdmission};
-pub use exact::{exact_partition, exact_partition_edf, exact_partition_rms, ExactOutcome};
-pub use exact_rational::exact_partition_edf_rational;
+pub use exact::{
+    exact_partition, exact_partition_edf, exact_partition_rms, exact_partition_within, ExactOutcome,
+};
+pub use exact_rational::{exact_partition_edf_rational, exact_partition_edf_rational_within};
 pub use first_fit::{
-    first_fit, first_fit_ordered, first_fit_ordered_with, first_fit_with, min_feasible_alpha,
-    min_feasible_alpha_with,
+    first_fit, first_fit_ordered, first_fit_ordered_with, first_fit_ordered_within_with,
+    first_fit_with, first_fit_within, min_feasible_alpha, min_feasible_alpha_with,
+    min_feasible_alpha_within,
 };
 pub use instrumented::{first_fit_instrumented, ScanStats};
 pub use lp_rounding::lp_rounding_partition;

@@ -83,6 +83,7 @@ fn signature(outcome: &Outcome, ts: &TaskSet, m: usize) -> Result<Vec<f64>, usiz
     match outcome {
         Outcome::Feasible(a) => Ok((0..m).map(|k| a.load_on(k, ts)).collect()),
         Outcome::Infeasible(w) => Err(w.failing_task),
+        Outcome::BudgetExhausted { .. } => unreachable!("unbudgeted first-fit cannot exhaust"),
     }
 }
 

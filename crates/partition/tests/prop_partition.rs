@@ -54,6 +54,9 @@ proptest! {
                 prop_assert!(w.failing_task < ts.len());
                 prop_assert!(!w.partial.is_complete() || ts.is_empty());
             }
+            Outcome::BudgetExhausted { .. } => {
+                prop_assert!(false, "unbudgeted first-fit cannot exhaust");
+            }
         }
     }
 

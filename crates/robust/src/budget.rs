@@ -1,0 +1,338 @@
+//! Execution budgets ([`Budget`]) and the per-computation meters derived
+//! from them ([`Gas`]).
+//!
+//! A [`Budget`] is a declarative spec — "at most 50 ms of wall clock and
+//! 10⁷ operations, and stop early if this flag flips". Calling
+//! [`Budget::gas`] starts the clock and yields a [`Gas`] meter that the
+//! potentially-unbounded loops in `analysis`, `lp`, `partition` and `sim`
+//! tick once per unit of work. When any resource runs out the loop receives
+//! an [`Exhaustion`] value and unwinds *by return*, never by panic or hang.
+//!
+//! ## Cost discipline
+//!
+//! [`Gas::tick`] in the common (unlimited-ops, no-deadline) configuration
+//! is a single branch on a cached flag; with an ops cap it is a decrement
+//! plus a compare. `Instant::now()` and the atomic cancellation flag are
+//! consulted only every [`POLL_INTERVAL`] ticks, so metering a loop that
+//! runs millions of iterations costs well under 1 % — cheap enough to leave
+//! on in production paths.
+
+use core::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many ticks pass between polls of the wall clock / cancel flag.
+pub const POLL_INTERVAL: u32 = 1024;
+
+/// Why a metered computation stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Exhaustion {
+    /// The wall-clock deadline passed.
+    WallClock,
+    /// The operation cap was consumed.
+    Ops,
+    /// The cooperative cancellation flag was set.
+    Cancelled,
+}
+
+impl Exhaustion {
+    /// Stable short name, used in reports and table cells.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Exhaustion::WallClock => "wall-clock",
+            Exhaustion::Ops => "ops",
+            Exhaustion::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A declarative execution budget: wall-clock limit, operation cap and an
+/// optional cooperative cancellation flag. `Budget` is cheap to clone and
+/// carries no started clock — [`Budget::gas`] starts one.
+///
+/// ```
+/// use hetfeas_robust::{Budget, Exhaustion};
+/// let mut gas = Budget::unlimited().with_ops(2).gas();
+/// assert!(gas.tick().is_ok());
+/// assert!(gas.tick().is_ok());
+/// assert_eq!(gas.tick(), Err(Exhaustion::Ops));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    wall: Option<Duration>,
+    ops: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Budget {
+    /// No limits at all; the derived [`Gas`] never exhausts.
+    pub const fn unlimited() -> Self {
+        Budget {
+            wall: None,
+            ops: None,
+            cancel: None,
+        }
+    }
+
+    /// Budget with only a wall-clock limit of `ms` milliseconds.
+    pub fn wall_ms(ms: u64) -> Self {
+        Budget::unlimited().with_wall_ms(ms)
+    }
+
+    /// Budget with only an operation cap.
+    pub fn ops(ops: u64) -> Self {
+        Budget::unlimited().with_ops(ops)
+    }
+
+    /// Add/replace the wall-clock limit.
+    pub fn with_wall_ms(mut self, ms: u64) -> Self {
+        self.wall = Some(Duration::from_millis(ms));
+        self
+    }
+
+    /// Add/replace the operation cap.
+    pub fn with_ops(mut self, ops: u64) -> Self {
+        self.ops = Some(ops);
+        self
+    }
+
+    /// Add a cooperative cancellation flag; setting it to `true` makes
+    /// every derived [`Gas`] report [`Exhaustion::Cancelled`] at its next
+    /// poll.
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// True when no limit of any kind is configured.
+    pub fn is_unlimited(&self) -> bool {
+        self.wall.is_none() && self.ops.is_none() && self.cancel.is_none()
+    }
+
+    /// Start the clock: derive a fresh meter whose deadline is *now* plus
+    /// the wall limit.
+    pub fn gas(&self) -> Gas {
+        Gas {
+            ops_left: self.ops.unwrap_or(u64::MAX),
+            metered: !self.is_unlimited(),
+            deadline: self.wall.map(|d| Instant::now() + d),
+            cancel: self.cancel.clone(),
+            until_poll: POLL_INTERVAL,
+            dead: None,
+        }
+    }
+}
+
+/// A running meter derived from a [`Budget`]. Loops call [`Gas::tick`]
+/// (or [`Gas::tick_n`] for batched work) once per unit of work and
+/// propagate the `Err(Exhaustion)` outward instead of looping on.
+#[derive(Debug, Clone)]
+pub struct Gas {
+    ops_left: u64,
+    metered: bool,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+    until_poll: u32,
+    /// Set at the first failed poll. Exhaustion is *sticky*: once the
+    /// deadline passed or the cancel flag flipped, every later tick fails
+    /// immediately instead of waiting for the next poll window — a caller
+    /// that swallows one `Err` cannot accidentally keep computing at full
+    /// speed between polls.
+    dead: Option<Exhaustion>,
+}
+
+impl Gas {
+    /// A meter that never exhausts — the default argument for callers that
+    /// want the legacy unbounded behaviour.
+    pub fn unlimited() -> Self {
+        Budget::unlimited().gas()
+    }
+
+    /// Consume one unit of work. Polls the clock/cancel flag every
+    /// [`POLL_INTERVAL`] calls.
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), Exhaustion> {
+        if !self.metered {
+            return Ok(());
+        }
+        if let Some(e) = self.dead {
+            return Err(e);
+        }
+        if self.ops_left == 0 {
+            return Err(Exhaustion::Ops);
+        }
+        self.ops_left -= 1;
+        if self.until_poll == 0 {
+            self.until_poll = POLL_INTERVAL;
+            self.sticky(self.poll())
+        } else {
+            self.until_poll -= 1;
+            Ok(())
+        }
+    }
+
+    /// Consume `n` units of work at once (for loops whose inner body does
+    /// `n` comparable units per iteration). Always polls.
+    pub fn tick_n(&mut self, n: u64) -> Result<(), Exhaustion> {
+        if !self.metered {
+            return Ok(());
+        }
+        if let Some(e) = self.dead {
+            return Err(e);
+        }
+        if self.ops_left < n {
+            self.ops_left = 0;
+            return Err(Exhaustion::Ops);
+        }
+        self.ops_left -= n;
+        self.until_poll = POLL_INTERVAL;
+        self.sticky(self.poll())
+    }
+
+    /// Force an immediate clock/cancel poll without consuming ops.
+    pub fn check_now(&mut self) -> Result<(), Exhaustion> {
+        if !self.metered {
+            return Ok(());
+        }
+        if let Some(e) = self.dead {
+            return Err(e);
+        }
+        self.until_poll = POLL_INTERVAL;
+        self.sticky(self.poll())
+    }
+
+    /// Remaining operation allowance (`u64::MAX` when uncapped).
+    pub fn ops_left(&self) -> u64 {
+        self.ops_left
+    }
+
+    /// Latch a failed poll so exhaustion persists across poll windows.
+    fn sticky(&mut self, r: Result<(), Exhaustion>) -> Result<(), Exhaustion> {
+        if let Err(e) = r {
+            self.dead = Some(e);
+        }
+        r
+    }
+
+    #[inline(never)]
+    fn poll(&self) -> Result<(), Exhaustion> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(Exhaustion::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(Exhaustion::WallClock);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_gas_never_exhausts() {
+        let mut gas = Gas::unlimited();
+        for _ in 0..100_000 {
+            assert_eq!(gas.tick(), Ok(()));
+        }
+        assert_eq!(gas.tick_n(u64::MAX), Ok(()));
+        assert_eq!(gas.check_now(), Ok(()));
+    }
+
+    #[test]
+    fn ops_cap_exhausts_exactly() {
+        let mut gas = Budget::ops(3).gas();
+        assert_eq!(gas.tick(), Ok(()));
+        assert_eq!(gas.tick(), Ok(()));
+        assert_eq!(gas.tick(), Ok(()));
+        assert_eq!(gas.tick(), Err(Exhaustion::Ops));
+        // Stays exhausted.
+        assert_eq!(gas.tick(), Err(Exhaustion::Ops));
+    }
+
+    #[test]
+    fn tick_n_consumes_batches() {
+        let mut gas = Budget::ops(10).gas();
+        assert_eq!(gas.tick_n(4), Ok(()));
+        assert_eq!(gas.tick_n(6), Ok(()));
+        assert_eq!(gas.tick_n(1), Err(Exhaustion::Ops));
+    }
+
+    #[test]
+    fn zero_wall_budget_exhausts_at_first_poll() {
+        let mut gas = Budget::wall_ms(0).gas();
+        assert_eq!(gas.check_now(), Err(Exhaustion::WallClock));
+        // tick() only polls every POLL_INTERVAL calls, but must fail
+        // within one interval.
+        let mut gas = Budget::wall_ms(0).gas();
+        let mut saw = None;
+        for _ in 0..=(POLL_INTERVAL as usize + 1) {
+            if let Err(e) = gas.tick() {
+                saw = Some(e);
+                break;
+            }
+        }
+        assert_eq!(saw, Some(Exhaustion::WallClock));
+    }
+
+    #[test]
+    fn wall_clock_exhaustion_is_sticky() {
+        // Once the deadline fires, every later tick fails immediately —
+        // NOT just the 1-in-POLL_INTERVAL ticks that happen to poll. A
+        // search that swallows one Err per subtree would otherwise keep
+        // running at ~full speed between polls.
+        let mut gas = Budget::wall_ms(0).gas();
+        assert_eq!(gas.check_now(), Err(Exhaustion::WallClock));
+        for _ in 0..(POLL_INTERVAL as usize / 2) {
+            assert_eq!(gas.tick(), Err(Exhaustion::WallClock));
+        }
+        assert_eq!(gas.tick_n(1), Err(Exhaustion::WallClock));
+        assert_eq!(gas.check_now(), Err(Exhaustion::WallClock));
+    }
+
+    #[test]
+    fn cancel_flag_is_observed() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut gas = Budget::unlimited().with_cancel(flag.clone()).gas();
+        assert_eq!(gas.check_now(), Ok(()));
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(gas.check_now(), Err(Exhaustion::Cancelled));
+    }
+
+    #[test]
+    fn budget_is_reusable_and_gas_starts_fresh() {
+        let budget = Budget::ops(1);
+        let mut a = budget.gas();
+        let mut b = budget.gas();
+        assert_eq!(a.tick(), Ok(()));
+        assert_eq!(a.tick(), Err(Exhaustion::Ops));
+        // b has its own allowance.
+        assert_eq!(b.tick(), Ok(()));
+    }
+
+    #[test]
+    fn exhaustion_names_are_stable() {
+        assert_eq!(Exhaustion::WallClock.to_string(), "wall-clock");
+        assert_eq!(Exhaustion::Ops.as_str(), "ops");
+        assert_eq!(Exhaustion::Cancelled.as_str(), "cancelled");
+    }
+
+    #[test]
+    fn unlimited_budget_reports_unlimited() {
+        assert!(Budget::unlimited().is_unlimited());
+        assert!(!Budget::wall_ms(5).is_unlimited());
+        assert!(!Budget::ops(5).is_unlimited());
+    }
+}

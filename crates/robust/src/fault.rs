@@ -1,0 +1,299 @@
+//! Deterministic fault injection: adversarial-but-valid instances.
+//!
+//! Every [`FaultCase`] is built from *valid* [`Task`]/[`Platform`] values —
+//! the constructors all succeed — yet each targets a known soft spot in the
+//! analysis machinery: rational-arithmetic overflow, fixed-point iteration
+//! blowup, LP degeneracy or exponential exact search. The no-panic battery
+//! (`tests/prop_no_panic.rs`) and the CI fault-smoke stage
+//! (`scripts/fault_smoke.sh`) run every public entry point over this corpus
+//! under a [`crate::Budget`] and assert: no panic, no hang, sound verdicts
+//! only.
+//!
+//! Generation is seeded and fully deterministic (a splitmix64 stream, no
+//! external RNG crate), so a failing case reproduces from its seed alone.
+
+use hetfeas_model::{Machine, Platform, Ratio, Task, TaskSet};
+
+/// The category of weakness a fault case targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Near-`u64::MAX` coprime-ish periods: hyperperiod and `Ratio`-sum
+    /// overflow, astronomically long QPA/RTA fixed-point horizons.
+    HugePeriods,
+    /// Speeds spanning many orders of magnitude (1/999983 up to 10⁹):
+    /// stresses rational admission arithmetic and f64 comparisons.
+    DegenerateSpeeds,
+    /// Constrained-deadline tasks with `deadline == wcet` (zero slack):
+    /// densest possible DBF, busy periods that touch every deadline.
+    ZeroSlack,
+    /// Many tasks of identical utilization: maximal LP degeneracy (ties in
+    /// every pivot choice) and worst-case symmetry for branch-and-bound.
+    LpCycling,
+    /// Equal tasks crafted so first-fit fails and the exact search must
+    /// refute an exponentially symmetric tree — the canonical budget
+    /// exhaustion trigger.
+    ExactBlowup,
+}
+
+impl FaultKind {
+    /// Stable short name for table cells and reports.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::HugePeriods => "huge-periods",
+            FaultKind::DegenerateSpeeds => "degenerate-speeds",
+            FaultKind::ZeroSlack => "zero-slack",
+            FaultKind::LpCycling => "lp-cycling",
+            FaultKind::ExactBlowup => "exact-blowup",
+        }
+    }
+}
+
+/// One adversarial instance: a named task set + platform pair.
+#[derive(Debug, Clone)]
+pub struct FaultCase {
+    /// Human-readable identifier (`"huge-periods/0"`, …).
+    pub name: String,
+    /// Which weakness this case targets.
+    pub kind: FaultKind,
+    /// The (valid) task set.
+    pub tasks: TaskSet,
+    /// The (valid) platform.
+    pub platform: Platform,
+}
+
+/// Deterministic generator of the adversarial corpus. Two plans with the
+/// same seed produce byte-identical cases.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    seed: u64,
+}
+
+/// splitmix64 step — the workspace's standard small deterministic stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// Plan seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed }
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The full corpus for this seed, in a fixed order.
+    pub fn cases(&self) -> Vec<FaultCase> {
+        let mut out = Vec::new();
+        out.extend(self.huge_periods());
+        out.extend(self.degenerate_speeds());
+        out.extend(self.zero_slack());
+        out.extend(self.lp_cycling());
+        out.extend(self.exact_blowup());
+        out
+    }
+
+    /// Cases of one kind only.
+    pub fn cases_of(&self, kind: FaultKind) -> Vec<FaultCase> {
+        self.cases()
+            .into_iter()
+            .filter(|c| c.kind == kind)
+            .collect()
+    }
+
+    fn huge_periods(&self) -> Vec<FaultCase> {
+        let mut state = self.seed ^ 0x4855_4745; // "HUGE"
+        let mut cases = Vec::new();
+        for i in 0..3u64 {
+            // Periods just below u64::MAX, pairwise distinct; their lcm
+            // (and any common denominator) blows straight past i128.
+            let mut tasks = TaskSet::empty();
+            for j in 0..4u64 {
+                let jitter = splitmix64(&mut state) % 4096;
+                let period = u64::MAX - 1 - 2 * (i * 7 + j) - 2 * jitter;
+                let wcet = period - 1 - (splitmix64(&mut state) % 1024);
+                tasks.push(Task::implicit(wcet, period).expect("valid huge-period task"));
+            }
+            let platform = Platform::from_int_speeds([1, 2]).expect("valid platform");
+            cases.push(FaultCase {
+                name: format!("huge-periods/{i}"),
+                kind: FaultKind::HugePeriods,
+                tasks,
+                platform,
+            });
+        }
+        cases
+    }
+
+    fn degenerate_speeds(&self) -> Vec<FaultCase> {
+        let mut state = self.seed ^ 0x5350_4421; // "SPD!"
+        let mut cases = Vec::new();
+        for i in 0..2u64 {
+            let tasks = TaskSet::from_pairs([
+                (1, 10),
+                (3 + splitmix64(&mut state) % 5, 20),
+                (7, 35),
+                (1, 1_000_000),
+            ])
+            .expect("valid tasks");
+            // One crawling machine (1/999983), one ordinary, one enormous.
+            let crawl = Machine::new(Ratio::new(1, 999_983)).expect("positive speed");
+            let normal = Machine::from_speed(1 + splitmix64(&mut state) % 3).expect("speed");
+            let huge = Machine::from_speed(1_000_000_000 + i).expect("speed");
+            let platform = Platform::new(vec![crawl, normal, huge]).expect("non-empty");
+            cases.push(FaultCase {
+                name: format!("degenerate-speeds/{i}"),
+                kind: FaultKind::DegenerateSpeeds,
+                tasks,
+                platform,
+            });
+        }
+        cases
+    }
+
+    fn zero_slack(&self) -> Vec<FaultCase> {
+        let mut state = self.seed ^ 0x534c_4b30; // "SLK0"
+        let mut cases = Vec::new();
+        for i in 0..2u64 {
+            let mut tasks = TaskSet::empty();
+            for j in 1..=4u64 {
+                let wcet = j + splitmix64(&mut state) % 3;
+                let period = wcet * (4 + j);
+                // deadline == wcet: the job must run the instant it
+                // arrives, the densest constrained-deadline shape.
+                tasks.push(Task::constrained(wcet, period, wcet).expect("valid zero-slack task"));
+            }
+            let platform = Platform::from_int_speeds([1, 1, 2]).expect("valid platform");
+            cases.push(FaultCase {
+                name: format!("zero-slack/{i}"),
+                kind: FaultKind::ZeroSlack,
+                tasks,
+                platform,
+            });
+        }
+        cases
+    }
+
+    fn lp_cycling(&self) -> Vec<FaultCase> {
+        let mut state = self.seed ^ 0x4c50_4359; // "LPCY"
+        let mut cases = Vec::new();
+        for i in 0..2u64 {
+            let n = 10 + (splitmix64(&mut state) % 5) as usize;
+            // n identical tasks: every simplex pivot choice ties, every
+            // basis is degenerate — the classic cycling-risk shape that
+            // Bland's rule must escape.
+            let tasks =
+                TaskSet::from_pairs(std::iter::repeat((1u64, 3u64)).take(n)).expect("valid tasks");
+            let m = 2 + (i as usize);
+            let platform = Platform::uniform_speed(m, 1).expect("valid platform");
+            cases.push(FaultCase {
+                name: format!("lp-cycling/{i}"),
+                kind: FaultKind::LpCycling,
+                tasks,
+                platform,
+            });
+        }
+        cases
+    }
+
+    fn exact_blowup(&self) -> Vec<FaultCase> {
+        // 13 tasks of utilization 0.334 on 6 unit machines: at most two fit
+        // per machine (3 × 0.334 > 1), 2 × 6 = 12 < 13, so the instance is
+        // infeasible — but the search must refute a 6^13-leaf symmetric
+        // tree to prove it. This is the canonical acceptance-criteria
+        // instance for `--budget-ms`.
+        let tasks = TaskSet::from_pairs(std::iter::repeat((334u64, 1000u64)).take(13))
+            .expect("valid tasks");
+        let platform = Platform::uniform_speed(6, 1).expect("valid platform");
+        vec![FaultCase {
+            name: "exact-blowup/0".to_string(),
+            kind: FaultKind::ExactBlowup,
+            tasks,
+            platform,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_per_seed() {
+        let a = FaultPlan::new(42).cases();
+        let b = FaultPlan::new(42).cases();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.tasks, y.tasks);
+            assert_eq!(x.platform, y.platform);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let a = FaultPlan::new(1).cases();
+        let b = FaultPlan::new(2).cases();
+        assert!(a
+            .iter()
+            .zip(&b)
+            .any(|(x, y)| x.tasks != y.tasks || x.platform != y.platform));
+    }
+
+    #[test]
+    fn corpus_covers_every_kind() {
+        let cases = FaultPlan::new(0).cases();
+        for kind in [
+            FaultKind::HugePeriods,
+            FaultKind::DegenerateSpeeds,
+            FaultKind::ZeroSlack,
+            FaultKind::LpCycling,
+            FaultKind::ExactBlowup,
+        ] {
+            assert!(
+                cases.iter().any(|c| c.kind == kind),
+                "missing kind {}",
+                kind.as_str()
+            );
+        }
+    }
+
+    #[test]
+    fn all_cases_are_valid_model_values() {
+        for case in FaultPlan::new(7).cases() {
+            assert!(!case.tasks.is_empty(), "{}: empty task set", case.name);
+            assert!(!case.platform.is_empty(), "{}: empty platform", case.name);
+            for t in case.tasks.iter() {
+                assert!(t.wcet() > 0 && t.period() > 0 && t.deadline() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn huge_period_cases_overflow_the_hyperperiod() {
+        for case in FaultPlan::new(3).cases_of(FaultKind::HugePeriods) {
+            assert_eq!(case.tasks.hyperperiod(), None, "{}", case.name);
+        }
+    }
+
+    #[test]
+    fn exact_blowup_is_demand_infeasible() {
+        let case = &FaultPlan::new(0).cases_of(FaultKind::ExactBlowup)[0];
+        // Total utilization 13 × 0.334 = 4.342 < total speed 6, so the
+        // trivial necessary condition does NOT refute it — only the search
+        // (or a packing argument) can.
+        assert!(case.tasks.total_utilization() < case.platform.total_speed());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(FaultKind::HugePeriods.as_str(), "huge-periods");
+        assert_eq!(FaultKind::ExactBlowup.as_str(), "exact-blowup");
+    }
+}

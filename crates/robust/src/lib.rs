@@ -1,0 +1,37 @@
+//! # hetfeas-robust
+//!
+//! Hardened-execution substrate for the `hetfeas` workspace: execution
+//! budgets, deterministic fault injection and panic firewalls.
+//!
+//! Exact feasibility for sporadic systems is coNP-hard already on one
+//! processor, so worst-case blowup in the exact oracles, the QPA/RTA fixed
+//! points and the simplex LP is inherent — it must be *budgeted*, not hoped
+//! away. This crate provides the three pieces the rest of the workspace
+//! threads through its potentially-unbounded loops:
+//!
+//! * [`Budget`] / [`Gas`] — a declarative budget (wall-clock deadline,
+//!   operation cap, cooperative cancellation flag) and the per-computation
+//!   meter derived from it. The meter's [`Gas::tick`] is a decrement plus a
+//!   branch; the clock and the cancellation flag are only polled every
+//!   ~1024 ticks, so metered loops stay within noise of their unmetered
+//!   selves. Exhaustion is a value ([`Exhaustion`]), never a panic.
+//! * [`FaultPlan`] — deterministic adversarial instance generation
+//!   (near-max periods, degenerate speeds, zero-slack deadlines,
+//!   LP-cycling and exact-search-blowup instances) for the no-panic
+//!   battery and the CI fault-smoke stage.
+//! * [`firewall::guard`] — a `catch_unwind` wrapper that converts a panic
+//!   in one sweep cell into a reportable [`PanicReport`] and a
+//!   `robust.panics` counter increment instead of aborting the run.
+//!
+//! Metric names for the robustness counters live in [`metrics`].
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod fault;
+pub mod firewall;
+pub mod metrics;
+
+pub use budget::{Budget, Exhaustion, Gas};
+pub use fault::{FaultCase, FaultKind, FaultPlan};
+pub use firewall::{guard, guard_with, PanicReport};

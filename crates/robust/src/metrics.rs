@@ -1,0 +1,24 @@
+//! Metric names emitted by the robustness layer.
+//!
+//! `robust.*` counters follow the same conventions as the `ff.*` /
+//! `engine.*` families in `hetfeas_partition::metrics`: `&'static str`
+//! constants in a dotted namespace, emitted through
+//! [`hetfeas_obs::MetricsSink`]. CI asserts `robust.panics == 0` in the
+//! default (non-injected) configuration; `robust.degraded ≥ 1` is the
+//! acceptance signal that a budget-exhausted exact test was salvaged by the
+//! degradation ladder instead of hanging.
+
+/// Panics caught by the firewall (counter; must be 0 without injection).
+pub const ROBUST_PANICS: &str = "robust.panics";
+/// Computations that exhausted their budget (counter).
+pub const ROBUST_BUDGET_EXHAUSTED: &str = "robust.budget_exhausted";
+/// Verdicts downgraded along the ladder — exact → QPA → utilization
+/// bound, or LP → first-fit constant (counter).
+pub const ROBUST_DEGRADED: &str = "robust.degraded";
+/// Adversarial instances injected by a `FaultPlan` run (counter).
+pub const ROBUST_FAULTS_INJECTED: &str = "robust.faults_injected";
+
+/// Sweep cells actually computed in this process (counter).
+pub const SWEEP_CELLS_RUN: &str = "sweep.cells_run";
+/// Sweep cells restored from a `--resume` checkpoint (counter).
+pub const SWEEP_CELLS_RESUMED: &str = "sweep.cells_resumed";

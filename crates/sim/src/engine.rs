@@ -7,6 +7,7 @@
 
 use crate::job::{Job, MissRecord, SimReport};
 use crate::policy::SchedPolicy;
+use hetfeas_robust::{Exhaustion, Gas};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -63,6 +64,22 @@ pub fn run(
     ranks: &[u64],
     config: EngineConfig,
 ) -> (SimReport, Vec<TraceSegment>) {
+    run_within(jobs, policy, ranks, config, &mut Gas::unlimited())
+        .expect("unlimited gas cannot exhaust")
+}
+
+/// [`run`] under an execution budget: `gas` is ticked once per decision
+/// point (release, completion, or preemption). On exhaustion the partial
+/// report is discarded and the exhaustion reason returned — a truncated
+/// simulation proves nothing about the schedule, so there is no partial
+/// result to salvage.
+pub fn run_within(
+    jobs: &[Job],
+    policy: SchedPolicy,
+    ranks: &[u64],
+    config: EngineConfig,
+    gas: &mut Gas,
+) -> Result<(SimReport, Vec<TraceSegment>), Exhaustion> {
     debug_assert!(jobs.windows(2).all(|w| w[0].release <= w[1].release));
     let mut report = SimReport::default();
     let mut trace = Vec::new();
@@ -77,6 +94,7 @@ pub fn run(
     let mut last_running: Option<usize> = None;
 
     loop {
+        gas.tick()?;
         // Admit all jobs released by time t.
         while next_release < jobs.len() && jobs[next_release].release <= t {
             let id = next_release;
@@ -156,7 +174,7 @@ pub fn run(
             last_running = Some(id);
         }
     }
-    (report, trace)
+    Ok((report, trace))
 }
 
 #[cfg(test)]
@@ -296,6 +314,27 @@ mod tests {
         let (_, t2) = run_edf(&jobs);
         assert_eq!(t1, t2);
         assert_eq!(t1[0].task, 0);
+    }
+
+    #[test]
+    fn budgeted_run_agrees_then_exhausts() {
+        use hetfeas_robust::Budget;
+        let jobs: Vec<Job> = (0..20)
+            .map(|k| j(k % 3, k as u64, k as u64 + 50, 2))
+            .collect();
+        let mut jobs = jobs;
+        jobs.sort_by_key(|jb| jb.release);
+        let cfg = EngineConfig::default();
+        let unbudgeted = run(&jobs, SchedPolicy::Edf, &[], cfg);
+        let mut gas = Budget::ops(1_000_000).gas();
+        let budgeted =
+            run_within(&jobs, SchedPolicy::Edf, &[], cfg, &mut gas).expect("ample budget");
+        assert_eq!(unbudgeted.0, budgeted.0);
+        let mut starved = Budget::ops(3).gas();
+        assert_eq!(
+            run_within(&jobs, SchedPolicy::Edf, &[], cfg, &mut starved),
+            Err(hetfeas_robust::Exhaustion::Ops)
+        );
     }
 
     #[test]

@@ -36,7 +36,12 @@ pub use fluid::{level_schedulable, run_level_algorithm, FluidSlice, LevelRun};
 pub use gantt::{observed_utilization, per_task_stats, render_gantt, TaskTraceStats};
 pub use global_edf::simulate_global_edf;
 pub use job::{Job, MissRecord, SimReport};
-pub use machine::{scaled_jobs, simulate_machine, simulate_machine_traced, validation_horizon};
-pub use partition_sim::{simulate_partition, validate_assignment};
+pub use machine::{
+    scaled_jobs, scaled_jobs_within, simulate_machine, simulate_machine_traced,
+    simulate_machine_traced_within, simulate_machine_within, validation_horizon,
+};
+pub use partition_sim::{
+    simulate_partition, simulate_partition_within, validate_assignment, validate_assignment_within,
+};
 pub use policy::SchedPolicy;
 pub use source::{releases, ReleasePattern};

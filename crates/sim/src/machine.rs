@@ -1,53 +1,64 @@
 //! Simulating one related machine: scaling, job expansion, engine run.
 
-use crate::engine::{run, EngineConfig, TraceSegment};
+use crate::engine::{run_within, EngineConfig, TraceSegment};
 use crate::job::{Job, SimReport};
 use crate::policy::SchedPolicy;
 use crate::source::{releases, ReleasePattern};
 use hetfeas_model::{ModelError, Ratio, TaskSet};
+use hetfeas_robust::{Exhaustion, Gas};
 
 /// Expand `tasks` into scaled jobs for a machine of speed `num/den` over
 /// `horizon` (unscaled ticks, exclusive on releases).
 ///
 /// Scaling: times × `num`, work × `den` — one scaled work unit then takes
-/// exactly one scaled tick (`DESIGN.md` §8).
+/// exactly one scaled tick (`DESIGN.md` §9).
 pub fn scaled_jobs(
     tasks: &TaskSet,
     speed: Ratio,
     pattern: ReleasePattern,
     horizon: u64,
 ) -> Result<Vec<Job>, ModelError> {
+    scaled_jobs_within(tasks, speed, pattern, horizon, &mut Gas::unlimited())
+        .expect("unlimited gas cannot exhaust")
+}
+
+/// [`scaled_jobs`] under an execution budget: job expansion is `O(horizon ·
+/// n / min period)` and dominates engine time for long horizons, so `gas`
+/// is ticked once per generated job. Outer `Err` is budget exhaustion;
+/// inner `Err` is an arithmetic/model failure.
+pub fn scaled_jobs_within(
+    tasks: &TaskSet,
+    speed: Ratio,
+    pattern: ReleasePattern,
+    horizon: u64,
+    gas: &mut Gas,
+) -> Result<Result<Vec<Job>, ModelError>, Exhaustion> {
     if speed <= Ratio::ZERO {
-        return Err(ModelError::NonPositiveSpeed);
+        return Ok(Err(ModelError::NonPositiveSpeed));
     }
-    let num = u64::try_from(speed.numer()).map_err(|_| ModelError::Overflow("speed numerator"))?;
-    let den =
-        u64::try_from(speed.denom()).map_err(|_| ModelError::Overflow("speed denominator"))?;
+    let (Ok(num), Ok(den)) = (u64::try_from(speed.numer()), u64::try_from(speed.denom())) else {
+        return Ok(Err(ModelError::Overflow("speed encoding")));
+    };
     let mut jobs = Vec::new();
     for (task, release) in releases(tasks, pattern, horizon) {
+        gas.tick()?;
         let t = &tasks[task];
-        let release = release
-            .checked_mul(num)
-            .ok_or(ModelError::Overflow("scaled release"))?;
-        let deadline = release
-            .checked_add(
-                t.deadline()
-                    .checked_mul(num)
-                    .ok_or(ModelError::Overflow("scaled deadline"))?,
-            )
-            .ok_or(ModelError::Overflow("scaled deadline"))?;
-        let work = t
-            .wcet()
-            .checked_mul(den)
-            .ok_or(ModelError::Overflow("scaled work"))?;
-        jobs.push(Job {
-            task,
-            release,
-            deadline,
-            work,
+        let scaled = release.checked_mul(num).and_then(|release| {
+            let deadline = release.checked_add(t.deadline().checked_mul(num)?)?;
+            let work = t.wcet().checked_mul(den)?;
+            Some(Job {
+                task,
+                release,
+                deadline,
+                work,
+            })
         });
+        match scaled {
+            Some(job) => jobs.push(job),
+            None => return Ok(Err(ModelError::Overflow("scaled job"))),
+        }
     }
-    Ok(jobs)
+    Ok(Ok(jobs))
 }
 
 /// Simulate `tasks` on a machine of rational speed `speed` under `policy`,
@@ -92,9 +103,57 @@ pub fn simulate_machine_traced(
     horizon: u64,
     config: EngineConfig,
 ) -> Result<(SimReport, Vec<TraceSegment>), ModelError> {
-    let jobs = scaled_jobs(tasks, speed, pattern, horizon)?;
+    simulate_machine_traced_within(
+        tasks,
+        speed,
+        policy,
+        pattern,
+        horizon,
+        config,
+        &mut Gas::unlimited(),
+    )
+    .expect("unlimited gas cannot exhaust")
+}
+
+/// [`simulate_machine_traced`] under an execution budget: both job
+/// expansion and the engine loop tick `gas`, so a hostile horizon (huge
+/// hyperperiod, tiny period) is cut off instead of exhausting memory/time.
+pub fn simulate_machine_traced_within(
+    tasks: &TaskSet,
+    speed: Ratio,
+    policy: SchedPolicy,
+    pattern: ReleasePattern,
+    horizon: u64,
+    config: EngineConfig,
+    gas: &mut Gas,
+) -> Result<Result<(SimReport, Vec<TraceSegment>), ModelError>, Exhaustion> {
+    let jobs = match scaled_jobs_within(tasks, speed, pattern, horizon, gas)? {
+        Ok(jobs) => jobs,
+        Err(e) => return Ok(Err(e)),
+    };
     let ranks = policy.ranks(tasks);
-    Ok(run(&jobs, policy, &ranks, config))
+    Ok(Ok(run_within(&jobs, policy, &ranks, config, gas)?))
+}
+
+/// [`simulate_machine`] under an execution budget.
+pub fn simulate_machine_within(
+    tasks: &TaskSet,
+    speed: Ratio,
+    policy: SchedPolicy,
+    pattern: ReleasePattern,
+    horizon: u64,
+    gas: &mut Gas,
+) -> Result<Result<SimReport, ModelError>, Exhaustion> {
+    Ok(simulate_machine_traced_within(
+        tasks,
+        speed,
+        policy,
+        pattern,
+        horizon,
+        EngineConfig::default(),
+        gas,
+    )?
+    .map(|(report, _)| report))
 }
 
 /// The default validation horizon: two hyperperiods of the set (for a

@@ -8,11 +8,12 @@
 //! zero deadlines are missed on the α-augmented platform.
 
 use crate::job::SimReport;
-use crate::machine::{simulate_machine, validation_horizon};
+use crate::machine::{simulate_machine_within, validation_horizon};
 use crate::policy::SchedPolicy;
 use crate::source::ReleasePattern;
 use hetfeas_model::{ModelError, Platform, Ratio, TaskSet};
 use hetfeas_partition::Assignment;
+use hetfeas_robust::{Exhaustion, Gas};
 
 /// Simulate a complete partitioned assignment on `platform` with machine
 /// speeds multiplied by `alpha` (the algorithm's speed augmentation as an
@@ -29,10 +30,37 @@ pub fn simulate_partition(
     pattern: ReleasePattern,
     horizon: u64,
 ) -> Result<SimReport, ModelError> {
+    simulate_partition_within(
+        tasks,
+        platform,
+        assignment,
+        alpha,
+        policy,
+        pattern,
+        horizon,
+        &mut Gas::unlimited(),
+    )
+    .expect("unlimited gas cannot exhaust")
+}
+
+/// [`simulate_partition`] under an execution budget shared across all
+/// machines. A partial replay proves nothing, so exhaustion discards the
+/// accumulated report and returns the reason as the outer `Err`.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_partition_within(
+    tasks: &TaskSet,
+    platform: &Platform,
+    assignment: &Assignment,
+    alpha: Ratio,
+    policy: SchedPolicy,
+    pattern: ReleasePattern,
+    horizon: u64,
+    gas: &mut Gas,
+) -> Result<Result<SimReport, ModelError>, Exhaustion> {
     if !assignment.is_complete() {
         // An incomplete assignment has no defined schedule; treat as error
         // rather than silently simulating a subset.
-        return Err(ModelError::UtilizationTooLarge { task: usize::MAX });
+        return Ok(Err(ModelError::UtilizationTooLarge { task: usize::MAX }));
     }
     let mut total = SimReport::default();
     for m in 0..platform.len() {
@@ -40,15 +68,15 @@ pub fn simulate_partition(
         if subset.is_empty() {
             continue;
         }
-        let speed = platform
-            .machine(m)
-            .speed()
-            .checked_mul(&alpha)
-            .ok_or(ModelError::Overflow("augmented speed"))?;
-        let report = simulate_machine(&subset, speed, policy, pattern, horizon)?;
-        total.absorb(&report);
+        let Some(speed) = platform.machine(m).speed().checked_mul(&alpha) else {
+            return Ok(Err(ModelError::Overflow("augmented speed")));
+        };
+        match simulate_machine_within(&subset, speed, policy, pattern, horizon, gas)? {
+            Ok(report) => total.absorb(&report),
+            Err(e) => return Ok(Err(e)),
+        }
     }
-    Ok(total)
+    Ok(Ok(total))
 }
 
 /// Convenience: simulate with the set's own validation horizon
@@ -60,8 +88,32 @@ pub fn validate_assignment(
     alpha: Ratio,
     policy: SchedPolicy,
 ) -> Result<SimReport, ModelError> {
-    let horizon = validation_horizon(tasks).ok_or(ModelError::Overflow("validation horizon"))?;
-    simulate_partition(
+    validate_assignment_within(
+        tasks,
+        platform,
+        assignment,
+        alpha,
+        policy,
+        &mut Gas::unlimited(),
+    )
+    .expect("unlimited gas cannot exhaust")
+}
+
+/// [`validate_assignment`] under an execution budget — the hyperperiod
+/// horizon can be astronomically large for hostile period menus, so
+/// budgeted callers (the CLI, fault harness) use this variant.
+pub fn validate_assignment_within(
+    tasks: &TaskSet,
+    platform: &Platform,
+    assignment: &Assignment,
+    alpha: Ratio,
+    policy: SchedPolicy,
+    gas: &mut Gas,
+) -> Result<Result<SimReport, ModelError>, Exhaustion> {
+    let Some(horizon) = validation_horizon(tasks) else {
+        return Ok(Err(ModelError::Overflow("validation horizon")));
+    };
+    simulate_partition_within(
         tasks,
         platform,
         assignment,
@@ -69,6 +121,7 @@ pub fn validate_assignment(
         policy,
         ReleasePattern::Periodic,
         horizon,
+        gas,
     )
 }
 
@@ -147,6 +200,39 @@ mod tests {
         )
         .unwrap();
         assert!(!under.all_deadlines_met());
+    }
+
+    #[test]
+    fn budgeted_validation_agrees_then_exhausts() {
+        use hetfeas_robust::Budget;
+        let tasks = TaskSet::from_pairs([(9, 10), (4, 10), (3, 10), (6, 20)]).unwrap();
+        let platform = Platform::from_int_speeds([1, 2]).unwrap();
+        let out = first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission);
+        let a = out.assignment().expect("feasible");
+        let mut gas = Budget::ops(1_000_000).gas();
+        let r = validate_assignment_within(
+            &tasks,
+            &platform,
+            a,
+            Ratio::ONE,
+            SchedPolicy::Edf,
+            &mut gas,
+        )
+        .expect("ample budget")
+        .unwrap();
+        let unbudgeted =
+            validate_assignment(&tasks, &platform, a, Ratio::ONE, SchedPolicy::Edf).unwrap();
+        assert_eq!(r, unbudgeted);
+        let mut starved = Budget::ops(2).gas();
+        assert!(validate_assignment_within(
+            &tasks,
+            &platform,
+            a,
+            Ratio::ONE,
+            SchedPolicy::Edf,
+            &mut starved
+        )
+        .is_err());
     }
 
     #[test]

@@ -17,22 +17,32 @@ trap 'rm -rf "$build"' EXIT
 echo "building workspace rlibs (release) ..." >&2
 rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_model \
     "$repo/crates/model/src/lib.rs" -o "$build/libhetfeas_model.rlib"
-rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_analysis \
-    "$repo/crates/analysis/src/lib.rs" \
-    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
-    -o "$build/libhetfeas_analysis.rlib"
-rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_lp \
-    "$repo/crates/lp/src/lib.rs" \
-    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
-    -o "$build/libhetfeas_lp.rlib"
 rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_obs \
     "$repo/crates/obs/src/lib.rs" -o "$build/libhetfeas_obs.rlib"
+rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_robust \
+    "$repo/crates/robust/src/lib.rs" \
+    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    --extern hetfeas_obs="$build/libhetfeas_obs.rlib" \
+    -o "$build/libhetfeas_robust.rlib"
+rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_analysis \
+    "$repo/crates/analysis/src/lib.rs" -L "$build" \
+    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    --extern hetfeas_obs="$build/libhetfeas_obs.rlib" \
+    --extern hetfeas_robust="$build/libhetfeas_robust.rlib" \
+    -o "$build/libhetfeas_analysis.rlib"
+rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_lp \
+    "$repo/crates/lp/src/lib.rs" -L "$build" \
+    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    --extern hetfeas_obs="$build/libhetfeas_obs.rlib" \
+    --extern hetfeas_robust="$build/libhetfeas_robust.rlib" \
+    -o "$build/libhetfeas_lp.rlib"
 rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_partition \
     "$repo/crates/partition/src/lib.rs" -L "$build" \
     --extern hetfeas_model="$build/libhetfeas_model.rlib" \
     --extern hetfeas_analysis="$build/libhetfeas_analysis.rlib" \
     --extern hetfeas_lp="$build/libhetfeas_lp.rlib" \
     --extern hetfeas_obs="$build/libhetfeas_obs.rlib" \
+    --extern hetfeas_robust="$build/libhetfeas_robust.rlib" \
     -o "$build/libhetfeas_partition.rlib"
 
 echo "building + running the smoke harness ..." >&2

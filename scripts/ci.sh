@@ -28,13 +28,20 @@ echo "== cargo fmt --check" >&2
 cargo fmt --all --check
 
 if [[ -n "$offline" ]]; then
+    # offline_check.sh ends with the fault-injection smoke stage against
+    # the binaries it just built.
     echo "== offline build + test (scripts/offline_check.sh)" >&2
     bash scripts/offline_check.sh
 else
     echo "== cargo clippy -D warnings" >&2
     cargo clippy --workspace --all-targets -- -D warnings
-    echo "== cargo test -q" >&2
+    echo "== cargo test -q (includes the prop_no_panic battery)" >&2
     cargo test -q
+    echo "== fault-injection smoke (scripts/fault_smoke.sh)" >&2
+    cargo build -q --bins
+    HETFEAS_BIN=target/debug/hetfeas \
+        RUN_EXPERIMENTS_BIN=target/debug/run-experiments \
+        bash scripts/fault_smoke.sh
 fi
 
 if [[ -n "${SKIP_BENCH_GATE:-}" ]]; then

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Fault-injection smoke stage: run the adversarial corpus and the
+# checkpoint/resume cycle against freshly built binaries, under an outer
+# `timeout` so a budget regression (a hang) fails CI instead of wedging it.
+#
+#   HETFEAS_BIN=path          the `hetfeas` CLI binary (required)
+#   RUN_EXPERIMENTS_BIN=path  the `run-experiments` binary (required)
+#   FAULT_SMOKE_TIMEOUT=60    outer wall-clock cap per stage, seconds
+#
+# Asserts:
+#   * `hetfeas faults` exits 0 with zero panics across three seeds;
+#   * a blowup instance under `--budget-ms 50` exits 3 (undecided) with
+#     `robust.degraded >= 1` in the JSON report — degraded, not hung;
+#   * a killed sweep resumes from its checkpoint without recomputing the
+#     finished cell.
+set -euo pipefail
+
+hetfeas="${HETFEAS_BIN:?set HETFEAS_BIN to the hetfeas binary}"
+runexp="${RUN_EXPERIMENTS_BIN:?set RUN_EXPERIMENTS_BIN to the run-experiments binary}"
+cap="${FAULT_SMOKE_TIMEOUT:-60}"
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+echo "== fault corpus (3 seeds)" >&2
+for seed in 0 1 42; do
+    RUST_BACKTRACE=1 timeout "$cap" \
+        "$hetfeas" faults --seed "$seed" --report "$work/faults_$seed.json" \
+        >"$work/faults_$seed.out"
+    if grep -q '✗panic' "$work/faults_$seed.out"; then
+        echo "fault_smoke: FAIL — panic marker in seed $seed output" >&2
+        exit 1
+    fi
+    grep -q '0 panics' "$work/faults_$seed.out" || {
+        echo "fault_smoke: FAIL — nonzero robust.panics for seed $seed" >&2
+        exit 1
+    }
+done
+
+echo "== budgeted exact blowup degrades instead of hanging" >&2
+{
+    for i in $(seq 0 20); do echo "task $((451 + i)) 1000"; done
+    for i in $(seq 1 10); do echo "machine 1"; done
+} >"$work/blowup.txt"
+set +e
+timeout "$cap" "$hetfeas" check "$work/blowup.txt" --exact --budget-ms 50 \
+    --report "$work/blowup.json" >/dev/null
+code=$?
+set -e
+if [[ "$code" != 3 ]]; then
+    echo "fault_smoke: FAIL — expected exit 3 (undecided), got $code" >&2
+    exit 1
+fi
+grep -q '"robust.degraded": *[1-9]' "$work/blowup.json" || {
+    echo "fault_smoke: FAIL — robust.degraded missing from report" >&2
+    exit 1
+}
+
+echo "== sweep checkpoint/resume" >&2
+cp="$work/sweep_cp.json"
+timeout "$cap" "$runexp" e10 --quick --checkpoint "$cp" --resume "$cp" \
+    >/dev/null 2>"$work/sweep1.err"
+[[ -f "$cp" ]] || {
+    echo "fault_smoke: FAIL — checkpoint file not written" >&2
+    exit 1
+}
+timeout "$cap" "$runexp" e10 --quick --checkpoint "$cp" --resume "$cp" \
+    >/dev/null 2>"$work/sweep2.err"
+grep -q '1 resumed' "$work/sweep2.err" || {
+    echo "fault_smoke: FAIL — second run did not resume from checkpoint" >&2
+    cat "$work/sweep2.err" >&2
+    exit 1
+}
+
+echo "fault_smoke: all stages passed" >&2

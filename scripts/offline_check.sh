@@ -49,21 +49,28 @@ testbin hetfeas_model "$repo/crates/model/src/lib.rs"
 lib hetfeas_obs "$repo/crates/obs/src/lib.rs"
 testbin hetfeas_obs "$repo/crates/obs/src/lib.rs"
 
-lib hetfeas_analysis "$repo/crates/analysis/src/lib.rs" "${X_MODEL[@]}"
-testbin hetfeas_analysis "$repo/crates/analysis/src/lib.rs" "${X_MODEL[@]}"
+X_ROBUST=("${X_MODEL[@]}"
+    --extern hetfeas_obs="$build/libhetfeas_obs.rlib"
+    --extern hetfeas_robust="$build/libhetfeas_robust.rlib")
+lib hetfeas_robust "$repo/crates/robust/src/lib.rs" "${X_MODEL[@]}" \
+    --extern hetfeas_obs="$build/libhetfeas_obs.rlib"
+testbin hetfeas_robust "$repo/crates/robust/src/lib.rs" "${X_MODEL[@]}" \
+    --extern hetfeas_obs="$build/libhetfeas_obs.rlib"
 
-lib hetfeas_lp "$repo/crates/lp/src/lib.rs" "${X_MODEL[@]}"
-testbin hetfeas_lp "$repo/crates/lp/src/lib.rs" "${X_MODEL[@]}"
+lib hetfeas_analysis "$repo/crates/analysis/src/lib.rs" "${X_ROBUST[@]}"
+testbin hetfeas_analysis "$repo/crates/analysis/src/lib.rs" "${X_ROBUST[@]}"
+
+lib hetfeas_lp "$repo/crates/lp/src/lib.rs" "${X_ROBUST[@]}"
+testbin hetfeas_lp "$repo/crates/lp/src/lib.rs" "${X_ROBUST[@]}"
 
 X_PAR=(--extern crossbeam="$build/libcrossbeam.rlib"
        --extern parking_lot="$build/libparking_lot.rlib")
 lib hetfeas_par "$repo/crates/par/src/lib.rs" "${X_PAR[@]}"
 testbin hetfeas_par "$repo/crates/par/src/lib.rs" "${X_PAR[@]}"
 
-X_PARTITION=("${X_MODEL[@]}"
+X_PARTITION=("${X_ROBUST[@]}"
     --extern hetfeas_analysis="$build/libhetfeas_analysis.rlib"
-    --extern hetfeas_lp="$build/libhetfeas_lp.rlib"
-    --extern hetfeas_obs="$build/libhetfeas_obs.rlib")
+    --extern hetfeas_lp="$build/libhetfeas_lp.rlib")
 lib hetfeas_partition "$repo/crates/partition/src/lib.rs" "${X_PARTITION[@]}"
 testbin hetfeas_partition "$repo/crates/partition/src/lib.rs" "${X_PARTITION[@]}"
 
@@ -77,7 +84,7 @@ X_RAND=(--extern rand="$build/librand.rlib")
 lib hetfeas_workload "$repo/crates/workload/src/lib.rs" "${X_MODEL[@]}" "${X_RAND[@]}"
 testbin hetfeas_workload "$repo/crates/workload/src/lib.rs" "${X_MODEL[@]}" "${X_RAND[@]}"
 
-X_SIM=("${X_MODEL[@]}" "${X_RAND[@]}"
+X_SIM=("${X_ROBUST[@]}" "${X_RAND[@]}"
     --extern hetfeas_partition="$build/libhetfeas_partition.rlib")
 lib hetfeas_sim "$repo/crates/sim/src/lib.rs" "${X_SIM[@]}"
 testbin hetfeas_sim "$repo/crates/sim/src/lib.rs" "${X_SIM[@]}" \
@@ -93,6 +100,11 @@ X_EXPERIMENTS=("${X_PARTITION[@]}" "${X_RAND[@]}"
 lib hetfeas_experiments "$repo/crates/experiments/src/lib.rs" "${X_EXPERIMENTS[@]}"
 testbin hetfeas_experiments "$repo/crates/experiments/src/lib.rs" "${X_EXPERIMENTS[@]}"
 
+# Checkpoint/resume integration suite (dependency-free, no proptest).
+testbin checkpoint_resume "$repo/crates/experiments/tests/checkpoint_resume.rs" \
+    "${X_EXPERIMENTS[@]}" \
+    --extern hetfeas_experiments="$build/libhetfeas_experiments.rlib"
+
 X_FACADE=("${X_EXPERIMENTS[@]}"
     --extern hetfeas_experiments="$build/libhetfeas_experiments.rlib")
 lib hetfeas "$repo/src/lib.rs" "${X_FACADE[@]}"
@@ -102,9 +114,16 @@ rustc "${opt[@]}" --crate-name hetfeas "$repo/src/bin/hetfeas.rs" \
     -L "$build" --extern hetfeas="$build/libhetfeas.rlib" \
     -o "$build/hetfeas"
 
+echo "building the run-experiments binary ..." >&2
+rustc "${opt[@]}" --crate-name run_experiments \
+    "$repo/crates/experiments/src/bin/run-experiments.rs" \
+    -L "$build" "${X_EXPERIMENTS[@]}" \
+    --extern hetfeas_experiments="$build/libhetfeas_experiments.rlib" \
+    -o "$build/run-experiments"
+
 echo "building + running integration tests ..." >&2
 for t in integration_cli integration_exhaustive integration_pipeline \
-         integration_splitting integration_theorem_edges; do
+         integration_robust integration_splitting integration_theorem_edges; do
     CARGO_BIN_EXE_hetfeas="$build/hetfeas" \
         rustc "${opt[@]}" --test --crate-name "$t" "$repo/tests/$t.rs" \
         -L "$build" --extern hetfeas="$build/libhetfeas.rlib" \
@@ -112,5 +131,9 @@ for t in integration_cli integration_exhaustive integration_pipeline \
     echo "--- $t" >&2
     "$build/$t" -q
 done
+
+echo "running the fault-injection smoke stage ..." >&2
+HETFEAS_BIN="$build/hetfeas" RUN_EXPERIMENTS_BIN="$build/run-experiments" \
+    bash "$repo/scripts/fault_smoke.sh"
 
 echo "offline check passed" >&2

@@ -1,19 +1,35 @@
 //! `hetfeas` — command-line front end for the feasibility tests.
 //!
 //! ```text
-//! hetfeas check    SYSTEM.txt [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [--report FILE] [-v]
-//! hetfeas alpha    SYSTEM.txt [--policy …] [--report FILE]   least feasible augmentation + LP bound
+//! hetfeas check    SYSTEM.txt [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [--exact]
+//!                             [--budget-ms N] [--report FILE] [-v]
+//! hetfeas alpha    SYSTEM.txt [--policy …] [--budget-ms N] [--report FILE]
 //! hetfeas oracles  SYSTEM.txt                                LP / exact-partition ground truth
-//! hetfeas simulate SYSTEM.txt [--policy …] [--alpha X] [--jitter F] [--seed N] [--report FILE]
+//! hetfeas simulate SYSTEM.txt [--policy …] [--alpha X] [--jitter F] [--seed N]
+//!                             [--budget-ms N] [--report FILE]
 //! hetfeas generate --tasks N --machines M --util U [--platform KIND] [--seed N]
+//! hetfeas faults   [--seed N] [--budget-ms N] [--report FILE]
 //! ```
 //!
 //! System files: `task <wcet> <period> [deadline]` and `machine <speed>`
 //! lines (see `hetfeas::model::io`). Exit codes: 0 feasible / clean,
-//! 1 infeasible / misses, 2 usage or I/O error.
+//! 1 infeasible / misses, 2 usage or I/O error (parse errors carry a
+//! line/col diagnostic on stderr), 3 undecided within `--budget-ms`.
+//!
+//! `--budget-ms N` bounds every potentially-expensive computation by a
+//! wall-clock deadline; a run that would otherwise hang (exponential exact
+//! search, astronomical hyperperiod) exits 3 with a sound partial answer
+//! instead. `check --exact` runs the graceful-degradation ladder: exact
+//! branch-and-bound, then first-fit witness, then the utilization bound —
+//! every downgrade is counted under `robust.degraded` in the report.
+//!
+//! `hetfeas faults` runs the built-in adversarial corpus (huge periods,
+//! degenerate speeds, zero slack, LP degeneracy, exact-search blowup)
+//! through the budgeted pipeline behind a panic firewall — the CI smoke
+//! stage asserts `robust.panics` stays zero.
 //!
 //! `--report FILE` writes a JSON run report (verdict, instance shape,
-//! `ff.*`/`alpha.*` work counters, phase timers — see
+//! `ff.*`/`alpha.*`/`robust.*` work counters, phase timers — see
 //! `hetfeas::partition::metrics`) after the run completes. The report is
 //! rendered fully in memory and written only on success, so a run that
 //! exits 2 never leaves a partial file behind.
@@ -23,11 +39,14 @@ use hetfeas::lp::{level_scaling_factor, lp_feasible};
 use hetfeas::model::{parse_system, render_system, Augmentation, Ratio, System};
 use hetfeas::obs::{Json, MemorySink, MetricsSink, RunReport};
 use hetfeas::partition::{
-    exact_partition_edf, exact_partition_rms, first_fit_with, min_feasible_alpha_with,
-    AdmissionTest, EdfAdmission, ExactOutcome, Outcome, RmsHyperbolicAdmission, RmsLlAdmission,
-    RmsRtaAdmission,
+    exact_partition_edf, exact_partition_edf_degraded, exact_partition_rms,
+    first_fit_ordered_within_with, lp_feasible_degraded, min_feasible_alpha_with,
+    min_feasible_alpha_within, AdmissionTest, EdfAdmission, ExactOutcome, LadderVerdict, Outcome,
+    RmsHyperbolicAdmission, RmsLlAdmission, RmsRtaAdmission,
 };
-use hetfeas::sim::{validate_assignment, ReleasePattern, SchedPolicy};
+use hetfeas::robust::metrics::{ROBUST_FAULTS_INJECTED, ROBUST_PANICS};
+use hetfeas::robust::{guard_with, Budget, FaultPlan, Gas, PanicReport};
+use hetfeas::sim::{validate_assignment_within, ReleasePattern, SchedPolicy};
 use hetfeas::workload::{PeriodMenu, PlatformSpec, Scenario, UtilizationSampler, WorkloadSpec};
 use std::process::ExitCode;
 
@@ -79,27 +98,40 @@ impl Policy {
     }
 }
 
-fn run_ff(sys: &System, policy: Policy, alpha: Augmentation) -> Outcome {
-    run_ff_with(sys, policy, alpha, &())
-}
-
-fn run_ff_with<S: MetricsSink>(
+/// First-fit under the chosen admission test, metered by `sink` and bounded
+/// by `gas`. Returns [`Outcome::BudgetExhausted`] instead of running long.
+fn run_ff_within<S: MetricsSink>(
     sys: &System,
     policy: Policy,
     alpha: Augmentation,
+    gas: &mut Gas,
     sink: &S,
 ) -> Outcome {
-    match policy {
-        Policy::Edf => first_fit_with(&sys.tasks, &sys.platform, alpha, &EdfAdmission, sink),
-        Policy::RmsLl => first_fit_with(&sys.tasks, &sys.platform, alpha, &RmsLlAdmission, sink),
-        Policy::RmsHyperbolic => first_fit_with(
+    fn go<A: AdmissionTest, S: MetricsSink>(
+        sys: &System,
+        a: &A,
+        alpha: Augmentation,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Outcome {
+        let task_order = sys.tasks.order_by_decreasing_utilization();
+        let machine_order = sys.platform.order_by_increasing_speed();
+        first_fit_ordered_within_with(
             &sys.tasks,
             &sys.platform,
             alpha,
-            &RmsHyperbolicAdmission,
+            a,
+            &task_order,
+            &machine_order,
+            gas,
             sink,
-        ),
-        Policy::RmsRta => first_fit_with(&sys.tasks, &sys.platform, alpha, &RmsRtaAdmission, sink),
+        )
+    }
+    match policy {
+        Policy::Edf => go(sys, &EdfAdmission, alpha, gas, sink),
+        Policy::RmsLl => go(sys, &RmsLlAdmission, alpha, gas, sink),
+        Policy::RmsHyperbolic => go(sys, &RmsHyperbolicAdmission, alpha, gas, sink),
+        Policy::RmsRta => go(sys, &RmsRtaAdmission, alpha, gas, sink),
     }
 }
 
@@ -112,6 +144,39 @@ fn min_alpha_with<S: MetricsSink>(sys: &System, policy: Policy, hi: f64, sink: &
         Policy::RmsLl => go(sys, &RmsLlAdmission, hi, sink),
         Policy::RmsHyperbolic => go(sys, &RmsHyperbolicAdmission, hi, sink),
         Policy::RmsRta => go(sys, &RmsRtaAdmission, hi, sink),
+    }
+}
+
+/// [`min_alpha_with`] bounded by `gas` — `Err` means the budget ran out
+/// before the bisection converged.
+fn min_alpha_within(
+    sys: &System,
+    policy: Policy,
+    hi: f64,
+    gas: &mut Gas,
+) -> Result<Option<f64>, hetfeas::robust::Exhaustion> {
+    fn go<A: AdmissionTest>(
+        sys: &System,
+        a: &A,
+        hi: f64,
+        gas: &mut Gas,
+    ) -> Result<Option<f64>, hetfeas::robust::Exhaustion> {
+        min_feasible_alpha_within(&sys.tasks, &sys.platform, a, hi, 1e-6, gas)
+    }
+    match policy {
+        Policy::Edf => go(sys, &EdfAdmission, hi, gas),
+        Policy::RmsLl => go(sys, &RmsLlAdmission, hi, gas),
+        Policy::RmsHyperbolic => go(sys, &RmsHyperbolicAdmission, hi, gas),
+        Policy::RmsRta => go(sys, &RmsRtaAdmission, hi, gas),
+    }
+}
+
+/// The wall-clock gas for this invocation: bounded iff `--budget-ms` was
+/// given, unlimited otherwise (legacy behaviour).
+fn gas_for(c: &Common) -> Gas {
+    match c.budget_ms {
+        Some(ms) => Budget::wall_ms(ms).gas(),
+        None => Gas::unlimited(),
     }
 }
 
@@ -145,6 +210,8 @@ struct Common {
     jitter: Option<f64>,
     seed: u64,
     report: Option<String>,
+    budget_ms: Option<u64>,
+    exact: bool,
     // generate-only
     tasks: usize,
     machines: usize,
@@ -162,6 +229,8 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         jitter: None,
         seed: 1,
         report: None,
+        budget_ms: None,
+        exact: false,
         tasks: 10,
         machines: 4,
         util: 0.7,
@@ -212,6 +281,16 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
             "--platform" => c.platform = next("--platform")?,
             "--scenario" => c.scenario = Some(next("--scenario")?),
             "--report" => c.report = Some(next("--report")?),
+            "--budget-ms" => {
+                let ms: u64 = next("--budget-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --budget-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--budget-ms must be positive".into());
+                }
+                c.budget_ms = Some(ms);
+            }
+            "--exact" => c.exact = true,
             "-v" | "--verbose" => c.verbose = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             path => {
@@ -242,13 +321,17 @@ fn cmd_check(c: &Common) -> Result<ExitCode, String> {
         c.policy.name(),
         c.alpha
     );
+    if c.exact {
+        return cmd_check_exact(c, &sys);
+    }
     let sink = c.report.as_ref().map(|_| MemorySink::new());
+    let mut gas = gas_for(c);
     let outcome = match &sink {
         Some(s) => {
             let _t = s.timer("phase.partition");
-            run_ff_with(&sys, c.policy, alpha, s)
+            run_ff_within(&sys, c.policy, alpha, &mut gas, s)
         }
-        None => run_ff(&sys, c.policy, alpha),
+        None => run_ff_within(&sys, c.policy, alpha, &mut gas, &()),
     };
     let code = match &outcome {
         Outcome::Feasible(a) => {
@@ -282,6 +365,14 @@ fn cmd_check(c: &Common) -> Result<ExitCode, String> {
             }
             ExitCode::from(1)
         }
+        Outcome::BudgetExhausted { partial } => {
+            println!(
+                "UNDECIDED — budget exhausted after placing {} of {} tasks",
+                partial.assigned_count(),
+                sys.tasks.len()
+            );
+            ExitCode::from(3)
+        }
     };
     if let (Some(path), Some(s)) = (&c.report, &sink) {
         let mut r = base_report("check", c, &sys);
@@ -295,8 +386,80 @@ fn cmd_check(c: &Common) -> Result<ExitCode, String> {
                     .set("failing_task", Json::UInt(w.failing_task as u64))
                     .set("failing_utilization", Json::Float(w.failing_utilization));
             }
+            Outcome::BudgetExhausted { partial } => {
+                r.set("verdict", Json::Str("undecided".into()))
+                    .set("tasks_placed", Json::UInt(partial.assigned_count() as u64));
+            }
         }
         r.attach_metrics(&s.snapshot());
+        write_report(path, &r)?;
+    }
+    Ok(code)
+}
+
+/// `check --exact`: the graceful-degradation ladder. Exact branch-and-bound
+/// first; when the budget runs out, fall back to the first-fit witness, then
+/// the utilization bound. Every answer short of "undecided" is sound.
+fn cmd_check_exact(c: &Common, sys: &System) -> Result<ExitCode, String> {
+    if c.policy != Policy::Edf {
+        return Err("--exact currently supports only --policy edf".into());
+    }
+    // With a wall-clock budget the clock is the limiter; otherwise cap the
+    // search by nodes like `oracles` does so an unbudgeted run still ends.
+    let node_budget = if c.budget_ms.is_some() {
+        u64::MAX
+    } else {
+        8_000_000
+    };
+    let mut gas = gas_for(c);
+    let sink = MemorySink::new();
+    let ladder = {
+        let _t = sink.timer("phase.exact_ladder");
+        exact_partition_edf_degraded(&sys.tasks, &sys.platform, node_budget, &mut gas, &sink)
+    };
+    let code = match &ladder.verdict {
+        LadderVerdict::Feasible { witness } => {
+            println!(
+                "FEASIBLE (decided by {}, {} downgrades)",
+                ladder.level, ladder.degraded
+            );
+            if c.verbose {
+                if let Some(a) = witness {
+                    for m in 0..sys.platform.len() {
+                        println!(
+                            "  machine {m} (speed {}): tasks {:?}, load {:.3}",
+                            sys.platform.machine(m).speed(),
+                            a.tasks_on(m),
+                            a.load_on(m, &sys.tasks),
+                        );
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        LadderVerdict::Infeasible => {
+            println!(
+                "INFEASIBLE (decided by {}, {} downgrades)",
+                ladder.level, ladder.degraded
+            );
+            ExitCode::from(1)
+        }
+        LadderVerdict::Undecided => {
+            println!(
+                "UNDECIDED within budget (last level tried: {}, {} downgrades) \
+                 — rerun with a larger --budget-ms for a definite answer",
+                ladder.level, ladder.degraded
+            );
+            ExitCode::from(3)
+        }
+    };
+    if let Some(path) = &c.report {
+        let mut r = base_report("check", c, sys);
+        r.set("exact", Json::Bool(true))
+            .set("verdict", Json::Str(ladder.verdict.as_str().into()))
+            .set("level", Json::Str(ladder.level.into()))
+            .set("degraded", Json::UInt(ladder.degraded as u64));
+        r.attach_metrics(&sink.snapshot());
         write_report(path, &r)?;
     }
     Ok(code)
@@ -313,12 +476,34 @@ fn cmd_alpha(c: &Common) -> Result<ExitCode, String> {
         None => level_scaling_factor(&sys.tasks, &sys.platform),
     };
     println!("LP lower bound β (no scheduler can need less): {beta:.4}");
-    let star = match &sink {
-        Some(s) => {
-            let _t = s.timer("phase.alpha_search");
-            min_alpha_with(&sys, c.policy, 64.0, s)
+    let star = if c.budget_ms.is_some() {
+        let mut gas = gas_for(c);
+        let _t = sink.as_ref().map(|s| s.timer("phase.alpha_search"));
+        match min_alpha_within(&sys, c.policy, 64.0, &mut gas) {
+            Ok(star) => star,
+            Err(why) => {
+                println!(
+                    "UNDECIDED — α-bisection budget exhausted ({})",
+                    why.as_str()
+                );
+                if let (Some(path), Some(s)) = (&c.report, &sink) {
+                    let mut r = base_report("alpha", c, &sys);
+                    r.set("lp_beta", Json::Float(beta))
+                        .set("verdict", Json::Str("undecided".into()));
+                    r.attach_metrics(&s.snapshot());
+                    write_report(path, &r)?;
+                }
+                return Ok(ExitCode::from(3));
+            }
         }
-        None => min_alpha_with(&sys, c.policy, 64.0, &()),
+    } else {
+        match &sink {
+            Some(s) => {
+                let _t = s.timer("phase.alpha_search");
+                min_alpha_with(&sys, c.policy, 64.0, s)
+            }
+            None => min_alpha_with(&sys, c.policy, 64.0, &()),
+        }
     };
     let code = match star {
         Some(a) => {
@@ -400,13 +585,31 @@ fn cmd_simulate(c: &Common) -> Result<ExitCode, String> {
     let sys = load(c)?;
     let alpha = Augmentation::new(c.alpha).map_err(|e| e.to_string())?;
     let sink = c.report.as_ref().map(|_| MemorySink::new());
+    // One gas pool for the whole command: partitioning and simulation share
+    // the `--budget-ms` allowance.
+    let mut gas = gas_for(c);
     let outcome = match &sink {
         Some(s) => {
             let _t = s.timer("phase.partition");
-            run_ff_with(&sys, c.policy, alpha, s)
+            run_ff_within(&sys, c.policy, alpha, &mut gas, s)
         }
-        None => run_ff(&sys, c.policy, alpha),
+        None => run_ff_within(&sys, c.policy, alpha, &mut gas, &()),
     };
+    if let Outcome::BudgetExhausted { partial } = &outcome {
+        println!(
+            "UNDECIDED — budget exhausted during partitioning ({} of {} tasks placed)",
+            partial.assigned_count(),
+            sys.tasks.len()
+        );
+        if let (Some(path), Some(s)) = (&c.report, &sink) {
+            let mut r = base_report("simulate", c, &sys);
+            r.set("alpha", Json::Float(c.alpha))
+                .set("verdict", Json::Str("undecided".into()));
+            r.attach_metrics(&s.snapshot());
+            write_report(path, &r)?;
+        }
+        return Ok(ExitCode::from(3));
+    }
     let Outcome::Feasible(assignment) = outcome else {
         println!(
             "first-fit rejects this system at α = {} — nothing to simulate",
@@ -424,10 +627,10 @@ fn cmd_simulate(c: &Common) -> Result<ExitCode, String> {
     let alpha_ratio = Ratio::approximate_f64(c.alpha, 1_000_000)
         .ok_or("cannot rationalize --alpha for the exact simulator")?;
     let _sim_phase = sink.as_ref().map(|s| s.timer("phase.simulate"));
-    let report = if let Some(j) = c.jitter {
+    let sim_res = if let Some(j) = c.jitter {
         let horizon = hetfeas::sim::validation_horizon(&sys.tasks)
             .ok_or("hyperperiod too large for simulation")?;
-        hetfeas::sim::simulate_partition(
+        hetfeas::sim::simulate_partition_within(
             &sys.tasks,
             &sys.platform,
             &assignment,
@@ -438,18 +641,34 @@ fn cmd_simulate(c: &Common) -> Result<ExitCode, String> {
                 seed: c.seed,
             },
             horizon,
+            &mut gas,
         )
     } else {
-        validate_assignment(
+        validate_assignment_within(
             &sys.tasks,
             &sys.platform,
             &assignment,
             alpha_ratio,
             c.policy.sched(),
+            &mut gas,
         )
-    }
-    .map_err(|e| e.to_string())?;
+    };
     drop(_sim_phase);
+    let report = match sim_res {
+        Ok(inner) => inner.map_err(|e| e.to_string())?,
+        Err(why) => {
+            // A truncated trace proves nothing — report undecided, not clean.
+            println!("UNDECIDED — simulation budget exhausted ({})", why.as_str());
+            if let (Some(path), Some(s)) = (&c.report, &sink) {
+                let mut r = base_report("simulate", c, &sys);
+                r.set("alpha", Json::Float(c.alpha))
+                    .set("verdict", Json::Str("undecided".into()));
+                r.attach_metrics(&s.snapshot());
+                write_report(path, &r)?;
+            }
+            return Ok(ExitCode::from(3));
+        }
+    };
     println!(
         "simulated 2 hyperperiods: {} jobs, {} misses, {} preemptions, max lateness {:?}",
         report.jobs_completed, report.miss_count, report.preemptions, report.max_lateness
@@ -536,13 +755,78 @@ fn cmd_generate(c: &Common) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-const USAGE: &str = "usage: hetfeas <check|alpha|oracles|simulate|generate> [ARGS]
-  check    SYSTEM [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [--report FILE] [-v]
+/// Run the adversarial fault corpus through the budgeted pipeline behind
+/// the panic firewall. Exit 0 iff no case panicked — the verdicts may well
+/// be "undecided"; the point is that every case *terminates and answers*.
+fn cmd_faults(c: &Common) -> Result<ExitCode, String> {
+    let sink = MemorySink::new();
+    let cases = FaultPlan::new(c.seed).cases();
+    // Default each case to a short wall clock so the corpus stays a smoke
+    // test; --budget-ms overrides per case.
+    let per_case_ms = c.budget_ms.unwrap_or(200);
+    println!(
+        "fault corpus: {} cases, seed {}, {} ms budget per case",
+        cases.len(),
+        c.seed,
+        per_case_ms
+    );
+    let mut worst = ExitCode::SUCCESS;
+    for case in &cases {
+        sink.counter_add(ROBUST_FAULTS_INJECTED, 1);
+        let verdicts = guard_with(&sink, || {
+            let mut gas = Budget::wall_ms(per_case_ms).gas();
+            let exact =
+                exact_partition_edf_degraded(&case.tasks, &case.platform, 200_000, &mut gas, &sink);
+            let mut lp_gas = Budget::wall_ms(per_case_ms).gas();
+            let lp = lp_feasible_degraded(&case.tasks, &case.platform, &mut lp_gas, &sink);
+            (exact, lp)
+        });
+        let text = match &verdicts {
+            Ok((exact, lp)) => format!(
+                "exact: {:10} via {:17}  lp: {:10} via {}",
+                exact.verdict.as_str(),
+                exact.level,
+                lp.verdict.as_str(),
+                lp.level
+            ),
+            Err(p) => format!("{} {}", PanicReport::CELL, p.message),
+        };
+        println!("  {:22} [{:17}] {}", case.name, case.kind.as_str(), text);
+        if verdicts.is_err() {
+            worst = ExitCode::from(1);
+        }
+    }
+    let panics = sink.counter(ROBUST_PANICS);
+    println!(
+        "{} cases injected, {} panics",
+        sink.counter(ROBUST_FAULTS_INJECTED),
+        panics
+    );
+    if let Some(path) = &c.report {
+        let mut r = RunReport::new("hetfeas", "faults");
+        r.set("seed", Json::UInt(c.seed))
+            .set("cases", Json::UInt(cases.len() as u64))
+            .set("budget_ms_per_case", Json::UInt(per_case_ms))
+            .set(
+                "verdict",
+                Json::Str(if panics == 0 { "clean" } else { "panics" }.into()),
+            );
+        r.attach_metrics(&sink.snapshot());
+        write_report(path, &r)?;
+    }
+    Ok(worst)
+}
+
+const USAGE: &str = "usage: hetfeas <check|alpha|oracles|simulate|generate|faults> [ARGS]
+  check    SYSTEM [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [--exact] [--report FILE] [-v]
   alpha    SYSTEM [--policy …] [--report FILE]
   oracles  SYSTEM
   simulate SYSTEM [--policy …] [--alpha X] [--jitter F] [--seed N] [--report FILE] [-v]
   generate --tasks N --machines M --util U [--platform identical|big-little|geometric|uniform]
            [--scenario automotive|avionics|media|server] [--seed N]
+  faults   [--seed N] [--report FILE]
+  --budget-ms N bounds the run by wall clock; exit 3 = undecided within budget
+  --exact (check) runs exact search with graceful degradation to first-fit / utilization bound
   --report FILE writes a JSON run report (verdict + work counters + phase timers)";
 
 fn main() -> ExitCode {
@@ -564,6 +848,7 @@ fn main() -> ExitCode {
         "oracles" => cmd_oracles(&common),
         "simulate" => cmd_simulate(&common),
         "generate" => cmd_generate(&common),
+        "faults" => cmd_faults(&common),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
     match result {

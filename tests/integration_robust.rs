@@ -1,0 +1,243 @@
+//! End-to-end robustness tests of the `hetfeas` CLI: wall-clock budgets,
+//! the graceful-degradation ladder, the fault corpus, and the exit-code
+//! contract (0 feasible / clean, 1 infeasible / misses, 2 usage or parse
+//! error, 3 undecided within budget).
+//!
+//! The centerpiece is the acceptance scenario from the robustness issue:
+//! an exact-search blowup instance under `--budget-ms 50` must come back
+//! with a degraded-but-sound verdict (and `robust.degraded ≥ 1` in the
+//! JSON report) instead of hanging.
+
+use hetfeas::obs::json;
+use hetfeas::obs::Json;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+fn hetfeas(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hetfeas"))
+        .args(args)
+        .output()
+        .expect("spawn hetfeas")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no exit code")
+}
+
+/// Self-cleaning temp file (no external tempfile crate needed).
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn to_str(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn temp_path(ext: &str) -> TempFile {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    TempFile(std::env::temp_dir().join(format!(
+        "hetfeas-robust-test-{}-{}.{ext}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    )))
+}
+
+fn write_system(content: &str) -> TempFile {
+    let path = temp_path("txt");
+    std::fs::write(&path.0, content).expect("write temp system file");
+    path
+}
+
+fn read_report(path: &TempFile) -> Json {
+    let text = std::fs::read_to_string(&path.0).expect("report file written");
+    json::parse(&text).expect("report is valid JSON")
+}
+
+/// Pairs-only packing with distinct task sizes: 21 tasks of utilization
+/// ≈ 0.46 on 10 unit machines. Any machine holds at most two tasks, so the
+/// instance is infeasible (needs ⌈21/2⌉ = 11 machines), but total
+/// utilization 9.68 < 10 keeps the utilization bound from refuting it —
+/// the exact search must enumerate an astronomically large tree to prove
+/// infeasibility. Distinct sizes defeat the task-symmetry pruning.
+fn blowup_system() -> String {
+    let mut s = String::new();
+    for i in 0..21 {
+        s.push_str(&format!("task {} 1000\n", 451 + i));
+    }
+    for _ in 0..10 {
+        s.push_str("machine 1\n");
+    }
+    s
+}
+
+#[test]
+fn budgeted_exact_on_blowup_instance_degrades_instead_of_hanging() {
+    let sys = write_system(&blowup_system());
+    let report = temp_path("json");
+    let started = Instant::now();
+    let out = hetfeas(&[
+        "check",
+        sys.to_str(),
+        "--exact",
+        "--budget-ms",
+        "50",
+        "--report",
+        report.to_str(),
+    ]);
+    let elapsed = started.elapsed();
+    // Sound: the instance is infeasible, so "feasible" (exit 0) would be a
+    // soundness bug; exit 3 (undecided) or exit 1 (infeasible) are both
+    // acceptable, and with a 50 ms budget it is undecided in practice.
+    assert_eq!(exit_code(&out), 3, "{out:?}");
+    // Terminates promptly: the budget plus the cheap fallback rungs. A
+    // generous 10× slack keeps this robust on loaded CI machines while
+    // still catching a hang or a non-sticky budget (an unbudgeted exact
+    // run on this instance takes minutes).
+    assert!(
+        elapsed.as_millis() < 5_000,
+        "budgeted run took {elapsed:?} — budget not enforced"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("UNDECIDED"), "{stdout}");
+
+    let r = read_report(&report);
+    assert_eq!(r.get("verdict").and_then(Json::as_str), Some("undecided"));
+    let degraded = r.get("degraded").and_then(Json::as_u64).unwrap();
+    assert!(degraded >= 1, "expected at least one downgrade");
+    let counters = r.get("counters").expect("counters object");
+    let robust_degraded = counters
+        .get("robust.degraded")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(robust_degraded >= 1, "robust.degraded missing from report");
+    assert!(
+        counters
+            .get("robust.budget_exhausted")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 1
+    );
+}
+
+#[test]
+fn unbudgeted_exact_still_decides_small_instances() {
+    let sys = write_system("task 9 10\ntask 4 10\ntask 3 10\nmachine 1\nmachine 2\n");
+    let report = temp_path("json");
+    let out = hetfeas(&[
+        "check",
+        sys.to_str(),
+        "--exact",
+        "--report",
+        report.to_str(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let r = read_report(&report);
+    assert_eq!(r.get("verdict").and_then(Json::as_str), Some("feasible"));
+    assert_eq!(r.get("level").and_then(Json::as_str), Some("exact"));
+    assert_eq!(r.get("degraded").and_then(Json::as_u64), Some(0));
+}
+
+#[test]
+fn budget_exhausted_exact_falls_back_to_sound_first_fit_witness() {
+    // 20 tasks on 10 machines: feasible (two per machine). However the
+    // exact search fares within the budget, the ladder's answer must stay
+    // sound: exit 0 (feasible, possibly via the first-fit rung) or exit 3
+    // (undecided) — never exit 1.
+    let mut s = String::new();
+    for i in 0..20 {
+        s.push_str(&format!("task {} 1000\n", 451 + i));
+    }
+    for _ in 0..10 {
+        s.push_str("machine 1\n");
+    }
+    let sys = write_system(&s);
+    let out = hetfeas(&["check", sys.to_str(), "--exact", "--budget-ms", "50"]);
+    let code = exit_code(&out);
+    assert!(
+        code == 0 || code == 3,
+        "feasible instance reported infeasible: {out:?}"
+    );
+}
+
+#[test]
+fn budgeted_plain_check_answers_within_budget() {
+    // Plain (non-exact) first-fit is fast; a generous budget never fires.
+    let sys = write_system(&blowup_system());
+    let out = hetfeas(&["check", sys.to_str(), "--budget-ms", "10000"]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+}
+
+#[test]
+fn faults_corpus_runs_clean_with_zero_panics() {
+    let report = temp_path("json");
+    let out = hetfeas(&["faults", "--report", report.to_str()]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 panics"), "{stdout}");
+    assert!(!stdout.contains("✗panic"), "{stdout}");
+    let r = read_report(&report);
+    assert_eq!(r.get("verdict").and_then(Json::as_str), Some("clean"));
+    let counters = r.get("counters").expect("counters object");
+    assert!(
+        counters
+            .get("robust.faults_injected")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 10
+    );
+    assert_eq!(
+        counters.get("robust.panics").and_then(Json::as_u64),
+        None,
+        "robust.panics must stay zero (absent counters render as omitted)"
+    );
+}
+
+#[test]
+fn parse_error_exits_two_with_line_diagnostic() {
+    let sys = write_system("task 9 10\nmachine zero\n");
+    let out = hetfeas(&["check", sys.to_str()]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn bad_budget_flag_exits_two() {
+    let sys = write_system("task 1 10\nmachine 1\n");
+    for bad in [
+        &["check", "--budget-ms", "0"] as &[&str],
+        &["check", "--budget-ms", "soon"],
+        &["check", "--budget-ms"],
+    ] {
+        let mut args = bad.to_vec();
+        args.insert(1, sys.to_str());
+        let out = hetfeas(&args);
+        assert_eq!(exit_code(&out), 2, "{args:?} -> {out:?}");
+    }
+}
+
+#[test]
+fn budgeted_simulate_stays_sound() {
+    // A tiny feasible system simulates clean even with a budget attached.
+    let sys = write_system("task 2 10\ntask 3 15\nmachine 1\n");
+    let out = hetfeas(&["simulate", sys.to_str(), "--budget-ms", "10000"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 misses"), "{stdout}");
+}
+
+#[test]
+fn budgeted_alpha_answers_or_exits_three() {
+    let sys = write_system("task 9 10\ntask 4 10\nmachine 1\nmachine 1\n");
+    let out = hetfeas(&["alpha", sys.to_str(), "--budget-ms", "10000"]);
+    let code = exit_code(&out);
+    assert!(code == 0 || code == 3, "{out:?}");
+}

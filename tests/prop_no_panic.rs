@@ -1,0 +1,198 @@
+//! The no-panic battery (`DESIGN.md` §8): every public entry point of the
+//! workspace terminates within its budget and never panics — on arbitrary
+//! generated instances and on the adversarial [`FaultPlan`] corpus alike.
+//!
+//! Requires cargo + the real proptest crate; the offline CI fallback
+//! (`scripts/offline_check.sh`) skips this suite and relies on
+//! `tests/integration_robust.rs` plus the per-crate unit tests instead.
+
+use hetfeas::analysis::{qpa_schedulable_within, rta_schedulable_within};
+use hetfeas::lp::solve_paper_lp_within;
+use hetfeas::model::{parse_system, Augmentation, Platform, Ratio, Task, TaskSet};
+use hetfeas::partition::{
+    exact_partition_edf, exact_partition_edf_degraded, first_fit, first_fit_within,
+    lp_feasible_degraded, min_feasible_alpha_within, EdfAdmission, ExactOutcome, LadderVerdict,
+    Outcome,
+};
+use hetfeas::robust::{guard, Budget, FaultPlan};
+use hetfeas::sim::{validate_assignment_within, SchedPolicy};
+use proptest::prelude::*;
+
+fn menu_task() -> impl Strategy<Value = Task> {
+    (
+        1u64..=90,
+        prop::sample::select(vec![10u64, 20, 25, 40, 50, 100, 1000]),
+    )
+        .prop_map(|(c, p)| Task::implicit(c, p.max(c)).unwrap())
+}
+
+fn small_set(max: usize) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(menu_task(), 0..max).prop_map(TaskSet::new)
+}
+
+fn small_platform() -> impl Strategy<Value = Platform> {
+    prop::collection::vec(1u64..=6, 1..5).prop_map(|s| Platform::from_int_speeds(s).unwrap())
+}
+
+/// An ops budget small enough to exhaust mid-computation on many of the
+/// generated instances, so both the `Ok` and `Err` paths get exercised.
+fn tight_ops() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(0u64), 1u64..200, Just(u64::MAX)]
+}
+
+proptest! {
+    // Budgeted first-fit terminates, never panics, and agrees with the
+    // unbudgeted run whenever it does not exhaust.
+    #[test]
+    fn first_fit_within_terminates_and_agrees(
+        ts in small_set(14), p in small_platform(), ops in tight_ops()
+    ) {
+        let mut gas = Budget::ops(ops).gas();
+        let budgeted = first_fit_within(&ts, &p, Augmentation::NONE, &EdfAdmission, &mut gas);
+        if budgeted.is_decided() {
+            let free = first_fit(&ts, &p, Augmentation::NONE, &EdfAdmission);
+            prop_assert_eq!(budgeted.is_feasible(), free.is_feasible());
+        }
+    }
+
+    // The α-bisection under a budget either answers like the unbudgeted
+    // search or reports exhaustion — it never panics or loops.
+    #[test]
+    fn alpha_search_within_terminates(
+        ts in small_set(10), p in small_platform(), ops in tight_ops()
+    ) {
+        let mut gas = Budget::ops(ops).gas();
+        let _ = min_feasible_alpha_within(&ts, &p, &EdfAdmission, 8.0, 1e-4, &mut gas);
+    }
+
+    // The exact-partition degradation ladder: always returns, and a
+    // decided verdict is sound against the exact oracle.
+    #[test]
+    fn exact_ladder_is_sound_under_any_budget(
+        ts in small_set(9), p in small_platform(), ops in tight_ops()
+    ) {
+        let mut gas = Budget::ops(ops).gas();
+        let ladder = exact_partition_edf_degraded(&ts, &p, 100_000, &mut gas, &());
+        match exact_partition_edf(&ts, &p, 2_000_000) {
+            ExactOutcome::Feasible(_) => {
+                prop_assert!(!matches!(ladder.verdict, LadderVerdict::Infeasible));
+            }
+            ExactOutcome::Infeasible => {
+                prop_assert!(!ladder.verdict.is_feasible());
+            }
+            ExactOutcome::Unknown => {}
+        }
+    }
+
+    // The LP ladder mirrors the same contract against the LP oracle.
+    #[test]
+    fn lp_ladder_terminates(
+        ts in small_set(10), p in small_platform(), ops in tight_ops()
+    ) {
+        let mut gas = Budget::ops(ops).gas();
+        let _ = lp_feasible_degraded(&ts, &p, &mut gas, &());
+    }
+
+    // Budgeted single-machine analyses terminate on any menu instance.
+    #[test]
+    fn analysis_within_terminates(
+        ts in small_set(12), speed in 1u64..=6, ops in tight_ops()
+    ) {
+        let s = Ratio::from_integer(speed as i128);
+        let mut gas = Budget::ops(ops).gas();
+        let _ = qpa_schedulable_within(&ts, s, &mut gas);
+        let mut gas = Budget::ops(ops).gas();
+        let _ = rta_schedulable_within(&ts, s, &mut gas);
+    }
+
+    // The budgeted LP solver terminates on any instance.
+    #[test]
+    fn lp_solver_within_terminates(
+        ts in small_set(10), p in small_platform(), ops in tight_ops()
+    ) {
+        let mut gas = Budget::ops(ops).gas();
+        let _ = solve_paper_lp_within(&ts, &p, &mut gas);
+    }
+
+    // A budgeted simulation either validates the first-fit witness or
+    // reports exhaustion; a witness that simulates to completion is clean.
+    #[test]
+    fn budgeted_validation_terminates(
+        ts in small_set(8), p in small_platform(), ops in tight_ops()
+    ) {
+        if let Outcome::Feasible(a) = first_fit(&ts, &p, Augmentation::NONE, &EdfAdmission) {
+            let mut gas = Budget::ops(ops).gas();
+            if let Ok(Ok(report)) = validate_assignment_within(
+                &ts, &p, &a, Ratio::ONE, SchedPolicy::Edf, &mut gas,
+            ) {
+                prop_assert_eq!(report.miss_count, 0, "EDF witness missed a deadline");
+            }
+        }
+    }
+
+    // The parser never panics on arbitrary input — it answers Ok or a
+    // diagnostic Err for any byte soup.
+    #[test]
+    fn parser_never_panics(text in "\\PC{0,200}") {
+        let _ = parse_system(&text);
+    }
+}
+
+/// Every fault-plan case runs through both ladders under a small ops
+/// budget without panicking, and decided verdicts are internally
+/// consistent (never both feasible and infeasible for the same case).
+#[test]
+fn fault_corpus_survives_both_ladders() {
+    for seed in [0u64, 1, 42] {
+        for case in FaultPlan::new(seed).cases() {
+            let outcome = guard(|| {
+                let mut gas = Budget::ops(200_000).gas();
+                let exact = exact_partition_edf_degraded(
+                    &case.tasks,
+                    &case.platform,
+                    50_000,
+                    &mut gas,
+                    &(),
+                );
+                let mut gas = Budget::ops(200_000).gas();
+                let lp = lp_feasible_degraded(&case.tasks, &case.platform, &mut gas, &());
+                (exact, lp)
+            });
+            let (exact, lp) =
+                outcome.unwrap_or_else(|p| panic!("case {} panicked: {}", case.name, p.message));
+            // Exact-partitioned feasible implies LP (migrative) feasible,
+            // so "exact feasible + lp infeasible" would be unsound.
+            if exact.verdict.is_feasible() {
+                assert!(
+                    !matches!(lp.verdict, LadderVerdict::Infeasible),
+                    "case {}: exact feasible but LP refuted",
+                    case.name
+                );
+            }
+        }
+    }
+}
+
+/// Regression for the acceptance scenario: a starved exact search on the
+/// blowup instance must fall back to a sound answer, not hang or lie.
+#[test]
+fn starved_exact_blowup_degrades_soundly() {
+    // 21 distinct pairs-only tasks on 10 unit machines — infeasible, but
+    // only provably so by exhaustive search (utilization 9.68 < 10).
+    let tasks = TaskSet::new(
+        (0..21)
+            .map(|i| Task::implicit(451 + i, 1000).unwrap())
+            .collect::<Vec<_>>(),
+    );
+    let platform = Platform::from_int_speeds(vec![1u64; 10]).unwrap();
+    let mut gas = Budget::ops(10_000).gas();
+    let ladder = exact_partition_edf_degraded(&tasks, &platform, u64::MAX, &mut gas, &());
+    assert!(
+        !ladder.verdict.is_feasible(),
+        "infeasible instance reported feasible after degradation"
+    );
+    assert!(
+        ladder.degraded >= 1,
+        "starved search must record a downgrade"
+    );
+}
