@@ -1,0 +1,85 @@
+//! Online-admission companion: steady-state churn cost on the
+//! [`IncrementalEngine`] vs re-running the batch [`FirstFitEngine`] from
+//! scratch after every mutation.
+//!
+//! One "churn op" is a remove of a random live task followed by a
+//! re-admission, so the live set size stays stable across iterations. The
+//! incremental path should cost O(log m) per admission plus the amortized
+//! repack, while the from-scratch baseline pays the full O(n log n + n·m)
+//! every time — the gap is the whole point of the engine (`DESIGN.md` §9).
+//! `scripts/bench_incr_smoke.rs` is the registry-free mirror of this
+//! comparison and feeds the `scripts/ci.sh` gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetfeas_bench::bench_instance;
+use hetfeas_model::{Augmentation, Task, TaskSet};
+use hetfeas_partition::{EdfAdmission, FirstFitEngine, IncrementalEngine, TaskId};
+use std::hint::black_box;
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_vs_from_scratch_churn");
+    group.sample_size(10);
+    for (n, m) in [(1024usize, 256usize), (4096, 1024)] {
+        let inst = bench_instance(n, m, 0.6, 71);
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental", format!("n{n}_m{m}")),
+            &inst,
+            |b, inst| {
+                let mut eng =
+                    IncrementalEngine::new(EdfAdmission, &inst.platform, Augmentation::NONE);
+                let mut live: Vec<TaskId> = Vec::new();
+                for &t in inst.tasks.iter() {
+                    if let Some(id) = eng.add(t).id() {
+                        live.push(id);
+                    }
+                }
+                let mut x = 0x9E37u64;
+                b.iter(|| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let pos = (x % live.len() as u64) as usize;
+                    let victim = live[pos];
+                    let task = eng.remove(victim).expect("live id");
+                    match eng.add(task).id() {
+                        Some(id) => live[pos] = id,
+                        None => {
+                            live.swap_remove(pos);
+                        }
+                    }
+                    black_box(eng.len())
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("from_scratch", format!("n{n}_m{m}")),
+            &inst,
+            |b, inst| {
+                let mut ff = FirstFitEngine::new(EdfAdmission);
+                let tasks: Vec<Task> = inst.tasks.iter().copied().collect();
+                let mut x = 0xC0FFEEu64;
+                b.iter(|| {
+                    // One churn op = drop a random task and re-run the
+                    // whole batch test, the only option without the engine.
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let skip = (x % tasks.len() as u64) as usize;
+                    let ts: TaskSet = tasks
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != skip)
+                        .map(|(_, t)| *t)
+                        .collect();
+                    black_box(ff.run(&ts, &inst.platform, Augmentation::NONE))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

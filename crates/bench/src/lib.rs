@@ -8,7 +8,8 @@
 //! * `rta` — exact response-time analysis cost;
 //! * `simulator` — discrete-event engine throughput;
 //! * `workload_gen` — generator throughput;
-//! * `alpha_search` — the E1–E4 bisection cost.
+//! * `alpha_search` — the E1–E4 bisection cost;
+//! * `incremental` — online admission churn vs from-scratch re-runs.
 
 use hetfeas_model::TaskSet;
 use hetfeas_workload::{Instance, PeriodMenu, PlatformSpec, UtilizationSampler, WorkloadSpec};

@@ -24,6 +24,7 @@
 
 use hetfeas_experiments::{all_experiments, run_checkpointed, Checkpoint, ExpConfig};
 use hetfeas_obs::MemorySink;
+use hetfeas_par::Progress;
 use hetfeas_robust::metrics::{ROBUST_PANICS, SWEEP_CELLS_RESUMED, SWEEP_CELLS_RUN};
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -183,6 +184,14 @@ fn main() -> ExitCode {
     let sink = MemorySink::new();
     let ids: Vec<&str> = selected.iter().map(|e| e.id).collect();
     let cfg = args.cfg;
+    // Live sweep progress: resumed cells count as done up front, each
+    // computed cell ticks as it finishes.
+    let progress = Progress::new(ids.len() as u64);
+    for id in &ids {
+        if resume.contains(id) {
+            progress.tick();
+        }
+    }
     let outcomes = run_checkpointed(
         &ids,
         &resume,
@@ -192,7 +201,13 @@ fn main() -> ExitCode {
             eprintln!("[running {}] {}", e.id, e.description);
             let started = std::time::Instant::now();
             let tables = (e.run)(&cfg);
-            eprintln!("[done {} in {:.1}s]", e.id, started.elapsed().as_secs_f64());
+            progress.tick();
+            eprintln!(
+                "[done {} in {:.1}s — sweep {}]",
+                e.id,
+                started.elapsed().as_secs_f64(),
+                progress.status_line()
+            );
             tables
         },
         |cp| match &args.checkpoint {

@@ -33,7 +33,9 @@ impl ExpConfig {
         }
     }
 
-    /// Effective worker count.
+    /// Effective worker count. With `workers == 0` (auto) this defers to
+    /// [`hetfeas_par::default_workers`], so the `HETFEAS_WORKERS`
+    /// environment override applies; an explicit `workers` wins over both.
     pub fn effective_workers(&self) -> usize {
         if self.workers == 0 {
             hetfeas_par::default_workers(usize::MAX)

@@ -28,6 +28,12 @@
 //!
 //! Run everything with `cargo run --release -p hetfeas-experiments --bin
 //! run-experiments -- all`.
+//!
+//! Beyond the numbered experiments, [`replay`] is the batched front end of
+//! the online admission engine: it replays op traces
+//! ([`hetfeas_model::parse_op_trace`]) on either the incremental engine or
+//! a from-scratch baseline, sharding independent instances across workers
+//! (`hetfeas ops`).
 
 #![warn(missing_docs)]
 
@@ -38,6 +44,7 @@ pub mod baselines;
 pub mod config;
 pub mod constants;
 pub mod lowerbound;
+pub mod replay;
 pub mod runtime;
 pub mod simulation;
 pub mod stats;
@@ -46,6 +53,7 @@ pub mod table;
 pub mod theorems;
 
 pub use config::ExpConfig;
+pub use replay::{replay_instance, replay_sharded, ReplayError, ReplayMode, ReplayStats};
 pub use sweep::{run_checkpointed, CellOutcome, Checkpoint};
 pub use table::Table;
 

@@ -1,0 +1,567 @@
+//! Op-trace replay: the batched front end of the online admission engine.
+//!
+//! An op trace ([`hetfeas_model::parse_op_trace`]) holds *independent*
+//! instances; this module replays each instance's operation stream against
+//! either
+//!
+//! * [`ReplayMode::Incremental`] — the
+//!   [`hetfeas_partition::IncrementalEngine`] (`O(log m)` adds, local
+//!   repairs, snapshot/rollback), or
+//! * [`ReplayMode::FromScratch`] — the honest baseline: a full batch
+//!   first-fit re-run ([`hetfeas_partition::FirstFitEngine`]) after every
+//!   mutating operation,
+//!
+//! and [`replay_sharded`] fans independent instances out across worker
+//! threads with [`hetfeas_par::par_map_with`], ticking a shared
+//! [`hetfeas_par::Progress`] counter so long replays report `done/total`
+//! live instead of staying silent.
+//!
+//! The two modes agree on the *protocol* (a rejected add leaves the live
+//! set unchanged, removes of unknown ids are counted misses, snapshot/
+//! rollback restore observable state) but may diverge on individual
+//! accept/reject decisions once an incremental assignment drifts from
+//! canonical FFD order — that gap is exactly what the divergence-triggered
+//! repack bounds, and `tests/prop_incremental.rs` pins the equivalence
+//! after a repack.
+
+use hetfeas_model::{Augmentation, OpTrace, Task, TraceInstance, TraceOp};
+use hetfeas_obs::MetricsSink;
+use hetfeas_par::{par_map_with, Progress};
+use hetfeas_partition::{
+    AddOutcome, FirstFitEngine, IncrSnapshot, IncrementalEngine, IndexableAdmission, Outcome,
+    RepackOutcome, TaskId,
+};
+use hetfeas_robust::{Budget, Exhaustion, Gas};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Which engine serves the operation stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// The online [`IncrementalEngine`].
+    Incremental,
+    /// Full batch first-fit re-run per mutating operation — the
+    /// from-scratch baseline the bench compares against.
+    FromScratch,
+}
+
+impl ReplayMode {
+    /// Stable name for reports.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ReplayMode::Incremental => "incremental",
+            ReplayMode::FromScratch => "from-scratch",
+        }
+    }
+}
+
+/// Per-instance replay outcome counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Operations executed.
+    pub ops: u64,
+    /// Adds the engine admitted.
+    pub admitted: u64,
+    /// Adds the engine rejected (no machine fits).
+    pub rejected: u64,
+    /// Successful removes.
+    pub removed: u64,
+    /// Removes naming an id that was not live.
+    pub remove_misses: u64,
+    /// Queries answered with a machine.
+    pub query_hits: u64,
+    /// Queries for ids that were not live.
+    pub query_misses: u64,
+    /// Snapshots taken.
+    pub snapshots: u64,
+    /// Rollbacks applied.
+    pub rollbacks: u64,
+    /// Repacks that re-canonicalized the assignment.
+    pub repacks: u64,
+    /// Repacks whose from-scratch FFD was infeasible (assignment kept).
+    pub repacks_infeasible: u64,
+    /// Live tasks when the stream ended.
+    pub final_live: u64,
+}
+
+impl ReplayStats {
+    /// Accumulate `other` into `self` (for cross-instance aggregation).
+    pub fn merge(&mut self, other: &ReplayStats) {
+        self.ops += other.ops;
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
+        self.removed += other.removed;
+        self.remove_misses += other.remove_misses;
+        self.query_hits += other.query_hits;
+        self.query_misses += other.query_misses;
+        self.snapshots += other.snapshots;
+        self.rollbacks += other.rollbacks;
+        self.repacks += other.repacks;
+        self.repacks_infeasible += other.repacks_infeasible;
+        self.final_live += other.final_live;
+    }
+}
+
+/// Why a replay stopped before the end of its stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The gas budget ran out at operation `op_index` (0-based).
+    Exhausted {
+        /// 0-based index of the operation that could not complete.
+        op_index: usize,
+        /// Which resource ran out.
+        cause: Exhaustion,
+    },
+    /// The trace is semantically malformed at `op_index` (e.g. an `add`
+    /// reusing a trace id that is still live).
+    Trace {
+        /// 0-based index of the offending operation.
+        op_index: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Exhausted { op_index, cause } => {
+                write!(f, "budget exhausted ({}) at op {op_index}", cause.as_str())
+            }
+            ReplayError::Trace { op_index, message } => {
+                write!(f, "malformed trace at op {op_index}: {message}")
+            }
+        }
+    }
+}
+
+/// Replay one instance on the [`IncrementalEngine`].
+fn replay_incremental<A, S>(
+    admission: A,
+    inst: &TraceInstance,
+    alpha: Augmentation,
+    gas: &mut Gas,
+    sink: &S,
+) -> Result<ReplayStats, ReplayError>
+where
+    A: IndexableAdmission,
+    S: MetricsSink,
+{
+    let mut eng = IncrementalEngine::new(admission, &inst.platform, alpha);
+    let mut ids: HashMap<u64, TaskId> = HashMap::new();
+    let mut snap: Option<(IncrSnapshot<A>, HashMap<u64, TaskId>)> = None;
+    let mut stats = ReplayStats::default();
+    for (op_index, op) in inst.ops.iter().enumerate() {
+        stats.ops += 1;
+        let exhausted = |cause| ReplayError::Exhausted { op_index, cause };
+        match *op {
+            TraceOp::Add { id, task } => {
+                if let Some(tid) = ids.get(&id) {
+                    if eng.contains(*tid) {
+                        return Err(ReplayError::Trace {
+                            op_index,
+                            message: format!("add reuses live id {id}"),
+                        });
+                    }
+                }
+                match eng.add_within_with(task, gas, sink).map_err(exhausted)? {
+                    AddOutcome::Admitted { id: tid, .. } => {
+                        ids.insert(id, tid);
+                        stats.admitted += 1;
+                    }
+                    AddOutcome::Rejected => stats.rejected += 1,
+                }
+            }
+            TraceOp::Remove { id } => {
+                let live = ids.get(&id).copied();
+                match live {
+                    Some(tid) => match eng.remove_within_with(tid, gas, sink).map_err(exhausted)? {
+                        Some(_) => {
+                            ids.remove(&id);
+                            stats.removed += 1;
+                        }
+                        None => stats.remove_misses += 1,
+                    },
+                    None => {
+                        gas.tick().map_err(exhausted)?;
+                        stats.remove_misses += 1;
+                    }
+                }
+            }
+            TraceOp::Query { id } => {
+                gas.tick().map_err(exhausted)?;
+                let hit = ids.get(&id).and_then(|tid| eng.machine_of(*tid));
+                if hit.is_some() {
+                    stats.query_hits += 1;
+                } else {
+                    stats.query_misses += 1;
+                }
+            }
+            TraceOp::Snapshot => {
+                gas.tick_n(eng.len() as u64 + 1).map_err(exhausted)?;
+                snap = Some((eng.snapshot_with(sink), ids.clone()));
+                stats.snapshots += 1;
+            }
+            TraceOp::Rollback => {
+                gas.tick_n(eng.len() as u64 + 1).map_err(exhausted)?;
+                let (s, m) = snap.as_ref().expect("parser rejects early rollback");
+                eng.rollback_with(s, sink);
+                ids = m.clone();
+                stats.rollbacks += 1;
+            }
+            TraceOp::Repack => match eng.repack_within_with(gas, sink).map_err(exhausted)? {
+                RepackOutcome::Repacked => stats.repacks += 1,
+                RepackOutcome::Infeasible => stats.repacks_infeasible += 1,
+            },
+        }
+    }
+    stats.final_live = eng.len() as u64;
+    Ok(stats)
+}
+
+/// From-scratch baseline state: the live set plus a per-trace-id placement
+/// map. Placements are keyed by trace id (not positional index) so that a
+/// remove whose FFD re-run comes back infeasible can keep the previous —
+/// still valid — placements for the survivors without index aliasing.
+struct Scratch {
+    ids: Vec<u64>,
+    tasks: Vec<Task>,
+    placed: HashMap<u64, usize>,
+}
+
+/// Replay one instance re-running batch first-fit after every mutation.
+fn replay_from_scratch<A, S>(
+    admission: A,
+    inst: &TraceInstance,
+    alpha: Augmentation,
+    gas: &mut Gas,
+    sink: &S,
+) -> Result<ReplayStats, ReplayError>
+where
+    A: IndexableAdmission,
+    S: MetricsSink,
+{
+    let mut ff = FirstFitEngine::new(admission);
+    let m = inst.platform.len();
+    let mut live = Scratch {
+        ids: Vec::new(),
+        tasks: Vec::new(),
+        placed: HashMap::new(),
+    };
+    let mut snap: Option<Scratch> = None;
+    let mut stats = ReplayStats::default();
+    let mut rerun = |live: &mut Scratch, gas: &mut Gas| -> Result<bool, Exhaustion> {
+        gas.tick_n((live.tasks.len() + m) as u64 + 1)?;
+        let ts: hetfeas_model::TaskSet = live.tasks.iter().copied().collect();
+        match ff.run_with(&ts, &inst.platform, alpha, sink) {
+            Outcome::Feasible(a) => {
+                live.placed = live
+                    .ids
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &id)| (id, a.machine_of(i).expect("complete assignment")))
+                    .collect();
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    };
+    for (op_index, op) in inst.ops.iter().enumerate() {
+        stats.ops += 1;
+        let exhausted = |cause| ReplayError::Exhausted { op_index, cause };
+        match *op {
+            TraceOp::Add { id, task } => {
+                if live.ids.contains(&id) {
+                    return Err(ReplayError::Trace {
+                        op_index,
+                        message: format!("add reuses live id {id}"),
+                    });
+                }
+                live.ids.push(id);
+                live.tasks.push(task);
+                if rerun(&mut live, gas).map_err(exhausted)? {
+                    stats.admitted += 1;
+                } else {
+                    live.ids.pop();
+                    live.tasks.pop();
+                    stats.rejected += 1;
+                }
+            }
+            TraceOp::Remove { id } => match live.ids.iter().position(|&x| x == id) {
+                Some(pos) => {
+                    live.ids.remove(pos);
+                    live.tasks.remove(pos);
+                    live.placed.remove(&id);
+                    // FFD is order-sensitive: a subset of a feasible set
+                    // can fail the re-run. The survivors' previous
+                    // placements stay valid (removal only sheds load), so
+                    // on infeasible keep them — same policy as the
+                    // incremental engine's infeasible repack.
+                    let _ = rerun(&mut live, gas).map_err(exhausted)?;
+                    stats.removed += 1;
+                }
+                None => {
+                    gas.tick().map_err(exhausted)?;
+                    stats.remove_misses += 1;
+                }
+            },
+            TraceOp::Query { id } => {
+                gas.tick().map_err(exhausted)?;
+                if live.placed.contains_key(&id) {
+                    stats.query_hits += 1;
+                } else {
+                    stats.query_misses += 1;
+                }
+            }
+            TraceOp::Snapshot => {
+                gas.tick_n(live.tasks.len() as u64 + 1).map_err(exhausted)?;
+                snap = Some(Scratch {
+                    ids: live.ids.clone(),
+                    tasks: live.tasks.clone(),
+                    placed: live.placed.clone(),
+                });
+                stats.snapshots += 1;
+            }
+            TraceOp::Rollback => {
+                gas.tick_n(live.tasks.len() as u64 + 1).map_err(exhausted)?;
+                let s = snap.as_ref().expect("parser rejects early rollback");
+                live.ids = s.ids.clone();
+                live.tasks = s.tasks.clone();
+                live.placed = s.placed.clone();
+                stats.rollbacks += 1;
+            }
+            TraceOp::Repack => {
+                // The baseline is always canonical; re-run for cost parity.
+                if rerun(&mut live, gas).map_err(exhausted)? {
+                    stats.repacks += 1;
+                } else {
+                    stats.repacks_infeasible += 1;
+                }
+            }
+        }
+    }
+    stats.final_live = live.tasks.len() as u64;
+    Ok(stats)
+}
+
+/// Replay one instance in the given mode under `gas`.
+pub fn replay_instance<A, S>(
+    admission: A,
+    inst: &TraceInstance,
+    alpha: Augmentation,
+    mode: ReplayMode,
+    gas: &mut Gas,
+    sink: &S,
+) -> Result<ReplayStats, ReplayError>
+where
+    A: IndexableAdmission,
+    S: MetricsSink,
+{
+    match mode {
+        ReplayMode::Incremental => replay_incremental(admission, inst, alpha, gas, sink),
+        ReplayMode::FromScratch => replay_from_scratch(admission, inst, alpha, gas, sink),
+    }
+}
+
+/// Shard a trace's independent instances across `workers` threads.
+///
+/// Results keep instance order. `budget_ms`, when given, is a *global*
+/// wall-clock allowance: each instance replays under the time remaining
+/// when its worker picks it up, so the whole call ends near the deadline
+/// with per-instance [`ReplayError::Exhausted`] markers instead of
+/// overshooting. `progress`, when given, ticks once per finished instance
+/// and prints a throttled `done/total` status line to stderr.
+pub fn replay_sharded<A, S>(
+    trace: &OpTrace,
+    admission: A,
+    alpha: Augmentation,
+    mode: ReplayMode,
+    workers: usize,
+    budget_ms: Option<u64>,
+    progress: Option<&Progress>,
+    sink: &S,
+) -> Vec<Result<ReplayStats, ReplayError>>
+where
+    A: IndexableAdmission + Clone + Sync,
+    S: MetricsSink + Sync,
+{
+    let deadline = budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let total = trace.instances.len() as u64;
+    let step = (total / 20).max(1);
+    par_map_with(&trace.instances, workers, 1, |inst| {
+        let mut gas = match deadline {
+            Some(d) => {
+                let left = d.saturating_duration_since(Instant::now());
+                Budget::unlimited()
+                    .with_wall_ms(left.as_millis() as u64)
+                    .gas()
+            }
+            None => Gas::unlimited(),
+        };
+        let out = replay_instance(admission.clone(), inst, alpha, mode, &mut gas, sink);
+        if let Some(p) = progress {
+            let done = p.tick();
+            if done % step == 0 || done == total {
+                eprintln!("replay [{}] {}", mode.as_str(), p.status_line());
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetfeas_model::parse_op_trace;
+    use hetfeas_partition::EdfAdmission;
+
+    const TRACE: &str = "\
+begin churn
+machine 1
+machine 2
+add 1 1 2
+add 2 1 4
+query 1
+snapshot
+add 3 9 10
+rollback
+remove 2
+remove 7
+repack
+end
+";
+
+    fn one_instance() -> TraceInstance {
+        parse_op_trace(TRACE)
+            .expect("trace parses")
+            .instances
+            .remove(0)
+    }
+
+    #[test]
+    fn incremental_replay_counts_protocol_events() {
+        let inst = one_instance();
+        let mut gas = Gas::unlimited();
+        let stats = replay_instance(
+            EdfAdmission,
+            &inst,
+            Augmentation::NONE,
+            ReplayMode::Incremental,
+            &mut gas,
+            &(),
+        )
+        .expect("replay completes");
+        assert_eq!(stats.ops, 9);
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.query_hits, 1);
+        assert_eq!(stats.snapshots, 1);
+        assert_eq!(stats.rollbacks, 1);
+        assert_eq!(stats.removed, 1);
+        assert_eq!(stats.remove_misses, 1);
+        assert_eq!(stats.repacks + stats.repacks_infeasible, 1);
+        // rollback undid task 3; remove dropped task 2 → task 1 survives.
+        assert_eq!(stats.final_live, 1);
+    }
+
+    #[test]
+    fn both_modes_agree_on_the_small_trace() {
+        let inst = one_instance();
+        let run = |mode| {
+            let mut gas = Gas::unlimited();
+            replay_instance(EdfAdmission, &inst, Augmentation::NONE, mode, &mut gas, &())
+                .expect("replay completes")
+        };
+        assert_eq!(run(ReplayMode::Incremental), run(ReplayMode::FromScratch));
+    }
+
+    #[test]
+    fn duplicate_live_id_is_a_trace_error() {
+        let trace =
+            parse_op_trace("begin dup\nmachine 1\nadd 1 1 4\nadd 1 1 4\nend\n").expect("parses");
+        let mut gas = Gas::unlimited();
+        let err = replay_instance(
+            EdfAdmission,
+            &trace.instances[0],
+            Augmentation::NONE,
+            ReplayMode::Incremental,
+            &mut gas,
+            &(),
+        )
+        .expect_err("duplicate id rejected");
+        assert!(
+            matches!(err, ReplayError::Trace { op_index: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn exhaustion_reports_the_failing_op() {
+        let inst = one_instance();
+        let mut gas = Budget::ops(2).gas();
+        let err = replay_instance(
+            EdfAdmission,
+            &inst,
+            Augmentation::NONE,
+            ReplayMode::Incremental,
+            &mut gas,
+            &(),
+        )
+        .expect_err("two ops of gas cannot finish");
+        match err {
+            ReplayError::Exhausted { op_index, cause } => {
+                assert!(op_index < inst.ops.len());
+                assert_eq!(cause, Exhaustion::Ops);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_replay_preserves_instance_order_and_ticks_progress() {
+        let mut text = String::new();
+        for i in 0..5 {
+            text.push_str(&format!(
+                "begin inst{i}\nmachine 1\nadd 1 {} 10\nend\n",
+                i + 1
+            ));
+        }
+        let trace = parse_op_trace(&text).expect("parses");
+        let progress = Progress::new(trace.instances.len() as u64);
+        let results = replay_sharded(
+            &trace,
+            EdfAdmission,
+            Augmentation::NONE,
+            ReplayMode::Incremental,
+            2,
+            None,
+            Some(&progress),
+            &(),
+        );
+        assert_eq!(results.len(), 5);
+        assert_eq!(progress.done(), 5);
+        for r in &results {
+            let stats = r.as_ref().expect("each instance completes");
+            assert_eq!(stats.ops, 1);
+        }
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = ReplayStats {
+            ops: 1,
+            admitted: 1,
+            ..ReplayStats::default()
+        };
+        let b = ReplayStats {
+            ops: 2,
+            rejected: 1,
+            final_live: 3,
+            ..ReplayStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.ops, 3);
+        assert_eq!(a.admitted, 1);
+        assert_eq!(a.rejected, 1);
+        assert_eq!(a.final_live, 3);
+    }
+}

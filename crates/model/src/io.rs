@@ -11,6 +11,11 @@
 //! machine 1          # speed 1
 //! machine 5/2        # rational speed 2.5
 //! ```
+//!
+//! The module also defines the *op trace* format consumed by the online
+//! admission replay (`hetfeas ops`): streams of add/remove/query/
+//! snapshot/rollback/repack operations over independent instances — see
+//! [`parse_op_trace`].
 
 use crate::error::ModelError;
 use crate::machine::{Machine, Platform};
@@ -181,6 +186,289 @@ pub fn parse_system(input: &str) -> Result<System, ParseError> {
     })
 }
 
+/// One operation in an op trace (see [`parse_op_trace`]).
+///
+/// `Add`/`Remove`/`Query` reference *trace ids* — arbitrary `u64`s chosen
+/// by the trace author, scoped to their instance; the replay driver maps
+/// them to engine task ids. `Snapshot`/`Rollback` operate a single
+/// snapshot slot (a later `snapshot` overwrites it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Offer `task` for admission under trace id `id`.
+    Add {
+        /// Trace-scoped id for later `remove`/`query` lines.
+        id: u64,
+        /// The task to admit.
+        task: Task,
+    },
+    /// Remove the task added under `id`.
+    Remove {
+        /// Trace id given at its `add`.
+        id: u64,
+    },
+    /// Look up which machine hosts `id`.
+    Query {
+        /// Trace id given at its `add`.
+        id: u64,
+    },
+    /// Capture the engine state into the instance's snapshot slot.
+    Snapshot,
+    /// Restore the snapshot slot (parse-rejected before any `snapshot`).
+    Rollback,
+    /// Force a canonical repack.
+    Repack,
+}
+
+/// One independent instance of an op trace: a platform plus its operation
+/// stream. Instances share nothing — the replay driver shards them across
+/// worker threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceInstance {
+    /// Name from the `begin` line (reporting only).
+    pub name: String,
+    /// The machines operations run against.
+    pub platform: Platform,
+    /// Operations in file order.
+    pub ops: Vec<TraceOp>,
+}
+
+/// A parsed op-trace file: independent instances in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpTrace {
+    /// The instances (possibly empty).
+    pub instances: Vec<TraceInstance>,
+}
+
+/// Parse an *op trace* — the input of the `hetfeas ops` subcommand.
+///
+/// The format extends the system-file conventions (`#` comments, one item
+/// per line, whitespace-separated fields). Each instance is bracketed by
+/// `begin <name>` / `end`; its `machine` lines must precede its first
+/// operation:
+///
+/// ```text
+/// # two independent instances
+/// begin web-tier
+/// machine 1
+/// machine 5/2
+/// add 1 3 10          # add <id> <wcet> <period> [deadline]
+/// add 2 2 10 5
+/// query 1
+/// snapshot
+/// remove 1
+/// rollback            # undo the remove
+/// repack
+/// end
+/// begin batch-tier
+/// machine 4
+/// add 1 1 8
+/// end
+/// ```
+///
+/// Errors carry 1-based line/column like [`parse_system`]; `rollback`
+/// before any `snapshot` in the same instance is rejected at parse time.
+pub fn parse_op_trace(input: &str) -> Result<OpTrace, ParseError> {
+    struct Open {
+        name: String,
+        machines: Vec<Machine>,
+        ops: Vec<TraceOp>,
+        has_snapshot: bool,
+    }
+    let mut instances = Vec::new();
+    let mut open: Option<Open> = None;
+    let mut last_line = 0usize;
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        last_line = line_no;
+        let content = raw.split('#').next().unwrap_or("");
+        let toks = tokens_with_cols(content);
+        let Some(&(kind_col, kind)) = toks.first() else {
+            continue;
+        };
+        let parse_id = |&(col, s): &(usize, &str)| -> Result<u64, ParseError> {
+            s.parse()
+                .map_err(|_| syntax(line_no, col, format!("bad id {s:?}")))
+        };
+        let arity = |want: usize, usage: &str| -> Result<(), ParseError> {
+            if toks.len() != want + 1 {
+                return Err(syntax(
+                    line_no,
+                    kind_col,
+                    format!("{kind} expects: {usage}"),
+                ));
+            }
+            Ok(())
+        };
+        match (kind, &mut open) {
+            ("begin", Some(_)) => {
+                return Err(syntax(line_no, kind_col, "begin inside an open instance"));
+            }
+            ("begin", slot @ None) => {
+                arity(1, "begin <name>")?;
+                *slot = Some(Open {
+                    name: toks[1].1.to_string(),
+                    machines: Vec::new(),
+                    ops: Vec::new(),
+                    has_snapshot: false,
+                });
+            }
+            (_, None) => {
+                return Err(syntax(
+                    line_no,
+                    kind_col,
+                    format!("{kind:?} outside begin/end"),
+                ));
+            }
+            ("end", slot @ Some(_)) => {
+                arity(0, "end")?;
+                let inst = slot.take().expect("matched Some");
+                instances.push(TraceInstance {
+                    name: inst.name,
+                    platform: Platform::new(inst.machines)?,
+                    ops: inst.ops,
+                });
+            }
+            ("machine", Some(inst)) => {
+                if !inst.ops.is_empty() {
+                    return Err(syntax(
+                        line_no,
+                        kind_col,
+                        "machine lines must precede the instance's operations",
+                    ));
+                }
+                let &(speed_col, speed) = toks
+                    .get(1)
+                    .ok_or_else(|| syntax(line_no, kind_col, "machine expects: machine <speed>"))?;
+                if let Some(&(extra_col, _)) = toks.get(2) {
+                    return Err(syntax(
+                        line_no,
+                        extra_col,
+                        "machine takes exactly one field",
+                    ));
+                }
+                inst.machines
+                    .push(Machine::new(parse_speed(speed, line_no, speed_col)?)?);
+            }
+            ("add", Some(inst)) => {
+                let nums = &toks[1..];
+                if nums.len() != 3 && nums.len() != 4 {
+                    return Err(syntax(
+                        line_no,
+                        kind_col,
+                        "add expects: add <id> <wcet> <period> [deadline]",
+                    ));
+                }
+                let id = parse_id(&nums[0])?;
+                let parse = |&(col, s): &(usize, &str), what: &str| -> Result<u64, ParseError> {
+                    s.parse()
+                        .map_err(|_| syntax(line_no, col, format!("bad {what} {s:?}")))
+                };
+                let wcet = parse(&nums[1], "wcet")?;
+                let period = parse(&nums[2], "period")?;
+                let task = if nums.len() == 4 {
+                    Task::constrained(wcet, period, parse(&nums[3], "deadline")?)?
+                } else {
+                    Task::implicit(wcet, period)?
+                };
+                inst.ops.push(TraceOp::Add { id, task });
+            }
+            ("remove", Some(inst)) => {
+                arity(1, "remove <id>")?;
+                inst.ops.push(TraceOp::Remove {
+                    id: parse_id(&toks[1])?,
+                });
+            }
+            ("query", Some(inst)) => {
+                arity(1, "query <id>")?;
+                inst.ops.push(TraceOp::Query {
+                    id: parse_id(&toks[1])?,
+                });
+            }
+            ("snapshot", Some(inst)) => {
+                arity(0, "snapshot")?;
+                inst.has_snapshot = true;
+                inst.ops.push(TraceOp::Snapshot);
+            }
+            ("rollback", Some(inst)) => {
+                arity(0, "rollback")?;
+                if !inst.has_snapshot {
+                    return Err(syntax(
+                        line_no,
+                        kind_col,
+                        "rollback before any snapshot in this instance",
+                    ));
+                }
+                inst.ops.push(TraceOp::Rollback);
+            }
+            ("repack", Some(inst)) => {
+                arity(0, "repack")?;
+                inst.ops.push(TraceOp::Repack);
+            }
+            (other, Some(_)) => {
+                return Err(syntax(
+                    line_no,
+                    kind_col,
+                    format!(
+                        "unknown directive {other:?} (expected \
+                         machine/add/remove/query/snapshot/rollback/repack/end)"
+                    ),
+                ));
+            }
+        }
+    }
+    if open.is_some() {
+        return Err(syntax(last_line, 1, "unterminated instance (missing end)"));
+    }
+    Ok(OpTrace { instances })
+}
+
+/// Render an op trace back to the file format ([`parse_op_trace`]
+/// inverse).
+pub fn render_op_trace(trace: &OpTrace) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    for inst in &trace.instances {
+        let _ = writeln!(out, "begin {}", inst.name);
+        for m in inst.platform.iter() {
+            let s = m.speed();
+            if s.is_integer() {
+                let _ = writeln!(out, "machine {}", s.numer());
+            } else {
+                let _ = writeln!(out, "machine {}/{}", s.numer(), s.denom());
+            }
+        }
+        for op in &inst.ops {
+            match op {
+                TraceOp::Add { id, task } => {
+                    if task.is_implicit_deadline() {
+                        let _ = writeln!(out, "add {id} {} {}", task.wcet(), task.period());
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "add {id} {} {} {}",
+                            task.wcet(),
+                            task.period(),
+                            task.deadline()
+                        );
+                    }
+                }
+                TraceOp::Remove { id } => {
+                    let _ = writeln!(out, "remove {id}");
+                }
+                TraceOp::Query { id } => {
+                    let _ = writeln!(out, "query {id}");
+                }
+                TraceOp::Snapshot => out.push_str("snapshot\n"),
+                TraceOp::Rollback => out.push_str("rollback\n"),
+                TraceOp::Repack => out.push_str("repack\n"),
+            }
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
 /// Render a system back to the file format ([`parse_system`] inverse).
 pub fn render_system(tasks: &TaskSet, platform: &Platform) -> String {
     let mut out = String::new();
@@ -331,5 +619,116 @@ machine 5/2
         let sys = parse_system("machine 3\n").unwrap();
         assert!(sys.tasks.is_empty());
         assert_eq!(sys.platform.len(), 1);
+    }
+
+    const TRACE: &str = "\
+# two instances
+begin web-tier
+machine 1
+machine 5/2
+add 1 3 10
+add 2 2 10 5   # constrained
+query 1
+snapshot
+remove 1
+rollback
+repack
+end
+
+begin batch-tier
+machine 4
+add 7 1 8
+end
+";
+
+    #[test]
+    fn parses_op_trace() {
+        let trace = parse_op_trace(TRACE).unwrap();
+        assert_eq!(trace.instances.len(), 2);
+        let a = &trace.instances[0];
+        assert_eq!(a.name, "web-tier");
+        assert_eq!(a.platform.len(), 2);
+        assert_eq!(a.ops.len(), 7);
+        assert_eq!(
+            a.ops[0],
+            TraceOp::Add {
+                id: 1,
+                task: Task::implicit(3, 10).unwrap()
+            }
+        );
+        assert_eq!(
+            a.ops[1],
+            TraceOp::Add {
+                id: 2,
+                task: Task::constrained(2, 10, 5).unwrap()
+            }
+        );
+        assert_eq!(a.ops[2], TraceOp::Query { id: 1 });
+        assert_eq!(a.ops[3], TraceOp::Snapshot);
+        assert_eq!(a.ops[4], TraceOp::Remove { id: 1 });
+        assert_eq!(a.ops[5], TraceOp::Rollback);
+        assert_eq!(a.ops[6], TraceOp::Repack);
+        assert_eq!(trace.instances[1].name, "batch-tier");
+        assert_eq!(trace.instances[1].ops.len(), 1);
+    }
+
+    #[test]
+    fn op_trace_roundtrips() {
+        let trace = parse_op_trace(TRACE).unwrap();
+        let rendered = render_op_trace(&trace);
+        assert_eq!(parse_op_trace(&rendered).unwrap(), trace);
+        // Empty trace renders to nothing and parses back.
+        let empty = parse_op_trace("").unwrap();
+        assert!(empty.instances.is_empty());
+        assert_eq!(render_op_trace(&empty), "");
+    }
+
+    #[test]
+    fn op_trace_structural_errors() {
+        // Ops outside begin/end.
+        assert!(parse_op_trace("add 1 1 2").is_err());
+        // Nested begin.
+        assert!(parse_op_trace("begin a\nbegin b\nend").is_err());
+        // Missing end.
+        match parse_op_trace("begin a\nmachine 1\nadd 1 1 2").unwrap_err() {
+            ParseError::Syntax { line, message, .. } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("unterminated"));
+            }
+            other => panic!("expected syntax error, got {other}"),
+        }
+        // end without begin.
+        assert!(parse_op_trace("end").is_err());
+        // machine after the first op.
+        assert!(parse_op_trace("begin a\nmachine 1\nadd 1 1 2\nmachine 2\nend").is_err());
+        // rollback before any snapshot.
+        assert!(parse_op_trace("begin a\nmachine 1\nrollback\nend").is_err());
+        // begin needs exactly one name token.
+        assert!(parse_op_trace("begin\nend").is_err());
+        assert!(parse_op_trace("begin a b\nend").is_err());
+        // No machines.
+        assert!(matches!(
+            parse_op_trace("begin a\nend"),
+            Err(ParseError::Model(ModelError::EmptyPlatform))
+        ));
+        // Unknown directive inside an instance.
+        assert!(parse_op_trace("begin a\nmachine 1\nfrob\nend").is_err());
+    }
+
+    #[test]
+    fn op_trace_field_errors_carry_positions() {
+        let err = parse_op_trace("begin a\nmachine 1\nadd 1 x 10\nend").unwrap_err();
+        match err {
+            ParseError::Syntax { line, col, message } => {
+                assert_eq!((line, col), (3, 7));
+                assert!(message.contains("wcet"));
+            }
+            other => panic!("expected syntax error, got {other}"),
+        }
+        assert!(parse_op_trace("begin a\nmachine 1\nadd 1 1\nend").is_err()); // arity
+        assert!(parse_op_trace("begin a\nmachine 1\nremove\nend").is_err()); // arity
+        assert!(parse_op_trace("begin a\nmachine 1\nsnapshot 3\nend").is_err()); // arity
+        assert!(parse_op_trace("begin a\nmachine 1\nadd -1 1 2\nend").is_err()); // bad id
+        assert!(parse_op_trace("begin a\nmachine 0\nadd 1 1 2\nend").is_err()); // bad speed
     }
 }

@@ -22,7 +22,7 @@
 //!
 //! Algorithmic comparisons run in `f64` with the workspace-wide epsilon
 //! [`EPS`] via [`approx_le`]/[`approx_ge`]; exact paths (simulator, oracles)
-//! use [`Ratio`] and integer scaled loads. See `DESIGN.md` §9.
+//! use [`Ratio`] and integer scaled loads. See `DESIGN.md` §10.
 
 #![warn(missing_docs)]
 
@@ -35,7 +35,10 @@ mod taskset;
 pub mod time;
 
 pub use error::ModelError;
-pub use io::{parse_system, render_system, ParseError, System};
+pub use io::{
+    parse_op_trace, parse_system, render_op_trace, render_system, OpTrace, ParseError, System,
+    TraceInstance, TraceOp,
+};
 pub use machine::{Augmentation, Machine, Platform};
 pub use ratio::{gcd_i128, Ratio};
 pub use task::Task;

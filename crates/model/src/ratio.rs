@@ -11,7 +11,7 @@
 //! reduce eagerly by the gcd, and arithmetic panics on overflow (the
 //! workloads we generate keep numerators far below `i128::MAX`; an overflow
 //! indicates a misuse such as summing thousands of incommensurable periods,
-//! for which the f64 path should be used instead — see `DESIGN.md` §9).
+//! for which the f64 path should be used instead — see `DESIGN.md` §10).
 
 use core::cmp::Ordering;
 use core::fmt;

@@ -1,7 +1,7 @@
 //! Integer time utilities.
 //!
 //! The simulator and the exact analysis paths work in discrete integer time
-//! (see `DESIGN.md` §9). Periods and worst-case execution times are `u64`
+//! (see `DESIGN.md` §10). Periods and worst-case execution times are `u64`
 //! "ticks"; hyperperiods can exceed `u64` so lcm computations are checked.
 
 /// Discrete time instant / duration, in ticks.

@@ -21,11 +21,23 @@ pub fn even_chunks(len: usize, workers: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// A sensible worker count: `available_parallelism`, clamped to `[1, cap]`.
+/// A sensible worker count: the `HETFEAS_WORKERS` environment variable if
+/// set to a positive integer (an operator override for benchmarking and
+/// CI), otherwise `available_parallelism` — either way clamped to
+/// `[1, cap]`. Unparsable or zero values of `HETFEAS_WORKERS` are ignored.
 pub fn default_workers(cap: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    workers_from(std::env::var("HETFEAS_WORKERS").ok().as_deref(), cap)
+}
+
+/// [`default_workers`] with the environment read factored out for tests.
+fn workers_from(env: Option<&str>, cap: usize) -> usize {
+    env.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
         .clamp(1, cap.max(1))
 }
 
@@ -67,5 +79,22 @@ mod tests {
         let w = default_workers(4);
         assert!((1..=4).contains(&w));
         assert_eq!(default_workers(0), 1);
+    }
+
+    #[test]
+    fn workers_env_override_wins_but_is_capped() {
+        assert_eq!(workers_from(Some("3"), 8), 3);
+        assert_eq!(workers_from(Some(" 5 "), 8), 5);
+        // The cap still applies to the override.
+        assert_eq!(workers_from(Some("64"), 8), 8);
+    }
+
+    #[test]
+    fn workers_env_garbage_falls_back() {
+        let fallback = workers_from(None, 8);
+        assert_eq!(workers_from(Some("zero"), 8), fallback);
+        assert_eq!(workers_from(Some(""), 8), fallback);
+        assert_eq!(workers_from(Some("0"), 8), fallback);
+        assert_eq!(workers_from(Some("-2"), 8), fallback);
     }
 }

@@ -1,0 +1,132 @@
+//! Property tests for the chunking and scoped-map primitives, focused on
+//! the degenerate shapes the sweep and replay drivers actually hit:
+//! fewer items than workers, empty input, and block sizes exceeding the
+//! input length.
+//!
+//! Dependency-free (no proptest) so the suite also runs under
+//! `scripts/offline_check.sh`; the generator is a fixed-seed xorshift64*.
+
+use hetfeas_par::{even_chunks, par_map, par_map_with};
+
+/// Minimal deterministic generator (splitmix64-seeded xorshift64*).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng((z ^ (z >> 31)) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+#[test]
+fn even_chunks_partitions_every_random_shape() {
+    let mut rng = Rng::new(7);
+    for _ in 0..500 {
+        let len = rng.below(200) as usize;
+        let workers = rng.below(40) as usize;
+        let chunks = even_chunks(len, workers);
+        if len == 0 || workers == 0 {
+            assert!(chunks.is_empty(), "len={len} workers={workers}");
+            continue;
+        }
+        // A disjoint, contiguous, complete cover of 0..len …
+        assert_eq!(chunks.first().unwrap().0, 0);
+        assert_eq!(chunks.last().unwrap().1, len);
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        // … with no empty chunk, at most `workers` of them, balanced ±1.
+        let sizes: Vec<usize> = chunks.iter().map(|(a, b)| b - a).collect();
+        assert!(sizes.iter().all(|&s| s > 0));
+        assert!(chunks.len() <= workers.min(len));
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(
+            max - min <= 1,
+            "len={len} workers={workers} sizes={sizes:?}"
+        );
+    }
+}
+
+#[test]
+fn even_chunks_fewer_items_than_workers_gives_singletons() {
+    for len in 1..8usize {
+        let chunks = even_chunks(len, 100);
+        assert_eq!(chunks.len(), len);
+        assert!(chunks.iter().all(|(a, b)| b - a == 1));
+    }
+}
+
+#[test]
+fn par_map_with_matches_sequential_map_for_random_shapes() {
+    let mut rng = Rng::new(11);
+    for _ in 0..60 {
+        let len = rng.below(120) as usize;
+        let workers = 1 + rng.below(9) as usize;
+        let block = 1 + rng.below((len as u64 + 4) * 2) as usize; // often > len
+        let items: Vec<u64> = (0..len as u64).map(|i| i * 3 + 1).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 7).collect();
+        let got = par_map_with(&items, workers, block, |x| x * x + 7);
+        assert_eq!(got, expect, "len={len} workers={workers} block={block}");
+    }
+}
+
+#[test]
+fn par_map_with_empty_input_is_empty_for_any_config() {
+    let items: Vec<u32> = Vec::new();
+    for workers in [0usize, 1, 4, 999] {
+        for block in [1usize, 17, usize::MAX] {
+            assert!(par_map_with(&items, workers, block, |x| *x).is_empty());
+        }
+    }
+}
+
+#[test]
+fn par_map_with_extreme_worker_and_block_counts_are_clamped() {
+    let items: Vec<usize> = (0..5).collect();
+    // workers ≫ len, block ≫ len, workers == 0 — all must behave like map.
+    for (workers, block) in [(1000, 1), (2, usize::MAX), (0, 3), (5, 0)] {
+        let got = par_map_with(&items, workers, block, |x| x + 1);
+        assert_eq!(got, vec![1, 2, 3, 4, 5], "workers={workers} block={block}");
+    }
+}
+
+#[test]
+fn par_map_agrees_with_par_map_with() {
+    let items: Vec<u64> = (0..73).collect();
+    let a = par_map(&items, |x| x.wrapping_mul(31));
+    let b = par_map_with(&items, 4, 8, |x| x.wrapping_mul(31));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn par_map_with_preserves_order_under_uneven_work() {
+    // Skewed per-item cost tempts a racy implementation to misplace
+    // results; order must match the input regardless.
+    let items: Vec<u64> = (0..48).collect();
+    let got = par_map_with(&items, 6, 1, |&x| {
+        let spin = (x % 7) * 400;
+        let mut acc = 0u64;
+        for i in 0..spin {
+            acc = acc.wrapping_add(i ^ x);
+        }
+        (x, acc & 1)
+    });
+    for (i, (x, _)) in got.iter().enumerate() {
+        assert_eq!(*x, i as u64);
+    }
+}

@@ -43,7 +43,7 @@ use crate::admission::{
 use crate::assignment::{Assignment, FailureWitness, Outcome};
 use crate::metrics;
 use hetfeas_analysis::liu_layland_bound;
-use hetfeas_model::{Augmentation, Platform, TaskSet, EPS};
+use hetfeas_model::{Augmentation, Platform, Task, TaskSet, EPS};
 use hetfeas_obs::MetricsSink;
 
 /// Relative slack added to residual hints so f64 rounding in
@@ -72,6 +72,17 @@ pub trait IndexableAdmission: AdmissionTest {
     /// Upper bound on the utilization of any task [`AdmissionTest::admit`]
     /// accepts in `state` at augmented speed `speed`.
     fn residual_hint(&self, state: &Self::State, speed: f64) -> f64;
+
+    /// State of a machine holding exactly `tasks` (folded left-to-right
+    /// with the same arithmetic as repeated [`AdmissionTest::admit`] calls)
+    /// **without** acceptance checks. The incremental engine's local repair
+    /// uses this after a removal, where every remaining task was already
+    /// admitted — the aggregate is a plain recomputation, not a decision,
+    /// so the boundary-case float drift of "subtract the leaver" can never
+    /// spuriously reject a machine's own residents.
+    fn fold_state<'a, I>(&self, tasks: I, speed: f64) -> Self::State
+    where
+        I: IntoIterator<Item = &'a Task>;
 }
 
 impl IndexableAdmission for EdfAdmission {
@@ -79,6 +90,15 @@ impl IndexableAdmission for EdfAdmission {
         // admit: approx_le(load + u, speed), i.e. load + u ≤ rhs.
         let rhs = speed + EPS * speed.abs().max(1.0);
         relaxed_residual(rhs, *state)
+    }
+
+    fn fold_state<'a, I>(&self, tasks: I, _speed: f64) -> f64
+    where
+        I: IntoIterator<Item = &'a Task>,
+    {
+        tasks
+            .into_iter()
+            .fold(0.0, |load, t| load + t.utilization())
     }
 }
 
@@ -88,6 +108,18 @@ impl IndexableAdmission for RmsLlAdmission {
         let cap = liu_layland_bound(state.count + 1) * speed;
         let rhs = cap + EPS * cap.abs().max(1.0);
         relaxed_residual(rhs, state.load)
+    }
+
+    fn fold_state<'a, I>(&self, tasks: I, _speed: f64) -> RmsLlState
+    where
+        I: IntoIterator<Item = &'a Task>,
+    {
+        tasks
+            .into_iter()
+            .fold(RmsLlState::default(), |st, t| RmsLlState {
+                load: st.load + t.utilization(),
+                count: st.count + 1,
+            })
     }
 }
 
@@ -99,12 +131,28 @@ impl IndexableAdmission for RmsHyperbolicAdmission {
         let bound = speed * (rhs / state.product - 1.0);
         bound + HINT_SLACK * bound.abs().max(speed.abs()).max(1.0)
     }
+
+    fn fold_state<'a, I>(&self, tasks: I, speed: f64) -> HyperbolicState
+    where
+        I: IntoIterator<Item = &'a Task>,
+    {
+        tasks.into_iter().fold(
+            HyperbolicState {
+                product: 1.0,
+                load: 0.0,
+            },
+            |st, t| HyperbolicState {
+                product: st.product * (t.utilization() / speed + 1.0),
+                load: st.load + t.utilization(),
+            },
+        )
+    }
 }
 
 /// Max-segment-tree over `f64` leaf values supporting point updates and
 /// "leftmost leaf ≥ threshold at or after position `from`" in `O(log m)`.
 #[derive(Debug, Clone, Default)]
-struct MaxTree {
+pub(crate) struct MaxTree {
     /// Power-of-two leaf span (0 until first rebuild).
     leaves: usize,
     /// 1-based heap layout: `node[1]` root, leaf `i` at `node[leaves + i]`;
@@ -114,7 +162,7 @@ struct MaxTree {
 
 impl MaxTree {
     /// Reset the tree to `values`, reusing the backing allocation.
-    fn rebuild(&mut self, values: &[f64]) {
+    pub(crate) fn rebuild(&mut self, values: &[f64]) {
         let leaves = values.len().max(1).next_power_of_two();
         self.leaves = leaves;
         self.node.clear();
@@ -126,7 +174,7 @@ impl MaxTree {
     }
 
     /// Set leaf `i` to `v` and repair ancestors.
-    fn update(&mut self, i: usize, v: f64) {
+    pub(crate) fn update(&mut self, i: usize, v: f64) {
         let mut i = self.leaves + i;
         self.node[i] = v;
         while i > 1 {
@@ -136,7 +184,7 @@ impl MaxTree {
     }
 
     /// Index of the leftmost leaf `≥ from` whose value is `≥ threshold`.
-    fn first_at_least(&self, from: usize, threshold: f64) -> Option<usize> {
+    pub(crate) fn first_at_least(&self, from: usize, threshold: f64) -> Option<usize> {
         if from >= self.leaves {
             return None;
         }

@@ -21,6 +21,9 @@
 //!   factor α* (experiments E1–E4).
 //! * [`engine`] — [`FirstFitEngine`], the indexed `O((n+m)·log m)` version
 //!   of the §III scan with reusable workspaces and a warm-started α-search.
+//! * [`incremental`] — [`IncrementalEngine`], the online form of the same
+//!   test: `O(log m)` adds, local-repair removes, snapshot/rollback for
+//!   speculative admission, and a divergence-counted canonical repack.
 //! * [`metrics`] — metric names for the instrumented paths (`ff.*`,
 //!   `engine.*`, `alpha.*`). Every hot-path entry point has a `_with`
 //!   variant generic over [`hetfeas_obs::MetricsSink`]; passing `&()`
@@ -43,6 +46,7 @@ pub mod engine;
 pub mod exact;
 pub mod exact_rational;
 pub mod first_fit;
+pub mod incremental;
 pub mod instrumented;
 pub mod lp_rounding;
 pub mod metrics;
@@ -67,6 +71,9 @@ pub use first_fit::{
     first_fit, first_fit_ordered, first_fit_ordered_with, first_fit_ordered_within_with,
     first_fit_with, first_fit_within, min_feasible_alpha, min_feasible_alpha_with,
     min_feasible_alpha_within,
+};
+pub use incremental::{
+    AddOutcome, IncrSnapshot, IncrementalEngine, RepackOutcome, RepairPolicy, TaskId,
 };
 pub use instrumented::{first_fit_instrumented, ScanStats};
 pub use lp_rounding::lp_rounding_partition;

@@ -41,6 +41,35 @@ pub const ENGINE_EXACT_CHECKS: &str = "engine.exact_checks";
 /// (counter; should stay near zero — each miss is one wasted re-check).
 pub const ENGINE_REVERIFY_MISSES: &str = "engine.reverify_misses";
 
+/// Tasks admitted by the incremental engine (counter).
+pub const INCR_ADDS: &str = "incr.adds";
+/// Add operations rejected — no machine admits the task (counter).
+pub const INCR_ADD_REJECTS: &str = "incr.add_rejects";
+/// Tasks removed from the live partition (counter).
+pub const INCR_REMOVES: &str = "incr.removes";
+/// Remove operations naming an unknown/already-removed id (counter).
+pub const INCR_REMOVE_MISSES: &str = "incr.remove_misses";
+/// Segment-tree descend-left queries issued by incremental adds (counter).
+pub const INCR_TREE_DESCENTS: &str = "incr.tree_descents";
+/// Exact admission re-checks of incremental tree candidates (counter).
+pub const INCR_EXACT_CHECKS: &str = "incr.exact_checks";
+/// Incremental candidates the hint offered but the exact predicate
+/// rejected (counter; should stay near zero).
+pub const INCR_REVERIFY_MISSES: &str = "incr.reverify_misses";
+/// Local repairs after removals — one per machine-state re-fold (counter).
+pub const INCR_LOCAL_REPAIRS: &str = "incr.local_repairs";
+/// Tasks re-folded across all local repairs (counter; the O(k) part).
+pub const INCR_REPAIR_REFOLDS: &str = "incr.repair_refolds";
+/// Full canonical repacks — forced or divergence-triggered (counter).
+pub const INCR_REPACKS: &str = "incr.repacks";
+/// Repacks whose from-scratch FFD came back infeasible, keeping the
+/// current (still valid) assignment instead (counter).
+pub const INCR_REPACK_INFEASIBLE: &str = "incr.repack_infeasible";
+/// Snapshots taken for speculative admission (counter).
+pub const INCR_SNAPSHOTS: &str = "incr.snapshots";
+/// Rollbacks to a snapshot (counter).
+pub const INCR_ROLLBACKS: &str = "incr.rollbacks";
+
 /// First-fit probes issued by an α-search, all phases (counter).
 pub const ALPHA_PROBES: &str = "alpha.probes";
 /// Probes spent bracketing α* in the engine's galloping phase (counter).

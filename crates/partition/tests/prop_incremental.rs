@@ -1,0 +1,234 @@
+//! Metamorphic properties of the incremental admission engine against its
+//! batch ancestor:
+//!
+//! 1. **Repack equivalence** — after a forced repack, the incremental
+//!    assignment over the survivors is byte-identical to a from-scratch
+//!    [`first_fit_ordered`] run on the same survivor set (EDF and RMS-LL).
+//! 2. **Rollback idempotence** — rolling back to a snapshot restores the
+//!    engine's full observable state (assignment, per-machine loads,
+//!    canonicality, live ids), and rolling back twice changes nothing.
+//! 3. **Canonical appends need no repack** — a stream of decreasing-
+//!    utilization adds stays canonical with zero divergence, and its
+//!    assignment already matches from-scratch without any repack.
+//!
+//! Dependency-free (no proptest) so the suite also runs under
+//! `scripts/offline_check.sh`; the generator is a fixed-seed xorshift64*.
+
+use hetfeas_model::{Augmentation, Platform, Task};
+use hetfeas_partition::{
+    first_fit_ordered, Assignment, EdfAdmission, IncrementalEngine, IndexableAdmission, Outcome,
+    RepackOutcome, RmsLlAdmission, TaskId,
+};
+
+/// Dense per-task placement vector for byte-identical comparisons.
+fn placements(a: &Assignment, n: usize) -> Vec<Option<usize>> {
+    (0..n).map(|i| a.machine_of(i)).collect()
+}
+
+/// Minimal deterministic generator (splitmix64-seeded xorshift64*).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng((z ^ (z >> 31)) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn random_task(rng: &mut Rng) -> Task {
+    const PERIODS: [u64; 6] = [10, 20, 25, 40, 50, 100];
+    let p = PERIODS[rng.below(PERIODS.len() as u64) as usize];
+    Task::implicit(1 + rng.below(p.min(60)), p).expect("valid task")
+}
+
+fn random_platform(rng: &mut Rng, max_m: usize) -> Platform {
+    let m = 1 + rng.below(max_m as u64) as usize;
+    let speeds: Vec<u64> = (0..m).map(|_| 1 + rng.below(6)).collect();
+    Platform::from_int_speeds(speeds).expect("valid platform")
+}
+
+/// The full observable state of an engine, for equality checks.
+fn observe<A: IndexableAdmission>(
+    eng: &IncrementalEngine<A>,
+) -> (Vec<(u64, Option<usize>)>, Vec<u64>, bool, u64) {
+    let ids = eng.live_ids();
+    let placements = ids
+        .iter()
+        .map(|&id| (id.raw(), eng.machine_of(id)))
+        .collect();
+    // Loads compared bit-exactly: rollback must restore them identically.
+    let loads = (0..eng.platform().len())
+        .map(|m| eng.load_on(m).to_bits())
+        .collect();
+    (placements, loads, eng.is_canonical(), eng.divergence())
+}
+
+/// Churn an engine with interleaved adds/removes, returning the live ids.
+fn churn<A: IndexableAdmission>(
+    rng: &mut Rng,
+    eng: &mut IncrementalEngine<A>,
+    ops: usize,
+) -> Vec<TaskId> {
+    let mut live: Vec<TaskId> = Vec::new();
+    for _ in 0..ops {
+        if !live.is_empty() && rng.below(3) == 0 {
+            let victim = live.swap_remove(rng.below(live.len() as u64) as usize);
+            assert!(eng.remove(victim).is_some(), "live id removes");
+        } else if let Some(id) = eng.add(random_task(rng)).id() {
+            live.push(id);
+        }
+    }
+    live
+}
+
+/// Property 1: post-repack assignment equals from-scratch first-fit on the
+/// survivors, including the exact per-machine placement.
+fn check_repack_equivalence<A: IndexableAdmission>(admission: A, seed: u64) {
+    let mut rng = Rng::new(seed);
+    let platform = random_platform(&mut rng, 6);
+    let alpha = Augmentation::NONE;
+    let mut eng = IncrementalEngine::new(admission, &platform, alpha);
+    churn(&mut rng, &mut eng, 60);
+    let survivors = eng.live_tasks();
+    match eng.force_repack() {
+        RepackOutcome::Repacked => {}
+        RepackOutcome::Infeasible => return, // nothing to compare against
+    }
+    assert!(eng.is_canonical());
+    assert_eq!(eng.divergence(), 0);
+    let task_order = survivors.order_by_decreasing_utilization();
+    let machine_order = platform.order_by_increasing_speed();
+    let batch = first_fit_ordered(
+        &survivors,
+        &platform,
+        alpha,
+        eng.admission(),
+        &task_order,
+        &machine_order,
+    );
+    let Outcome::Feasible(expect) = batch else {
+        panic!("repack said feasible but batch disagrees (seed {seed})");
+    };
+    let got = eng.assignment();
+    let n = survivors.len();
+    assert_eq!(
+        placements(&got, n),
+        placements(&expect, n),
+        "post-repack placement diverges from first_fit_ordered (seed {seed})"
+    );
+}
+
+#[test]
+fn repack_matches_from_scratch_edf() {
+    for seed in 0..40 {
+        check_repack_equivalence(EdfAdmission, seed);
+    }
+}
+
+#[test]
+fn repack_matches_from_scratch_rms_ll() {
+    for seed in 100..140 {
+        check_repack_equivalence(RmsLlAdmission, seed);
+    }
+}
+
+/// Property 2: rollback restores the observable state the snapshot saw,
+/// and a second rollback is a no-op.
+fn check_rollback_restores<A: IndexableAdmission>(admission: A, seed: u64) {
+    let mut rng = Rng::new(seed);
+    let platform = random_platform(&mut rng, 5);
+    let mut eng = IncrementalEngine::new(admission, &platform, Augmentation::NONE);
+    churn(&mut rng, &mut eng, 30);
+    let snap = eng.snapshot();
+    let saved = observe(&eng);
+
+    // Speculative phase: more churn, maybe a repack.
+    churn(&mut rng, &mut eng, 25);
+    if rng.below(2) == 0 {
+        let _ = eng.force_repack();
+    }
+
+    eng.rollback(&snap);
+    assert_eq!(observe(&eng), saved, "rollback drifted (seed {seed})");
+    // Idempotent: rolling back again changes nothing.
+    eng.rollback(&snap);
+    assert_eq!(
+        observe(&eng),
+        saved,
+        "second rollback drifted (seed {seed})"
+    );
+
+    // The restored engine still behaves like a fresh engine in that
+    // canonical state: adds after rollback work.
+    let _ = eng.add(random_task(&mut rng));
+}
+
+#[test]
+fn rollback_restores_observable_state_edf() {
+    for seed in 200..240 {
+        check_rollback_restores(EdfAdmission, seed);
+    }
+}
+
+#[test]
+fn rollback_restores_observable_state_rms_ll() {
+    for seed in 300..340 {
+        check_rollback_restores(RmsLlAdmission, seed);
+    }
+}
+
+/// Property 3: appending tasks in decreasing-utilization order keeps the
+/// engine canonical with zero divergence — no repack ever triggers — and
+/// the live assignment equals from-scratch first-fit directly.
+#[test]
+fn sorted_appends_stay_canonical_and_match_batch() {
+    for seed in 400..420u64 {
+        let mut rng = Rng::new(seed);
+        let platform = random_platform(&mut rng, 6);
+        let mut tasks: Vec<Task> = (0..30).map(|_| random_task(&mut rng)).collect();
+        tasks.sort_by(|a, b| b.utilization_ratio().cmp(&a.utilization_ratio()));
+        let mut eng = IncrementalEngine::new(EdfAdmission, &platform, Augmentation::NONE);
+        for &t in &tasks {
+            let _ = eng.add(t);
+        }
+        assert!(
+            eng.is_canonical(),
+            "sorted appends lost canonicality (seed {seed})"
+        );
+        assert_eq!(eng.divergence(), 0);
+
+        let survivors = eng.live_tasks();
+        let task_order = survivors.order_by_decreasing_utilization();
+        let machine_order = platform.order_by_increasing_speed();
+        if let Outcome::Feasible(expect) = first_fit_ordered(
+            &survivors,
+            &platform,
+            Augmentation::NONE,
+            &EdfAdmission,
+            &task_order,
+            &machine_order,
+        ) {
+            let n = survivors.len();
+            assert_eq!(
+                placements(&eng.assignment(), n),
+                placements(&expect, n),
+                "canonical stream diverges from batch (seed {seed})"
+            );
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! `num/den`, real ticks are multiplied by `num` and work units by `den`,
 //! so one scaled work unit takes exactly one scaled tick — every schedule
 //! event lands on an integer and the simulation is exact (see `DESIGN.md`
-//! §9).
+//! §10).
 
 /// One job instance released by a task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

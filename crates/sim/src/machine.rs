@@ -11,7 +11,7 @@ use hetfeas_robust::{Exhaustion, Gas};
 /// `horizon` (unscaled ticks, exclusive on releases).
 ///
 /// Scaling: times × `num`, work × `den` — one scaled work unit then takes
-/// exactly one scaled tick (`DESIGN.md` §9).
+/// exactly one scaled tick (`DESIGN.md` §10).
 pub fn scaled_jobs(
     tasks: &TaskSet,
     speed: Ratio,

@@ -1,0 +1,226 @@
+//! Smoke benchmark for the incremental admission engine — the offline
+//! companion to `crates/bench/benches/incremental.rs`. Compiled by
+//! `scripts/bench_smoke.sh` with plain `rustc` against the workspace rlibs
+//! (no Criterion, no external crates), so it runs in sandboxed CI and
+//! emits `BENCH_incremental.json`:
+//!
+//! * `single_thread` — steady-state churn ops/sec at n = 4096, m = 1024
+//!   on the [`IncrementalEngine`] vs the honest from-scratch baseline (a
+//!   full [`FirstFitEngine`] batch re-run after every mutation), plus
+//!   their ratio (`speedup` — the `scripts/ci.sh` gate reads this);
+//! * `scaling` — independent instances sharded across OS threads
+//!   (`std::thread::scope`, 1 vs 8 workers). Reported with `host_cpus`
+//!   because the ratio is only meaningful on a multicore host; the CI gate
+//!   checks it conditionally.
+//!
+//! Instances mirror `scripts/bench_ffd_smoke.rs`: uniform-random integer
+//! speeds in 1..=8, UUniFast utilizations (capped at 0.95 per task),
+//! periods from the standard menu.
+
+use hetfeas_model::{Augmentation, Platform, Task, TaskSet};
+use hetfeas_partition::{EdfAdmission, FirstFitEngine, IncrementalEngine, RmsLlAdmission, TaskId};
+use std::time::Instant;
+
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in (0, 1).
+    fn uniform(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+}
+
+/// UUniFast (Bini & Buttazzo) with a per-task cap.
+fn uunifast_capped(rng: &mut Rng, n: usize, total: f64, cap: f64) -> Vec<f64> {
+    let mut utils = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 0..n {
+        let remaining = (n - i - 1) as f64;
+        let next = if remaining > 0.0 {
+            sum * rng.uniform().powf(1.0 / remaining)
+        } else {
+            0.0
+        };
+        utils.push((sum - next).clamp(1e-4, cap));
+        sum = next;
+    }
+    utils
+}
+
+fn instance(n: usize, m: usize, u_norm: f64, seed: u64) -> (Vec<Task>, Platform) {
+    let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    let speeds: Vec<u64> = (0..m).map(|_| 1 + rng.next_u64() % 8).collect();
+    let total_speed: u64 = speeds.iter().sum();
+    let target = (u_norm * total_speed as f64).min(0.90 * n as f64);
+    let periods = [100u64, 200, 250, 400, 500, 1000];
+    let tasks: Vec<Task> = uunifast_capped(&mut rng, n, target, 0.95)
+        .into_iter()
+        .map(|u| {
+            let p = periods[(rng.next_u64() % periods.len() as u64) as usize];
+            Task::implicit(((u * p as f64).round() as u64).max(1), p).expect("c ≥ 1")
+        })
+        .collect();
+    (tasks, Platform::from_int_speeds(speeds).expect("m ≥ 1"))
+}
+
+/// One unit of scaling work: build an engine over `tasks`, then churn it.
+fn run_instance(tasks: &[Task], platform: &Platform, churn: usize, seed: u64) -> u64 {
+    let mut eng = IncrementalEngine::new(EdfAdmission, platform, Augmentation::NONE);
+    let mut live: Vec<TaskId> = Vec::new();
+    for &t in tasks {
+        if let Some(id) = eng.add(t).id() {
+            live.push(id);
+        }
+    }
+    let mut rng = Rng(seed | 1);
+    let mut fresh = Rng(seed.wrapping_mul(31) | 1);
+    for i in 0..churn {
+        if i % 2 == 0 && !live.is_empty() {
+            let victim = live.swap_remove((rng.next_u64() % live.len() as u64) as usize);
+            eng.remove(victim);
+        } else {
+            let (extra, _) = instance(1, 1, 0.0, fresh.next_u64());
+            if let Some(id) = eng.add(extra[0]).id() {
+                live.push(id);
+            }
+        }
+    }
+    eng.len() as u64
+}
+
+fn main() {
+    // ---- single-thread: incremental vs from-scratch churn at 4096×1024.
+    let (n, m) = (4096usize, 1024usize);
+    let (tasks, platform) = instance(n, m, 0.6, 7);
+
+    // Incremental: untimed build-up, then timed churn.
+    let mut eng = IncrementalEngine::new(EdfAdmission, &platform, Augmentation::NONE);
+    let mut live: Vec<TaskId> = Vec::new();
+    for &t in &tasks {
+        if let Some(id) = eng.add(t).id() {
+            live.push(id);
+        }
+    }
+    let incr_churn = 2048usize;
+    let mut rng = Rng(99);
+    let mut spare: Vec<Task> = Vec::new();
+    let started = Instant::now();
+    for i in 0..incr_churn {
+        if i % 2 == 0 && !live.is_empty() {
+            let pos = (rng.next_u64() % live.len() as u64) as usize;
+            let victim = live.swap_remove(pos);
+            if let Some(t) = eng.remove(victim) {
+                spare.push(t);
+            }
+        } else if let Some(t) = spare.pop() {
+            if let Some(id) = eng.add(t).id() {
+                live.push(id);
+            }
+        }
+    }
+    let incr_secs = started.elapsed().as_secs_f64();
+    let incr_ops_per_sec = incr_churn as f64 / incr_secs;
+    eprintln!(
+        "incremental: {incr_churn} churn ops in {:.1} ms ({:.0} ops/s, {} live, divergence {})",
+        incr_secs * 1e3,
+        incr_ops_per_sec,
+        eng.len(),
+        eng.divergence()
+    );
+
+    // From-scratch baseline: same churn protocol, full batch re-run per op.
+    let mut ff = FirstFitEngine::new(EdfAdmission);
+    let mut live_tasks: Vec<Task> = tasks.clone();
+    let scratch_churn = 64usize;
+    let mut rng = Rng(99);
+    let mut spare: Vec<Task> = Vec::new();
+    let started = Instant::now();
+    for i in 0..scratch_churn {
+        if i % 2 == 0 && !live_tasks.is_empty() {
+            let pos = (rng.next_u64() % live_tasks.len() as u64) as usize;
+            spare.push(live_tasks.swap_remove(pos));
+        } else if let Some(t) = spare.pop() {
+            live_tasks.push(t);
+        }
+        let ts: TaskSet = live_tasks.iter().copied().collect();
+        std::hint::black_box(ff.run(&ts, &platform, Augmentation::NONE));
+    }
+    let scratch_secs = started.elapsed().as_secs_f64();
+    let scratch_ops_per_sec = scratch_churn as f64 / scratch_secs;
+    eprintln!(
+        "from-scratch: {scratch_churn} churn ops in {:.1} ms ({:.0} ops/s)",
+        scratch_secs * 1e3,
+        scratch_ops_per_sec
+    );
+    let speedup = incr_ops_per_sec / scratch_ops_per_sec;
+    eprintln!("single-thread incremental vs from-scratch: {speedup:.1}x");
+
+    // Cross-check on RMS-LL too (cheap, not part of the gate): the engine
+    // must survive the same protocol under the other indexed admission.
+    let (small_tasks, small_platform) = instance(512, 128, 0.5, 11);
+    let mut rms = IncrementalEngine::new(RmsLlAdmission, &small_platform, Augmentation::NONE);
+    let mut rms_live = Vec::new();
+    for &t in &small_tasks {
+        if let Some(id) = rms.add(t).id() {
+            rms_live.push(id);
+        }
+    }
+    for id in rms_live {
+        rms.remove(id);
+    }
+    assert!(rms.is_empty(), "RMS-LL engine must drain cleanly");
+
+    // ---- scaling: independent instances across OS threads.
+    let instances = 64usize;
+    let (sn, sm, churn) = (512usize, 128usize, 512usize);
+    let work: Vec<(Vec<Task>, Platform)> = (0..instances)
+        .map(|i| instance(sn, sm, 0.6, 1000 + i as u64))
+        .collect();
+    let run_all = |workers: usize| -> f64 {
+        let started = Instant::now();
+        let chunk = instances.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for shard in work.chunks(chunk) {
+                scope.spawn(move || {
+                    for (i, (tasks, platform)) in shard.iter().enumerate() {
+                        std::hint::black_box(run_instance(tasks, platform, churn, i as u64));
+                    }
+                });
+            }
+        });
+        started.elapsed().as_secs_f64()
+    };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let secs_w1 = run_all(1);
+    let (workers_hi, secs_hi) = (8usize, run_all(8));
+    let scaling = secs_w1 / secs_hi;
+    eprintln!(
+        "scaling: {instances} instances, 1 worker {:.1} ms vs {workers_hi} workers {:.1} ms \
+         ({scaling:.2}x on {host_cpus} host cpus)",
+        secs_w1 * 1e3,
+        secs_hi * 1e3
+    );
+
+    println!(
+        "{{\n  \"bench\": \"incremental_vs_from_scratch\",\n  \"admission\": \"EDF\",\n  \
+         \"host_cpus\": {host_cpus},\n  \"single_thread\": {{\n    \"n\": {n}, \"m\": {m},\n    \
+         \"incremental_churn_ops\": {incr_churn}, \"from_scratch_churn_ops\": {scratch_churn},\n    \
+         \"incremental_ops_per_sec\": {incr_ops_per_sec:.0},\n    \
+         \"from_scratch_ops_per_sec\": {scratch_ops_per_sec:.1},\n    \
+         \"speedup\": {speedup:.1}\n  }},\n  \"scaling\": {{\n    \
+         \"instances\": {instances}, \"n\": {sn}, \"m\": {sm}, \"churn\": {churn},\n    \
+         \"workers_lo\": 1, \"workers_hi\": {workers_hi},\n    \
+         \"secs_lo\": {secs_w1:.3}, \"secs_hi\": {secs_hi:.3},\n    \
+         \"worker_speedup\": {scaling:.2}\n  }}\n}}"
+    );
+}

@@ -2,15 +2,19 @@
 # Smoke-benchmark the first-fit scan-vs-indexed comparison and emit
 # BENCH_ffd.json (n, m, median ns/iter for scan vs indexed) at the repo
 # root, so successive PRs have a perf trajectory to compare against.
+# Also runs the incremental-engine harness (scripts/bench_incr_smoke.rs)
+# and emits BENCH_incremental.json (churn ops/sec incremental vs
+# from-scratch, plus worker scaling with host_cpus).
 #
-# Uses a plain-rustc harness (scripts/bench_ffd_smoke.rs) compiled against
-# the workspace rlibs — no Criterion, no registry access — so it also runs
-# in sandboxed CI. When the cargo registry IS reachable, pass --criterion
-# to additionally run the full Criterion group at --sample-size 10.
+# Uses plain-rustc harnesses compiled against the workspace rlibs — no
+# Criterion, no registry access — so they also run in sandboxed CI. When
+# the cargo registry IS reachable, pass --criterion to additionally run
+# the full Criterion groups at --sample-size 10.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 out="${BENCH_OUT:-$repo/BENCH_ffd.json}"
+incr_out="${BENCH_INCR_OUT:-$repo/BENCH_incremental.json}"
 build="$(mktemp -d)"
 trap 'rm -rf "$build"' EXIT
 
@@ -54,8 +58,18 @@ rustc --edition 2021 -O --crate-name bench_ffd_smoke \
 "$build/bench_ffd_smoke" > "$out"
 echo "wrote $out" >&2
 
+echo "building + running the incremental harness ..." >&2
+rustc --edition 2021 -O --crate-name bench_incr_smoke \
+    "$repo/scripts/bench_incr_smoke.rs" -L "$build" \
+    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    --extern hetfeas_partition="$build/libhetfeas_partition.rlib" \
+    -o "$build/bench_incr_smoke"
+"$build/bench_incr_smoke" > "$incr_out"
+echo "wrote $incr_out" >&2
+
 if [[ "${1:-}" == "--criterion" ]]; then
-    echo "running the Criterion group (needs a reachable registry) ..." >&2
+    echo "running the Criterion groups (needs a reachable registry) ..." >&2
     cargo bench -p hetfeas-bench --bench ffd_scaling -- \
         ffd_scan_vs_indexed_n4096 --sample-size 10
+    cargo bench -p hetfeas-bench --bench incremental -- --sample-size 10
 fi

@@ -11,8 +11,14 @@
 #   BENCH_GATE_TOL=0.15       tighten the perf gate (default 0.25 = the
 #                             fresh indexed-vs-scan speedup may be at most
 #                             25% below the committed BENCH_ffd.json)
-#   SKIP_BENCH_GATE=1         skip the benchmark gate entirely (e.g. on
+#   SKIP_BENCH_GATE=1         skip the benchmark gates entirely (e.g. on
 #                             noisy shared runners)
+#
+# A second gate covers the incremental admission engine
+# (BENCH_incremental.json): the steady-state churn speedup over
+# from-scratch re-runs must stay >= INCR_GATE_MIN (default 5). The worker
+# scaling ratio is gated only when the host has >= 8 CPUs — on smaller
+# hosts (the sandbox has 1) it is reported but not enforced.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -56,8 +62,9 @@ if [[ ! -f "$baseline" ]]; then
     exit 0
 fi
 fresh="$(mktemp)"
-trap 'rm -f "$fresh"' EXIT
-BENCH_OUT="$fresh" bash scripts/bench_smoke.sh
+fresh_incr="$(mktemp)"
+trap 'rm -f "$fresh" "$fresh_incr"' EXIT
+BENCH_OUT="$fresh" BENCH_INCR_OUT="$fresh_incr" bash scripts/bench_smoke.sh
 
 # One "m speedup" pair per result row (the row format is emitted by
 # scripts/bench_ffd_smoke.rs and stable across PRs).
@@ -83,5 +90,38 @@ rows "$baseline" | while read -r m base; do
             m, now, base > "/dev/stderr"
     }'
 done
+
+echo "== incremental engine gate" >&2
+# `"speedup"` only matches the single_thread field ("worker_speedup" has
+# no quote directly before the s, so the pattern cannot alias it).
+incr_speedup="$(sed -n 's/.*"speedup": *\([0-9.]*\).*/\1/p' "$fresh_incr" | head -n1)"
+worker_speedup="$(sed -n 's/.*"worker_speedup": *\([0-9.]*\).*/\1/p' "$fresh_incr" | head -n1)"
+host_cpus="$(sed -n 's/.*"host_cpus": *\([0-9]*\).*/\1/p' "$fresh_incr" | head -n1)"
+if [[ -z "$incr_speedup" ]]; then
+    echo "ci: FAIL — BENCH_incremental.json has no single_thread speedup" >&2
+    exit 1
+fi
+awk -v s="$incr_speedup" -v min="${INCR_GATE_MIN:-5}" 'BEGIN {
+    if (s < min) {
+        printf "ci: FAIL — incremental churn only %.1fx over from-scratch (gate %sx)\n",
+            s, min > "/dev/stderr"
+        exit 1
+    }
+    printf "ci: incremental churn %.1fx over from-scratch (gate %sx) — ok\n",
+        s, min > "/dev/stderr"
+}'
+if [[ -n "$host_cpus" && "$host_cpus" -ge 8 && -n "$worker_speedup" ]]; then
+    awk -v s="$worker_speedup" -v cpus="$host_cpus" 'BEGIN {
+        if (s < 3) {
+            printf "ci: FAIL — ops sharding only %.2fx from 1 to 8 workers on %s cpus\n",
+                s, cpus > "/dev/stderr"
+            exit 1
+        }
+        printf "ci: ops sharding %.2fx from 1 to 8 workers on %s cpus — ok\n",
+            s, cpus > "/dev/stderr"
+    }'
+else
+    echo "ci: worker scaling ${worker_speedup:-?}x on ${host_cpus:-?} cpus — reported, not gated (< 8 cpus)" >&2
+fi
 
 echo "ci: all gates passed" >&2

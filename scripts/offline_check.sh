@@ -68,15 +68,23 @@ X_PAR=(--extern crossbeam="$build/libcrossbeam.rlib"
 lib hetfeas_par "$repo/crates/par/src/lib.rs" "${X_PAR[@]}"
 testbin hetfeas_par "$repo/crates/par/src/lib.rs" "${X_PAR[@]}"
 
+# Chunking/scoped-map property suite (dependency-free, no proptest).
+testbin prop_par "$repo/crates/par/tests/prop_par.rs" "${X_PAR[@]}" \
+    --extern hetfeas_par="$build/libhetfeas_par.rlib"
+
 X_PARTITION=("${X_ROBUST[@]}"
     --extern hetfeas_analysis="$build/libhetfeas_analysis.rlib"
     --extern hetfeas_lp="$build/libhetfeas_lp.rlib")
 lib hetfeas_partition "$repo/crates/partition/src/lib.rs" "${X_PARTITION[@]}"
 testbin hetfeas_partition "$repo/crates/partition/src/lib.rs" "${X_PARTITION[@]}"
 
-# The metamorphic suite is dependency-free (no proptest), so it runs here
-# alongside the unit tests; prop_engine.rs still needs cargo + proptest.
+# The metamorphic suites are dependency-free (no proptest), so they run
+# here alongside the unit tests; prop_engine.rs still needs cargo +
+# proptest.
 testbin prop_metamorphic "$repo/crates/partition/tests/prop_metamorphic.rs" \
+    "${X_PARTITION[@]}" \
+    --extern hetfeas_partition="$build/libhetfeas_partition.rlib"
+testbin prop_incremental "$repo/crates/partition/tests/prop_incremental.rs" \
     "${X_PARTITION[@]}" \
     --extern hetfeas_partition="$build/libhetfeas_partition.rlib"
 
@@ -122,8 +130,9 @@ rustc "${opt[@]}" --crate-name run_experiments \
     -o "$build/run-experiments"
 
 echo "building + running integration tests ..." >&2
-for t in integration_cli integration_exhaustive integration_pipeline \
-         integration_robust integration_splitting integration_theorem_edges; do
+for t in integration_cli integration_exhaustive integration_ops \
+         integration_pipeline integration_robust integration_splitting \
+         integration_theorem_edges; do
     CARGO_BIN_EXE_hetfeas="$build/hetfeas" \
         rustc "${opt[@]}" --test --crate-name "$t" "$repo/tests/$t.rs" \
         -L "$build" --extern hetfeas="$build/libhetfeas.rlib" \

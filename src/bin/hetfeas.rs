@@ -9,6 +9,8 @@
 //!                             [--budget-ms N] [--report FILE]
 //! hetfeas generate --tasks N --machines M --util U [--platform KIND] [--seed N]
 //! hetfeas faults   [--seed N] [--budget-ms N] [--report FILE]
+//! hetfeas ops      --trace TRACE.txt [--mode incremental|from-scratch] [--policy …]
+//!                             [--alpha X] [--workers N] [--budget-ms N] [--report FILE] [-v]
 //! ```
 //!
 //! System files: `task <wcet> <period> [deadline]` and `machine <speed>`
@@ -33,11 +35,24 @@
 //! `hetfeas::partition::metrics`) after the run completes. The report is
 //! rendered fully in memory and written only on success, so a run that
 //! exits 2 never leaves a partial file behind.
+//!
+//! `hetfeas ops` replays an op trace (`begin`/`machine`/`add`/`remove`/
+//! `query`/`snapshot`/`rollback`/`repack`/`end` lines, see
+//! `hetfeas::model::io`) through the online admission engine, sharding
+//! independent instances across `--workers` threads with live `done/total`
+//! progress on stderr. `--mode from-scratch` runs the batch first-fit
+//! baseline instead — the pair is what `scripts/bench_smoke.sh` compares.
+//! Exit 3 if any instance exhausted its budget; a semantically malformed
+//! trace (e.g. an `add` reusing a live id) exits 2.
 
 use hetfeas::analysis;
+use hetfeas::experiments::{replay_sharded, ReplayError, ReplayMode, ReplayStats};
 use hetfeas::lp::{level_scaling_factor, lp_feasible};
-use hetfeas::model::{parse_system, render_system, Augmentation, Ratio, System};
+use hetfeas::model::{
+    parse_op_trace, parse_system, render_system, Augmentation, OpTrace, Ratio, System,
+};
 use hetfeas::obs::{Json, MemorySink, MetricsSink, RunReport};
+use hetfeas::par::{default_workers, Progress};
 use hetfeas::partition::{
     exact_partition_edf, exact_partition_edf_degraded, exact_partition_rms,
     first_fit_ordered_within_with, lp_feasible_degraded, min_feasible_alpha_with,
@@ -212,6 +227,10 @@ struct Common {
     report: Option<String>,
     budget_ms: Option<u64>,
     exact: bool,
+    // ops-only
+    trace: Option<String>,
+    workers: Option<usize>,
+    mode: String,
     // generate-only
     tasks: usize,
     machines: usize,
@@ -231,6 +250,9 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         report: None,
         budget_ms: None,
         exact: false,
+        trace: None,
+        workers: None,
+        mode: "incremental".into(),
         tasks: 10,
         machines: 4,
         util: 0.7,
@@ -280,6 +302,17 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
             }
             "--platform" => c.platform = next("--platform")?,
             "--scenario" => c.scenario = Some(next("--scenario")?),
+            "--trace" => c.trace = Some(next("--trace")?),
+            "--workers" => {
+                let w: usize = next("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                if w == 0 {
+                    return Err("--workers must be positive".into());
+                }
+                c.workers = Some(w);
+            }
+            "--mode" => c.mode = next("--mode")?,
             "--report" => c.report = Some(next("--report")?),
             "--budget-ms" => {
                 let ms: u64 = next("--budget-ms")?
@@ -817,7 +850,205 @@ fn cmd_faults(c: &Common) -> Result<ExitCode, String> {
     Ok(worst)
 }
 
-const USAGE: &str = "usage: hetfeas <check|alpha|oracles|simulate|generate|faults> [ARGS]
+/// Dispatch [`replay_sharded`] over the policy's indexed admission test.
+/// RMS-RTA has no incremental form (its response-time fixpoint is not a
+/// fold), so it is rejected up front.
+#[allow(clippy::too_many_arguments)]
+fn ops_results<S: MetricsSink + Sync>(
+    trace: &OpTrace,
+    policy: Policy,
+    alpha: Augmentation,
+    mode: ReplayMode,
+    workers: usize,
+    budget_ms: Option<u64>,
+    progress: &Progress,
+    sink: &S,
+) -> Result<Vec<Result<ReplayStats, ReplayError>>, String> {
+    Ok(match policy {
+        Policy::Edf => replay_sharded(
+            trace,
+            EdfAdmission,
+            alpha,
+            mode,
+            workers,
+            budget_ms,
+            Some(progress),
+            sink,
+        ),
+        Policy::RmsLl => replay_sharded(
+            trace,
+            RmsLlAdmission,
+            alpha,
+            mode,
+            workers,
+            budget_ms,
+            Some(progress),
+            sink,
+        ),
+        Policy::RmsHyperbolic => replay_sharded(
+            trace,
+            RmsHyperbolicAdmission,
+            alpha,
+            mode,
+            workers,
+            budget_ms,
+            Some(progress),
+            sink,
+        ),
+        Policy::RmsRta => {
+            return Err(
+                "--policy rms-rta has no indexed admission; ops supports edf|rms|rms-hyp".into(),
+            )
+        }
+    })
+}
+
+/// Replay an op trace through the online admission engine (or the batch
+/// from-scratch baseline), sharding instances across worker threads.
+fn cmd_ops(c: &Common) -> Result<ExitCode, String> {
+    let path = c
+        .trace
+        .as_ref()
+        .or(c.file.as_ref())
+        .ok_or("missing --trace FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let trace = parse_op_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mode = match c.mode.as_str() {
+        "incremental" => ReplayMode::Incremental,
+        "from-scratch" => ReplayMode::FromScratch,
+        other => {
+            return Err(format!(
+                "unknown --mode {other:?} (incremental|from-scratch)"
+            ))
+        }
+    };
+    let alpha = Augmentation::new(c.alpha).map_err(|e| e.to_string())?;
+    let workers = c.workers.unwrap_or_else(|| default_workers(8));
+    let total_ops: usize = trace.instances.iter().map(|i| i.ops.len()).sum();
+    println!(
+        "{} instances ({} ops), policy {}, mode {}, {} workers",
+        trace.instances.len(),
+        total_ops,
+        c.policy.name(),
+        mode.as_str(),
+        workers
+    );
+    let progress = Progress::new(trace.instances.len() as u64);
+    let sink = c.report.as_ref().map(|_| MemorySink::new());
+    let results = match &sink {
+        Some(s) => {
+            let _t = s.timer("phase.replay");
+            ops_results(
+                &trace,
+                c.policy,
+                alpha,
+                mode,
+                workers,
+                c.budget_ms,
+                &progress,
+                s,
+            )?
+        }
+        None => ops_results(
+            &trace,
+            c.policy,
+            alpha,
+            mode,
+            workers,
+            c.budget_ms,
+            &progress,
+            &(),
+        )?,
+    };
+    let mut total = ReplayStats::default();
+    let mut exhausted = 0u64;
+    for (i, r) in results.iter().enumerate() {
+        let name = &trace.instances[i].name;
+        match r {
+            Ok(stats) => {
+                total.merge(stats);
+                if c.verbose {
+                    println!(
+                        "  {name}: {} ops, {} admitted, {} rejected, {} removed, live {}",
+                        stats.ops, stats.admitted, stats.rejected, stats.removed, stats.final_live
+                    );
+                }
+            }
+            Err(ReplayError::Exhausted { op_index, cause }) => {
+                exhausted += 1;
+                println!(
+                    "  {name}: UNDECIDED — budget exhausted ({}) at op {op_index}",
+                    cause.as_str()
+                );
+            }
+            Err(e @ ReplayError::Trace { .. }) => {
+                return Err(format!("{path}: instance {name:?}: {e}"));
+            }
+        }
+    }
+    println!(
+        "{} ops replayed: {} admitted, {} rejected, {} removed ({} misses), \
+         {} queries ({} hits), {} repacks ({} infeasible), {} snapshots, {} rollbacks",
+        total.ops,
+        total.admitted,
+        total.rejected,
+        total.removed,
+        total.remove_misses,
+        total.query_hits + total.query_misses,
+        total.query_hits,
+        total.repacks,
+        total.repacks_infeasible,
+        total.snapshots,
+        total.rollbacks
+    );
+    if exhausted > 0 {
+        println!(
+            "UNDECIDED — {exhausted} of {} instances exhausted the budget",
+            trace.instances.len()
+        );
+    }
+    if let (Some(out), Some(s)) = (&c.report, &sink) {
+        let mut r = RunReport::new("hetfeas", "ops");
+        r.set("input", Json::Str(path.clone()))
+            .set("policy", Json::Str(c.policy.key().into()))
+            .set("mode", Json::Str(mode.as_str().into()))
+            .set("workers", Json::UInt(workers as u64))
+            .set("instances", Json::UInt(trace.instances.len() as u64))
+            .set("exhausted", Json::UInt(exhausted))
+            .set("ops", Json::UInt(total.ops))
+            .set("admitted", Json::UInt(total.admitted))
+            .set("rejected", Json::UInt(total.rejected))
+            .set("removed", Json::UInt(total.removed))
+            .set("remove_misses", Json::UInt(total.remove_misses))
+            .set("query_hits", Json::UInt(total.query_hits))
+            .set("query_misses", Json::UInt(total.query_misses))
+            .set("snapshots", Json::UInt(total.snapshots))
+            .set("rollbacks", Json::UInt(total.rollbacks))
+            .set("repacks", Json::UInt(total.repacks))
+            .set("repacks_infeasible", Json::UInt(total.repacks_infeasible))
+            .set("final_live", Json::UInt(total.final_live))
+            .set(
+                "verdict",
+                Json::Str(
+                    if exhausted == 0 {
+                        "replayed"
+                    } else {
+                        "undecided"
+                    }
+                    .into(),
+                ),
+            );
+        r.attach_metrics(&s.snapshot());
+        write_report(out, &r)?;
+    }
+    Ok(if exhausted == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    })
+}
+
+const USAGE: &str = "usage: hetfeas <check|alpha|oracles|simulate|generate|faults|ops> [ARGS]
   check    SYSTEM [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [--exact] [--report FILE] [-v]
   alpha    SYSTEM [--policy …] [--report FILE]
   oracles  SYSTEM
@@ -825,6 +1056,8 @@ const USAGE: &str = "usage: hetfeas <check|alpha|oracles|simulate|generate|fault
   generate --tasks N --machines M --util U [--platform identical|big-little|geometric|uniform]
            [--scenario automotive|avionics|media|server] [--seed N]
   faults   [--seed N] [--report FILE]
+  ops      --trace TRACE [--mode incremental|from-scratch] [--policy edf|rms|rms-hyp]
+           [--alpha X] [--workers N] [--report FILE] [-v]
   --budget-ms N bounds the run by wall clock; exit 3 = undecided within budget
   --exact (check) runs exact search with graceful degradation to first-fit / utilization bound
   --report FILE writes a JSON run report (verdict + work counters + phase timers)";
@@ -849,6 +1082,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&common),
         "generate" => cmd_generate(&common),
         "faults" => cmd_faults(&common),
+        "ops" => cmd_ops(&common),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
     match result {

@@ -1,0 +1,154 @@
+//! End-to-end tests of the `hetfeas ops` subcommand: op-trace replay
+//! through the incremental admission engine and the from-scratch
+//! baseline, budget exhaustion (exit 3), and malformed traces (exit 2).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn hetfeas(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hetfeas"))
+        .args(args)
+        .output()
+        .expect("spawn hetfeas")
+}
+
+/// Self-cleaning temp file (no external tempfile crate needed).
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn to_str(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn temp_path(ext: &str) -> TempFile {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    TempFile(std::env::temp_dir().join(format!(
+        "hetfeas-ops-test-{}-{}.{ext}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    )))
+}
+
+fn write_trace(content: &str) -> TempFile {
+    let path = temp_path("ops");
+    std::fs::write(&path.0, content).expect("write temp trace");
+    path
+}
+
+/// Two instances exercising every op kind the replay engine supports.
+const TRACE: &str = "\
+# two machines, adds with churn, speculation, and a repack
+begin warm
+machine 1
+machine 2
+add 1 1 2
+add 2 1 4
+query 1
+snapshot
+add 3 9 10
+rollback
+remove 2
+remove 9
+repack
+end
+
+begin tiny
+machine 1
+add 7 1 5
+query 7
+query 8
+end
+";
+
+#[test]
+fn ops_replays_a_trace_and_writes_a_report() {
+    let trace = write_trace(TRACE);
+    let report = temp_path("json");
+    let out = hetfeas(&[
+        "ops",
+        "--trace",
+        trace.to_str(),
+        "--workers",
+        "2",
+        "--report",
+        report.to_str(),
+        "-v",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2 instances (12 ops)"), "{stdout}");
+    assert!(stdout.contains("ops replayed"), "{stdout}");
+    let json = std::fs::read_to_string(&report.0).expect("report written");
+    assert!(json.contains("\"verdict\": \"replayed\""), "{json}");
+    assert!(json.contains("\"mode\": \"incremental\""), "{json}");
+    assert!(json.contains("\"instances\": 2"), "{json}");
+    assert!(json.contains("\"snapshots\": 1"), "{json}");
+    assert!(json.contains("\"rollbacks\": 1"), "{json}");
+}
+
+#[test]
+fn ops_incremental_and_from_scratch_agree() {
+    let trace = write_trace(TRACE);
+    let summary = |mode: &str| -> String {
+        let out = hetfeas(&["ops", "--trace", trace.to_str(), "--mode", mode]);
+        assert!(out.status.success(), "{mode}: {out:?}");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        stdout
+            .lines()
+            .find(|l| l.contains("ops replayed"))
+            .expect("summary line")
+            .to_string()
+    };
+    assert_eq!(summary("incremental"), summary("from-scratch"));
+}
+
+#[test]
+fn ops_tiny_budget_is_undecided_exit_three() {
+    // A trace heavy enough that a 1 ms wall budget always exhausts
+    // mid-replay: every `repack` is a full batch re-run over 1000 live
+    // tasks, and each one polls the clock (tick_n), so the deadline is
+    // observed promptly no matter how fast the host is.
+    let mut heavy = String::from("begin heavy\n");
+    for _ in 0..64 {
+        heavy.push_str("machine 1\n");
+    }
+    for id in 0..1000u32 {
+        heavy.push_str(&format!("add {id} 1 1000\n"));
+    }
+    for _ in 0..500 {
+        heavy.push_str("repack\n");
+    }
+    heavy.push_str("end\n");
+    let trace = write_trace(&heavy);
+    let out = hetfeas(&["ops", "--trace", trace.to_str(), "--budget-ms", "1"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("UNDECIDED"), "{stdout}");
+    assert!(stdout.contains("wall-clock"), "{stdout}");
+}
+
+#[test]
+fn ops_malformed_trace_exits_two() {
+    let trace = write_trace("begin broken\nmachine 1\nadd nonsense\nend\n");
+    let out = hetfeas(&["ops", "--trace", trace.to_str()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn ops_rejects_rms_rta_and_bad_mode() {
+    let trace = write_trace(TRACE);
+    let out = hetfeas(&["ops", "--trace", trace.to_str(), "--policy", "rms-rta"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = hetfeas(&["ops", "--trace", trace.to_str(), "--mode", "sideways"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = hetfeas(&["ops"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
