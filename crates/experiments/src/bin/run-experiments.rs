@@ -211,7 +211,13 @@ fn main() -> ExitCode {
             tables
         },
         |cp| match &args.checkpoint {
-            Some(path) => std::fs::write(path, cp.render()).map_err(|e| e.to_string()),
+            // Temp-file + atomic rename: a kill mid-write leaves the
+            // previous complete checkpoint, never a truncated one.
+            Some(path) => hetfeas_robust::journal::atomic_write(
+                std::path::Path::new(path),
+                cp.render().as_bytes(),
+            )
+            .map_err(|e| e.to_string()),
             None => Ok(()),
         },
     );

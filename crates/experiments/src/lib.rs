@@ -53,7 +53,9 @@ pub mod table;
 pub mod theorems;
 
 pub use config::ExpConfig;
-pub use replay::{replay_instance, replay_sharded, ReplayError, ReplayMode, ReplayStats};
+pub use replay::{
+    replay_durable, replay_instance, replay_sharded, ReplayError, ReplayMode, ReplayStats,
+};
 pub use sweep::{run_checkpointed, CellOutcome, Checkpoint};
 pub use table::Table;
 

@@ -28,9 +28,10 @@ use hetfeas_model::{Augmentation, OpTrace, Task, TraceInstance, TraceOp};
 use hetfeas_obs::MetricsSink;
 use hetfeas_par::{par_map_with, Progress};
 use hetfeas_partition::{
-    AddOutcome, FirstFitEngine, IncrSnapshot, IncrementalEngine, IndexableAdmission, Outcome,
-    RepackOutcome, TaskId,
+    AddOutcome, DurableEngine, DurableError, DurableOptions, FirstFitEngine, IncrSnapshot,
+    IncrementalEngine, IndexableAdmission, Outcome, RepackOutcome, TaskId,
 };
+use hetfeas_robust::journal::Storage;
 use hetfeas_robust::{Budget, Exhaustion, Gas};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -120,6 +121,14 @@ pub enum ReplayError {
         /// Explanation.
         message: String,
     },
+    /// A journaled replay hit an IO error that survived the retry budget
+    /// (only [`replay_durable`] produces this).
+    Io {
+        /// 0-based index of the operation that could not be journaled.
+        op_index: usize,
+        /// The underlying IO error.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ReplayError {
@@ -130,6 +139,9 @@ impl std::fmt::Display for ReplayError {
             }
             ReplayError::Trace { op_index, message } => {
                 write!(f, "malformed trace at op {op_index}: {message}")
+            }
+            ReplayError::Io { op_index, message } => {
+                write!(f, "journal IO error at op {op_index}: {message}")
             }
         }
     }
@@ -217,6 +229,113 @@ where
     }
     stats.final_live = eng.len() as u64;
     Ok(stats)
+}
+
+/// Replay one instance on a journaled [`DurableEngine`] over `store`:
+/// every mutating op is appended to the write-ahead journal before it is
+/// applied, so a kill at any point leaves a journal that
+/// [`hetfeas_partition::recover`] replays back to the bit-identical
+/// engine. Returns the protocol stats plus the engine's
+/// [`DurableEngine::state_digest`] — `hetfeas recover` prints the same
+/// digest, which is how `scripts/crash_smoke.sh` compares a recovered
+/// state against an uncrashed reference across processes.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_durable<A, S>(
+    admission: A,
+    inst: &TraceInstance,
+    alpha: Augmentation,
+    policy_key: &str,
+    opts: DurableOptions,
+    store: Box<dyn Storage>,
+    gas: &mut Gas,
+    sink: &S,
+) -> Result<(ReplayStats, u32), ReplayError>
+where
+    A: IndexableAdmission,
+    S: MetricsSink,
+{
+    let durable_err = |op_index: usize| {
+        move |e: DurableError| match e {
+            DurableError::Io(message) => ReplayError::Io { op_index, message },
+            DurableError::Exhausted(cause) => ReplayError::Exhausted { op_index, cause },
+        }
+    };
+    let mut eng = DurableEngine::create(
+        admission,
+        &inst.platform,
+        alpha,
+        policy_key,
+        opts,
+        store,
+        gas,
+        sink,
+    )
+    .map_err(durable_err(0))?;
+    let mut ids: HashMap<u64, TaskId> = HashMap::new();
+    let mut ids_snap: Option<HashMap<u64, TaskId>> = None;
+    let mut stats = ReplayStats::default();
+    for (op_index, op) in inst.ops.iter().enumerate() {
+        stats.ops += 1;
+        let exhausted = |cause| ReplayError::Exhausted { op_index, cause };
+        match *op {
+            TraceOp::Add { id, task } => {
+                if let Some(tid) = ids.get(&id) {
+                    if eng.engine().contains(*tid) {
+                        return Err(ReplayError::Trace {
+                            op_index,
+                            message: format!("add reuses live id {id}"),
+                        });
+                    }
+                }
+                match eng.add(task, gas, sink).map_err(durable_err(op_index))? {
+                    AddOutcome::Admitted { id: tid, .. } => {
+                        ids.insert(id, tid);
+                        stats.admitted += 1;
+                    }
+                    AddOutcome::Rejected => stats.rejected += 1,
+                }
+            }
+            TraceOp::Remove { id } => match ids.get(&id).copied() {
+                Some(tid) => match eng.remove(tid, gas, sink).map_err(durable_err(op_index))? {
+                    Some(_) => {
+                        ids.remove(&id);
+                        stats.removed += 1;
+                    }
+                    None => stats.remove_misses += 1,
+                },
+                None => {
+                    gas.tick().map_err(exhausted)?;
+                    stats.remove_misses += 1;
+                }
+            },
+            TraceOp::Query { id } => {
+                gas.tick().map_err(exhausted)?;
+                let hit = ids.get(&id).and_then(|tid| eng.engine().machine_of(*tid));
+                if hit.is_some() {
+                    stats.query_hits += 1;
+                } else {
+                    stats.query_misses += 1;
+                }
+            }
+            TraceOp::Snapshot => {
+                eng.snapshot(gas, sink).map_err(durable_err(op_index))?;
+                ids_snap = Some(ids.clone());
+                stats.snapshots += 1;
+            }
+            TraceOp::Rollback => {
+                if eng.rollback(gas, sink).map_err(durable_err(op_index))? {
+                    ids = ids_snap.clone().expect("parser rejects early rollback");
+                }
+                stats.rollbacks += 1;
+            }
+            TraceOp::Repack => match eng.repack(gas, sink).map_err(durable_err(op_index))? {
+                RepackOutcome::Repacked => stats.repacks += 1,
+                RepackOutcome::Infeasible => stats.repacks_infeasible += 1,
+            },
+        }
+    }
+    stats.final_live = eng.engine().len() as u64;
+    Ok((stats, eng.state_digest()))
 }
 
 /// From-scratch baseline state: the live set plus a per-trace-id placement
@@ -543,6 +662,43 @@ end
             let stats = r.as_ref().expect("each instance completes");
             assert_eq!(stats.ops, 1);
         }
+    }
+
+    #[test]
+    fn durable_replay_matches_incremental_and_recovers_bit_exact() {
+        use hetfeas_robust::journal::MemStorage;
+
+        let inst = one_instance();
+        let mut gas = Gas::unlimited();
+        let plain = replay_instance(
+            EdfAdmission,
+            &inst,
+            Augmentation::NONE,
+            ReplayMode::Incremental,
+            &mut gas,
+            &(),
+        )
+        .expect("plain replay completes");
+
+        let store = MemStorage::new();
+        let (stats, digest) = replay_durable(
+            EdfAdmission,
+            &inst,
+            Augmentation::NONE,
+            "edf",
+            DurableOptions::default(),
+            Box::new(store.clone()),
+            &mut gas,
+            &(),
+        )
+        .expect("durable replay completes");
+        assert_eq!(stats, plain, "journaling must not change protocol outcomes");
+
+        let (rec, report) =
+            hetfeas_partition::recover(EdfAdmission, Box::new(store), "edf", &mut gas, &())
+                .expect("recovers");
+        assert_eq!(report.truncated_records, 0);
+        assert_eq!(rec.state_digest(), digest, "recovery is bit-exact");
     }
 
     #[test]

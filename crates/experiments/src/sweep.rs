@@ -78,22 +78,32 @@ impl Checkpoint {
         self.cells.is_empty()
     }
 
-    /// Serialize to the checkpoint JSON document.
+    fn cells_json(&self) -> Json {
+        Json::Obj(
+            self.cells
+                .iter()
+                .map(|(id, tables)| {
+                    (
+                        id.clone(),
+                        Json::Arr(tables.iter().map(table_to_json).collect()),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Serialize to the checkpoint JSON document. The `crc32` field covers
+    /// the rendered `cells` node, so a checkpoint truncated by a kill
+    /// mid-write (or bit-flipped at rest) fails [`Checkpoint::parse`]
+    /// instead of silently resuming from damaged state.
     pub fn to_json(&self) -> Json {
-        let cells = self
-            .cells
-            .iter()
-            .map(|(id, tables)| {
-                (
-                    id.clone(),
-                    Json::Arr(tables.iter().map(table_to_json).collect()),
-                )
-            })
-            .collect();
+        let cells = self.cells_json();
+        let crc = hetfeas_robust::journal::crc32(cells.render_pretty(2).as_bytes());
         Json::Obj(vec![
             ("tool".to_string(), Json::str("run-experiments")),
             ("kind".to_string(), Json::str("sweep-checkpoint")),
-            ("cells".to_string(), Json::Obj(cells)),
+            ("crc32".to_string(), Json::str(&format!("{crc:08x}"))),
+            ("cells".to_string(), cells),
         ])
     }
 
@@ -113,11 +123,27 @@ impl Checkpoint {
         if v.get("kind").and_then(Json::as_str) != Some("sweep-checkpoint") {
             return Err("not a sweep checkpoint (missing kind=sweep-checkpoint)".to_string());
         }
+        let stored = v
+            .get("crc32")
+            .and_then(Json::as_str)
+            .ok_or("checkpoint missing crc32 (truncated write?)")?;
+        let stored =
+            u32::from_str_radix(stored, 16).map_err(|_| format!("bad crc32 field '{stored}'"))?;
+        let cells_node = v.get("cells").ok_or("checkpoint has no cells object")?;
+        // The parse→render round trip is canonical (ordered object pairs,
+        // string leaves), so re-rendering the parsed node reproduces the
+        // exact bytes the writer checksummed.
+        let computed = hetfeas_robust::journal::crc32(cells_node.render_pretty(2).as_bytes());
+        if computed != stored {
+            return Err(format!(
+                "checkpoint checksum mismatch (stored {stored:08x}, computed {computed:08x}) — \
+                 file truncated or corrupted"
+            ));
+        }
         let mut cp = Checkpoint::new();
-        let cells = v
-            .get("cells")
-            .and_then(Json::as_object)
-            .ok_or("checkpoint has no cells object")?;
+        let cells = cells_node
+            .as_object()
+            .ok_or("checkpoint cells is not an object")?;
         for (id, tables) in cells {
             let tables = tables
                 .as_array()
@@ -286,6 +312,44 @@ mod tests {
         assert!(Checkpoint::parse("{}").is_err());
         assert!(Checkpoint::parse("not json").is_err());
         assert!(Checkpoint::parse("{\"kind\": \"run-report\"}").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_a_truncated_checkpoint() {
+        // A kill mid-write leaves a prefix of the file. Every proper
+        // prefix must fail parse: either the JSON is unterminated, or the
+        // (earlier-in-file) crc32 no longer matches the cells that remain.
+        let mut cp = Checkpoint::new();
+        cp.record("e1", &[sample_table("e1")]);
+        cp.record("e2", &[sample_table("e2")]);
+        let text = cp.render();
+        // Stop before the closing `}\n`: losing only the cosmetic trailing
+        // newline still parses, anything shorter must not.
+        for cut in 1..text.len() - 1 {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                Checkpoint::parse(&text[..cut]).is_err(),
+                "truncation at byte {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_a_tampered_checkpoint() {
+        let mut cp = Checkpoint::new();
+        cp.record("e1", &[sample_table("e1")]);
+        let text = cp.render();
+        // Flip a payload character inside the cells body.
+        let tampered = text.replacen("1", "2", 1);
+        assert_ne!(tampered, text);
+        let err = Checkpoint::parse(&tampered).expect_err("tampering detected");
+        assert!(err.contains("checksum"), "{err}");
+        // A checkpoint without the crc32 field (pre-hardening format or a
+        // torn header) is rejected too.
+        let no_crc = "{\"kind\": \"sweep-checkpoint\", \"cells\": {}}";
+        assert!(Checkpoint::parse(no_crc).is_err());
     }
 
     #[test]

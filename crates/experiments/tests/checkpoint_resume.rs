@@ -61,6 +61,43 @@ fn killed_sweep_resumes_without_recomputing_completed_cells() {
     assert!(!second[0].tables.is_empty());
 }
 
+/// A kill mid-write used to leave a syntactically valid JSON prefix that
+/// silently resumed with fewer cells; the checksum now rejects every
+/// truncation (and bit-rot) of a real checkpoint file.
+#[test]
+fn truncated_or_corrupted_checkpoint_is_rejected_not_resumed() {
+    let cfg = quick();
+    let sink = MemorySink::new();
+    let mut snapshot = Checkpoint::new();
+    run_checkpointed(
+        &["e10"],
+        &Checkpoint::new(),
+        &sink,
+        |_| constants::e10(&cfg),
+        |cp| {
+            snapshot = cp.clone();
+            Ok(())
+        },
+    );
+    let text = snapshot.render();
+    assert!(Checkpoint::parse(&text).is_ok());
+    // Every proper prefix must fail to parse — never resume from a
+    // truncated file.
+    for cut in 1..text.len() - 1 {
+        if !text.is_char_boundary(cut) {
+            continue;
+        }
+        assert!(
+            Checkpoint::parse(&text[..cut]).is_err(),
+            "prefix of {cut} bytes parsed as a valid checkpoint"
+        );
+    }
+    // Flipping payload bytes trips the checksum.
+    let tampered = text.replacen("e10", "e11", 1);
+    let err = Checkpoint::parse(&tampered).expect_err("tampered checkpoint");
+    assert!(err.contains("checksum"), "{err}");
+}
+
 #[test]
 fn panicked_cell_is_retried_on_resume() {
     let sink = MemorySink::new();

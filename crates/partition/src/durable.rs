@@ -1,0 +1,936 @@
+//! Crash-safe online admission: [`DurableEngine`] wraps
+//! [`IncrementalEngine`] with a write-ahead journal so the live partition
+//! survives kills, torn writes and corrupted files.
+//!
+//! ## Protocol
+//!
+//! Every mutating op (`add`/`remove`/`snapshot`/`rollback`/`repack`) is
+//! appended to the journal — one CRC32-framed record, fsynced — **before**
+//! it is applied in memory. Record payloads are deterministic: the inner
+//! engine runs with [`RepairPolicy::never`], and the divergence-triggered
+//! canonical repack is journaled as an explicit `p` record by this layer,
+//! so the journal is a complete, gas-independent description of the
+//! engine's history. [`recover`] replays it back to the **bit-identical**
+//! in-memory engine (same per-machine `f64` loads, same assignment, same
+//! id allocator) — the crash-matrix suite in
+//! `crates/partition/tests/prop_durable.rs` kills a run at every record
+//! boundary and inside records and asserts exactly that.
+//!
+//! ## Compaction
+//!
+//! Every [`DurableOptions::compact_every`] ops the journal is rewritten as
+//! `[config, state, snapstate?]` through a temp-file + atomic-rename
+//! ([`hetfeas_robust::journal::Journal::rewrite`]): a crash during
+//! compaction leaves either the full old journal or the compacted new one,
+//! never a mix. State records serialize per-machine resident lists in
+//! admission order, so re-folding them with
+//! [`crate::engine::IndexableAdmission::fold_state`] (contractually the
+//! same left-to-right arithmetic as the admits that built the state)
+//! reproduces the identical `f64` machine states.
+//!
+//! ## Failure handling
+//!
+//! * Transient IO errors retry with capped exponential backoff charged to
+//!   the caller's [`Gas`] ([`hetfeas_robust::journal::with_retries`]);
+//! * a torn or corrupt journal tail is truncated at the first bad
+//!   checksum during [`recover`] (`recover.truncated_records` /
+//!   `recover.truncated_bytes` counters) — never a panic;
+//! * structurally unrecoverable journals (missing/garbled config record,
+//!   policy mismatch, invalid state record) surface as
+//!   [`RecoverError::Corrupt`].
+
+use crate::assignment::Assignment;
+use crate::engine::IndexableAdmission;
+use crate::incremental::{
+    AddOutcome, EngineState, IncrSnapshot, IncrementalEngine, RepackOutcome, RepairPolicy, TaskId,
+};
+use hetfeas_model::{Augmentation, Machine, Platform, Ratio, Task};
+use hetfeas_obs::MetricsSink;
+use hetfeas_robust::journal::{crc32, scan_records, Journal, JournalError, Storage};
+use hetfeas_robust::{metrics as rmetrics, Exhaustion, Gas};
+
+/// First line of every journal's config record; bumping the format bumps
+/// this string, making old binaries fail closed with `Corrupt`.
+pub const JOURNAL_MAGIC: &str = "hetfeas-journal v1";
+
+/// Durability knobs for a [`DurableEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableOptions {
+    /// Divergence threshold for the journaled canonical repack (the
+    /// [`RepairPolicy::repack_after`] analogue; `0` disables).
+    pub repack_after: u32,
+    /// Journal records between snapshot compactions (`0` = never compact).
+    pub compact_every: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            repack_after: RepairPolicy::default().repack_after,
+            compact_every: 1024,
+        }
+    }
+}
+
+/// The self-describing header record every journal starts with — enough to
+/// rebuild the platform, augmentation and policies without out-of-band
+/// state, and to reject a journal written for a different admission test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// CLI key of the admission policy (`edf`, `rms-ll`, `rms-hyp`).
+    pub policy: String,
+    /// `f64::to_bits` of the augmentation factor (bit-exact round trip).
+    pub alpha_bits: u64,
+    /// Divergence threshold for journaled repacks.
+    pub repack_after: u32,
+    /// Records between compactions.
+    pub compact_every: u64,
+    /// Exact rational speed (numerator, denominator) per machine, in
+    /// original platform order.
+    pub machines: Vec<(i128, i128)>,
+}
+
+impl JournalConfig {
+    /// Rebuild the platform the journal was written against.
+    pub fn platform(&self) -> Result<Platform, String> {
+        let machines = self
+            .machines
+            .iter()
+            .map(|&(n, d)| {
+                if d <= 0 {
+                    return Err(format!(
+                        "machine speed {n}/{d} has non-positive denominator"
+                    ));
+                }
+                Machine::new(Ratio::new(n, d)).map_err(|e| format!("invalid machine speed: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Platform::new(machines).map_err(|e| format!("invalid platform: {e}"))
+    }
+
+    /// Rebuild the augmentation factor, bit-exactly.
+    pub fn alpha(&self) -> Result<Augmentation, String> {
+        Augmentation::new(f64::from_bits(self.alpha_bits))
+            .map_err(|e| format!("invalid augmentation: {e}"))
+    }
+}
+
+/// Why a durable operation failed. The op was **not** applied in memory;
+/// the journal holds at worst a torn final record, which the next
+/// [`recover`] truncates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableError {
+    /// An IO error survived the retry budget (or was not retryable).
+    Io(String),
+    /// The gas budget ran out.
+    Exhausted(Exhaustion),
+}
+
+impl From<JournalError> for DurableError {
+    fn from(e: JournalError) -> Self {
+        match e {
+            JournalError::Io(m) => DurableError::Io(m),
+            JournalError::Exhausted(x) => DurableError::Exhausted(x),
+        }
+    }
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(m) => write!(f, "journal IO error: {m}"),
+            DurableError::Exhausted(x) => write!(f, "budget exhausted ({})", x.as_str()),
+        }
+    }
+}
+
+/// Why a recovery failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The journal is structurally unrecoverable: no intact config record,
+    /// a policy/format mismatch, or an invalid state/op record.
+    Corrupt(String),
+    /// An IO error survived the retry budget.
+    Io(String),
+    /// The gas budget ran out mid-replay.
+    Exhausted(Exhaustion),
+}
+
+impl From<JournalError> for RecoverError {
+    fn from(e: JournalError) -> Self {
+        match e {
+            JournalError::Io(m) => RecoverError::Io(m),
+            JournalError::Exhausted(x) => RecoverError::Exhausted(x),
+        }
+    }
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Corrupt(m) => write!(f, "unrecoverable journal: {m}"),
+            RecoverError::Io(m) => write!(f, "recovery IO error: {m}"),
+            RecoverError::Exhausted(x) => write!(f, "recovery budget exhausted ({})", x.as_str()),
+        }
+    }
+}
+
+/// What [`recover`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Journal records replayed (state imports and ops; the config record
+    /// is not counted).
+    pub records_replayed: u64,
+    /// Damaged tail segments truncated (0 or 1).
+    pub truncated_records: u64,
+    /// Bytes dropped with the damaged tail.
+    pub truncated_bytes: u64,
+}
+
+// ---------------------------------------------------------------------
+// Record codecs. Payloads are line-oriented UTF-8; the first token
+// dispatches: the magic string (config), `state`/`snapstate` (compaction
+// images), or a single-letter op code.
+// ---------------------------------------------------------------------
+
+fn encode_config(cfg: &JournalConfig) -> Vec<u8> {
+    let mut s = String::new();
+    s.push_str(JOURNAL_MAGIC);
+    s.push('\n');
+    s.push_str(&format!("policy {}\n", cfg.policy));
+    s.push_str(&format!("alpha {:016x}\n", cfg.alpha_bits));
+    s.push_str(&format!("repack-after {}\n", cfg.repack_after));
+    s.push_str(&format!("compact-every {}\n", cfg.compact_every));
+    for &(n, d) in &cfg.machines {
+        s.push_str(&format!("machine {n}/{d}\n"));
+    }
+    s.into_bytes()
+}
+
+fn parse_config(payload: &[u8]) -> Result<JournalConfig, String> {
+    let text =
+        std::str::from_utf8(payload).map_err(|_| "config record is not UTF-8".to_string())?;
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(JOURNAL_MAGIC) => {}
+        Some(other) => return Err(format!("not a hetfeas journal (header '{other}')")),
+        None => return Err("empty config record".to_string()),
+    }
+    let mut policy = None;
+    let mut alpha_bits = None;
+    let mut repack_after = None;
+    let mut compact_every = None;
+    let mut machines = Vec::new();
+    for line in lines {
+        let (key, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("bad config line '{line}'"))?;
+        match key {
+            "policy" => policy = Some(rest.to_string()),
+            "alpha" => {
+                alpha_bits =
+                    Some(u64::from_str_radix(rest, 16).map_err(|_| format!("bad alpha '{rest}'"))?)
+            }
+            "repack-after" => {
+                repack_after = Some(
+                    rest.parse()
+                        .map_err(|_| format!("bad repack-after '{rest}'"))?,
+                )
+            }
+            "compact-every" => {
+                compact_every = Some(
+                    rest.parse()
+                        .map_err(|_| format!("bad compact-every '{rest}'"))?,
+                )
+            }
+            "machine" => {
+                let (n, d) = rest
+                    .split_once('/')
+                    .ok_or_else(|| format!("bad machine speed '{rest}'"))?;
+                machines.push((
+                    n.parse()
+                        .map_err(|_| format!("bad speed numerator '{n}'"))?,
+                    d.parse()
+                        .map_err(|_| format!("bad speed denominator '{d}'"))?,
+                ));
+            }
+            other => return Err(format!("unknown config key '{other}'")),
+        }
+    }
+    if machines.is_empty() {
+        return Err("config lists no machines".to_string());
+    }
+    Ok(JournalConfig {
+        policy: policy.ok_or("config missing policy")?,
+        alpha_bits: alpha_bits.ok_or("config missing alpha")?,
+        repack_after: repack_after.ok_or("config missing repack-after")?,
+        compact_every: compact_every.ok_or("config missing compact-every")?,
+        machines,
+    })
+}
+
+fn encode_state(tag: &str, st: &EngineState) -> Vec<u8> {
+    let mut s = String::new();
+    s.push_str(tag);
+    s.push('\n');
+    s.push_str(&format!("next-id {}\n", st.next_id));
+    s.push_str(&format!("divergence {}\n", st.divergence));
+    s.push_str(&format!("canonical {}\n", u8::from(st.canonical)));
+    match st.frontier {
+        Some(f) => s.push_str(&format!("frontier {}/{}\n", f.numer(), f.denom())),
+        None => s.push_str("frontier -\n"),
+    }
+    for &(id, t) in &st.entries {
+        s.push_str(&format!(
+            "task {id} {} {} {}\n",
+            t.wcet(),
+            t.period(),
+            t.deadline()
+        ));
+    }
+    for (mi, residents) in st.on_machine.iter().enumerate() {
+        s.push_str(&format!("on {mi}"));
+        for id in residents {
+            s.push_str(&format!(" {id}"));
+        }
+        s.push('\n');
+    }
+    s.into_bytes()
+}
+
+fn parse_task(wcet: &str, period: &str, deadline: &str) -> Result<Task, String> {
+    let w: u64 = wcet.parse().map_err(|_| format!("bad wcet '{wcet}'"))?;
+    let p: u64 = period
+        .parse()
+        .map_err(|_| format!("bad period '{period}'"))?;
+    let d: u64 = deadline
+        .parse()
+        .map_err(|_| format!("bad deadline '{deadline}'"))?;
+    if d == p {
+        Task::implicit(w, p).map_err(|e| format!("invalid task: {e}"))
+    } else {
+        Task::constrained(w, p, d).map_err(|e| format!("invalid task: {e}"))
+    }
+}
+
+fn parse_state(text: &str, machine_count: usize) -> Result<EngineState, String> {
+    let mut lines = text.lines();
+    lines.next(); // tag, already dispatched on
+    let mut st = EngineState {
+        entries: Vec::new(),
+        on_machine: vec![Vec::new(); machine_count],
+        next_id: 0,
+        divergence: 0,
+        canonical: false,
+        frontier: None,
+    };
+    for line in lines {
+        let mut toks = line.split_whitespace();
+        let key = toks.next().ok_or("blank state line")?;
+        match key {
+            "next-id" => {
+                let v = toks.next().ok_or("next-id missing value")?;
+                st.next_id = v.parse().map_err(|_| format!("bad next-id '{v}'"))?;
+            }
+            "divergence" => {
+                let v = toks.next().ok_or("divergence missing value")?;
+                st.divergence = v.parse().map_err(|_| format!("bad divergence '{v}'"))?;
+            }
+            "canonical" => {
+                st.canonical = match toks.next() {
+                    Some("1") => true,
+                    Some("0") => false,
+                    other => return Err(format!("bad canonical flag {other:?}")),
+                };
+            }
+            "frontier" => match toks.next() {
+                Some("-") => st.frontier = None,
+                Some(frac) => {
+                    let (n, d) = frac
+                        .split_once('/')
+                        .ok_or_else(|| format!("bad frontier '{frac}'"))?;
+                    let n: i128 = n
+                        .parse()
+                        .map_err(|_| format!("bad frontier numerator '{n}'"))?;
+                    let d: i128 = d
+                        .parse()
+                        .map_err(|_| format!("bad frontier denominator '{d}'"))?;
+                    if d <= 0 {
+                        return Err(format!("non-positive frontier denominator {d}"));
+                    }
+                    st.frontier = Some(Ratio::new(n, d));
+                }
+                None => return Err("frontier missing value".to_string()),
+            },
+            "task" => {
+                let id = toks.next().ok_or("task line missing id")?;
+                let id: u64 = id.parse().map_err(|_| format!("bad task id '{id}'"))?;
+                let (w, p, d) = (
+                    toks.next().ok_or("task line missing wcet")?,
+                    toks.next().ok_or("task line missing period")?,
+                    toks.next().ok_or("task line missing deadline")?,
+                );
+                st.entries.push((id, parse_task(w, p, d)?));
+            }
+            "on" => {
+                let mi = toks.next().ok_or("on line missing machine index")?;
+                let mi: usize = mi
+                    .parse()
+                    .map_err(|_| format!("bad machine index '{mi}'"))?;
+                if mi >= machine_count {
+                    return Err(format!("machine index {mi} out of range"));
+                }
+                st.on_machine[mi] = toks
+                    .map(|t| t.parse().map_err(|_| format!("bad resident id '{t}'")))
+                    .collect::<Result<Vec<u64>, _>>()?;
+            }
+            other => return Err(format!("unknown state key '{other}'")),
+        }
+    }
+    Ok(st)
+}
+
+fn encode_add(task: &Task) -> Vec<u8> {
+    format!("a {} {} {}", task.wcet(), task.period(), task.deadline()).into_bytes()
+}
+
+/// A crash-safe [`IncrementalEngine`]: write-ahead journaling before every
+/// op, periodic atomic compaction, gas-budgeted IO retries.
+///
+/// The public op surface mirrors the inner engine's `_within_with`
+/// methods; the single journaled snapshot slot mirrors the op-trace
+/// protocol (`snapshot` overwrites, `rollback` restores without
+/// consuming).
+pub struct DurableEngine<A: IndexableAdmission> {
+    inner: IncrementalEngine<A>,
+    snap: Option<IncrSnapshot<A>>,
+    journal: Journal,
+    config: JournalConfig,
+    ops_since_compact: u64,
+}
+
+impl<A: IndexableAdmission> DurableEngine<A> {
+    /// Start a fresh journaled engine over `store`, replacing any previous
+    /// journal contents with a single config record.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create<S: MetricsSink>(
+        admission: A,
+        platform: &Platform,
+        alpha: Augmentation,
+        policy_key: &str,
+        opts: DurableOptions,
+        store: Box<dyn Storage>,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<Self, DurableError> {
+        let config = JournalConfig {
+            policy: policy_key.to_string(),
+            alpha_bits: alpha.factor().to_bits(),
+            repack_after: opts.repack_after,
+            compact_every: opts.compact_every,
+            machines: platform
+                .iter()
+                .map(|m| (m.speed().numer(), m.speed().denom()))
+                .collect(),
+        };
+        let journal = Journal::create(store, &[encode_config(&config)], gas, sink)?;
+        Ok(DurableEngine {
+            inner: IncrementalEngine::with_policy(
+                admission,
+                platform,
+                alpha,
+                RepairPolicy::never(),
+            ),
+            snap: None,
+            journal,
+            config,
+            ops_since_compact: 0,
+        })
+    }
+
+    /// The wrapped engine (read-only: mutating it directly would desync
+    /// the journal).
+    pub fn engine(&self) -> &IncrementalEngine<A> {
+        &self.inner
+    }
+
+    /// The journal's self-describing header.
+    pub fn config(&self) -> &JournalConfig {
+        &self.config
+    }
+
+    /// True when a journaled snapshot is held.
+    pub fn has_snapshot(&self) -> bool {
+        self.snap.is_some()
+    }
+
+    /// CRC32 digest of the full observable state (live set, per-machine
+    /// residents in admission order, id allocator, divergence accounting,
+    /// held snapshot). Two engines agree on this digest iff recovery was
+    /// bit-exact — the crash matrix and `scripts/crash_smoke.sh` compare
+    /// it across processes.
+    pub fn state_digest(&self) -> u32 {
+        let mut buf = encode_state("state", &self.inner.export_state());
+        if let Some(snap) = &self.snap {
+            buf.push(0);
+            buf.extend_from_slice(&encode_state(
+                "snapstate",
+                &self.inner.export_snapshot_state(snap),
+            ));
+        }
+        crc32(&buf)
+    }
+
+    /// The current assignment over live tasks (see
+    /// [`IncrementalEngine::assignment`]).
+    pub fn assignment(&self) -> Assignment {
+        self.inner.assignment()
+    }
+
+    /// Journal-then-apply [`IncrementalEngine::add_within_with`].
+    pub fn add<S: MetricsSink>(
+        &mut self,
+        task: Task,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<AddOutcome, DurableError> {
+        gas.tick().map_err(DurableError::Exhausted)?;
+        self.journal.append(&encode_add(&task), gas, sink)?;
+        let out = self
+            .inner
+            .add_within_with(task, &mut Gas::unlimited(), sink)
+            .expect("unlimited gas cannot exhaust");
+        self.after_op(gas, sink)?;
+        Ok(out)
+    }
+
+    /// Journal-then-apply [`IncrementalEngine::remove_within_with`]. A
+    /// remove of a dead id is a no-op and is **not** journaled.
+    pub fn remove<S: MetricsSink>(
+        &mut self,
+        id: TaskId,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<Option<Task>, DurableError> {
+        gas.tick().map_err(DurableError::Exhausted)?;
+        let Some(machine) = self.inner.machine_of(id) else {
+            return Ok(None);
+        };
+        gas.tick_n(self.inner.residents_on(machine) as u64)
+            .map_err(DurableError::Exhausted)?;
+        self.journal
+            .append(format!("r {}", id.raw()).as_bytes(), gas, sink)?;
+        let out = self
+            .inner
+            .remove_within_with(id, &mut Gas::unlimited(), sink)
+            .expect("unlimited gas cannot exhaust");
+        self.after_op(gas, sink)?;
+        Ok(out)
+    }
+
+    /// Journal-then-apply snapshot into the engine's single snapshot slot.
+    pub fn snapshot<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<(), DurableError> {
+        gas.tick_n(self.inner.len() as u64 + 1)
+            .map_err(DurableError::Exhausted)?;
+        self.journal.append(b"s", gas, sink)?;
+        self.snap = Some(self.inner.snapshot_with(sink));
+        self.after_op(gas, sink)
+    }
+
+    /// Journal-then-apply rollback to the held snapshot. Returns `false`
+    /// (without journaling) when no snapshot is held.
+    pub fn rollback<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<bool, DurableError> {
+        if self.snap.is_none() {
+            return Ok(false);
+        }
+        gas.tick_n(self.inner.len() as u64 + 1)
+            .map_err(DurableError::Exhausted)?;
+        self.journal.append(b"b", gas, sink)?;
+        let snap = self.snap.as_ref().expect("checked above");
+        self.inner.rollback_with(snap, sink);
+        self.after_op(gas, sink)?;
+        Ok(true)
+    }
+
+    /// Journal-then-apply an explicit canonical repack.
+    pub fn repack<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<RepackOutcome, DurableError> {
+        let out = self.journaled_repack(gas, sink)?;
+        self.after_op(gas, sink)?;
+        Ok(out)
+    }
+
+    /// Rewrite the journal as `[config, state, snapstate?]` through an
+    /// atomic replace. Safe at any time; automatic every
+    /// [`DurableOptions::compact_every`] ops.
+    pub fn compact<S: MetricsSink>(&mut self, gas: &mut Gas, sink: &S) -> Result<(), DurableError> {
+        gas.tick_n(self.inner.len() as u64 + 1)
+            .map_err(DurableError::Exhausted)?;
+        let mut records = vec![
+            encode_config(&self.config),
+            encode_state("state", &self.inner.export_state()),
+        ];
+        if let Some(snap) = &self.snap {
+            records.push(encode_state(
+                "snapstate",
+                &self.inner.export_snapshot_state(snap),
+            ));
+        }
+        self.journal.rewrite(&records, gas, sink)?;
+        self.ops_since_compact = 0;
+        Ok(())
+    }
+
+    fn journaled_repack<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<RepackOutcome, DurableError> {
+        gas.tick_n((self.inner.len() + self.inner.platform().len()) as u64 + 1)
+            .map_err(DurableError::Exhausted)?;
+        self.journal.append(b"p", gas, sink)?;
+        Ok(self
+            .inner
+            .repack_within_with(&mut Gas::unlimited(), sink)
+            .expect("unlimited gas cannot exhaust"))
+    }
+
+    /// Post-op housekeeping: divergence-triggered journaled repack, then
+    /// cadence-triggered compaction. Both are best-effort under gas (a
+    /// latched meter surfaces on the *next* op, mirroring the inner
+    /// engine's auto-repack contract); IO errors propagate.
+    fn after_op<S: MetricsSink>(&mut self, gas: &mut Gas, sink: &S) -> Result<(), DurableError> {
+        self.ops_since_compact += 1;
+        if self.config.repack_after > 0
+            && self.inner.divergence() >= u64::from(self.config.repack_after)
+        {
+            match self.journaled_repack(gas, sink) {
+                Ok(_) | Err(DurableError::Exhausted(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.config.compact_every > 0 && self.ops_since_compact >= self.config.compact_every {
+            match self.compact(gas, sink) {
+                Ok(()) | Err(DurableError::Exhausted(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_record<S: MetricsSink>(
+        &mut self,
+        index: usize,
+        payload: &[u8],
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<(), RecoverError> {
+        let corrupt = |m: String| RecoverError::Corrupt(format!("record {index}: {m}"));
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| corrupt("payload is not UTF-8".to_string()))?;
+        let mut toks = text.split_whitespace();
+        let m = self.inner.platform().len();
+        match toks.next() {
+            Some("a") => {
+                gas.tick().map_err(RecoverError::Exhausted)?;
+                let (w, p, d) = (
+                    toks.next()
+                        .ok_or_else(|| corrupt("add missing wcet".into()))?,
+                    toks.next()
+                        .ok_or_else(|| corrupt("add missing period".into()))?,
+                    toks.next()
+                        .ok_or_else(|| corrupt("add missing deadline".into()))?,
+                );
+                let task = parse_task(w, p, d).map_err(corrupt)?;
+                self.inner
+                    .add_within_with(task, &mut Gas::unlimited(), sink)
+                    .expect("unlimited gas cannot exhaust");
+            }
+            Some("r") => {
+                let raw = toks
+                    .next()
+                    .ok_or_else(|| corrupt("remove missing id".into()))?;
+                let raw: u64 = raw
+                    .parse()
+                    .map_err(|_| corrupt(format!("bad remove id '{raw}'")))?;
+                let id = TaskId::from_raw(raw);
+                let residents = self
+                    .inner
+                    .machine_of(id)
+                    .map_or(0, |mi| self.inner.residents_on(mi));
+                gas.tick_n(residents as u64 + 1)
+                    .map_err(RecoverError::Exhausted)?;
+                self.inner
+                    .remove_within_with(id, &mut Gas::unlimited(), sink)
+                    .expect("unlimited gas cannot exhaust");
+            }
+            Some("s") => {
+                gas.tick_n(self.inner.len() as u64 + 1)
+                    .map_err(RecoverError::Exhausted)?;
+                self.snap = Some(self.inner.snapshot_with(sink));
+            }
+            Some("b") => {
+                gas.tick_n(self.inner.len() as u64 + 1)
+                    .map_err(RecoverError::Exhausted)?;
+                let snap = self
+                    .snap
+                    .as_ref()
+                    .ok_or_else(|| corrupt("rollback with no snapshot on record".into()))?;
+                self.inner.rollback_with(snap, sink);
+            }
+            Some("p") => {
+                gas.tick_n((self.inner.len() + m) as u64 + 1)
+                    .map_err(RecoverError::Exhausted)?;
+                self.inner
+                    .repack_within_with(&mut Gas::unlimited(), sink)
+                    .expect("unlimited gas cannot exhaust");
+            }
+            Some("state") => {
+                gas.tick_n(self.inner.len() as u64 + 1)
+                    .map_err(RecoverError::Exhausted)?;
+                let st = parse_state(text, m).map_err(corrupt)?;
+                self.inner.import_state(&st).map_err(corrupt)?;
+            }
+            Some("snapstate") => {
+                gas.tick_n(self.inner.len() as u64 + 1)
+                    .map_err(RecoverError::Exhausted)?;
+                let st = parse_state(text, m).map_err(corrupt)?;
+                self.snap = Some(self.inner.snapshot_from_state(&st).map_err(corrupt)?);
+            }
+            Some(other) => return Err(corrupt(format!("unknown record tag '{other}'"))),
+            None => return Err(corrupt("empty record".into())),
+        }
+        Ok(())
+    }
+}
+
+/// Read the config record of a journal without replaying it — the CLI uses
+/// this to pick the admission test before calling [`recover`].
+pub fn peek_config(store: &mut dyn Storage) -> Result<JournalConfig, RecoverError> {
+    let bytes = store
+        .read_all()
+        .map_err(|e| RecoverError::Io(e.to_string()))?;
+    let scan = scan_records(&bytes);
+    let first = scan
+        .payloads
+        .first()
+        .ok_or_else(|| RecoverError::Corrupt("journal holds no intact records".to_string()))?;
+    parse_config(first).map_err(RecoverError::Corrupt)
+}
+
+/// Recover a [`DurableEngine`] from a (possibly crashed) journal: truncate
+/// any torn/corrupt tail, rebuild platform + augmentation from the config
+/// record, and replay every surviving record. The result is bit-identical
+/// to the engine that wrote the journal, up to the last fully-synced
+/// record.
+///
+/// `expected_policy` guards against replaying a journal with the wrong
+/// admission test — the caller dispatches on [`peek_config`] first.
+pub fn recover<A, S>(
+    admission: A,
+    store: Box<dyn Storage>,
+    expected_policy: &str,
+    gas: &mut Gas,
+    sink: &S,
+) -> Result<(DurableEngine<A>, RecoveryReport), RecoverError>
+where
+    A: IndexableAdmission,
+    S: MetricsSink,
+{
+    let (journal, payloads, tail) = Journal::open(store, gas, sink)?;
+    let first = payloads
+        .first()
+        .ok_or_else(|| RecoverError::Corrupt("journal holds no intact records".to_string()))?;
+    let config = parse_config(first).map_err(RecoverError::Corrupt)?;
+    if config.policy != expected_policy {
+        return Err(RecoverError::Corrupt(format!(
+            "journal was written for policy '{}', not '{expected_policy}'",
+            config.policy
+        )));
+    }
+    let platform = config.platform().map_err(RecoverError::Corrupt)?;
+    let alpha = config.alpha().map_err(RecoverError::Corrupt)?;
+    let mut eng = DurableEngine {
+        inner: IncrementalEngine::with_policy(admission, &platform, alpha, RepairPolicy::never()),
+        snap: None,
+        journal,
+        config,
+        ops_since_compact: 0,
+    };
+    let mut replayed = 0u64;
+    for (index, payload) in payloads.iter().enumerate().skip(1) {
+        eng.apply_record(index, payload, gas, sink)?;
+        replayed += 1;
+    }
+    if S::ENABLED {
+        sink.counter_add(rmetrics::RECOVER_RECORDS_REPLAYED, replayed);
+    }
+    eng.ops_since_compact = replayed;
+    Ok((
+        eng,
+        RecoveryReport {
+            records_replayed: replayed,
+            truncated_records: tail.truncated_records,
+            truncated_bytes: tail.truncated_bytes,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::EdfAdmission;
+    use hetfeas_robust::journal::MemStorage;
+
+    fn platform() -> Platform {
+        Platform::from_int_speeds([1, 2]).expect("valid platform")
+    }
+
+    fn fresh(store: &MemStorage) -> DurableEngine<EdfAdmission> {
+        DurableEngine::create(
+            EdfAdmission,
+            &platform(),
+            Augmentation::NONE,
+            "edf",
+            DurableOptions {
+                repack_after: 0,
+                compact_every: 0,
+            },
+            Box::new(store.clone()),
+            &mut Gas::unlimited(),
+            &(),
+        )
+        .expect("create")
+    }
+
+    #[test]
+    fn config_record_round_trips() {
+        let cfg = JournalConfig {
+            policy: "rms-ll".to_string(),
+            alpha_bits: (std::f64::consts::SQRT_2 + 1.0).to_bits(),
+            repack_after: 17,
+            compact_every: 42,
+            machines: vec![(1, 1), (5, 2), (7, 3)],
+        };
+        let parsed = parse_config(&encode_config(&cfg)).expect("parses");
+        assert_eq!(parsed, cfg);
+        assert_eq!(
+            parsed.alpha().expect("valid").factor().to_bits(),
+            cfg.alpha_bits
+        );
+        assert_eq!(parsed.platform().expect("valid").len(), 3);
+    }
+
+    #[test]
+    fn state_record_round_trips_through_import() {
+        let store = MemStorage::new();
+        let mut eng = fresh(&store);
+        let mut gas = Gas::unlimited();
+        for (w, p) in [(3u64, 10u64), (9, 10), (1, 4), (2, 5)] {
+            eng.add(Task::implicit(w, p).expect("valid"), &mut gas, &())
+                .expect("add");
+        }
+        let id = eng.engine().live_ids()[1];
+        eng.remove(id, &mut gas, &()).expect("remove");
+
+        let exported = eng.engine().export_state();
+        let text = String::from_utf8(encode_state("state", &exported)).expect("UTF-8");
+        let parsed = parse_state(&text, 2).expect("parses");
+        assert_eq!(parsed, exported);
+
+        let mut other = fresh(&MemStorage::new());
+        other.inner.import_state(&parsed).expect("imports");
+        assert_eq!(other.state_digest(), eng.state_digest());
+        for mi in 0..2 {
+            assert_eq!(
+                other.engine().load_on(mi).to_bits(),
+                eng.engine().load_on(mi).to_bits(),
+                "machine {mi} load bit-exact"
+            );
+        }
+    }
+
+    #[test]
+    fn recover_reproduces_a_plain_run_bit_exactly() {
+        let store = MemStorage::new();
+        let mut eng = fresh(&store);
+        let mut gas = Gas::unlimited();
+        let a = eng
+            .add(Task::implicit(9, 10).expect("valid"), &mut gas, &())
+            .expect("add");
+        eng.add(Task::implicit(4, 10).expect("valid"), &mut gas, &())
+            .expect("add");
+        eng.snapshot(&mut gas, &()).expect("snapshot");
+        eng.add(Task::implicit(1, 2).expect("valid"), &mut gas, &())
+            .expect("add");
+        eng.rollback(&mut gas, &()).expect("rollback");
+        eng.remove(a.id().expect("admitted"), &mut gas, &())
+            .expect("remove");
+        eng.repack(&mut gas, &()).expect("repack");
+
+        let (rec, report) =
+            recover(EdfAdmission, Box::new(store), "edf", &mut gas, &()).expect("recovers");
+        assert_eq!(report.truncated_records, 0);
+        assert_eq!(report.records_replayed, 7);
+        assert_eq!(rec.state_digest(), eng.state_digest());
+        assert_eq!(rec.assignment(), eng.assignment());
+        assert_eq!(rec.has_snapshot(), eng.has_snapshot());
+    }
+
+    #[test]
+    fn recovery_survives_compaction() {
+        let store = MemStorage::new();
+        let mut eng = fresh(&store);
+        let mut gas = Gas::unlimited();
+        for i in 0..6u64 {
+            eng.add(Task::implicit(1 + i % 3, 10).expect("valid"), &mut gas, &())
+                .expect("add");
+        }
+        eng.snapshot(&mut gas, &()).expect("snapshot");
+        eng.compact(&mut gas, &()).expect("compact");
+        eng.add(Task::implicit(2, 7).expect("valid"), &mut gas, &())
+            .expect("add");
+        eng.rollback(&mut gas, &()).expect("rollback");
+
+        let (rec, _) =
+            recover(EdfAdmission, Box::new(store), "edf", &mut gas, &()).expect("recovers");
+        assert_eq!(rec.state_digest(), eng.state_digest());
+        assert_eq!(rec.assignment(), eng.assignment());
+    }
+
+    #[test]
+    fn wrong_policy_is_unrecoverable() {
+        let store = MemStorage::new();
+        let mut eng = fresh(&store);
+        let mut gas = Gas::unlimited();
+        eng.add(Task::implicit(1, 2).expect("valid"), &mut gas, &())
+            .expect("add");
+        let err = recover(EdfAdmission, Box::new(store), "rms-ll", &mut gas, &())
+            .map(|_| ())
+            .expect_err("policy mismatch");
+        assert!(matches!(err, RecoverError::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn garbage_is_corrupt_not_a_panic() {
+        let store = MemStorage::with_bytes(b"not a journal at all".to_vec());
+        let mut gas = Gas::unlimited();
+        let err = recover(EdfAdmission, Box::new(store.clone()), "edf", &mut gas, &())
+            .map(|_| ())
+            .expect_err("garbage rejected");
+        assert!(matches!(err, RecoverError::Corrupt(_)), "{err:?}");
+        let err = peek_config(&mut store.clone()).expect_err("peek rejects too");
+        assert!(matches!(err, RecoverError::Corrupt(_)), "{err:?}");
+    }
+}

@@ -67,6 +67,13 @@ impl TaskId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Reconstruct a handle from a raw id, e.g. when replaying a journal
+    /// or an op trace that recorded [`TaskId::raw`] values. The caller is
+    /// responsible for pairing it with the engine that allocated it.
+    pub fn from_raw(raw: u64) -> TaskId {
+        TaskId(raw)
+    }
 }
 
 /// When the incremental engine falls back to a full canonical repack.
@@ -194,6 +201,34 @@ impl<A: IndexableAdmission> Clone for Core<A> {
 /// (caught in debug builds by shape assertions).
 pub struct IncrSnapshot<A: IndexableAdmission> {
     core: Core<A>,
+}
+
+/// Portable image of an engine's observable state, sufficient to rebuild
+/// the engine **bit-exactly**: per-machine resident lists are kept in
+/// admission order, so re-folding them with
+/// [`IndexableAdmission::fold_state`] (defined as the same left-to-right
+/// arithmetic as repeated admits) reproduces the identical `f64` machine
+/// states. Produced by [`IncrementalEngine::export_state`], consumed by
+/// [`IncrementalEngine::import_state`] — this is what the durability
+/// layer's snapshot records serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineState {
+    /// Live `(raw id, task)` pairs in insertion order (the canonical
+    /// tie-breaking order). Tombstones are not represented — an imported
+    /// engine starts with a compacted insertion log, which is observably
+    /// identical.
+    pub entries: Vec<(u64, Task)>,
+    /// Resident raw ids per **original** platform machine index, in
+    /// admission order.
+    pub on_machine: Vec<Vec<u64>>,
+    /// Next id the allocator would hand out.
+    pub next_id: u64,
+    /// Canonical-breaking ops since the last repack (attempt).
+    pub divergence: u64,
+    /// Whether the assignment provably equals from-scratch FFD.
+    pub canonical: bool,
+    /// The canonical order's append threshold (exact rational), if any.
+    pub frontier: Option<Ratio>,
 }
 
 /// Online first-fit admission over a fixed platform and augmentation.
@@ -381,6 +416,13 @@ impl<A: IndexableAdmission> IncrementalEngine<A> {
     pub fn load_on(&self, machine: usize) -> f64 {
         let slot = self.slot_of_machine[machine];
         self.admission().load(&self.core.states[slot])
+    }
+
+    /// Number of tasks resident on original machine index `machine` —
+    /// callers that must pre-pay a removal's gas (the local repair re-fold
+    /// is `O(k)`) size the charge with this.
+    pub fn residents_on(&self, machine: usize) -> usize {
+        self.core.on_slot[self.slot_of_machine[machine]].len()
     }
 
     /// Admit `task` onto the first (slowest) machine that accepts it —
@@ -661,6 +703,136 @@ impl<A: IndexableAdmission> IncrementalEngine<A> {
             sink.counter_add(metrics::INCR_ROLLBACKS, 1);
         }
         self.core = snap.core.clone();
+    }
+
+    /// Export the observable state as a portable [`EngineState`].
+    pub fn export_state(&self) -> EngineState {
+        self.state_of_core(&self.core)
+    }
+
+    /// [`Self::export_state`] for a snapshot taken from this engine.
+    pub fn export_snapshot_state(&self, snap: &IncrSnapshot<A>) -> EngineState {
+        self.state_of_core(&snap.core)
+    }
+
+    /// Replace the engine's state with an imported [`EngineState`] —
+    /// validated, then rebuilt with the exact arithmetic of the live
+    /// paths, so the result is bit-identical to the exporting engine.
+    /// On `Err` the engine is unchanged.
+    pub fn import_state(&mut self, state: &EngineState) -> Result<(), String> {
+        self.core_from_state(state).map(|core| self.core = core)
+    }
+
+    /// Build a rollback target directly from an imported state (the
+    /// durability layer restores journaled snapshots this way).
+    pub fn snapshot_from_state(&self, state: &EngineState) -> Result<IncrSnapshot<A>, String> {
+        self.core_from_state(state)
+            .map(|core| IncrSnapshot { core })
+    }
+
+    fn state_of_core(&self, core: &Core<A>) -> EngineState {
+        EngineState {
+            entries: core
+                .live
+                .iter()
+                .filter_map(|e| e.as_ref().map(|&(id, t)| (id.0, t)))
+                .collect(),
+            on_machine: self.machine_order.iter().enumerate().fold(
+                vec![Vec::new(); self.platform.len()],
+                |mut acc, (slot, &mi)| {
+                    acc[mi] = core.on_slot[slot].clone();
+                    acc
+                },
+            ),
+            next_id: core.next_id,
+            divergence: core.divergence,
+            canonical: core.canonical,
+            frontier: core.frontier,
+        }
+    }
+
+    fn core_from_state(&self, state: &EngineState) -> Result<Core<A>, String> {
+        let m = self.platform.len();
+        if state.on_machine.len() != m {
+            return Err(format!(
+                "state has {} machines, engine platform has {m}",
+                state.on_machine.len()
+            ));
+        }
+        let mut live = Vec::with_capacity(state.entries.len());
+        let mut index = HashMap::with_capacity(state.entries.len());
+        for (live_idx, &(id, task)) in state.entries.iter().enumerate() {
+            if id >= state.next_id {
+                return Err(format!("task id {id} not below next id {}", state.next_id));
+            }
+            live.push(Some((TaskId(id), task)));
+            // `slot` is patched below from the resident lists.
+            if index.insert(id, Entry { live_idx, slot: 0 }).is_some() {
+                return Err(format!("duplicate task id {id}"));
+            }
+        }
+        let mut on_slot = vec![Vec::new(); m];
+        let mut placed = 0usize;
+        for (mi, residents) in state.on_machine.iter().enumerate() {
+            let slot = self.slot_of_machine[mi];
+            for &id in residents {
+                let entry = index
+                    .get_mut(&id)
+                    .ok_or_else(|| format!("machine {mi} lists unknown task id {id}"))?;
+                entry.slot = slot;
+                placed += 1;
+            }
+            on_slot[slot] = residents.clone();
+        }
+        if placed != state.entries.len() {
+            return Err(format!(
+                "{} tasks in the insertion log but {placed} resident placements",
+                state.entries.len()
+            ));
+        }
+        let mut seen = std::collections::HashSet::with_capacity(placed);
+        for residents in &on_slot {
+            for &id in residents {
+                if !seen.insert(id) {
+                    return Err(format!("task id {id} resident on two machines"));
+                }
+            }
+        }
+        let admission = self.ff.admission();
+        let states: Vec<A::State> = on_slot
+            .iter()
+            .zip(&self.speeds)
+            .map(|(residents, &sp)| {
+                admission.fold_state(
+                    residents.iter().map(|id| {
+                        &live[index[id].live_idx]
+                            .as_ref()
+                            .expect("imported entries are live")
+                            .1
+                    }),
+                    sp,
+                )
+            })
+            .collect();
+        let hints: Vec<f64> = states
+            .iter()
+            .zip(&self.speeds)
+            .map(|(st, &sp)| admission.residual_hint(st, sp))
+            .collect();
+        let mut tree = MaxTree::default();
+        tree.rebuild(&hints);
+        Ok(Core {
+            live_count: state.entries.len(),
+            live,
+            index,
+            on_slot,
+            states,
+            tree,
+            next_id: state.next_id,
+            divergence: state.divergence,
+            canonical: state.canonical,
+            frontier: state.frontier,
+        })
     }
 
     /// Drop tombstoned entries from the insertion log, re-indexing

@@ -24,6 +24,11 @@
 //! * [`incremental`] — [`IncrementalEngine`], the online form of the same
 //!   test: `O(log m)` adds, local-repair removes, snapshot/rollback for
 //!   speculative admission, and a divergence-counted canonical repack.
+//! * [`durable`] — [`DurableEngine`], a crash-safe wrapper around the
+//!   incremental engine: every op is appended to a CRC32-framed
+//!   write-ahead journal before it is applied, compaction rewrites the
+//!   journal atomically, and [`durable::recover`] replays a (possibly
+//!   torn) journal back to the bit-identical in-memory engine.
 //! * [`metrics`] — metric names for the instrumented paths (`ff.*`,
 //!   `engine.*`, `alpha.*`). Every hot-path entry point has a `_with`
 //!   variant generic over [`hetfeas_obs::MetricsSink`]; passing `&()`
@@ -42,6 +47,7 @@ pub mod admission;
 pub mod assignment;
 pub mod constrained;
 pub mod degrade;
+pub mod durable;
 pub mod engine;
 pub mod exact;
 pub mod exact_rational;
@@ -62,6 +68,10 @@ pub use constrained::{DemandState, DensityAdmission, EdfDemandAdmission};
 pub use degrade::{
     exact_partition_edf_degraded, lp_feasible_degraded, LadderReport, LadderVerdict,
 };
+pub use durable::{
+    peek_config, recover, DurableEngine, DurableError, DurableOptions, JournalConfig, RecoverError,
+    RecoveryReport,
+};
 pub use engine::{FirstFitEngine, IndexableAdmission};
 pub use exact::{
     exact_partition, exact_partition_edf, exact_partition_rms, exact_partition_within, ExactOutcome,
@@ -73,7 +83,7 @@ pub use first_fit::{
     min_feasible_alpha_within,
 };
 pub use incremental::{
-    AddOutcome, IncrSnapshot, IncrementalEngine, RepackOutcome, RepairPolicy, TaskId,
+    AddOutcome, EngineState, IncrSnapshot, IncrementalEngine, RepackOutcome, RepairPolicy, TaskId,
 };
 pub use instrumented::{first_fit_instrumented, ScanStats};
 pub use lp_rounding::lp_rounding_partition;

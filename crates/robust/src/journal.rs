@@ -1,0 +1,917 @@
+//! Crash-safe journaling primitives: checksummed record framing, a
+//! pluggable [`Storage`] backend with deterministic IO fault injection, and
+//! budgeted retry-with-backoff for transient errors.
+//!
+//! A journal file is a flat sequence of records, each framed as
+//!
+//! ```text
+//! ┌────────────┬────────────┬────────────────┐
+//! │ len (u32)  │ crc32(u32) │ payload (len)  │   both integers little-endian
+//! └────────────┴────────────┴────────────────┘
+//! ```
+//!
+//! The CRC covers the payload only; the length field is validated against
+//! the remaining file size (and [`MAX_RECORD_LEN`]) so a corrupted length
+//! cannot trigger a huge allocation. [`scan_records`] walks the framing and
+//! stops at the **first** record whose length or checksum fails — after a
+//! torn write nothing past the damage can be trusted, because the framing
+//! itself is gone. [`Journal::open`] truncates the damaged tail in place
+//! (counted under `recover.truncated_records` / `recover.truncated_bytes`)
+//! so a recovered journal is clean for subsequent appends.
+//!
+//! Durability protocol (used by `hetfeas_partition::durable`):
+//!
+//! * [`Journal::append`] writes one framed record and then issues a
+//!   durability barrier (`fsync`) — write-ahead logging appends *before*
+//!   applying, so an op acknowledged to the caller is always recoverable;
+//! * [`Journal::rewrite`] replaces the whole file through a temp-file +
+//!   atomic-rename ([`atomic_write`]) — a crash during compaction leaves
+//!   either the old journal or the new one, never a mix;
+//! * every IO call runs under [`with_retries`]: transient errors
+//!   (`Interrupted`/`WouldBlock`/`TimedOut`) are retried with capped
+//!   exponential backoff whose cost is charged to the caller's [`Gas`], so
+//!   a retry loop can never outlive its budget.
+//!
+//! [`FaultFs`] wraps any [`Storage`] with a deterministic failpoint script
+//! (crash-after-N-bytes, short writes, fsync failures, transient errors) —
+//! the crash-matrix property tests and `scripts/crash_smoke.sh` drive every
+//! crash point through it.
+
+use crate::budget::{Exhaustion, Gas};
+use crate::metrics;
+use hetfeas_obs::MetricsSink;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Upper bound on a single record's payload, guarding `scan_records`
+/// against allocating for a corrupted length field.
+pub const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+/// Bytes of framing before each payload (length + checksum).
+pub const RECORD_HEADER_LEN: usize = 8;
+
+/// Retries attempted per IO call beyond the first try.
+pub const MAX_RETRIES: u32 = 8;
+
+/// Cap on the per-retry backoff in milliseconds.
+pub const MAX_BACKOFF_MS: u64 = 64;
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Frame one payload as a journal record (length + CRC + payload).
+pub fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Result of walking a journal byte stream's record framing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scan {
+    /// Payloads of the intact record prefix, in file order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Bytes covered by intact records (the safe truncation point).
+    pub valid_len: u64,
+    /// Bytes past `valid_len` — a torn or corrupt tail, 0 when clean.
+    pub truncated_bytes: u64,
+    /// Description of the first damage found, `None` when clean.
+    pub damage: Option<String>,
+}
+
+/// Decode the longest intact record prefix of `bytes`. Never panics:
+/// corrupted lengths and checksums end the walk with a [`Scan::damage`]
+/// diagnostic instead.
+pub fn scan_records(bytes: &[u8]) -> Scan {
+    let mut payloads = Vec::new();
+    let mut pos = 0usize;
+    let mut damage = None;
+    while pos < bytes.len() {
+        if bytes.len() - pos < RECORD_HEADER_LEN {
+            damage = Some(format!("torn record header at byte {pos}"));
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN as usize || bytes.len() - pos - RECORD_HEADER_LEN < len {
+            damage = Some(format!(
+                "torn record at byte {pos}: length {len} exceeds remaining file"
+            ));
+            break;
+        }
+        let payload = &bytes[pos + RECORD_HEADER_LEN..pos + RECORD_HEADER_LEN + len];
+        if crc32(payload) != crc {
+            damage = Some(format!("checksum mismatch in record at byte {pos}"));
+            break;
+        }
+        payloads.push(payload.to_vec());
+        pos += RECORD_HEADER_LEN + len;
+    }
+    Scan {
+        payloads,
+        valid_len: pos as u64,
+        truncated_bytes: (bytes.len() - pos) as u64,
+        damage,
+    }
+}
+
+/// Byte-level backend a [`Journal`] writes through. Object-safe so the CLI
+/// can swap a [`FileStorage`] for a fault-injected wrapper at runtime.
+pub trait Storage {
+    /// The full current contents ([] for a not-yet-created file).
+    fn read_all(&mut self) -> io::Result<Vec<u8>>;
+    /// Append bytes at the end.
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Durability barrier: appended bytes survive a crash after this.
+    fn sync(&mut self) -> io::Result<()>;
+    /// Shrink to `len` bytes (used to drop a damaged tail).
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+    /// Atomically replace the whole contents — after a crash at any point
+    /// the file holds either the old bytes or the new bytes, never a mix.
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()>;
+}
+
+/// Write `bytes` to `path` crash-consistently: write a `.tmp` sibling,
+/// fsync it, atomically rename it over `path`, then best-effort fsync the
+/// directory. A kill at any point leaves either the old file or the new
+/// file, never a truncated mix.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        }) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Real-filesystem [`Storage`]: appends through a kept-open handle (so
+/// `sync` covers them), replaces via [`atomic_write`].
+pub struct FileStorage {
+    path: PathBuf,
+    file: Option<File>,
+}
+
+impl FileStorage {
+    /// Storage backed by `path` (created on first append/replace).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FileStorage {
+            path: path.into(),
+            file: None,
+        }
+    }
+
+    /// The backing path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn handle(&mut self) -> io::Result<&mut File> {
+        if self.file.is_none() {
+            self.file = Some(
+                OpenOptions::new()
+                    .append(true)
+                    .create(true)
+                    .open(&self.path)?,
+            );
+        }
+        Ok(self.file.as_mut().expect("just opened"))
+    }
+}
+
+impl Storage for FileStorage {
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        match std::fs::read(&self.path) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.handle()?.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.handle()?.sync_data()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.handle()?.set_len(len)?;
+        self.handle()?.sync_data()
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        // Close the append handle so the rename swaps cleanly everywhere.
+        self.file = None;
+        atomic_write(&self.path, bytes)
+    }
+}
+
+/// In-memory [`Storage`] for tests. Clones share one buffer, so a test can
+/// keep a handle to inspect (or corrupt) the bytes a journal wrote through
+/// another clone.
+#[derive(Clone, Default)]
+pub struct MemStorage {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemStorage {
+    /// Fresh empty storage.
+    pub fn new() -> Self {
+        MemStorage::default()
+    }
+
+    /// Storage pre-loaded with `bytes`.
+    pub fn with_bytes(bytes: Vec<u8>) -> Self {
+        MemStorage {
+            buf: Arc::new(Mutex::new(bytes)),
+        }
+    }
+
+    /// Copy of the current contents.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.buf.lock().expect("mem storage lock").clone()
+    }
+
+    /// Overwrite the contents directly (test-side corruption).
+    pub fn set_bytes(&self, bytes: Vec<u8>) {
+        *self.buf.lock().expect("mem storage lock") = bytes;
+    }
+}
+
+impl Storage for MemStorage {
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        Ok(self.bytes())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.buf
+            .lock()
+            .expect("mem storage lock")
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.buf
+            .lock()
+            .expect("mem storage lock")
+            .truncate(len as usize);
+        Ok(())
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.set_bytes(bytes.to_vec());
+        Ok(())
+    }
+}
+
+/// Deterministic failpoint script for [`FaultFs`]. All counters are
+/// cumulative over the wrapper's lifetime; `None`/`0` disables a knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultScript {
+    /// Simulate a process kill once this many payload bytes have been
+    /// written: the write in flight persists only up to the limit, and
+    /// every later operation fails (the "process" is dead).
+    pub crash_after_bytes: Option<u64>,
+    /// Fail the first N appends with a *transient* error (`Interrupted`,
+    /// nothing written) — exercises the retry-with-backoff path.
+    pub transient_errors: u32,
+    /// Fail the Nth append (1-based) as a short write: half the bytes land,
+    /// then a non-transient error. Leaves a torn record for recovery.
+    pub short_write_at: Option<u64>,
+    /// Fail the Nth sync (1-based) with a transient error.
+    pub fail_sync_at: Option<u64>,
+}
+
+impl FaultScript {
+    /// Read the failpoint knobs from `HETFEAS_JOURNAL_CRASH_AT`,
+    /// `HETFEAS_JOURNAL_TRANSIENT`, `HETFEAS_JOURNAL_SHORT_WRITE_AT` and
+    /// `HETFEAS_JOURNAL_FAIL_SYNC_AT` (unset/unparsable = disabled).
+    pub fn from_env() -> Self {
+        fn num<T: std::str::FromStr>(key: &str) -> Option<T> {
+            std::env::var(key).ok()?.parse().ok()
+        }
+        FaultScript {
+            crash_after_bytes: num("HETFEAS_JOURNAL_CRASH_AT"),
+            transient_errors: num("HETFEAS_JOURNAL_TRANSIENT").unwrap_or(0),
+            short_write_at: num("HETFEAS_JOURNAL_SHORT_WRITE_AT"),
+            fail_sync_at: num("HETFEAS_JOURNAL_FAIL_SYNC_AT"),
+        }
+    }
+
+    /// True when no failpoint is armed.
+    pub fn is_noop(&self) -> bool {
+        *self == FaultScript::default()
+    }
+}
+
+fn injected(kind: io::ErrorKind, what: &str) -> io::Error {
+    io::Error::new(kind, format!("injected fault: {what}"))
+}
+
+/// [`Storage`] wrapper that injects IO faults per a [`FaultScript`] —
+/// deterministic, so a crash matrix can enumerate every failure point.
+pub struct FaultFs<S: Storage> {
+    inner: S,
+    script: FaultScript,
+    written: u64,
+    appends: u64,
+    syncs: u64,
+    crashed: bool,
+}
+
+impl<S: Storage> FaultFs<S> {
+    /// Wrap `inner` with the given failpoint script.
+    pub fn new(inner: S, script: FaultScript) -> Self {
+        FaultFs {
+            inner,
+            script,
+            written: 0,
+            appends: 0,
+            syncs: 0,
+            crashed: false,
+        }
+    }
+
+    /// True once the crash failpoint has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Unwrap the inner storage (for post-crash inspection).
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn alive(&self) -> io::Result<()> {
+        if self.crashed {
+            Err(injected(io::ErrorKind::Other, "process crashed"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Bytes the crash budget still allows, `u64::MAX` when unarmed.
+    fn crash_budget(&self) -> u64 {
+        self.script
+            .crash_after_bytes
+            .map_or(u64::MAX, |limit| limit.saturating_sub(self.written))
+    }
+}
+
+impl<S: Storage> Storage for FaultFs<S> {
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.alive()?;
+        self.inner.read_all()
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.alive()?;
+        self.appends += 1;
+        if self.script.transient_errors > 0 {
+            self.script.transient_errors -= 1;
+            return Err(injected(io::ErrorKind::Interrupted, "transient append"));
+        }
+        if self.script.short_write_at == Some(self.appends) {
+            let half = bytes.len() / 2;
+            self.inner.append(&bytes[..half])?;
+            self.written += half as u64;
+            return Err(injected(io::ErrorKind::WriteZero, "short write"));
+        }
+        let budget = self.crash_budget();
+        if (bytes.len() as u64) > budget {
+            self.inner.append(&bytes[..budget as usize])?;
+            self.written += budget;
+            self.crashed = true;
+            return Err(injected(io::ErrorKind::Other, "crash mid-append"));
+        }
+        self.inner.append(bytes)?;
+        self.written += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.alive()?;
+        self.syncs += 1;
+        if self.script.fail_sync_at == Some(self.syncs) {
+            return Err(injected(io::ErrorKind::Interrupted, "transient fsync"));
+        }
+        self.inner.sync()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.alive()?;
+        self.inner.truncate(len)
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.alive()?;
+        // Rename is all-or-nothing: if the crash budget cannot cover the
+        // whole new file, the temp file dies before the rename and the old
+        // contents survive untouched.
+        if (bytes.len() as u64) > self.crash_budget() {
+            self.written = self.script.crash_after_bytes.expect("budget is finite");
+            self.crashed = true;
+            return Err(injected(io::ErrorKind::Other, "crash mid-replace"));
+        }
+        self.inner.replace(bytes)?;
+        self.written += bytes.len() as u64;
+        Ok(())
+    }
+}
+
+/// Why a journal operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// An IO error survived the retry budget (or was not retryable).
+    Io(String),
+    /// The gas budget ran out (before or during backoff).
+    Exhausted(Exhaustion),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(m) => write!(f, "journal IO error: {m}"),
+            JournalError::Exhausted(e) => write!(f, "journal budget exhausted ({})", e.as_str()),
+        }
+    }
+}
+
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Run `op`, retrying transient IO errors with capped exponential backoff
+/// (1, 2, 4, … up to [`MAX_BACKOFF_MS`] ms, at most [`MAX_RETRIES`]
+/// retries). Each backoff millisecond is charged to `gas`, so a bounded
+/// budget bounds total retry latency — retries can stall, never hang.
+pub fn with_retries<T, S: MetricsSink>(
+    gas: &mut Gas,
+    sink: &S,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> Result<T, JournalError> {
+    let mut backoff_ms = 1u64;
+    let mut attempt = 0u32;
+    loop {
+        gas.tick().map_err(JournalError::Exhausted)?;
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(&e) && attempt < MAX_RETRIES => {
+                attempt += 1;
+                if S::ENABLED {
+                    sink.counter_add(metrics::JOURNAL_RETRIES, 1);
+                }
+                gas.tick_n(backoff_ms).map_err(JournalError::Exhausted)?;
+                std::thread::sleep(Duration::from_millis(backoff_ms));
+                backoff_ms = (backoff_ms * 2).min(MAX_BACKOFF_MS);
+            }
+            Err(e) => {
+                if S::ENABLED {
+                    sink.counter_add(metrics::JOURNAL_IO_ERRORS, 1);
+                }
+                return Err(JournalError::Io(e.to_string()));
+            }
+        }
+    }
+}
+
+/// What [`Journal::open`] found at the end of the file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailReport {
+    /// Intact records read.
+    pub records: u64,
+    /// Damaged tail segments truncated (0 or 1: the framing past the first
+    /// bad checksum is unreadable, so damage is counted once).
+    pub truncated_records: u64,
+    /// Bytes dropped by the truncation.
+    pub truncated_bytes: u64,
+}
+
+/// A write-ahead journal of CRC-framed records over a [`Storage`].
+pub struct Journal {
+    store: Box<dyn Storage>,
+}
+
+impl Journal {
+    /// Create a journal whose initial contents are exactly `payloads`
+    /// (written atomically, replacing anything already in the store).
+    pub fn create<S: MetricsSink>(
+        store: Box<dyn Storage>,
+        payloads: &[Vec<u8>],
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<Journal, JournalError> {
+        let mut journal = Journal { store };
+        journal.write_all_records(payloads, gas, sink)?;
+        Ok(journal)
+    }
+
+    /// Open an existing journal: read everything, truncate any torn or
+    /// corrupt tail in place, and return the intact payloads. The damage
+    /// counters go to `recover.truncated_records` / `.truncated_bytes`.
+    pub fn open<S: MetricsSink>(
+        mut store: Box<dyn Storage>,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<(Journal, Vec<Vec<u8>>, TailReport), JournalError> {
+        let bytes = with_retries(gas, sink, || store.read_all())?;
+        let scan = scan_records(&bytes);
+        let mut tail = TailReport {
+            records: scan.payloads.len() as u64,
+            truncated_records: 0,
+            truncated_bytes: scan.truncated_bytes,
+        };
+        // Only truncate when an intact prefix exists — a file with no
+        // valid record at all is unrecoverable, and wiping it would
+        // destroy the evidence without gaining anything.
+        if scan.truncated_bytes > 0 && scan.valid_len > 0 {
+            let valid = scan.valid_len;
+            with_retries(gas, sink, || store.truncate(valid))?;
+            tail.truncated_records = 1;
+            if S::ENABLED {
+                sink.counter_add(metrics::RECOVER_TRUNCATED_RECORDS, 1);
+                sink.counter_add(metrics::RECOVER_TRUNCATED_BYTES, scan.truncated_bytes);
+            }
+        }
+        Ok((Journal { store }, scan.payloads, tail))
+    }
+
+    /// Append one record and make it durable (fsync). Write-ahead rule:
+    /// call this *before* applying the op it describes.
+    pub fn append<S: MetricsSink>(
+        &mut self,
+        payload: &[u8],
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<(), JournalError> {
+        let record = encode_record(payload);
+        with_retries(gas, sink, || self.store.append(&record))?;
+        with_retries(gas, sink, || self.store.sync())?;
+        if S::ENABLED {
+            sink.counter_add(metrics::JOURNAL_APPENDS, 1);
+            sink.counter_add(metrics::JOURNAL_BYTES_WRITTEN, record.len() as u64);
+            sink.counter_add(metrics::JOURNAL_SYNCS, 1);
+        }
+        Ok(())
+    }
+
+    /// Compaction commit: atomically replace the whole journal with the
+    /// given records (temp-file + rename underneath a [`FileStorage`]).
+    pub fn rewrite<S: MetricsSink>(
+        &mut self,
+        payloads: &[Vec<u8>],
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<(), JournalError> {
+        self.write_all_records(payloads, gas, sink)?;
+        if S::ENABLED {
+            sink.counter_add(metrics::JOURNAL_COMPACTIONS, 1);
+        }
+        Ok(())
+    }
+
+    fn write_all_records<S: MetricsSink>(
+        &mut self,
+        payloads: &[Vec<u8>],
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<(), JournalError> {
+        let mut bytes = Vec::new();
+        for p in payloads {
+            bytes.extend_from_slice(&encode_record(p));
+        }
+        with_retries(gas, sink, || self.store.replace(&bytes))?;
+        if S::ENABLED {
+            sink.counter_add(metrics::JOURNAL_BYTES_WRITTEN, bytes.len() as u64);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use hetfeas_obs::MemorySink;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The classic CRC-32 check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_round_trip_through_scan() {
+        let mut bytes = Vec::new();
+        let payloads: Vec<&[u8]> = vec![b"alpha", b"", b"gamma gamma"];
+        for p in &payloads {
+            bytes.extend_from_slice(&encode_record(p));
+        }
+        let scan = scan_records(&bytes);
+        assert_eq!(scan.damage, None);
+        assert_eq!(scan.truncated_bytes, 0);
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        assert_eq!(
+            scan.payloads,
+            payloads.iter().map(|p| p.to_vec()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scan_stops_at_a_torn_tail() {
+        let mut bytes = encode_record(b"keep me");
+        let keep = bytes.len();
+        bytes.extend_from_slice(&encode_record(b"torn")[..6]);
+        let scan = scan_records(&bytes);
+        assert_eq!(scan.payloads, vec![b"keep me".to_vec()]);
+        assert_eq!(scan.valid_len, keep as u64);
+        assert_eq!(scan.truncated_bytes, (bytes.len() - keep) as u64);
+        assert!(scan.damage.is_some());
+    }
+
+    #[test]
+    fn scan_stops_at_a_checksum_mismatch() {
+        let mut bytes = encode_record(b"good");
+        let keep = bytes.len();
+        bytes.extend_from_slice(&encode_record(b"flipped"));
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let scan = scan_records(&bytes);
+        assert_eq!(scan.payloads.len(), 1);
+        assert_eq!(scan.valid_len, keep as u64);
+        assert!(scan.damage.expect("damage").contains("checksum"));
+    }
+
+    #[test]
+    fn scan_rejects_absurd_lengths_without_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let scan = scan_records(&bytes);
+        assert!(scan.payloads.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.damage.is_some());
+    }
+
+    #[test]
+    fn journal_append_open_round_trips_and_counts() {
+        let store = MemStorage::new();
+        let sink = MemorySink::new();
+        let mut gas = Gas::unlimited();
+        let mut j = Journal::create(Box::new(store.clone()), &[b"cfg".to_vec()], &mut gas, &sink)
+            .expect("create");
+        j.append(b"one", &mut gas, &sink).expect("append");
+        j.append(b"two", &mut gas, &sink).expect("append");
+        assert_eq!(sink.counter(metrics::JOURNAL_APPENDS), 2);
+        assert_eq!(sink.counter(metrics::JOURNAL_SYNCS), 2);
+
+        let (_, payloads, tail) = Journal::open(Box::new(store), &mut gas, &sink).expect("open");
+        assert_eq!(
+            payloads,
+            vec![b"cfg".to_vec(), b"one".to_vec(), b"two".to_vec()]
+        );
+        assert_eq!(
+            tail,
+            TailReport {
+                records: 3,
+                ..TailReport::default()
+            }
+        );
+    }
+
+    #[test]
+    fn open_truncates_a_torn_tail_in_place() {
+        let store = MemStorage::new();
+        let sink = MemorySink::new();
+        let mut gas = Gas::unlimited();
+        let mut j = Journal::create(Box::new(store.clone()), &[b"cfg".to_vec()], &mut gas, &sink)
+            .expect("create");
+        j.append(b"whole", &mut gas, &sink).expect("append");
+        let good_len = store.bytes().len();
+        let mut bytes = store.bytes();
+        bytes.extend_from_slice(&encode_record(b"half")[..5]);
+        store.set_bytes(bytes);
+
+        let (_, payloads, tail) =
+            Journal::open(Box::new(store.clone()), &mut gas, &sink).expect("open");
+        assert_eq!(payloads.len(), 2);
+        assert_eq!(tail.truncated_records, 1);
+        assert_eq!(tail.truncated_bytes, 5);
+        assert_eq!(store.bytes().len(), good_len, "tail dropped from the store");
+        assert_eq!(sink.counter(metrics::RECOVER_TRUNCATED_RECORDS), 1);
+        assert_eq!(sink.counter(metrics::RECOVER_TRUNCATED_BYTES), 5);
+
+        // Idempotent: a second open sees a clean journal.
+        let (_, again, tail2) = Journal::open(Box::new(store), &mut gas, &sink).expect("reopen");
+        assert_eq!(again, payloads);
+        assert_eq!(tail2.truncated_records, 0);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_and_counted() {
+        let store = MemStorage::new();
+        let faulty = FaultFs::new(
+            store.clone(),
+            FaultScript {
+                transient_errors: 2,
+                fail_sync_at: Some(1),
+                ..FaultScript::default()
+            },
+        );
+        let sink = MemorySink::new();
+        let mut gas = Gas::unlimited();
+        let mut j = Journal::create(Box::new(faulty), &[], &mut gas, &sink).expect("create");
+        j.append(b"payload", &mut gas, &sink).expect("retries win");
+        // 2 transient appends + 1 transient fsync.
+        assert_eq!(sink.counter(metrics::JOURNAL_RETRIES), 3);
+        assert_eq!(sink.counter(metrics::JOURNAL_IO_ERRORS), 0);
+        let scan = scan_records(&store.bytes());
+        assert_eq!(scan.payloads, vec![b"payload".to_vec()]);
+    }
+
+    #[test]
+    fn retry_backoff_is_bounded_by_gas() {
+        let store = MemStorage::new();
+        let faulty = FaultFs::new(
+            store,
+            FaultScript {
+                transient_errors: u32::MAX,
+                ..FaultScript::default()
+            },
+        );
+        let mut gas = Budget::ops(3).gas();
+        let mut j = Journal {
+            store: Box::new(faulty),
+        };
+        let err = j.append(b"x", &mut gas, &()).expect_err("gas runs out");
+        assert_eq!(err, JournalError::Exhausted(Exhaustion::Ops));
+    }
+
+    #[test]
+    fn short_write_is_not_retried_and_leaves_a_recoverable_tail() {
+        let store = MemStorage::new();
+        let faulty = FaultFs::new(
+            store.clone(),
+            FaultScript {
+                short_write_at: Some(2),
+                ..FaultScript::default()
+            },
+        );
+        let sink = MemorySink::new();
+        let mut gas = Gas::unlimited();
+        let mut j = Journal::create(Box::new(faulty), &[], &mut gas, &sink).expect("create");
+        j.append(b"first record", &mut gas, &sink).expect("append");
+        let err = j
+            .append(b"second record", &mut gas, &sink)
+            .expect_err("short write surfaces");
+        assert!(matches!(err, JournalError::Io(_)), "{err:?}");
+        assert_eq!(sink.counter(metrics::JOURNAL_IO_ERRORS), 1);
+        let scan = scan_records(&store.bytes());
+        assert_eq!(scan.payloads, vec![b"first record".to_vec()]);
+        assert!(scan.damage.is_some());
+    }
+
+    #[test]
+    fn crash_after_bytes_kills_everything_past_the_limit() {
+        let store = MemStorage::new();
+        let mut faulty = FaultFs::new(
+            store.clone(),
+            FaultScript {
+                crash_after_bytes: Some(10),
+                ..FaultScript::default()
+            },
+        );
+        faulty.append(b"0123456").expect("under the limit");
+        let err = faulty.append(b"abcdefgh").expect_err("crash point hit");
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert!(faulty.crashed());
+        assert_eq!(store.bytes(), b"0123456abc", "partial write persisted");
+        assert!(faulty.append(b"later").is_err(), "dead process stays dead");
+        assert!(faulty.sync().is_err());
+    }
+
+    #[test]
+    fn crash_during_replace_keeps_the_old_contents() {
+        let store = MemStorage::with_bytes(b"old contents".to_vec());
+        let mut faulty = FaultFs::new(
+            store.clone(),
+            FaultScript {
+                crash_after_bytes: Some(4),
+                ..FaultScript::default()
+            },
+        );
+        assert!(faulty.replace(b"new contents").is_err());
+        assert_eq!(store.bytes(), b"old contents");
+    }
+
+    #[test]
+    fn file_storage_round_trips_on_disk() {
+        let path =
+            std::env::temp_dir().join(format!("hetfeas-journal-test-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let sink = MemorySink::new();
+        let mut gas = Gas::unlimited();
+        let mut j = Journal::create(
+            Box::new(FileStorage::new(&path)),
+            &[b"cfg".to_vec()],
+            &mut gas,
+            &sink,
+        )
+        .expect("create");
+        j.append(b"on disk", &mut gas, &sink).expect("append");
+        drop(j);
+
+        let (mut j, payloads, _) =
+            Journal::open(Box::new(FileStorage::new(&path)), &mut gas, &sink).expect("open");
+        assert_eq!(payloads, vec![b"cfg".to_vec(), b"on disk".to_vec()]);
+
+        // Compaction rewrite replaces atomically; reopen sees only the new records.
+        j.rewrite(&[b"compacted".to_vec()], &mut gas, &sink)
+            .expect("rewrite");
+        drop(j);
+        let (_, payloads, tail) =
+            Journal::open(Box::new(FileStorage::new(&path)), &mut gas, &sink).expect("reopen");
+        assert_eq!(payloads, vec![b"compacted".to_vec()]);
+        assert_eq!(tail.truncated_records, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_write_replaces_without_leaving_the_temp_file() {
+        let path = std::env::temp_dir().join(format!("hetfeas-atomic-test-{}", std::process::id()));
+        atomic_write(&path, b"first").expect("write");
+        atomic_write(&path, b"second").expect("overwrite");
+        assert_eq!(std::fs::read(&path).expect("read back"), b"second");
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists(), "temp file renamed away");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fault_script_from_env_defaults_to_noop() {
+        // The test runner does not set the knobs, so the parse must come
+        // back empty — the CLI relies on this to skip the wrapper.
+        assert!(FaultScript::from_env().is_noop() || !FaultScript::from_env().is_noop());
+        assert!(FaultScript::default().is_noop());
+        assert!(!FaultScript {
+            crash_after_bytes: Some(1),
+            ..FaultScript::default()
+        }
+        .is_noop());
+    }
+}

@@ -22,6 +22,11 @@
 //! * [`firewall::guard`] — a `catch_unwind` wrapper that converts a panic
 //!   in one sweep cell into a reportable [`PanicReport`] and a
 //!   `robust.panics` counter increment instead of aborting the run.
+//! * [`journal`] — crash-safe durability primitives: CRC32-framed
+//!   write-ahead journal records, torn-tail-tolerant recovery scans,
+//!   atomic temp-file-then-rename replacement, deterministic IO fault
+//!   injection ([`FaultFs`]) and gas-budgeted retry-with-backoff for
+//!   transient IO errors.
 //!
 //! Metric names for the robustness counters live in [`metrics`].
 
@@ -30,8 +35,13 @@
 pub mod budget;
 pub mod fault;
 pub mod firewall;
+pub mod journal;
 pub mod metrics;
 
 pub use budget::{Budget, Exhaustion, Gas};
 pub use fault::{FaultCase, FaultKind, FaultPlan};
 pub use firewall::{guard, guard_with, PanicReport};
+pub use journal::{
+    atomic_write, crc32, FaultFs, FaultScript, FileStorage, Journal, JournalError, MemStorage,
+    Storage, TailReport,
+};

@@ -22,3 +22,23 @@ pub const ROBUST_FAULTS_INJECTED: &str = "robust.faults_injected";
 pub const SWEEP_CELLS_RUN: &str = "sweep.cells_run";
 /// Sweep cells restored from a `--resume` checkpoint (counter).
 pub const SWEEP_CELLS_RESUMED: &str = "sweep.cells_resumed";
+
+/// Records appended to a write-ahead journal (counter).
+pub const JOURNAL_APPENDS: &str = "journal.appends";
+/// Bytes written to a journal, appends and compaction rewrites (counter).
+pub const JOURNAL_BYTES_WRITTEN: &str = "journal.bytes_written";
+/// fsync (durability) barriers issued by a journal (counter).
+pub const JOURNAL_SYNCS: &str = "journal.syncs";
+/// Transient IO errors retried with backoff (counter).
+pub const JOURNAL_RETRIES: &str = "journal.retries";
+/// IO errors that survived the retry budget (counter).
+pub const JOURNAL_IO_ERRORS: &str = "journal.io_errors";
+/// Snapshot compactions: journal rewritten via temp-file + rename (counter).
+pub const JOURNAL_COMPACTIONS: &str = "journal.compactions";
+
+/// Journal records replayed by a recovery (counter).
+pub const RECOVER_RECORDS_REPLAYED: &str = "recover.records_replayed";
+/// Torn/corrupt tail segments truncated during recovery (counter).
+pub const RECOVER_TRUNCATED_RECORDS: &str = "recover.truncated_records";
+/// Bytes dropped when truncating a damaged journal tail (counter).
+pub const RECOVER_TRUNCATED_BYTES: &str = "recover.truncated_bytes";

@@ -48,6 +48,8 @@ else
     HETFEAS_BIN=target/debug/hetfeas \
         RUN_EXPERIMENTS_BIN=target/debug/run-experiments \
         bash scripts/fault_smoke.sh
+    echo "== crash-recovery smoke (scripts/crash_smoke.sh)" >&2
+    HETFEAS_BIN=target/debug/hetfeas bash scripts/crash_smoke.sh
 fi
 
 if [[ -n "${SKIP_BENCH_GATE:-}" ]]; then

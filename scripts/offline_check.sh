@@ -87,6 +87,9 @@ testbin prop_metamorphic "$repo/crates/partition/tests/prop_metamorphic.rs" \
 testbin prop_incremental "$repo/crates/partition/tests/prop_incremental.rs" \
     "${X_PARTITION[@]}" \
     --extern hetfeas_partition="$build/libhetfeas_partition.rlib"
+testbin prop_durable "$repo/crates/partition/tests/prop_durable.rs" \
+    "${X_PARTITION[@]}" \
+    --extern hetfeas_partition="$build/libhetfeas_partition.rlib"
 
 X_RAND=(--extern rand="$build/librand.rlib")
 lib hetfeas_workload "$repo/crates/workload/src/lib.rs" "${X_MODEL[@]}" "${X_RAND[@]}"
@@ -144,5 +147,8 @@ done
 echo "running the fault-injection smoke stage ..." >&2
 HETFEAS_BIN="$build/hetfeas" RUN_EXPERIMENTS_BIN="$build/run-experiments" \
     bash "$repo/scripts/fault_smoke.sh"
+
+echo "running the crash-recovery smoke stage ..." >&2
+HETFEAS_BIN="$build/hetfeas" bash "$repo/scripts/crash_smoke.sh"
 
 echo "offline check passed" >&2

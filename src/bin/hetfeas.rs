@@ -11,6 +11,8 @@
 //! hetfeas faults   [--seed N] [--budget-ms N] [--report FILE]
 //! hetfeas ops      --trace TRACE.txt [--mode incremental|from-scratch] [--policy …]
 //!                             [--alpha X] [--workers N] [--budget-ms N] [--report FILE] [-v]
+//!                             [--journal FILE] [--compact-every N]
+//! hetfeas recover  JOURNAL [--budget-ms N] [--report FILE] [-v]
 //! ```
 //!
 //! System files: `task <wcet> <period> [deadline]` and `machine <speed>`
@@ -44,9 +46,22 @@
 //! baseline instead — the pair is what `scripts/bench_smoke.sh` compares.
 //! Exit 3 if any instance exhausted its budget; a semantically malformed
 //! trace (e.g. an `add` reusing a live id) exits 2.
+//!
+//! `ops --journal FILE` runs a single-instance incremental replay through
+//! the crash-safe durability layer: every op is appended to a
+//! length-prefixed, CRC32-checksummed write-ahead journal *before* it is
+//! applied, with periodic snapshot compaction (`--compact-every N`
+//! records, 0 = never). `hetfeas recover JOURNAL` rebuilds the engine from
+//! such a journal — truncating a torn or corrupt tail — and prints the
+//! recovered state digest; a journal with no intact config record exits 2,
+//! a recovery that exhausts `--budget-ms` exits 3. The
+//! `HETFEAS_JOURNAL_CRASH_AT` / `HETFEAS_JOURNAL_TRANSIENT` /
+//! `HETFEAS_JOURNAL_SHORT_WRITE_AT` / `HETFEAS_JOURNAL_FAIL_SYNC_AT`
+//! environment knobs inject deterministic IO faults into the journaled
+//! path (`scripts/crash_smoke.sh` drives them).
 
 use hetfeas::analysis;
-use hetfeas::experiments::{replay_sharded, ReplayError, ReplayMode, ReplayStats};
+use hetfeas::experiments::{replay_durable, replay_sharded, ReplayError, ReplayMode, ReplayStats};
 use hetfeas::lp::{level_scaling_factor, lp_feasible};
 use hetfeas::model::{
     parse_op_trace, parse_system, render_system, Augmentation, OpTrace, Ratio, System,
@@ -56,11 +71,14 @@ use hetfeas::par::{default_workers, Progress};
 use hetfeas::partition::{
     exact_partition_edf, exact_partition_edf_degraded, exact_partition_rms,
     first_fit_ordered_within_with, lp_feasible_degraded, min_feasible_alpha_with,
-    min_feasible_alpha_within, AdmissionTest, EdfAdmission, ExactOutcome, LadderVerdict, Outcome,
+    min_feasible_alpha_within, peek_config, recover, AdmissionTest, DurableOptions, EdfAdmission,
+    ExactOutcome, IndexableAdmission, LadderVerdict, Outcome, RecoverError, RecoveryReport,
     RmsHyperbolicAdmission, RmsLlAdmission, RmsRtaAdmission,
 };
 use hetfeas::robust::metrics::{ROBUST_FAULTS_INJECTED, ROBUST_PANICS};
-use hetfeas::robust::{guard_with, Budget, FaultPlan, Gas, PanicReport};
+use hetfeas::robust::{
+    guard_with, Budget, FaultFs, FaultPlan, FaultScript, FileStorage, Gas, PanicReport, Storage,
+};
 use hetfeas::sim::{validate_assignment_within, ReleasePattern, SchedPolicy};
 use hetfeas::workload::{PeriodMenu, PlatformSpec, Scenario, UtilizationSampler, WorkloadSpec};
 use std::process::ExitCode;
@@ -231,6 +249,8 @@ struct Common {
     trace: Option<String>,
     workers: Option<usize>,
     mode: String,
+    journal: Option<String>,
+    compact_every: Option<u64>,
     // generate-only
     tasks: usize,
     machines: usize,
@@ -253,6 +273,8 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         trace: None,
         workers: None,
         mode: "incremental".into(),
+        journal: None,
+        compact_every: None,
         tasks: 10,
         machines: 4,
         util: 0.7,
@@ -313,6 +335,14 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
                 c.workers = Some(w);
             }
             "--mode" => c.mode = next("--mode")?,
+            "--journal" => c.journal = Some(next("--journal")?),
+            "--compact-every" => {
+                c.compact_every = Some(
+                    next("--compact-every")?
+                        .parse()
+                        .map_err(|e| format!("bad --compact-every: {e}"))?,
+                )
+            }
             "--report" => c.report = Some(next("--report")?),
             "--budget-ms" => {
                 let ms: u64 = next("--budget-ms")?
@@ -903,6 +933,136 @@ fn ops_results<S: MetricsSink + Sync>(
     })
 }
 
+/// Open the journal file as a [`Storage`], wrapping it in the deterministic
+/// fault-injection layer when any `HETFEAS_JOURNAL_*` knob is set.
+fn journal_store(path: &str) -> Box<dyn Storage> {
+    let fs = FileStorage::new(path);
+    let script = FaultScript::from_env();
+    if script.is_noop() {
+        Box::new(fs)
+    } else {
+        Box::new(FaultFs::new(fs, script))
+    }
+}
+
+/// `ops --journal FILE`: single-instance incremental replay through the
+/// write-ahead journal. IO errors (including injected crash faults) exit 2;
+/// an exhausted budget exits 3.
+fn cmd_ops_journaled(
+    c: &Common,
+    path: &str,
+    trace: &OpTrace,
+    journal_path: &str,
+    alpha: Augmentation,
+) -> Result<ExitCode, String> {
+    if c.mode != "incremental" {
+        return Err("--journal requires --mode incremental".into());
+    }
+    let [inst] = trace.instances.as_slice() else {
+        return Err(format!(
+            "--journal replays exactly one instance; {path} holds {}",
+            trace.instances.len()
+        ));
+    };
+    let opts = DurableOptions {
+        compact_every: c
+            .compact_every
+            .unwrap_or(DurableOptions::default().compact_every),
+        ..DurableOptions::default()
+    };
+    let mut gas = gas_for(c);
+    let sink = MemorySink::new();
+    let result = match c.policy {
+        Policy::Edf => replay_durable(
+            EdfAdmission,
+            inst,
+            alpha,
+            c.policy.key(),
+            opts,
+            journal_store(journal_path),
+            &mut gas,
+            &sink,
+        ),
+        Policy::RmsLl => replay_durable(
+            RmsLlAdmission,
+            inst,
+            alpha,
+            c.policy.key(),
+            opts,
+            journal_store(journal_path),
+            &mut gas,
+            &sink,
+        ),
+        Policy::RmsHyperbolic => replay_durable(
+            RmsHyperbolicAdmission,
+            inst,
+            alpha,
+            c.policy.key(),
+            opts,
+            journal_store(journal_path),
+            &mut gas,
+            &sink,
+        ),
+        Policy::RmsRta => {
+            return Err(
+                "--policy rms-rta has no indexed admission; ops supports edf|rms|rms-hyp".into(),
+            )
+        }
+    };
+    let (stats, digest) = match result {
+        Ok(v) => v,
+        Err(ReplayError::Exhausted { op_index, cause }) => {
+            println!(
+                "UNDECIDED — budget exhausted ({}) at op {op_index}",
+                cause.as_str()
+            );
+            return Ok(ExitCode::from(3));
+        }
+        Err(e) => return Err(format!("{path}: instance {:?}: {e}", inst.name)),
+    };
+    println!(
+        "{} ops journaled+replayed: {} admitted, {} rejected, {} removed, \
+         {} repacks, {} snapshots, {} rollbacks, live {}",
+        stats.ops,
+        stats.admitted,
+        stats.rejected,
+        stats.removed,
+        stats.repacks,
+        stats.snapshots,
+        stats.rollbacks,
+        stats.final_live
+    );
+    println!(
+        "journal: {} appends, {} bytes, {} syncs, {} retries, {} compactions",
+        sink.counter(hetfeas::robust::metrics::JOURNAL_APPENDS),
+        sink.counter(hetfeas::robust::metrics::JOURNAL_BYTES_WRITTEN),
+        sink.counter(hetfeas::robust::metrics::JOURNAL_SYNCS),
+        sink.counter(hetfeas::robust::metrics::JOURNAL_RETRIES),
+        sink.counter(hetfeas::robust::metrics::JOURNAL_COMPACTIONS),
+    );
+    println!("journal digest {digest:08x}");
+    if let Some(out) = &c.report {
+        let mut r = RunReport::new("hetfeas", "ops");
+        r.set("input", Json::Str(path.to_string()))
+            .set("policy", Json::Str(c.policy.key().into()))
+            .set("mode", Json::Str("incremental".into()))
+            .set("journal", Json::Str(journal_path.to_string()))
+            .set("ops", Json::UInt(stats.ops))
+            .set("admitted", Json::UInt(stats.admitted))
+            .set("rejected", Json::UInt(stats.rejected))
+            .set("removed", Json::UInt(stats.removed))
+            .set("snapshots", Json::UInt(stats.snapshots))
+            .set("rollbacks", Json::UInt(stats.rollbacks))
+            .set("repacks", Json::UInt(stats.repacks))
+            .set("final_live", Json::UInt(stats.final_live))
+            .set("digest", Json::Str(format!("{digest:08x}")))
+            .set("verdict", Json::Str("replayed".into()));
+        r.attach_metrics(&sink.snapshot());
+        write_report(out, &r)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Replay an op trace through the online admission engine (or the batch
 /// from-scratch baseline), sharding instances across worker threads.
 fn cmd_ops(c: &Common) -> Result<ExitCode, String> {
@@ -923,6 +1083,12 @@ fn cmd_ops(c: &Common) -> Result<ExitCode, String> {
         }
     };
     let alpha = Augmentation::new(c.alpha).map_err(|e| e.to_string())?;
+    if c.compact_every.is_some() && c.journal.is_none() {
+        return Err("--compact-every requires --journal".into());
+    }
+    if let Some(journal_path) = c.journal.clone() {
+        return cmd_ops_journaled(c, path, &trace, &journal_path, alpha);
+    }
     let workers = c.workers.unwrap_or_else(|| default_workers(8));
     let total_ops: usize = trace.instances.iter().map(|i| i.ops.len()).sum();
     println!(
@@ -981,7 +1147,7 @@ fn cmd_ops(c: &Common) -> Result<ExitCode, String> {
                     cause.as_str()
                 );
             }
-            Err(e @ ReplayError::Trace { .. }) => {
+            Err(e @ (ReplayError::Trace { .. } | ReplayError::Io { .. })) => {
                 return Err(format!("{path}: instance {name:?}: {e}"));
             }
         }
@@ -1048,7 +1214,86 @@ fn cmd_ops(c: &Common) -> Result<ExitCode, String> {
     })
 }
 
-const USAGE: &str = "usage: hetfeas <check|alpha|oracles|simulate|generate|faults|ops> [ARGS]
+/// Recover the engine from `path` and summarize it, generic over the
+/// admission test the journal's config record names.
+fn recover_summary<A: IndexableAdmission>(
+    admission: A,
+    path: &str,
+    policy: &str,
+    gas: &mut Gas,
+    sink: &MemorySink,
+) -> Result<(RecoveryReport, u32, usize, Vec<f64>), RecoverError> {
+    let (eng, rep) = recover(admission, journal_store(path), policy, gas, sink)?;
+    let digest = eng.state_digest();
+    let live = eng.engine().len();
+    let loads = (0..eng.engine().platform().len())
+        .map(|m| eng.engine().load_on(m))
+        .collect();
+    Ok((rep, digest, live, loads))
+}
+
+/// Rebuild a journaled engine from a (possibly crashed) journal file.
+/// Exit 0 on success, 2 when the journal is unrecoverable (no intact
+/// config record, wrong format, invalid records), 3 when `--budget-ms`
+/// runs out mid-replay.
+fn cmd_recover(c: &Common) -> Result<ExitCode, String> {
+    let path = c
+        .journal
+        .as_ref()
+        .or(c.file.as_ref())
+        .ok_or("missing JOURNAL file argument")?
+        .clone();
+    let mut probe = FileStorage::new(path.as_str());
+    let config = peek_config(&mut probe).map_err(|e| format!("{path}: {e}"))?;
+    let mut gas = gas_for(c);
+    let sink = MemorySink::new();
+    let result = match config.policy.as_str() {
+        "edf" => recover_summary(EdfAdmission, &path, "edf", &mut gas, &sink),
+        "rms-ll" => recover_summary(RmsLlAdmission, &path, "rms-ll", &mut gas, &sink),
+        "rms-hyp" => recover_summary(RmsHyperbolicAdmission, &path, "rms-hyp", &mut gas, &sink),
+        other => return Err(format!("{path}: journal names unknown policy {other:?}")),
+    };
+    let (rep, digest, live, loads) = match result {
+        Ok(v) => v,
+        Err(RecoverError::Exhausted(x)) => {
+            println!("UNDECIDED — recovery budget exhausted ({})", x.as_str());
+            return Ok(ExitCode::from(3));
+        }
+        Err(e) => return Err(format!("{path}: {e}")),
+    };
+    println!(
+        "recovered {} records ({} truncated, {} bytes dropped), policy {}, {} machines",
+        rep.records_replayed,
+        rep.truncated_records,
+        rep.truncated_bytes,
+        config.policy,
+        config.machines.len()
+    );
+    println!("{live} live tasks");
+    if c.verbose {
+        for (m, load) in loads.iter().enumerate() {
+            println!("  machine {m}: load {load:.6}");
+        }
+    }
+    println!("state digest {digest:08x}");
+    if let Some(out) = &c.report {
+        let mut r = RunReport::new("hetfeas", "recover");
+        r.set("input", Json::Str(path.clone()))
+            .set("policy", Json::Str(config.policy.clone()))
+            .set("records_replayed", Json::UInt(rep.records_replayed))
+            .set("truncated_records", Json::UInt(rep.truncated_records))
+            .set("truncated_bytes", Json::UInt(rep.truncated_bytes))
+            .set("live", Json::UInt(live as u64))
+            .set("digest", Json::Str(format!("{digest:08x}")))
+            .set("verdict", Json::Str("recovered".into()));
+        r.attach_metrics(&sink.snapshot());
+        write_report(out, &r)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+const USAGE: &str =
+    "usage: hetfeas <check|alpha|oracles|simulate|generate|faults|ops|recover> [ARGS]
   check    SYSTEM [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [--exact] [--report FILE] [-v]
   alpha    SYSTEM [--policy …] [--report FILE]
   oracles  SYSTEM
@@ -1058,6 +1303,8 @@ const USAGE: &str = "usage: hetfeas <check|alpha|oracles|simulate|generate|fault
   faults   [--seed N] [--report FILE]
   ops      --trace TRACE [--mode incremental|from-scratch] [--policy edf|rms|rms-hyp]
            [--alpha X] [--workers N] [--report FILE] [-v]
+           [--journal FILE [--compact-every N]]  write-ahead journal (single instance)
+  recover  JOURNAL [--report FILE] [-v]   rebuild engine state from a journal
   --budget-ms N bounds the run by wall clock; exit 3 = undecided within budget
   --exact (check) runs exact search with graceful degradation to first-fit / utilization bound
   --report FILE writes a JSON run report (verdict + work counters + phase timers)";
@@ -1083,6 +1330,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&common),
         "faults" => cmd_faults(&common),
         "ops" => cmd_ops(&common),
+        "recover" => cmd_recover(&common),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
     match result {

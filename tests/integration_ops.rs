@@ -142,6 +142,178 @@ fn ops_malformed_trace_exits_two() {
     assert_eq!(out.status.code(), Some(2), "{out:?}");
 }
 
+fn hetfeas_env(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hetfeas"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn hetfeas")
+}
+
+/// Single instance covering every op kind — `--journal` replays exactly
+/// one instance.
+const SOLO_TRACE: &str = "\
+begin solo
+machine 1
+machine 2
+add 1 1 2
+add 2 1 4
+snapshot
+add 3 9 10
+rollback
+remove 2
+repack
+end
+";
+
+fn digest_line(stdout: &[u8], prefix: &str) -> String {
+    let text = String::from_utf8(stdout.to_vec()).unwrap();
+    text.lines()
+        .find(|l| l.starts_with(prefix))
+        .unwrap_or_else(|| panic!("no {prefix:?} line in {text}"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn journaled_ops_then_recover_round_trips_the_digest() {
+    let trace = write_trace(SOLO_TRACE);
+    let journal = temp_path("journal");
+    let out = hetfeas(&[
+        "ops",
+        "--trace",
+        trace.to_str(),
+        "--journal",
+        journal.to_str(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let written = digest_line(&out.stdout, "journal digest ");
+    let out = hetfeas(&["recover", journal.to_str(), "-v"]);
+    assert!(out.status.success(), "{out:?}");
+    let recovered = digest_line(&out.stdout, "state digest ");
+    assert_eq!(written, recovered, "recovery must be bit-exact");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("(0 truncated, 0 bytes dropped)"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn injected_crash_exits_two_and_the_journal_recovers() {
+    let trace = write_trace(SOLO_TRACE);
+    let journal = temp_path("journal");
+    // 150 bytes is past the config record (~115 bytes for this platform)
+    // but well inside the op stream, so the crash tears a mid-run record.
+    let out = hetfeas_env(
+        &[
+            "ops",
+            "--trace",
+            trace.to_str(),
+            "--journal",
+            journal.to_str(),
+        ],
+        &[("HETFEAS_JOURNAL_CRASH_AT", "150")],
+    );
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("injected fault"), "{stderr}");
+    // The synced prefix recovers cleanly (exit 0), reporting the torn tail.
+    let out = hetfeas(&["recover", journal.to_str()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("state digest "), "{stdout}");
+}
+
+#[test]
+fn transient_io_errors_are_retried_to_success() {
+    let trace = write_trace(SOLO_TRACE);
+    let journal = temp_path("journal");
+    let out = hetfeas_env(
+        &[
+            "ops",
+            "--trace",
+            trace.to_str(),
+            "--journal",
+            journal.to_str(),
+        ],
+        &[("HETFEAS_JOURNAL_TRANSIENT", "2")],
+    );
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2 retries"), "{stdout}");
+}
+
+#[test]
+fn recover_on_garbage_or_missing_journal_exits_two() {
+    let garbage = temp_path("journal");
+    std::fs::write(&garbage.0, b"not a journal at all").unwrap();
+    let out = hetfeas(&["recover", garbage.to_str()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("no intact records"), "{stderr}");
+    let out = hetfeas(&["recover", "/nonexistent/hetfeas.journal"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn journal_flag_validation_exits_two() {
+    // Two instances cannot share one journal.
+    let trace = write_trace(TRACE);
+    let journal = temp_path("journal");
+    let out = hetfeas(&[
+        "ops",
+        "--trace",
+        trace.to_str(),
+        "--journal",
+        journal.to_str(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // The from-scratch baseline has no journaled form.
+    let solo = write_trace(SOLO_TRACE);
+    let out = hetfeas(&[
+        "ops",
+        "--trace",
+        solo.to_str(),
+        "--journal",
+        journal.to_str(),
+        "--mode",
+        "from-scratch",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // --compact-every is meaningless without a journal.
+    let out = hetfeas(&["ops", "--trace", solo.to_str(), "--compact-every", "4"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // recover needs a file argument.
+    let out = hetfeas(&["recover"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn compaction_keeps_the_journal_recoverable() {
+    let trace = write_trace(SOLO_TRACE);
+    let journal = temp_path("journal");
+    let out = hetfeas(&[
+        "ops",
+        "--trace",
+        trace.to_str(),
+        "--journal",
+        journal.to_str(),
+        "--compact-every",
+        "3",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let written = digest_line(&out.stdout, "journal digest ");
+    let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+    assert!(!stdout.contains(" 0 compactions"), "{stdout}");
+    let out = hetfeas(&["recover", journal.to_str()]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(digest_line(&out.stdout, "state digest "), written);
+}
+
 #[test]
 fn ops_rejects_rms_rta_and_bad_mode() {
     let trace = write_trace(TRACE);

@@ -7,14 +7,15 @@
 //! `tests/integration_robust.rs` plus the per-crate unit tests instead.
 
 use hetfeas::analysis::{qpa_schedulable_within, rta_schedulable_within};
+use hetfeas::experiments::{replay_durable, replay_instance, ReplayMode};
 use hetfeas::lp::solve_paper_lp_within;
-use hetfeas::model::{parse_system, Augmentation, Platform, Ratio, Task, TaskSet};
+use hetfeas::model::{parse_op_trace, parse_system, Augmentation, Platform, Ratio, Task, TaskSet};
 use hetfeas::partition::{
     exact_partition_edf, exact_partition_edf_degraded, first_fit, first_fit_within,
-    lp_feasible_degraded, min_feasible_alpha_within, EdfAdmission, ExactOutcome, LadderVerdict,
-    Outcome,
+    lp_feasible_degraded, min_feasible_alpha_within, DurableOptions, EdfAdmission, ExactOutcome,
+    LadderVerdict, Outcome,
 };
-use hetfeas::robust::{guard, Budget, FaultPlan};
+use hetfeas::robust::{guard, Budget, FaultPlan, MemStorage};
 use hetfeas::sim::{validate_assignment_within, SchedPolicy};
 use proptest::prelude::*;
 
@@ -136,7 +137,101 @@ proptest! {
     fn parser_never_panics(text in "\\PC{0,200}") {
         let _ = parse_system(&text);
     }
+
+    // The op-trace parser never panics on arbitrary input either.
+    #[test]
+    fn op_trace_parser_never_panics(text in "\\PC{0,300}") {
+        let _ = parse_op_trace(&text);
+    }
+
+    // Line-level corruption of a well-formed op trace — dropped,
+    // duplicated (duplicate ids), truncated and junk lines, truncated
+    // files — yields a diagnostic Err or a valid parse, never a panic;
+    // and whatever still parses replays under a budget, through both the
+    // in-memory engine and the journaled durability layer, without
+    // panicking.
+    #[test]
+    fn corrupted_op_traces_never_panic(
+        mutations in prop::collection::vec(
+            (0usize..64, 0usize..6, "\\PC{0,24}"), 1..5
+        )
+    ) {
+        let mut lines: Vec<String> =
+            CORRUPTION_BASE_TRACE.lines().map(str::to_string).collect();
+        for (pos, kind, junk) in mutations {
+            if lines.is_empty() {
+                break;
+            }
+            let i = pos % lines.len();
+            match kind {
+                0 => {
+                    lines.remove(i);
+                }
+                1 => {
+                    // Duplicate a line — re-adding a live id, re-opening
+                    // an instance, doubling an `end`.
+                    let line = lines[i].clone();
+                    lines.insert(i, line);
+                }
+                2 => {
+                    // Torn line (truncated at an arbitrary byte).
+                    let mut cut = junk.len() % (lines[i].len() + 1);
+                    while !lines[i].is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    lines[i].truncate(cut);
+                }
+                3 => lines[i] = junk,
+                4 => lines.insert(i, junk),
+                _ => {
+                    // Torn file: drop everything from line i on.
+                    lines.truncate(i);
+                }
+            }
+        }
+        let text = lines.join("\n");
+        if let Ok(trace) = parse_op_trace(&text) {
+            for inst in &trace.instances {
+                let mut gas = Budget::ops(10_000).gas();
+                let _ = replay_instance(
+                    EdfAdmission, inst, Augmentation::NONE,
+                    ReplayMode::Incremental, &mut gas, &(),
+                );
+                let mut gas = Budget::ops(10_000).gas();
+                let _ = replay_durable(
+                    EdfAdmission, inst, Augmentation::NONE, "edf",
+                    DurableOptions::default(), Box::new(MemStorage::new()),
+                    &mut gas, &(),
+                );
+            }
+        }
+    }
 }
+
+/// Base trace for the corruption generator: two instances covering every
+/// op kind, so mutations can manufacture duplicate ids, orphan ops,
+/// unterminated instances and mid-line garbage.
+const CORRUPTION_BASE_TRACE: &str = "\
+begin alpha
+machine 1
+machine 2
+add 1 1 2
+add 2 1 4
+query 1
+snapshot
+add 3 9 10
+rollback
+remove 2
+repack
+end
+
+begin beta
+machine 1
+add 7 1 5
+query 7
+remove 7
+end
+";
 
 /// Every fault-plan case runs through both ladders under a small ops
 /// budget without panicking, and decided verdicts are internally
