@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hetfeas_bench::bench_instance;
 use hetfeas_model::Augmentation;
-use hetfeas_partition::{first_fit, EdfAdmission, FirstFitEngine, RmsLlAdmission};
+use hetfeas_partition::{first_fit, EdfAdmission, FirstFitEngine, RmsLlAdmission, SoaKernel};
 use std::hint::black_box;
 
 fn bench_scale_n(c: &mut Criterion) {
@@ -48,9 +48,11 @@ fn bench_scale_m(c: &mut Criterion) {
     group.finish();
 }
 
-/// The ISSUE's acceptance benchmark: at n = 4096, the linear scan grows
-/// linearly in m while the indexed engine's per-placement cost is
-/// O(log m) — its m = 1024 time must stay < 2× its m = 64 time.
+/// The acceptance benchmark: at n = 4096, the linear scan grows linearly
+/// in m while the indexed engine's per-placement cost is O(log m) — its
+/// m = 1024 time must stay < 2× its m = 64 time. The SoA kernel runs the
+/// same instances over flat residual lanes with 4-wide admission masks
+/// and keyed sorts, and must beat the indexed engine ≥ 3× at m = 1024.
 fn bench_scan_vs_indexed(c: &mut Criterion) {
     let mut group = c.benchmark_group("ffd_scan_vs_indexed_n4096");
     group.sample_size(10);
@@ -71,7 +73,39 @@ fn bench_scan_vs_indexed(c: &mut Criterion) {
             let mut engine = FirstFitEngine::new(EdfAdmission);
             b.iter(|| black_box(engine.run(&inst.tasks, &inst.platform, Augmentation::NONE)))
         });
+        group.bench_with_input(BenchmarkId::new("kernel", m), &inst, |b, inst| {
+            let mut kernel = SoaKernel::new(EdfAdmission);
+            b.iter(|| black_box(kernel.run(&inst.tasks, &inst.platform, Augmentation::NONE)))
+        });
     }
+    group.finish();
+}
+
+/// The batched ladder α-search vs the engine's warm bisection vs the cold
+/// per-probe bisection — the E1–E4 hot path.
+fn bench_alpha_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_search_n1024_m64");
+    group.sample_size(10);
+    let inst = bench_instance(1024, 64, 0.95, 46);
+    group.bench_function("kernel_ladder", |b| {
+        let mut kernel = SoaKernel::new(EdfAdmission);
+        b.iter(|| black_box(kernel.min_feasible_alpha(&inst.tasks, &inst.platform, 4.0, 1e-4)))
+    });
+    group.bench_function("engine_bisection", |b| {
+        let mut engine = FirstFitEngine::new(EdfAdmission);
+        b.iter(|| black_box(engine.min_feasible_alpha(&inst.tasks, &inst.platform, 4.0, 1e-4)))
+    });
+    group.bench_function("cold_bisection", |b| {
+        b.iter(|| {
+            black_box(hetfeas_partition::min_feasible_alpha(
+                &inst.tasks,
+                &inst.platform,
+                &EdfAdmission,
+                4.0,
+                1e-4,
+            ))
+        })
+    });
     group.finish();
 }
 
@@ -106,6 +140,7 @@ criterion_group!(
     bench_scale_n,
     bench_scale_m,
     bench_scan_vs_indexed,
+    bench_alpha_search,
     bench_admissions
 );
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 
 use crate::stats;
 use hetfeas_model::{Platform, TaskSet};
-use hetfeas_partition::{min_feasible_alpha, AdmissionTest, FirstFitEngine, IndexableAdmission};
+use hetfeas_partition::{min_feasible_alpha, AdmissionTest, LaneAdmission, SoaKernel};
 
 /// Bisection tolerance for α*.
 pub const ALPHA_TOL: f64 = 1e-4;
@@ -27,18 +27,21 @@ pub fn empirical_alpha<A: AdmissionTest>(
     min_feasible_alpha(tasks, platform, admission, bound + 1.0, ALPHA_TOL)
 }
 
-/// [`empirical_alpha`] on the indexed engine: sorts run once per instance
-/// and every probe is an `O((n+m)·log m)` indexed scan with exponential
-/// bracketing — the E1–E4 sweeps measure thousands of instances, so this
-/// is their hot path. Only for indexable admissions (EDF, RMS-LL,
-/// hyperbolic); RTA/Kuo–Mok sweeps keep using [`empirical_alpha`].
-pub fn empirical_alpha_indexed<A: IndexableAdmission>(
+/// [`empirical_alpha`] on the SoA kernel's batched ladder search: the
+/// keyed sorts run once per instance, and each pass over the sorted task
+/// stream tests [`hetfeas_partition::LADDER_WIDTH`] candidate αs at once
+/// over flat residual lanes, shrinking the bracket (width + 1)× per pass
+/// where bisection manages 2× per probe — the E1–E4 sweeps measure
+/// thousands of instances, so this is their hot path. Only for lane
+/// admissions (EDF, RMS-LL, hyperbolic); RTA/Kuo–Mok sweeps keep using
+/// [`empirical_alpha`].
+pub fn empirical_alpha_indexed<A: LaneAdmission>(
     tasks: &TaskSet,
     platform: &Platform,
     admission: A,
     bound: f64,
 ) -> Option<f64> {
-    FirstFitEngine::new(admission).min_feasible_alpha(tasks, platform, bound + 1.0, ALPHA_TOL)
+    SoaKernel::new(admission).min_feasible_alpha(tasks, platform, bound + 1.0, ALPHA_TOL)
 }
 
 /// Aggregate α* statistics for a table row.

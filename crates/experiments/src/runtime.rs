@@ -11,7 +11,7 @@ use crate::table::Table;
 use hetfeas_model::Augmentation;
 use hetfeas_obs::{MemorySink, MetricsSink};
 use hetfeas_partition::{
-    first_fit, first_fit_instrumented, metrics, EdfAdmission, FirstFitEngine, ScanStats,
+    first_fit, first_fit_instrumented, metrics, EdfAdmission, FirstFitEngine, ScanStats, SoaKernel,
 };
 use hetfeas_workload::{PeriodMenu, PlatformSpec, UtilizationSampler, WorkloadSpec};
 use std::time::Instant;
@@ -37,14 +37,17 @@ fn time_first_fit(spec: &WorkloadSpec, seed: u64, reps: usize) -> Option<f64> {
     Some(times[times.len() / 2])
 }
 
-/// Median wall times of the linear scan vs the indexed engine on the same
-/// instance, in nanoseconds. The engine is reused across reps, so the reps
-/// beyond the first also measure its workspace amortization.
-fn time_scan_vs_indexed(spec: &WorkloadSpec, seed: u64, reps: usize) -> Option<(f64, f64)> {
+/// Median wall times of the linear scan vs the indexed engine vs the SoA
+/// kernel on the same instance, in nanoseconds. The engine and kernel are
+/// reused across reps, so the reps beyond the first also measure their
+/// workspace amortization.
+fn time_scan_vs_indexed(spec: &WorkloadSpec, seed: u64, reps: usize) -> Option<(f64, f64, f64)> {
     let inst = spec.generate(seed, 0)?;
     let mut engine = FirstFitEngine::new(EdfAdmission);
+    let mut kernel = SoaKernel::new(EdfAdmission);
     let mut scan_times = Vec::with_capacity(reps);
     let mut idx_times = Vec::with_capacity(reps);
+    let mut kern_times = Vec::with_capacity(reps);
     for _ in 0..reps {
         let start = Instant::now();
         let out = first_fit(
@@ -60,12 +63,21 @@ fn time_scan_vs_indexed(spec: &WorkloadSpec, seed: u64, reps: usize) -> Option<(
         let out = engine.run(&inst.tasks, &inst.platform, Augmentation::NONE);
         idx_times.push(start.elapsed().as_nanos() as f64);
         std::hint::black_box(&out);
+
+        let start = Instant::now();
+        let out = kernel.run(&inst.tasks, &inst.platform, Augmentation::NONE);
+        kern_times.push(start.elapsed().as_nanos() as f64);
+        std::hint::black_box(&out);
     }
     let median = |v: &mut Vec<f64>| {
         v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         v[v.len() / 2]
     };
-    Some((median(&mut scan_times), median(&mut idx_times)))
+    Some((
+        median(&mut scan_times),
+        median(&mut idx_times),
+        median(&mut kern_times),
+    ))
 }
 
 /// E6: scaling tables (time vs n, time vs m).
@@ -217,13 +229,15 @@ pub fn e6_with<S: MetricsSink>(cfg: &ExpConfig, sink: &S) -> Vec<Table> {
             &[16, 64, 256, 1024, 4096]
         };
         let mut t4 = Table::new(
-            format!("E6d: linear scan vs indexed engine (n = {n_idx})"),
+            format!("E6d: linear scan vs indexed engine vs SoA kernel (n = {n_idx})"),
             &[
                 "n",
                 "m",
                 "scan (µs)",
                 "indexed (µs)",
+                "kernel (µs)",
                 "speedup",
+                "kernel speedup",
                 "scan checks",
                 "engine exact",
             ],
@@ -237,7 +251,7 @@ pub fn e6_with<S: MetricsSink>(cfg: &ExpConfig, sink: &S) -> Vec<Table> {
                 sampler: UtilizationSampler::UUniFastCapped,
                 periods: PeriodMenu::standard(),
             };
-            if let Some((scan, indexed)) = time_scan_vs_indexed(&spec, seed, reps) {
+            if let Some((scan, indexed, kernel)) = time_scan_vs_indexed(&spec, seed, reps) {
                 // Exact work counters on the same (deterministic) instance,
                 // outside the timed reps so they cannot perturb the timing.
                 let inst = spec.generate(seed, 0).expect("timed above");
@@ -259,7 +273,9 @@ pub fn e6_with<S: MetricsSink>(cfg: &ExpConfig, sink: &S) -> Vec<Table> {
                     m.to_string(),
                     format!("{:.1}", scan / 1e3),
                     format!("{:.1}", indexed / 1e3),
+                    format!("{:.1}", kernel / 1e3),
                     format!("{:.2}", scan / indexed),
+                    format!("{:.2}", indexed / kernel),
                     stats.admission_checks.to_string(),
                     row_sink.counter(metrics::ENGINE_EXACT_CHECKS).to_string(),
                 ]);
@@ -268,6 +284,11 @@ pub fn e6_with<S: MetricsSink>(cfg: &ExpConfig, sink: &S) -> Vec<Table> {
         t4.note(
             "identical outcomes by construction (property-tested); the engine replaces the O(m) scan \
              with an O(log m) segment-tree descend, so its time is nearly flat in m"
+                .to_string(),
+        );
+        t4.note(
+            "'kernel' is the struct-of-arrays kernel (keyed sorts, 4-wide admission masks, \
+             block-max pruning); 'kernel speedup' is indexed time / kernel time"
                 .to_string(),
         );
         t4.note(
@@ -302,16 +323,17 @@ mod tests {
             let bound: u64 = row[4].parse().unwrap();
             assert!(checks <= bound, "{row:?}");
         }
-        // E6d: both columns are populated and finite.
+        // E6d: all three timing columns are populated and finite.
         assert_eq!(ts[3].rows.len(), 3); // quick m-sweep
         for row in &ts[3].rows {
             let scan: f64 = row[2].parse().unwrap();
             let indexed: f64 = row[3].parse().unwrap();
-            assert!(scan > 0.0 && indexed > 0.0, "{row:?}");
+            let kernel: f64 = row[4].parse().unwrap();
+            assert!(scan > 0.0 && indexed > 0.0 && kernel > 0.0, "{row:?}");
             // Work counters: the engine re-verifies at most as many slots
             // as the reference scan visits.
-            let checks: u64 = row[5].parse().unwrap();
-            let exact: u64 = row[6].parse().unwrap();
+            let checks: u64 = row[7].parse().unwrap();
+            let exact: u64 = row[8].parse().unwrap();
             assert!((1..=checks).contains(&exact), "{row:?}");
         }
     }

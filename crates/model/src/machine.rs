@@ -175,12 +175,64 @@ impl Platform {
         });
     }
 
+    /// Machine speeds as a contiguous `f64` lane, in insertion order,
+    /// written into a caller-owned buffer (cleared first). The
+    /// struct-of-arrays view for the vectorized admission kernel:
+    /// `out[j] == self.speed_f64(j)` bit-for-bit.
+    pub fn speeds_f64_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.machines.iter().map(Machine::speed_f64));
+    }
+
+    /// [`Platform::order_by_increasing_speed_into`] computed from cached
+    /// speed copies and a cross-multiplication comparator instead of
+    /// per-comparison gcd reductions.
+    ///
+    /// Speeds are positive normalized rationals, so `a/b < c/d ⟺ a·d < c·b`;
+    /// the products are taken in `u128` with a checked-overflow fallback to
+    /// the full [`Ratio`] comparison. The resulting order is the exact
+    /// non-decreasing speed order (ties by original index) and matches
+    /// [`Platform::order_by_increasing_speed`] whenever the rational
+    /// comparison stays inside `i128`. `keys` is scratch space so repeated
+    /// sorts allocate nothing.
+    pub fn order_by_increasing_speed_keyed_into(
+        &self,
+        keys: &mut Vec<(Ratio, usize)>,
+        idx: &mut Vec<usize>,
+    ) {
+        keys.clear();
+        keys.extend(
+            self.machines
+                .iter()
+                .enumerate()
+                .map(|(i, m)| (m.speed(), i)),
+        );
+        keys.sort_unstable_by(|&(sa, a), &(sb, b)| {
+            cmp_positive_speed_fast(&sa, &sb).then(a.cmp(&b))
+        });
+        idx.clear();
+        idx.extend(keys.iter().map(|&(_, i)| i));
+    }
+
     /// Speeds sorted in non-increasing order (used by the level-algorithm
     /// feasibility condition).
     pub fn speeds_decreasing(&self) -> Vec<Ratio> {
         let mut v: Vec<Ratio> = self.machines.iter().map(|m| m.speed()).collect();
         v.sort_by(|a, b| b.cmp(a));
         v
+    }
+}
+
+/// Exact comparison of two positive normalized rationals via `u128`
+/// cross-multiplication, falling back to [`Ratio`]'s own (gcd-reducing)
+/// comparison only if a product overflows `u128`.
+#[inline]
+fn cmp_positive_speed_fast(a: &Ratio, b: &Ratio) -> core::cmp::Ordering {
+    let lhs = (a.numer() as u128).checked_mul(b.denom() as u128);
+    let rhs = (b.numer() as u128).checked_mul(a.denom() as u128);
+    match (lhs, rhs) {
+        (Some(l), Some(r)) => l.cmp(&r),
+        _ => a.cmp(b),
     }
 }
 
@@ -289,6 +341,48 @@ mod tests {
                 Ratio::ONE
             ]
         );
+    }
+
+    #[test]
+    fn speed_lane_matches_scalar() {
+        let p = Platform::from_f64_speeds([2.5, 1.0, 0.125]).unwrap();
+        let mut lane = vec![0.0; 1];
+        p.speeds_f64_into(&mut lane);
+        assert_eq!(lane.len(), 3);
+        for j in 0..3 {
+            assert_eq!(lane[j].to_bits(), p.speed_f64(j).to_bits());
+        }
+    }
+
+    #[test]
+    fn keyed_speed_ordering_matches_rational_ordering() {
+        let mut s = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut keys = Vec::new();
+        let mut keyed = Vec::new();
+        for round in 0..40 {
+            let m = 1 + (next() % 48) as usize;
+            let p = if round % 2 == 0 {
+                Platform::from_int_speeds((0..m).map(|_| 1 + next() % (1 << 40))).unwrap()
+            } else {
+                // Fractional speeds exercise the den > 1 cross-mult path.
+                Platform::from_f64_speeds(
+                    (0..m).map(|_| (1 + next() % 10_000) as f64 / (1 + next() % 1_000) as f64),
+                )
+                .unwrap()
+            };
+            p.order_by_increasing_speed_keyed_into(&mut keys, &mut keyed);
+            assert_eq!(keyed, p.order_by_increasing_speed(), "round {round}");
+        }
+        // Exact ties (2/1 == 4/2 via f64 2.0) keep original index order.
+        let p = Platform::from_int_speeds([4, 1, 2, 1]).unwrap();
+        p.order_by_increasing_speed_keyed_into(&mut keys, &mut keyed);
+        assert_eq!(keyed, vec![1, 3, 2, 0]);
     }
 
     #[test]

@@ -135,6 +135,57 @@ impl TaskSet {
         });
     }
 
+    /// Per-task utilizations `c_i / p_i` as a contiguous `f64` lane, in
+    /// insertion order, written into a caller-owned buffer (cleared first).
+    ///
+    /// This is the struct-of-arrays view the vectorized admission kernel
+    /// consumes: `out[i] == self[i].utilization()` bit-for-bit, so a kernel
+    /// reading the lane sees exactly the values the scalar scan computes.
+    pub fn utilizations_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.tasks.iter().map(Task::utilization));
+    }
+
+    /// [`TaskSet::order_by_decreasing_utilization_into`] computed from
+    /// precomputed fixed-point keys instead of per-comparison rational
+    /// reductions.
+    ///
+    /// Each task gets the key `⌊(c·2^64)/p⌋` (`u128`); the floor is monotone
+    /// in `c/p`, so a strict key inequality decides the comparison with no
+    /// division or gcd. Equal keys fall back to the exact `u128`
+    /// cross-multiplication `c_a·p_b` vs `c_b·p_a` (never overflows: both
+    /// factors are `u64`), then the original index. The resulting order is
+    /// the exact decreasing-utilization order and matches
+    /// [`TaskSet::order_by_decreasing_utilization`] whenever the rational
+    /// comparison stays inside `i128` (its documented pathological-overflow
+    /// f64 fallback can misorder near-equal huge coprime ratios; this path
+    /// cannot). `keys` is scratch space so repeated sorts allocate nothing.
+    pub fn order_by_decreasing_utilization_keyed_into(
+        &self,
+        keys: &mut Vec<(u128, usize)>,
+        idx: &mut Vec<usize>,
+    ) {
+        keys.clear();
+        keys.extend(
+            self.tasks
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (((t.wcet() as u128) << 64) / t.period() as u128, i)),
+        );
+        keys.sort_unstable_by(|&(ka, a), &(kb, b)| {
+            kb.cmp(&ka)
+                .then_with(|| {
+                    let (ta, tb) = (&self.tasks[a], &self.tasks[b]);
+                    let lhs = tb.wcet() as u128 * ta.period() as u128;
+                    let rhs = ta.wcet() as u128 * tb.period() as u128;
+                    lhs.cmp(&rhs)
+                })
+                .then(a.cmp(&b))
+        });
+        idx.clear();
+        idx.extend(keys.iter().map(|&(_, i)| i));
+    }
+
     /// Hyperperiod (lcm of periods), `None` when empty or on overflow.
     pub fn hyperperiod(&self) -> Option<u128> {
         hyperperiod(self.tasks.iter().map(|t| t.period()))
@@ -261,6 +312,50 @@ mod tests {
         // Exact ties keep original index order.
         let ts = TaskSet::from_pairs([(2, 6), (1, 3), (1, 2)]).unwrap();
         assert_eq!(ts.order_by_decreasing_utilization(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn utilization_lane_matches_scalar() {
+        let ts = demo();
+        let mut lane = vec![99.0];
+        ts.utilizations_into(&mut lane);
+        assert_eq!(lane.len(), ts.len());
+        for (i, t) in ts.iter().enumerate() {
+            assert_eq!(lane[i].to_bits(), t.utilization().to_bits());
+        }
+    }
+
+    #[test]
+    fn keyed_ordering_matches_rational_ordering() {
+        // Deterministic xorshift instances across several magnitudes,
+        // including values whose f64 images collide (so the fixed-point key
+        // tie-break path is exercised) and exact rational ties.
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut keys = Vec::new();
+        let mut keyed = Vec::new();
+        for round in 0..40 {
+            let n = 1 + (next() % 64) as usize;
+            let cap = [10u64, 1_000, 1_000_000, 1 << 40][round % 4];
+            let ts = TaskSet::from_pairs((0..n).map(|_| {
+                let p = 1 + next() % cap;
+                let c = 1 + next() % p.max(1);
+                (c, p)
+            }))
+            .unwrap();
+            ts.order_by_decreasing_utilization_keyed_into(&mut keys, &mut keyed);
+            assert_eq!(keyed, ts.order_by_decreasing_utilization(), "round {round}");
+        }
+        // Exact ties (1/3 == 2/6 == 4/12) keep original index order.
+        let ts = TaskSet::from_pairs([(2, 6), (1, 3), (4, 12), (1, 2)]).unwrap();
+        ts.order_by_decreasing_utilization_keyed_into(&mut keys, &mut keyed);
+        assert_eq!(keyed, vec![3, 0, 1, 2]);
+        assert_eq!(keyed, ts.order_by_decreasing_utilization());
     }
 
     #[test]

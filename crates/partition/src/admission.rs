@@ -12,10 +12,47 @@
 //! extra tests beyond the paper — the hyperbolic bound and exact RTA — back
 //! the E8/E9 ablations.
 
-use hetfeas_analysis::{
-    liu_layland_bound, rms_hyperbolic_product_ok, rms_schedulable_kuo_mok, rta_schedulable_f64,
-};
-use hetfeas_model::{approx_le, Task, TaskSet};
+use hetfeas_analysis::{liu_layland_bound, rms_schedulable_kuo_mok, rta_schedulable_f64};
+use hetfeas_model::{Task, TaskSet, EPS};
+
+/// The ε-padded right-hand side of [`hetfeas_model::approx_le`]:
+/// `approx_le(x, cap) ⟺ x <= admit_rhs(cap)`, by definition of
+/// `approx_le`. Hoisting the padding onto the capacity side turns every
+/// additive admission predicate into the branchless single comparison
+/// `load + u <= rhs` — the form the struct-of-arrays kernel evaluates four
+/// lanes at a time — while the scalar [`AdmissionTest::admit`] impls below
+/// use the *same* expression, so both paths decide identically bit for bit.
+#[inline(always)]
+pub fn admit_rhs(cap: f64) -> f64 {
+    cap + EPS * cap.abs().max(1.0)
+}
+
+/// Branchless 4-lane mask for *additive* admissions (EDF, RMS-LL): bit `k`
+/// is set iff `load[k] + u <= rhs[k]`, i.e. iff lane `k` admits a task of
+/// utilization `u` under the exact scalar predicate (with `rhs[k]` the
+/// [`admit_rhs`]-padded capacity). No branches, no early exit: the four
+/// comparisons compile to a single vector compare + movemask on SIMD
+/// targets.
+#[inline(always)]
+pub fn additive_admit_mask4(load: &[f64; 4], rhs: &[f64; 4], u: f64) -> u32 {
+    (load[0] + u <= rhs[0]) as u32
+        | (((load[1] + u <= rhs[1]) as u32) << 1)
+        | (((load[2] + u <= rhs[2]) as u32) << 2)
+        | (((load[3] + u <= rhs[3]) as u32) << 3)
+}
+
+/// Branchless 4-lane mask for the *multiplicative* hyperbolic admission:
+/// bit `k` is set iff `product[k] · (u / speed[k] + 1.0) <= rhs` — the
+/// exact scalar predicate with `rhs = admit_rhs(2.0)`. The division is
+/// kept per-lane (not strength-reduced to a reciprocal multiply) so the
+/// rounding matches the scalar path exactly.
+#[inline(always)]
+pub fn hyperbolic_admit_mask4(product: &[f64; 4], speed: &[f64; 4], rhs: f64, u: f64) -> u32 {
+    (product[0] * (u / speed[0] + 1.0) <= rhs) as u32
+        | (((product[1] * (u / speed[1] + 1.0) <= rhs) as u32) << 1)
+        | (((product[2] * (u / speed[2] + 1.0) <= rhs) as u32) << 2)
+        | (((product[3] * (u / speed[3] + 1.0) <= rhs) as u32) << 3)
+}
 
 /// A pluggable single-machine admission test with incremental state.
 ///
@@ -52,8 +89,9 @@ impl AdmissionTest for EdfAdmission {
     }
 
     fn admit(&self, state: &f64, task: &Task, speed: f64) -> Option<f64> {
+        // approx_le(next, speed), in the lane-op form the kernel vectorizes.
         let next = state + task.utilization();
-        approx_le(next, speed).then_some(next)
+        (next <= admit_rhs(speed)).then_some(next)
     }
 
     fn load(&self, state: &f64) -> f64 {
@@ -87,9 +125,10 @@ impl AdmissionTest for RmsLlAdmission {
     }
 
     fn admit(&self, state: &RmsLlState, task: &Task, speed: f64) -> Option<RmsLlState> {
+        // approx_le(next_load, bound·speed), in the kernel's lane-op form.
         let next_load = state.load + task.utilization();
         let next_count = state.count + 1;
-        approx_le(next_load, liu_layland_bound(next_count) * speed).then_some(RmsLlState {
+        (next_load <= admit_rhs(liu_layland_bound(next_count) * speed)).then_some(RmsLlState {
             load: next_load,
             count: next_count,
         })
@@ -130,8 +169,10 @@ impl AdmissionTest for RmsHyperbolicAdmission {
     }
 
     fn admit(&self, state: &HyperbolicState, task: &Task, speed: f64) -> Option<HyperbolicState> {
+        // rms_hyperbolic_product_ok(next) ⟺ approx_le(next, 2), in the
+        // kernel's lane-op form.
         let next = state.product * (task.utilization() / speed + 1.0);
-        rms_hyperbolic_product_ok(next).then_some(HyperbolicState {
+        (next <= admit_rhs(2.0)).then_some(HyperbolicState {
             product: next,
             load: state.load + task.utilization(),
         })
@@ -281,6 +322,69 @@ mod tests {
         assert!((a.load(&st) - 1.0).abs() < 1e-12);
         // A non-harmonic intruder pushes k to 2 → bound 0.828 < 1 + w.
         assert!(a.admit(&st, &t(1, 3), 1.0).is_none());
+    }
+
+    #[test]
+    fn admit_rhs_is_exactly_the_approx_le_padding() {
+        use hetfeas_model::approx_le;
+        for x in [0.0, 0.3, 1.0, 2.0, 17.5, 1e9, 1e-9] {
+            // approx_le(a, b) ⟺ a <= admit_rhs(b): probe both sides of the
+            // padded boundary.
+            let rhs = admit_rhs(x);
+            assert!(approx_le(rhs, x));
+            assert!(!approx_le(rhs + rhs.abs().max(1.0) * 1e-8, x));
+        }
+    }
+
+    #[test]
+    fn lane_masks_agree_with_scalar_admits() {
+        let edf = EdfAdmission;
+        let hyp = RmsHyperbolicAdmission;
+        // Deterministic xorshift sweep over 4-lane states around the
+        // admission boundary.
+        let mut s = 0xa076_1d64_78bd_642fu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..500 {
+            let task = t(1 + next() % 60, 10 + next() % 90);
+            let u = task.utilization();
+            let mut load = [0.0f64; 4];
+            let mut rhs = [0.0f64; 4];
+            let mut product = [0.0f64; 4];
+            let mut speed = [0.0f64; 4];
+            for k in 0..4 {
+                speed[k] = 1.0 + (next() % 50) as f64 / 10.0;
+                load[k] = (next() % 100) as f64 / 37.0;
+                rhs[k] = admit_rhs(speed[k]);
+                product[k] = 1.0 + (next() % 100) as f64 / 80.0;
+            }
+            let add_mask = additive_admit_mask4(&load, &rhs, u);
+            let hyp_mask = hyperbolic_admit_mask4(&product, &speed, admit_rhs(2.0), u);
+            for k in 0..4 {
+                assert_eq!(
+                    add_mask >> k & 1 == 1,
+                    edf.admit(&load[k], &task, speed[k]).is_some(),
+                    "EDF lane {k}: load {} speed {} u {u}",
+                    load[k],
+                    speed[k]
+                );
+                let st = HyperbolicState {
+                    product: product[k],
+                    load: 0.0,
+                };
+                assert_eq!(
+                    hyp_mask >> k & 1 == 1,
+                    hyp.admit(&st, &task, speed[k]).is_some(),
+                    "hyperbolic lane {k}: product {} speed {} u {u}",
+                    product[k],
+                    speed[k]
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! ## Exact equivalence with the reference scan
 //!
 //! Tree thresholds are *hints*: each [`IndexableAdmission::residual_hint`]
-//! over-approximates (by a ~1e-12 relative slack, far below [`EPS`]) the
+//! over-approximates (by a ~1e-12 relative slack, far below [`hetfeas_model::EPS`]) the
 //! largest utilization the exact [`AdmissionTest::admit`] predicate would
 //! accept, and every candidate leaf is re-checked with that exact
 //! predicate before placing. A rejected candidate resumes the query to its
@@ -37,25 +37,25 @@
 //! hoist the two sorts out of multi-α loops.
 
 use crate::admission::{
-    AdmissionTest, EdfAdmission, HyperbolicState, RmsHyperbolicAdmission, RmsLlAdmission,
-    RmsLlState,
+    admit_rhs, AdmissionTest, EdfAdmission, HyperbolicState, RmsHyperbolicAdmission,
+    RmsLlAdmission, RmsLlState,
 };
 use crate::assignment::{Assignment, FailureWitness, Outcome};
 use crate::metrics;
 use hetfeas_analysis::liu_layland_bound;
-use hetfeas_model::{Augmentation, Platform, Task, TaskSet, EPS};
+use hetfeas_model::{Augmentation, Platform, Task, TaskSet};
 use hetfeas_obs::MetricsSink;
 
 /// Relative slack added to residual hints so f64 rounding in
 /// `capacity − load` can never make the tree skip a machine the exact
 /// admission predicate would accept. ~1e-12 is ≥ 10³× the accumulated
-/// rounding error of the few flops involved and ≤ 10⁻³× [`EPS`], so false
+/// rounding error of the few flops involved and ≤ 10⁻³× [`hetfeas_model::EPS`], so false
 /// positives (cost: one wasted exact re-check) are vanishingly rare and
 /// false negatives are impossible.
-const HINT_SLACK: f64 = 1e-12;
+pub(crate) const HINT_SLACK: f64 = 1e-12;
 
 #[inline]
-fn relaxed_residual(capacity_rhs: f64, load: f64) -> f64 {
+pub(crate) fn relaxed_residual(capacity_rhs: f64, load: f64) -> f64 {
     (capacity_rhs - load) + HINT_SLACK * capacity_rhs.abs().max(load.abs()).max(1.0)
 }
 
@@ -87,9 +87,8 @@ pub trait IndexableAdmission: AdmissionTest {
 
 impl IndexableAdmission for EdfAdmission {
     fn residual_hint(&self, state: &f64, speed: f64) -> f64 {
-        // admit: approx_le(load + u, speed), i.e. load + u ≤ rhs.
-        let rhs = speed + EPS * speed.abs().max(1.0);
-        relaxed_residual(rhs, *state)
+        // admit: approx_le(load + u, speed), i.e. load + u ≤ admit_rhs(speed).
+        relaxed_residual(admit_rhs(speed), *state)
     }
 
     fn fold_state<'a, I>(&self, tasks: I, _speed: f64) -> f64
@@ -105,8 +104,7 @@ impl IndexableAdmission for EdfAdmission {
 impl IndexableAdmission for RmsLlAdmission {
     fn residual_hint(&self, state: &RmsLlState, speed: f64) -> f64 {
         // admit: approx_le(load + u, bound(count + 1) · speed).
-        let cap = liu_layland_bound(state.count + 1) * speed;
-        let rhs = cap + EPS * cap.abs().max(1.0);
+        let rhs = admit_rhs(liu_layland_bound(state.count + 1) * speed);
         relaxed_residual(rhs, state.load)
     }
 
@@ -127,7 +125,7 @@ impl IndexableAdmission for RmsHyperbolicAdmission {
     fn residual_hint(&self, state: &HyperbolicState, speed: f64) -> f64 {
         // admit: approx_le(product · (u/speed + 1), 2), so
         // u ≤ speed · (rhs/product − 1) with rhs the ε-padded 2.
-        let rhs = 2.0 + EPS * 2.0;
+        let rhs = admit_rhs(2.0);
         let bound = speed * (rhs / state.product - 1.0);
         bound + HINT_SLACK * bound.abs().max(speed.abs()).max(1.0)
     }
@@ -149,50 +147,89 @@ impl IndexableAdmission for RmsHyperbolicAdmission {
     }
 }
 
-/// Max-segment-tree over `f64` leaf values supporting point updates and
-/// "leftmost leaf ≥ threshold at or after position `from`" in `O(log m)`.
+/// Leaf values per tree leaf: the tree's leaves are *blocks* of
+/// `LEAF_SPAN` contiguous values, not single values, so the final step of
+/// every query is a branch-predictable linear scan over contiguous memory
+/// (and the heap is `LEAF_SPAN`× smaller — three levels shorter to climb).
+pub(crate) const LEAF_SPAN: usize = 8;
+
+/// Max-segment-tree over `f64` values supporting point updates and
+/// "leftmost value ≥ threshold at or after position `from`" in `O(log m)`.
+///
+/// Values live in one contiguous array grouped into [`LEAF_SPAN`]-sized
+/// blocks; the heap indexes the per-block maxima. Queries climb/descend
+/// over block maxima and resolve the final position with an in-block scan,
+/// which auto-vectorizes and costs no pointer chasing.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct MaxTree {
-    /// Power-of-two leaf span (0 until first rebuild).
-    leaves: usize,
-    /// 1-based heap layout: `node[1]` root, leaf `i` at `node[leaves + i]`;
-    /// padding leaves are `-∞` so they never match a query.
+    /// Power-of-two number of block leaves (0 until first rebuild).
+    block_leaves: usize,
+    /// Raw values, padded with `-∞` to `block_leaves · LEAF_SPAN` so
+    /// padding never matches a (finite-threshold) query.
+    values: Vec<f64>,
+    /// 1-based heap over block maxima: `node[1]` root, block `b`'s max at
+    /// `node[block_leaves + b]`.
     node: Vec<f64>,
 }
 
+/// Max of one `LEAF_SPAN` block via an unrolled 4-lane reduction (the
+/// shape LLVM turns into vector `max` + a horizontal reduce).
+#[inline]
+fn block_max(vals: &[f64]) -> f64 {
+    debug_assert_eq!(vals.len(), LEAF_SPAN);
+    let m0 = vals[0].max(vals[4]);
+    let m1 = vals[1].max(vals[5]);
+    let m2 = vals[2].max(vals[6]);
+    let m3 = vals[3].max(vals[7]);
+    m0.max(m1).max(m2.max(m3))
+}
+
 impl MaxTree {
-    /// Reset the tree to `values`, reusing the backing allocation.
+    /// Reset the tree to `values`, reusing the backing allocations.
     pub(crate) fn rebuild(&mut self, values: &[f64]) {
-        let leaves = values.len().max(1).next_power_of_two();
-        self.leaves = leaves;
+        let blocks = values.len().div_ceil(LEAF_SPAN).max(1).next_power_of_two();
+        self.block_leaves = blocks;
+        self.values.clear();
+        self.values.resize(blocks * LEAF_SPAN, f64::NEG_INFINITY);
+        self.values[..values.len()].copy_from_slice(values);
         self.node.clear();
-        self.node.resize(2 * leaves, f64::NEG_INFINITY);
-        self.node[leaves..leaves + values.len()].copy_from_slice(values);
-        for i in (1..leaves).rev() {
+        self.node.resize(2 * blocks, f64::NEG_INFINITY);
+        for b in 0..blocks {
+            self.node[blocks + b] = block_max(&self.values[b * LEAF_SPAN..(b + 1) * LEAF_SPAN]);
+        }
+        for i in (1..blocks).rev() {
             self.node[i] = self.node[2 * i].max(self.node[2 * i + 1]);
         }
     }
 
-    /// Set leaf `i` to `v` and repair ancestors.
+    /// Set value `i` to `v` and repair the block max plus its ancestors.
     pub(crate) fn update(&mut self, i: usize, v: f64) {
-        let mut i = self.leaves + i;
-        self.node[i] = v;
+        self.values[i] = v;
+        let b = i / LEAF_SPAN;
+        let mut i = self.block_leaves + b;
+        self.node[i] = block_max(&self.values[b * LEAF_SPAN..(b + 1) * LEAF_SPAN]);
         while i > 1 {
             i /= 2;
             self.node[i] = self.node[2 * i].max(self.node[2 * i + 1]);
         }
     }
 
-    /// Index of the leftmost leaf `≥ from` whose value is `≥ threshold`.
+    /// Index of the leftmost value at position `≥ from` that is
+    /// `≥ threshold`.
     pub(crate) fn first_at_least(&self, from: usize, threshold: f64) -> Option<usize> {
-        if from >= self.leaves {
+        if from >= self.values.len() {
             return None;
         }
-        let mut i = self.leaves + from;
-        if self.node[i] >= threshold {
-            return Some(from);
+        // Finish `from`'s own block with a contiguous scan.
+        let b0 = from / LEAF_SPAN;
+        for (off, &v) in self.values[from..(b0 + 1) * LEAF_SPAN].iter().enumerate() {
+            if v >= threshold {
+                return Some(from + off);
+            }
         }
-        // Climb until a right-sibling subtree can contain a match.
+        // Climb over block maxima until a right-sibling subtree can
+        // contain a match.
+        let mut i = self.block_leaves + b0;
         loop {
             if i == 1 {
                 return None;
@@ -206,14 +243,18 @@ impl MaxTree {
             }
             i /= 2;
         }
-        // Descend to the leftmost qualifying leaf.
-        while i < self.leaves {
+        // Descend to the leftmost qualifying block, then scan it.
+        while i < self.block_leaves {
             i *= 2;
             if self.node[i] < threshold {
                 i += 1;
             }
         }
-        Some(i - self.leaves)
+        let base = (i - self.block_leaves) * LEAF_SPAN;
+        self.values[base..base + LEAF_SPAN]
+            .iter()
+            .position(|&v| v >= threshold)
+            .map(|off| base + off)
     }
 }
 
@@ -316,6 +357,11 @@ impl<A: IndexableAdmission> FirstFitEngine<A> {
             "probe() without a matching prepare()"
         );
         let alpha = alpha.factor();
+        let caps = (
+            self.speeds.capacity(),
+            self.states.capacity(),
+            self.residuals.capacity(),
+        );
         self.speeds.clear();
         self.speeds
             .extend(self.base_speeds.iter().map(|&s| alpha * s));
@@ -331,6 +377,14 @@ impl<A: IndexableAdmission> FirstFitEngine<A> {
                 .map(|(st, &sp)| self.admission.residual_hint(st, sp)),
         );
         self.tree.rebuild(&self.residuals);
+        if S::ENABLED {
+            let grown = u64::from(self.speeds.capacity() != caps.0)
+                + u64::from(self.states.capacity() != caps.1)
+                + u64::from(self.residuals.capacity() != caps.2);
+            if grown > 0 {
+                sink.counter_add(metrics::FF_WORKSPACE_ALLOCS, grown);
+            }
+        }
 
         let mut scan_checks = 0u64;
         let mut placed_count = 0u64;
@@ -797,6 +851,23 @@ mod tests {
         assert_eq!(probes, 1 + brackets + iters);
         assert!(brackets >= 1);
         assert!(iters >= 1);
+    }
+
+    #[test]
+    fn engine_workspace_allocations_zero_at_steady_state() {
+        use hetfeas_obs::MemorySink;
+        let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p = platform(&[1, 1]);
+        let mut e = FirstFitEngine::new(EdfAdmission);
+        e.prepare(&tasks, &p);
+        let warmup = MemorySink::new();
+        e.probe_with(&tasks, &p, Augmentation::NONE, &warmup);
+        assert!(warmup.counter(metrics::FF_WORKSPACE_ALLOCS) > 0);
+        let steady = MemorySink::new();
+        for a in [1.0, 1.5, 1.6, 2.0, 3.0] {
+            e.probe_with(&tasks, &p, Augmentation::new(a).unwrap(), &steady);
+        }
+        assert_eq!(steady.counter(metrics::FF_WORKSPACE_ALLOCS), 0);
     }
 
     #[test]

@@ -147,8 +147,38 @@ pub fn first_fit_within<A: AdmissionTest>(
     )
 }
 
-/// [`first_fit_ordered_with`] under an execution budget (the most general
-/// form — explicit orders, metrics sink and gas meter).
+/// Reusable scratch buffers for the reference scan: the α-augmented speeds
+/// and per-machine admission states in scan order. A workspace held across
+/// calls — e.g. across the probes of [`min_feasible_alpha`] — makes every
+/// call after the first allocation-free; the instrumented paths count each
+/// buffer growth under `ff.workspace_allocs` so steady-state reuse is
+/// verifiable (zero after warm-up).
+#[derive(Debug, Clone)]
+pub struct ScanWorkspace<A: AdmissionTest> {
+    speeds: Vec<f64>,
+    states: Vec<A::State>,
+}
+
+impl<A: AdmissionTest> ScanWorkspace<A> {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        ScanWorkspace {
+            speeds: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+}
+
+impl<A: AdmissionTest> Default for ScanWorkspace<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// [`first_fit_ordered_with`] under an execution budget (explicit orders,
+/// metrics sink and gas meter). Allocates a fresh workspace per call;
+/// repeated callers should hold a [`ScanWorkspace`] and use
+/// [`first_fit_ordered_ws`] instead.
 #[allow(clippy::too_many_arguments)]
 pub fn first_fit_ordered_within_with<A: AdmissionTest, S: MetricsSink>(
     tasks: &TaskSet,
@@ -160,18 +190,55 @@ pub fn first_fit_ordered_within_with<A: AdmissionTest, S: MetricsSink>(
     gas: &mut Gas,
     sink: &S,
 ) -> Outcome {
+    first_fit_ordered_ws(
+        tasks,
+        platform,
+        alpha,
+        admission,
+        task_order,
+        machine_order,
+        &mut ScanWorkspace::new(),
+        gas,
+        sink,
+    )
+}
+
+/// The most general reference-scan form: explicit orders, metrics sink,
+/// gas meter, and a caller-owned [`ScanWorkspace`] so multi-probe loops
+/// (the α-searches) run allocation-free after the first probe.
+#[allow(clippy::too_many_arguments)]
+pub fn first_fit_ordered_ws<A: AdmissionTest, S: MetricsSink>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    alpha: Augmentation,
+    admission: &A,
+    task_order: &[usize],
+    machine_order: &[usize],
+    ws: &mut ScanWorkspace<A>,
+    gas: &mut Gas,
+    sink: &S,
+) -> Outcome {
     debug_assert_eq!(task_order.len(), tasks.len());
     debug_assert_eq!(machine_order.len(), platform.len());
     let alpha = alpha.factor();
 
-    // Augmented speeds in scan order, plus one admission state per machine.
-    let speeds: Vec<f64> = machine_order
-        .iter()
-        .map(|&m| alpha * platform.speed_f64(m))
-        .collect();
-    let mut states: Vec<A::State> = (0..platform.len())
-        .map(|_| admission.empty_state())
-        .collect();
+    // Augmented speeds in scan order, plus one admission state per machine
+    // — filled into the reused workspace buffers.
+    let caps = (ws.speeds.capacity(), ws.states.capacity());
+    ws.speeds.clear();
+    ws.speeds
+        .extend(machine_order.iter().map(|&m| alpha * platform.speed_f64(m)));
+    ws.states.clear();
+    ws.states
+        .extend((0..platform.len()).map(|_| admission.empty_state()));
+    if S::ENABLED {
+        let grown =
+            u64::from(ws.speeds.capacity() != caps.0) + u64::from(ws.states.capacity() != caps.1);
+        if grown > 0 {
+            sink.counter_add(metrics::FF_WORKSPACE_ALLOCS, grown);
+        }
+    }
+    let (speeds, states) = (&ws.speeds, &mut ws.states);
 
     let flush = |checks: u64, placed: u64| {
         if S::ENABLED {
@@ -261,17 +328,21 @@ pub fn min_feasible_alpha_with<A: AdmissionTest, S: MetricsSink>(
     }
     let task_order = tasks.order_by_decreasing_utilization();
     let machine_order = platform.order_by_increasing_speed();
-    let accepts = |alpha: f64| {
+    // One workspace shared by every probe: only the first may allocate.
+    let mut ws = ScanWorkspace::new();
+    let mut accepts = |alpha: f64| {
         if S::ENABLED {
             sink.counter_add(metrics::ALPHA_PROBES, 1);
         }
-        first_fit_ordered_with(
+        first_fit_ordered_ws(
             tasks,
             platform,
             Augmentation::new(alpha).expect("alpha ∈ [1, hi], finite"),
             admission,
             &task_order,
             &machine_order,
+            &mut ws,
+            &mut Gas::unlimited(),
             sink,
         )
         .is_feasible()
@@ -315,14 +386,16 @@ pub fn min_feasible_alpha_within<A: AdmissionTest>(
     }
     let task_order = tasks.order_by_decreasing_utilization();
     let machine_order = platform.order_by_increasing_speed();
-    let accepts = |alpha: f64, gas: &mut Gas| -> Result<bool, Exhaustion> {
-        let out = first_fit_ordered_within_with(
+    let mut ws = ScanWorkspace::new();
+    let mut accepts = |alpha: f64, gas: &mut Gas| -> Result<bool, Exhaustion> {
+        let out = first_fit_ordered_ws(
             tasks,
             platform,
             Augmentation::new(alpha).expect("alpha ∈ [1, hi], finite"),
             admission,
             &task_order,
             &machine_order,
+            &mut ws,
             gas,
             &(),
         );
@@ -522,6 +595,45 @@ mod tests {
             min_feasible_alpha_within(&tasks, &p, &EdfAdmission, 4.0, 1e-6, &mut gas),
             Err(Exhaustion::Ops)
         );
+    }
+
+    #[test]
+    fn workspace_allocations_zero_at_steady_state() {
+        use hetfeas_obs::MemorySink;
+        // The α-search shares one workspace across all its probes: only
+        // the first probe may grow the two buffers (speeds + states).
+        let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p = platform(&[1, 1]);
+        let sink = MemorySink::new();
+        let a = min_feasible_alpha_with(&tasks, &p, &EdfAdmission, 4.0, 1e-6, &sink).unwrap();
+        assert!((a - 1.6).abs() < 1e-5);
+        let probes = sink.counter(metrics::ALPHA_PROBES);
+        let allocs = sink.counter(metrics::FF_WORKSPACE_ALLOCS);
+        assert!(probes > 3, "expected a multi-probe bisection, got {probes}");
+        assert!(
+            allocs <= 2,
+            "steady-state probes must not allocate: {allocs} growths over {probes} probes"
+        );
+        // A reused explicit workspace across repeat scans: second run clean.
+        let t_ord = tasks.order_by_decreasing_utilization();
+        let m_ord = p.order_by_increasing_speed();
+        let mut ws = ScanWorkspace::new();
+        for pass in 0..3 {
+            let sink = MemorySink::new();
+            first_fit_ordered_ws(
+                &tasks,
+                &p,
+                Augmentation::NONE,
+                &EdfAdmission,
+                &t_ord,
+                &m_ord,
+                &mut ws,
+                &mut Gas::unlimited(),
+                &sink,
+            );
+            let expect = if pass == 0 { 2 } else { 0 };
+            assert_eq!(sink.counter(metrics::FF_WORKSPACE_ALLOCS), expect);
+        }
     }
 
     #[test]

@@ -1,0 +1,989 @@
+//! Struct-of-arrays admission kernel: the §III scan over SIMD-friendly
+//! residual lanes, plus a batched ladder α-search.
+//!
+//! The indexed engine ([`crate::FirstFitEngine`]) already removed the
+//! `O(n·m)` scan, but its hot path still chases per-machine AoS state and
+//! re-sorts tasks with exact rational comparisons on every run. This module
+//! rebuilds the placement loop around flat `f64` lanes:
+//!
+//! * **SoA state.** Each admission keeps its per-machine state as separate
+//!   `Vec<f64>` lanes (loads and padded capacities for EDF/RMS-LL, products
+//!   and speeds for the hyperbolic test) in machine-scan order, padded to a
+//!   [`BLOCK`] multiple with values that can never admit. No pointers, no
+//!   per-machine structs — an admission check touches two contiguous cache
+//!   lines.
+//! * **Branchless lane predicates.** The scalar `admit` predicates are
+//!   evaluated as mask ops ([`crate::admission::additive_admit_mask4`],
+//!   [`crate::admission::hyperbolic_admit_mask4`]) four lanes at a time via
+//!   `chunks_exact(4)` — a vector compare + movemask on SIMD targets — and
+//!   block maxima are maintained with unrolled 4-lane max reductions.
+//! * **Block-max pruning.** Per [`BLOCK`] machines the kernel keeps the max
+//!   residual *hint* (the engine's over-approximation, see
+//!   [`crate::IndexableAdmission`]): a block whose max hint is below the
+//!   task's utilization provably admits nowhere and is skipped without
+//!   touching its lanes; a visited block is decided by the *exact* masks.
+//! * **Fast exact sorts.** `prepare` uses the keyed sorts
+//!   ([`hetfeas_model::TaskSet::order_by_decreasing_utilization_keyed_into`],
+//!   [`hetfeas_model::Platform::order_by_increasing_speed_keyed_into`]) —
+//!   precomputed fixed-point keys with exact cross-multiplication
+//!   tie-breaks — which on the seed profile were >20× cheaper than the
+//!   per-comparison rational reductions that dominated the engine's runs.
+//! * **Batched α-search.** [`SoaKernel::ladder_feasibility`] tests a ladder
+//!   of K candidate αs in **one pass** over the shared sorted task stream (K
+//!   independent lane sets advance together), and
+//!   [`SoaKernel::min_feasible_alpha`] subdivides the bracket into K+1
+//!   sub-intervals per pass — a (K+1)-ary search that replaces K full
+//!   bisection passes and reuses one sort for every probe.
+//!
+//! ## Exact equivalence with the reference scan
+//!
+//! The lane masks *are* the scalar predicates — identical f64 expressions
+//! on identical inputs (`utilizations_into` / `speeds_f64_into` hand the
+//! kernel bit-identical lanes), and pruning only ever skips blocks whose
+//! every lane the exact predicate would reject (hints over-approximate).
+//! Scanning blocks left-to-right and taking the lowest set mask bit yields
+//! the first admitting machine in scan order — exactly the machine the
+//! reference scan picks. Outcomes (assignments, witnesses, tie-breaking)
+//! are byte-identical, asserted by `tests/prop_kernel.rs` and the
+//! dependency-free sweeps below.
+
+use crate::admission::{additive_admit_mask4, admit_rhs, hyperbolic_admit_mask4};
+use crate::assignment::{Assignment, FailureWitness, Outcome};
+use crate::engine::{relaxed_residual, IndexableAdmission, HINT_SLACK};
+use crate::metrics;
+use hetfeas_analysis::liu_layland_bound;
+use hetfeas_model::{Augmentation, Platform, Ratio, TaskSet};
+use hetfeas_obs::MetricsSink;
+
+/// Machine slots per pruning block: one block-max comparison can skip this
+/// many lanes. 64 slots = 16 mask ops = 8 cache lines of `f64`.
+pub const BLOCK: usize = 64;
+
+/// Candidate αs tested per pass by [`SoaKernel::min_feasible_alpha`]: each
+/// pass shrinks the bracket by (width + 1)× instead of bisection's 2×.
+pub const LADDER_WIDTH: usize = 8;
+
+/// Max of one [`BLOCK`]-sized hint slice via four running lanes (the shape
+/// LLVM turns into vector `max` + one horizontal reduce at the end).
+#[inline]
+fn block_max64(hints: &[f64]) -> f64 {
+    debug_assert_eq!(hints.len(), BLOCK);
+    let mut m = [f64::NEG_INFINITY; 4];
+    for lane4 in hints.chunks_exact(4) {
+        m[0] = m[0].max(lane4[0]);
+        m[1] = m[1].max(lane4[1]);
+        m[2] = m[2].max(lane4[2]);
+        m[3] = m[3].max(lane4[3]);
+    }
+    m[0].max(m[1]).max(m[2].max(m[3]))
+}
+
+/// Struct-of-arrays per-machine state for one admission test.
+///
+/// Implementations hold one `f64` per machine slot per state component,
+/// in machine-scan order, padded so that padding slots never admit. The
+/// in-block scan and the place arithmetic must be *bit-identical* to the
+/// scalar [`AdmissionTest::admit`] of the owning admission — that is what
+/// makes kernel outcomes byte-identical to the reference scan.
+pub trait LaneSet: Default + core::fmt::Debug {
+    /// Reset to `speeds.len()` empty machines at the given α-augmented
+    /// speeds (scan order), padded to `padded` slots (a [`BLOCK`]
+    /// multiple) that can never admit.
+    fn reset(&mut self, speeds: &[f64], padded: usize);
+
+    /// Leftmost slot in `[base, base + BLOCK)` that admits utilization `u`
+    /// under the exact scalar predicate, with masks evaluated four lanes
+    /// at a time (early exit per 4-lane chunk).
+    fn first_admit_in_block(&self, base: usize, u: f64) -> Option<usize>;
+
+    /// Commit `u` onto slot `j` with the same arithmetic as the scalar
+    /// admit, and return the slot's new residual hint.
+    fn place(&mut self, j: usize, u: f64) -> f64;
+
+    /// Over-approximating residual hint for slot `j`: `≥` the utilization
+    /// of every task the exact predicate would admit there (the
+    /// [`IndexableAdmission`] contract).
+    fn hint(&self, j: usize) -> f64;
+}
+
+/// An admission test with a struct-of-arrays lane representation the
+/// kernel can drive. Implemented for EDF, RMS-LL and the hyperbolic
+/// admission — exactly the [`IndexableAdmission`]s, whose hint contract
+/// the lane hints inherit.
+pub trait LaneAdmission: IndexableAdmission {
+    /// The SoA lane state for this admission.
+    type Lanes: LaneSet;
+}
+
+/// EDF lanes: `load[j] + u <= rhs[j]` with `rhs[j] = admit_rhs(α·s_j)`.
+#[derive(Debug, Clone, Default)]
+pub struct EdfLanes {
+    load: Vec<f64>,
+    rhs: Vec<f64>,
+}
+
+impl LaneSet for EdfLanes {
+    fn reset(&mut self, speeds: &[f64], padded: usize) {
+        // Padding: infinite load against a -∞ capacity never admits.
+        self.load.clear();
+        self.load.resize(padded, f64::INFINITY);
+        self.rhs.clear();
+        self.rhs.resize(padded, f64::NEG_INFINITY);
+        for (j, &s) in speeds.iter().enumerate() {
+            self.load[j] = 0.0;
+            self.rhs[j] = admit_rhs(s);
+        }
+    }
+
+    #[inline]
+    fn first_admit_in_block(&self, base: usize, u: f64) -> Option<usize> {
+        let loads = &self.load[base..base + BLOCK];
+        let rhss = &self.rhs[base..base + BLOCK];
+        for (ci, (l4, r4)) in loads.chunks_exact(4).zip(rhss.chunks_exact(4)).enumerate() {
+            let mask = additive_admit_mask4(l4.try_into().unwrap(), r4.try_into().unwrap(), u);
+            if mask != 0 {
+                return Some(base + ci * 4 + mask.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn place(&mut self, j: usize, u: f64) -> f64 {
+        let next = self.load[j] + u;
+        self.load[j] = next;
+        relaxed_residual(self.rhs[j], next)
+    }
+
+    #[inline]
+    fn hint(&self, j: usize) -> f64 {
+        relaxed_residual(self.rhs[j], self.load[j])
+    }
+}
+
+/// RMS-LL lanes: `load[j] + u <= rhs[j]` where `rhs[j]` is re-derived from
+/// the Liu–Layland bound at the slot's task count after each placement.
+#[derive(Debug, Clone, Default)]
+pub struct RmsLlLanes {
+    load: Vec<f64>,
+    rhs: Vec<f64>,
+    speed: Vec<f64>,
+    count: Vec<u32>,
+}
+
+impl LaneSet for RmsLlLanes {
+    fn reset(&mut self, speeds: &[f64], padded: usize) {
+        self.load.clear();
+        self.load.resize(padded, f64::INFINITY);
+        self.rhs.clear();
+        self.rhs.resize(padded, f64::NEG_INFINITY);
+        self.speed.clear();
+        self.speed.resize(padded, 1.0);
+        self.count.clear();
+        self.count.resize(padded, 0);
+        for (j, &s) in speeds.iter().enumerate() {
+            self.load[j] = 0.0;
+            self.speed[j] = s;
+            // bound(1) = 1: an empty machine admits up to its full speed.
+            self.rhs[j] = admit_rhs(liu_layland_bound(1) * s);
+        }
+    }
+
+    #[inline]
+    fn first_admit_in_block(&self, base: usize, u: f64) -> Option<usize> {
+        let loads = &self.load[base..base + BLOCK];
+        let rhss = &self.rhs[base..base + BLOCK];
+        for (ci, (l4, r4)) in loads.chunks_exact(4).zip(rhss.chunks_exact(4)).enumerate() {
+            let mask = additive_admit_mask4(l4.try_into().unwrap(), r4.try_into().unwrap(), u);
+            if mask != 0 {
+                return Some(base + ci * 4 + mask.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn place(&mut self, j: usize, u: f64) -> f64 {
+        let next = self.load[j] + u;
+        self.load[j] = next;
+        self.count[j] += 1;
+        // The *next* admission onto this slot sees bound(count + 1).
+        self.rhs[j] = admit_rhs(liu_layland_bound(self.count[j] as usize + 1) * self.speed[j]);
+        relaxed_residual(self.rhs[j], next)
+    }
+
+    #[inline]
+    fn hint(&self, j: usize) -> f64 {
+        relaxed_residual(self.rhs[j], self.load[j])
+    }
+}
+
+/// Hyperbolic lanes: `product[j] · (u / speed[j] + 1) <= admit_rhs(2)`.
+#[derive(Debug, Clone, Default)]
+pub struct HyperbolicLanes {
+    product: Vec<f64>,
+    speed: Vec<f64>,
+}
+
+impl HyperbolicLanes {
+    /// The engine's hyperbolic residual hint, from the lane components.
+    #[inline]
+    fn hint_of(product: f64, speed: f64) -> f64 {
+        let bound = speed * (admit_rhs(2.0) / product - 1.0);
+        bound + HINT_SLACK * bound.abs().max(speed.abs()).max(1.0)
+    }
+}
+
+impl LaneSet for HyperbolicLanes {
+    fn reset(&mut self, speeds: &[f64], padded: usize) {
+        // Padding: an infinite product never satisfies `≤ admit_rhs(2)`.
+        self.product.clear();
+        self.product.resize(padded, f64::INFINITY);
+        self.speed.clear();
+        self.speed.resize(padded, 1.0);
+        for (j, &s) in speeds.iter().enumerate() {
+            self.product[j] = 1.0;
+            self.speed[j] = s;
+        }
+    }
+
+    #[inline]
+    fn first_admit_in_block(&self, base: usize, u: f64) -> Option<usize> {
+        let rhs = admit_rhs(2.0);
+        let products = &self.product[base..base + BLOCK];
+        let speeds = &self.speed[base..base + BLOCK];
+        for (ci, (p4, s4)) in products
+            .chunks_exact(4)
+            .zip(speeds.chunks_exact(4))
+            .enumerate()
+        {
+            let mask =
+                hyperbolic_admit_mask4(p4.try_into().unwrap(), s4.try_into().unwrap(), rhs, u);
+            if mask != 0 {
+                return Some(base + ci * 4 + mask.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn place(&mut self, j: usize, u: f64) -> f64 {
+        let next = self.product[j] * (u / self.speed[j] + 1.0);
+        self.product[j] = next;
+        Self::hint_of(next, self.speed[j])
+    }
+
+    #[inline]
+    fn hint(&self, j: usize) -> f64 {
+        Self::hint_of(self.product[j], self.speed[j])
+    }
+}
+
+impl LaneAdmission for crate::admission::EdfAdmission {
+    type Lanes = EdfLanes;
+}
+impl LaneAdmission for crate::admission::RmsLlAdmission {
+    type Lanes = RmsLlLanes;
+}
+impl LaneAdmission for crate::admission::RmsHyperbolicAdmission {
+    type Lanes = HyperbolicLanes;
+}
+
+/// Work counters accumulated in locals and flushed once per run.
+#[derive(Default, Clone, Copy)]
+struct KernelStats {
+    mask_ops: u64,
+    blocks_scanned: u64,
+    blocks_pruned: u64,
+    block_misses: u64,
+}
+
+impl KernelStats {
+    fn flush<S: MetricsSink>(&self, sink: &S) {
+        if S::ENABLED {
+            sink.counter_add(metrics::KERNEL_MASK_OPS, self.mask_ops);
+            sink.counter_add(metrics::KERNEL_BLOCKS_SCANNED, self.blocks_scanned);
+            sink.counter_add(metrics::KERNEL_BLOCKS_PRUNED, self.blocks_pruned);
+            sink.counter_add(metrics::KERNEL_BLOCK_MISSES, self.block_misses);
+        }
+    }
+}
+
+/// One ladder rung: a full lane-set with its residual hints and per-block
+/// maxima. A single-α probe uses rung 0; a K-ladder advances K rungs over
+/// one pass of the task stream.
+#[derive(Debug, Default, Clone)]
+struct Rung<L: LaneSet> {
+    lanes: L,
+    hints: Vec<f64>,
+    block_max: Vec<f64>,
+}
+
+impl<L: LaneSet> Rung<L> {
+    fn reset(&mut self, speeds: &[f64]) {
+        let padded = speeds.len().div_ceil(BLOCK).max(1) * BLOCK;
+        self.lanes.reset(speeds, padded);
+        self.hints.clear();
+        self.hints.resize(padded, f64::NEG_INFINITY);
+        for j in 0..speeds.len() {
+            self.hints[j] = self.lanes.hint(j);
+        }
+        self.block_max.clear();
+        self.block_max
+            .extend(self.hints.chunks_exact(BLOCK).map(block_max64));
+    }
+
+    /// First-fit one task of utilization `u`: returns the scan slot it was
+    /// placed on, or `None` if no machine admits it.
+    #[inline]
+    fn find_and_place(&mut self, u: f64, count: bool, st: &mut KernelStats) -> Option<usize> {
+        for b in 0..self.block_max.len() {
+            // A hint ≥ u is necessary for any lane in the block to admit u
+            // (hints over-approximate), so `max < u` skips the block.
+            if self.block_max[b] < u {
+                if count {
+                    st.blocks_pruned += 1;
+                }
+                continue;
+            }
+            if count {
+                st.blocks_scanned += 1;
+            }
+            let base = b * BLOCK;
+            match self.lanes.first_admit_in_block(base, u) {
+                Some(j) => {
+                    if count {
+                        st.mask_ops += ((j - base) / 4 + 1) as u64;
+                    }
+                    self.hints[j] = self.lanes.place(j, u);
+                    self.block_max[b] = block_max64(&self.hints[base..base + BLOCK]);
+                    return Some(j);
+                }
+                None => {
+                    if count {
+                        st.mask_ops += (BLOCK / 4) as u64;
+                        st.block_misses += 1;
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The struct-of-arrays first-fit kernel: byte-identical outcomes to
+/// [`crate::first_fit()`] and [`crate::FirstFitEngine`], with flat lanes,
+/// branchless 4-wide admission masks, block-max pruning, keyed sorts, and
+/// a batched ladder α-search. Workspaces grow on first use and are reused
+/// by every later call.
+///
+/// ```
+/// use hetfeas_model::{Augmentation, Platform, TaskSet};
+/// use hetfeas_partition::{first_fit, EdfAdmission, SoaKernel};
+///
+/// let tasks = TaskSet::from_pairs([(3, 10), (4, 10), (9, 10)]).unwrap();
+/// let platform = Platform::from_int_speeds([1, 2]).unwrap();
+/// let mut kernel = SoaKernel::new(EdfAdmission);
+/// let fast = kernel.run(&tasks, &platform, Augmentation::NONE);
+/// let reference = first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission);
+/// assert_eq!(fast, reference);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoaKernel<A: LaneAdmission> {
+    admission: A,
+    task_order: Vec<usize>,
+    order_keys: Vec<(u128, usize)>,
+    machine_order: Vec<usize>,
+    machine_keys: Vec<(Ratio, usize)>,
+    /// Un-augmented speeds in machine-scan order (filled by `prepare`).
+    base_speeds: Vec<f64>,
+    /// α-augmented speeds, refilled per rung reset.
+    speeds: Vec<f64>,
+    /// Utilization lane in task insertion order (SoA view of the set).
+    raw_utils: Vec<f64>,
+    /// Utilization lane in scan (sorted) order — the placement stream.
+    utils: Vec<f64>,
+    rungs: Vec<Rung<A::Lanes>>,
+    /// `(n, m)` of the instance `prepare` last saw, for misuse checks.
+    prepared_for: Option<(usize, usize)>,
+}
+
+impl<A: LaneAdmission> SoaKernel<A> {
+    /// A fresh kernel for the given admission test.
+    pub fn new(admission: A) -> Self {
+        SoaKernel {
+            admission,
+            task_order: Vec::new(),
+            order_keys: Vec::new(),
+            machine_order: Vec::new(),
+            machine_keys: Vec::new(),
+            base_speeds: Vec::new(),
+            speeds: Vec::new(),
+            raw_utils: Vec::new(),
+            utils: Vec::new(),
+            rungs: Vec::new(),
+            prepared_for: None,
+        }
+    }
+
+    /// The admission test this kernel drives.
+    pub fn admission(&self) -> &A {
+        &self.admission
+    }
+
+    /// Hoist the per-instance work out of multi-α loops: keyed task and
+    /// machine sorts, the scan-order speed lane, and the sorted
+    /// utilization lane. Call once per instance, then [`Self::probe`] or
+    /// [`Self::ladder_feasibility`] per α.
+    pub fn prepare(&mut self, tasks: &TaskSet, platform: &Platform) {
+        tasks
+            .order_by_decreasing_utilization_keyed_into(&mut self.order_keys, &mut self.task_order);
+        platform
+            .order_by_increasing_speed_keyed_into(&mut self.machine_keys, &mut self.machine_order);
+        self.base_speeds.clear();
+        self.base_speeds
+            .extend(self.machine_order.iter().map(|&m| platform.speed_f64(m)));
+        tasks.utilizations_into(&mut self.raw_utils);
+        let (utils, raw, order) = (&mut self.utils, &self.raw_utils, &self.task_order);
+        utils.clear();
+        utils.extend(order.iter().map(|&ti| raw[ti]));
+        self.prepared_for = Some((tasks.len(), platform.len()));
+    }
+
+    /// Reset rung `r` to the augmented speeds `alpha · base_speeds`.
+    fn reset_rung(&mut self, r: usize, alpha: f64) {
+        if self.rungs.len() <= r {
+            self.rungs.resize_with(r + 1, Rung::default);
+        }
+        self.speeds.clear();
+        self.speeds
+            .extend(self.base_speeds.iter().map(|&s| alpha * s));
+        self.rungs[r].reset(&self.speeds);
+    }
+
+    /// Run the first-fit test at augmentation `alpha` over the orders
+    /// cached by the last [`Self::prepare`] call. `tasks` and `platform`
+    /// must be the same instance handed to `prepare`.
+    pub fn probe(&mut self, tasks: &TaskSet, platform: &Platform, alpha: Augmentation) -> Outcome {
+        self.probe_with(tasks, platform, alpha, &())
+    }
+
+    /// [`Self::probe`] with metrics: `ff.*` in reference-scan units
+    /// (identical numbers to the scan and the engine for the same
+    /// instance) plus the kernel's own `kernel.*` work counters.
+    pub fn probe_with<S: MetricsSink>(
+        &mut self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        alpha: Augmentation,
+        sink: &S,
+    ) -> Outcome {
+        debug_assert_eq!(
+            self.prepared_for,
+            Some((tasks.len(), platform.len())),
+            "probe() without a matching prepare()"
+        );
+        self.reset_rung(0, alpha.factor());
+        let m = platform.len();
+        let mut st = KernelStats::default();
+        let mut scan_checks = 0u64;
+        let mut placed_count = 0u64;
+        let mut assignment = Assignment::new(tasks.len(), m);
+        for idx in 0..self.task_order.len() {
+            let ti = self.task_order[idx];
+            let u = self.utils[idx];
+            match self.rungs[0].find_and_place(u, S::ENABLED, &mut st) {
+                Some(slot) => {
+                    if S::ENABLED {
+                        // The reference scan visits slots 0..=slot.
+                        scan_checks += slot as u64 + 1;
+                        sink.observe(metrics::FF_CHECKS_PER_TASK, slot as u64 + 1);
+                        placed_count += 1;
+                    }
+                    assignment.assign(ti, self.machine_order[slot]);
+                }
+                None => {
+                    if S::ENABLED {
+                        // The reference scan visits every machine and fails.
+                        scan_checks += m as u64;
+                        sink.observe(metrics::FF_CHECKS_PER_TASK, m as u64);
+                        sink.counter_add(metrics::FF_ADMISSION_CHECKS, scan_checks);
+                        sink.counter_add(metrics::FF_MACHINES_VISITED, scan_checks);
+                        sink.counter_add(metrics::FF_PLACED, placed_count);
+                    }
+                    st.flush(sink);
+                    return Outcome::Infeasible(FailureWitness {
+                        failing_task: ti,
+                        failing_utilization: u,
+                        partial: assignment,
+                    });
+                }
+            }
+        }
+        if S::ENABLED {
+            sink.counter_add(metrics::FF_ADMISSION_CHECKS, scan_checks);
+            sink.counter_add(metrics::FF_MACHINES_VISITED, scan_checks);
+            sink.counter_add(metrics::FF_PLACED, placed_count);
+        }
+        st.flush(sink);
+        Outcome::Feasible(assignment)
+    }
+
+    /// One-shot kernel first-fit: [`Self::prepare`] + [`Self::probe`].
+    /// Drop-in replacement for [`crate::first_fit()`] /
+    /// [`crate::FirstFitEngine::run`] with identical outcomes.
+    pub fn run(&mut self, tasks: &TaskSet, platform: &Platform, alpha: Augmentation) -> Outcome {
+        self.run_with(tasks, platform, alpha, &())
+    }
+
+    /// [`Self::run`] with metrics (see [`Self::probe_with`]).
+    pub fn run_with<S: MetricsSink>(
+        &mut self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        alpha: Augmentation,
+        sink: &S,
+    ) -> Outcome {
+        self.prepare(tasks, platform);
+        self.probe_with(tasks, platform, alpha, sink)
+    }
+
+    /// Advance the rungs `0..alphas.len()` (already reset) over the task
+    /// stream in one pass, writing each rung's verdict into `results`.
+    fn ladder_pass<S: MetricsSink>(&mut self, alphas: &[f64], results: &mut [bool], sink: &S) {
+        let k = alphas.len();
+        debug_assert!(alphas.iter().all(|a| a.is_finite() && *a >= 1.0));
+        for (r, &a) in alphas.iter().enumerate() {
+            self.reset_rung(r, a);
+        }
+        results[..k].fill(true);
+        let mut live = k;
+        let mut st = KernelStats::default();
+        for idx in 0..self.task_order.len() {
+            let u = self.utils[idx];
+            for r in 0..k {
+                if results[r]
+                    && self.rungs[r]
+                        .find_and_place(u, S::ENABLED, &mut st)
+                        .is_none()
+                {
+                    results[r] = false;
+                    live -= 1;
+                }
+            }
+            if live == 0 {
+                break;
+            }
+        }
+        st.flush(sink);
+        if S::ENABLED {
+            sink.counter_add(metrics::ALPHA_LADDER_PASSES, 1);
+            sink.counter_add(metrics::ALPHA_LADDER_RUNGS, k as u64);
+            sink.counter_add(metrics::ALPHA_PROBES, k as u64);
+        }
+    }
+
+    /// Feasibility of each candidate α in `alphas` — equivalent to one
+    /// [`Self::probe`] per α, computed in a **single pass** over the
+    /// sorted task stream with one lane-set per rung. Candidates must be
+    /// finite and ≥ 1.
+    pub fn ladder_feasibility(
+        &mut self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        alphas: &[f64],
+    ) -> Vec<bool> {
+        self.ladder_feasibility_with(tasks, platform, alphas, &())
+    }
+
+    /// [`Self::ladder_feasibility`] with metrics: each pass adds one to
+    /// `alpha.ladder_passes` and `alphas.len()` to `alpha.ladder_rungs`
+    /// and `alpha.probes`, plus the kernel's `kernel.*` work counters.
+    pub fn ladder_feasibility_with<S: MetricsSink>(
+        &mut self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        alphas: &[f64],
+        sink: &S,
+    ) -> Vec<bool> {
+        assert!(
+            alphas.iter().all(|a| a.is_finite() && *a >= 1.0),
+            "ladder candidates must be finite and ≥ 1"
+        );
+        self.prepare(tasks, platform);
+        let mut results = vec![false; alphas.len()];
+        self.ladder_pass(alphas, &mut results, sink);
+        results
+    }
+
+    /// Smallest augmentation (within `tol`) in `[1, hi]` at which the test
+    /// accepts `tasks`, or `None` if even `hi` does not suffice — the
+    /// batched counterpart of [`crate::FirstFitEngine::min_feasible_alpha`].
+    ///
+    /// Each pass tests a ladder of [`LADDER_WIDTH`] evenly spaced
+    /// candidates inside the bracket in one sweep over the task stream,
+    /// shrinking the bracket (LADDER_WIDTH + 1)× per pass — against 2× for
+    /// bisection — while the sorts run exactly once. Feasibility is
+    /// monotone in α (the property-tested assumption bisection already
+    /// relies on), so the bracket endpoints stay certified: `lo`
+    /// infeasible, the returned α probed feasible.
+    ///
+    /// Invalid searches (`hi` below 1 or non-finite, `tol` non-positive or
+    /// non-finite) return `None` instead of panicking.
+    pub fn min_feasible_alpha(
+        &mut self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        hi: f64,
+        tol: f64,
+    ) -> Option<f64> {
+        self.min_feasible_alpha_with(tasks, platform, hi, tol, &())
+    }
+
+    /// [`Self::min_feasible_alpha`] with metrics (see
+    /// [`Self::ladder_feasibility_with`]).
+    pub fn min_feasible_alpha_with<S: MetricsSink>(
+        &mut self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        hi: f64,
+        tol: f64,
+        sink: &S,
+    ) -> Option<f64> {
+        if !hi.is_finite() || hi < 1.0 || !tol.is_finite() || tol <= 0.0 {
+            return None;
+        }
+        self.prepare(tasks, platform);
+        // Bootstrap pass: both bracket endpoints in one sweep.
+        let mut ends = [false; 2];
+        self.ladder_pass(&[1.0, hi], &mut ends, sink);
+        if ends[0] {
+            return Some(1.0);
+        }
+        if !ends[1] {
+            return None;
+        }
+        let (mut lo, mut hi_b) = (1.0f64, hi);
+        let mut cand = [0.0f64; LADDER_WIDTH];
+        let mut res = [false; LADDER_WIDTH];
+        while hi_b - lo > tol {
+            let step = (hi_b - lo) / (LADDER_WIDTH as f64 + 1.0);
+            if !(step > 0.0 && lo + step > lo) {
+                // Bracket narrower than an ulp: cannot subdivide further.
+                break;
+            }
+            for (i, c) in cand.iter_mut().enumerate() {
+                *c = lo + step * (i as f64 + 1.0);
+            }
+            self.ladder_pass(&cand, &mut res, sink);
+            // Monotone rungs: the first feasible candidate tightens the
+            // upper end, its predecessor the lower.
+            match res.iter().position(|&f| f) {
+                Some(0) => hi_b = cand[0],
+                Some(i) => {
+                    lo = cand[i - 1];
+                    hi_b = cand[i];
+                }
+                None => lo = cand[LADDER_WIDTH - 1],
+            }
+        }
+        Some(hi_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::{EdfAdmission, RmsHyperbolicAdmission, RmsLlAdmission};
+    use crate::engine::FirstFitEngine;
+    use crate::first_fit::{first_fit, min_feasible_alpha};
+    use hetfeas_model::Task;
+
+    fn platform(speeds: &[u64]) -> Platform {
+        Platform::from_int_speeds(speeds.iter().copied()).unwrap()
+    }
+
+    /// Tiny deterministic PRNG (xorshift64*) so the equivalence sweeps run
+    /// without external crates.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    fn random_instance(rng: &mut Rng, max_n: u64, max_m: u64) -> (TaskSet, Platform) {
+        let n = rng.below(max_n) as usize;
+        let m = 1 + rng.below(max_m) as usize;
+        let periods = [10u64, 20, 25, 40, 50, 100];
+        let tasks: TaskSet = (0..n)
+            .map(|_| {
+                let p = periods[rng.below(6) as usize];
+                Task::implicit(1 + rng.below(60), p).unwrap()
+            })
+            .collect();
+        let speeds: Vec<u64> = (0..m).map(|_| 1 + rng.below(6)).collect();
+        (tasks, Platform::from_int_speeds(speeds).unwrap())
+    }
+
+    #[test]
+    fn kernel_matches_reference_on_basic_cases() {
+        let tasks = TaskSet::from_pairs([(9, 10), (4, 10), (3, 10)]).unwrap();
+        let p = platform(&[1, 2]);
+        let mut k = SoaKernel::new(EdfAdmission);
+        assert_eq!(
+            k.run(&tasks, &p, Augmentation::NONE),
+            first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission)
+        );
+        let heavy = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p2 = platform(&[1, 1]);
+        assert_eq!(
+            k.run(&heavy, &p2, Augmentation::NONE),
+            first_fit(&heavy, &p2, Augmentation::NONE, &EdfAdmission)
+        );
+        assert_eq!(
+            k.run(&heavy, &p2, Augmentation::EDF_VS_PARTITIONED),
+            first_fit(&heavy, &p2, Augmentation::EDF_VS_PARTITIONED, &EdfAdmission)
+        );
+    }
+
+    #[test]
+    fn kernel_empty_taskset_is_feasible() {
+        let mut k = SoaKernel::new(EdfAdmission);
+        let out = k.run(&TaskSet::empty(), &platform(&[1]), Augmentation::NONE);
+        assert!(out.is_feasible());
+        assert!(out.assignment().unwrap().is_complete());
+    }
+
+    #[test]
+    fn kernel_reuse_across_instances_is_clean() {
+        let mut k = SoaKernel::new(EdfAdmission);
+        let big = TaskSet::from_pairs((0..40).map(|_| (1u64, 10u64))).unwrap();
+        let p_big = platform(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        k.run(&big, &p_big, Augmentation::NONE);
+        let small = TaskSet::from_pairs([(1, 2)]).unwrap();
+        let p_small = platform(&[4, 1]);
+        let out = k.run(&small, &p_small, Augmentation::NONE);
+        assert_eq!(out.assignment().unwrap().machine_of(0), Some(1));
+    }
+
+    /// 300-case randomized three-way equivalence sweep (kernel vs scan vs
+    /// engine) over all three lane admissions at several α — the
+    /// dependency-free mirror of `tests/prop_kernel.rs`.
+    #[test]
+    fn kernel_equals_scan_and_engine_on_random_instances() {
+        let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+        let alphas = [1.0, 1.3, 2.0, 3.0];
+        let mut k_edf = SoaKernel::new(EdfAdmission);
+        let mut k_rms = SoaKernel::new(RmsLlAdmission);
+        let mut k_hyp = SoaKernel::new(RmsHyperbolicAdmission);
+        let mut e_edf = FirstFitEngine::new(EdfAdmission);
+        for case in 0..300 {
+            let (ts, p) = random_instance(&mut rng, 14, 4);
+            for &a in &alphas {
+                let aug = Augmentation::new(a).unwrap();
+                let reference = first_fit(&ts, &p, aug, &EdfAdmission);
+                assert_eq!(
+                    k_edf.run(&ts, &p, aug),
+                    reference,
+                    "EDF kernel≠scan (case {case}, α={a}): {ts} on {p}"
+                );
+                assert_eq!(
+                    e_edf.run(&ts, &p, aug),
+                    reference,
+                    "EDF engine≠scan (case {case}, α={a}): {ts} on {p}"
+                );
+                assert_eq!(
+                    k_rms.run(&ts, &p, aug),
+                    first_fit(&ts, &p, aug, &RmsLlAdmission),
+                    "RMS-LL kernel≠scan (case {case}, α={a}): {ts} on {p}"
+                );
+                assert_eq!(
+                    k_hyp.run(&ts, &p, aug),
+                    first_fit(&ts, &p, aug, &RmsHyperbolicAdmission),
+                    "hyperbolic kernel≠scan (case {case}, α={a}): {ts} on {p}"
+                );
+            }
+        }
+    }
+
+    /// Instances wide enough for several pruning blocks (m up to 150, two
+    /// full BLOCKs plus a ragged tail) — block boundaries, padding lanes
+    /// and the block-max maintenance all get exercised.
+    #[test]
+    fn kernel_equals_scan_across_block_boundaries() {
+        let mut rng = Rng(0xBADC_0FFE_E0DD_F00D);
+        for case in 0..40 {
+            let (ts, p) = random_instance(&mut rng, 120, 150);
+            for &a in &[1.0, 1.7] {
+                let aug = Augmentation::new(a).unwrap();
+                let mut k = SoaKernel::new(EdfAdmission);
+                assert_eq!(
+                    k.run(&ts, &p, aug),
+                    first_fit(&ts, &p, aug, &EdfAdmission),
+                    "case {case}, α={a}, n={}, m={}",
+                    ts.len(),
+                    p.len()
+                );
+                let mut k = SoaKernel::new(RmsLlAdmission);
+                assert_eq!(
+                    k.run(&ts, &p, aug),
+                    first_fit(&ts, &p, aug, &RmsLlAdmission),
+                    "RMS case {case}, α={a}"
+                );
+            }
+        }
+    }
+
+    /// The kernel's scan-equivalent `ff.*` counters equal the reference
+    /// scan's actual counts exactly (same guarantee the engine gives).
+    #[test]
+    fn kernel_counters_match_reference_scan() {
+        use crate::instrumented::{first_fit_instrumented, ScanStats};
+        use hetfeas_obs::MemorySink;
+        let mut rng = Rng(0x1234_5678_9ABC_DEF0);
+        let mut k = SoaKernel::new(EdfAdmission);
+        for case in 0..150 {
+            let (ts, p) = random_instance(&mut rng, 14, 4);
+            for &a in &[1.0, 1.5, 2.0] {
+                let aug = Augmentation::new(a).unwrap();
+                let sink = MemorySink::new();
+                let out = k.run_with(&ts, &p, aug, &sink);
+                let (reference, stats) = first_fit_instrumented(&ts, &p, aug, &EdfAdmission);
+                assert_eq!(out, reference, "outcome mismatch (case {case}, α={a})");
+                assert_eq!(
+                    ScanStats::from_sink(&sink),
+                    stats,
+                    "counter mismatch (case {case}, α={a}): {ts} on {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_matches_individual_probes() {
+        let mut rng = Rng(0xFEED_FACE_DEAD_BEEF);
+        let mut k = SoaKernel::new(EdfAdmission);
+        for case in 0..60 {
+            let (ts, p) = random_instance(&mut rng, 14, 4);
+            let ladder: Vec<f64> = (0..1 + rng.below(6))
+                .map(|_| 1.0 + rng.below(30) as f64 / 10.0)
+                .collect();
+            let batched = k.ladder_feasibility(&ts, &p, &ladder);
+            for (i, &a) in ladder.iter().enumerate() {
+                let aug = Augmentation::new(a).unwrap();
+                let single = k.run(&ts, &p, aug).is_feasible();
+                assert_eq!(
+                    batched[i], single,
+                    "rung {i} (α={a}) diverged from a single probe (case {case}): {ts} on {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_alpha_matches_bisection() {
+        let mut rng = Rng(0x0123_4567_89AB_CDEF);
+        let mut k = SoaKernel::new(EdfAdmission);
+        let mut e = FirstFitEngine::new(EdfAdmission);
+        let tol = 1e-6;
+        for case in 0..60 {
+            let (ts, p) = random_instance(&mut rng, 14, 4);
+            let batched = k.min_feasible_alpha(&ts, &p, 4.0, tol);
+            let bisected = e.min_feasible_alpha(&ts, &p, 4.0, tol);
+            let cold = min_feasible_alpha(&ts, &p, &EdfAdmission, 4.0, tol);
+            match (batched, bisected, cold) {
+                (Some(b), Some(w), Some(c)) => {
+                    assert!(
+                        (b - w).abs() <= 2.0 * tol && (b - c).abs() <= 2.0 * tol,
+                        "case {case}: batched {b} vs engine {w} vs cold {c}"
+                    );
+                }
+                (None, None, None) => {}
+                other => panic!("case {case}: search verdicts diverged: {other:?}"),
+            }
+        }
+        // Canonical fixture: three 0.8 tasks on two unit machines → 1.6.
+        let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p = platform(&[1, 1]);
+        let a = k.min_feasible_alpha(&tasks, &p, 4.0, tol).unwrap();
+        assert!((a - 1.6).abs() < 1e-5, "got {a}");
+        // Feasible at 1 → exactly 1; impossible even at hi → None.
+        let light = TaskSet::from_pairs([(1, 10)]).unwrap();
+        assert_eq!(k.min_feasible_alpha(&light, &p, 4.0, tol), Some(1.0));
+        let heavy = TaskSet::from_pairs([(100, 10)]).unwrap();
+        assert_eq!(k.min_feasible_alpha(&heavy, &p, 2.0, tol), None);
+    }
+
+    #[test]
+    fn batched_alpha_rejects_invalid_searches() {
+        let tasks = TaskSet::from_pairs([(8, 10)]).unwrap();
+        let p = platform(&[1]);
+        let mut k = SoaKernel::new(EdfAdmission);
+        assert_eq!(k.min_feasible_alpha(&tasks, &p, 0.5, 1e-6), None);
+        assert_eq!(k.min_feasible_alpha(&tasks, &p, f64::NAN, 1e-6), None);
+        assert_eq!(k.min_feasible_alpha(&tasks, &p, 4.0, f64::NAN), None);
+        assert_eq!(k.min_feasible_alpha(&tasks, &p, 4.0, 0.0), None);
+        assert_eq!(k.min_feasible_alpha(&tasks, &p, 4.0, -1.0), None);
+        assert_eq!(k.min_feasible_alpha(&tasks, &p, f64::INFINITY, 1e-6), None);
+    }
+
+    #[test]
+    fn batched_alpha_counts_ladder_passes() {
+        use hetfeas_obs::MemorySink;
+        let tasks = TaskSet::from_pairs([(8, 10), (8, 10), (8, 10)]).unwrap();
+        let p = platform(&[1, 1]);
+        let mut k = SoaKernel::new(EdfAdmission);
+        let sink = MemorySink::new();
+        let a = k
+            .min_feasible_alpha_with(&tasks, &p, 4.0, 1e-6, &sink)
+            .unwrap();
+        assert!((a - 1.6).abs() < 1e-5);
+        let passes = sink.counter(metrics::ALPHA_LADDER_PASSES);
+        let rungs = sink.counter(metrics::ALPHA_LADDER_RUNGS);
+        assert_eq!(rungs, sink.counter(metrics::ALPHA_PROBES));
+        // Bootstrap (2 rungs) + full-width passes.
+        assert_eq!(rungs, 2 + (passes - 1) * LADDER_WIDTH as u64);
+        // (K+1)-ary search needs ⌈log_9(3/1e-6)⌉ = 7 refinement passes —
+        // against ~22 probes for bisection over the same bracket.
+        assert!(
+            (2..=9).contains(&passes),
+            "expected a handful of ladder passes, got {passes}"
+        );
+    }
+
+    #[test]
+    fn block_max_prunes_saturated_blocks() {
+        use hetfeas_obs::MemorySink;
+        // 64 unit machines (one full block) + one fast machine in a second
+        // block. After the first block saturates, every further placement
+        // must prune it via the block max instead of scanning its lanes.
+        let speeds: Vec<u64> = std::iter::repeat(1).take(64).chain([10]).collect();
+        let p = Platform::from_int_speeds(speeds).unwrap();
+        // 64 tasks of utilization 1.0 fill the block; 8 more of 0.9 land
+        // on the fast machine.
+        let tasks = TaskSet::from_pairs(
+            (0..64)
+                .map(|_| (10u64, 10u64))
+                .chain((0..8).map(|_| (9, 10))),
+        )
+        .unwrap();
+        let mut k = SoaKernel::new(EdfAdmission);
+        let sink = MemorySink::new();
+        let out = k.run_with(&tasks, &p, Augmentation::NONE, &sink);
+        assert!(out.is_feasible());
+        assert!(
+            sink.counter(metrics::KERNEL_BLOCKS_PRUNED) >= 7,
+            "saturated block was rescanned: {} prunes",
+            sink.counter(metrics::KERNEL_BLOCKS_PRUNED)
+        );
+    }
+}

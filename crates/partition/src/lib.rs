@@ -21,6 +21,11 @@
 //!   factor α* (experiments E1–E4).
 //! * [`engine`] — [`FirstFitEngine`], the indexed `O((n+m)·log m)` version
 //!   of the §III scan with reusable workspaces and a warm-started α-search.
+//! * [`kernel`] — [`SoaKernel`], the struct-of-arrays rewrite of the hot
+//!   path: flat `f64` residual lanes, branchless 4-wide admission masks,
+//!   block-max pruning, keyed exact sorts, and a batched ladder α-search
+//!   that tests K candidates per pass over the task stream. Outcomes stay
+//!   byte-identical to [`first_fit()`].
 //! * [`incremental`] — [`IncrementalEngine`], the online form of the same
 //!   test: `O(log m)` adds, local-repair removes, snapshot/rollback for
 //!   speculative admission, and a divergence-counted canonical repack.
@@ -54,14 +59,16 @@ pub mod exact_rational;
 pub mod first_fit;
 pub mod incremental;
 pub mod instrumented;
+pub mod kernel;
 pub mod lp_rounding;
 pub mod metrics;
 pub mod splitting;
 pub mod variants;
 
 pub use admission::{
-    AdmissionTest, EdfAdmission, HyperbolicState, RmsHyperbolicAdmission, RmsKuoMokAdmission,
-    RmsLlAdmission, RmsLlState, RmsRtaAdmission,
+    additive_admit_mask4, admit_rhs, hyperbolic_admit_mask4, AdmissionTest, EdfAdmission,
+    HyperbolicState, RmsHyperbolicAdmission, RmsKuoMokAdmission, RmsLlAdmission, RmsLlState,
+    RmsRtaAdmission,
 };
 pub use assignment::{Assignment, FailureWitness, Outcome};
 pub use constrained::{DemandState, DensityAdmission, EdfDemandAdmission};
@@ -86,6 +93,9 @@ pub use incremental::{
     AddOutcome, EngineState, IncrSnapshot, IncrementalEngine, RepackOutcome, RepairPolicy, TaskId,
 };
 pub use instrumented::{first_fit_instrumented, ScanStats};
+pub use kernel::{
+    EdfLanes, HyperbolicLanes, LaneAdmission, LaneSet, RmsLlLanes, SoaKernel, BLOCK, LADDER_WIDTH,
+};
 pub use lp_rounding::lp_rounding_partition;
 pub use splitting::{semi_partition, Placement, SplitOutcome};
 pub use variants::{partition_with, FitStrategy, HeuristicConfig, MachineOrder, TaskOrder};

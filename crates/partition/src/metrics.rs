@@ -13,9 +13,14 @@
 //!   descents, exact admission re-checks, and re-verification misses
 //!   (candidates the relaxed hint admitted but the exact predicate
 //!   rejected).
-//! * `alpha.*` — α-search probe counts for both the cold bisection
-//!   ([`crate::min_feasible_alpha`]) and the engine's warm-started
-//!   bracket + bisection search.
+//! * `kernel.*` — the struct-of-arrays kernel's actual work: 4-lane mask
+//!   evaluations, blocks scanned/pruned via the per-block max residual
+//!   hints, and block misses (a pruning false positive). The kernel also
+//!   emits scan-equivalent `ff.*` numbers like the engine does.
+//! * `alpha.*` — α-search probe counts for the cold bisection
+//!   ([`crate::min_feasible_alpha`]), the engine's warm-started
+//!   bracket + bisection search, and the kernel's batched ladder search
+//!   (`alpha.ladder_*`).
 //!
 //! All counters are cheap to emit: the hot loops accumulate into locals
 //! and flush once per run, guarded on [`MetricsSink::ENABLED`] so the
@@ -32,6 +37,11 @@ pub const FF_PLACED: &str = "ff.placed";
 pub const FF_MACHINES_VISITED: &str = "ff.machines_visited";
 /// Reference-scan checks needed per task (log2 histogram).
 pub const FF_CHECKS_PER_TASK: &str = "ff.checks_per_task";
+/// Workspace buffers that had to (re)allocate during a run (counter).
+/// Steady-state reuse — e.g. the probes of an α-search over one reusable
+/// workspace — must keep this at zero after the first probe, which
+/// `first_fit::tests` asserts.
+pub const FF_WORKSPACE_ALLOCS: &str = "ff.workspace_allocs";
 
 /// Segment-tree descend-left queries issued by the engine (counter).
 pub const ENGINE_TREE_DESCENTS: &str = "engine.tree_descents";
@@ -76,3 +86,19 @@ pub const ALPHA_PROBES: &str = "alpha.probes";
 pub const ALPHA_BRACKET_PROBES: &str = "alpha.bracket_probes";
 /// Bisection iterations after the bracket (counter).
 pub const ALPHA_BISECT_ITERS: &str = "alpha.bisect_iters";
+/// Ladder passes by the batched α-search — one pass over the sorted task
+/// stream testing K candidate αs at once (counter).
+pub const ALPHA_LADDER_PASSES: &str = "alpha.ladder_passes";
+/// Candidate αs (rungs) tested across all ladder passes (counter).
+pub const ALPHA_LADDER_RUNGS: &str = "alpha.ladder_rungs";
+
+/// 4-lane admission-mask evaluations by the SoA kernel (counter).
+pub const KERNEL_MASK_OPS: &str = "kernel.mask_ops";
+/// Machine blocks entered for an exact lane scan (counter).
+pub const KERNEL_BLOCKS_SCANNED: &str = "kernel.blocks_scanned";
+/// Machine blocks skipped because their max residual hint ruled every
+/// lane out (counter).
+pub const KERNEL_BLOCKS_PRUNED: &str = "kernel.blocks_pruned";
+/// Blocks whose over-approximate max hint passed but whose exact lane
+/// masks all rejected (counter; each costs one wasted block scan).
+pub const KERNEL_BLOCK_MISSES: &str = "kernel.block_misses";

@@ -1,0 +1,236 @@
+//! Property tests for the struct-of-arrays kernel: byte-identical
+//! outcome equivalence with the reference scan *and* the indexed engine
+//! (assignments and failure witnesses, hence identical tie-breaking)
+//! across all three lane admissions, plus the batched-α metamorphic
+//! properties (ladder == per-α probes; batched search == bisection up to
+//! the tolerance).
+
+use hetfeas_model::{Augmentation, Platform, Task, TaskSet};
+use hetfeas_obs::MemorySink;
+use hetfeas_partition::{
+    first_fit, first_fit_instrumented, metrics, min_feasible_alpha, EdfAdmission, FirstFitEngine,
+    RmsHyperbolicAdmission, RmsLlAdmission, ScanStats, SoaKernel,
+};
+use proptest::prelude::*;
+
+fn menu_task() -> impl Strategy<Value = Task> {
+    (
+        1u64..=60,
+        prop::sample::select(vec![10u64, 20, 25, 40, 50, 100]),
+    )
+        .prop_map(|(c, p)| Task::implicit(c, p).unwrap())
+}
+
+fn small_set(max: usize) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(menu_task(), 0..max).prop_map(TaskSet::new)
+}
+
+fn small_platform() -> impl Strategy<Value = Platform> {
+    prop::collection::vec(1u64..=6, 1..5).prop_map(|s| Platform::from_int_speeds(s).unwrap())
+}
+
+/// Platforms wide enough to span several pruning blocks (BLOCK = 64), so
+/// block boundaries, padding lanes and block-max maintenance are hit.
+fn wide_platform() -> impl Strategy<Value = Platform> {
+    prop::collection::vec(1u64..=6, 1..160).prop_map(|s| Platform::from_int_speeds(s).unwrap())
+}
+
+fn alpha() -> impl Strategy<Value = Augmentation> {
+    (10u32..=40).prop_map(|a| Augmentation::new(a as f64 / 10.0).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Three-way byte-identical equivalence for EDF: kernel == scan ==
+    // engine, on the full Outcome (assignment or witness).
+    #[test]
+    fn kernel_equals_scan_and_engine_edf(ts in small_set(16), p in small_platform(), a in alpha()) {
+        let reference = first_fit(&ts, &p, a, &EdfAdmission);
+        let mut kernel = SoaKernel::new(EdfAdmission);
+        prop_assert_eq!(
+            kernel.run(&ts, &p, a),
+            reference.clone(),
+            "EDF kernel/reference diverge on {} / {} at {}", ts, p, a
+        );
+        let mut engine = FirstFitEngine::new(EdfAdmission);
+        prop_assert_eq!(
+            engine.run(&ts, &p, a),
+            reference,
+            "EDF engine/reference diverge on {} / {} at {}", ts, p, a
+        );
+    }
+
+    // Same for RMS-LL, whose lane rhs tracks the Liu–Layland bound at the
+    // slot's task count.
+    #[test]
+    fn kernel_equals_scan_and_engine_rms_ll(ts in small_set(16), p in small_platform(), a in alpha()) {
+        let reference = first_fit(&ts, &p, a, &RmsLlAdmission);
+        let mut kernel = SoaKernel::new(RmsLlAdmission);
+        prop_assert_eq!(
+            kernel.run(&ts, &p, a),
+            reference.clone(),
+            "RMS-LL kernel/reference diverge on {} / {} at {}", ts, p, a
+        );
+        let mut engine = FirstFitEngine::new(RmsLlAdmission);
+        prop_assert_eq!(
+            engine.run(&ts, &p, a),
+            reference,
+            "RMS-LL engine/reference diverge on {} / {} at {}", ts, p, a
+        );
+    }
+
+    // And for the hyperbolic admission (multiplicative product lane).
+    #[test]
+    fn kernel_equals_scan_and_engine_hyperbolic(ts in small_set(16), p in small_platform(), a in alpha()) {
+        let reference = first_fit(&ts, &p, a, &RmsHyperbolicAdmission);
+        let mut kernel = SoaKernel::new(RmsHyperbolicAdmission);
+        prop_assert_eq!(
+            kernel.run(&ts, &p, a),
+            reference.clone(),
+            "hyperbolic kernel/reference diverge on {} / {} at {}", ts, p, a
+        );
+        let mut engine = FirstFitEngine::new(RmsHyperbolicAdmission);
+        prop_assert_eq!(
+            engine.run(&ts, &p, a),
+            reference,
+            "hyperbolic engine/reference diverge on {} / {} at {}", ts, p, a
+        );
+    }
+
+    // Wide platforms: multiple pruning blocks plus a ragged padded tail.
+    #[test]
+    fn kernel_equals_scan_on_wide_platforms(ts in small_set(48), p in wide_platform(), a in alpha()) {
+        let mut kernel = SoaKernel::new(EdfAdmission);
+        prop_assert_eq!(
+            kernel.run(&ts, &p, a),
+            first_fit(&ts, &p, a, &EdfAdmission),
+            "EDF kernel/reference diverge on wide platform {} / {} at {}", ts, p, a
+        );
+    }
+
+    // Workspace reuse must not leak state between instances.
+    #[test]
+    fn kernel_reuse_is_stateless(
+        warmup in small_set(16),
+        ts in small_set(16),
+        wp in small_platform(),
+        p in small_platform(),
+        a in alpha(),
+    ) {
+        let mut fresh = SoaKernel::new(EdfAdmission);
+        let expected = fresh.run(&ts, &p, a);
+        let mut warmed = SoaKernel::new(EdfAdmission);
+        warmed.run(&warmup, &wp, a);
+        prop_assert_eq!(warmed.run(&ts, &p, a), expected);
+    }
+
+    // The kernel reports ff.* in reference-scan units: its counters must
+    // equal the instrumented scan's actual counts exactly.
+    #[test]
+    fn kernel_counters_equal_reference_scan(
+        ts in small_set(16),
+        p in small_platform(),
+        a in alpha(),
+    ) {
+        let (ref_out, ref_stats) = first_fit_instrumented(&ts, &p, a, &EdfAdmission);
+        let sink = MemorySink::new();
+        let mut kernel = SoaKernel::new(EdfAdmission);
+        let out = kernel.run_with(&ts, &p, a, &sink);
+        prop_assert_eq!(&out, &ref_out);
+        prop_assert_eq!(ScanStats::from_sink(&sink), ref_stats);
+        // Every visited block costs at most BLOCK/4 mask ops, and pruned
+        // blocks cost none — the kernel never does more mask ops than the
+        // scan-equivalent check count (4 checks per mask op).
+        let mask_ops = sink.counter(metrics::KERNEL_MASK_OPS);
+        prop_assert!(
+            4 * mask_ops <= ref_stats.admission_checks + 64 * ts.len() as u64,
+            "kernel mask ops out of budget: {} vs {} scan checks on {} / {}",
+            mask_ops, ref_stats.admission_checks, ts, p
+        );
+    }
+
+    // Metamorphic: a batched ladder gives exactly the verdicts of one
+    // probe per rung, for random (unsorted, possibly duplicated) ladders.
+    #[test]
+    fn ladder_equals_individual_probes(
+        ts in small_set(16),
+        p in small_platform(),
+        ladder in prop::collection::vec(10u32..=40, 1..7),
+    ) {
+        let alphas: Vec<f64> = ladder.iter().map(|&a| a as f64 / 10.0).collect();
+        let mut kernel = SoaKernel::new(EdfAdmission);
+        let batched = kernel.ladder_feasibility(&ts, &p, &alphas);
+        for (i, &a) in alphas.iter().enumerate() {
+            let aug = Augmentation::new(a).unwrap();
+            let single = kernel.run(&ts, &p, aug).is_feasible();
+            prop_assert_eq!(
+                batched[i], single,
+                "rung {} (α = {}) diverged from a single probe on {} / {}", i, a, ts, p
+            );
+        }
+    }
+
+    // Metamorphic: the batched (K+1)-ary α-search and the reference
+    // bisection land on the same threshold up to the tolerance (different
+    // probe sequences may stop on either side, hence 2·tol), and always
+    // agree on satisfiability.
+    #[test]
+    fn batched_alpha_search_matches_bisection(ts in small_set(12), p in small_platform()) {
+        let tol = 1e-6;
+        let mut kernel = SoaKernel::new(EdfAdmission);
+        let batched = kernel.min_feasible_alpha(&ts, &p, 8.0, tol);
+        let cold = min_feasible_alpha(&ts, &p, &EdfAdmission, 8.0, tol);
+        match (batched, cold) {
+            (Some(b), Some(c)) => prop_assert!(
+                (b - c).abs() <= 2.0 * tol,
+                "batched α* = {} vs bisected α* = {} on {} / {}", b, c, ts, p
+            ),
+            (None, None) => {}
+            (b, c) => prop_assert!(false, "satisfiability disagrees: {:?} vs {:?}", b, c),
+        }
+    }
+
+    // The α the batched search returns is genuinely feasible, and nudging
+    // it down by more than the tolerance is not (unless α* = 1 exactly) —
+    // the one-sided certificate the experiments rely on.
+    #[test]
+    fn batched_alpha_is_a_feasibility_certificate(ts in small_set(12), p in small_platform()) {
+        let tol = 1e-6;
+        let mut kernel = SoaKernel::new(EdfAdmission);
+        if let Some(a) = kernel.min_feasible_alpha(&ts, &p, 8.0, tol) {
+            let aug = Augmentation::new(a).unwrap();
+            prop_assert!(
+                kernel.run(&ts, &p, aug).is_feasible(),
+                "batched α* = {} is not feasible on {} / {}", a, ts, p
+            );
+            if a > 1.0 + 2.0 * tol {
+                let below = Augmentation::new(a - 2.0 * tol).unwrap();
+                prop_assert!(
+                    !kernel.run(&ts, &p, below).is_feasible(),
+                    "α* - 2·tol = {} still feasible on {} / {}", a - 2.0 * tol, ts, p
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_tie_breaking_is_deterministic() {
+    // Equal utilizations and equal speeds: repeated kernel runs (same
+    // kernel and fresh kernels) must reproduce the reference assignment.
+    let tasks = TaskSet::from_pairs([(1, 2), (2, 4), (3, 6)]).unwrap();
+    let p = Platform::from_int_speeds([1, 1, 1]).unwrap();
+    let mut kernel = SoaKernel::new(EdfAdmission);
+    let a1 = kernel.run(&tasks, &p, Augmentation::NONE);
+    let a2 = kernel.run(&tasks, &p, Augmentation::NONE);
+    let a3 = SoaKernel::new(EdfAdmission).run(&tasks, &p, Augmentation::NONE);
+    let reference = first_fit(&tasks, &p, Augmentation::NONE, &EdfAdmission);
+    assert_eq!(a1, a2);
+    assert_eq!(a1, a3);
+    assert_eq!(a1, reference);
+    let a = a1.assignment().unwrap();
+    assert_eq!(a.machine_of(0), Some(0));
+    assert_eq!(a.machine_of(1), Some(0));
+    assert_eq!(a.machine_of(2), Some(1));
+}

@@ -1,16 +1,22 @@
-//! Smoke benchmark for the scan-vs-indexed first-fit comparison — the
-//! offline companion to `crates/bench/benches/ffd_scaling.rs`'s
-//! `ffd_scan_vs_indexed_n4096` group. Compiled by `scripts/bench_smoke.sh`
-//! with plain `rustc` against the workspace rlibs (no Criterion, no
-//! external crates), so it runs in sandboxed CI and emits `BENCH_ffd.json`
-//! with median ns/iter for the linear scan vs the indexed engine.
+//! Smoke benchmark for the scan / indexed-engine / SoA-kernel first-fit
+//! comparison — the offline companion to `crates/bench/benches/
+//! ffd_scaling.rs`'s `ffd_scan_vs_indexed_n4096` group. Compiled by
+//! `scripts/bench_smoke.sh` with plain `rustc` against the workspace rlibs
+//! (no Criterion, no external crates), so it runs in sandboxed CI and
+//! emits `BENCH_ffd.json` with median ns/iter for the linear scan, the
+//! indexed engine, and the struct-of-arrays kernel.
 //!
 //! Instances mirror `hetfeas_bench::bench_instance`: uniform-random integer
 //! speeds in 1..=8, UUniFast utilizations (capped at 0.95 per task) at
 //! normalized utilization 0.9, periods from the standard menu.
+//!
+//! The n/m grid defaults to n = 4096 over m ∈ {64, 256, 1024, 4096} and
+//! can be overridden with `HETFEAS_BENCH_GRID="n:m1,m2,..."` (e.g.
+//! `HETFEAS_BENCH_GRID=1024:16,64` for a quick run). The gates below only
+//! fire for rows the grid actually contains.
 
 use hetfeas_model::{Augmentation, Platform, Task, TaskSet};
-use hetfeas_partition::{first_fit, EdfAdmission, FirstFitEngine};
+use hetfeas_partition::{first_fit, EdfAdmission, FirstFitEngine, SoaKernel};
 use std::time::Instant;
 
 /// xorshift64* — deterministic, dependency-free.
@@ -73,15 +79,48 @@ fn median_ns<F: FnMut() -> u128>(reps: usize, mut run: F) -> f64 {
     times[times.len() / 2] as f64
 }
 
+/// `HETFEAS_BENCH_GRID="n:m1,m2,..."` → (n, ms); default 4096:64,256,1024,4096.
+fn grid() -> (usize, Vec<usize>) {
+    let default = (4096, vec![64, 256, 1024, 4096]);
+    let Ok(spec) = std::env::var("HETFEAS_BENCH_GRID") else {
+        return default;
+    };
+    let parse = |spec: &str| -> Option<(usize, Vec<usize>)> {
+        let (n, ms) = spec.split_once(':')?;
+        let n: usize = n.trim().parse().ok().filter(|&n| n > 0)?;
+        let ms: Vec<usize> = ms
+            .split(',')
+            .map(|m| m.trim().parse().ok().filter(|&m| m > 0))
+            .collect::<Option<_>>()?;
+        (!ms.is_empty()).then_some((n, ms))
+    };
+    match parse(&spec) {
+        Some(g) => g,
+        None => {
+            eprintln!("ignoring malformed HETFEAS_BENCH_GRID={spec:?} (want \"n:m1,m2,...\")");
+            default
+        }
+    }
+}
+
+struct Row {
+    m: usize,
+    placed: usize,
+    scan_ns: f64,
+    indexed_ns: f64,
+    kernel_ns: f64,
+}
+
 fn main() {
-    let n = 4096usize;
+    let (n, ms) = grid();
     let reps = 10usize;
-    let ms = [64usize, 256, 1024, 4096];
-    let mut rows = Vec::new();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut rows: Vec<Row> = Vec::new();
 
     for (i, &m) in ms.iter().enumerate() {
         let (tasks, platform) = instance(n, m, 0.9, 45 + i as u64);
         let mut engine = FirstFitEngine::new(EdfAdmission);
+        let mut kernel = SoaKernel::new(EdfAdmission);
 
         // Equivalence sanity before timing anything.
         let reference = first_fit(&tasks, &platform, Augmentation::NONE, &EdfAdmission);
@@ -90,6 +129,12 @@ fn main() {
             reference,
             "engine diverged from reference at m = {m}"
         );
+        assert_eq!(
+            kernel.run(&tasks, &platform, Augmentation::NONE),
+            reference,
+            "kernel diverged from reference at m = {m}"
+        );
+        let placed = reference.partial().assigned_count();
 
         let scan_ns = median_ns(reps, || {
             let start = Instant::now();
@@ -106,38 +151,86 @@ fn main() {
             std::hint::black_box(engine.run(&tasks, &platform, Augmentation::NONE));
             start.elapsed().as_nanos()
         });
+        let kernel_ns = median_ns(reps, || {
+            let start = Instant::now();
+            std::hint::black_box(kernel.run(&tasks, &platform, Augmentation::NONE));
+            start.elapsed().as_nanos()
+        });
         eprintln!(
-            "m = {m:4}: scan {:.1} µs, indexed {:.1} µs, speedup {:.2}x",
+            "m = {m:4}: scan {:.1} µs, indexed {:.1} µs, kernel {:.1} µs, \
+             speedup {:.2}x, kernel speedup {:.2}x",
             scan_ns / 1e3,
             indexed_ns / 1e3,
-            scan_ns / indexed_ns
+            kernel_ns / 1e3,
+            scan_ns / indexed_ns,
+            indexed_ns / kernel_ns
         );
-        rows.push((m, scan_ns, indexed_ns));
+        rows.push(Row {
+            m,
+            placed,
+            scan_ns,
+            indexed_ns,
+            kernel_ns,
+        });
     }
 
+    // Per-op (ns/placement) columns divide by the number of tasks actually
+    // placed, so rows stay comparable even if a grid cell is infeasible
+    // partway. "speedup" is scan/indexed (the PR-4 gate);
+    // "kernel_speedup" is indexed/kernel (this PR's gate). The field
+    // names are parsed by scripts/ci.sh — keep them stable.
     let entries: Vec<String> = rows
         .iter()
-        .map(|&(m, scan, indexed)| {
+        .map(|r| {
+            let per_op = |ns: f64| ns / r.placed.max(1) as f64;
             format!(
-                "    {{\"m\": {m}, \"scan_ns\": {scan:.0}, \"indexed_ns\": {indexed:.0}, \
-                 \"speedup\": {:.2}}}",
-                scan / indexed
+                "    {{\"m\": {}, \"scan_ns\": {:.0}, \"indexed_ns\": {:.0}, \
+                 \"kernel_ns\": {:.0}, \"speedup\": {:.2}, \"kernel_speedup\": {:.2}, \
+                 \"placements\": {}, \"scan_ns_per_placement\": {:.1}, \
+                 \"indexed_ns_per_placement\": {:.1}, \"kernel_ns_per_placement\": {:.1}}}",
+                r.m,
+                r.scan_ns,
+                r.indexed_ns,
+                r.kernel_ns,
+                r.scan_ns / r.indexed_ns,
+                r.indexed_ns / r.kernel_ns,
+                r.placed,
+                per_op(r.scan_ns),
+                per_op(r.indexed_ns),
+                per_op(r.kernel_ns),
             )
         })
         .collect();
     println!(
         "{{\n  \"bench\": \"ffd_scan_vs_indexed\",\n  \"n\": {n},\n  \"admission\": \"EDF\",\n  \
-         \"reps\": {reps},\n  \"unit\": \"ns/iter (median)\",\n  \"results\": [\n{}\n  ]\n}}",
+         \"reps\": {reps},\n  \"host_cpus\": {host_cpus},\n  \"unit\": \"ns/iter (median)\",\n  \
+         \"results\": [\n{}\n  ]\n}}",
         entries.join(",\n")
     );
 
-    // The ISSUE's acceptance gate: indexed time at m = 1024 < 2× its time
+    let at = |m: usize| rows.iter().find(|r| r.m == m);
+
+    // The PR-4 acceptance gate: indexed time at m = 1024 < 2× its time
     // at m = 64 (the linear scan is ≳ 8× there).
-    let at = |m: usize| rows.iter().find(|r| r.0 == m).expect("swept");
-    let ratio = at(1024).2 / at(64).2;
-    eprintln!("indexed m=1024 / m=64 time ratio: {ratio:.2} (gate: < 2)");
-    assert!(
-        ratio < 2.0,
-        "indexed engine is not sub-linear in m: ratio {ratio:.2}"
-    );
+    if let (Some(hi), Some(lo)) = (at(1024), at(64)) {
+        let ratio = hi.indexed_ns / lo.indexed_ns;
+        eprintln!("indexed m=1024 / m=64 time ratio: {ratio:.2} (gate: < 2)");
+        assert!(
+            ratio < 2.0,
+            "indexed engine is not sub-linear in m: ratio {ratio:.2}"
+        );
+    }
+
+    // This PR's acceptance gate: the SoA kernel ≥ 3× the indexed engine
+    // at n = 4096, m = 1024.
+    if n == 4096 {
+        if let Some(r) = at(1024) {
+            let speedup = r.indexed_ns / r.kernel_ns;
+            eprintln!("kernel speedup over indexed at m=1024: {speedup:.2}x (gate: >= 3)");
+            assert!(
+                speedup >= 3.0,
+                "SoA kernel below the 3x gate over the indexed engine: {speedup:.2}x"
+            );
+        }
+    }
 }

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Smoke-benchmark the first-fit scan-vs-indexed comparison and emit
-# BENCH_ffd.json (n, m, median ns/iter for scan vs indexed) at the repo
-# root, so successive PRs have a perf trajectory to compare against.
+# Smoke-benchmark the first-fit scan / indexed-engine / SoA-kernel
+# comparison and emit BENCH_ffd.json (n, m, median ns/iter plus per-op
+# ns/placement for all three paths, and host_cpus) at the repo root, so
+# successive PRs have a perf trajectory to compare against. The n/m grid
+# can be overridden with HETFEAS_BENCH_GRID="n:m1,m2,..." (e.g.
+# HETFEAS_BENCH_GRID=1024:16,64 for a quick local run — don't commit the
+# resulting JSON, the ci.sh gates expect the default grid).
 # Also runs the incremental-engine harness (scripts/bench_incr_smoke.rs)
 # and emits BENCH_incremental.json (churn ops/sec incremental vs
 # from-scratch, plus worker scaling with host_cpus).

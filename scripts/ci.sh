@@ -93,6 +93,35 @@ rows "$baseline" | while read -r m base; do
     }'
 done
 
+echo "== kernel-vs-indexed gate" >&2
+# The SoA kernel's speedup over the indexed engine at the headline cell
+# (n = 4096, m = 1024) must not regress below the committed baseline
+# (modulo BENCH_GATE_TOL). `"kernel_speedup"` has no quote directly
+# before the plain-speedup pattern's `s`, so the two fields cannot alias.
+krows() {
+    sed -n 's/.*"m": *\([0-9]*\),.*"kernel_speedup": *\([0-9.]*\).*/\1 \2/p' "$1"
+}
+base_kernel="$(krows "$baseline" | awk '$1 == 1024 { print $2 }')"
+now_kernel="$(krows "$fresh" | awk '$1 == 1024 { print $2 }')"
+if [[ -z "$base_kernel" ]]; then
+    echo "ci: baseline has no m=1024 kernel_speedup — kernel gate skipped" >&2
+elif [[ -z "$now_kernel" ]]; then
+    echo "ci: FAIL — fresh benchmark lost the m=1024 kernel_speedup" >&2
+    exit 1
+else
+    awk -v base="$base_kernel" -v now="$now_kernel" \
+        -v tol="${BENCH_GATE_TOL:-0.25}" 'BEGIN {
+        floor = base * (1 - tol)
+        if (now < floor) {
+            printf "ci: FAIL — kernel speedup %.2f at m=1024 below gate %.2f (baseline %.2f)\n",
+                now, floor, base > "/dev/stderr"
+            exit 1
+        }
+        printf "ci: kernel speedup %.2f at m=1024 vs baseline %.2f — ok\n",
+            now, base > "/dev/stderr"
+    }'
+fi
+
 echo "== incremental engine gate" >&2
 # `"speedup"` only matches the single_thread field ("worker_speedup" has
 # no quote directly before the s, so the pattern cannot alias it).
