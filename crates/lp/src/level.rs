@@ -87,19 +87,31 @@ pub fn level_feasible_f64(utils: &[f64], speeds: &[f64]) -> bool {
     u.sort_by(|a, b| b.partial_cmp(a).expect("utilizations must not be NaN"));
     let mut s = speeds.to_vec();
     s.sort_by(|a, b| b.partial_cmp(a).expect("speeds must not be NaN"));
-    let n = u.len();
-    let m = s.len();
+    level_feasible_sorted_f64(&u, &s)
+}
+
+/// The prefix conditions over *pre-sorted* (non-increasing) `f64`
+/// utilizations and speeds: allocation-free, `O(n + m)`, no branches
+/// beyond the checks themselves. This is the incremental re-solve entry
+/// point for the branch-and-bound solver, which maintains its suffix
+/// utilizations and residual capacities in sorted order and re-evaluates
+/// the relaxation at every node.
+pub fn level_feasible_sorted_f64(utils_desc: &[f64], speeds_desc: &[f64]) -> bool {
+    debug_assert!(utils_desc.windows(2).all(|w| w[0] >= w[1]));
+    debug_assert!(speeds_desc.windows(2).all(|w| w[0] >= w[1]));
+    let n = utils_desc.len();
+    let m = speeds_desc.len();
     let mut wsum = 0.0;
     let mut ssum = 0.0;
     for k in 0..n.min(m) {
-        wsum += u[k];
-        ssum += s[k];
+        wsum += utils_desc[k];
+        ssum += speeds_desc[k];
         if !hetfeas_model::approx_le(wsum, ssum) {
             return false;
         }
     }
     if n > m {
-        wsum += u[m..].iter().sum::<f64>();
+        wsum += utils_desc[m..].iter().sum::<f64>();
         if !hetfeas_model::approx_le(wsum, ssum) {
             return false;
         }
@@ -198,6 +210,24 @@ mod tests {
         let utils: Vec<f64> = t.iter().map(|x| x.utilization()).collect();
         let speeds: Vec<f64> = p.iter().map(|m| m.speed_f64()).collect();
         assert_eq!(level_feasible(&t, &p), level_feasible_f64(&utils, &speeds));
+    }
+
+    #[test]
+    fn sorted_f64_entry_agrees_with_sorting_wrapper() {
+        let cases: &[(&[f64], &[f64])] = &[
+            (&[1.5, 1.5, 0.1], &[2.0, 1.0, 1.0]),
+            (&[1.9, 1.9], &[2.0, 1.0, 1.0]),
+            (&[0.5, 0.5, 0.5, 0.5, 0.5], &[1.0, 1.0]),
+            (&[], &[1.0]),
+            (&[0.9], &[3.0, 2.0, 1.0]),
+        ];
+        for (u, s) in cases {
+            assert_eq!(
+                level_feasible_sorted_f64(u, s),
+                level_feasible_f64(u, s),
+                "u={u:?} s={s:?}"
+            );
+        }
     }
 
     #[test]

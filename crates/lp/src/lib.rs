@@ -20,7 +20,10 @@ pub mod level;
 pub mod model;
 pub mod simplex;
 
-pub use level::{level_feasible, level_feasible_f64, level_feasible_sorted, level_scaling_factor};
+pub use level::{
+    level_feasible, level_feasible_f64, level_feasible_sorted, level_feasible_sorted_f64,
+    level_scaling_factor,
+};
 pub use model::{
     build_paper_lp, lp_feasible_simplex, solve_paper_lp, solve_paper_lp_within, LpPoint,
 };

@@ -14,7 +14,9 @@
 pub mod chunk;
 pub mod progress;
 pub mod scope_map;
+pub mod steal;
 
 pub use chunk::{default_workers, even_chunks};
 pub use progress::Progress;
 pub use scope_map::{par_for_each, par_map, par_map_with};
+pub use steal::{run_workers, TakeQueue};

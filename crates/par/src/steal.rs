@@ -1,0 +1,166 @@
+//! Chunked-frontier work distribution for branch-and-bound style search.
+//!
+//! The exact solver in `hetfeas-partition` expands a deterministic frontier
+//! of subtree roots and then lets workers explore them concurrently. Two
+//! properties matter there that [`crate::par_map`] does not provide:
+//!
+//! * Workers must claim items **in index order** (the determinism argument
+//!   for witness selection keys off the subtree index), and they must be
+//!   able to interleave claiming with checking shared state (the min-id
+//!   incumbent), so the claim primitive is exposed directly instead of
+//!   hidden behind a map.
+//! * The workers need **real** concurrency even in environments where the
+//!   `crossbeam` dependency is stubbed out sequentially (the offline CI
+//!   build), so the scope here is `std::thread::scope`, which is always
+//!   available.
+//!
+//! [`TakeQueue`] is the claim-in-order primitive — an atomic cursor over a
+//! shared slice (the "chunked frontier" flavour of work distribution: the
+//! frontier is materialized once, then stolen from in single-item chunks,
+//! which for B&B subtrees is coarse enough that contention on the cursor is
+//! unmeasurable). [`run_workers`] runs a closure on `w` scoped threads and
+//! joins them, running inline on the caller thread for `w <= 1`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An atomic claim-in-order queue over a shared slice.
+///
+/// Every call to [`TakeQueue::take`] hands out the next unclaimed item
+/// (and its index) exactly once across all threads. Items are claimed in
+/// index order — later items are only handed out after earlier ones —
+/// which is what makes min-index incumbent selection deterministic.
+///
+/// ```
+/// use hetfeas_par::TakeQueue;
+/// let items = [10, 20, 30];
+/// let q = TakeQueue::new(&items);
+/// assert_eq!(q.take(), Some((0, &10)));
+/// assert_eq!(q.take(), Some((1, &20)));
+/// assert_eq!(q.take(), Some((2, &30)));
+/// assert_eq!(q.take(), None);
+/// ```
+#[derive(Debug)]
+pub struct TakeQueue<'a, T> {
+    items: &'a [T],
+    cursor: AtomicUsize,
+}
+
+impl<'a, T> TakeQueue<'a, T> {
+    /// Wrap a slice; no items are claimed yet.
+    pub fn new(items: &'a [T]) -> Self {
+        TakeQueue {
+            items,
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claim the next unclaimed item, or `None` when the queue is drained.
+    pub fn take(&self) -> Option<(usize, &'a T)> {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        self.items.get(i).map(|item| (i, item))
+    }
+
+    /// Number of items handed out so far (saturates at the queue length).
+    pub fn taken(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed).min(self.items.len())
+    }
+
+    /// Total number of items in the queue.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the queue wraps an empty slice.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Run `f(worker_index)` on `workers` scoped threads and join them all.
+///
+/// For `workers <= 1` the closure runs inline on the calling thread —
+/// zero spawn cost, and the sequential path is byte-for-byte the code the
+/// parallel path runs per worker, which keeps worker-count determinism
+/// arguments honest. Panics in a worker propagate after all threads have
+/// been joined (via the scope).
+pub fn run_workers<F>(workers: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if workers <= 1 {
+        f(0);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let f = &f;
+            scope.spawn(move || f(w));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn take_queue_hands_out_each_item_once_in_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let q = TakeQueue::new(&items);
+        let mut seen = Vec::new();
+        while let Some((i, &v)) = q.take() {
+            assert_eq!(i, v);
+            seen.push(i);
+        }
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        assert_eq!(q.take(), None);
+        assert_eq!(q.taken(), 100);
+    }
+
+    #[test]
+    fn take_queue_on_empty_slice() {
+        let items: [u8; 0] = [];
+        let q = TakeQueue::new(&items);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.take(), None);
+        assert_eq!(q.taken(), 0);
+    }
+
+    #[test]
+    fn take_queue_is_exactly_once_across_threads() {
+        let items: Vec<usize> = (0..10_000).collect();
+        let q = TakeQueue::new(&items);
+        let hits: Vec<AtomicU64> = (0..items.len()).map(|_| AtomicU64::new(0)).collect();
+        run_workers(8, |_| {
+            while let Some((i, &v)) = q.take() {
+                assert_eq!(i, v);
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_workers_one_runs_inline() {
+        let tid = std::thread::current().id();
+        let mut ran_on = None;
+        // A FnMut would not satisfy the bound; use a cell.
+        let cell = std::sync::Mutex::new(&mut ran_on);
+        run_workers(1, |w| {
+            assert_eq!(w, 0);
+            **cell.lock().unwrap() = Some(std::thread::current().id());
+        });
+        assert_eq!(ran_on, Some(tid));
+    }
+
+    #[test]
+    fn run_workers_spawns_each_index_once() {
+        let counts: Vec<AtomicU64> = (0..8).map(|_| AtomicU64::new(0)).collect();
+        run_workers(8, |w| {
+            counts[w].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -25,7 +25,8 @@
 
 use crate::admission::EdfAdmission;
 use crate::assignment::{Assignment, Outcome};
-use crate::exact::{exact_partition_within, ExactOutcome};
+use crate::bnb::ExactSolver;
+use crate::exact::ExactOutcome;
 use crate::first_fit::first_fit;
 use hetfeas_model::{approx_le, Augmentation, Platform, TaskSet};
 use hetfeas_obs::MetricsSink;
@@ -96,14 +97,26 @@ pub fn exact_partition_edf_degraded<S: MetricsSink>(
     gas: &mut Gas,
     sink: &S,
 ) -> LadderReport {
-    match exact_partition_within(
-        tasks,
-        platform,
-        Augmentation::NONE,
-        &EdfAdmission,
-        node_budget,
-        gas,
-    ) {
+    exact_partition_edf_degraded_workers(tasks, platform, node_budget, 1, gas, sink)
+}
+
+/// [`exact_partition_edf_degraded`] with the exact rung running the
+/// branch-and-bound solver across `workers` threads. The ladder semantics
+/// are unchanged — worker count affects only how much of the tree a given
+/// budget covers, never the verdict reached when the budget suffices.
+pub fn exact_partition_edf_degraded_workers<S: MetricsSink>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    node_budget: u64,
+    workers: usize,
+    gas: &mut Gas,
+    sink: &S,
+) -> LadderReport {
+    match ExactSolver::new(tasks, platform, &EdfAdmission)
+        .node_budget(node_budget)
+        .workers(workers)
+        .solve_with(gas, sink)
+    {
         ExactOutcome::Feasible(a) => {
             return LadderReport {
                 verdict: LadderVerdict::Feasible { witness: Some(a) },
@@ -216,12 +229,15 @@ mod tests {
     use hetfeas_robust::Budget;
 
     fn blowup_instance() -> (TaskSet, Platform) {
-        // 13 tasks of util 0.334 on 6 unit machines: infeasible (only two
-        // fit a machine), but utilization 4.342 < 6 defeats the trivial
-        // check, so refutation needs the (symmetric, exponential) search.
+        // 21 tasks with *distinct* utilizations ≈ 0.451..0.471 on 10 unit
+        // machines: infeasible (only two fit a machine, and 21 > 20 slots)
+        // but utilization 9.68 < 10 defeats the trivial check, distinct
+        // utilizations defeat the B&B's dominance/visited collapse, and
+        // the LP bound only bites deep in the tree — refutation genuinely
+        // costs an exponential search.
         (
-            TaskSet::from_pairs(vec![(334, 1000); 13]).unwrap(),
-            Platform::identical(6).unwrap(),
+            TaskSet::from_pairs((0..21u64).map(|i| (451 + i, 1000))).unwrap(),
+            Platform::identical(10).unwrap(),
         )
     }
 
@@ -283,6 +299,21 @@ mod tests {
         assert!(sink.counter(rmetrics::ROBUST_DEGRADED) >= 1);
         // Soundness: Undecided, never a wrong "feasible".
         assert!(!r.verdict.is_feasible());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_ladder_verdict() {
+        // A refutation the exact rung *can* finish: identical utilizations
+        // collapse under the B&B's visited-state dedup.
+        let tasks = TaskSet::from_pairs(vec![(334, 1000); 13]).unwrap();
+        let p = Platform::identical(6).unwrap();
+        for workers in [1usize, 2, 8] {
+            let mut gas = Gas::unlimited();
+            let r =
+                exact_partition_edf_degraded_workers(&tasks, &p, 1 << 20, workers, &mut gas, &());
+            assert_eq!(r.verdict, LadderVerdict::Infeasible, "workers={workers}");
+            assert_eq!((r.level, r.degraded), ("exact", 0));
+        }
     }
 
     #[test]

@@ -1,10 +1,18 @@
-//! Exact partitioned feasibility via branch-and-bound.
+//! Exact partitioned feasibility: public entry points and the legacy DFS.
 //!
 //! The paper's factor-2 / factor-2.41 results (Theorems I.1/I.2) compare
 //! against an *optimal partitioned* adversary. Deciding partitioned
-//! feasibility exactly is strongly NP-hard (it contains bin packing), so the
-//! oracle here is a depth-first branch-and-bound usable at the small `n`
-//! our E1/E2 experiments need (n ≲ 20):
+//! feasibility exactly is strongly NP-hard (it contains bin packing). The
+//! entry points here ([`exact_partition`] & friends) route through the
+//! branch-and-bound [`crate::bnb::ExactSolver`] — LP bounding, dominance
+//! and visited-state pruning, a first-fit incumbent, optional parallel
+//! workers — which decides instances at n ≥ 50, m ≥ 8 that the original
+//! search could not (DESIGN.md §12).
+//!
+//! The original depth-first search is preserved verbatim as
+//! [`exact_partition_dfs`]: it is the differential-testing baseline for
+//! the new solver and the fallback for admissions without a
+//! [`BnbAdmission`] implementation. Its shape, for reference:
 //!
 //! * tasks are branched in non-increasing utilization order (heaviest
 //!   first — the strongest decisions at the top of the tree);
@@ -24,6 +32,7 @@
 
 use crate::admission::AdmissionTest;
 use crate::assignment::Assignment;
+use crate::bnb::{BnbAdmission, ExactSolver};
 use hetfeas_model::{Augmentation, Platform, TaskSet, EPS};
 use hetfeas_robust::Gas;
 
@@ -147,7 +156,13 @@ impl<A: AdmissionTest> Search<'_, A> {
 
 /// Exact partitioned feasibility under the given admission test at
 /// augmented speeds `alpha · s_j`, within `node_budget` branch nodes.
-pub fn exact_partition<A: AdmissionTest>(
+///
+/// Since PR 7 this routes through the branch-and-bound
+/// [`ExactSolver`](crate::bnb::ExactSolver) (LP bounding, dominance and
+/// visited-state pruning, first-fit incumbent) with a single worker —
+/// same contract, decidable at much larger `n`/`m`. The original plain
+/// DFS survives as [`exact_partition_dfs`] for differential testing.
+pub fn exact_partition<A: BnbAdmission>(
     tasks: &TaskSet,
     platform: &Platform,
     alpha: Augmentation,
@@ -168,7 +183,43 @@ pub fn exact_partition<A: AdmissionTest>(
 /// `gas` once, so a wall-clock or ops limit ends the search with
 /// [`ExactOutcome::Unknown`] exactly like an exhausted node budget — a
 /// salvageable "undecided", never a hang.
-pub fn exact_partition_within<A: AdmissionTest>(
+pub fn exact_partition_within<A: BnbAdmission>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    alpha: Augmentation,
+    admission: &A,
+    node_budget: u64,
+    gas: &mut Gas,
+) -> ExactOutcome {
+    ExactSolver::new(tasks, platform, admission)
+        .alpha(alpha)
+        .node_budget(node_budget)
+        .solve_within(gas)
+}
+
+/// The original depth-first search, kept verbatim as the differential
+/// baseline for the B&B solver (`tests/prop_bnb.rs` asserts agreement on
+/// exhaustive small grids). Only needs [`AdmissionTest`], so it also
+/// serves admissions without a [`BnbAdmission`] impl.
+pub fn exact_partition_dfs<A: AdmissionTest>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    alpha: Augmentation,
+    admission: &A,
+    node_budget: u64,
+) -> ExactOutcome {
+    exact_partition_dfs_within(
+        tasks,
+        platform,
+        alpha,
+        admission,
+        node_budget,
+        &mut Gas::unlimited(),
+    )
+}
+
+/// [`exact_partition_dfs`] under an execution budget.
+pub fn exact_partition_dfs_within<A: AdmissionTest>(
     tasks: &TaskSet,
     platform: &Platform,
     alpha: Augmentation,
@@ -360,9 +411,10 @@ mod tests {
 
     #[test]
     fn returns_unknown_on_tiny_budget() {
-        // Feasible but deep: the residual-capacity prune cannot settle it
-        // at the root, so a one-node budget must return Unknown.
-        let tasks = TaskSet::from_pairs(vec![(5, 10); 12]).unwrap();
+        // Infeasible but not at the root: the first-fit incumbent fails,
+        // the LP bound passes, so the search must actually run — and a
+        // one-node budget cannot settle it.
+        let tasks = TaskSet::from_pairs(vec![(334, 1000); 13]).unwrap();
         let p = Platform::identical(6).unwrap();
         assert_eq!(exact_partition_edf(&tasks, &p, 1), ExactOutcome::Unknown);
     }
@@ -418,11 +470,14 @@ mod tests {
     #[test]
     fn gas_exhaustion_reports_unknown() {
         use hetfeas_robust::Budget;
-        // The exponential refutation instance: 13 tasks of util 0.334 on 6
-        // unit machines — only 2 fit per machine, so infeasible, but the
-        // trivial utilization check (4.342 < 6) cannot see it.
-        let tasks = TaskSet::from_pairs(vec![(334, 1000); 13]).unwrap();
-        let p = Platform::identical(6).unwrap();
+        // A refutation instance the B&B cannot collapse: 21 tasks with
+        // *distinct* utilizations ≈ 0.451..0.471 on 10 unit machines. Only
+        // 2 fit per machine (3 × 0.45 > 1), so 21 > 20 slots is
+        // infeasible — but distinct utilizations defeat the dedup/dominance
+        // collapse and the LP bound only bites deep in the tree, so a tiny
+        // ops budget exhausts mid-search.
+        let tasks = TaskSet::from_pairs((0..21u64).map(|i| (451 + i, 1000))).unwrap();
+        let p = Platform::identical(10).unwrap();
         let mut gas = Budget::ops(1_000).gas();
         let out = exact_partition_within(
             &tasks,
@@ -433,8 +488,14 @@ mod tests {
             &mut gas,
         );
         assert_eq!(out, ExactOutcome::Unknown);
-        // With unlimited gas and a large node budget the search refutes it.
-        let out = exact_partition_edf(&tasks, &p, 1 << 22);
+        // The identical-utilization variant the old DFS needed ~4M nodes
+        // for is now refuted comfortably inside a small node budget.
+        let tasks = TaskSet::from_pairs(vec![(334, 1000); 13]).unwrap();
+        let p = Platform::identical(6).unwrap();
+        let out = exact_partition_edf(&tasks, &p, 50_000);
+        assert_eq!(out, ExactOutcome::Infeasible);
+        // And the preserved DFS baseline still refutes it the slow way.
+        let out = exact_partition_dfs(&tasks, &p, Augmentation::NONE, &EdfAdmission, 1 << 22);
         assert_eq!(out, ExactOutcome::Infeasible);
     }
 }

@@ -12,8 +12,16 @@
 //! * [`variants`] — task/machine orders and fit strategies (experiment E8).
 //! * [`constrained`] — constrained-deadline admissions (density bound and
 //!   exact QPA) — the extension the paper's related work points to.
-//! * [`exact`] — branch-and-bound optimal partitioned feasibility (the
-//!   Theorem I.1/I.2 adversary).
+//! * [`exact`] — optimal partitioned feasibility (the Theorem I.1/I.2
+//!   adversary); routes through [`bnb`], with the legacy DFS preserved as
+//!   the differential baseline.
+//! * [`bnb`] — [`ExactSolver`], the parallel branch-and-bound exact
+//!   search: level-algorithm LP bounding, dominance pruning over
+//!   machine-symmetric states, a bloom-fronted visited filter ([`bloom`]),
+//!   a first-fit incumbent and work distribution over frontier subtrees
+//!   with worker-count-independent verdicts (DESIGN.md §12).
+//! * [`bloom`] — [`VisitedFilter`], the bloom front + exact hash-set
+//!   backing the B&B visited-state pruning uses.
 //! * [`lp_rounding`] — an LP-guided rounding baseline (experiment E11).
 //! * [`splitting`] — semi-partitioned EDF with two-machine task splitting
 //!   (experiment E16).
@@ -50,6 +58,8 @@
 
 pub mod admission;
 pub mod assignment;
+pub mod bloom;
+pub mod bnb;
 pub mod constrained;
 pub mod degrade;
 pub mod durable;
@@ -71,9 +81,12 @@ pub use admission::{
     RmsRtaAdmission,
 };
 pub use assignment::{Assignment, FailureWitness, Outcome};
+pub use bloom::{BloomFilter, VisitedFilter};
+pub use bnb::{BnbAdmission, BnbConfig, ExactSolver};
 pub use constrained::{DemandState, DensityAdmission, EdfDemandAdmission};
 pub use degrade::{
-    exact_partition_edf_degraded, lp_feasible_degraded, LadderReport, LadderVerdict,
+    exact_partition_edf_degraded, exact_partition_edf_degraded_workers, lp_feasible_degraded,
+    LadderReport, LadderVerdict,
 };
 pub use durable::{
     peek_config, recover, DurableEngine, DurableError, DurableOptions, JournalConfig, RecoverError,
@@ -81,7 +94,8 @@ pub use durable::{
 };
 pub use engine::{FirstFitEngine, IndexableAdmission};
 pub use exact::{
-    exact_partition, exact_partition_edf, exact_partition_rms, exact_partition_within, ExactOutcome,
+    exact_partition, exact_partition_dfs, exact_partition_dfs_within, exact_partition_edf,
+    exact_partition_rms, exact_partition_within, ExactOutcome,
 };
 pub use exact_rational::{exact_partition_edf_rational, exact_partition_edf_rational_within};
 pub use first_fit::{

@@ -17,6 +17,10 @@
 //!   evaluations, blocks scanned/pruned via the per-block max residual
 //!   hints, and block misses (a pruning false positive). The kernel also
 //!   emits scan-equivalent `ff.*` numbers like the engine does.
+//! * `bnb.*` — the branch-and-bound exact solver: nodes expanded, prunes
+//!   by LP bound / dominance / visited-state, bloom front effectiveness
+//!   (hits and false positives), incumbent short-circuits, frontier size
+//!   and worker count.
 //! * `alpha.*` — α-search probe counts for the cold bisection
 //!   ([`crate::min_feasible_alpha`]), the engine's warm-started
 //!   bracket + bisection search, and the kernel's batched ladder search
@@ -91,6 +95,36 @@ pub const ALPHA_BISECT_ITERS: &str = "alpha.bisect_iters";
 pub const ALPHA_LADDER_PASSES: &str = "alpha.ladder_passes";
 /// Candidate αs (rungs) tested across all ladder passes (counter).
 pub const ALPHA_LADDER_RUNGS: &str = "alpha.ladder_rungs";
+
+/// Branch nodes expanded by the B&B exact solver, all workers plus the
+/// frontier expansion (counter).
+pub const BNB_NODES: &str = "bnb.nodes";
+/// Subtrees cut because the level-algorithm LP relaxation refuted the
+/// remaining tasks against the residual capacities (counter).
+pub const BNB_PRUNE_BOUND: &str = "bnb.prune_bound";
+/// Branches skipped because an earlier equal-speed machine had an
+/// identical state (counter).
+pub const BNB_PRUNE_DOMINANCE: &str = "bnb.prune_dominance";
+/// Nodes cut because their canonical state was already refuted — visited
+/// filter hits plus frontier-expansion dedup (counter).
+pub const BNB_PRUNE_VISITED: &str = "bnb.prune_visited";
+/// Visited-filter queries the bloom front answered *maybe* (counter).
+pub const BNB_BLOOM_HITS: &str = "bnb.bloom_hits";
+/// Bloom *maybes* the exact backing rejected — wasted lookups; the FP
+/// rate is this over [`BNB_BLOOM_HITS`]' complement (counter).
+pub const BNB_BLOOM_FP: &str = "bnb.bloom_fp";
+/// Refuted canonical keys stored across all per-worker filters (counter).
+pub const BNB_VISITED_INSERTS: &str = "bnb.visited_inserts";
+/// Insertions dropped because a worker's filter hit its cap (counter).
+pub const BNB_VISITED_SATURATED: &str = "bnb.visited_saturated";
+/// Runs settled by the first-fit incumbent without any search (counter).
+pub const BNB_FF_INCUMBENT: &str = "bnb.ff_incumbent";
+/// Runs ending Unknown on node/gas budget exhaustion (counter).
+pub const BNB_EXHAUSTED: &str = "bnb.exhausted";
+/// Frontier subtrees handed to the parallel phase (counter).
+pub const BNB_FRONTIER: &str = "bnb.frontier";
+/// Worker threads configured for the run (counter).
+pub const BNB_WORKERS: &str = "bnb.workers";
 
 /// 4-lane admission-mask evaluations by the SoA kernel (counter).
 pub const KERNEL_MASK_OPS: &str = "kernel.mask_ops";

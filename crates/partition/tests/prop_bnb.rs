@@ -1,0 +1,297 @@
+//! Differential + metamorphic battery for the branch-and-bound exact
+//! solver ([`hetfeas_partition::ExactSolver`]).
+//!
+//! Three independent deciders must agree on every small random instance:
+//!
+//! * the new B&B solver (LP bounding, dominance, visited filter, FF
+//!   incumbent — every one of which is an opportunity for an unsound
+//!   prune, which is exactly what this suite hunts);
+//! * the original plain DFS ([`exact_partition_dfs`]), preserved verbatim
+//!   as the baseline;
+//! * brute-force enumeration of all `m^n` assignments (no pruning beyond
+//!   admission rejection), the ground truth nothing clever can corrupt.
+//!
+//! On top of agreement: worker-count determinism (`workers` 1/2/8 return
+//! byte-identical outcomes, witness included) and the metamorphic
+//! invariances the solver's canonicalization must respect — machine
+//! permutation, task permutation, and uniform ×2^k period/WCET scaling.
+//!
+//! Like `prop_metamorphic.rs` this suite is dependency-free (no proptest)
+//! so it also runs under `scripts/offline_check.sh`; the generator is a
+//! fixed-seed xorshift64*.
+
+use hetfeas_model::{Augmentation, Platform, TaskSet};
+use hetfeas_partition::{
+    exact_partition_dfs, AdmissionTest, BnbAdmission, EdfAdmission, ExactOutcome, ExactSolver,
+    RmsLlAdmission,
+};
+
+/// Minimal deterministic generator (splitmix64-seeded xorshift64*).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng((z ^ (z >> 31)) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Random instance in the battery's box: n ≤ 10 tasks, m ≤ 4 machines,
+/// speeds from {1, 2, 3}, utilizations dense enough that feasible and
+/// infeasible verdicts both occur often.
+fn instance(rng: &mut Rng, max_n: usize, max_m: usize) -> (Vec<(u64, u64)>, Vec<u64>) {
+    const PERIODS: [u64; 4] = [10, 20, 50, 100];
+    let n = 1 + rng.below(max_n as u64) as usize;
+    let m = 1 + rng.below(max_m as u64) as usize;
+    let tasks = (0..n)
+        .map(|_| {
+            let p = PERIODS[rng.below(PERIODS.len() as u64) as usize];
+            // Utilization in (0, 1.2]: heavies that need fast machines
+            // included.
+            (1 + rng.below(p + p / 5), p)
+        })
+        .collect();
+    let speeds = (0..m).map(|_| 1 + rng.below(3)).collect();
+    (tasks, speeds)
+}
+
+fn build(tasks: &[(u64, u64)], speeds: &[u64]) -> (TaskSet, Platform) {
+    let ts = TaskSet::from_pairs(tasks.iter().copied()).expect("valid tasks");
+    let platform = Platform::from_int_speeds(speeds.to_vec()).expect("valid platform");
+    (ts, platform)
+}
+
+/// Ground truth: enumerate every assignment of tasks (in index order) to
+/// machines, folding admission states; feasible iff some complete
+/// assignment admits every task. The admission states used here (load,
+/// load+count) are order-independent, so index-order folding is exact.
+fn brute_force<A: AdmissionTest>(tasks: &TaskSet, platform: &Platform, admission: &A) -> bool {
+    fn rec<A: AdmissionTest>(
+        tasks: &TaskSet,
+        speeds: &[f64],
+        admission: &A,
+        i: usize,
+        states: &mut Vec<A::State>,
+    ) -> bool {
+        if i == tasks.len() {
+            return true;
+        }
+        for j in 0..speeds.len() {
+            if let Some(next) = admission.admit(&states[j], &tasks[i], speeds[j]) {
+                let saved = std::mem::replace(&mut states[j], next);
+                if rec(tasks, speeds, admission, i + 1, states) {
+                    return true;
+                }
+                states[j] = saved;
+            }
+        }
+        false
+    }
+    let speeds: Vec<f64> = platform.iter().map(|m| m.speed_f64()).collect();
+    let mut states: Vec<A::State> = (0..speeds.len()).map(|_| admission.empty_state()).collect();
+    rec(tasks, &speeds, admission, 0, &mut states)
+}
+
+fn bnb_verdict<A: BnbAdmission>(tasks: &TaskSet, platform: &Platform, a: &A) -> ExactOutcome {
+    ExactSolver::new(tasks, platform, a)
+        .node_budget(1 << 22)
+        .solve()
+}
+
+fn assert_three_way_agreement<A: BnbAdmission>(
+    tasks: &TaskSet,
+    platform: &Platform,
+    a: &A,
+    label: &str,
+) {
+    let brute = brute_force(tasks, platform, a);
+    let dfs = exact_partition_dfs(tasks, platform, Augmentation::NONE, a, 1 << 22);
+    let bnb = bnb_verdict(tasks, platform, a);
+    assert!(
+        dfs.is_decided(),
+        "{label}: DFS exhausted on a tiny instance"
+    );
+    assert!(
+        bnb.is_decided(),
+        "{label}: B&B exhausted on a tiny instance"
+    );
+    assert_eq!(
+        dfs.is_feasible(),
+        brute,
+        "{label}: DFS disagrees with brute force on {tasks} / {platform}"
+    );
+    assert_eq!(
+        bnb.is_feasible(),
+        brute,
+        "{label}: B&B disagrees with brute force on {tasks} / {platform}"
+    );
+    // A feasible witness must actually be a valid partition.
+    if let ExactOutcome::Feasible(w) = &bnb {
+        assert!(
+            w.validate(tasks, platform, 1.0, a),
+            "{label}: invalid witness on {tasks} / {platform}"
+        );
+    }
+}
+
+#[test]
+fn bnb_dfs_and_brute_force_agree_edf() {
+    let mut rng = Rng::new(0xB4B);
+    for case in 0..120 {
+        // Keep the brute-force side affordable: n ≤ 8 when m = 4.
+        let (pairs, speeds) = instance(&mut rng, 8, 4);
+        let (tasks, platform) = build(&pairs, &speeds);
+        assert_three_way_agreement(&tasks, &platform, &EdfAdmission, &format!("edf/{case}"));
+    }
+    // And the full n ≤ 10 box against the DFS baseline alone.
+    for case in 0..80 {
+        let (pairs, speeds) = instance(&mut rng, 10, 4);
+        let (tasks, platform) = build(&pairs, &speeds);
+        let dfs = exact_partition_dfs(
+            &tasks,
+            &platform,
+            Augmentation::NONE,
+            &EdfAdmission,
+            1 << 22,
+        );
+        let bnb = bnb_verdict(&tasks, &platform, &EdfAdmission);
+        assert_eq!(
+            dfs.is_feasible(),
+            bnb.is_feasible(),
+            "edf-wide/{case}: {tasks} / {platform}"
+        );
+    }
+}
+
+#[test]
+fn bnb_dfs_and_brute_force_agree_rms_ll() {
+    let mut rng = Rng::new(0x117);
+    for case in 0..120 {
+        let (pairs, speeds) = instance(&mut rng, 8, 4);
+        let (tasks, platform) = build(&pairs, &speeds);
+        assert_three_way_agreement(
+            &tasks,
+            &platform,
+            &RmsLlAdmission,
+            &format!("rms-ll/{case}"),
+        );
+    }
+}
+
+#[test]
+fn verdict_and_witness_deterministic_across_workers() {
+    let mut rng = Rng::new(0xDE7);
+    for case in 0..40 {
+        let (pairs, speeds) = instance(&mut rng, 10, 4);
+        let (tasks, platform) = build(&pairs, &speeds);
+        let outcomes: Vec<ExactOutcome> = [1usize, 2, 8]
+            .into_iter()
+            .map(|w| {
+                ExactSolver::new(&tasks, &platform, &EdfAdmission)
+                    .workers(w)
+                    .node_budget(1 << 22)
+                    .solve()
+            })
+            .collect();
+        // Byte-identical outcomes, witness included — not just the verdict.
+        assert_eq!(outcomes[0], outcomes[1], "case {case}: workers 1 vs 2");
+        assert_eq!(outcomes[0], outcomes[2], "case {case}: workers 1 vs 8");
+    }
+}
+
+#[test]
+fn machine_permutation_invariance() {
+    let mut rng = Rng::new(0x3AC);
+    for case in 0..60 {
+        let (pairs, mut speeds) = instance(&mut rng, 9, 4);
+        let (tasks, platform) = build(&pairs, &speeds);
+        let base = bnb_verdict(&tasks, &platform, &EdfAdmission);
+        rng.shuffle(&mut speeds);
+        let (_, permuted) = build(&pairs, &speeds);
+        let permuted_out = bnb_verdict(&tasks, &permuted, &EdfAdmission);
+        assert_eq!(
+            base.is_feasible(),
+            permuted_out.is_feasible(),
+            "case {case}: permuting machines changed the verdict"
+        );
+    }
+}
+
+#[test]
+fn task_permutation_invariance() {
+    let mut rng = Rng::new(0x7A5);
+    for case in 0..60 {
+        let (mut pairs, speeds) = instance(&mut rng, 9, 4);
+        let (tasks, platform) = build(&pairs, &speeds);
+        let base = bnb_verdict(&tasks, &platform, &RmsLlAdmission);
+        rng.shuffle(&mut pairs);
+        let (permuted, _) = build(&pairs, &speeds);
+        let permuted_out = bnb_verdict(&permuted, &platform, &RmsLlAdmission);
+        assert_eq!(
+            base.is_feasible(),
+            permuted_out.is_feasible(),
+            "case {case}: permuting tasks changed the verdict"
+        );
+    }
+}
+
+#[test]
+fn power_of_two_scaling_invariance() {
+    // (c, p) → (2^k·c, 2^k·p) preserves every utilization exactly (powers
+    // of two are exact in f64), so verdicts must not move.
+    let mut rng = Rng::new(0x5CA1E);
+    for case in 0..40 {
+        let (pairs, speeds) = instance(&mut rng, 9, 4);
+        let (tasks, platform) = build(&pairs, &speeds);
+        let base = bnb_verdict(&tasks, &platform, &EdfAdmission);
+        for k in [1u32, 3, 7] {
+            let scaled_pairs: Vec<(u64, u64)> =
+                pairs.iter().map(|&(c, p)| (c << k, p << k)).collect();
+            let (scaled, _) = build(&scaled_pairs, &speeds);
+            let scaled_out = bnb_verdict(&scaled, &platform, &EdfAdmission);
+            assert_eq!(
+                base.is_feasible(),
+                scaled_out.is_feasible(),
+                "case {case}: ×2^{k} scaling changed the verdict"
+            );
+        }
+    }
+}
+
+#[test]
+fn dfs_node_blowup_instances_stay_decided_under_bnb() {
+    // Identical-utilization refutation instances grow exponentially for
+    // the DFS but collapse under the B&B's visited filter: the node
+    // budget that strands the DFS is ample for the B&B.
+    for (m, extra) in [(4usize, 1u64), (5, 1), (6, 1)] {
+        let n = 2 * m as u64 + extra;
+        let tasks = TaskSet::from_pairs(vec![(334u64, 1000u64); n as usize]).unwrap();
+        let platform = Platform::identical(m).unwrap();
+        let bnb = ExactSolver::new(&tasks, &platform, &EdfAdmission)
+            .node_budget(100_000)
+            .solve();
+        assert_eq!(bnb, ExactOutcome::Infeasible, "m={m}");
+    }
+}

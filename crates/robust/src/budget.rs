@@ -18,12 +18,18 @@
 //! on in production paths.
 
 use core::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How many ticks pass between polls of the wall clock / cancel flag.
 pub const POLL_INTERVAL: u32 = 1024;
+
+/// How many ops a [`SharedGas`] claims from its [`SharedBudget`] pool per
+/// refill. Large enough that the atomic traffic amortizes to nothing,
+/// small enough that one worker cannot strand a meaningful fraction of a
+/// tight budget in its local allowance.
+pub const SHARE_CHUNK: u64 = 256;
 
 /// Why a metered computation stopped early.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -235,6 +241,232 @@ impl Gas {
         }
         Ok(())
     }
+
+    /// Carve this meter's *remaining* allowance into a thread-safe pool
+    /// that several workers can draw from concurrently via
+    /// [`SharedBudget::gas`]. The deadline and cancellation flag are
+    /// shared as-is; the ops allowance becomes a single atomic pool that
+    /// workers claim in [`SHARE_CHUNK`]-sized chunks. After the workers
+    /// finish, call [`Gas::absorb`] to fold the consumed ops and any
+    /// exhaustion latch back into this meter.
+    pub fn share(&self) -> SharedBudget {
+        SharedBudget {
+            pool: AtomicU64::new(self.ops_left),
+            capped: self.ops_left != u64::MAX,
+            metered: self.metered,
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
+            // `Gas` does not latch `dead` on ops exhaustion (ops_left == 0
+            // is inherently sticky), so detect that case here too.
+            dead: AtomicU8::new(match self.dead {
+                Some(e) => dead_code(e),
+                None if self.metered && self.ops_left == 0 => dead_code(Exhaustion::Ops),
+                None => DEAD_ALIVE,
+            }),
+        }
+    }
+
+    /// Fold a finished [`SharedBudget`] back into this meter: remaining
+    /// pool ops become this meter's allowance, and a tripped exhaustion
+    /// latch transfers stickily (every later `tick` fails immediately).
+    pub fn absorb(&mut self, shared: &SharedBudget) {
+        if shared.capped {
+            self.ops_left = shared.pool.load(Ordering::Relaxed);
+        }
+        if self.dead.is_none() {
+            self.dead = shared.exhausted();
+        }
+    }
+}
+
+const DEAD_ALIVE: u8 = 0;
+
+const fn dead_code(e: Exhaustion) -> u8 {
+    match e {
+        Exhaustion::WallClock => 1,
+        Exhaustion::Ops => 2,
+        Exhaustion::Cancelled => 3,
+    }
+}
+
+const fn dead_from(code: u8) -> Option<Exhaustion> {
+    match code {
+        1 => Some(Exhaustion::WallClock),
+        2 => Some(Exhaustion::Ops),
+        3 => Some(Exhaustion::Cancelled),
+        _ => None,
+    }
+}
+
+/// A thread-safe budget pool carved from a running [`Gas`] by
+/// [`Gas::share`]. Workers derive per-thread [`SharedGas`] meters with
+/// [`SharedBudget::gas`]; each claims ops from the shared atomic pool in
+/// chunks, so the hot `tick` path stays a local decrement. Exhaustion is
+/// latched globally with first-writer-wins semantics — once any worker
+/// trips the latch, every other worker's next poll observes it and stops.
+#[derive(Debug)]
+pub struct SharedBudget {
+    pool: AtomicU64,
+    capped: bool,
+    metered: bool,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+    /// 0 = alive; otherwise `dead_code(Exhaustion)`. First writer wins.
+    dead: AtomicU8,
+}
+
+impl SharedBudget {
+    /// Derive a per-worker meter drawing from this pool.
+    pub fn gas(&self) -> SharedGas<'_> {
+        SharedGas {
+            shared: self,
+            local: 0,
+            until_poll: POLL_INTERVAL,
+            dead: dead_from(self.dead.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// The exhaustion latch, if any worker (or the parent meter) tripped it.
+    pub fn exhausted(&self) -> Option<Exhaustion> {
+        dead_from(self.dead.load(Ordering::Relaxed))
+    }
+
+    /// Ops remaining in the pool (not counting workers' unclaimed local
+    /// chunks until their meters drop). `u64::MAX` when uncapped.
+    pub fn pool_left(&self) -> u64 {
+        self.pool.load(Ordering::Relaxed)
+    }
+
+    /// Trip the latch (first writer wins) and report the winner.
+    fn latch(&self, e: Exhaustion) -> Exhaustion {
+        match self.dead.compare_exchange(
+            DEAD_ALIVE,
+            dead_code(e),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => e,
+            Err(prev) => dead_from(prev).unwrap_or(e),
+        }
+    }
+
+    /// Claim up to [`SHARE_CHUNK`] ops from the pool; `None` = pool empty.
+    fn claim(&self) -> Option<u64> {
+        self.pool
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |avail| {
+                if avail == 0 {
+                    None
+                } else {
+                    Some(avail - avail.min(SHARE_CHUNK))
+                }
+            })
+            .ok()
+            .map(|before| before.min(SHARE_CHUNK))
+    }
+}
+
+/// A per-worker meter over a [`SharedBudget`]. Same contract as [`Gas`]:
+/// loops call [`SharedGas::tick`] once per unit of work and unwind by
+/// return on `Err`. Dropping the meter returns its unconsumed local chunk
+/// to the pool, so [`Gas::absorb`] sees exact accounting.
+#[derive(Debug)]
+pub struct SharedGas<'a> {
+    shared: &'a SharedBudget,
+    /// Ops claimed from the pool but not yet consumed.
+    local: u64,
+    until_poll: u32,
+    dead: Option<Exhaustion>,
+}
+
+impl SharedGas<'_> {
+    /// Consume one unit of work. Claims a fresh chunk from the shared
+    /// pool when the local allowance runs dry; polls the clock, the
+    /// cancel flag and the global latch every [`POLL_INTERVAL`] calls.
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), Exhaustion> {
+        if !self.shared.metered {
+            return Ok(());
+        }
+        if let Some(e) = self.dead {
+            return Err(e);
+        }
+        if self.shared.capped {
+            if self.local == 0 {
+                match self.shared.claim() {
+                    Some(chunk) => self.local = chunk,
+                    None => return self.sticky(Err(Exhaustion::Ops)),
+                }
+            }
+            self.local -= 1;
+        }
+        if self.until_poll == 0 {
+            self.until_poll = POLL_INTERVAL;
+            let r = self.poll();
+            self.sticky(r)
+        } else {
+            self.until_poll -= 1;
+            Ok(())
+        }
+    }
+
+    /// Force an immediate poll of the clock / cancel flag / global latch
+    /// without consuming ops.
+    pub fn check_now(&mut self) -> Result<(), Exhaustion> {
+        if !self.shared.metered {
+            return Ok(());
+        }
+        if let Some(e) = self.dead {
+            return Err(e);
+        }
+        self.until_poll = POLL_INTERVAL;
+        let r = self.poll();
+        self.sticky(r)
+    }
+
+    /// True once this meter (or any sibling) has exhausted.
+    pub fn is_exhausted(&self) -> bool {
+        self.dead.is_some() || self.shared.exhausted().is_some()
+    }
+
+    fn sticky(&mut self, r: Result<(), Exhaustion>) -> Result<(), Exhaustion> {
+        match r {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Latch globally first (first writer wins), then locally
+                // with whatever the global latch settled on, so every
+                // worker reports the same exhaustion cause.
+                let won = self.shared.latch(e);
+                self.dead = Some(won);
+                Err(won)
+            }
+        }
+    }
+
+    #[inline(never)]
+    fn poll(&self) -> Result<(), Exhaustion> {
+        if let Some(e) = self.shared.exhausted() {
+            return Err(e);
+        }
+        if let Some(flag) = &self.shared.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(Exhaustion::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.shared.deadline {
+            if Instant::now() >= deadline {
+                return Err(Exhaustion::WallClock);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SharedGas<'_> {
+    fn drop(&mut self) {
+        if self.local > 0 {
+            self.shared.pool.fetch_add(self.local, Ordering::Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -334,5 +566,123 @@ mod tests {
         assert!(Budget::unlimited().is_unlimited());
         assert!(!Budget::wall_ms(5).is_unlimited());
         assert!(!Budget::ops(5).is_unlimited());
+    }
+
+    #[test]
+    fn shared_pool_exhausts_across_meters() {
+        let gas = Budget::ops(SHARE_CHUNK * 2).gas();
+        let shared = gas.share();
+        let mut a = shared.gas();
+        let mut b = shared.gas();
+        // Each worker can claim one chunk; a third chunk does not exist.
+        for _ in 0..SHARE_CHUNK {
+            assert_eq!(a.tick(), Ok(()));
+            assert_eq!(b.tick(), Ok(()));
+        }
+        assert_eq!(a.tick(), Err(Exhaustion::Ops));
+        // The latch is global: b observes it at its next poll, and
+        // check_now sees it immediately.
+        assert_eq!(b.check_now(), Err(Exhaustion::Ops));
+        assert_eq!(shared.exhausted(), Some(Exhaustion::Ops));
+    }
+
+    #[test]
+    fn dropping_shared_gas_returns_unused_chunk() {
+        let gas = Budget::ops(SHARE_CHUNK).gas();
+        let shared = gas.share();
+        {
+            let mut g = shared.gas();
+            assert_eq!(g.tick(), Ok(())); // claims the whole chunk
+            assert_eq!(shared.pool_left(), 0);
+        }
+        // Drop returned SHARE_CHUNK - 1 unconsumed ops.
+        assert_eq!(shared.pool_left(), SHARE_CHUNK - 1);
+    }
+
+    #[test]
+    fn absorb_restores_consumed_ops_and_latch() {
+        let mut gas = Budget::ops(SHARE_CHUNK * 4).gas();
+        let shared = gas.share();
+        {
+            let mut g = shared.gas();
+            for _ in 0..10 {
+                assert_eq!(g.tick(), Ok(()));
+            }
+        }
+        gas.absorb(&shared);
+        assert_eq!(gas.ops_left(), SHARE_CHUNK * 4 - 10);
+        assert_eq!(gas.tick(), Ok(()));
+
+        // Exhaust the pool through a shared meter; absorb latches the
+        // parent stickily.
+        let shared = gas.share();
+        {
+            let mut g = shared.gas();
+            loop {
+                if g.tick().is_err() {
+                    break;
+                }
+            }
+        }
+        gas.absorb(&shared);
+        assert_eq!(gas.tick(), Err(Exhaustion::Ops));
+        assert_eq!(gas.tick(), Err(Exhaustion::Ops)); // sticky
+    }
+
+    #[test]
+    fn shared_from_dead_gas_starts_dead() {
+        let mut gas = Budget::ops(1).gas();
+        assert_eq!(gas.tick(), Ok(()));
+        assert_eq!(gas.tick(), Err(Exhaustion::Ops));
+        let shared = gas.share();
+        assert_eq!(shared.exhausted(), Some(Exhaustion::Ops));
+        let mut g = shared.gas();
+        assert_eq!(g.tick(), Err(Exhaustion::Ops));
+    }
+
+    #[test]
+    fn unlimited_shared_gas_never_exhausts() {
+        let gas = Gas::unlimited();
+        let shared = gas.share();
+        let mut g = shared.gas();
+        for _ in 0..10_000 {
+            assert_eq!(g.tick(), Ok(()));
+        }
+        assert_eq!(g.check_now(), Ok(()));
+        assert!(!g.is_exhausted());
+    }
+
+    #[test]
+    fn shared_cancel_flag_latches_all_meters() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let gas = Budget::unlimited().with_cancel(flag.clone()).gas();
+        let shared = gas.share();
+        let mut a = shared.gas();
+        let mut b = shared.gas();
+        assert_eq!(a.check_now(), Ok(()));
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(a.check_now(), Err(Exhaustion::Cancelled));
+        assert_eq!(b.check_now(), Err(Exhaustion::Cancelled));
+    }
+
+    #[test]
+    fn shared_pool_accounting_is_exact_across_threads() {
+        const WORKERS: usize = 4;
+        const PER_WORKER: u64 = 3 * SHARE_CHUNK + 17;
+        let mut gas = Budget::ops(WORKERS as u64 * PER_WORKER + 5).gas();
+        let shared = gas.share();
+        std::thread::scope(|scope| {
+            for _ in 0..WORKERS {
+                scope.spawn(|| {
+                    let mut g = shared.gas();
+                    for _ in 0..PER_WORKER {
+                        assert_eq!(g.tick(), Ok(()));
+                    }
+                });
+            }
+        });
+        gas.absorb(&shared);
+        assert_eq!(gas.ops_left(), 5);
+        assert_eq!(gas.tick(), Ok(()));
     }
 }

@@ -33,6 +33,12 @@ pub enum FaultKind {
     /// refute an exponentially symmetric tree — the canonical budget
     /// exhaustion trigger.
     ExactBlowup,
+    /// Pairwise-*distinct* utilizations crafted so first-fit fails, the LP
+    /// bound passes high in the tree, and no two machine states ever
+    /// coincide — defeating the branch-and-bound solver's dominance and
+    /// visited-state collapse (which trivializes [`FaultKind::ExactBlowup`])
+    /// so even the B&B must exhaust its budget.
+    BnbBlowup,
 }
 
 impl FaultKind {
@@ -44,6 +50,7 @@ impl FaultKind {
             FaultKind::ZeroSlack => "zero-slack",
             FaultKind::LpCycling => "lp-cycling",
             FaultKind::ExactBlowup => "exact-blowup",
+            FaultKind::BnbBlowup => "bnb-blowup",
         }
     }
 }
@@ -96,6 +103,7 @@ impl FaultPlan {
         out.extend(self.zero_slack());
         out.extend(self.lp_cycling());
         out.extend(self.exact_blowup());
+        out.extend(self.bnb_blowup());
         out
     }
 
@@ -218,6 +226,37 @@ impl FaultPlan {
             platform,
         }]
     }
+
+    fn bnb_blowup(&self) -> Vec<FaultCase> {
+        let mut state = self.seed ^ 0x424e_4221; // "BNB!"
+        let mut cases = Vec::new();
+        for i in 0..2u64 {
+            // 2m + 1 tasks with pairwise-distinct utilizations just under
+            // 1/2 on m unit machines: at most two fit per machine, so the
+            // instance is infeasible by counting — but total utilization
+            // stays under total speed, first-fit fails, and no two partial
+            // loads ever tie, so neither dominance nor the visited filter
+            // can collapse the tree. Small per-task jitter keeps the
+            // utilizations distinct across the corpus too.
+            let m = 9 + i as usize; // 9, 10 machines → 19, 21 tasks
+            let n = 2 * m + 1;
+            let mut tasks = TaskSet::empty();
+            for j in 0..n as u64 {
+                let jitter = splitmix64(&mut state) % 7;
+                // 451..=max: distinct per j, all in (0.45, 0.5).
+                let wcet = 451 + 2 * j + jitter % 2;
+                tasks.push(Task::implicit(wcet, 1000).expect("valid bnb-blowup task"));
+            }
+            let platform = Platform::uniform_speed(m, 1).expect("valid platform");
+            cases.push(FaultCase {
+                name: format!("bnb-blowup/{i}"),
+                kind: FaultKind::BnbBlowup,
+                tasks,
+                platform,
+            });
+        }
+        cases
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +294,7 @@ mod tests {
             FaultKind::ZeroSlack,
             FaultKind::LpCycling,
             FaultKind::ExactBlowup,
+            FaultKind::BnbBlowup,
         ] {
             assert!(
                 cases.iter().any(|c| c.kind == kind),
@@ -295,5 +335,23 @@ mod tests {
     fn kind_names_are_stable() {
         assert_eq!(FaultKind::HugePeriods.as_str(), "huge-periods");
         assert_eq!(FaultKind::ExactBlowup.as_str(), "exact-blowup");
+        assert_eq!(FaultKind::BnbBlowup.as_str(), "bnb-blowup");
+    }
+
+    #[test]
+    fn bnb_blowup_cases_have_distinct_utilizations_and_counting_infeasibility() {
+        for case in FaultPlan::new(5).cases_of(FaultKind::BnbBlowup) {
+            let n = case.tasks.len();
+            let m = case.platform.len();
+            assert_eq!(n, 2 * m + 1, "{}: needs one task more than 2m", case.name);
+            // Pairwise-distinct utilizations, each in (0.45, 0.5): exactly
+            // two fit per unit machine, and no state collapse is possible.
+            let mut utils: Vec<f64> = case.tasks.iter().map(|t| t.utilization()).collect();
+            utils.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert!(utils.windows(2).all(|w| w[0] < w[1]), "{}", case.name);
+            assert!(utils.iter().all(|&u| u > 0.45 && u < 0.5), "{}", case.name);
+            // And the trivial check cannot refute it.
+            assert!(case.tasks.total_utilization() < case.platform.total_speed());
+        }
     }
 }

@@ -38,7 +38,7 @@ pub mod firewall;
 pub mod journal;
 pub mod metrics;
 
-pub use budget::{Budget, Exhaustion, Gas};
+pub use budget::{Budget, Exhaustion, Gas, SharedBudget, SharedGas};
 pub use fault::{FaultCase, FaultKind, FaultPlan};
 pub use firewall::{guard, guard_with, PanicReport};
 pub use journal::{

@@ -1,0 +1,209 @@
+//! Smoke benchmark for the branch-and-bound exact solver — compiled by
+//! `scripts/bench_smoke.sh` with plain `rustc` against the workspace
+//! rlibs (no Criterion, no external crates), so it runs in sandboxed CI
+//! and emits `BENCH_bnb.json`:
+//!
+//! * `grid` — a fixed set of refutation/packing instances, each solved by
+//!   the B&B (`ExactSolver`) and by the preserved plain-DFS baseline
+//!   (`exact_partition_dfs`) under the same node budget. Per row: the
+//!   verdict each side reached, the B&B's explored node count (from the
+//!   `bnb.nodes` counter) and its nodes/sec throughput.
+//! * `summary` — `bnb_solved` / `dfs_solved`: how many rows each side
+//!   decided within budget. The `scripts/ci.sh` gate reads `bnb_solved`
+//!   and fails if a fresh run decides fewer rows than the committed
+//!   baseline — capability, not wall-clock, so the gate is stable on
+//!   noisy shared runners. Throughput numbers are trajectory data only.
+//! * `workers` — wall-clock on the headline n=50/m=8 gate instance at 1
+//!   vs 4 workers, with `host_cpus`. Reported, never gated: the sandbox
+//!   host has a single CPU.
+
+use hetfeas_model::{Platform, TaskSet};
+use hetfeas_obs::MemorySink;
+use hetfeas_partition::metrics as pm;
+use hetfeas_partition::{exact_partition_dfs, EdfAdmission, ExactOutcome, ExactSolver};
+use hetfeas_robust::Gas;
+use std::time::Instant;
+
+use hetfeas_model::Augmentation;
+
+struct Row {
+    name: &'static str,
+    tasks: TaskSet,
+    platform: Platform,
+    node_budget: u64,
+}
+
+fn grid() -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    // Identical-utilization refutation: 13 copies of u = 0.334 on six unit
+    // machines. The classic DFS blowup; collapses under the visited filter.
+    rows.push(Row {
+        name: "identical-util-13x6",
+        tasks: TaskSet::from_pairs(vec![(334u64, 1000u64); 13]).unwrap(),
+        platform: Platform::identical(6).unwrap(),
+        node_budget: 2_000_000,
+    });
+
+    // The acceptance-gate instance: 17 heavies + 33 light tasks, n = 50 on
+    // eight unit machines. Infeasible by counting over the heavies alone;
+    // the light tail buries that structure for the plain DFS.
+    let mut pairs: Vec<(u64, u64)> = vec![(334, 1000); 17];
+    pairs.extend(std::iter::repeat((5u64, 100u64)).take(33));
+    rows.push(Row {
+        name: "gate-n50-m8",
+        tasks: TaskSet::from_pairs(pairs).unwrap(),
+        platform: Platform::identical(8).unwrap(),
+        node_budget: 2_000_000,
+    });
+
+    // Pairwise-distinct utilizations in (0.45, 0.5): no state collapse, so
+    // this row exercises raw node throughput rather than pruning. Both
+    // sides are expected to exhaust the (smaller) budget.
+    rows.push(Row {
+        name: "distinct-util-21x10",
+        tasks: TaskSet::from_pairs((0..21u64).map(|i| (451 + i, 1000))).unwrap(),
+        platform: Platform::identical(10).unwrap(),
+        node_budget: 400_000,
+    });
+
+    // A feasible perfect packing (eight machines, each exactly filled by a
+    // 0.42/0.30/0.28 triple) that first-fit misses: the search must find
+    // the witness, not just refute.
+    let mut triples = Vec::new();
+    for _ in 0..8 {
+        triples.extend_from_slice(&[(42u64, 100u64), (30, 100), (28, 100)]);
+    }
+    rows.push(Row {
+        name: "feasible-triples-24x8",
+        tasks: TaskSet::from_pairs(triples).unwrap(),
+        platform: Platform::identical(8).unwrap(),
+        node_budget: 2_000_000,
+    });
+
+    rows
+}
+
+fn verdict(out: &ExactOutcome) -> &'static str {
+    match out {
+        ExactOutcome::Feasible(_) => "feasible",
+        ExactOutcome::Infeasible => "infeasible",
+        ExactOutcome::Unknown => "unknown",
+    }
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let rows = grid();
+    let mut json_rows = Vec::new();
+    let mut bnb_solved = 0usize;
+    let mut dfs_solved = 0usize;
+
+    for row in &rows {
+        // B&B side, instrumented.
+        let sink = MemorySink::new();
+        let started = Instant::now();
+        let bnb = ExactSolver::new(&row.tasks, &row.platform, &EdfAdmission)
+            .node_budget(row.node_budget)
+            .solve_with(&mut Gas::unlimited(), &sink);
+        let bnb_secs = started.elapsed().as_secs_f64();
+        let nodes = sink.counter(pm::BNB_NODES);
+        let nps = if bnb_secs > 0.0 {
+            nodes as f64 / bnb_secs
+        } else {
+            0.0
+        };
+
+        // Plain-DFS baseline, same node budget.
+        let started = Instant::now();
+        let dfs = exact_partition_dfs(
+            &row.tasks,
+            &row.platform,
+            Augmentation::NONE,
+            &EdfAdmission,
+            row.node_budget,
+        );
+        let dfs_secs = started.elapsed().as_secs_f64();
+
+        if bnb.is_decided() {
+            bnb_solved += 1;
+        }
+        if dfs.is_decided() {
+            dfs_solved += 1;
+        }
+        assert!(
+            !(bnb.is_decided() && dfs.is_decided() && bnb.is_feasible() != dfs.is_feasible()),
+            "{}: B&B and DFS disagree",
+            row.name
+        );
+
+        eprintln!(
+            "{}: bnb {} ({} nodes, {:.1} ms, {:.0} nodes/s) | dfs {} ({:.1} ms)",
+            row.name,
+            verdict(&bnb),
+            nodes,
+            bnb_secs * 1e3,
+            nps,
+            verdict(&dfs),
+            dfs_secs * 1e3,
+        );
+        json_rows.push(format!(
+            "    {{ \"name\": \"{}\", \"n\": {}, \"m\": {}, \"node_budget\": {},\n      \
+             \"bnb_verdict\": \"{}\", \"bnb_nodes\": {}, \"bnb_secs\": {:.4}, \
+             \"bnb_nodes_per_sec\": {:.0},\n      \
+             \"dfs_verdict\": \"{}\", \"dfs_secs\": {:.4} }}",
+            row.name,
+            row.tasks.len(),
+            row.platform.len(),
+            row.node_budget,
+            verdict(&bnb),
+            nodes,
+            bnb_secs,
+            nps,
+            verdict(&dfs),
+            dfs_secs,
+        ));
+    }
+
+    // Worker scaling on the gate instance — report-only.
+    let gate = &rows[1];
+    let time_with = |workers: usize| {
+        let started = Instant::now();
+        let out = ExactSolver::new(&gate.tasks, &gate.platform, &EdfAdmission)
+            .node_budget(gate.node_budget)
+            .workers(workers)
+            .solve();
+        (started.elapsed().as_secs_f64(), out)
+    };
+    let (secs_w1, out_w1) = time_with(1);
+    let (secs_w4, out_w4) = time_with(4);
+    assert_eq!(out_w1, out_w4, "worker count changed the gate outcome");
+    let speedup = if secs_w4 > 0.0 { secs_w1 / secs_w4 } else { 1.0 };
+    eprintln!(
+        "workers on {}: 1 -> {:.1} ms, 4 -> {:.1} ms ({:.2}x, {} cpus)",
+        gate.name,
+        secs_w1 * 1e3,
+        secs_w4 * 1e3,
+        speedup,
+        host_cpus
+    );
+
+    println!("{{");
+    println!("  \"bench\": \"bnb_exact_solver\",");
+    println!("  \"admission\": \"EDF\",");
+    println!("  \"host_cpus\": {host_cpus},");
+    println!("  \"grid\": [");
+    println!("{}", json_rows.join(",\n"));
+    println!("  ],");
+    println!(
+        "  \"summary\": {{ \"grid_size\": {}, \"bnb_solved\": {bnb_solved}, \
+         \"dfs_solved\": {dfs_solved} }},",
+        rows.len()
+    );
+    println!(
+        "  \"workers\": {{ \"instance\": \"{}\", \"secs_w1\": {:.4}, \"secs_w4\": {:.4}, \
+         \"worker_speedup\": {:.2} }}",
+        gate.name, secs_w1, secs_w4, speedup
+    );
+    println!("}}");
+}

@@ -8,7 +8,10 @@
 # resulting JSON, the ci.sh gates expect the default grid).
 # Also runs the incremental-engine harness (scripts/bench_incr_smoke.rs)
 # and emits BENCH_incremental.json (churn ops/sec incremental vs
-# from-scratch, plus worker scaling with host_cpus).
+# from-scratch, plus worker scaling with host_cpus), and the
+# branch-and-bound harness (scripts/bench_bnb_smoke.rs) which emits
+# BENCH_bnb.json (per-instance nodes/sec and the solved-within-budget
+# grid vs the plain-DFS baseline).
 #
 # Uses plain-rustc harnesses compiled against the workspace rlibs — no
 # Criterion, no registry access — so they also run in sandboxed CI. When
@@ -19,6 +22,7 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 out="${BENCH_OUT:-$repo/BENCH_ffd.json}"
 incr_out="${BENCH_INCR_OUT:-$repo/BENCH_incremental.json}"
+bnb_out="${BENCH_BNB_OUT:-$repo/BENCH_bnb.json}"
 build="$(mktemp -d)"
 trap 'rm -rf "$build"' EXIT
 
@@ -44,6 +48,15 @@ rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_lp \
     --extern hetfeas_obs="$build/libhetfeas_obs.rlib" \
     --extern hetfeas_robust="$build/libhetfeas_robust.rlib" \
     -o "$build/libhetfeas_lp.rlib"
+rustc --edition 2021 -O --crate-type rlib --crate-name crossbeam \
+    "$repo/scripts/stubs/crossbeam.rs" -o "$build/libcrossbeam.rlib"
+rustc --edition 2021 -O --crate-type rlib --crate-name parking_lot \
+    "$repo/scripts/stubs/parking_lot.rs" -o "$build/libparking_lot.rlib"
+rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_par \
+    "$repo/crates/par/src/lib.rs" -L "$build" \
+    --extern crossbeam="$build/libcrossbeam.rlib" \
+    --extern parking_lot="$build/libparking_lot.rlib" \
+    -o "$build/libhetfeas_par.rlib"
 rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_partition \
     "$repo/crates/partition/src/lib.rs" -L "$build" \
     --extern hetfeas_model="$build/libhetfeas_model.rlib" \
@@ -51,6 +64,7 @@ rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_partition \
     --extern hetfeas_lp="$build/libhetfeas_lp.rlib" \
     --extern hetfeas_obs="$build/libhetfeas_obs.rlib" \
     --extern hetfeas_robust="$build/libhetfeas_robust.rlib" \
+    --extern hetfeas_par="$build/libhetfeas_par.rlib" \
     -o "$build/libhetfeas_partition.rlib"
 
 echo "building + running the smoke harness ..." >&2
@@ -70,6 +84,17 @@ rustc --edition 2021 -O --crate-name bench_incr_smoke \
     -o "$build/bench_incr_smoke"
 "$build/bench_incr_smoke" > "$incr_out"
 echo "wrote $incr_out" >&2
+
+echo "building + running the branch-and-bound harness ..." >&2
+rustc --edition 2021 -O --crate-name bench_bnb_smoke \
+    "$repo/scripts/bench_bnb_smoke.rs" -L "$build" \
+    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    --extern hetfeas_obs="$build/libhetfeas_obs.rlib" \
+    --extern hetfeas_robust="$build/libhetfeas_robust.rlib" \
+    --extern hetfeas_partition="$build/libhetfeas_partition.rlib" \
+    -o "$build/bench_bnb_smoke"
+"$build/bench_bnb_smoke" > "$bnb_out"
+echo "wrote $bnb_out" >&2
 
 if [[ "${1:-}" == "--criterion" ]]; then
     echo "running the Criterion groups (needs a reachable registry) ..." >&2

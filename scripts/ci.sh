@@ -19,6 +19,12 @@
 # from-scratch re-runs must stay >= INCR_GATE_MIN (default 5). The worker
 # scaling ratio is gated only when the host has >= 8 CPUs — on smaller
 # hosts (the sandbox has 1) it is reported but not enforced.
+#
+# A third gate covers the branch-and-bound exact solver (BENCH_bnb.json):
+# the number of grid instances the solver decides within its node budget
+# (`bnb_solved`) must not drop below the committed baseline. Solved-count
+# is capability, not wall-clock, so this gate holds on noisy runners;
+# nodes/sec figures are trajectory data only.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -65,8 +71,10 @@ if [[ ! -f "$baseline" ]]; then
 fi
 fresh="$(mktemp)"
 fresh_incr="$(mktemp)"
-trap 'rm -f "$fresh" "$fresh_incr"' EXIT
-BENCH_OUT="$fresh" BENCH_INCR_OUT="$fresh_incr" bash scripts/bench_smoke.sh
+fresh_bnb="$(mktemp)"
+trap 'rm -f "$fresh" "$fresh_incr" "$fresh_bnb"' EXIT
+BENCH_OUT="$fresh" BENCH_INCR_OUT="$fresh_incr" BENCH_BNB_OUT="$fresh_bnb" \
+    bash scripts/bench_smoke.sh
 
 # One "m speedup" pair per result row (the row format is emitted by
 # scripts/bench_ffd_smoke.rs and stable across PRs).
@@ -153,6 +161,27 @@ if [[ -n "$host_cpus" && "$host_cpus" -ge 8 && -n "$worker_speedup" ]]; then
     }'
 else
     echo "ci: worker scaling ${worker_speedup:-?}x on ${host_cpus:-?} cpus — reported, not gated (< 8 cpus)" >&2
+fi
+
+echo "== branch-and-bound solved-count gate" >&2
+bnb_baseline="$repo/BENCH_bnb.json"
+solved() {
+    sed -n 's/.*"bnb_solved": *\([0-9]*\).*/\1/p' "$1" | head -n1
+}
+if [[ ! -f "$bnb_baseline" ]]; then
+    echo "ci: no committed BENCH_bnb.json — B&B gate skipped" >&2
+else
+    base_solved="$(solved "$bnb_baseline")"
+    now_solved="$(solved "$fresh_bnb")"
+    if [[ -z "$now_solved" ]]; then
+        echo "ci: FAIL — fresh BENCH_bnb.json has no bnb_solved count" >&2
+        exit 1
+    fi
+    if (( now_solved < base_solved )); then
+        echo "ci: FAIL — B&B decides $now_solved/$(sed -n 's/.*\"grid_size\": *\([0-9]*\).*/\1/p' "$fresh_bnb" | head -n1) grid instances, baseline decided $base_solved" >&2
+        exit 1
+    fi
+    echo "ci: B&B decides $now_solved grid instances (baseline $base_solved) — ok" >&2
 fi
 
 echo "ci: all gates passed" >&2

@@ -74,7 +74,8 @@ testbin prop_par "$repo/crates/par/tests/prop_par.rs" "${X_PAR[@]}" \
 
 X_PARTITION=("${X_ROBUST[@]}"
     --extern hetfeas_analysis="$build/libhetfeas_analysis.rlib"
-    --extern hetfeas_lp="$build/libhetfeas_lp.rlib")
+    --extern hetfeas_lp="$build/libhetfeas_lp.rlib"
+    --extern hetfeas_par="$build/libhetfeas_par.rlib")
 lib hetfeas_partition "$repo/crates/partition/src/lib.rs" "${X_PARTITION[@]}"
 testbin hetfeas_partition "$repo/crates/partition/src/lib.rs" "${X_PARTITION[@]}"
 
@@ -88,6 +89,9 @@ testbin prop_incremental "$repo/crates/partition/tests/prop_incremental.rs" \
     "${X_PARTITION[@]}" \
     --extern hetfeas_partition="$build/libhetfeas_partition.rlib"
 testbin prop_durable "$repo/crates/partition/tests/prop_durable.rs" \
+    "${X_PARTITION[@]}" \
+    --extern hetfeas_partition="$build/libhetfeas_partition.rlib"
+testbin prop_bnb "$repo/crates/partition/tests/prop_bnb.rs" \
     "${X_PARTITION[@]}" \
     --extern hetfeas_partition="$build/libhetfeas_partition.rlib"
 

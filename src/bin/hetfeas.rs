@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! hetfeas check    SYSTEM.txt [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [--exact]
-//!                             [--budget-ms N] [--report FILE] [-v]
+//!                             [--workers N] [--budget-ms N] [--report FILE] [-v]
 //! hetfeas alpha    SYSTEM.txt [--policy …] [--budget-ms N] [--report FILE]
 //! hetfeas oracles  SYSTEM.txt                                LP / exact-partition ground truth
 //! hetfeas simulate SYSTEM.txt [--policy …] [--alpha X] [--jitter F] [--seed N]
@@ -26,6 +26,9 @@
 //! instead. `check --exact` runs the graceful-degradation ladder: exact
 //! branch-and-bound, then first-fit witness, then the utilization bound —
 //! every downgrade is counted under `robust.degraded` in the report.
+//! `check --exact --workers N` explores branch-and-bound subtrees on N
+//! threads; the verdict (and witness) are identical for every N, only the
+//! tree coverage per unit budget changes.
 //!
 //! `hetfeas faults` runs the built-in adversarial corpus (huge periods,
 //! degenerate speeds, zero slack, LP degeneracy, exact-search blowup)
@@ -69,7 +72,7 @@ use hetfeas::model::{
 use hetfeas::obs::{Json, MemorySink, MetricsSink, RunReport};
 use hetfeas::par::{default_workers, Progress};
 use hetfeas::partition::{
-    exact_partition_edf, exact_partition_edf_degraded, exact_partition_rms,
+    exact_partition_edf, exact_partition_edf_degraded_workers, exact_partition_rms,
     first_fit_ordered_within_with, lp_feasible_degraded, min_feasible_alpha_with,
     min_feasible_alpha_within, peek_config, recover, AdmissionTest, DurableOptions, EdfAdmission,
     ExactOutcome, IndexableAdmission, LadderVerdict, Outcome, RecoverError, RecoveryReport,
@@ -474,11 +477,22 @@ fn cmd_check_exact(c: &Common, sys: &System) -> Result<ExitCode, String> {
     } else {
         8_000_000
     };
+    // Default to a single worker: `check` is often scripted and exact
+    // verdicts are worker-count independent anyway, so parallelism is
+    // opt-in via --workers.
+    let workers = c.workers.unwrap_or(1);
     let mut gas = gas_for(c);
     let sink = MemorySink::new();
     let ladder = {
         let _t = sink.timer("phase.exact_ladder");
-        exact_partition_edf_degraded(&sys.tasks, &sys.platform, node_budget, &mut gas, &sink)
+        exact_partition_edf_degraded_workers(
+            &sys.tasks,
+            &sys.platform,
+            node_budget,
+            workers,
+            &mut gas,
+            &sink,
+        )
     };
     let code = match &ladder.verdict {
         LadderVerdict::Feasible { witness } => {
@@ -519,6 +533,7 @@ fn cmd_check_exact(c: &Common, sys: &System) -> Result<ExitCode, String> {
     if let Some(path) = &c.report {
         let mut r = base_report("check", c, sys);
         r.set("exact", Json::Bool(true))
+            .set("workers", Json::UInt(workers as u64))
             .set("verdict", Json::Str(ladder.verdict.as_str().into()))
             .set("level", Json::Str(ladder.level.into()))
             .set("degraded", Json::UInt(ladder.degraded as u64));
@@ -838,8 +853,14 @@ fn cmd_faults(c: &Common) -> Result<ExitCode, String> {
         sink.counter_add(ROBUST_FAULTS_INJECTED, 1);
         let verdicts = guard_with(&sink, || {
             let mut gas = Budget::wall_ms(per_case_ms).gas();
-            let exact =
-                exact_partition_edf_degraded(&case.tasks, &case.platform, 200_000, &mut gas, &sink);
+            let exact = exact_partition_edf_degraded_workers(
+                &case.tasks,
+                &case.platform,
+                200_000,
+                1,
+                &mut gas,
+                &sink,
+            );
             let mut lp_gas = Budget::wall_ms(per_case_ms).gas();
             let lp = lp_feasible_degraded(&case.tasks, &case.platform, &mut lp_gas, &sink);
             (exact, lp)
@@ -1294,7 +1315,8 @@ fn cmd_recover(c: &Common) -> Result<ExitCode, String> {
 
 const USAGE: &str =
     "usage: hetfeas <check|alpha|oracles|simulate|generate|faults|ops|recover> [ARGS]
-  check    SYSTEM [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [--exact] [--report FILE] [-v]
+  check    SYSTEM [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [--exact] [--workers N]
+           [--report FILE] [-v]
   alpha    SYSTEM [--policy …] [--report FILE]
   oracles  SYSTEM
   simulate SYSTEM [--policy …] [--alpha X] [--jitter F] [--seed N] [--report FILE] [-v]
@@ -1306,7 +1328,8 @@ const USAGE: &str =
            [--journal FILE [--compact-every N]]  write-ahead journal (single instance)
   recover  JOURNAL [--report FILE] [-v]   rebuild engine state from a journal
   --budget-ms N bounds the run by wall clock; exit 3 = undecided within budget
-  --exact (check) runs exact search with graceful degradation to first-fit / utilization bound
+  --exact (check) runs exact branch-and-bound with graceful degradation to first-fit /
+           utilization bound; --workers N parallelizes the search (same verdict for every N)
   --report FILE writes a JSON run report (verdict + work counters + phase timers)";
 
 fn main() -> ExitCode {

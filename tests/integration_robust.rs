@@ -146,6 +146,52 @@ fn unbudgeted_exact_still_decides_small_instances() {
 }
 
 #[test]
+fn exact_workers_flag_changes_nothing_but_wallclock() {
+    // The branch-and-bound verdict (and exit code) must be identical for
+    // every worker count; the report records the count that ran.
+    let sys = write_system("task 9 10\ntask 4 10\ntask 3 10\nmachine 1\nmachine 2\n");
+    for w in ["1", "4"] {
+        let report = temp_path("json");
+        let out = hetfeas(&[
+            "check",
+            sys.to_str(),
+            "--exact",
+            "--workers",
+            w,
+            "--report",
+            report.to_str(),
+        ]);
+        assert_eq!(exit_code(&out), 0, "workers {w}: {out:?}");
+        let r = read_report(&report);
+        assert_eq!(r.get("verdict").and_then(Json::as_str), Some("feasible"));
+        assert_eq!(r.get("level").and_then(Json::as_str), Some("exact"));
+        assert_eq!(
+            r.get("workers").and_then(Json::as_u64),
+            Some(w.parse().unwrap())
+        );
+    }
+    // And the starved blowup stays undecided regardless of worker count.
+    let blowup = write_system(&blowup_system());
+    let out = hetfeas(&[
+        "check",
+        blowup.to_str(),
+        "--exact",
+        "--workers",
+        "4",
+        "--budget-ms",
+        "50",
+    ]);
+    assert_eq!(exit_code(&out), 3, "{out:?}");
+    // Zero or garbage worker counts are usage errors.
+    for bad in [
+        &["check", "f", "--workers", "0"],
+        &["check", "f", "--workers", "lots"],
+    ] {
+        assert_eq!(exit_code(&hetfeas(bad)), 2);
+    }
+}
+
+#[test]
 fn budget_exhausted_exact_falls_back_to_sound_first_fit_witness() {
     // 20 tasks on 10 machines: feasible (two per machine). However the
     // exact search fares within the budget, the ladder's answer must stay

@@ -13,9 +13,9 @@ use hetfeas::model::{parse_op_trace, parse_system, Augmentation, Platform, Ratio
 use hetfeas::partition::{
     exact_partition_edf, exact_partition_edf_degraded, first_fit, first_fit_within,
     lp_feasible_degraded, min_feasible_alpha_within, DurableOptions, EdfAdmission, ExactOutcome,
-    LadderVerdict, Outcome,
+    ExactSolver, LadderVerdict, Outcome,
 };
-use hetfeas::robust::{guard, Budget, FaultPlan, MemStorage};
+use hetfeas::robust::{guard, Budget, FaultKind, FaultPlan, MemStorage};
 use hetfeas::sim::{validate_assignment_within, SchedPolicy};
 use proptest::prelude::*;
 
@@ -263,6 +263,46 @@ fn fault_corpus_survives_both_ladders() {
                     "case {}: exact feasible but LP refuted",
                     case.name
                 );
+            }
+        }
+    }
+}
+
+/// Budget conformance on the B&B blowup corpus: these cases are
+/// infeasible by counting (2m+1 pairs-only tasks on m machines), so under
+/// *any* ops budget the solver may answer `Infeasible` or `Unknown` but
+/// never `Feasible`; and once a meter exhausts mid-search, the latch is
+/// sticky — every later tick keeps failing, so a caller that checks once
+/// after the solve cannot be fooled by a revived meter.
+#[test]
+fn bnb_blowup_tiny_budgets_never_lie_and_latch_is_sticky() {
+    for seed in [0u64, 7] {
+        for case in FaultPlan::new(seed).cases() {
+            if case.kind != FaultKind::BnbBlowup {
+                continue;
+            }
+            for ops in [0u64, 1, 64, 4096, 100_000] {
+                let mut gas = Budget::ops(ops).gas();
+                let out = ExactSolver::new(&case.tasks, &case.platform, &EdfAdmission)
+                    .workers(2)
+                    .solve_within(&mut gas);
+                assert!(
+                    !matches!(out, ExactOutcome::Feasible(_)),
+                    "case {} (ops={ops}): counting-infeasible instance reported feasible",
+                    case.name
+                );
+                if matches!(out, ExactOutcome::Unknown) {
+                    assert!(
+                        gas.tick().is_err(),
+                        "case {} (ops={ops}): Unknown verdict but the meter still ticks",
+                        case.name
+                    );
+                    assert!(
+                        gas.tick().is_err(),
+                        "case {} (ops={ops}): exhaustion latch is not sticky",
+                        case.name
+                    );
+                }
             }
         }
     }
