@@ -1,0 +1,131 @@
+//! Deterministic seeded-jitter exponential backoff.
+//!
+//! Retry loops in this workspace (journal IO retries, supervised shard
+//! restarts in `hetfeas-service`) need backoff that is
+//!
+//! * **exponential and capped** — delay doubles per attempt up to a cap, so
+//!   a persistent fault cannot stall a bounded gas budget for long;
+//! * **jittered** — concurrent shards restarting after a correlated fault
+//!   must not thunder in lockstep;
+//! * **deterministic** — the whole test battery (chaos harness included)
+//!   replays bit-identically from a seed, so the jitter source has to be a
+//!   pure function of `(seed, attempt)`, never wall-clock or a global RNG.
+//!
+//! [`Backoff`] provides exactly that: `delay_ms(attempt)` maps attempt `k`
+//! to a delay drawn uniformly from `[ceil/2, ceil]` where
+//! `ceil = min(base << k, cap)`, using a splitmix64 hash of the seed and
+//! attempt index. Same seed, same attempt → same delay, on every host.
+
+/// Capped exponential backoff with deterministic seeded jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay ceiling for attempt 0, in milliseconds (must be ≥ 1).
+    pub base_ms: u64,
+    /// Upper bound on any delay, in milliseconds.
+    pub cap_ms: u64,
+    /// Jitter seed; two instances with different seeds de-correlate.
+    pub seed: u64,
+}
+
+/// splitmix64: a tiny, high-quality 64-bit mixer (public domain
+/// construction by Steele, Lea & Flood; also used as the seed expander in
+/// `crates/workload`). Pure function — no global state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Backoff {
+    /// A backoff schedule starting at `base_ms`, capped at `cap_ms`,
+    /// jittered by `seed`. A `base_ms` of 0 is promoted to 1 so the
+    /// schedule always makes progress.
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Backoff {
+        Backoff {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(1),
+            seed,
+        }
+    }
+
+    /// The delay ceiling for `attempt` (0-based): `min(base << attempt,
+    /// cap)`, saturating on shift overflow.
+    pub fn ceil_ms(&self, attempt: u32) -> u64 {
+        let shifted = if attempt >= 63 {
+            u64::MAX
+        } else {
+            self.base_ms.saturating_mul(1u64 << attempt)
+        };
+        shifted.min(self.cap_ms)
+    }
+
+    /// The jittered delay for `attempt`: uniform in `[ceil/2, ceil]`
+    /// (never 0), as a pure function of `(seed, attempt)`.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let ceil = self.ceil_ms(attempt);
+        let half = (ceil / 2).max(1);
+        let span = ceil - half + 1;
+        let draw = splitmix64(self.seed ^ u64::from(attempt).wrapping_mul(0xa076_1d64_78bd_642f));
+        half + draw % span
+    }
+
+    /// Total worst-case delay over `attempts` retries — the bound a gas
+    /// budget must cover for a retry loop to run to completion.
+    pub fn total_ceil_ms(&self, attempts: u32) -> u64 {
+        (0..attempts).fold(0u64, |acc, a| acc.saturating_add(self.ceil_ms(a)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic() {
+        let a = Backoff::new(1, 64, 0xfeed);
+        let b = Backoff::new(1, 64, 0xfeed);
+        for k in 0..20 {
+            assert_eq!(a.delay_ms(k), b.delay_ms(k), "attempt {k}");
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = Backoff::new(4, 1 << 20, 1);
+        let b = Backoff::new(4, 1 << 20, 2);
+        let same = (0..32).filter(|&k| a.delay_ms(k) == b.delay_ms(k)).count();
+        assert!(same < 32, "identical schedules under different seeds");
+    }
+
+    #[test]
+    fn delays_grow_then_cap() {
+        let b = Backoff::new(1, 64, 42);
+        for k in 0..32 {
+            let ceil = b.ceil_ms(k);
+            let d = b.delay_ms(k);
+            assert!(d >= 1 && d <= ceil, "attempt {k}: {d} outside [1, {ceil}]");
+            assert!(d >= ceil / 2, "attempt {k}: {d} below half-ceiling");
+            assert!(ceil <= 64, "cap violated at attempt {k}");
+        }
+        assert_eq!(b.ceil_ms(0), 1);
+        assert_eq!(b.ceil_ms(6), 64);
+        assert_eq!(b.ceil_ms(63), 64, "shift overflow must saturate to cap");
+    }
+
+    #[test]
+    fn zero_base_promoted() {
+        let b = Backoff::new(0, 0, 7);
+        assert_eq!(b.base_ms, 1);
+        assert_eq!(b.cap_ms, 1);
+        assert_eq!(b.delay_ms(0), 1);
+    }
+
+    #[test]
+    fn total_ceiling_bounds_every_schedule() {
+        let b = Backoff::new(1, 64, 9);
+        let total: u64 = (0..8).map(|k| b.delay_ms(k)).sum();
+        assert!(total <= b.total_ceil_ms(8));
+    }
+}

@@ -494,29 +494,36 @@ fn is_transient(e: &io::Error) -> bool {
     )
 }
 
+/// Jitter seed for journal IO retries. Fixed (not wall-clock or
+/// per-instance) so the retry schedule — and therefore the gas charged to
+/// a budgeted recovery — replays bit-identically under test.
+const RETRY_JITTER_SEED: u64 = 0x6a6f_7572_6e61_6c21; // "journal!"
+
 /// Run `op`, retrying transient IO errors with capped exponential backoff
-/// (1, 2, 4, … up to [`MAX_BACKOFF_MS`] ms, at most [`MAX_RETRIES`]
-/// retries). Each backoff millisecond is charged to `gas`, so a bounded
-/// budget bounds total retry latency — retries can stall, never hang.
+/// (jittered, ceiling 1, 2, 4, … up to [`MAX_BACKOFF_MS`] ms, at most
+/// [`MAX_RETRIES`] retries) via [`crate::Backoff`]. Each backoff
+/// millisecond is charged to `gas`, so a bounded budget bounds total retry
+/// latency — retries can stall, never hang. Every retry increments the
+/// `journal.retries` counter.
 pub fn with_retries<T, S: MetricsSink>(
     gas: &mut Gas,
     sink: &S,
     mut op: impl FnMut() -> io::Result<T>,
 ) -> Result<T, JournalError> {
-    let mut backoff_ms = 1u64;
+    let backoff = crate::Backoff::new(1, MAX_BACKOFF_MS, RETRY_JITTER_SEED);
     let mut attempt = 0u32;
     loop {
         gas.tick().map_err(JournalError::Exhausted)?;
         match op() {
             Ok(v) => return Ok(v),
             Err(e) if is_transient(&e) && attempt < MAX_RETRIES => {
-                attempt += 1;
                 if S::ENABLED {
                     sink.counter_add(metrics::JOURNAL_RETRIES, 1);
                 }
-                gas.tick_n(backoff_ms).map_err(JournalError::Exhausted)?;
-                std::thread::sleep(Duration::from_millis(backoff_ms));
-                backoff_ms = (backoff_ms * 2).min(MAX_BACKOFF_MS);
+                let delay_ms = backoff.delay_ms(attempt);
+                attempt += 1;
+                gas.tick_n(delay_ms).map_err(JournalError::Exhausted)?;
+                std::thread::sleep(Duration::from_millis(delay_ms));
             }
             Err(e) => {
                 if S::ENABLED {
@@ -799,6 +806,28 @@ mod tests {
         };
         let err = j.append(b"x", &mut gas, &()).expect_err("gas runs out");
         assert_eq!(err, JournalError::Exhausted(Exhaustion::Ops));
+    }
+
+    #[test]
+    fn retry_gas_charge_is_deterministic() {
+        // The jittered backoff is a pure function of (seed, attempt), so
+        // two identical fault scripts must charge identical gas.
+        let charge = || {
+            let faulty = FaultFs::new(
+                MemStorage::new(),
+                FaultScript {
+                    transient_errors: 4,
+                    ..FaultScript::default()
+                },
+            );
+            let mut gas = Budget::ops(10_000).gas();
+            let mut j = Journal {
+                store: Box::new(faulty),
+            };
+            j.append(b"x", &mut gas, &()).expect("retries win");
+            gas.ops_left()
+        };
+        assert_eq!(charge(), charge());
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   (near-max periods, degenerate speeds, zero-slack deadlines,
 //!   LP-cycling and exact-search-blowup instances) for the no-panic
 //!   battery and the CI fault-smoke stage.
+//! * [`Backoff`] — capped exponential backoff with deterministic seeded
+//!   jitter: the delay for attempt `k` is a pure function of
+//!   `(seed, k)`, so retry schedules (journal IO, supervised shard
+//!   restarts) replay bit-identically under test.
 //! * [`firewall::guard`] — a `catch_unwind` wrapper that converts a panic
 //!   in one sweep cell into a reportable [`PanicReport`] and a
 //!   `robust.panics` counter increment instead of aborting the run.
@@ -32,12 +36,14 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod budget;
 pub mod fault;
 pub mod firewall;
 pub mod journal;
 pub mod metrics;
 
+pub use backoff::Backoff;
 pub use budget::{Budget, Exhaustion, Gas, SharedBudget, SharedGas};
 pub use fault::{FaultCase, FaultKind, FaultPlan};
 pub use firewall::{guard, guard_with, PanicReport};

@@ -1,0 +1,367 @@
+//! Policy-dispatched wrapper over [`DurableEngine`].
+//!
+//! Tenants pick their admission policy at `open` time, so a shard worker
+//! holds a [`TenantEngine`] — an enum over the three indexable admission
+//! tests — rather than a generic engine. Enum dispatch (not trait
+//! objects) keeps the [`MetricsSink`] genericity of the underlying engine
+//! intact and costs one match per op, which is noise next to the journal
+//! fsync the op already paid for.
+
+use hetfeas_model::{Augmentation, Platform, Task};
+use hetfeas_obs::MetricsSink;
+use hetfeas_partition::durable::{
+    recover, DurableEngine, DurableError, DurableOptions, RecoverError, RecoveryReport,
+};
+use hetfeas_partition::incremental::{
+    AddOutcome, EngineState, IncrementalEngine, RepackOutcome, RepairPolicy, TaskId,
+};
+use hetfeas_partition::{EdfAdmission, RmsHyperbolicAdmission, RmsLlAdmission};
+use hetfeas_robust::journal::Storage;
+use hetfeas_robust::Gas;
+
+/// The admission policies a tenant can run. Mirrors the CLI's policy
+/// keys; `rms-rta` is absent because exact RTA has no indexed admission
+/// state and therefore no incremental engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// EDF demand-bound admission.
+    Edf,
+    /// RMS with the Liu–Layland utilization bound.
+    RmsLl,
+    /// RMS with the hyperbolic bound.
+    RmsHyp,
+}
+
+impl PolicyKind {
+    /// Parse a journal/CLI policy key.
+    pub fn parse(s: &str) -> Result<PolicyKind, String> {
+        match s {
+            "edf" => Ok(PolicyKind::Edf),
+            "rms-ll" => Ok(PolicyKind::RmsLl),
+            "rms-hyp" => Ok(PolicyKind::RmsHyp),
+            other => Err(format!(
+                "unknown policy '{other}' (expected edf, rms-ll or rms-hyp)"
+            )),
+        }
+    }
+
+    /// The stable key written into journal config records.
+    pub fn key(self) -> &'static str {
+        match self {
+            PolicyKind::Edf => "edf",
+            PolicyKind::RmsLl => "rms-ll",
+            PolicyKind::RmsHyp => "rms-hyp",
+        }
+    }
+}
+
+/// A [`DurableEngine`] over any of the supported admission policies.
+pub enum TenantEngine {
+    /// EDF demand-bound admission.
+    Edf(DurableEngine<EdfAdmission>),
+    /// RMS Liu–Layland admission.
+    RmsLl(DurableEngine<RmsLlAdmission>),
+    /// RMS hyperbolic admission.
+    RmsHyp(DurableEngine<RmsHyperbolicAdmission>),
+}
+
+/// Forward a method to whichever variant is live.
+macro_rules! dispatch {
+    ($self:expr, $e:ident => $body:expr) => {
+        match $self {
+            TenantEngine::Edf($e) => $body,
+            TenantEngine::RmsLl($e) => $body,
+            TenantEngine::RmsHyp($e) => $body,
+        }
+    };
+}
+
+impl TenantEngine {
+    /// Start a fresh journaled engine over `store` (writes the config
+    /// record).
+    #[allow(clippy::too_many_arguments)]
+    pub fn create<S: MetricsSink>(
+        policy: PolicyKind,
+        platform: &Platform,
+        alpha: Augmentation,
+        opts: DurableOptions,
+        store: Box<dyn Storage>,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<TenantEngine, DurableError> {
+        Ok(match policy {
+            PolicyKind::Edf => TenantEngine::Edf(DurableEngine::create(
+                EdfAdmission,
+                platform,
+                alpha,
+                policy.key(),
+                opts,
+                store,
+                gas,
+                sink,
+            )?),
+            PolicyKind::RmsLl => TenantEngine::RmsLl(DurableEngine::create(
+                RmsLlAdmission,
+                platform,
+                alpha,
+                policy.key(),
+                opts,
+                store,
+                gas,
+                sink,
+            )?),
+            PolicyKind::RmsHyp => TenantEngine::RmsHyp(DurableEngine::create(
+                RmsHyperbolicAdmission,
+                platform,
+                alpha,
+                policy.key(),
+                opts,
+                store,
+                gas,
+                sink,
+            )?),
+        })
+    }
+
+    /// Recover an engine of the given policy by replaying the journal in
+    /// `store`.
+    pub fn recover<S: MetricsSink>(
+        policy: PolicyKind,
+        store: Box<dyn Storage>,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<(TenantEngine, RecoveryReport), RecoverError> {
+        Ok(match policy {
+            PolicyKind::Edf => {
+                let (e, r) = recover(EdfAdmission, store, policy.key(), gas, sink)?;
+                (TenantEngine::Edf(e), r)
+            }
+            PolicyKind::RmsLl => {
+                let (e, r) = recover(RmsLlAdmission, store, policy.key(), gas, sink)?;
+                (TenantEngine::RmsLl(e), r)
+            }
+            PolicyKind::RmsHyp => {
+                let (e, r) = recover(RmsHyperbolicAdmission, store, policy.key(), gas, sink)?;
+                (TenantEngine::RmsHyp(e), r)
+            }
+        })
+    }
+
+    /// Journal-then-apply add.
+    pub fn add<S: MetricsSink>(
+        &mut self,
+        task: Task,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<AddOutcome, DurableError> {
+        dispatch!(self, e => e.add(task, gas, sink))
+    }
+
+    /// Journal-then-apply remove by raw id; `None` when the id is dead.
+    pub fn remove<S: MetricsSink>(
+        &mut self,
+        raw: u64,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<Option<Task>, DurableError> {
+        dispatch!(self, e => e.remove(TaskId::from_raw(raw), gas, sink))
+    }
+
+    /// Journal-then-apply snapshot into the single snapshot slot.
+    pub fn snapshot<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<(), DurableError> {
+        dispatch!(self, e => e.snapshot(gas, sink))
+    }
+
+    /// Journal-then-apply rollback; `false` when no snapshot is held.
+    pub fn rollback<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<bool, DurableError> {
+        dispatch!(self, e => e.rollback(gas, sink))
+    }
+
+    /// Journal-then-apply an explicit canonical repack.
+    pub fn repack<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<RepackOutcome, DurableError> {
+        dispatch!(self, e => e.repack(gas, sink))
+    }
+
+    /// Compact the journal to `[config, state, snapstate?]`.
+    pub fn compact<S: MetricsSink>(&mut self, gas: &mut Gas, sink: &S) -> Result<(), DurableError> {
+        dispatch!(self, e => e.compact(gas, sink))
+    }
+
+    /// CRC32 digest of the full observable state (see
+    /// [`DurableEngine::state_digest`]).
+    pub fn state_digest(&self) -> u32 {
+        dispatch!(self, e => e.state_digest())
+    }
+
+    /// Live task count.
+    pub fn len(&self) -> usize {
+        dispatch!(self, e => e.engine().len())
+    }
+
+    /// True when no tasks are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Machine currently hosting raw id, if live.
+    pub fn machine_of(&self, raw: u64) -> Option<usize> {
+        dispatch!(self, e => e.engine().machine_of(TaskId::from_raw(raw)))
+    }
+
+    /// Portable export of the live state (drives shed-time α quotes).
+    pub fn export_state(&self) -> EngineState {
+        dispatch!(self, e => e.engine().export_state())
+    }
+}
+
+/// Speculative α quote for a task rejected by load shedding: for each
+/// rung of `rungs` at or above `current_alpha`, rebuild a **scratch**
+/// engine from the shard's last published state, snapshot it, probe the
+/// add, and roll back — the live engine and its journal are never
+/// touched. Returns the first (smallest) rung that admits the task.
+///
+/// The published state can lag the live shard by one in-flight batch, so
+/// the quote is advisory: "at α = x this task would have fit a moment
+/// ago", which is exactly the right strength for a shed-time hint.
+pub fn quote_alpha(
+    policy: PolicyKind,
+    platform: &Platform,
+    current_alpha: f64,
+    state: &EngineState,
+    task: Task,
+    rungs: &[f64],
+) -> Option<f64> {
+    fn probe<A: hetfeas_partition::IndexableAdmission>(
+        admission: A,
+        platform: &Platform,
+        rung: f64,
+        state: &EngineState,
+        task: Task,
+    ) -> bool {
+        let Ok(alpha) = Augmentation::new(rung) else {
+            return false;
+        };
+        let mut eng =
+            IncrementalEngine::with_policy(admission, platform, alpha, RepairPolicy::never());
+        if eng.import_state(state).is_err() {
+            return false;
+        }
+        let snap = eng.snapshot_with(&());
+        let admitted = matches!(
+            eng.add_within_with(task, &mut Gas::unlimited(), &())
+                .expect("unlimited gas cannot exhaust"),
+            AddOutcome::Admitted { .. }
+        );
+        eng.rollback_with(&snap, &());
+        admitted
+    }
+
+    rungs
+        .iter()
+        .copied()
+        .filter(|&r| r >= current_alpha - 1e-9)
+        .find(|&r| match policy {
+            PolicyKind::Edf => probe(EdfAdmission, platform, r, state, task),
+            PolicyKind::RmsLl => probe(RmsLlAdmission, platform, r, state, task),
+            PolicyKind::RmsHyp => probe(RmsHyperbolicAdmission, platform, r, state, task),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetfeas_robust::journal::MemStorage;
+
+    fn platform() -> Platform {
+        Platform::from_int_speeds([1, 1]).expect("platform")
+    }
+
+    #[test]
+    fn policy_keys_round_trip() {
+        for p in [PolicyKind::Edf, PolicyKind::RmsLl, PolicyKind::RmsHyp] {
+            assert_eq!(PolicyKind::parse(p.key()), Ok(p));
+        }
+        assert!(PolicyKind::parse("rms-rta").is_err());
+    }
+
+    #[test]
+    fn create_apply_recover_digest_round_trip() {
+        let store = MemStorage::new();
+        let mut gas = Gas::unlimited();
+        let mut eng = TenantEngine::create(
+            PolicyKind::Edf,
+            &platform(),
+            Augmentation::NONE,
+            DurableOptions::default(),
+            Box::new(store.clone()),
+            &mut gas,
+            &(),
+        )
+        .expect("create");
+        let t = Task::implicit(3, 10).expect("task");
+        let out = eng.add(t, &mut gas, &()).expect("add");
+        assert!(matches!(out, AddOutcome::Admitted { .. }));
+        let digest = eng.state_digest();
+        let (back, report) = TenantEngine::recover(PolicyKind::Edf, Box::new(store), &mut gas, &())
+            .expect("recover");
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(back.state_digest(), digest);
+    }
+
+    #[test]
+    fn quote_finds_a_rung_when_capacity_exists_at_higher_alpha() {
+        // A full machine pair at α = 1: one more 6/10 task only fits if
+        // the machines were ~1.3x faster.
+        let plat = platform();
+        let mut eng = IncrementalEngine::with_policy(
+            EdfAdmission,
+            &plat,
+            Augmentation::NONE,
+            RepairPolicy::never(),
+        );
+        for _ in 0..2 {
+            eng.add_within_with(
+                Task::implicit(8, 10).expect("task"),
+                &mut Gas::unlimited(),
+                &(),
+            )
+            .expect("gas");
+        }
+        let state = eng.export_state();
+        let probe = Task::implicit(6, 10).expect("task");
+        let rungs = [1.0, 1.5, 2.0];
+        let quote = quote_alpha(PolicyKind::Edf, &plat, 1.0, &state, probe, &rungs);
+        assert_eq!(quote, Some(1.5));
+        // The scratch probing must not have mutated the exported state.
+        assert_eq!(state.entries.len(), 2);
+    }
+
+    #[test]
+    fn quote_is_none_when_no_rung_admits() {
+        let plat = platform();
+        let state = IncrementalEngine::with_policy(
+            EdfAdmission,
+            &plat,
+            Augmentation::NONE,
+            RepairPolicy::never(),
+        )
+        .export_state();
+        let impossible = Task::implicit(40, 10).expect("task");
+        assert_eq!(
+            quote_alpha(PolicyKind::Edf, &plat, 1.0, &state, impossible, &[1.0, 2.0]),
+            None
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! Wire protocol: length-prefixed frames carrying UTF-8 text commands.
+//!
+//! A frame is `u32 LE payload length` followed by the payload. Payloads
+//! are single-line text commands (below), so the protocol is trivially
+//! scriptable — a shell can emit a frame with `printf` octal escapes and
+//! strip responses back to text with `tr`. Responses use the same
+//! framing; every response line starts with the request's sequence
+//! number so clients can reorder replies from concurrent shards. A
+//! plain line-oriented mode (`--text`) exists for debugging; the smoke
+//! scripts exercise both.
+//!
+//! Commands (one per frame):
+//!
+//! ```text
+//! open <tenant> <policy> <alpha> <speed>[,<speed>...]
+//! add <tenant> <wcet> <period> [deadline]
+//! remove <tenant> <id>
+//! query <tenant> <id>
+//! snapshot | rollback | repack | compact <tenant>
+//! digest <tenant>
+//! panic <tenant>          # chaos aid: injected shard panic
+//! stall <tenant> <ms>     # chaos aid: hold the shard busy
+//! stats
+//! quit
+//! ```
+
+use crate::engine::PolicyKind;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload — a command line, not a bulk upload.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024;
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too long"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "torn frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A parsed protocol command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Open (create or recover) a tenant.
+    Open {
+        /// Tenant name.
+        tenant: String,
+        /// Admission policy.
+        policy: PolicyKind,
+        /// Speed augmentation factor (≥ 1).
+        alpha: f64,
+        /// Integer machine speeds.
+        speeds: Vec<u64>,
+    },
+    /// Admit a task.
+    Add {
+        /// Tenant name.
+        tenant: String,
+        /// Worst-case execution time.
+        wcet: u64,
+        /// Period.
+        period: u64,
+        /// Relative deadline (implicit = period when absent).
+        deadline: Option<u64>,
+    },
+    /// Remove by raw id.
+    Remove {
+        /// Tenant name.
+        tenant: String,
+        /// Raw task id from an `add` response.
+        id: u64,
+    },
+    /// Which machine hosts an id?
+    Query {
+        /// Tenant name.
+        tenant: String,
+        /// Raw task id.
+        id: u64,
+    },
+    /// Snapshot the tenant's engine.
+    Snapshot {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Roll the tenant back to its held snapshot.
+    Rollback {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Canonical repack.
+    Repack {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Compact the tenant's journal.
+    Compact {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Exact state digest.
+    Digest {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Injected shard panic (chaos aid).
+    Panic {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Hold the shard busy (chaos aid).
+    Stall {
+        /// Tenant name.
+        tenant: String,
+        /// Sleep duration in ms (capped by the server).
+        ms: u64,
+    },
+    /// Service-wide counters.
+    Stats,
+    /// Clean shutdown.
+    Quit,
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("bad {what} '{s}'"))
+}
+
+/// Parse one command line.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let mut words = line.split_whitespace();
+    let verb = words.next().ok_or("empty command")?;
+    let rest: Vec<&str> = words.collect();
+    let tenant_arg = |idx: usize| -> Result<String, String> {
+        rest.get(idx)
+            .map(|s| s.to_string())
+            .ok_or_else(|| format!("{verb}: missing tenant"))
+    };
+    match verb {
+        "open" => {
+            if rest.len() != 4 {
+                return Err("open <tenant> <policy> <alpha> <speeds>".to_string());
+            }
+            let policy = PolicyKind::parse(rest[1])?;
+            let alpha = rest[2]
+                .parse::<f64>()
+                .ok()
+                .filter(|a| a.is_finite() && *a >= 1.0)
+                .ok_or_else(|| format!("bad alpha '{}' (need finite ≥ 1)", rest[2]))?;
+            let speeds = rest[3]
+                .split(',')
+                .map(|s| parse_u64(s, "speed"))
+                .collect::<Result<Vec<u64>, String>>()?;
+            if speeds.is_empty() || speeds.contains(&0) {
+                return Err("speeds must be positive integers".to_string());
+            }
+            Ok(Command::Open {
+                tenant: rest[0].to_string(),
+                policy,
+                alpha,
+                speeds,
+            })
+        }
+        "add" => {
+            if rest.len() < 3 || rest.len() > 4 {
+                return Err("add <tenant> <wcet> <period> [deadline]".to_string());
+            }
+            Ok(Command::Add {
+                tenant: rest[0].to_string(),
+                wcet: parse_u64(rest[1], "wcet")?,
+                period: parse_u64(rest[2], "period")?,
+                deadline: rest.get(3).map(|s| parse_u64(s, "deadline")).transpose()?,
+            })
+        }
+        "remove" | "query" => {
+            if rest.len() != 2 {
+                return Err(format!("{verb} <tenant> <id>"));
+            }
+            let tenant = rest[0].to_string();
+            let id = parse_u64(rest[1], "id")?;
+            Ok(if verb == "remove" {
+                Command::Remove { tenant, id }
+            } else {
+                Command::Query { tenant, id }
+            })
+        }
+        "snapshot" => Ok(Command::Snapshot {
+            tenant: tenant_arg(0)?,
+        }),
+        "rollback" => Ok(Command::Rollback {
+            tenant: tenant_arg(0)?,
+        }),
+        "repack" => Ok(Command::Repack {
+            tenant: tenant_arg(0)?,
+        }),
+        "compact" => Ok(Command::Compact {
+            tenant: tenant_arg(0)?,
+        }),
+        "digest" => Ok(Command::Digest {
+            tenant: tenant_arg(0)?,
+        }),
+        "panic" => Ok(Command::Panic {
+            tenant: tenant_arg(0)?,
+        }),
+        "stall" => {
+            if rest.len() != 2 {
+                return Err("stall <tenant> <ms>".to_string());
+            }
+            Ok(Command::Stall {
+                tenant: rest[0].to_string(),
+                ms: parse_u64(rest[1], "ms")?,
+            })
+        }
+        "stats" => Ok(Command::Stats),
+        "quit" => Ok(Command::Quit),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"add a 3 10").expect("write");
+        write_frame(&mut buf, b"").expect("empty frame");
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).expect("read"),
+            Some(b"add a 3 10".to_vec())
+        );
+        assert_eq!(read_frame(&mut r).expect("read"), Some(Vec::new()));
+        assert_eq!(read_frame(&mut r).expect("eof"), None);
+    }
+
+    #[test]
+    fn torn_header_and_oversize_frames_error() {
+        let mut r = &[1u8, 0][..];
+        assert!(read_frame(&mut r).is_err(), "torn header");
+        let huge = (MAX_FRAME_LEN + 1).to_le_bytes();
+        let mut r = &huge[..];
+        assert!(read_frame(&mut r).is_err(), "oversize length");
+    }
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(
+            parse_command("open a edf 1.5 1,2,4").expect("open"),
+            Command::Open {
+                tenant: "a".to_string(),
+                policy: PolicyKind::Edf,
+                alpha: 1.5,
+                speeds: vec![1, 2, 4],
+            }
+        );
+        assert_eq!(
+            parse_command("add a 3 10").expect("add"),
+            Command::Add {
+                tenant: "a".to_string(),
+                wcet: 3,
+                period: 10,
+                deadline: None,
+            }
+        );
+        assert_eq!(
+            parse_command("stall a 50").expect("stall"),
+            Command::Stall {
+                tenant: "a".to_string(),
+                ms: 50,
+            }
+        );
+        assert_eq!(parse_command("quit").expect("quit"), Command::Quit);
+        assert!(parse_command("open a edf 0.5 1").is_err(), "alpha < 1");
+        assert!(
+            parse_command("open a rms-rta 1 1").is_err(),
+            "no rta engine"
+        );
+        assert!(parse_command("warp a").is_err(), "unknown verb");
+        assert!(parse_command("").is_err(), "empty");
+    }
+}

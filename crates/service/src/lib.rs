@@ -1,0 +1,45 @@
+//! `hetfeas-service`: a supervised, multi-tenant admission service over
+//! the journaled partitioned-feasibility engines.
+//!
+//! Each tenant owns a platform and a live [`partition::durable`-backed
+//! engine](crate::engine::TenantEngine) and runs inside a **supervised
+//! shard** ([`shard`]): a worker thread wrapped in the
+//! `robust::firewall` panic guard, restarted by replaying the tenant's
+//! write-ahead journal with capped, seeded-jitter backoff
+//! (`robust::Backoff`). The **bulkhead** contract is that one tenant's
+//! corrupt journal, panic or gas exhaustion quarantines only that
+//! tenant: the shard enters a terminal `Quarantined` state that stays
+//! queryable and is never fatal to the process.
+//!
+//! * [`supervisor`] — the [`Service`](supervisor::Service) front end:
+//!   tenant registry, bounded per-shard queues, load shedding with
+//!   speculative α quotes, clean shutdown.
+//! * [`shard`] — the per-tenant worker: supervision state machine,
+//!   batching and coalescing, request/response types.
+//! * [`engine`] — policy-dispatched wrapper over the durable engine,
+//!   plus the shed-time α quoting probe.
+//! * [`frame`] — the length-prefixed wire protocol and its text
+//!   commands.
+//! * [`server`] — stdin / Unix-socket front ends for the `serve` CLI
+//!   subcommand.
+//! * [`chaos`] — the seeded fault-storm harness asserting the bulkhead
+//!   and convergence contracts.
+//! * [`metrics`] — the `service.*` counter family.
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod engine;
+pub mod frame;
+pub mod metrics;
+pub mod server;
+pub mod shard;
+pub mod supervisor;
+
+pub use chaos::{run_storm, ChaosConfig, ChaosReport};
+pub use engine::{quote_alpha, PolicyKind, TenantEngine};
+pub use server::{serve_once, serve_unix, ServeReport, ServerConfig};
+pub use shard::{
+    ErrorKind, Op, Request, Response, ShardState, ShardStatus, StorageFactory, TenantSpec,
+};
+pub use supervisor::{Service, ServiceConfig, DEFAULT_ALPHA_RUNGS, MAX_WORKERS};

@@ -1,0 +1,26 @@
+//! Metric names emitted by the admission service.
+//!
+//! `service.*` counters follow the same conventions as the `journal.*` /
+//! `robust.*` families: `&'static str` constants in a dotted namespace,
+//! emitted through [`hetfeas_obs::MetricsSink`]. The chaos harness and
+//! `scripts/chaos_smoke.sh` assert on these — in particular that
+//! `service.quarantines` matches the number of deliberately poisoned
+//! tenants and nothing else.
+
+/// Requests accepted into a shard queue (counter).
+pub const SERVICE_OPS: &str = "service.ops";
+/// Requests rejected by load shedding — bounded queue full (counter).
+pub const SERVICE_SHED: &str = "service.shed";
+/// Shed rejections that carried a speculative α quote (counter).
+pub const SERVICE_QUOTES: &str = "service.quotes";
+/// Batches drained by shard workers (counter).
+pub const SERVICE_BATCHES: &str = "service.batches";
+/// Duplicate idempotent ops merged by per-shard coalescing (counter).
+pub const SERVICE_COALESCED: &str = "service.coalesced";
+/// Shard incarnation restarts performed by the supervisor (counter).
+pub const SERVICE_RESTARTS: &str = "service.restarts";
+/// Shards quarantined — corrupt WAL, restart cap, or unrecoverable gas
+/// exhaustion (counter).
+pub const SERVICE_QUARANTINES: &str = "service.quarantines";
+/// Ops acked with an IO / exhaustion / panic error (counter).
+pub const SERVICE_OP_ERRORS: &str = "service.op_errors";

@@ -1,0 +1,424 @@
+//! The server front end: a framed command stream (stdin or a Unix
+//! socket) translated into [`Service`] requests.
+//!
+//! The loop is single-threaded on purpose — shards supply the
+//! parallelism. Each incoming frame gets the next global sequence
+//! number and is dispatched without blocking (`Service::submit` sheds
+//! instead of waiting); replies arrive asynchronously on one channel and
+//! a reorder buffer emits them strictly in submission order, so a
+//! scripted client can pair request *k* with response line *k* even
+//! though eight shards answered out of order.
+
+use crate::frame::{parse_command, read_frame, write_frame, Command};
+use crate::shard::{Op, Request, Response, ShardStatus, StorageFactory, TenantSpec};
+use crate::supervisor::Service;
+use hetfeas_model::{Augmentation, Platform, Task};
+use hetfeas_robust::journal::{FileStorage, Storage};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server-level knobs (the service knobs live in
+/// [`crate::supervisor::ServiceConfig`]).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Directory holding one `<tenant>.journal` per tenant.
+    pub data_dir: PathBuf,
+    /// Line-oriented instead of length-prefixed framing (debugging).
+    pub text: bool,
+    /// Cap on client-requested stall durations (chaos aid), ms.
+    pub stall_cap_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            data_dir: PathBuf::from("."),
+            text: false,
+            stall_cap_ms: 1_000,
+        }
+    }
+}
+
+/// What one `serve` session did (feeds the CLI's JSON report).
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Frames read (including malformed ones).
+    pub frames: u64,
+    /// Responses written.
+    pub responses: u64,
+    /// Whether the session ended with `quit` (vs EOF).
+    pub quit: bool,
+    /// Final per-tenant statuses.
+    pub tenants: Vec<(String, ShardStatus)>,
+}
+
+fn render(seq: u64, resp: &Response) -> String {
+    match resp {
+        Response::Admitted { id, machine } => {
+            format!("{seq} ok admitted id={id} machine={machine}")
+        }
+        Response::Rejected => format!("{seq} ok rejected"),
+        Response::Removed { found: true } => format!("{seq} ok removed"),
+        Response::Removed { found: false } => format!("{seq} ok miss"),
+        Response::Machine(Some(m)) => format!("{seq} ok machine={m}"),
+        Response::Machine(None) => format!("{seq} ok miss"),
+        Response::Done => format!("{seq} ok done"),
+        Response::NoSnapshot => format!("{seq} ok no-snapshot"),
+        Response::RepackInfeasible => format!("{seq} ok repack-infeasible"),
+        Response::Digest {
+            digest,
+            state,
+            live,
+        } => format!(
+            "{seq} ok digest={digest:08x} state={} live={live}",
+            state.as_str()
+        ),
+        Response::Shed { alpha: Some(a) } => format!("{seq} shed alpha={a:.2}"),
+        Response::Shed { alpha: None } => format!("{seq} shed alpha=none"),
+        Response::Quarantined { reason } => format!("{seq} err quarantined: {reason}"),
+        Response::Error { kind, message } => format!("{seq} err {}: {message}", kind.as_str()),
+        Response::Shutdown => format!("{seq} ok bye"),
+    }
+}
+
+/// `[A-Za-z0-9_-]{1,64}` — tenant names become journal file names.
+fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+fn file_factory(path: PathBuf) -> StorageFactory {
+    Arc::new(move |_incarnation| Box::new(FileStorage::new(&path)) as Box<dyn Storage>)
+}
+
+fn to_request(cmd: &Command, stall_cap_ms: u64) -> Result<(String, Request), String> {
+    Ok(match cmd {
+        Command::Add {
+            tenant,
+            wcet,
+            period,
+            deadline,
+        } => {
+            let task = match deadline {
+                Some(d) => Task::constrained(*wcet, *period, *d),
+                None => Task::implicit(*wcet, *period),
+            }
+            .map_err(|e| format!("bad task: {e:?}"))?;
+            (tenant.clone(), Request::Op(Op::Add(task)))
+        }
+        Command::Remove { tenant, id } => (tenant.clone(), Request::Op(Op::Remove(*id))),
+        Command::Query { tenant, id } => (tenant.clone(), Request::Query(*id)),
+        Command::Snapshot { tenant } => (tenant.clone(), Request::Op(Op::Snapshot)),
+        Command::Rollback { tenant } => (tenant.clone(), Request::Op(Op::Rollback)),
+        Command::Repack { tenant } => (tenant.clone(), Request::Op(Op::Repack)),
+        Command::Compact { tenant } => (tenant.clone(), Request::Op(Op::Compact)),
+        Command::Digest { tenant } => (tenant.clone(), Request::Digest),
+        Command::Panic { tenant } => (tenant.clone(), Request::InjectPanic),
+        Command::Stall { tenant, ms } => (tenant.clone(), Request::Stall((*ms).min(stall_cap_ms))),
+        Command::Open { .. } | Command::Stats | Command::Quit => {
+            unreachable!("handled by the serve loop")
+        }
+    })
+}
+
+fn stats_line(seq: u64, svc: &Service) -> String {
+    let sink = svc.sink();
+    let keys = [
+        crate::metrics::SERVICE_OPS,
+        crate::metrics::SERVICE_SHED,
+        crate::metrics::SERVICE_QUOTES,
+        crate::metrics::SERVICE_BATCHES,
+        crate::metrics::SERVICE_COALESCED,
+        crate::metrics::SERVICE_RESTARTS,
+        crate::metrics::SERVICE_QUARANTINES,
+        crate::metrics::SERVICE_OP_ERRORS,
+    ];
+    let mut line = format!("{seq} ok stats workers={}", svc.workers());
+    for key in keys {
+        line.push_str(&format!(" {}={}", key, sink.counter(key)));
+    }
+    line
+}
+
+fn open_tenant_line(seq: u64, svc: &mut Service, cfg: &ServerConfig, cmd: &Command) -> String {
+    let Command::Open {
+        tenant,
+        policy,
+        alpha,
+        speeds,
+    } = cmd
+    else {
+        unreachable!("caller matched Open");
+    };
+    if !valid_tenant_name(tenant) {
+        return format!("{seq} err usage: bad tenant name '{tenant}'");
+    }
+    let platform = match Platform::from_int_speeds(speeds.iter().copied()) {
+        Ok(p) => p,
+        Err(e) => return format!("{seq} err usage: bad platform: {e:?}"),
+    };
+    let alpha = match Augmentation::new(*alpha) {
+        Ok(a) => a,
+        Err(e) => return format!("{seq} err usage: bad alpha: {e:?}"),
+    };
+    let spec = TenantSpec {
+        name: tenant.clone(),
+        policy: *policy,
+        platform,
+        alpha,
+        factory: file_factory(cfg.data_dir.join(format!("{tenant}.journal"))),
+        op_gas: None,
+        recover_gas: None,
+    };
+    match svc.open_tenant(spec) {
+        Ok(()) => format!(
+            "{seq} ok opened policy={} alpha={:.2}",
+            policy.key(),
+            alpha.factor()
+        ),
+        Err(e) => format!("{seq} err usage: {e}"),
+    }
+}
+
+/// Serve one command stream. Returns when the client sends `quit` or
+/// closes the stream; the service (and its shards) stays alive for the
+/// next connection.
+pub fn serve_stream<R: Read, W: Write>(
+    reader: R,
+    writer: W,
+    svc: &mut Service,
+    cfg: &ServerConfig,
+    seq: &mut u64,
+) -> io::Result<(bool, u64, u64)> {
+    let mut reader = BufReader::new(reader);
+    let mut writer = io::BufWriter::new(writer);
+    let (reply_tx, reply_rx) = mpsc::channel::<(u64, Response)>();
+    let mut ready: BTreeMap<u64, String> = BTreeMap::new();
+    let mut next_emit = *seq;
+    let mut outstanding = 0u64;
+    let mut frames = 0u64;
+    let mut responses = 0u64;
+    let mut quit = false;
+
+    let emit = |ready: &mut BTreeMap<u64, String>,
+                next_emit: &mut u64,
+                responses: &mut u64,
+                writer: &mut io::BufWriter<W>|
+     -> io::Result<()> {
+        while let Some(line) = ready.remove(next_emit) {
+            if cfg.text {
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+            } else {
+                write_frame(writer, line.as_bytes())?;
+            }
+            *responses += 1;
+            *next_emit += 1;
+        }
+        writer.flush()
+    };
+
+    loop {
+        let payload = if cfg.text {
+            let mut line = String::new();
+            match reader.read_line(&mut line)? {
+                0 => None,
+                _ => Some(line.trim_end_matches(['\r', '\n']).as_bytes().to_vec()),
+            }
+        } else {
+            read_frame(&mut reader)?
+        };
+        let Some(payload) = payload else {
+            break; // clean EOF
+        };
+        frames += 1;
+        let this_seq = *seq;
+        *seq += 1;
+        let text = String::from_utf8_lossy(&payload);
+        match parse_command(&text) {
+            Err(e) => {
+                ready.insert(this_seq, format!("{this_seq} err usage: {e}"));
+            }
+            Ok(Command::Quit) => {
+                quit = true;
+                ready.insert(this_seq, format!("{this_seq} ok bye"));
+            }
+            Ok(Command::Stats) => {
+                ready.insert(this_seq, stats_line(this_seq, svc));
+            }
+            Ok(cmd @ Command::Open { .. }) => {
+                ready.insert(this_seq, open_tenant_line(this_seq, svc, cfg, &cmd));
+            }
+            Ok(cmd) => match to_request(&cmd, cfg.stall_cap_ms) {
+                Ok((tenant, req)) => {
+                    svc.submit(this_seq, &tenant, req, &reply_tx);
+                    outstanding += 1;
+                }
+                Err(e) => {
+                    ready.insert(this_seq, format!("{this_seq} err usage: {e}"));
+                }
+            },
+        }
+        while let Ok((s, resp)) = reply_rx.try_recv() {
+            ready.insert(s, render(s, &resp));
+            outstanding -= 1;
+        }
+        emit(&mut ready, &mut next_emit, &mut responses, &mut writer)?;
+        if quit {
+            break;
+        }
+    }
+    // Await every in-flight reply (shards answer even while restarting
+    // or quarantined; the timeout is a liveness backstop, not a path).
+    while outstanding > 0 {
+        match reply_rx.recv_timeout(Duration::from_secs(60)) {
+            Ok((s, resp)) => {
+                ready.insert(s, render(s, &resp));
+                outstanding -= 1;
+            }
+            Err(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "shard reply timed out",
+                ))
+            }
+        }
+    }
+    emit(&mut ready, &mut next_emit, &mut responses, &mut writer)?;
+    Ok((quit, frames, responses))
+}
+
+/// Serve framed commands from `reader`/`writer` (the stdin front end),
+/// shutting the service down at EOF or `quit`.
+pub fn serve_once<R: Read, W: Write>(
+    reader: R,
+    writer: W,
+    mut svc: Service,
+    cfg: &ServerConfig,
+) -> io::Result<ServeReport> {
+    let mut seq = 1u64;
+    let (quit, frames, responses) = serve_stream(reader, writer, &mut svc, cfg, &mut seq)?;
+    Ok(ServeReport {
+        frames,
+        responses,
+        quit,
+        tenants: svc.shutdown(),
+    })
+}
+
+/// Serve connections on a Unix socket, one at a time, until a client
+/// sends `quit`. Tenants persist across connections — that is the
+/// long-lived service mode.
+pub fn serve_unix(path: &Path, mut svc: Service, cfg: &ServerConfig) -> io::Result<ServeReport> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let mut seq = 1u64;
+    let mut frames = 0u64;
+    let mut responses = 0u64;
+    let quit = loop {
+        let (stream, _) = listener.accept()?;
+        match serve_stream(&stream, &stream, &mut svc, cfg, &mut seq) {
+            Ok((quit, f, r)) => {
+                frames += f;
+                responses += r;
+                if quit {
+                    break true;
+                }
+            }
+            Err(_) => continue, // one bad connection never kills the server
+        }
+    };
+    let _ = std::fs::remove_file(path);
+    Ok(ServeReport {
+        frames,
+        responses,
+        quit,
+        tenants: svc.shutdown(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::ServiceConfig;
+
+    fn run_session(script: &[&str], cfg: &ServerConfig) -> (ServeReport, Vec<String>) {
+        let mut input = Vec::new();
+        for line in script {
+            write_frame(&mut input, line.as_bytes()).expect("frame");
+        }
+        let mut output = Vec::new();
+        let report = serve_once(
+            &input[..],
+            &mut output,
+            Service::new(ServiceConfig::default()),
+            cfg,
+        )
+        .expect("serve");
+        let mut lines = Vec::new();
+        let mut r = &output[..];
+        while let Some(payload) = read_frame(&mut r).expect("response frame") {
+            lines.push(String::from_utf8(payload).expect("utf8"));
+        }
+        (report, lines)
+    }
+
+    #[test]
+    fn framed_session_round_trip_in_order() {
+        let dir = std::env::temp_dir().join(format!("hetfeas-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("data dir");
+        let cfg = ServerConfig {
+            data_dir: dir.clone(),
+            ..ServerConfig::default()
+        };
+        let (report, lines) = run_session(
+            &[
+                "open t1 edf 1.0 1,2",
+                "add t1 3 10",
+                "add t1 100 10",
+                "query t1 0",
+                "digest t1",
+                "stats",
+                "bogus command",
+                "quit",
+            ],
+            &cfg,
+        );
+        assert!(report.quit);
+        assert_eq!(report.frames, 8);
+        assert_eq!(report.responses, 8);
+        assert_eq!(lines.len(), 8);
+        // Strict submission order.
+        for (i, line) in lines.iter().enumerate() {
+            assert!(
+                line.starts_with(&format!("{} ", i + 1)),
+                "line {i} out of order: {line}"
+            );
+        }
+        assert!(lines[0].contains("ok opened policy=edf"), "{}", lines[0]);
+        assert!(lines[1].contains("ok admitted id=0"), "{}", lines[1]);
+        assert!(lines[2].contains("ok rejected"), "{}", lines[2]);
+        assert!(lines[3].contains("ok machine="), "{}", lines[3]);
+        assert!(lines[4].contains("ok digest="), "{}", lines[4]);
+        assert!(lines[5].contains("service.ops="), "{}", lines[5]);
+        assert!(lines[6].contains("err usage"), "{}", lines[6]);
+        assert!(lines[7].ends_with("ok bye"), "{}", lines[7]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tenant_names_are_validated() {
+        assert!(valid_tenant_name("t-1_ok"));
+        assert!(!valid_tenant_name(""));
+        assert!(!valid_tenant_name("../escape"));
+        assert!(!valid_tenant_name("a b"));
+    }
+}

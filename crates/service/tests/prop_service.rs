@@ -1,0 +1,309 @@
+//! Bulkhead isolation properties for the multi-tenant service.
+//!
+//! Dependency-free (no proptest): seeded generators enumerate scenarios
+//! and every assertion is exact. The properties under test are the
+//! service's isolation contract:
+//!
+//! 1. Corrupting (bit-flip or truncate) one tenant's journal quarantines
+//!    only that tenant — every other shard's state digest is unchanged
+//!    and keeps serving ops.
+//! 2. An injected shard panic restarts the shard and recovery reproduces
+//!    the pre-panic digest bit-for-bit.
+//! 3. A tenant whose recovery gas budget cannot replay its journal is
+//!    quarantined after the restart cap without affecting its neighbors.
+
+use hetfeas_model::{Augmentation, Platform, Task};
+use hetfeas_robust::journal::{MemStorage, Storage};
+use hetfeas_service::shard::{Op, Request, Response};
+use hetfeas_service::{PolicyKind, Service, ServiceConfig, ShardState, TenantSpec};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = splitmix(self.0);
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+struct Harness {
+    svc: Service,
+    stores: Vec<MemStorage>,
+    names: Vec<String>,
+    tx: Sender<(u64, Response)>,
+    rx: Receiver<(u64, Response)>,
+    seq: u64,
+}
+
+impl Harness {
+    /// A service with `n` tenants over MemStorage, mixed policies.
+    fn new(n: usize, seed: u64, recover_gas: Vec<Option<u64>>) -> Harness {
+        let mut cfg = ServiceConfig::default();
+        cfg.seed = seed;
+        cfg.max_restarts = 3;
+        cfg.backoff_base_ms = 1;
+        cfg.backoff_cap_ms = 4;
+        let mut svc = Service::new(cfg);
+        let mut stores = Vec::new();
+        let mut names = Vec::new();
+        for i in 0..n {
+            let store = MemStorage::new();
+            let handle = store.clone();
+            let name = format!("t{i}");
+            svc.open_tenant(TenantSpec {
+                name: name.clone(),
+                policy: [PolicyKind::Edf, PolicyKind::RmsLl, PolicyKind::RmsHyp][i % 3],
+                platform: Platform::from_int_speeds([1, 2, 3]).expect("platform"),
+                alpha: Augmentation::NONE,
+                factory: Arc::new(move |_inc| Box::new(handle.clone()) as Box<dyn Storage>),
+                op_gas: None,
+                recover_gas: recover_gas.get(i).copied().flatten(),
+            })
+            .expect("open tenant");
+            stores.push(store);
+            names.push(name);
+        }
+        let (tx, rx) = channel();
+        Harness {
+            svc,
+            stores,
+            names,
+            tx,
+            rx,
+            seq: 0,
+        }
+    }
+
+    fn request(&mut self, tenant: usize, req: Request) -> Response {
+        self.seq += 1;
+        let want = self.seq;
+        self.svc.submit(want, &self.names[tenant], req, &self.tx);
+        loop {
+            let (s, resp) = self
+                .rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("shard must always answer");
+            if s == want {
+                return resp;
+            }
+        }
+    }
+
+    /// Seeded op storm against one tenant; returns ids admitted.
+    fn storm(&mut self, tenant: usize, rng: &mut Rng, ops: usize) -> Vec<u64> {
+        let mut live = Vec::new();
+        for _ in 0..ops {
+            let roll = rng.below(10);
+            let req = if roll < 6 || live.is_empty() {
+                let wcet = 1 + rng.below(5);
+                let period = 10 + rng.below(30);
+                Request::Op(Op::Add(Task::implicit(wcet, period).expect("task")))
+            } else if roll < 8 {
+                let idx = rng.below(live.len() as u64) as usize;
+                Request::Op(Op::Remove(live[idx]))
+            } else if roll < 9 {
+                Request::Op(Op::Snapshot)
+            } else {
+                Request::Op(Op::Rollback)
+            };
+            match (req, self.request(tenant, req)) {
+                (Request::Op(Op::Add(_)), Response::Admitted { id, .. }) => live.push(id),
+                (Request::Op(Op::Remove(raw)), Response::Removed { found: true }) => {
+                    live.retain(|&x| x != raw);
+                }
+                _ => {}
+            }
+        }
+        live
+    }
+
+    fn digest(&mut self, tenant: usize) -> (u32, ShardState, usize) {
+        match self.request(tenant, Request::Digest) {
+            Response::Digest {
+                digest,
+                state,
+                live,
+            } => (digest, state, live),
+            other => panic!("digest expected, got {other:?}"),
+        }
+    }
+}
+
+/// Property 1a: a bit-flipped journal head quarantines only its tenant.
+#[test]
+fn bit_flip_quarantines_only_the_poisoned_tenant() {
+    for seed in [1u64, 0xBEEF, 0x5eed_cafe] {
+        let mut h = Harness::new(4, seed, vec![]);
+        let mut rng = Rng(seed);
+        for t in 0..4 {
+            h.storm(t, &mut rng, 12);
+        }
+        let before: Vec<(u32, ShardState, usize)> = (0..4).map(|t| h.digest(t)).collect();
+        for (d, s, _) in &before {
+            assert_eq!(*s, ShardState::Running);
+            assert_ne!(*d, 0);
+        }
+
+        // Poison tenant 2's journal head (the config record) and crash
+        // the shard so it must attempt recovery.
+        let victim = 2;
+        let mut bytes = h.stores[victim].bytes();
+        assert!(bytes.len() > 8, "journal holds at least the config record");
+        bytes[8] ^= 0xff;
+        h.stores[victim].set_bytes(bytes);
+        let resp = h.request(victim, Request::InjectPanic);
+        assert!(matches!(resp, Response::Error { .. }));
+
+        // The victim is quarantined — and still answers.
+        let resp = h.request(victim, Request::Op(Op::Snapshot));
+        assert!(
+            matches!(resp, Response::Quarantined { .. }),
+            "seed {seed:#x}: poisoned tenant must be fenced, got {resp:?}"
+        );
+        let status = h.svc.status(&h.names[victim]).expect("status");
+        assert_eq!(status.state, ShardState::Quarantined);
+        assert!(status.reason.as_deref().unwrap_or("").contains("corrupt"));
+
+        // Everyone else: digest unchanged, still serving.
+        for t in (0..4).filter(|&t| t != victim) {
+            let (d, s, live) = h.digest(t);
+            assert_eq!(
+                s,
+                ShardState::Running,
+                "seed {seed:#x}: tenant {t} survives"
+            );
+            assert_eq!(
+                (d, live),
+                (before[t].0, before[t].2),
+                "seed {seed:#x}: tenant {t} digest untouched by the bulkhead"
+            );
+            let resp = h.request(
+                t,
+                Request::Op(Op::Add(Task::implicit(1, 40).expect("task"))),
+            );
+            assert!(
+                resp.applied(),
+                "seed {seed:#x}: tenant {t} still serves ops"
+            );
+        }
+        h.svc.shutdown();
+    }
+}
+
+/// Property 1b: truncating a journal below its config record is the same
+/// class of poison as a bit flip — quarantine, scoped to the tenant.
+#[test]
+fn truncation_quarantines_only_the_truncated_tenant() {
+    let mut h = Harness::new(3, 0x77, vec![]);
+    let mut rng = Rng(0x77);
+    for t in 0..3 {
+        h.storm(t, &mut rng, 10);
+    }
+    let before: Vec<(u32, ShardState, usize)> = (0..3).map(|t| h.digest(t)).collect();
+
+    let victim = 1;
+    let bytes = h.stores[victim].bytes();
+    // Keep 5 bytes: a torn header inside the config record — recovery
+    // finds no intact records at all.
+    h.stores[victim].set_bytes(bytes[..5.min(bytes.len())].to_vec());
+    let _ = h.request(victim, Request::InjectPanic);
+    // An awaited op synchronizes with the restart attempt: it must come
+    // back fenced, and only then is the published status terminal.
+    let resp = h.request(victim, Request::Op(Op::Snapshot));
+    assert!(matches!(resp, Response::Quarantined { .. }), "got {resp:?}");
+    let status = h.svc.status(&h.names[victim]).expect("status");
+    assert_eq!(status.state, ShardState::Quarantined);
+
+    for t in (0..3).filter(|&t| t != victim) {
+        let (d, s, live) = h.digest(t);
+        assert_eq!(s, ShardState::Running);
+        assert_eq!((d, live), (before[t].0, before[t].2));
+    }
+    h.svc.shutdown();
+}
+
+/// Property 2: panic → restart → recovery reproduces the digest, for
+/// many seeds and op mixes.
+#[test]
+fn panic_restart_recovers_bit_identical_state() {
+    for seed in [3u64, 0xDEAD, 0xFEED_F00D, 0x1234_5678] {
+        let mut h = Harness::new(2, seed, vec![]);
+        let mut rng = Rng(seed ^ 0xA5A5);
+        h.storm(0, &mut rng, 20);
+        let (before, state, live_before) = h.digest(0);
+        assert_eq!(state, ShardState::Running);
+
+        let resp = h.request(0, Request::InjectPanic);
+        assert!(matches!(
+            resp,
+            Response::Error {
+                kind: hetfeas_service::ErrorKind::Panic,
+                ..
+            }
+        ));
+        let (after, state, live_after) = h.digest(0);
+        assert_eq!(
+            state,
+            ShardState::Running,
+            "seed {seed:#x}: shard recovered"
+        );
+        assert_eq!(
+            (after, live_after),
+            (before, live_before),
+            "seed {seed:#x}: recovery must be bit-exact"
+        );
+        let status = h.svc.status("t0").expect("status");
+        assert_eq!(status.restarts, 1);
+
+        // And the shard keeps going: more ops, another panic, still exact.
+        h.storm(0, &mut rng, 8);
+        let (mid, _, _) = h.digest(0);
+        let _ = h.request(0, Request::InjectPanic);
+        let (end, state, _) = h.digest(0);
+        assert_eq!(state, ShardState::Running);
+        assert_eq!(end, mid, "seed {seed:#x}: second recovery bit-exact");
+        h.svc.shutdown();
+    }
+}
+
+/// Property 3: recovery-gas exhaustion trips the restart cap and
+/// quarantines — without touching the neighbor shard.
+#[test]
+fn recovery_gas_exhaustion_quarantines_after_restart_cap() {
+    // Tenant 0 gets a recovery budget large enough to boot an empty
+    // journal but far too small to replay a populated one.
+    let mut h = Harness::new(2, 0x6a5, vec![Some(8), None]);
+    let mut rng = Rng(0x6a5);
+    h.storm(0, &mut rng, 16);
+    h.storm(1, &mut rng, 16);
+    let neighbor_before = h.digest(1);
+
+    let _ = h.request(0, Request::InjectPanic);
+    // All recovery attempts exhaust; the cap quarantines the tenant.
+    let resp = h.request(0, Request::Op(Op::Snapshot));
+    assert!(
+        matches!(resp, Response::Quarantined { .. }),
+        "exhausted recovery must quarantine, got {resp:?}"
+    );
+    let status = h.svc.status("t0").expect("status");
+    assert_eq!(status.state, ShardState::Quarantined);
+    assert!(status.restarts >= 3, "the restart cap was exercised");
+
+    let neighbor_after = h.digest(1);
+    assert_eq!(neighbor_after, neighbor_before, "neighbor untouched");
+    h.svc.shutdown();
+}

@@ -11,7 +11,11 @@
 # from-scratch, plus worker scaling with host_cpus), and the
 # branch-and-bound harness (scripts/bench_bnb_smoke.rs) which emits
 # BENCH_bnb.json (per-instance nodes/sec and the solved-within-budget
-# grid vs the plain-DFS baseline).
+# grid vs the plain-DFS baseline), and the supervised-service harness
+# (scripts/bench_service_smoke.rs) which emits BENCH_service.json
+# (pipelined vs awaited ops/sec across 8 shards, batching speedup, and
+# the 8-shard panic-recovery wall time — all with honest host_cpus /
+# effective-workers reporting).
 #
 # Uses plain-rustc harnesses compiled against the workspace rlibs — no
 # Criterion, no registry access — so they also run in sandboxed CI. When
@@ -23,6 +27,7 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 out="${BENCH_OUT:-$repo/BENCH_ffd.json}"
 incr_out="${BENCH_INCR_OUT:-$repo/BENCH_incremental.json}"
 bnb_out="${BENCH_BNB_OUT:-$repo/BENCH_bnb.json}"
+svc_out="${BENCH_SVC_OUT:-$repo/BENCH_service.json}"
 build="$(mktemp -d)"
 trap 'rm -rf "$build"' EXIT
 
@@ -95,6 +100,24 @@ rustc --edition 2021 -O --crate-name bench_bnb_smoke \
     -o "$build/bench_bnb_smoke"
 "$build/bench_bnb_smoke" > "$bnb_out"
 echo "wrote $bnb_out" >&2
+
+echo "building + running the supervised-service harness ..." >&2
+rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_service \
+    "$repo/crates/service/src/lib.rs" -L "$build" \
+    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    --extern hetfeas_obs="$build/libhetfeas_obs.rlib" \
+    --extern hetfeas_robust="$build/libhetfeas_robust.rlib" \
+    --extern hetfeas_par="$build/libhetfeas_par.rlib" \
+    --extern hetfeas_partition="$build/libhetfeas_partition.rlib" \
+    -o "$build/libhetfeas_service.rlib"
+rustc --edition 2021 -O --crate-name bench_service_smoke \
+    "$repo/scripts/bench_service_smoke.rs" -L "$build" \
+    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    --extern hetfeas_robust="$build/libhetfeas_robust.rlib" \
+    --extern hetfeas_service="$build/libhetfeas_service.rlib" \
+    -o "$build/bench_service_smoke"
+"$build/bench_service_smoke" 2>/dev/null > "$svc_out"
+echo "wrote $svc_out" >&2
 
 if [[ "${1:-}" == "--criterion" ]]; then
     echo "running the Criterion groups (needs a reachable registry) ..." >&2

@@ -1,0 +1,199 @@
+#!/usr/bin/env bash
+# Chaos smoke stage: drive the supervised multi-tenant admission service
+# (`hetfeas serve`) through its failure modes and check the bulkhead
+# contract from outside the process.
+#
+#   HETFEAS_BIN=path          the `hetfeas` CLI binary (required)
+#   CHAOS_SMOKE_TIMEOUT=120   outer wall-clock cap per stage, seconds
+#
+# Stages:
+#   1. in-process seeded fault storms (`serve --chaos`) across several
+#      seeds — exit 0 means every surviving tenant's digest matched a
+#      fault-free replay and the quarantine set was exactly the poisoned
+#      roles; the report must show panics contained and restarts served;
+#   2. a framed stdin session: mixed tenants, an injected shard panic
+#      (recovers, digest unchanged), a poisoned tenant (quarantined,
+#      neighbors untouched), malformed frames answered with errors — the
+#      process always exits 0;
+#   3. cross-process convergence: a served session is kill -9'd
+#      mid-stream with aggressive compaction, then every tenant journal
+#      must `hetfeas recover` cleanly and a restarted server must serve
+#      the recovered state.
+set -euo pipefail
+
+hetfeas="${HETFEAS_BIN:?set HETFEAS_BIN to the hetfeas binary}"
+cap="${CHAOS_SMOKE_TIMEOUT:-120}"
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work" || true' EXIT
+
+echo "== seeded fault storms converge" >&2
+for seed in 7 1013 57005; do
+    report="$work/chaos_$seed.json"
+    timeout "$cap" "$hetfeas" serve --chaos --seed "$seed" \
+        --tenants 8 --ops 32 --report "$report" \
+        >"$work/chaos_$seed.out" 2>"$work/chaos_$seed.err" || {
+        echo "chaos_smoke: FAIL — storm seed=$seed did not converge" >&2
+        cat "$work/chaos_$seed.out" "$work/chaos_$seed.err" >&2
+        exit 1
+    }
+    grep -q '"verdict": "converged"' "$report" || {
+        echo "chaos_smoke: FAIL — seed=$seed report verdict not converged" >&2
+        cat "$report" >&2
+        exit 1
+    }
+    # The storm must actually have hurt: panics contained, restarts
+    # served, the three poisoned roles quarantined.
+    grep -q '"quarantines": 3' "$report" || {
+        echo "chaos_smoke: FAIL — seed=$seed expected 3 quarantines" >&2
+        cat "$report" >&2
+        exit 1
+    }
+    for key in panics restarts; do
+        if grep -q "\"$key\": 0" "$report"; then
+            echo "chaos_smoke: FAIL — seed=$seed storm had zero $key" >&2
+            cat "$report" >&2
+            exit 1
+        fi
+    done
+done
+
+echo "== framed session: panic recovery + quarantine bulkhead" >&2
+data="$work/session_data"
+session_out="$work/session.out"
+{
+    printf 'open alpha edf 1.0 1,2,3\n'
+    printf 'open beta rms-ll 1.5 2,2\n'
+    printf 'add alpha 3 10\n'
+    printf 'add alpha 4 12\n'
+    printf 'add beta 1 8\n'
+    printf 'digest alpha\n'
+    printf 'panic alpha\n'
+    printf 'digest alpha\n'
+    printf 'this is not a command\n'
+    printf 'add nosuch 1 2\n'
+    printf 'stats\n'
+    printf 'quit\n'
+} | timeout "$cap" "$hetfeas" serve --text --data-dir "$data" \
+    >"$session_out" 2>"$work/session.err" || {
+    echo "chaos_smoke: FAIL — framed session exited nonzero" >&2
+    cat "$session_out" "$work/session.err" >&2
+    exit 1
+}
+d_before="$(sed -n 's/^6 ok digest=\([0-9a-f]*\).*/\1/p' "$session_out")"
+d_after="$(sed -n 's/^8 ok digest=\([0-9a-f]*\).*/\1/p' "$session_out")"
+[[ -n "$d_before" && "$d_before" == "$d_after" ]] || {
+    echo "chaos_smoke: FAIL — digest changed across panic ($d_before vs $d_after)" >&2
+    cat "$session_out" >&2
+    exit 1
+}
+grep -q '^7 err panic' "$session_out" || {
+    echo "chaos_smoke: FAIL — injected panic not surfaced as an error ack" >&2
+    cat "$session_out" >&2
+    exit 1
+}
+grep -q '^9 err ' "$session_out" || {
+    echo "chaos_smoke: FAIL — malformed frame not answered" >&2
+    cat "$session_out" >&2
+    exit 1
+}
+grep -q '^10 err ' "$session_out" || {
+    echo "chaos_smoke: FAIL — unknown tenant not answered" >&2
+    cat "$session_out" >&2
+    exit 1
+}
+
+echo "== poisoned journal quarantines only its tenant across a restart" >&2
+# Truncate alpha's journal to a torn header (no intact records), then
+# reopen both tenants in a fresh process: alpha boots into quarantine,
+# beta recovers and serves. `open` acks before the shard boots, so the
+# fence shows on alpha's first op.
+head -c 5 "$data/alpha.journal" >"$work/poison"
+mv "$work/poison" "$data/alpha.journal"
+{
+    printf 'open alpha edf 1.0 1,2,3\n'
+    printf 'open beta rms-ll 1.5 2,2\n'
+    printf 'add alpha 1 30\n'
+    printf 'add beta 1 30\n'
+    printf 'quit\n'
+} | timeout "$cap" "$hetfeas" serve --text --data-dir "$data" \
+    >"$work/poisoned.out" 2>/dev/null || {
+    echo "chaos_smoke: FAIL — poisoned tenant took the process down" >&2
+    cat "$work/poisoned.out" >&2
+    exit 1
+}
+grep -q '^3 err quarantined' "$work/poisoned.out" || {
+    echo "chaos_smoke: FAIL — corrupt journal not fenced" >&2
+    cat "$work/poisoned.out" >&2
+    exit 1
+}
+grep -q '^4 ok admitted' "$work/poisoned.out" || {
+    echo "chaos_smoke: FAIL — healthy neighbor stopped serving" >&2
+    cat "$work/poisoned.out" >&2
+    exit 1
+}
+
+echo "== kill -9 mid-stream, then recover every tenant journal" >&2
+killdata="$work/kill_data"
+mkfifo "$work/kill_pipe"
+timeout "$cap" "$hetfeas" serve --text --data-dir "$killdata" \
+    --compact-every 2 <"$work/kill_pipe" >"$work/kill.out" 2>/dev/null &
+server=$!
+disown "$server" # silence bash's job-status line when we SIGKILL it
+exec 3>"$work/kill_pipe"
+printf 'open t0 edf 1.0 1,2\nopen t1 rms-hyp 1.0 3\n' >&3
+for i in $(seq 1 24); do
+    printf 'add t0 1 %d\nadd t1 1 %d\n' "$((9 + i))" "$((9 + i))" >&3
+done
+# Wait until both journals exist and have absorbed writes, then SIGKILL
+# the server mid-stream (compaction every 2 ops keeps replaces in play).
+for _ in $(seq 1 100); do
+    [[ -s "$killdata/t0.journal" && -s "$killdata/t1.journal" ]] && break
+    sleep 0.1
+done
+# $server is the `timeout` wrapper — SIGKILL its hetfeas child FIRST
+# (killing only the wrapper would orphan the server, which then races
+# the recover checks below), then the wrapper itself.
+pkill -KILL -P "$server" 2>/dev/null || true
+kill -9 "$server" 2>/dev/null || true
+exec 3>&-
+while kill -0 "$server" 2>/dev/null; do sleep 0.05; done
+while pgrep -f "serve --text --data-dir $killdata" >/dev/null 2>&1; do
+    sleep 0.05
+done
+for t in t0 t1; do
+    j="$killdata/$t.journal"
+    [[ -s "$j" ]] || {
+        echo "chaos_smoke: FAIL — $t journal missing after kill -9" >&2
+        exit 1
+    }
+    timeout "$cap" "$hetfeas" recover "$j" >"$work/kill_$t.out" 2>&1 || {
+        echo "chaos_smoke: FAIL — $t journal unrecoverable after kill -9" >&2
+        cat "$work/kill_$t.out" >&2
+        exit 1
+    }
+    grep -q 'state digest [0-9a-f]*' "$work/kill_$t.out" || {
+        echo "chaos_smoke: FAIL — recover $t printed no digest" >&2
+        exit 1
+    }
+done
+# A restarted server serves the recovered state.
+{
+    printf 'open t0 edf 1.0 1,2\n'
+    printf 'open t1 rms-hyp 1.0 3\n'
+    printf 'digest t0\ndigest t1\nquit\n'
+} | timeout "$cap" "$hetfeas" serve --text --data-dir "$killdata" \
+    >"$work/kill_restart.out" 2>/dev/null || {
+    echo "chaos_smoke: FAIL — restart after kill -9 failed" >&2
+    cat "$work/kill_restart.out" >&2
+    exit 1
+}
+for seq in 3 4; do
+    grep -q "^$seq ok digest=" "$work/kill_restart.out" || {
+        echo "chaos_smoke: FAIL — restarted server served no digest (seq $seq)" >&2
+        cat "$work/kill_restart.out" >&2
+        exit 1
+    }
+done
+
+echo "chaos_smoke: all stages passed" >&2

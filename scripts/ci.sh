@@ -25,6 +25,13 @@
 # (`bnb_solved`) must not drop below the committed baseline. Solved-count
 # is capability, not wall-clock, so this gate holds on noisy runners;
 # nodes/sec figures are trajectory data only.
+#
+# A fourth gate covers the supervised admission service
+# (BENCH_service.json): the 8-shard panic-recovery phase must stay
+# bit-exact, and the batching speedup (pipelined over awaited ops/sec,
+# machine-relative) must stay within SVC_GATE_TOL (default 0.5) of the
+# committed baseline. Both smoke paths also run scripts/chaos_smoke.sh —
+# the seeded fault storms and the cross-process kill -9 stage.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -56,6 +63,8 @@ else
         bash scripts/fault_smoke.sh
     echo "== crash-recovery smoke (scripts/crash_smoke.sh)" >&2
     HETFEAS_BIN=target/debug/hetfeas bash scripts/crash_smoke.sh
+    echo "== chaos smoke (scripts/chaos_smoke.sh)" >&2
+    HETFEAS_BIN=target/debug/hetfeas bash scripts/chaos_smoke.sh
 fi
 
 if [[ -n "${SKIP_BENCH_GATE:-}" ]]; then
@@ -72,8 +81,10 @@ fi
 fresh="$(mktemp)"
 fresh_incr="$(mktemp)"
 fresh_bnb="$(mktemp)"
-trap 'rm -f "$fresh" "$fresh_incr" "$fresh_bnb"' EXIT
+fresh_svc="$(mktemp)"
+trap 'rm -f "$fresh" "$fresh_incr" "$fresh_bnb" "$fresh_svc"' EXIT
 BENCH_OUT="$fresh" BENCH_INCR_OUT="$fresh_incr" BENCH_BNB_OUT="$fresh_bnb" \
+    BENCH_SVC_OUT="$fresh_svc" \
     bash scripts/bench_smoke.sh
 
 # One "m speedup" pair per result row (the row format is emitted by
@@ -182,6 +193,48 @@ else
         exit 1
     fi
     echo "ci: B&B decides $now_solved grid instances (baseline $base_solved) — ok" >&2
+fi
+
+echo "== supervised-service gate" >&2
+# The service benchmark gates on (a) recovery correctness — 8/8 shards
+# must restart bit-exactly after an injected panic storm, the harness
+# itself fails otherwise — and (b) the batching speedup (pipelined over
+# awaited ops/sec). The speedup is machine-relative, so it holds on
+# noisy 1-CPU runners where absolute ops/sec would not.
+svc_baseline="$repo/BENCH_service.json"
+batching() {
+    sed -n 's/.*"batching_speedup": *\([0-9.]*\).*/\1/p' "$1" | head -n1
+}
+if [[ ! -f "$svc_baseline" ]]; then
+    echo "ci: no committed BENCH_service.json — service gate skipped" >&2
+else
+    grep -q '"bit_exact": true' "$fresh_svc" || {
+        echo "ci: FAIL — service recovery was not bit-exact" >&2
+        cat "$fresh_svc" >&2
+        exit 1
+    }
+    grep -q '"shards_recovered": 8' "$fresh_svc" || {
+        echo "ci: FAIL — service bench recovered fewer than 8 shards" >&2
+        cat "$fresh_svc" >&2
+        exit 1
+    }
+    base_batch="$(batching "$svc_baseline")"
+    now_batch="$(batching "$fresh_svc")"
+    if [[ -z "$now_batch" ]]; then
+        echo "ci: FAIL — fresh BENCH_service.json has no batching_speedup" >&2
+        exit 1
+    fi
+    awk -v base="$base_batch" -v now="$now_batch" \
+        -v tol="${SVC_GATE_TOL:-0.5}" 'BEGIN {
+        floor = base * (1 - tol)
+        if (now < floor) {
+            printf "ci: FAIL — service batching speedup %.2f below gate %.2f (baseline %.2f)\n",
+                now, floor, base > "/dev/stderr"
+            exit 1
+        }
+        printf "ci: service batching speedup %.2f vs baseline %.2f — ok\n",
+            now, base > "/dev/stderr"
+    }'
 fi
 
 echo "ci: all gates passed" >&2

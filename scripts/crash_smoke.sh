@@ -16,7 +16,10 @@
 #     reports the journal unrecoverable (exit 2, crash before the config
 #     record ever synced) — never anything else, never a panic;
 #   * recover on garbage exits 2; compaction keeps the journal
-#     recoverable with an unchanged digest.
+#     recoverable with an unchanged digest;
+#   * a crash DURING a snapshot-compaction replace never destroys the
+#     journal: the replace is all-or-nothing, so recover always rebuilds
+#     a digest from whichever generation survived.
 set -euo pipefail
 
 hetfeas="${HETFEAS_BIN:?set HETFEAS_BIN to the hetfeas binary}"
@@ -136,5 +139,35 @@ if [[ "$cd" != "$rd" ]]; then
     echo "crash_smoke: FAIL — compacted digest mismatch ($cd vs $rd)" >&2
     exit 1
 fi
+
+echo "== crash matrix during snapshot compaction" >&2
+# --compact-every 2 forces a compaction replace after every other op, so
+# byte-counted crash points from this spread land inside replaces as well
+# as appends. The replace is all-or-nothing (write is staged, the old
+# contents survive a mid-replace crash), so once the config record has
+# synced (well before offset 150 here) recover must ALWAYS rebuild a
+# digest — exit 2 would mean a torn compaction destroyed the journal.
+for at in 150 300 500 700 900 1100 1300; do
+    j="$work/ccrash_$at.journal"
+    set +e
+    HETFEAS_JOURNAL_CRASH_AT="$at" timeout "$cap" "$hetfeas" ops \
+        --trace "$work/trace.ops" --journal "$j" --compact-every 2 \
+        >/dev/null 2>&1
+    code=$?
+    set -e
+    if [[ "$code" != 2 ]]; then
+        echo "crash_smoke: FAIL — compaction crash at $at exited $code, expected 2" >&2
+        exit 1
+    fi
+    timeout "$cap" "$hetfeas" recover "$j" >"$work/ccrash_$at.out" 2>&1 || {
+        echo "crash_smoke: FAIL — torn compaction at $at left journal unrecoverable" >&2
+        cat "$work/ccrash_$at.out" >&2
+        exit 1
+    }
+    grep -q 'state digest [0-9a-f]*' "$work/ccrash_$at.out" || {
+        echo "crash_smoke: FAIL — recover after compaction crash at $at printed no digest" >&2
+        exit 1
+    }
+done
 
 echo "crash_smoke: all stages passed" >&2

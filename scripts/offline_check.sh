@@ -95,6 +95,16 @@ testbin prop_bnb "$repo/crates/partition/tests/prop_bnb.rs" \
     "${X_PARTITION[@]}" \
     --extern hetfeas_partition="$build/libhetfeas_partition.rlib"
 
+X_SERVICE=("${X_PARTITION[@]}"
+    --extern hetfeas_partition="$build/libhetfeas_partition.rlib")
+lib hetfeas_service "$repo/crates/service/src/lib.rs" "${X_SERVICE[@]}"
+testbin hetfeas_service "$repo/crates/service/src/lib.rs" "${X_SERVICE[@]}"
+
+# Bulkhead-isolation property suite (dependency-free, no proptest).
+testbin prop_service "$repo/crates/service/tests/prop_service.rs" \
+    "${X_SERVICE[@]}" \
+    --extern hetfeas_service="$build/libhetfeas_service.rlib"
+
 X_RAND=(--extern rand="$build/librand.rlib")
 lib hetfeas_workload "$repo/crates/workload/src/lib.rs" "${X_MODEL[@]}" "${X_RAND[@]}"
 testbin hetfeas_workload "$repo/crates/workload/src/lib.rs" "${X_MODEL[@]}" "${X_RAND[@]}"
@@ -121,7 +131,8 @@ testbin checkpoint_resume "$repo/crates/experiments/tests/checkpoint_resume.rs" 
     --extern hetfeas_experiments="$build/libhetfeas_experiments.rlib"
 
 X_FACADE=("${X_EXPERIMENTS[@]}"
-    --extern hetfeas_experiments="$build/libhetfeas_experiments.rlib")
+    --extern hetfeas_experiments="$build/libhetfeas_experiments.rlib"
+    --extern hetfeas_service="$build/libhetfeas_service.rlib")
 lib hetfeas "$repo/src/lib.rs" "${X_FACADE[@]}"
 
 echo "building the hetfeas binary ..." >&2
@@ -154,5 +165,8 @@ HETFEAS_BIN="$build/hetfeas" RUN_EXPERIMENTS_BIN="$build/run-experiments" \
 
 echo "running the crash-recovery smoke stage ..." >&2
 HETFEAS_BIN="$build/hetfeas" bash "$repo/scripts/crash_smoke.sh"
+
+echo "running the chaos smoke stage ..." >&2
+HETFEAS_BIN="$build/hetfeas" bash "$repo/scripts/chaos_smoke.sh"
 
 echo "offline check passed" >&2

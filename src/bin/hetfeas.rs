@@ -13,6 +13,11 @@
 //!                             [--alpha X] [--workers N] [--budget-ms N] [--report FILE] [-v]
 //!                             [--journal FILE] [--compact-every N]
 //! hetfeas recover  JOURNAL [--budget-ms N] [--report FILE] [-v]
+//! hetfeas serve    [--data-dir DIR] [--socket PATH] [--text] [--workers N] [--seed N]
+//!                             [--queue-depth N] [--batch-max N] [--max-restarts N]
+//!                             [--compact-every N] [--report FILE]
+//! hetfeas serve --chaos [--tenants N] [--ops N] [--machines M] [--seed N] [--workers N]
+//!                             [--report FILE]
 //! ```
 //!
 //! System files: `task <wcet> <period> [deadline]` and `machine <speed>`
@@ -29,6 +34,18 @@
 //! `check --exact --workers N` explores branch-and-bound subtrees on N
 //! threads; the verdict (and witness) are identical for every N, only the
 //! tree coverage per unit budget changes.
+//!
+//! `hetfeas serve` runs the supervised multi-tenant admission service:
+//! length-prefixed command frames on stdin (or `--socket PATH`), one
+//! durable engine + write-ahead journal per tenant under `--data-dir`,
+//! each inside a panic-firewalled shard that the supervisor restarts by
+//! journal replay (seeded-jitter exponential backoff, capped). A tenant
+//! whose journal is corrupt or whose restarts exceed the cap is
+//! *quarantined* — it keeps answering with an error, neighbors are
+//! untouched, the process never dies. `serve --chaos` runs the built-in
+//! seeded fault storm instead and exits 0 only when every surviving
+//! tenant's digest matches a fault-free replay and the quarantine set is
+//! exactly the poisoned tenants (exit 1 otherwise).
 //!
 //! `hetfeas faults` runs the built-in adversarial corpus (huge periods,
 //! degenerate speeds, zero slack, LP degeneracy, exact-search blowup)
@@ -260,6 +277,16 @@ struct Common {
     util: f64,
     platform: String,
     scenario: Option<String>,
+    // serve-only
+    data_dir: Option<String>,
+    socket: Option<String>,
+    text_mode: bool,
+    chaos: bool,
+    tenants: usize,
+    ops: usize,
+    queue_depth: Option<usize>,
+    batch_max: Option<usize>,
+    max_restarts: Option<u32>,
 }
 
 fn parse_common(args: &[String]) -> Result<Common, String> {
@@ -283,6 +310,15 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         util: 0.7,
         platform: "big-little".into(),
         scenario: None,
+        data_dir: None,
+        socket: None,
+        text_mode: false,
+        chaos: false,
+        tenants: 8,
+        ops: 48,
+        queue_depth: None,
+        batch_max: None,
+        max_restarts: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -355,6 +391,44 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
                     return Err("--budget-ms must be positive".into());
                 }
                 c.budget_ms = Some(ms);
+            }
+            "--data-dir" => c.data_dir = Some(next("--data-dir")?),
+            "--socket" => c.socket = Some(next("--socket")?),
+            "--text" => c.text_mode = true,
+            "--chaos" => c.chaos = true,
+            "--tenants" => {
+                c.tenants = next("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("bad --tenants: {e}"))?;
+                if c.tenants == 0 {
+                    return Err("--tenants must be positive".into());
+                }
+            }
+            "--ops" => {
+                c.ops = next("--ops")?
+                    .parse()
+                    .map_err(|e| format!("bad --ops: {e}"))?
+            }
+            "--queue-depth" => {
+                c.queue_depth = Some(
+                    next("--queue-depth")?
+                        .parse()
+                        .map_err(|e| format!("bad --queue-depth: {e}"))?,
+                )
+            }
+            "--batch-max" => {
+                c.batch_max = Some(
+                    next("--batch-max")?
+                        .parse()
+                        .map_err(|e| format!("bad --batch-max: {e}"))?,
+                )
+            }
+            "--max-restarts" => {
+                c.max_restarts = Some(
+                    next("--max-restarts")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-restarts: {e}"))?,
+                )
             }
             "--exact" => c.exact = true,
             "-v" | "--verbose" => c.verbose = true,
@@ -1068,6 +1142,7 @@ fn cmd_ops_journaled(
             .set("policy", Json::Str(c.policy.key().into()))
             .set("mode", Json::Str("incremental".into()))
             .set("journal", Json::Str(journal_path.to_string()))
+            .set("workers", Json::UInt(1))
             .set("ops", Json::UInt(stats.ops))
             .set("admitted", Json::UInt(stats.admitted))
             .set("rejected", Json::UInt(stats.rejected))
@@ -1313,8 +1388,152 @@ fn cmd_recover(c: &Common) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `hetfeas serve`: the supervised multi-tenant admission service.
+///
+/// Default mode reads length-prefixed command frames from stdin (or a
+/// Unix socket with `--socket PATH`) and answers in submission order;
+/// `--chaos` instead runs the in-process seeded fault storm and exits 0
+/// only if every tenant satisfied the bulkhead/convergence contract.
+fn cmd_serve(c: &Common) -> Result<ExitCode, String> {
+    use hetfeas::service::{
+        chaos::ChaosConfig, run_storm, serve_once, serve_unix, ServerConfig, Service, ServiceConfig,
+    };
+
+    // Shard panics are contained by the firewall and handled by the
+    // supervisor; the default hook would still print a full backtrace
+    // per contained panic. One line each is enough for an operator.
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("shard panic contained: {info}");
+    }));
+
+    if c.chaos {
+        let cfg = ChaosConfig {
+            seed: c.seed,
+            tenants: c.tenants,
+            ops_per_tenant: c.ops,
+            machines: c.machines,
+            workers: c.workers.unwrap_or(0),
+            shed_probe: true,
+        };
+        let report = run_storm(&cfg);
+        for line in report.summary_lines() {
+            println!("{line}");
+        }
+        if let Some(out) = &c.report {
+            let mut r = RunReport::new("hetfeas", "serve");
+            r.set("mode", Json::Str("chaos".into()))
+                .set("seed", Json::UInt(report.seed))
+                .set("workers", Json::UInt(report.workers as u64))
+                .set("tenants", Json::UInt(report.tenants.len() as u64))
+                .set(
+                    "quarantined",
+                    Json::UInt(report.tenants.iter().filter(|t| t.quarantined).count() as u64),
+                )
+                .set(
+                    "converged",
+                    Json::UInt(report.tenants.iter().filter(|t| t.converged).count() as u64),
+                )
+                .set("shed", Json::UInt(report.shed))
+                .set("quotes", Json::UInt(report.quotes))
+                .set("journal_retries", Json::UInt(report.journal_retries))
+                .set("panics", Json::UInt(report.panics))
+                .set("restarts", Json::UInt(report.restarts))
+                .set("quarantines", Json::UInt(report.quarantines))
+                .set(
+                    "verdict",
+                    Json::Str(if report.ok { "converged" } else { "diverged" }.into()),
+                );
+            write_report(out, &r)?;
+        }
+        return Ok(if report.ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        });
+    }
+
+    let mut svc_cfg = ServiceConfig::default();
+    svc_cfg.seed = c.seed;
+    svc_cfg.workers = c.workers.unwrap_or(0);
+    if let Some(q) = c.queue_depth {
+        svc_cfg.queue_depth = q.max(1);
+    }
+    if let Some(b) = c.batch_max {
+        svc_cfg.batch_max = b.max(1);
+    }
+    if let Some(m) = c.max_restarts {
+        svc_cfg.max_restarts = m;
+    }
+    if let Some(n) = c.compact_every {
+        svc_cfg.opts.compact_every = n;
+    }
+    let server_cfg = ServerConfig {
+        data_dir: std::path::PathBuf::from(c.data_dir.as_deref().unwrap_or(".")),
+        text: c.text_mode,
+        stall_cap_ms: 1_000,
+    };
+    std::fs::create_dir_all(&server_cfg.data_dir)
+        .map_err(|e| format!("create --data-dir {}: {e}", server_cfg.data_dir.display()))?;
+    let svc = Service::new(svc_cfg);
+    let workers = svc.workers();
+    eprintln!(
+        "serving ({} workers, data dir {})",
+        workers,
+        server_cfg.data_dir.display()
+    );
+    let served = match &c.socket {
+        Some(path) => serve_unix(std::path::Path::new(path), svc, &server_cfg),
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_once(stdin.lock(), stdout.lock(), svc, &server_cfg)
+        }
+    }
+    .map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "served {} frames, {} responses, {} tenants; {}",
+        served.frames,
+        served.responses,
+        served.tenants.len(),
+        if served.quit { "quit" } else { "eof" }
+    );
+    for (name, status) in &served.tenants {
+        eprintln!(
+            "  {name}: state={} restarts={} digest={}",
+            status.state.as_str(),
+            status.restarts,
+            status
+                .digest
+                .map(|d| format!("{d:08x}"))
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+    if let Some(out) = &c.report {
+        let mut r = RunReport::new("hetfeas", "serve");
+        r.set("mode", Json::Str("stream".into()))
+            .set("workers", Json::UInt(workers as u64))
+            .set("frames", Json::UInt(served.frames))
+            .set("responses", Json::UInt(served.responses))
+            .set("tenants", Json::UInt(served.tenants.len() as u64))
+            .set(
+                "quarantined",
+                Json::UInt(
+                    served
+                        .tenants
+                        .iter()
+                        .filter(|(_, s)| s.state.as_str() == "quarantined")
+                        .count() as u64,
+                ),
+            )
+            .set("quit", Json::Bool(served.quit))
+            .set("verdict", Json::Str("served".into()));
+        write_report(out, &r)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 const USAGE: &str =
-    "usage: hetfeas <check|alpha|oracles|simulate|generate|faults|ops|recover> [ARGS]
+    "usage: hetfeas <check|alpha|oracles|simulate|generate|faults|ops|recover|serve> [ARGS]
   check    SYSTEM [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [--exact] [--workers N]
            [--report FILE] [-v]
   alpha    SYSTEM [--policy …] [--report FILE]
@@ -1327,6 +1546,12 @@ const USAGE: &str =
            [--alpha X] [--workers N] [--report FILE] [-v]
            [--journal FILE [--compact-every N]]  write-ahead journal (single instance)
   recover  JOURNAL [--report FILE] [-v]   rebuild engine state from a journal
+  serve    [--data-dir DIR] [--socket PATH] [--text] [--workers N] [--seed N]
+           [--queue-depth N] [--batch-max N] [--max-restarts N] [--compact-every N]
+           [--report FILE]   supervised multi-tenant admission service (stdin frames
+           or Unix socket); tenant crashes are bulkheaded, never fatal
+  serve --chaos [--tenants N] [--ops N] [--machines M] [--seed N] [--workers N]
+           [--report FILE]   seeded fault storm; exit 0 iff every tenant converged
   --budget-ms N bounds the run by wall clock; exit 3 = undecided within budget
   --exact (check) runs exact branch-and-bound with graceful degradation to first-fit /
            utilization bound; --workers N parallelizes the search (same verdict for every N)
@@ -1354,6 +1579,7 @@ fn main() -> ExitCode {
         "faults" => cmd_faults(&common),
         "ops" => cmd_ops(&common),
         "recover" => cmd_recover(&common),
+        "serve" => cmd_serve(&common),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
     match result {

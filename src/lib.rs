@@ -22,7 +22,7 @@
 //!
 //! See the crate-level docs of the member crates for details:
 //! [`model`], [`analysis`], [`partition`], [`lp`], [`sim`], [`workload`],
-//! [`par`], [`obs`], [`robust`], [`experiments`].
+//! [`par`], [`obs`], [`robust`], [`experiments`], [`service`].
 
 pub use hetfeas_analysis as analysis;
 pub use hetfeas_experiments as experiments;
@@ -32,5 +32,6 @@ pub use hetfeas_obs as obs;
 pub use hetfeas_par as par;
 pub use hetfeas_partition as partition;
 pub use hetfeas_robust as robust;
+pub use hetfeas_service as service;
 pub use hetfeas_sim as sim;
 pub use hetfeas_workload as workload;
