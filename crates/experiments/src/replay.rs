@@ -24,14 +24,16 @@
 //! repack bounds, and `tests/prop_incremental.rs` pins the equivalence
 //! after a repack.
 
-use hetfeas_model::{Augmentation, OpTrace, Task, TraceInstance, TraceOp};
+use hetfeas_model::{
+    Augmentation, OpStream, OpTrace, Platform, Task, TraceEvent, TraceInstance, TraceOp,
+};
 use hetfeas_obs::MetricsSink;
 use hetfeas_par::{par_map_with, Progress};
 use hetfeas_partition::{
-    AddOutcome, DurableEngine, DurableError, DurableOptions, FirstFitEngine, IncrSnapshot,
-    IncrementalEngine, IndexableAdmission, Outcome, RepackOutcome, TaskId,
+    live_state_digest, AddOutcome, DurableEngine, DurableError, DurableOptions, FirstFitEngine,
+    IncrSnapshot, IncrementalEngine, IndexableAdmission, Outcome, RepackOutcome, TaskId,
 };
-use hetfeas_robust::journal::Storage;
+use hetfeas_robust::journal::{crc32, Storage};
 use hetfeas_robust::{Budget, Exhaustion, Gas};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -147,6 +149,136 @@ impl std::fmt::Display for ReplayError {
     }
 }
 
+/// The shared per-instance replay core: an [`IncrementalEngine`], the
+/// trace-id → engine-id map, the single snapshot slot, and the protocol
+/// stats. Both the materialized replays and the streaming binary replay
+/// ([`replay_stream`]) drive every op through [`Self::apply`], which is
+/// what makes their final digests structurally comparable — there is one
+/// protocol implementation, not two.
+pub struct InstanceReplayer<A: IndexableAdmission> {
+    eng: IncrementalEngine<A>,
+    ids: HashMap<u64, TaskId>,
+    snap: Option<(IncrSnapshot<A>, HashMap<u64, TaskId>)>,
+    stats: ReplayStats,
+    op_index: usize,
+}
+
+impl<A: IndexableAdmission> InstanceReplayer<A> {
+    /// Fresh replayer over `platform`.
+    pub fn new(admission: A, platform: &Platform, alpha: Augmentation) -> Self {
+        InstanceReplayer {
+            eng: IncrementalEngine::new(admission, platform, alpha),
+            ids: HashMap::new(),
+            snap: None,
+            stats: ReplayStats::default(),
+            op_index: 0,
+        }
+    }
+
+    /// Apply the next operation of the stream.
+    pub fn apply<S: MetricsSink>(
+        &mut self,
+        op: &TraceOp,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<(), ReplayError> {
+        let op_index = self.op_index;
+        self.op_index += 1;
+        self.stats.ops += 1;
+        let exhausted = |cause| ReplayError::Exhausted { op_index, cause };
+        match *op {
+            TraceOp::Add { id, task } => {
+                if let Some(tid) = self.ids.get(&id) {
+                    if self.eng.contains(*tid) {
+                        return Err(ReplayError::Trace {
+                            op_index,
+                            message: format!("add reuses live id {id}"),
+                        });
+                    }
+                }
+                match self
+                    .eng
+                    .add_within_with(task, gas, sink)
+                    .map_err(exhausted)?
+                {
+                    AddOutcome::Admitted { id: tid, .. } => {
+                        self.ids.insert(id, tid);
+                        self.stats.admitted += 1;
+                    }
+                    AddOutcome::Rejected => self.stats.rejected += 1,
+                }
+            }
+            TraceOp::Remove { id } => {
+                let live = self.ids.get(&id).copied();
+                match live {
+                    Some(tid) => match self
+                        .eng
+                        .remove_within_with(tid, gas, sink)
+                        .map_err(exhausted)?
+                    {
+                        Some(_) => {
+                            self.ids.remove(&id);
+                            self.stats.removed += 1;
+                        }
+                        None => self.stats.remove_misses += 1,
+                    },
+                    None => {
+                        gas.tick().map_err(exhausted)?;
+                        self.stats.remove_misses += 1;
+                    }
+                }
+            }
+            TraceOp::Query { id } => {
+                gas.tick().map_err(exhausted)?;
+                let hit = self.ids.get(&id).and_then(|tid| self.eng.machine_of(*tid));
+                if hit.is_some() {
+                    self.stats.query_hits += 1;
+                } else {
+                    self.stats.query_misses += 1;
+                }
+            }
+            TraceOp::Snapshot => {
+                gas.tick_n(self.eng.len() as u64 + 1).map_err(exhausted)?;
+                self.snap = Some((self.eng.snapshot_with(sink), self.ids.clone()));
+                self.stats.snapshots += 1;
+            }
+            TraceOp::Rollback => {
+                gas.tick_n(self.eng.len() as u64 + 1).map_err(exhausted)?;
+                let Some((s, m)) = self.snap.as_ref() else {
+                    // The text parser and OpStream both reject this
+                    // structurally; keep the direct API honest anyway.
+                    return Err(ReplayError::Trace {
+                        op_index,
+                        message: "rollback before any snapshot".to_string(),
+                    });
+                };
+                self.eng.rollback_with(s, sink);
+                self.ids = m.clone();
+                self.stats.rollbacks += 1;
+            }
+            TraceOp::Repack => match self.eng.repack_within_with(gas, sink).map_err(exhausted)? {
+                RepackOutcome::Repacked => self.stats.repacks += 1,
+                RepackOutcome::Infeasible => self.stats.repacks_infeasible += 1,
+            },
+        }
+        Ok(())
+    }
+
+    /// CRC32 digest of the current engine state plus the held snapshot —
+    /// the same bytes [`DurableEngine::state_digest`] hashes, so a
+    /// journal-free replay can be compared against a durable run.
+    pub fn digest(&self) -> u32 {
+        live_state_digest(&self.eng, self.snap.as_ref().map(|(s, _)| s))
+    }
+
+    /// Close the instance: fill `final_live` and return stats + digest.
+    pub fn finish(mut self) -> (ReplayStats, u32) {
+        self.stats.final_live = self.eng.len() as u64;
+        let digest = self.digest();
+        (self.stats, digest)
+    }
+}
+
 /// Replay one instance on the [`IncrementalEngine`].
 fn replay_incremental<A, S>(
     admission: A,
@@ -159,76 +291,28 @@ where
     A: IndexableAdmission,
     S: MetricsSink,
 {
-    let mut eng = IncrementalEngine::new(admission, &inst.platform, alpha);
-    let mut ids: HashMap<u64, TaskId> = HashMap::new();
-    let mut snap: Option<(IncrSnapshot<A>, HashMap<u64, TaskId>)> = None;
-    let mut stats = ReplayStats::default();
-    for (op_index, op) in inst.ops.iter().enumerate() {
-        stats.ops += 1;
-        let exhausted = |cause| ReplayError::Exhausted { op_index, cause };
-        match *op {
-            TraceOp::Add { id, task } => {
-                if let Some(tid) = ids.get(&id) {
-                    if eng.contains(*tid) {
-                        return Err(ReplayError::Trace {
-                            op_index,
-                            message: format!("add reuses live id {id}"),
-                        });
-                    }
-                }
-                match eng.add_within_with(task, gas, sink).map_err(exhausted)? {
-                    AddOutcome::Admitted { id: tid, .. } => {
-                        ids.insert(id, tid);
-                        stats.admitted += 1;
-                    }
-                    AddOutcome::Rejected => stats.rejected += 1,
-                }
-            }
-            TraceOp::Remove { id } => {
-                let live = ids.get(&id).copied();
-                match live {
-                    Some(tid) => match eng.remove_within_with(tid, gas, sink).map_err(exhausted)? {
-                        Some(_) => {
-                            ids.remove(&id);
-                            stats.removed += 1;
-                        }
-                        None => stats.remove_misses += 1,
-                    },
-                    None => {
-                        gas.tick().map_err(exhausted)?;
-                        stats.remove_misses += 1;
-                    }
-                }
-            }
-            TraceOp::Query { id } => {
-                gas.tick().map_err(exhausted)?;
-                let hit = ids.get(&id).and_then(|tid| eng.machine_of(*tid));
-                if hit.is_some() {
-                    stats.query_hits += 1;
-                } else {
-                    stats.query_misses += 1;
-                }
-            }
-            TraceOp::Snapshot => {
-                gas.tick_n(eng.len() as u64 + 1).map_err(exhausted)?;
-                snap = Some((eng.snapshot_with(sink), ids.clone()));
-                stats.snapshots += 1;
-            }
-            TraceOp::Rollback => {
-                gas.tick_n(eng.len() as u64 + 1).map_err(exhausted)?;
-                let (s, m) = snap.as_ref().expect("parser rejects early rollback");
-                eng.rollback_with(s, sink);
-                ids = m.clone();
-                stats.rollbacks += 1;
-            }
-            TraceOp::Repack => match eng.repack_within_with(gas, sink).map_err(exhausted)? {
-                RepackOutcome::Repacked => stats.repacks += 1,
-                RepackOutcome::Infeasible => stats.repacks_infeasible += 1,
-            },
-        }
+    replay_instance_digest(admission, inst, alpha, gas, sink).map(|(stats, _)| stats)
+}
+
+/// [`replay_instance`] in incremental mode, additionally returning the
+/// [`live_state_digest`] of the final state — what the streaming replay
+/// and the durable replay report, so all three paths are comparable.
+pub fn replay_instance_digest<A, S>(
+    admission: A,
+    inst: &TraceInstance,
+    alpha: Augmentation,
+    gas: &mut Gas,
+    sink: &S,
+) -> Result<(ReplayStats, u32), ReplayError>
+where
+    A: IndexableAdmission,
+    S: MetricsSink,
+{
+    let mut rep = InstanceReplayer::new(admission, &inst.platform, alpha);
+    for op in &inst.ops {
+        rep.apply(op, gas, sink)?;
     }
-    stats.final_live = eng.len() as u64;
-    Ok(stats)
+    Ok(rep.finish())
 }
 
 /// Replay one instance on a journaled [`DurableEngine`] over `store`:
@@ -275,67 +359,293 @@ where
     let mut ids_snap: Option<HashMap<u64, TaskId>> = None;
     let mut stats = ReplayStats::default();
     for (op_index, op) in inst.ops.iter().enumerate() {
-        stats.ops += 1;
-        let exhausted = |cause| ReplayError::Exhausted { op_index, cause };
-        match *op {
-            TraceOp::Add { id, task } => {
-                if let Some(tid) = ids.get(&id) {
-                    if eng.engine().contains(*tid) {
-                        return Err(ReplayError::Trace {
-                            op_index,
-                            message: format!("add reuses live id {id}"),
-                        });
-                    }
-                }
-                match eng.add(task, gas, sink).map_err(durable_err(op_index))? {
-                    AddOutcome::Admitted { id: tid, .. } => {
-                        ids.insert(id, tid);
-                        stats.admitted += 1;
-                    }
-                    AddOutcome::Rejected => stats.rejected += 1,
-                }
-            }
-            TraceOp::Remove { id } => match ids.get(&id).copied() {
-                Some(tid) => match eng.remove(tid, gas, sink).map_err(durable_err(op_index))? {
-                    Some(_) => {
-                        ids.remove(&id);
-                        stats.removed += 1;
-                    }
-                    None => stats.remove_misses += 1,
-                },
-                None => {
-                    gas.tick().map_err(exhausted)?;
-                    stats.remove_misses += 1;
-                }
-            },
-            TraceOp::Query { id } => {
-                gas.tick().map_err(exhausted)?;
-                let hit = ids.get(&id).and_then(|tid| eng.engine().machine_of(*tid));
-                if hit.is_some() {
-                    stats.query_hits += 1;
-                } else {
-                    stats.query_misses += 1;
-                }
-            }
-            TraceOp::Snapshot => {
-                eng.snapshot(gas, sink).map_err(durable_err(op_index))?;
-                ids_snap = Some(ids.clone());
-                stats.snapshots += 1;
-            }
-            TraceOp::Rollback => {
-                if eng.rollback(gas, sink).map_err(durable_err(op_index))? {
-                    ids = ids_snap.clone().expect("parser rejects early rollback");
-                }
-                stats.rollbacks += 1;
-            }
-            TraceOp::Repack => match eng.repack(gas, sink).map_err(durable_err(op_index))? {
-                RepackOutcome::Repacked => stats.repacks += 1,
-                RepackOutcome::Infeasible => stats.repacks_infeasible += 1,
-            },
-        }
+        apply_durable_op(
+            &mut eng,
+            &mut ids,
+            &mut ids_snap,
+            &mut stats,
+            op_index,
+            op,
+            gas,
+            sink,
+        )?;
     }
     stats.final_live = eng.engine().len() as u64;
     Ok((stats, eng.state_digest()))
+}
+
+/// One step of journaled replay — shared by the materialized
+/// [`replay_durable`] and the streaming [`replay_durable_stream`].
+#[allow(clippy::too_many_arguments)]
+fn apply_durable_op<A, S>(
+    eng: &mut DurableEngine<A>,
+    ids: &mut HashMap<u64, TaskId>,
+    ids_snap: &mut Option<HashMap<u64, TaskId>>,
+    stats: &mut ReplayStats,
+    op_index: usize,
+    op: &TraceOp,
+    gas: &mut Gas,
+    sink: &S,
+) -> Result<(), ReplayError>
+where
+    A: IndexableAdmission,
+    S: MetricsSink,
+{
+    let durable_err = move |e: DurableError| match e {
+        DurableError::Io(message) => ReplayError::Io { op_index, message },
+        DurableError::Exhausted(cause) => ReplayError::Exhausted { op_index, cause },
+    };
+    stats.ops += 1;
+    let exhausted = |cause| ReplayError::Exhausted { op_index, cause };
+    match *op {
+        TraceOp::Add { id, task } => {
+            if let Some(tid) = ids.get(&id) {
+                if eng.engine().contains(*tid) {
+                    return Err(ReplayError::Trace {
+                        op_index,
+                        message: format!("add reuses live id {id}"),
+                    });
+                }
+            }
+            match eng.add(task, gas, sink).map_err(durable_err)? {
+                AddOutcome::Admitted { id: tid, .. } => {
+                    ids.insert(id, tid);
+                    stats.admitted += 1;
+                }
+                AddOutcome::Rejected => stats.rejected += 1,
+            }
+        }
+        TraceOp::Remove { id } => match ids.get(&id).copied() {
+            Some(tid) => match eng.remove(tid, gas, sink).map_err(durable_err)? {
+                Some(_) => {
+                    ids.remove(&id);
+                    stats.removed += 1;
+                }
+                None => stats.remove_misses += 1,
+            },
+            None => {
+                gas.tick().map_err(exhausted)?;
+                stats.remove_misses += 1;
+            }
+        },
+        TraceOp::Query { id } => {
+            gas.tick().map_err(exhausted)?;
+            let hit = ids.get(&id).and_then(|tid| eng.engine().machine_of(*tid));
+            if hit.is_some() {
+                stats.query_hits += 1;
+            } else {
+                stats.query_misses += 1;
+            }
+        }
+        TraceOp::Snapshot => {
+            eng.snapshot(gas, sink).map_err(durable_err)?;
+            *ids_snap = Some(ids.clone());
+            stats.snapshots += 1;
+        }
+        TraceOp::Rollback => {
+            if eng.rollback(gas, sink).map_err(durable_err)? {
+                *ids = ids_snap.clone().expect("parser rejects early rollback");
+            }
+            stats.rollbacks += 1;
+        }
+        TraceOp::Repack => match eng.repack(gas, sink).map_err(durable_err)? {
+            RepackOutcome::Repacked => stats.repacks += 1,
+            RepackOutcome::Infeasible => stats.repacks_infeasible += 1,
+        },
+    }
+    Ok(())
+}
+
+/// Why a streaming replay stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The binary stream is torn, corrupt, or hit an IO error — with the
+    /// byte offset baked into the message by the decoder.
+    Decode(String),
+    /// The replay itself failed (gas, trace semantics, journal IO).
+    Replay(ReplayError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Decode(m) => write!(f, "binary trace: {m}"),
+            StreamError::Replay(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// One finished instance of a streaming replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Instance name from its begin record.
+    pub name: String,
+    /// Protocol outcome counts.
+    pub stats: ReplayStats,
+    /// [`live_state_digest`] of the final state (with held snapshot).
+    pub digest: u32,
+}
+
+/// Replay a streaming binary op trace instance by instance in bounded
+/// memory: only the live engine state and one decode frame are ever
+/// resident, never the trace. Digests are [`live_state_digest`]s, so a
+/// materialized [`replay_instance_digest`] run over the same trace (text
+/// or binary) lands on identical values — `tests/prop_stream.rs` pins
+/// that on every prefix.
+pub fn replay_stream<A, S, R>(
+    stream: &mut OpStream<R>,
+    admission: A,
+    alpha: Augmentation,
+    gas: &mut Gas,
+    sink: &S,
+) -> Result<Vec<StreamSummary>, StreamError>
+where
+    A: IndexableAdmission + Clone,
+    S: MetricsSink,
+    R: std::io::Read,
+{
+    let mut out = Vec::new();
+    let mut current: Option<(String, InstanceReplayer<A>)> = None;
+    while let Some(ev) = stream
+        .next_event()
+        .map_err(|e| StreamError::Decode(e.to_string()))?
+    {
+        match ev {
+            TraceEvent::Begin { name, platform } => {
+                current = Some((
+                    name,
+                    InstanceReplayer::new(admission.clone(), &platform, alpha),
+                ));
+            }
+            TraceEvent::Op(op) => {
+                let (_, rep) = current
+                    .as_mut()
+                    .expect("OpStream yields ops only inside an instance");
+                rep.apply(&op, gas, sink).map_err(StreamError::Replay)?;
+            }
+            TraceEvent::End => {
+                let (name, rep) = current
+                    .take()
+                    .expect("OpStream yields End only inside an instance");
+                let (stats, digest) = rep.finish();
+                out.push(StreamSummary {
+                    name,
+                    stats,
+                    digest,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Journaled streaming replay: [`replay_durable`] fed from a binary
+/// [`OpStream`] instead of a materialized instance. The stream must hold
+/// exactly **one** instance — a journal describes a single engine.
+/// Returns the instance name with the stats and final
+/// [`DurableEngine::state_digest`].
+#[allow(clippy::too_many_arguments)]
+pub fn replay_durable_stream<A, S, R>(
+    stream: &mut OpStream<R>,
+    admission: A,
+    alpha: Augmentation,
+    policy_key: &str,
+    opts: DurableOptions,
+    store: Box<dyn Storage>,
+    gas: &mut Gas,
+    sink: &S,
+) -> Result<(String, ReplayStats, u32), StreamError>
+where
+    A: IndexableAdmission,
+    S: MetricsSink,
+    R: std::io::Read,
+{
+    let decode = |e: hetfeas_model::BinTraceError| StreamError::Decode(e.to_string());
+    let mut store = Some(store);
+    let mut admission = Some(admission);
+    let mut current: Option<(String, DurableEngine<A>)> = None;
+    let mut ids: HashMap<u64, TaskId> = HashMap::new();
+    let mut ids_snap: Option<HashMap<u64, TaskId>> = None;
+    let mut stats = ReplayStats::default();
+    let mut op_index = 0usize;
+    let mut finished: Option<(String, ReplayStats, u32)> = None;
+    while let Some(ev) = stream.next_event().map_err(decode)? {
+        match ev {
+            TraceEvent::Begin { name, platform } => {
+                if current.is_some() || finished.is_some() {
+                    return Err(StreamError::Replay(ReplayError::Trace {
+                        op_index,
+                        message: "journaled replay needs a single-instance trace".to_string(),
+                    }));
+                }
+                let eng = DurableEngine::create(
+                    admission.take().expect("single instance"),
+                    &platform,
+                    alpha,
+                    policy_key,
+                    opts,
+                    store.take().expect("single instance"),
+                    gas,
+                    sink,
+                )
+                .map_err(|e| match e {
+                    DurableError::Io(message) => StreamError::Replay(ReplayError::Io {
+                        op_index: 0,
+                        message,
+                    }),
+                    DurableError::Exhausted(cause) => {
+                        StreamError::Replay(ReplayError::Exhausted { op_index: 0, cause })
+                    }
+                })?;
+                current = Some((name, eng));
+            }
+            TraceEvent::Op(op) => {
+                let (_, eng) = current
+                    .as_mut()
+                    .expect("OpStream yields ops only inside an instance");
+                apply_durable_op(
+                    eng,
+                    &mut ids,
+                    &mut ids_snap,
+                    &mut stats,
+                    op_index,
+                    &op,
+                    gas,
+                    sink,
+                )
+                .map_err(StreamError::Replay)?;
+                op_index += 1;
+            }
+            TraceEvent::End => {
+                let (name, eng) = current
+                    .take()
+                    .expect("OpStream yields End only inside an instance");
+                stats.final_live = eng.engine().len() as u64;
+                finished = Some((name, stats, eng.state_digest()));
+                stats = ReplayStats::default();
+            }
+        }
+    }
+    finished.ok_or_else(|| {
+        StreamError::Replay(ReplayError::Trace {
+            op_index: 0,
+            message: "trace holds no instance".to_string(),
+        })
+    })
+}
+
+/// Fold per-instance digests into one order-sensitive trace digest (the
+/// CRC32 of the concatenated little-endian digests), so a streaming run
+/// and a materialized run over a multi-instance trace compare with a
+/// single number.
+pub fn combine_digests<I: IntoIterator<Item = u32>>(digests: I) -> u32 {
+    let mut buf = Vec::new();
+    for d in digests {
+        buf.extend_from_slice(&d.to_le_bytes());
+    }
+    crc32(&buf)
 }
 
 /// From-scratch baseline state: the live set plus a per-trace-id placement
@@ -699,6 +1009,97 @@ end
                 .expect("recovers");
         assert_eq!(report.truncated_records, 0);
         assert_eq!(rec.state_digest(), digest, "recovery is bit-exact");
+    }
+
+    #[test]
+    fn streaming_replay_matches_materialized_digests() {
+        use hetfeas_model::write_op_trace_bin;
+
+        let trace = parse_op_trace(TRACE).expect("parses");
+        let mut bin = Vec::new();
+        write_op_trace_bin(&trace, &mut bin).expect("encodes");
+
+        let mut stream = OpStream::new(&bin[..]).expect("valid header");
+        let mut gas = Gas::unlimited();
+        let summaries = replay_stream(&mut stream, EdfAdmission, Augmentation::NONE, &mut gas, &())
+            .expect("streams");
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].name, "churn");
+
+        let (stats, digest) = replay_instance_digest(
+            EdfAdmission,
+            &trace.instances[0],
+            Augmentation::NONE,
+            &mut gas,
+            &(),
+        )
+        .expect("materialized replay completes");
+        assert_eq!(summaries[0].stats, stats);
+        assert_eq!(summaries[0].digest, digest);
+        assert_eq!(
+            combine_digests(summaries.iter().map(|s| s.digest)),
+            combine_digests([digest])
+        );
+    }
+
+    #[test]
+    fn durable_stream_matches_durable_materialized() {
+        use hetfeas_model::{write_op_trace_bin, OpStream};
+        use hetfeas_robust::journal::MemStorage;
+
+        let trace = parse_op_trace(TRACE).expect("parses");
+        let mut bin = Vec::new();
+        write_op_trace_bin(&trace, &mut bin).expect("encodes");
+
+        let mut gas = Gas::unlimited();
+        let (mat_stats, mat_digest) = replay_durable(
+            EdfAdmission,
+            &trace.instances[0],
+            Augmentation::NONE,
+            "edf",
+            DurableOptions::default(),
+            Box::new(MemStorage::new()),
+            &mut gas,
+            &(),
+        )
+        .expect("materialized durable replay");
+
+        let store = MemStorage::new();
+        let mut stream = OpStream::new(&bin[..]).expect("valid header");
+        let (name, stats, digest) = replay_durable_stream(
+            &mut stream,
+            EdfAdmission,
+            Augmentation::NONE,
+            "edf",
+            DurableOptions::default(),
+            Box::new(store.clone()),
+            &mut gas,
+            &(),
+        )
+        .expect("streamed durable replay");
+        assert_eq!(name, "churn");
+        assert_eq!(stats, mat_stats);
+        assert_eq!(digest, mat_digest);
+
+        let (rec, _) =
+            hetfeas_partition::recover(EdfAdmission, Box::new(store), "edf", &mut gas, &())
+                .expect("recovers");
+        assert_eq!(rec.state_digest(), digest);
+    }
+
+    #[test]
+    fn corrupt_stream_is_a_decode_error() {
+        use hetfeas_model::write_op_trace_bin;
+
+        let trace = parse_op_trace(TRACE).expect("parses");
+        let mut bin = Vec::new();
+        write_op_trace_bin(&trace, &mut bin).expect("encodes");
+        let cut = bin.len() - 3;
+        let mut stream = OpStream::new(&bin[..cut]).expect("valid header");
+        let mut gas = Gas::unlimited();
+        let err = replay_stream(&mut stream, EdfAdmission, Augmentation::NONE, &mut gas, &())
+            .expect_err("torn tail must error");
+        assert!(matches!(err, StreamError::Decode(_)), "{err:?}");
     }
 
     #[test]

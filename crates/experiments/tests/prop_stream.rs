@@ -1,0 +1,170 @@
+//! Streaming-vs-materialized replay equivalence (dependency-free, no
+//! proptest): the pull-based binary replay path must land on *exactly*
+//! the digests and stats of the materialized text-trace path — on every
+//! prefix of the op sequence, on multi-instance traces, and through the
+//! durable journaled path with incremental compaction slices in flight.
+
+use hetfeas_experiments::{
+    combine_digests, replay_durable, replay_durable_stream, replay_instance_digest, replay_stream,
+};
+use hetfeas_model::{write_op_trace_bin, Augmentation, OpStream, OpTrace, TraceInstance};
+use hetfeas_partition::{DurableOptions, EdfAdmission, RmsLlAdmission};
+use hetfeas_robust::journal::MemStorage;
+use hetfeas_robust::{FaultPlan, Gas};
+use hetfeas_workload::{synth_platform, SynthSpec, TraceSynth};
+
+/// A small but op-diverse synth spec: snapshots, rollbacks and repacks
+/// all fire within a few hundred ops.
+fn spec(seed: u64, ops: u64) -> SynthSpec {
+    SynthSpec {
+        seed,
+        ops_per_instance: ops,
+        instances: 1,
+        machines: 4,
+        max_live: 64,
+        snapshot_every_ops: 60,
+        rollback_per_mille: 40,
+        repack_every_ops: 150,
+        ..SynthSpec::default()
+    }
+}
+
+fn materialize(spec: &SynthSpec, instance: usize) -> TraceInstance {
+    let platform = synth_platform(spec, instance);
+    let mut synth = TraceSynth::new(spec, instance);
+    let mut ops = Vec::new();
+    while let Some(op) = synth.next_op() {
+        ops.push(op);
+    }
+    TraceInstance {
+        name: format!("synth-{instance}"),
+        platform,
+        ops,
+    }
+}
+
+fn stream_one(trace: &OpTrace) -> Vec<(String, u32)> {
+    let bytes = write_op_trace_bin(trace, Vec::new()).expect("encode");
+    let mut stream = OpStream::new(&bytes[..]).expect("header");
+    let summaries = replay_stream(
+        &mut stream,
+        EdfAdmission,
+        Augmentation::NONE,
+        &mut Gas::unlimited(),
+        &(),
+    )
+    .expect("stream replays");
+    summaries.into_iter().map(|s| (s.name, s.digest)).collect()
+}
+
+/// Every prefix of the op sequence digests identically whether the trace
+/// is materialized in memory or pulled from the binary stream.
+#[test]
+fn every_prefix_digests_identically() {
+    let full = materialize(&spec(11, 240), 0);
+    for cut in 0..=full.ops.len() {
+        let inst = TraceInstance {
+            name: full.name.clone(),
+            platform: full.platform.clone(),
+            ops: full.ops[..cut].to_vec(),
+        };
+        let (stats, want) = replay_instance_digest(
+            EdfAdmission,
+            &inst,
+            Augmentation::NONE,
+            &mut Gas::unlimited(),
+            &(),
+        )
+        .expect("materialized replays");
+        let trace = OpTrace {
+            instances: vec![inst],
+        };
+        let got = stream_one(&trace);
+        assert_eq!(got.len(), 1, "prefix {cut}");
+        assert_eq!(got[0].1, want, "prefix {cut}: digest diverged");
+        assert_eq!(stats.ops, cut as u64, "prefix {cut}: op count");
+    }
+}
+
+/// Multi-instance traces: per-instance digests match the materialized
+/// replay instance by instance, and the combined digest is a pure
+/// function of them.
+#[test]
+fn multi_instance_stream_matches_materialized() {
+    let mut s = spec(23, 180);
+    s.instances = 4;
+    // Mix in adversarial arrivals drawn from the fault corpus so the
+    // equivalence also holds on huge-period / degenerate tasks.
+    s.adversarial_per_mille = 80;
+    for case in FaultPlan::new(23).cases() {
+        s.adversarial.extend_from_slice(case.tasks.as_slice());
+    }
+    let instances: Vec<TraceInstance> = (0..s.instances).map(|i| materialize(&s, i)).collect();
+    let mut want = Vec::new();
+    for inst in &instances {
+        let (_, d) = replay_instance_digest(
+            EdfAdmission,
+            inst,
+            Augmentation::NONE,
+            &mut Gas::unlimited(),
+            &(),
+        )
+        .expect("materialized replays");
+        want.push((inst.name.clone(), d));
+    }
+    let trace = OpTrace { instances };
+    let got = stream_one(&trace);
+    assert_eq!(got, want);
+    assert_eq!(
+        combine_digests(got.iter().map(|(_, d)| *d)),
+        combine_digests(want.iter().map(|(_, d)| *d))
+    );
+}
+
+/// The journaled paths agree too, with incremental compaction slices
+/// interleaving mid-replay: tiny `slice_bytes` forces many partial
+/// slices, and the final digest still matches the materialized durable
+/// replay byte for byte.
+#[test]
+fn durable_stream_matches_durable_replay_under_sliced_compaction() {
+    let s = spec(37, 200);
+    let inst = materialize(&s, 0);
+    let opts = DurableOptions {
+        compact_every: 16,
+        slice_bytes: 96,
+        ..DurableOptions::default()
+    };
+    let (want_stats, want_digest) = replay_durable(
+        RmsLlAdmission,
+        &inst,
+        Augmentation::NONE,
+        "rms-ll",
+        opts,
+        Box::new(MemStorage::new()),
+        &mut Gas::unlimited(),
+        &(),
+    )
+    .expect("materialized durable replays");
+
+    let trace = OpTrace {
+        instances: vec![inst],
+    };
+    let bytes = write_op_trace_bin(&trace, Vec::new()).expect("encode");
+    let mut stream = OpStream::new(&bytes[..]).expect("header");
+    let (name, got_stats, got_digest) = replay_durable_stream(
+        &mut stream,
+        RmsLlAdmission,
+        Augmentation::NONE,
+        "rms-ll",
+        opts,
+        Box::new(MemStorage::new()),
+        &mut Gas::unlimited(),
+        &(),
+    )
+    .expect("streamed durable replays");
+    assert_eq!(name, "synth-0");
+    assert_eq!(got_digest, want_digest);
+    assert_eq!(got_stats.ops, want_stats.ops);
+    assert_eq!(got_stats.admitted, want_stats.admitted);
+    assert_eq!(got_stats.rollbacks, want_stats.rollbacks);
+}

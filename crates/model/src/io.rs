@@ -17,6 +17,8 @@
 //! snapshot/rollback/repack operations over independent instances — see
 //! [`parse_op_trace`].
 
+pub mod bin;
+
 use crate::error::ModelError;
 use crate::machine::{Machine, Platform};
 use crate::ratio::Ratio;

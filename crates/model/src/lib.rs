@@ -35,6 +35,10 @@ mod taskset;
 pub mod time;
 
 pub use error::ModelError;
+pub use io::bin::{
+    is_binary_trace, read_op_trace_bin, write_op_trace_bin, BinTraceError, OpStream, TraceEvent,
+    TraceWriter,
+};
 pub use io::{
     parse_op_trace, parse_system, render_op_trace, render_system, OpTrace, ParseError, System,
     TraceInstance, TraceOp,

@@ -1,0 +1,229 @@
+//! Property suite for the HBT1 binary op-trace format (dependency-free,
+//! no proptest): seeded random traces round-trip text ↔ binary exactly,
+//! and damaged streams — torn tails at every byte offset, single-byte
+//! flips — surface as [`hetfeas_model::BinTraceError`] values, never
+//! panics and never a silently shortened instance.
+
+use hetfeas_model::{
+    is_binary_trace, parse_op_trace, read_op_trace_bin, render_op_trace, write_op_trace_bin,
+    Machine, OpStream, OpTrace, Platform, Ratio, Task, TraceEvent, TraceInstance, TraceOp,
+};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn draw(state: &mut u64, n: u64) -> u64 {
+    splitmix64(state) % n.max(1)
+}
+
+fn random_platform(rng: &mut u64) -> Platform {
+    let m = 1 + draw(rng, 4) as usize;
+    let machines = (0..m)
+        .map(|_| {
+            // Mix integer and rational speeds so varint + ratio encoding
+            // both get exercised.
+            let num = 1 + draw(rng, 8) as i128;
+            let den = 1 + draw(rng, 3) as i128;
+            Machine::new(Ratio::new(num, den)).expect("positive speed")
+        })
+        .collect();
+    Platform::new(machines).expect("non-empty platform")
+}
+
+fn random_task(rng: &mut u64) -> Task {
+    let period = 2 + draw(rng, 1000);
+    let wcet = 1 + draw(rng, period);
+    if draw(rng, 3) == 0 {
+        let deadline = (wcet + draw(rng, period)).clamp(1, period);
+        Task::constrained(wcet, period, deadline.max(wcet)).expect("valid task")
+    } else {
+        Task::implicit(wcet, period).expect("valid task")
+    }
+}
+
+/// A random but structurally valid trace: adds before their removes and
+/// queries, rollbacks only after a snapshot.
+fn random_trace(seed: u64) -> OpTrace {
+    let mut rng = seed;
+    let n_inst = 1 + draw(&mut rng, 3) as usize;
+    let mut instances = Vec::with_capacity(n_inst);
+    for i in 0..n_inst {
+        let platform = random_platform(&mut rng);
+        let n_ops = draw(&mut rng, 40) as usize;
+        let mut ops = Vec::with_capacity(n_ops);
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_id = 1u64;
+        let mut snapped = false;
+        for _ in 0..n_ops {
+            match draw(&mut rng, 10) {
+                0..=3 => {
+                    ops.push(TraceOp::Add {
+                        id: next_id,
+                        task: random_task(&mut rng),
+                    });
+                    live.push(next_id);
+                    next_id += 1;
+                }
+                4 | 5 if !live.is_empty() => {
+                    let at = draw(&mut rng, live.len() as u64) as usize;
+                    ops.push(TraceOp::Remove {
+                        id: live.swap_remove(at),
+                    });
+                }
+                6 if !live.is_empty() => {
+                    let at = draw(&mut rng, live.len() as u64) as usize;
+                    ops.push(TraceOp::Query { id: live[at] });
+                }
+                7 => {
+                    ops.push(TraceOp::Snapshot);
+                    snapped = true;
+                }
+                8 if snapped => ops.push(TraceOp::Rollback),
+                _ => ops.push(TraceOp::Repack),
+            }
+        }
+        instances.push(TraceInstance {
+            name: format!("fuzz-{i}"),
+            platform,
+            ops,
+        });
+    }
+    OpTrace { instances }
+}
+
+#[test]
+fn random_traces_roundtrip_text_and_binary() {
+    for seed in 0..60u64 {
+        let trace = random_trace(seed);
+        let text = render_op_trace(&trace);
+        let reparsed = parse_op_trace(&text).expect("rendered trace parses");
+        assert_eq!(reparsed, trace, "seed {seed}: text round trip");
+
+        let bytes = write_op_trace_bin(&trace, Vec::new()).expect("encode");
+        assert!(is_binary_trace(&bytes), "seed {seed}: magic");
+        let back = read_op_trace_bin(&bytes[..]).expect("decode");
+        assert_eq!(back, trace, "seed {seed}: binary round trip");
+
+        // And the composition: binary → text → binary is byte-identical.
+        let text2 = render_op_trace(&back);
+        let trace2 = parse_op_trace(&text2).expect("reparse");
+        let bytes2 = write_op_trace_bin(&trace2, Vec::new()).expect("re-encode");
+        assert_eq!(bytes2, bytes, "seed {seed}: bytes stable across formats");
+    }
+}
+
+/// Truncating a binary trace at any byte offset must either decode to an
+/// exact prefix of the original instances or error — never panic, never
+/// invent or shorten an instance silently.
+#[test]
+fn torn_tails_are_prefixes_or_errors() {
+    for seed in [3u64, 17, 40] {
+        let trace = random_trace(seed);
+        let bytes = write_op_trace_bin(&trace, Vec::new()).expect("encode");
+        for cut in 0..bytes.len() {
+            match read_op_trace_bin(&bytes[..cut]) {
+                Ok(prefix) => {
+                    assert!(
+                        prefix.instances.len() <= trace.instances.len(),
+                        "seed {seed} cut {cut}: more instances than written"
+                    );
+                    assert_eq!(
+                        prefix.instances[..],
+                        trace.instances[..prefix.instances.len()],
+                        "seed {seed} cut {cut}: not a prefix"
+                    );
+                }
+                Err(e) => {
+                    // Errors must render (offset diagnostics) without
+                    // panicking.
+                    let _ = e.to_string();
+                }
+            }
+        }
+    }
+}
+
+/// A truncated stream mid-instance is an error, not a clean EOF: the
+/// reader refuses to hand back a half-replayed instance.
+#[test]
+fn truncation_inside_an_instance_is_an_error() {
+    let trace = random_trace(9);
+    assert!(!trace.instances[0].ops.is_empty() || trace.instances.len() > 1);
+    let bytes = write_op_trace_bin(&trace, Vec::new()).expect("encode");
+    // Cut strictly inside the first frame's payload.
+    let cut = bytes.len() - 1;
+    let mut stream = OpStream::new(&bytes[..cut]).expect("header intact");
+    let mut saw_err = false;
+    loop {
+        match stream.next_event() {
+            Ok(Some(_)) => continue,
+            Ok(None) => break,
+            Err(_) => {
+                saw_err = true;
+                break;
+            }
+        }
+    }
+    assert!(saw_err, "one-byte-short trace decoded cleanly");
+    // Poisoned after the error: no spinning on damage.
+    assert!(matches!(stream.next_event(), Ok(None)));
+}
+
+/// Flipping any single byte of a binary trace must be detected (magic,
+/// version, frame length, CRC or payload — everything is covered).
+#[test]
+fn single_byte_flips_never_decode_silently() {
+    let trace = random_trace(21);
+    let bytes = write_op_trace_bin(&trace, Vec::new()).expect("encode");
+    // Every offset in a small trace; sampled stride for big ones.
+    let stride = (bytes.len() / 512).max(1);
+    for at in (0..bytes.len()).step_by(stride) {
+        let mut dam = bytes.clone();
+        dam[at] ^= 0x40;
+        match read_op_trace_bin(&dam[..]) {
+            Err(e) => {
+                let _ = e.to_string();
+            }
+            Ok(decoded) => panic!(
+                "flip at {at} decoded {} instances without an error",
+                decoded.instances.len()
+            ),
+        }
+    }
+}
+
+/// The streaming reader yields exactly the materialized event sequence —
+/// the pull-based path and `read_op_trace_bin` agree on every record.
+#[test]
+fn stream_events_match_materialized_decode() {
+    for seed in [5u64, 28, 51] {
+        let trace = random_trace(seed);
+        let bytes = write_op_trace_bin(&trace, Vec::new()).expect("encode");
+        let mut stream = OpStream::new(&bytes[..]).expect("header");
+        for inst in &trace.instances {
+            match stream.next_event().expect("begin").expect("begin") {
+                TraceEvent::Begin { name, platform } => {
+                    assert_eq!(name, inst.name);
+                    assert_eq!(platform, inst.platform);
+                }
+                other => panic!("expected begin, got {other:?}"),
+            }
+            for op in &inst.ops {
+                assert_eq!(
+                    stream.next_event().expect("op").expect("op"),
+                    TraceEvent::Op(*op)
+                );
+            }
+            assert_eq!(
+                stream.next_event().expect("end").expect("end"),
+                TraceEvent::End
+            );
+        }
+        assert!(matches!(stream.next_event(), Ok(None)));
+    }
+}

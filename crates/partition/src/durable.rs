@@ -19,11 +19,18 @@
 //! ## Compaction
 //!
 //! Every [`DurableOptions::compact_every`] ops the journal is rewritten as
-//! `[config, state, snapstate?]` through a temp-file + atomic-rename
-//! ([`hetfeas_robust::journal::Journal::rewrite`]): a crash during
-//! compaction leaves either the full old journal or the compacted new one,
-//! never a mix. State records serialize per-machine resident lists in
-//! admission order, so re-folding them with
+//! `[config, state, snapstate?]` into a staged file that replaces the live
+//! journal with an atomic rename: a crash during compaction leaves either
+//! the full old journal or the compacted new one, never a mix. The rewrite
+//! is **incremental**: [`DurableEngine::begin_compaction`] captures the
+//! framed image, then each [`DurableEngine::compaction_slice`] copies at
+//! most [`DurableOptions::slice_bytes`] of it into the stage, so live ops
+//! keep landing (in the live journal *and* mirrored into the staged tail)
+//! between slices — compaction never stops the world. `after_op` and the
+//! public [`DurableEngine::compaction_tick`] hook each advance one slice;
+//! [`DurableEngine::compact`] loops slices to completion for callers that
+//! want the old blocking behaviour. State records serialize per-machine
+//! resident lists in admission order, so re-folding them with
 //! [`crate::engine::IndexableAdmission::fold_state`] (contractually the
 //! same left-to-right arithmetic as the admits that built the state)
 //! reproduces the identical `f64` machine states.
@@ -46,7 +53,7 @@ use crate::incremental::{
 };
 use hetfeas_model::{Augmentation, Machine, Platform, Ratio, Task};
 use hetfeas_obs::MetricsSink;
-use hetfeas_robust::journal::{crc32, scan_records, Journal, JournalError, Storage};
+use hetfeas_robust::journal::{crc32, encode_record, scan_records, Journal, JournalError, Storage};
 use hetfeas_robust::{metrics as rmetrics, Exhaustion, Gas};
 
 /// First line of every journal's config record; bumping the format bumps
@@ -61,6 +68,11 @@ pub struct DurableOptions {
     pub repack_after: u32,
     /// Journal records between snapshot compactions (`0` = never compact).
     pub compact_every: u64,
+    /// Byte budget per incremental compaction slice (`0` = copy the whole
+    /// image in one slice, i.e. the old stop-the-world behaviour). Not
+    /// persisted in the journal config: it only shapes how the writer
+    /// paces its own IO, never what the journal means.
+    pub slice_bytes: u64,
 }
 
 impl Default for DurableOptions {
@@ -68,6 +80,7 @@ impl Default for DurableOptions {
         DurableOptions {
             repack_after: RepairPolicy::default().repack_after,
             compact_every: 1024,
+            slice_bytes: 64 << 10,
         }
     }
 }
@@ -394,6 +407,32 @@ fn encode_add(task: &Task) -> Vec<u8> {
     format!("a {} {} {}", task.wcet(), task.period(), task.deadline()).into_bytes()
 }
 
+/// Progress reported by one compaction step ([`DurableEngine::compaction_slice`]
+/// / [`DurableEngine::compaction_tick`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionStep {
+    /// No compaction is in flight and none was due.
+    Idle,
+    /// A bounded slice of the staged image was copied; more remain.
+    InProgress,
+    /// The staged journal atomically replaced the live one.
+    Done {
+        /// Old journal length minus the staged replacement's (saturating).
+        reclaimed: u64,
+    },
+}
+
+/// An in-flight incremental compaction: the framed `[config, state,
+/// snapstate?]` image captured at begin, how much of it has been staged,
+/// and the ops journaled since — those must follow the image into the
+/// stage before the atomic swap, or acknowledged ops would vanish.
+struct CompactionState {
+    image: Vec<u8>,
+    off: usize,
+    tail: Vec<Vec<u8>>,
+    tail_off: usize,
+}
+
 /// A crash-safe [`IncrementalEngine`]: write-ahead journaling before every
 /// op, periodic atomic compaction, gas-budgeted IO retries.
 ///
@@ -407,6 +446,8 @@ pub struct DurableEngine<A: IndexableAdmission> {
     journal: Journal,
     config: JournalConfig,
     ops_since_compact: u64,
+    slice_bytes: u64,
+    compaction: Option<CompactionState>,
 }
 
 impl<A: IndexableAdmission> DurableEngine<A> {
@@ -445,6 +486,8 @@ impl<A: IndexableAdmission> DurableEngine<A> {
             journal,
             config,
             ops_since_compact: 0,
+            slice_bytes: opts.slice_bytes,
+            compaction: None,
         })
     }
 
@@ -470,15 +513,34 @@ impl<A: IndexableAdmission> DurableEngine<A> {
     /// bit-exact — the crash matrix and `scripts/crash_smoke.sh` compare
     /// it across processes.
     pub fn state_digest(&self) -> u32 {
-        let mut buf = encode_state("state", &self.inner.export_state());
-        if let Some(snap) = &self.snap {
-            buf.push(0);
-            buf.extend_from_slice(&encode_state(
-                "snapstate",
-                &self.inner.export_snapshot_state(snap),
-            ));
+        live_state_digest(&self.inner, self.snap.as_ref())
+    }
+
+    /// True while an incremental compaction has a staged rewrite open.
+    pub fn compaction_active(&self) -> bool {
+        self.compaction.is_some()
+    }
+
+    /// Override the per-slice byte budget (e.g. from a CLI flag) — affects
+    /// only future [`Self::compaction_slice`] calls, never journal meaning.
+    pub fn set_slice_bytes(&mut self, bytes: u64) {
+        self.slice_bytes = bytes;
+    }
+
+    /// Append `payload` to the live journal, mirroring it into the staged
+    /// compaction tail when a rewrite is in flight: the staged journal
+    /// must describe every op acknowledged after its image was captured.
+    fn log_append<S: MetricsSink>(
+        &mut self,
+        payload: &[u8],
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<(), DurableError> {
+        self.journal.append(payload, gas, sink)?;
+        if let Some(c) = &mut self.compaction {
+            c.tail.push(payload.to_vec());
         }
-        crc32(&buf)
+        Ok(())
     }
 
     /// The current assignment over live tasks (see
@@ -495,7 +557,7 @@ impl<A: IndexableAdmission> DurableEngine<A> {
         sink: &S,
     ) -> Result<AddOutcome, DurableError> {
         gas.tick().map_err(DurableError::Exhausted)?;
-        self.journal.append(&encode_add(&task), gas, sink)?;
+        self.log_append(&encode_add(&task), gas, sink)?;
         let out = self
             .inner
             .add_within_with(task, &mut Gas::unlimited(), sink)
@@ -518,8 +580,7 @@ impl<A: IndexableAdmission> DurableEngine<A> {
         };
         gas.tick_n(self.inner.residents_on(machine) as u64)
             .map_err(DurableError::Exhausted)?;
-        self.journal
-            .append(format!("r {}", id.raw()).as_bytes(), gas, sink)?;
+        self.log_append(format!("r {}", id.raw()).as_bytes(), gas, sink)?;
         let out = self
             .inner
             .remove_within_with(id, &mut Gas::unlimited(), sink)
@@ -536,7 +597,7 @@ impl<A: IndexableAdmission> DurableEngine<A> {
     ) -> Result<(), DurableError> {
         gas.tick_n(self.inner.len() as u64 + 1)
             .map_err(DurableError::Exhausted)?;
-        self.journal.append(b"s", gas, sink)?;
+        self.log_append(b"s", gas, sink)?;
         self.snap = Some(self.inner.snapshot_with(sink));
         self.after_op(gas, sink)
     }
@@ -553,7 +614,7 @@ impl<A: IndexableAdmission> DurableEngine<A> {
         }
         gas.tick_n(self.inner.len() as u64 + 1)
             .map_err(DurableError::Exhausted)?;
-        self.journal.append(b"b", gas, sink)?;
+        self.log_append(b"b", gas, sink)?;
         let snap = self.snap.as_ref().expect("checked above");
         self.inner.rollback_with(snap, sink);
         self.after_op(gas, sink)?;
@@ -572,24 +633,134 @@ impl<A: IndexableAdmission> DurableEngine<A> {
     }
 
     /// Rewrite the journal as `[config, state, snapstate?]` through an
-    /// atomic replace. Safe at any time; automatic every
-    /// [`DurableOptions::compact_every`] ops.
+    /// atomic replace, blocking until done. Safe at any time; the same
+    /// work happens incrementally every [`DurableOptions::compact_every`]
+    /// ops via [`Self::compaction_tick`].
     pub fn compact<S: MetricsSink>(&mut self, gas: &mut Gas, sink: &S) -> Result<(), DurableError> {
+        self.begin_compaction(gas, sink)?;
+        loop {
+            match self.compaction_slice(gas, sink)? {
+                CompactionStep::InProgress => {}
+                CompactionStep::Idle | CompactionStep::Done { .. } => return Ok(()),
+            }
+        }
+    }
+
+    /// Capture the compaction image and open the staged rewrite. Returns
+    /// `false` (without touching anything) when a compaction is already in
+    /// flight. Live ops may continue between the slices that follow.
+    pub fn begin_compaction<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<bool, DurableError> {
+        if self.compaction.is_some() {
+            return Ok(false);
+        }
         gas.tick_n(self.inner.len() as u64 + 1)
             .map_err(DurableError::Exhausted)?;
-        let mut records = vec![
-            encode_config(&self.config),
-            encode_state("state", &self.inner.export_state()),
-        ];
+        let mut image = encode_record(&encode_config(&self.config));
+        image.extend_from_slice(&encode_record(&encode_state(
+            "state",
+            &self.inner.export_state(),
+        )));
         if let Some(snap) = &self.snap {
-            records.push(encode_state(
+            image.extend_from_slice(&encode_record(&encode_state(
                 "snapstate",
                 &self.inner.export_snapshot_state(snap),
-            ));
+            )));
         }
-        self.journal.rewrite(&records, gas, sink)?;
-        self.ops_since_compact = 0;
-        Ok(())
+        self.journal.begin_rewrite(gas, sink)?;
+        self.compaction = Some(CompactionState {
+            image,
+            off: 0,
+            tail: Vec::new(),
+            tail_off: 0,
+        });
+        Ok(true)
+    }
+
+    /// Advance an in-flight compaction by one bounded slice: copy at most
+    /// `slice_bytes` of the captured image into the stage; once the image
+    /// is fully staged, flush the mirrored tail of ops that landed during
+    /// the slices and atomically swap the staged journal in.
+    ///
+    /// Gas exhaustion leaves the compaction state intact (resume on the
+    /// next call); a hard IO error aborts the staged rewrite — the live
+    /// journal is still complete, so nothing is lost.
+    pub fn compaction_slice<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<CompactionStep, DurableError> {
+        if self.compaction.is_none() {
+            return Ok(CompactionStep::Idle);
+        }
+        match self.compaction_slice_inner(gas, sink) {
+            Ok(step) => Ok(step),
+            Err(e @ DurableError::Exhausted(_)) => Err(e),
+            Err(e) => {
+                let _ = self.journal.abort_rewrite(&mut Gas::unlimited(), sink);
+                self.compaction = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn compaction_slice_inner<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<CompactionStep, DurableError> {
+        gas.tick().map_err(DurableError::Exhausted)?;
+        let state = self.compaction.as_mut().expect("checked by caller");
+        let budget = if self.slice_bytes == 0 {
+            state.image.len().max(1)
+        } else {
+            self.slice_bytes as usize
+        };
+        if S::ENABLED {
+            sink.counter_add(rmetrics::JOURNAL_COMPACT_SLICES, 1);
+        }
+        let end = state.image.len().min(state.off.saturating_add(budget));
+        if end > state.off {
+            self.journal
+                .rewrite_chunk(&state.image[state.off..end], gas, sink)?;
+            state.off = end;
+        }
+        if state.off < state.image.len() {
+            return Ok(CompactionStep::InProgress);
+        }
+        while state.tail_off < state.tail.len() {
+            let framed = encode_record(&state.tail[state.tail_off]);
+            self.journal.rewrite_chunk(&framed, gas, sink)?;
+            state.tail_off += 1;
+        }
+        let replayed_tail = state.tail.len() as u64;
+        let reclaimed = self.journal.commit_rewrite(gas, sink)?;
+        self.ops_since_compact = replayed_tail;
+        self.compaction = None;
+        Ok(CompactionStep::Done { reclaimed })
+    }
+
+    /// The never-stop-the-world hook: start a staged rewrite when the
+    /// compaction cadence is due, advance one slice when one is in flight,
+    /// otherwise report [`CompactionStep::Idle`]. Service shard loops and
+    /// the streaming replayer call this between batches.
+    pub fn compaction_tick<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<CompactionStep, DurableError> {
+        if self.compaction.is_none() {
+            if self.config.compact_every == 0
+                || self.ops_since_compact < self.config.compact_every
+                || !self.begin_compaction(gas, sink)?
+            {
+                return Ok(CompactionStep::Idle);
+            }
+        }
+        self.compaction_slice(gas, sink)
     }
 
     fn journaled_repack<S: MetricsSink>(
@@ -599,7 +770,7 @@ impl<A: IndexableAdmission> DurableEngine<A> {
     ) -> Result<RepackOutcome, DurableError> {
         gas.tick_n((self.inner.len() + self.inner.platform().len()) as u64 + 1)
             .map_err(DurableError::Exhausted)?;
-        self.journal.append(b"p", gas, sink)?;
+        self.log_append(b"p", gas, sink)?;
         Ok(self
             .inner
             .repack_within_with(&mut Gas::unlimited(), sink)
@@ -607,9 +778,10 @@ impl<A: IndexableAdmission> DurableEngine<A> {
     }
 
     /// Post-op housekeeping: divergence-triggered journaled repack, then
-    /// cadence-triggered compaction. Both are best-effort under gas (a
-    /// latched meter surfaces on the *next* op, mirroring the inner
-    /// engine's auto-repack contract); IO errors propagate.
+    /// one bounded compaction step (begin at the cadence, else advance an
+    /// in-flight slice). Both are best-effort under gas (a latched meter
+    /// surfaces on the *next* op, mirroring the inner engine's auto-repack
+    /// contract); IO errors propagate.
     fn after_op<S: MetricsSink>(&mut self, gas: &mut Gas, sink: &S) -> Result<(), DurableError> {
         self.ops_since_compact += 1;
         if self.config.repack_after > 0
@@ -620,13 +792,10 @@ impl<A: IndexableAdmission> DurableEngine<A> {
                 Err(e) => return Err(e),
             }
         }
-        if self.config.compact_every > 0 && self.ops_since_compact >= self.config.compact_every {
-            match self.compact(gas, sink) {
-                Ok(()) | Err(DurableError::Exhausted(_)) => {}
-                Err(e) => return Err(e),
-            }
+        match self.compaction_tick(gas, sink) {
+            Ok(_) | Err(DurableError::Exhausted(_)) => Ok(()),
+            Err(e) => Err(e),
         }
-        Ok(())
     }
 
     fn apply_record<S: MetricsSink>(
@@ -715,6 +884,25 @@ impl<A: IndexableAdmission> DurableEngine<A> {
     }
 }
 
+/// CRC32 digest of an in-memory engine plus an optional held snapshot —
+/// the exact bytes [`DurableEngine::state_digest`] hashes. Journal-free
+/// replay paths (e.g. streaming trace replay) use this to prove they
+/// reached the same state as a durable run, byte for byte.
+pub fn live_state_digest<A: IndexableAdmission>(
+    engine: &IncrementalEngine<A>,
+    snap: Option<&IncrSnapshot<A>>,
+) -> u32 {
+    let mut buf = encode_state("state", &engine.export_state());
+    if let Some(snap) = snap {
+        buf.push(0);
+        buf.extend_from_slice(&encode_state(
+            "snapstate",
+            &engine.export_snapshot_state(snap),
+        ));
+    }
+    crc32(&buf)
+}
+
 /// Read the config record of a journal without replaying it — the CLI uses
 /// this to pick the admission test before calling [`recover`].
 pub fn peek_config(store: &mut dyn Storage) -> Result<JournalConfig, RecoverError> {
@@ -767,6 +955,8 @@ where
         journal,
         config,
         ops_since_compact: 0,
+        slice_bytes: DurableOptions::default().slice_bytes,
+        compaction: None,
     };
     let mut replayed = 0u64;
     for (index, payload) in payloads.iter().enumerate().skip(1) {
@@ -806,6 +996,7 @@ mod tests {
             DurableOptions {
                 repack_after: 0,
                 compact_every: 0,
+                ..DurableOptions::default()
             },
             Box::new(store.clone()),
             &mut Gas::unlimited(),
@@ -907,6 +1098,112 @@ mod tests {
             recover(EdfAdmission, Box::new(store), "edf", &mut gas, &()).expect("recovers");
         assert_eq!(rec.state_digest(), eng.state_digest());
         assert_eq!(rec.assignment(), eng.assignment());
+    }
+
+    #[test]
+    fn sliced_compaction_interleaves_live_ops() {
+        let store = MemStorage::new();
+        let mut eng = fresh(&store);
+        let mut gas = Gas::unlimited();
+        for i in 0..24u64 {
+            eng.add(Task::implicit(1 + i % 3, 40).expect("valid"), &mut gas, &())
+                .expect("add");
+        }
+        eng.snapshot(&mut gas, &()).expect("snapshot");
+        // Tiny slices force many InProgress steps with ops in between.
+        eng.set_slice_bytes(64);
+        assert!(eng.begin_compaction(&mut gas, &()).expect("begin"));
+        assert!(eng.compaction_active());
+        // Second begin is a no-op while one is in flight.
+        assert!(!eng.begin_compaction(&mut gas, &()).expect("no-op"));
+        let mut steps = 0u32;
+        let mut landed_mid_flight = 0u32;
+        loop {
+            match eng.compaction_slice(&mut gas, &()).expect("slice") {
+                CompactionStep::InProgress => {
+                    steps += 1;
+                    // Live ops keep landing between slices.
+                    eng.add(Task::implicit(1, 50).expect("valid"), &mut gas, &())
+                        .expect("add mid-compaction");
+                    landed_mid_flight += 1;
+                }
+                // `add` drives a slice through `after_op` too, so the
+                // compaction may finish inside it — then this call is Idle.
+                CompactionStep::Done { .. } | CompactionStep::Idle => break,
+            }
+        }
+        assert!(steps > 2, "tiny slices must take several steps ({steps})");
+        assert!(landed_mid_flight > 2);
+        assert!(!eng.compaction_active());
+        // The compacted journal replays to the exact live state, including
+        // the ops that landed while slices were being copied.
+        let (rec, _) =
+            recover(EdfAdmission, Box::new(store), "edf", &mut gas, &()).expect("recovers");
+        assert_eq!(rec.state_digest(), eng.state_digest());
+        assert_eq!(rec.assignment(), eng.assignment());
+        assert_eq!(rec.has_snapshot(), eng.has_snapshot());
+    }
+
+    #[test]
+    fn compaction_tick_honours_the_cadence() {
+        let store = MemStorage::new();
+        let mut eng = DurableEngine::create(
+            EdfAdmission,
+            &platform(),
+            Augmentation::NONE,
+            "edf",
+            DurableOptions {
+                repack_after: 0,
+                compact_every: 4,
+                slice_bytes: 0,
+            },
+            Box::new(store.clone()),
+            &mut Gas::unlimited(),
+            &(),
+        )
+        .expect("create");
+        let mut gas = Gas::unlimited();
+        assert_eq!(
+            eng.compaction_tick(&mut gas, &()).expect("tick"),
+            CompactionStep::Idle,
+            "cadence not reached yet"
+        );
+        for i in 0..8u64 {
+            eng.add(Task::implicit(1 + i % 2, 30).expect("valid"), &mut gas, &())
+                .expect("add");
+        }
+        // With slice_bytes = 0 the whole image fits one slice, so after_op
+        // completed the cadence compaction inline; the journal shrank to
+        // [config, state, <ops since>].
+        assert!(!eng.compaction_active());
+        let (rec, report) =
+            recover(EdfAdmission, Box::new(store), "edf", &mut gas, &()).expect("recovers");
+        assert!(
+            report.records_replayed < 8,
+            "compaction replaced op records with a state image ({})",
+            report.records_replayed
+        );
+        assert_eq!(rec.state_digest(), eng.state_digest());
+    }
+
+    #[test]
+    fn live_state_digest_matches_engine_digest() {
+        let store = MemStorage::new();
+        let mut eng = fresh(&store);
+        let mut gas = Gas::unlimited();
+        for (w, p) in [(2u64, 9u64), (3, 11), (1, 5)] {
+            eng.add(Task::implicit(w, p).expect("valid"), &mut gas, &())
+                .expect("add");
+        }
+        assert_eq!(live_state_digest(eng.engine(), None), eng.state_digest());
+        eng.snapshot(&mut gas, &()).expect("snapshot");
+        eng.add(Task::implicit(1, 7).expect("valid"), &mut gas, &())
+            .expect("add");
+        assert_ne!(
+            live_state_digest(eng.engine(), None),
+            eng.state_digest(),
+            "digest must cover the held snapshot"
+        );
     }
 
     #[test]

@@ -89,8 +89,8 @@ pub use degrade::{
     LadderReport, LadderVerdict,
 };
 pub use durable::{
-    peek_config, recover, DurableEngine, DurableError, DurableOptions, JournalConfig, RecoverError,
-    RecoveryReport,
+    live_state_digest, peek_config, recover, CompactionStep, DurableEngine, DurableError,
+    DurableOptions, JournalConfig, RecoverError, RecoveryReport,
 };
 pub use engine::{FirstFitEngine, IndexableAdmission};
 pub use exact::{

@@ -11,8 +11,8 @@
 use hetfeas_model::{Augmentation, Platform, Task};
 use hetfeas_obs::{MemorySink, MetricsSink};
 use hetfeas_partition::{
-    recover, DurableEngine, DurableOptions, EdfAdmission, IncrementalEngine, IndexableAdmission,
-    RecoverError, RepairPolicy, RmsLlAdmission, TaskId,
+    recover, CompactionStep, DurableEngine, DurableOptions, EdfAdmission, IncrementalEngine,
+    IndexableAdmission, RecoverError, RepairPolicy, RmsLlAdmission, TaskId,
 };
 use hetfeas_robust::metrics as rmetrics;
 use hetfeas_robust::{Gas, MemStorage};
@@ -143,6 +143,7 @@ fn run_reference(sink: &MemorySink) -> Reference {
     let opts = DurableOptions {
         repack_after: 0,
         compact_every: 0,
+        ..DurableOptions::default()
     };
     let mut gas = Gas::unlimited();
     let mut eng = DurableEngine::create(
@@ -291,6 +292,7 @@ where
     let opts = DurableOptions {
         repack_after: 0,
         compact_every: 0,
+        ..DurableOptions::default()
     };
     let mut gas = Gas::unlimited();
     let mut durable = DurableEngine::create(
@@ -360,6 +362,7 @@ fn recovery_survives_explicit_compaction() {
     let opts = DurableOptions {
         repack_after: 0,
         compact_every: 0,
+        ..DurableOptions::default()
     };
     let mut gas = Gas::unlimited();
     let mut eng = DurableEngine::create(
@@ -410,6 +413,107 @@ fn recovery_survives_explicit_compaction() {
         .add(task(1, 8), &mut gas, &())
         .expect("add after recovery")
         .is_admitted());
+}
+
+/// Crash matrix through a *live* incremental compaction: with tiny
+/// `slice_bytes` the state image copies over many slices, live appends
+/// interleave between them, and a crash is simulated before and after
+/// every slice by recovering from a copy of the store's current bytes.
+/// The staged rewrite is invisible until commit and every acked op is in
+/// the live journal, so recovery must be bit-exact at every crash point
+/// — before, during and after the compaction.
+#[test]
+fn recovery_is_exact_at_every_mid_slice_crash_point() {
+    let sink = MemorySink::new();
+    let mem = MemStorage::new();
+    let opts = DurableOptions {
+        repack_after: 0,
+        compact_every: 0,
+        slice_bytes: 48,
+        ..DurableOptions::default()
+    };
+    let mut gas = Gas::unlimited();
+    let mut eng = DurableEngine::create(
+        EdfAdmission,
+        &platform(),
+        Augmentation::NONE,
+        "edf",
+        opts,
+        Box::new(mem.clone()),
+        &mut gas,
+        &sink,
+    )
+    .expect("create");
+
+    let check = |mem: &MemStorage, eng: &DurableEngine<EdfAdmission>, at: &str| {
+        let mut gas = Gas::unlimited();
+        let (rec, rep) = recover(
+            EdfAdmission,
+            Box::new(MemStorage::with_bytes(mem.bytes())),
+            "edf",
+            &mut gas,
+            &(),
+        )
+        .unwrap_or_else(|e| panic!("crash {at}: {e}"));
+        assert_eq!(rec.state_digest(), eng.state_digest(), "crash {at}");
+        assert_eq!(rec.assignment(), eng.assignment(), "crash {at}");
+        assert_eq!(rep.truncated_records, 0, "crash {at}");
+    };
+
+    // Churn so the live image is big enough to need several 48-byte
+    // slices, with a held snapshot in the compacted image.
+    let mut ids = Vec::new();
+    for i in 0..24u64 {
+        apply_durable(&mut eng, Op::Add(1, 50 + i), &mut ids, &sink);
+    }
+    for k in 0..18 {
+        apply_durable(&mut eng, Op::Remove(k), &mut ids, &sink);
+    }
+    apply_durable(&mut eng, Op::Snapshot, &mut ids, &sink);
+    let before = mem.bytes().len();
+
+    assert!(eng
+        .begin_compaction(&mut gas, &sink)
+        .expect("begin compaction"));
+    check(&mem, &eng, "right after begin");
+    let mut slices = 0u32;
+    let mut next_period = 200u64;
+    loop {
+        let step = eng.compaction_slice(&mut gas, &sink).expect("slice");
+        slices += 1;
+        assert!(slices < 10_000, "compaction never finished");
+        check(&mem, &eng, &format!("after slice {slices}"));
+        match step {
+            CompactionStep::InProgress => {
+                // A live append lands *between* slices; it must survive
+                // the eventual commit (mirrored into the staged tail) and
+                // every crash before it.
+                apply_durable(&mut eng, Op::Add(2, next_period), &mut ids, &sink);
+                next_period += 1;
+                check(&mem, &eng, &format!("after mid-compaction append {slices}"));
+            }
+            CompactionStep::Done { .. } | CompactionStep::Idle => break,
+        }
+    }
+    assert!(!eng.compaction_active(), "compaction finished");
+    assert!(
+        sink.counter(rmetrics::JOURNAL_COMPACT_SLICES) >= 3,
+        "the image actually copied over multiple slices ({} slices)",
+        sink.counter(rmetrics::JOURNAL_COMPACT_SLICES)
+    );
+    assert!(
+        mem.bytes().len() < before,
+        "compaction shrank the churned journal ({} -> {})",
+        before,
+        mem.bytes().len()
+    );
+    assert!(sink.counter(rmetrics::JOURNAL_BYTES_RECLAIMED) > 0);
+    check(&mem, &eng, "after commit");
+
+    // And the engine keeps working after the whole dance.
+    apply_durable(&mut eng, Op::Add(1, 13), &mut ids, &sink);
+    apply_durable(&mut eng, Op::Rollback, &mut ids, &sink);
+    check(&mem, &eng, "after post-compaction ops");
 }
 
 /// Differential counter conformance: the journal/recover counters say

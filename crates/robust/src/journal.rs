@@ -24,9 +24,13 @@
 //! * [`Journal::append`] writes one framed record and then issues a
 //!   durability barrier (`fsync`) — write-ahead logging appends *before*
 //!   applying, so an op acknowledged to the caller is always recoverable;
-//! * [`Journal::rewrite`] replaces the whole file through a temp-file +
-//!   atomic-rename ([`atomic_write`]) — a crash during compaction leaves
-//!   either the old journal or the new one, never a mix;
+//! * [`Journal::rewrite`] replaces the whole file through a staged
+//!   sibling + atomic rename — a crash during compaction leaves either
+//!   the old journal or the new one, never a mix. The staged machinery is
+//!   also exposed incrementally ([`Journal::begin_rewrite`] /
+//!   [`Journal::rewrite_chunk`] / [`Journal::commit_rewrite`]) so a
+//!   caller can spread the copy over bounded slices while the live
+//!   journal keeps accepting appends between them;
 //! * every IO call runs under [`with_retries`]: transient errors
 //!   (`Interrupted`/`WouldBlock`/`TimedOut`) are retried with capped
 //!   exponential backoff whose cost is charged to the caller's [`Gas`], so
@@ -160,6 +164,21 @@ pub trait Storage {
     /// Atomically replace the whole contents — after a crash at any point
     /// the file holds either the old bytes or the new bytes, never a mix.
     fn replace(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Begin staging a replacement: later [`Storage::stage_append`] calls
+    /// accumulate in a side location (a `.compact` sibling on disk) while
+    /// the main contents stay live and appendable. Restarting discards any
+    /// previous stage.
+    fn stage_start(&mut self) -> io::Result<()>;
+    /// Append bytes to the staged replacement (not the main contents).
+    fn stage_append(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Atomically swap the staged replacement over the main contents —
+    /// the same all-or-nothing guarantee as [`Storage::replace`]. A crash
+    /// before this call leaves the main contents untouched.
+    fn stage_commit(&mut self) -> io::Result<()>;
+    /// Discard the staged replacement, keeping the main contents.
+    fn stage_abort(&mut self) -> io::Result<()>;
+    /// Current size of the main contents in bytes.
+    fn len_bytes(&mut self) -> io::Result<u64>;
 }
 
 /// Write `bytes` to `path` crash-consistently: write a `.tmp` sibling,
@@ -193,6 +212,7 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
 pub struct FileStorage {
     path: PathBuf,
     file: Option<File>,
+    stage: Option<File>,
 }
 
 impl FileStorage {
@@ -201,12 +221,22 @@ impl FileStorage {
         FileStorage {
             path: path.into(),
             file: None,
+            stage: None,
         }
     }
 
     /// The backing path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Where staged replacements accumulate (`<path>.compact`). A stale
+    /// one left by a crash mid-compaction is inert: it is truncated by the
+    /// next `stage_start` and never read otherwise.
+    fn stage_path(&self) -> PathBuf {
+        let mut p = self.path.as_os_str().to_owned();
+        p.push(".compact");
+        PathBuf::from(p)
     }
 
     fn handle(&mut self) -> io::Result<&mut File> {
@@ -249,6 +279,58 @@ impl Storage for FileStorage {
         self.file = None;
         atomic_write(&self.path, bytes)
     }
+
+    fn stage_start(&mut self) -> io::Result<()> {
+        // `File::create` truncates, discarding any stale stage left by a
+        // crashed compaction.
+        self.stage = Some(File::create(self.stage_path())?);
+        Ok(())
+    }
+
+    fn stage_append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let f = self
+            .stage
+            .as_mut()
+            .ok_or_else(|| io::Error::other("stage_append without stage_start"))?;
+        f.write_all(bytes)
+    }
+
+    fn stage_commit(&mut self) -> io::Result<()> {
+        let f = self
+            .stage
+            .take()
+            .ok_or_else(|| io::Error::other("stage_commit without stage_start"))?;
+        f.sync_data()?;
+        drop(f);
+        // Close the append handle so post-commit appends reopen the new file.
+        self.file = None;
+        std::fs::rename(self.stage_path(), &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(if dir.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                dir
+            }) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn stage_abort(&mut self) -> io::Result<()> {
+        if self.stage.take().is_some() {
+            let _ = std::fs::remove_file(self.stage_path());
+        }
+        Ok(())
+    }
+
+    fn len_bytes(&mut self) -> io::Result<u64> {
+        match std::fs::metadata(&self.path) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
 }
 
 /// In-memory [`Storage`] for tests. Clones share one buffer, so a test can
@@ -257,6 +339,7 @@ impl Storage for FileStorage {
 #[derive(Clone, Default)]
 pub struct MemStorage {
     buf: Arc<Mutex<Vec<u8>>>,
+    stage: Arc<Mutex<Option<Vec<u8>>>>,
 }
 
 impl MemStorage {
@@ -269,6 +352,7 @@ impl MemStorage {
     pub fn with_bytes(bytes: Vec<u8>) -> Self {
         MemStorage {
             buf: Arc::new(Mutex::new(bytes)),
+            stage: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -311,6 +395,41 @@ impl Storage for MemStorage {
     fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
         self.set_bytes(bytes.to_vec());
         Ok(())
+    }
+
+    fn stage_start(&mut self) -> io::Result<()> {
+        *self.stage.lock().expect("mem stage lock") = Some(Vec::new());
+        Ok(())
+    }
+
+    fn stage_append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stage
+            .lock()
+            .expect("mem stage lock")
+            .as_mut()
+            .ok_or_else(|| io::Error::other("stage_append without stage_start"))?
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn stage_commit(&mut self) -> io::Result<()> {
+        let staged = self
+            .stage
+            .lock()
+            .expect("mem stage lock")
+            .take()
+            .ok_or_else(|| io::Error::other("stage_commit without stage_start"))?;
+        self.set_bytes(staged);
+        Ok(())
+    }
+
+    fn stage_abort(&mut self) -> io::Result<()> {
+        *self.stage.lock().expect("mem stage lock") = None;
+        Ok(())
+    }
+
+    fn len_bytes(&mut self) -> io::Result<u64> {
+        Ok(self.buf.lock().expect("mem storage lock").len() as u64)
     }
 }
 
@@ -467,6 +586,53 @@ impl<S: Storage> Storage for FaultFs<S> {
         self.written += bytes.len() as u64;
         Ok(())
     }
+
+    fn stage_start(&mut self) -> io::Result<()> {
+        self.alive()?;
+        self.inner.stage_start()
+    }
+
+    fn stage_append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        // Staged bytes draw on the same crash budget as live appends, so
+        // a crash matrix sweeping `crash_after_bytes` lands at every
+        // offset inside a compaction slice too. The partial write persists
+        // in the stage, which the next incarnation discards — the main
+        // contents stay intact by construction.
+        self.alive()?;
+        let budget = self.crash_budget();
+        if (bytes.len() as u64) > budget {
+            self.inner.stage_append(&bytes[..budget as usize])?;
+            self.written += budget;
+            self.crashed = true;
+            return Err(injected(io::ErrorKind::Other, "crash mid-stage-append"));
+        }
+        self.inner.stage_append(bytes)?;
+        self.written += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn stage_commit(&mut self) -> io::Result<()> {
+        self.alive()?;
+        // The commit rename is charged one budget byte: a crash exactly at
+        // the swap leaves the old contents (rename is all-or-nothing).
+        if self.crash_budget() == 0 {
+            self.crashed = true;
+            return Err(injected(io::ErrorKind::Other, "crash at stage-commit"));
+        }
+        self.inner.stage_commit()?;
+        self.written += 1;
+        Ok(())
+    }
+
+    fn stage_abort(&mut self) -> io::Result<()> {
+        self.alive()?;
+        self.inner.stage_abort()
+    }
+
+    fn len_bytes(&mut self) -> io::Result<u64> {
+        self.alive()?;
+        self.inner.len_bytes()
+    }
 }
 
 /// Why a journal operation failed.
@@ -550,6 +716,8 @@ pub struct TailReport {
 /// A write-ahead journal of CRC-framed records over a [`Storage`].
 pub struct Journal {
     store: Box<dyn Storage>,
+    /// Bytes staged by an in-progress incremental rewrite.
+    staged_bytes: u64,
 }
 
 impl Journal {
@@ -561,7 +729,10 @@ impl Journal {
         gas: &mut Gas,
         sink: &S,
     ) -> Result<Journal, JournalError> {
-        let mut journal = Journal { store };
+        let mut journal = Journal {
+            store,
+            staged_bytes: 0,
+        };
         journal.write_all_records(payloads, gas, sink)?;
         Ok(journal)
     }
@@ -593,7 +764,14 @@ impl Journal {
                 sink.counter_add(metrics::RECOVER_TRUNCATED_BYTES, scan.truncated_bytes);
             }
         }
-        Ok((Journal { store }, scan.payloads, tail))
+        Ok((
+            Journal {
+                store,
+                staged_bytes: 0,
+            },
+            scan.payloads,
+            tail,
+        ))
     }
 
     /// Append one record and make it durable (fsync). Write-ahead rule:
@@ -615,19 +793,104 @@ impl Journal {
         Ok(())
     }
 
-    /// Compaction commit: atomically replace the whole journal with the
-    /// given records (temp-file + rename underneath a [`FileStorage`]).
+    /// One-shot compaction: stage the given records and commit in a
+    /// single call. Equivalent to `begin_rewrite` + one `rewrite_chunk`
+    /// per record + `commit_rewrite` — the incremental API below is the
+    /// same machinery with the slicing exposed to the caller.
     pub fn rewrite<S: MetricsSink>(
         &mut self,
         payloads: &[Vec<u8>],
         gas: &mut Gas,
         sink: &S,
     ) -> Result<(), JournalError> {
-        self.write_all_records(payloads, gas, sink)?;
+        self.begin_rewrite(gas, sink)?;
+        let result = (|| {
+            for p in payloads {
+                self.rewrite_chunk(&encode_record(p), gas, sink)?;
+            }
+            self.commit_rewrite(gas, sink)
+        })();
+        match result {
+            Ok(_reclaimed) => Ok(()),
+            Err(e) => {
+                // Best-effort: drop the stage so the journal is reusable.
+                let _ = self.abort_rewrite(gas, sink);
+                Err(e)
+            }
+        }
+    }
+
+    /// Begin an incremental rewrite: subsequent [`Journal::rewrite_chunk`]
+    /// bytes build the replacement in a staging area while the live
+    /// journal keeps accepting [`Journal::append`]s. Restarting discards
+    /// any previous stage.
+    pub fn begin_rewrite<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<(), JournalError> {
+        with_retries(gas, sink, || self.store.stage_start())?;
+        self.staged_bytes = 0;
+        Ok(())
+    }
+
+    /// Stage one chunk of the replacement journal. `chunk` is raw
+    /// pre-framed bytes (produced by [`encode_record`]); chunks may split
+    /// records at arbitrary byte boundaries — only the concatenation has
+    /// to be a valid record stream.
+    pub fn rewrite_chunk<S: MetricsSink>(
+        &mut self,
+        chunk: &[u8],
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<(), JournalError> {
+        with_retries(gas, sink, || self.store.stage_append(chunk))?;
+        self.staged_bytes += chunk.len() as u64;
         if S::ENABLED {
-            sink.counter_add(metrics::JOURNAL_COMPACTIONS, 1);
+            sink.counter_add(metrics::JOURNAL_BYTES_WRITTEN, chunk.len() as u64);
         }
         Ok(())
+    }
+
+    /// Atomically swap the staged replacement over the live journal and
+    /// return the bytes reclaimed (old size minus staged size, 0 when the
+    /// journal grew). Counts one `journal.compactions` and the reclaimed
+    /// bytes under `journal.bytes_reclaimed`.
+    pub fn commit_rewrite<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<u64, JournalError> {
+        let old_len = with_retries(gas, sink, || self.store.len_bytes())?;
+        with_retries(gas, sink, || self.store.stage_commit())?;
+        let reclaimed = old_len.saturating_sub(self.staged_bytes);
+        self.staged_bytes = 0;
+        if S::ENABLED {
+            sink.counter_add(metrics::JOURNAL_COMPACTIONS, 1);
+            sink.counter_add(metrics::JOURNAL_BYTES_RECLAIMED, reclaimed);
+        }
+        Ok(reclaimed)
+    }
+
+    /// Discard an in-progress incremental rewrite; the live journal is
+    /// untouched.
+    pub fn abort_rewrite<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<(), JournalError> {
+        with_retries(gas, sink, || self.store.stage_abort())?;
+        self.staged_bytes = 0;
+        Ok(())
+    }
+
+    /// Current size of the live journal in bytes.
+    pub fn len_bytes<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<u64, JournalError> {
+        with_retries(gas, sink, || self.store.len_bytes())
     }
 
     fn write_all_records<S: MetricsSink>(
@@ -803,6 +1066,7 @@ mod tests {
         let mut gas = Budget::ops(3).gas();
         let mut j = Journal {
             store: Box::new(faulty),
+            staged_bytes: 0,
         };
         let err = j.append(b"x", &mut gas, &()).expect_err("gas runs out");
         assert_eq!(err, JournalError::Exhausted(Exhaustion::Ops));
@@ -823,6 +1087,7 @@ mod tests {
             let mut gas = Budget::ops(10_000).gas();
             let mut j = Journal {
                 store: Box::new(faulty),
+                staged_bytes: 0,
             };
             j.append(b"x", &mut gas, &()).expect("retries win");
             gas.ops_left()
@@ -929,6 +1194,134 @@ mod tests {
         tmp.push(".tmp");
         assert!(!PathBuf::from(tmp).exists(), "temp file renamed away");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn incremental_rewrite_interleaves_with_live_appends() {
+        let store = MemStorage::new();
+        let sink = MemorySink::new();
+        let mut gas = Gas::unlimited();
+        let mut j = Journal::create(Box::new(store.clone()), &[b"cfg".to_vec()], &mut gas, &sink)
+            .expect("create");
+        for i in 0..8 {
+            j.append(format!("op {i}").as_bytes(), &mut gas, &sink)
+                .expect("append");
+        }
+        let old_len = store.bytes().len() as u64;
+
+        // Stage a two-record replacement in byte slices that split the
+        // record framing mid-header, appending live records in between.
+        let image = [encode_record(b"cfg"), encode_record(b"state")].concat();
+        j.begin_rewrite(&mut gas, &sink).expect("begin");
+        j.rewrite_chunk(&image[..5], &mut gas, &sink).expect("c1");
+        j.append(b"live during compaction", &mut gas, &sink)
+            .expect("live append");
+        j.rewrite_chunk(&image[5..], &mut gas, &sink).expect("c2");
+        // The live append landed in the *main* journal, not the stage.
+        let tail = encode_record(b"live during compaction");
+        j.rewrite_chunk(&tail, &mut gas, &sink).expect("tail");
+        let reclaimed = j.commit_rewrite(&mut gas, &sink).expect("commit");
+        let staged = (image.len() + tail.len()) as u64;
+        let live_len = old_len + tail.len() as u64;
+        assert_eq!(reclaimed, live_len.saturating_sub(staged));
+        assert_eq!(sink.counter(metrics::JOURNAL_COMPACTIONS), 1);
+        assert_eq!(sink.counter(metrics::JOURNAL_BYTES_RECLAIMED), reclaimed);
+
+        let (_, payloads, tail_report) =
+            Journal::open(Box::new(store), &mut gas, &sink).expect("reopen");
+        assert_eq!(
+            payloads,
+            vec![
+                b"cfg".to_vec(),
+                b"state".to_vec(),
+                b"live during compaction".to_vec()
+            ]
+        );
+        assert_eq!(tail_report.truncated_records, 0);
+    }
+
+    #[test]
+    fn abort_rewrite_keeps_the_live_journal() {
+        let store = MemStorage::new();
+        let sink = MemorySink::new();
+        let mut gas = Gas::unlimited();
+        let mut j = Journal::create(Box::new(store.clone()), &[b"cfg".to_vec()], &mut gas, &sink)
+            .expect("create");
+        j.begin_rewrite(&mut gas, &sink).expect("begin");
+        j.rewrite_chunk(b"garbage that would corrupt", &mut gas, &sink)
+            .expect("chunk");
+        j.abort_rewrite(&mut gas, &sink).expect("abort");
+        assert_eq!(sink.counter(metrics::JOURNAL_COMPACTIONS), 0);
+        let (_, payloads, _) = Journal::open(Box::new(store), &mut gas, &sink).expect("reopen");
+        assert_eq!(payloads, vec![b"cfg".to_vec()]);
+    }
+
+    #[test]
+    fn crash_mid_stage_append_leaves_the_main_contents_intact() {
+        let store = MemStorage::with_bytes(encode_record(b"precious"));
+        let mut faulty = FaultFs::new(
+            store.clone(),
+            FaultScript {
+                crash_after_bytes: Some(4),
+                ..FaultScript::default()
+            },
+        );
+        faulty.stage_start().expect("start");
+        let err = faulty
+            .stage_append(&encode_record(b"replacement"))
+            .expect_err("crash point hit");
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert!(faulty.crashed());
+        assert_eq!(store.bytes(), encode_record(b"precious"));
+        assert!(faulty.stage_commit().is_err(), "dead process stays dead");
+        assert_eq!(store.bytes(), encode_record(b"precious"));
+    }
+
+    #[test]
+    fn crash_exactly_at_stage_commit_keeps_the_old_contents() {
+        let store = MemStorage::with_bytes(b"old".to_vec());
+        let mut faulty = FaultFs::new(
+            store.clone(),
+            FaultScript {
+                crash_after_bytes: Some(3),
+                ..FaultScript::default()
+            },
+        );
+        faulty.stage_start().expect("start");
+        faulty.stage_append(b"new").expect("exactly the budget");
+        assert!(faulty.stage_commit().is_err(), "no budget for the rename");
+        assert_eq!(store.bytes(), b"old");
+    }
+
+    #[test]
+    fn file_storage_staged_rewrite_cleans_up_on_disk() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("hetfeas-stage-test-{}", std::process::id()));
+        let compact = dir.join(format!("hetfeas-stage-test-{}.compact", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&compact);
+        let sink = MemorySink::new();
+        let mut gas = Gas::unlimited();
+        let mut j = Journal::create(
+            Box::new(FileStorage::new(&path)),
+            &[b"cfg".to_vec()],
+            &mut gas,
+            &sink,
+        )
+        .expect("create");
+        j.begin_rewrite(&mut gas, &sink).expect("begin");
+        j.rewrite_chunk(&encode_record(b"compact"), &mut gas, &sink)
+            .expect("chunk");
+        assert!(compact.exists(), "stage file lives beside the journal");
+        j.append(b"live", &mut gas, &sink).expect("live append");
+        j.commit_rewrite(&mut gas, &sink).expect("commit");
+        assert!(!compact.exists(), "stage renamed over the journal");
+        drop(j);
+        let (_, payloads, _) =
+            Journal::open(Box::new(FileStorage::new(&path)), &mut gas, &sink).expect("reopen");
+        assert_eq!(payloads, vec![b"compact".to_vec()]);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&compact);
     }
 
     #[test]

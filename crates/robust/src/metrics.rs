@@ -35,6 +35,11 @@ pub const JOURNAL_RETRIES: &str = "journal.retries";
 pub const JOURNAL_IO_ERRORS: &str = "journal.io_errors";
 /// Snapshot compactions: journal rewritten via temp-file + rename (counter).
 pub const JOURNAL_COMPACTIONS: &str = "journal.compactions";
+/// Bounded slices of incremental compaction work performed (counter).
+pub const JOURNAL_COMPACT_SLICES: &str = "journal.compact_slices";
+/// Bytes reclaimed by committed compactions: old journal size minus the
+/// staged replacement's size (counter).
+pub const JOURNAL_BYTES_RECLAIMED: &str = "journal.bytes_reclaimed";
 
 /// Journal records replayed by a recovery (counter).
 pub const RECOVER_RECORDS_REPLAYED: &str = "recover.records_replayed";

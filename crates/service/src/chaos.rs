@@ -457,6 +457,7 @@ pub fn run_storm(cfg: &ChaosConfig) -> ChaosReport {
         // compaction hot (it is a chaos target) and repack explicit.
         repack_after: 0,
         compact_every: 7,
+        ..DurableOptions::default()
     };
     let mut svc = Service::new(ServiceConfig {
         queue_depth: 8,

@@ -10,7 +10,8 @@
 use hetfeas_model::{Augmentation, Platform, Task};
 use hetfeas_obs::MetricsSink;
 use hetfeas_partition::durable::{
-    recover, DurableEngine, DurableError, DurableOptions, RecoverError, RecoveryReport,
+    recover, CompactionStep, DurableEngine, DurableError, DurableOptions, RecoverError,
+    RecoveryReport,
 };
 use hetfeas_partition::incremental::{
     AddOutcome, EngineState, IncrementalEngine, RepackOutcome, RepairPolicy, TaskId,
@@ -197,6 +198,17 @@ impl TenantEngine {
     /// Compact the journal to `[config, state, snapstate?]`.
     pub fn compact<S: MetricsSink>(&mut self, gas: &mut Gas, sink: &S) -> Result<(), DurableError> {
         dispatch!(self, e => e.compact(gas, sink))
+    }
+
+    /// Advance incremental compaction by one bounded slice (see
+    /// [`DurableEngine::compaction_tick`]); shard workers call this
+    /// between batches so a big journal never stalls the queue.
+    pub fn compaction_tick<S: MetricsSink>(
+        &mut self,
+        gas: &mut Gas,
+        sink: &S,
+    ) -> Result<CompactionStep, DurableError> {
+        dispatch!(self, e => e.compaction_tick(gas, sink))
     }
 
     /// CRC32 digest of the full observable state (see

@@ -718,7 +718,17 @@ pub(crate) fn run(ctx: WorkerCtx) {
                 do_quarantine(&msg, &mut engine, &mut quarantine, restarts, incarnation);
             }
         } else if quarantine.is_none() {
-            if let Some(e) = engine.as_ref() {
+            if let Some(e) = engine.as_mut() {
+                // Between batches, advance any in-flight incremental
+                // journal compaction by one bounded slice. Best-effort:
+                // gas exhaustion resumes next batch; an IO error here
+                // aborted the staged file only, so the live journal (and
+                // the shard) keep going — the next cadence retries.
+                let mut tick_gas = match ctx.spec.op_gas {
+                    Some(n) => Budget::ops(n).gas(),
+                    None => Gas::unlimited(),
+                };
+                let _ = e.compaction_tick(&mut tick_gas, &*sink);
                 ctx.cell.update(|s| {
                     s.digest = Some(e.state_digest());
                     s.live = e.len();

@@ -126,6 +126,13 @@ impl Service {
         &self.sink
     }
 
+    /// A handle to the same sink that outlives the service — the serve
+    /// loops consume `self`, and the CLI still wants the final counters
+    /// for its JSON report.
+    pub fn sink_handle(&self) -> Arc<MemorySink> {
+        Arc::clone(&self.sink)
+    }
+
     /// Registered tenant names, sorted.
     pub fn tenant_names(&self) -> Vec<String> {
         self.tenants.keys().cloned().collect()

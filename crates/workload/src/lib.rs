@@ -14,6 +14,7 @@ pub mod periods;
 pub mod platforms;
 pub mod scenarios;
 pub mod spec;
+pub mod synth;
 pub mod transform;
 pub mod uunifast;
 
@@ -22,5 +23,6 @@ pub use periods::{discretize, discretize_all, discretize_on_period, PeriodMenu};
 pub use platforms::PlatformSpec;
 pub use scenarios::Scenario;
 pub use spec::{Instance, UtilizationSampler, WorkloadSpec};
+pub use synth::{synth_platform, SynthSpec, TraceSynth};
 pub use transform::shrink_deadlines;
 pub use uunifast::{uunifast, uunifast_discard};

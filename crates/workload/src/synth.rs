@@ -1,0 +1,455 @@
+//! Seeded million-op trace synthesis.
+//!
+//! The generators in this crate produce *static* task sets; the streaming
+//! replay path needs *op traces* — long add/remove/query sequences with
+//! realistic temporal structure. This module emits them one op at a time
+//! ([`TraceSynth`] is pull-based), so `hetfeas trace synth` can pipe a
+//! 10M-op workload straight into a binary [`TraceWriter`] without ever
+//! materializing it:
+//!
+//! * **diurnal arrival waves** — admission pressure follows a triangle
+//!   wave over the op index (deterministic, no floats), so live load
+//!   swells and drains like a day/night cycle;
+//! * **churn bursts** — periodic windows where add/remove rates spike
+//!   and queries are crowded out (deploy storms, tenant migrations);
+//! * **heavy-tailed lifetimes** — task lifetimes are log-uniform-ish
+//!   (geometric exponent from trailing zeros of a seeded draw), so most
+//!   tasks die young while a few pin capacity for the whole trace;
+//! * **adversarial mixes** — an optional template pool (in practice the
+//!   `FaultPlan` corpus, injected by the CLI so this crate stays free of
+//!   a `robust` dependency) replaces a seeded fraction of arrivals.
+//!
+//! Everything is driven by splitmix64 streams — the workspace's standard
+//! small deterministic generator — so the same spec always yields the
+//! same trace, byte for byte, on every platform (no float math anywhere).
+//!
+//! [`TraceWriter`]: hetfeas_model::io::bin::TraceWriter
+
+use hetfeas_model::io::TraceOp;
+use hetfeas_model::{Machine, Platform, Ratio, Task};
+
+/// Per-mille scale for the rate knobs in [`SynthSpec`].
+const MILLE: u64 = 1000;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `0..n` (n > 0) without modulo bias beyond 2^-32 — fine
+/// for workload shaping.
+fn draw(state: &mut u64, n: u64) -> u64 {
+    splitmix64(state) % n.max(1)
+}
+
+/// What a synthesized tenant workload looks like. All rates are per-mille
+/// so the spec stays integer-only and therefore bit-deterministic.
+#[derive(Debug, Clone)]
+pub struct SynthSpec {
+    /// Master seed; instance `i` derives its own stream from it.
+    pub seed: u64,
+    /// Ops per instance.
+    pub ops_per_instance: u64,
+    /// Number of independent instances.
+    pub instances: usize,
+    /// Machines per instance platform.
+    pub machines: usize,
+    /// Hard cap on concurrently live tasks (bounds replay memory and
+    /// keeps the trace's working set realistic).
+    pub max_live: usize,
+    /// Baseline probability (per-mille) that a step is an arrival.
+    pub arrival_per_mille: u64,
+    /// Diurnal wave amplitude (per-mille of the baseline arrival rate).
+    pub diurnal_amp_per_mille: u64,
+    /// Diurnal wavelength in ops.
+    pub diurnal_period_ops: u64,
+    /// A churn burst opens every this many ops …
+    pub burst_every_ops: u64,
+    /// … and lasts this many ops (arrivals/expiries double, queries are
+    /// crowded out).
+    pub burst_len_ops: u64,
+    /// Minimum task lifetime in ops; the tail is log-uniform above it.
+    pub lifetime_scale_ops: u64,
+    /// Cap on the lifetime exponent (lifetime ≤ scale · 2^cap).
+    pub lifetime_tail_cap: u32,
+    /// Probability (per-mille) that a step is a query of a live id.
+    pub query_per_mille: u64,
+    /// Snapshot cadence in ops (0 = never).
+    pub snapshot_every_ops: u64,
+    /// Probability (per-mille) that a post-snapshot step rolls back.
+    pub rollback_per_mille: u64,
+    /// Repack cadence in ops (0 = never).
+    pub repack_every_ops: u64,
+    /// Adversarial template pool (typically `FaultPlan` task sets).
+    pub adversarial: Vec<Task>,
+    /// Probability (per-mille) that an arrival draws from the pool.
+    pub adversarial_per_mille: u64,
+}
+
+impl Default for SynthSpec {
+    fn default() -> Self {
+        SynthSpec {
+            seed: 0,
+            ops_per_instance: 1 << 20,
+            instances: 1,
+            machines: 8,
+            max_live: 4096,
+            arrival_per_mille: 550,
+            diurnal_amp_per_mille: 600,
+            diurnal_period_ops: 1 << 16,
+            burst_every_ops: 50_000,
+            burst_len_ops: 4_000,
+            lifetime_scale_ops: 64,
+            lifetime_tail_cap: 16,
+            query_per_mille: 150,
+            snapshot_every_ops: 100_000,
+            rollback_per_mille: 2,
+            repack_every_ops: 250_000,
+            adversarial: Vec::new(),
+            adversarial_per_mille: 0,
+        }
+    }
+}
+
+/// Derive instance `i`'s platform: speeds `1..=4` with an occasional
+/// rational straggler, seeded from the spec.
+pub fn synth_platform(spec: &SynthSpec, instance: usize) -> Platform {
+    let mut s = spec
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(instance as u64);
+    let mut machines = Vec::with_capacity(spec.machines.max(1));
+    for _ in 0..spec.machines.max(1) {
+        let speed = match draw(&mut s, 8) {
+            0..=3 => Ratio::from_integer(1 + draw(&mut s, 4) as i128),
+            4..=6 => Ratio::from_integer(1),
+            // A slow rational machine: speed in {1/2, 3/2, 5/2}.
+            _ => Ratio::new(1 + 2 * draw(&mut s, 3) as i128, 2),
+        };
+        machines.push(Machine::new(speed).expect("positive speed"));
+    }
+    Platform::new(machines).expect("non-empty platform")
+}
+
+/// Pull-based op generator for one instance. Iterate it for exactly
+/// `ops_per_instance` ops; internal state is O(max_live).
+pub struct TraceSynth {
+    spec: SynthSpec,
+    rng: u64,
+    /// Ops emitted so far (also the wave clock).
+    t: u64,
+    next_id: u64,
+    /// Live ids with their expiry op index.
+    live: Vec<(u64, u64)>,
+    /// Mirror of `live` at the last snapshot, for rollback bookkeeping.
+    snap_live: Option<Vec<(u64, u64)>>,
+}
+
+impl TraceSynth {
+    /// Generator for instance `instance` of `spec`.
+    pub fn new(spec: &SynthSpec, instance: usize) -> TraceSynth {
+        let rng = spec
+            .seed
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add((instance as u64) << 32 | 1);
+        TraceSynth {
+            spec: spec.clone(),
+            rng,
+            t: 0,
+            next_id: 1,
+            live: Vec::new(),
+            snap_live: None,
+        }
+    }
+
+    /// Arrival probability (per-mille) at op index `t`: baseline
+    /// modulated by the diurnal triangle wave, doubled inside bursts.
+    fn arrival_rate(&self, t: u64) -> u64 {
+        let s = &self.spec;
+        let period = s.diurnal_period_ops.max(2);
+        let phase = t % period;
+        let half = period / 2;
+        // Triangle in 0..=MILLE: rises to the crest at half period.
+        let tri = if phase < half {
+            phase * MILLE / half
+        } else {
+            MILLE - (phase - half) * MILLE / (period - half).max(1)
+        };
+        // rate = base · (1 − amp/2 + amp·tri), all in per-mille space.
+        let base = s.arrival_per_mille;
+        let amp = s.diurnal_amp_per_mille;
+        let mut rate = base * (MILLE - amp / 2) / MILLE + base * amp * tri / (MILLE * MILLE);
+        if self.in_burst(t) {
+            rate *= 2;
+        }
+        rate.min(MILLE)
+    }
+
+    fn in_burst(&self, t: u64) -> bool {
+        let s = &self.spec;
+        s.burst_every_ops > 0 && t % s.burst_every_ops < s.burst_len_ops.min(s.burst_every_ops)
+    }
+
+    /// Heavy-tailed lifetime: `scale · 2^k · jitter` where `k` is
+    /// geometric (trailing zeros of a draw), capped.
+    fn lifetime(&mut self) -> u64 {
+        let s = &self.spec;
+        let k = splitmix64(&mut self.rng)
+            .trailing_zeros()
+            .min(s.lifetime_tail_cap)
+            .min(63);
+        let base = s.lifetime_scale_ops.max(1).saturating_mul(1u64 << k);
+        base.saturating_add(draw(&mut self.rng, base.max(1)))
+    }
+
+    fn fresh_task(&mut self) -> Task {
+        let s = &self.spec;
+        if !s.adversarial.is_empty() && draw(&mut self.rng, MILLE) < s.adversarial_per_mille {
+            let i = draw(&mut self.rng, s.adversarial.len() as u64) as usize;
+            return s.adversarial[i];
+        }
+        // Periods log-uniform over 8..~8k, wcet a seeded fraction so
+        // utilizations spread over (0, 1].
+        let period = 8u64 << draw(&mut self.rng, 11).min(10);
+        let wcet = 1 + draw(&mut self.rng, period);
+        if draw(&mut self.rng, 4) == 0 {
+            let deadline = wcet + draw(&mut self.rng, period.saturating_sub(wcet) + 1);
+            Task::constrained(wcet, period, deadline.clamp(1, period)).expect("valid task")
+        } else {
+            Task::implicit(wcet, period).expect("valid task")
+        }
+    }
+
+    fn emit_add(&mut self) -> TraceOp {
+        let id = self.next_id;
+        self.next_id += 1;
+        let expiry = self.t.saturating_add(self.lifetime());
+        self.live.push((id, expiry));
+        TraceOp::Add {
+            id,
+            task: self.fresh_task(),
+        }
+    }
+
+    fn emit_remove_at(&mut self, idx: usize) -> TraceOp {
+        let (id, _) = self.live.swap_remove(idx);
+        TraceOp::Remove { id }
+    }
+
+    /// The next op, or `None` once `ops_per_instance` have been emitted.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_op(&mut self) -> Option<TraceOp> {
+        if self.t >= self.spec.ops_per_instance {
+            return None;
+        }
+        let t = self.t;
+        self.t += 1;
+        let (snap_every, repack_every, rollback_pm, query_pm, max_live) = (
+            self.spec.snapshot_every_ops,
+            self.spec.repack_every_ops,
+            self.spec.rollback_per_mille,
+            self.spec.query_per_mille,
+            self.spec.max_live,
+        );
+
+        // Cadenced maintenance ops take precedence (cheap, rare).
+        if snap_every > 0 && t > 0 && t % snap_every == 0 {
+            self.snap_live = Some(self.live.clone());
+            return Some(TraceOp::Snapshot);
+        }
+        if repack_every > 0 && t > 0 && t % repack_every == 0 {
+            return Some(TraceOp::Repack);
+        }
+        if self.snap_live.is_some() && draw(&mut self.rng, MILLE) < rollback_pm {
+            self.live = self.snap_live.clone().expect("checked is_some");
+            return Some(TraceOp::Rollback);
+        }
+
+        // Expired tasks drain before anything else (doubled pressure in
+        // bursts via the expiry check running ahead of arrivals).
+        if let Some(idx) = self.live.iter().position(|&(_, exp)| exp <= t) {
+            return Some(self.emit_remove_at(idx));
+        }
+
+        let roll = draw(&mut self.rng, MILLE);
+        let query_rate = if self.in_burst(t) {
+            query_pm / 4
+        } else {
+            query_pm
+        };
+        if roll < query_rate && !self.live.is_empty() {
+            let i = draw(&mut self.rng, self.live.len() as u64) as usize;
+            return Some(TraceOp::Query { id: self.live[i].0 });
+        }
+        if self.live.len() >= max_live.max(1) {
+            // At the cap: force churn so the live set stays bounded.
+            let i = draw(&mut self.rng, self.live.len() as u64) as usize;
+            return Some(self.emit_remove_at(i));
+        }
+        if roll < query_rate + self.arrival_rate(t) || self.live.is_empty() {
+            return Some(self.emit_add());
+        }
+        let i = draw(&mut self.rng, self.live.len() as u64) as usize;
+        Some(self.emit_remove_at(i))
+    }
+
+    /// Ops emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.t
+    }
+
+    /// Currently live ids (test/diagnostic hook).
+    pub fn live_len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetfeas_model::io::{parse_op_trace, render_op_trace, OpTrace, TraceInstance};
+
+    fn spec() -> SynthSpec {
+        SynthSpec {
+            seed: 42,
+            ops_per_instance: 20_000,
+            instances: 2,
+            machines: 4,
+            max_live: 256,
+            diurnal_period_ops: 4096,
+            burst_every_ops: 3000,
+            burst_len_ops: 400,
+            snapshot_every_ops: 5000,
+            repack_every_ops: 7000,
+            ..SynthSpec::default()
+        }
+    }
+
+    fn materialize(spec: &SynthSpec, instance: usize) -> TraceInstance {
+        let mut synth = TraceSynth::new(spec, instance);
+        let mut ops = Vec::new();
+        while let Some(op) = synth.next_op() {
+            ops.push(op);
+        }
+        TraceInstance {
+            name: format!("synth-{instance}"),
+            platform: synth_platform(spec, instance),
+            ops,
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = materialize(&spec(), 0);
+        let b = materialize(&spec(), 0);
+        assert_eq!(a, b);
+        let c = materialize(&spec(), 1);
+        assert_ne!(a.ops, c.ops, "instances must differ");
+        let mut other = spec();
+        other.seed = 43;
+        assert_ne!(a.ops, materialize(&other, 0).ops, "seeds must differ");
+    }
+
+    #[test]
+    fn emits_exactly_the_requested_ops_and_bounded_live_set() {
+        let s = spec();
+        let mut synth = TraceSynth::new(&s, 0);
+        let mut live = 0usize;
+        let mut peak = 0usize;
+        let mut n = 0u64;
+        while let Some(op) = synth.next_op() {
+            n += 1;
+            match op {
+                TraceOp::Add { .. } => live += 1,
+                TraceOp::Remove { .. } => live -= 1,
+                TraceOp::Rollback => live = synth.live_len(),
+                _ => {}
+            }
+            peak = peak.max(live);
+            assert!(synth.live_len() <= s.max_live);
+        }
+        assert_eq!(n, s.ops_per_instance);
+        assert!(peak > 64, "workload never built up load (peak {peak})");
+    }
+
+    #[test]
+    fn synthesized_traces_are_valid_text_traces() {
+        // Round-trip through the text format proves every structural
+        // invariant the parser checks (rollback-after-snapshot, id
+        // syntax, machine placement).
+        let s = spec();
+        let trace = OpTrace {
+            instances: (0..s.instances).map(|i| materialize(&s, i)).collect(),
+        };
+        let text = render_op_trace(&trace);
+        let back = parse_op_trace(&text).expect("synth must emit valid traces");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut seen = std::collections::HashSet::new();
+        let mut synth = TraceSynth::new(&spec(), 0);
+        while let Some(op) = synth.next_op() {
+            if let TraceOp::Add { id, .. } = op {
+                assert!(seen.insert(id), "id {id} reused");
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_pool_shows_up_at_the_requested_rate() {
+        let mut s = spec();
+        let poison = Task::implicit(999_999, 1_000_000).unwrap();
+        s.adversarial = vec![poison];
+        s.adversarial_per_mille = 500;
+        let mut synth = TraceSynth::new(&s, 0);
+        let mut total = 0u64;
+        let mut poisoned = 0u64;
+        while let Some(op) = synth.next_op() {
+            if let TraceOp::Add { task, .. } = op {
+                total += 1;
+                if task == poison {
+                    poisoned += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        let rate = poisoned * 1000 / total;
+        assert!(
+            (350..=650).contains(&rate),
+            "adversarial rate {rate}‰ far from 500‰"
+        );
+    }
+
+    #[test]
+    fn diurnal_wave_modulates_arrivals() {
+        let mut s = spec();
+        s.snapshot_every_ops = 0;
+        s.repack_every_ops = 0;
+        s.burst_every_ops = 0;
+        s.query_per_mille = 0;
+        s.diurnal_amp_per_mille = 900;
+        s.max_live = usize::MAX >> 1;
+        s.lifetime_scale_ops = u64::MAX >> 8; // effectively immortal
+        let mut synth = TraceSynth::new(&s, 0);
+        let period = s.diurnal_period_ops;
+        // Count arrivals in the trough vs crest quarter of one wave.
+        let mut adds = vec![0u64; 4];
+        while let Some(op) = synth.next_op() {
+            if let TraceOp::Add { .. } = op {
+                let quarter = ((synth.emitted() - 1) % period) * 4 / period;
+                adds[quarter as usize] += 1;
+            }
+        }
+        // The crest quarters (1, 2) must see more arrivals than the
+        // trough quarters (0, 3).
+        assert!(
+            adds[1] + adds[2] > (adds[0] + adds[3]) * 5 / 4,
+            "no diurnal shape: {adds:?}"
+        );
+    }
+}

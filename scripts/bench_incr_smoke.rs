@@ -4,10 +4,21 @@
 //! (no Criterion, no external crates), so it runs in sandboxed CI and
 //! emits `BENCH_incremental.json`:
 //!
+//! * `streaming` — a synthesized million-op binary trace replayed through
+//!   the pull-based [`replay_stream`] path, with the trace size on disk,
+//!   the replay throughput and the process peak RSS (`VmHWM`). This
+//!   section runs FIRST so the high-water mark reflects the streaming
+//!   replay, not the later 4096×1024 churn engine; the harness itself
+//!   asserts the ceiling (`scripts/ci.sh` gates `peak_rss_bytes` again);
 //! * `single_thread` — steady-state churn ops/sec at n = 4096, m = 1024
 //!   on the [`IncrementalEngine`] vs the honest from-scratch baseline (a
-//!   full [`FirstFitEngine`] batch re-run after every mutation), plus
-//!   their ratio (`speedup` — the `scripts/ci.sh` gate reads this);
+//!   full [`FirstFitEngine`] batch re-run after every mutation). The
+//!   baseline op count is *scaled from a probe* of its measured per-op
+//!   cost, so the ratio (`speedup` — the `scripts/ci.sh` gate reads this)
+//!   is averaged over a fixed wall-clock budget instead of a fixed 64 ops;
+//! * `compaction` — the amortized cost of incremental journal compaction:
+//!   full sliced compactions driven at a fixed op cadence over a churned
+//!   [`DurableEngine`], reported as ns per journaled op;
 //! * `scaling` — independent instances sharded across OS threads
 //!   (`std::thread::scope`, 1 vs 8 workers). Reported with `host_cpus`
 //!   because the ratio is only meaningful on a multicore host; the CI gate
@@ -17,9 +28,23 @@
 //! speeds in 1..=8, UUniFast utilizations (capped at 0.95 per task),
 //! periods from the standard menu.
 
-use hetfeas_model::{Augmentation, Platform, Task, TaskSet};
-use hetfeas_partition::{EdfAdmission, FirstFitEngine, IncrementalEngine, RmsLlAdmission, TaskId};
+use hetfeas_experiments::{combine_digests, replay_stream};
+use hetfeas_model::{Augmentation, OpStream, Platform, Task, TaskSet, TraceWriter};
+use hetfeas_obs::MemorySink;
+use hetfeas_partition::{
+    DurableEngine, DurableOptions, EdfAdmission, FirstFitEngine, IncrementalEngine,
+    RmsLlAdmission, TaskId,
+};
+use hetfeas_robust::metrics as rmetrics;
+use hetfeas_robust::{Gas, MemStorage};
+use hetfeas_workload::{synth_platform, SynthSpec, TraceSynth};
 use std::time::Instant;
+
+/// Hard ceiling for the streaming replay's peak RSS: a million-op trace is
+/// ~5 MB on disk and the replay holds one engine plus one decode frame, so
+/// 128 MiB is an order of magnitude of slack — a materialized replay blows
+/// straight through it.
+const STREAM_RSS_CEILING: u64 = 128 << 20;
 
 /// xorshift64* — deterministic, dependency-free.
 struct Rng(u64);
@@ -98,7 +123,116 @@ fn run_instance(tasks: &[Task], platform: &Platform, churn: usize, seed: u64) ->
     eng.len() as u64
 }
 
+/// Process peak RSS from `/proc/self/status` (`VmHWM`, kB → bytes); 0 when
+/// unreadable (non-Linux hosts report instead of gate).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// The from-scratch churn protocol: `churn` alternating remove/re-add ops,
+/// each followed by a full batch first-fit re-run. Returns wall seconds.
+fn run_from_scratch(tasks: &[Task], platform: &Platform, churn: usize) -> f64 {
+    let mut ff = FirstFitEngine::new(EdfAdmission);
+    let mut live_tasks: Vec<Task> = tasks.to_vec();
+    let mut rng = Rng(99);
+    let mut spare: Vec<Task> = Vec::new();
+    let started = Instant::now();
+    for i in 0..churn {
+        if i % 2 == 0 && !live_tasks.is_empty() {
+            let pos = (rng.next_u64() % live_tasks.len() as u64) as usize;
+            spare.push(live_tasks.swap_remove(pos));
+        } else if let Some(t) = spare.pop() {
+            live_tasks.push(t);
+        }
+        let ts: TaskSet = live_tasks.iter().copied().collect();
+        std::hint::black_box(ff.run(&ts, platform, Augmentation::NONE));
+    }
+    started.elapsed().as_secs_f64()
+}
+
 fn main() {
+    // ---- streaming: synthesize a million-op binary trace to disk, then
+    // replay it through the pull-based stream path. Runs FIRST so VmHWM
+    // is the streaming replay's high-water mark.
+    let stream_ops_target = 1u64 << 20;
+    let spec = SynthSpec {
+        seed: 42,
+        ops_per_instance: stream_ops_target,
+        instances: 1,
+        machines: 8,
+        ..SynthSpec::default()
+    };
+    let trace_path = std::env::temp_dir().join(format!(
+        "hetfeas_bench_stream_{}.hbt",
+        std::process::id()
+    ));
+    let started = Instant::now();
+    {
+        let file = std::fs::File::create(&trace_path).expect("create trace file");
+        let mut writer = TraceWriter::new(std::io::BufWriter::with_capacity(1 << 20, file))
+            .expect("trace header");
+        let platform = synth_platform(&spec, 0);
+        writer.begin_instance("bench-stream", &platform).expect("begin");
+        let mut synth = TraceSynth::new(&spec, 0);
+        while let Some(op) = synth.next_op() {
+            writer.op(&op).expect("op");
+        }
+        writer.end_instance().expect("end");
+        writer.finish().expect("finish");
+    }
+    let synth_secs = started.elapsed().as_secs_f64();
+    let trace_bytes = std::fs::metadata(&trace_path).expect("trace stat").len();
+
+    let started = Instant::now();
+    let file = std::fs::File::open(&trace_path).expect("open trace");
+    let mut stream =
+        OpStream::new(std::io::BufReader::with_capacity(1 << 20, file)).expect("trace header");
+    let summaries = replay_stream(
+        &mut stream,
+        EdfAdmission,
+        Augmentation::NONE,
+        &mut Gas::unlimited(),
+        &(),
+    )
+    .expect("streaming replay");
+    let stream_secs = started.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&trace_path);
+    let stream_ops: u64 = summaries.iter().map(|s| s.stats.ops).sum();
+    assert_eq!(stream_ops, stream_ops_target, "synthesizer op count");
+    let stream_digest = combine_digests(summaries.iter().map(|s| s.digest));
+    let stream_ops_per_sec = stream_ops as f64 / stream_secs;
+    let peak_rss = peak_rss_bytes();
+    eprintln!(
+        "streaming: {stream_ops} ops synthesized in {:.1} ms ({} bytes), replayed in {:.1} ms \
+         ({:.0} ops/s, digest {stream_digest:08x}, peak RSS {} kB)",
+        synth_secs * 1e3,
+        trace_bytes,
+        stream_secs * 1e3,
+        stream_ops_per_sec,
+        peak_rss / 1024
+    );
+    if peak_rss > 0 {
+        assert!(
+            peak_rss < STREAM_RSS_CEILING,
+            "streaming replay peak RSS {peak_rss} exceeds the {STREAM_RSS_CEILING} ceiling — \
+             the bounded-memory property regressed"
+        );
+    }
+
     // ---- single-thread: incremental vs from-scratch churn at 4096×1024.
     let (n, m) = (4096usize, 1024usize);
     let (tasks, platform) = instance(n, m, 0.6, 7);
@@ -138,29 +272,21 @@ fn main() {
         eng.divergence()
     );
 
-    // From-scratch baseline: same churn protocol, full batch re-run per op.
-    let mut ff = FirstFitEngine::new(EdfAdmission);
-    let mut live_tasks: Vec<Task> = tasks.clone();
-    let scratch_churn = 64usize;
-    let mut rng = Rng(99);
-    let mut spare: Vec<Task> = Vec::new();
-    let started = Instant::now();
-    for i in 0..scratch_churn {
-        if i % 2 == 0 && !live_tasks.is_empty() {
-            let pos = (rng.next_u64() % live_tasks.len() as u64) as usize;
-            spare.push(live_tasks.swap_remove(pos));
-        } else if let Some(t) = spare.pop() {
-            live_tasks.push(t);
-        }
-        let ts: TaskSet = live_tasks.iter().copied().collect();
-        std::hint::black_box(ff.run(&ts, &platform, Augmentation::NONE));
-    }
-    let scratch_secs = started.elapsed().as_secs_f64();
+    // From-scratch baseline: same churn protocol, full batch re-run per
+    // op. A fixed 64-op run is dominated by cache warm-up and timer
+    // granularity on fast hosts, so probe the per-op cost first and scale
+    // the measured run to a ~0.75 s wall budget (clamped to 64..=4096).
+    let probe_ops = 8usize;
+    let probe_secs = run_from_scratch(&tasks, &platform, probe_ops);
+    let per_op = probe_secs / probe_ops as f64;
+    let scratch_churn = ((0.75 / per_op.max(1e-9)) as usize).clamp(64, 4096);
+    let scratch_secs = run_from_scratch(&tasks, &platform, scratch_churn);
     let scratch_ops_per_sec = scratch_churn as f64 / scratch_secs;
     eprintln!(
-        "from-scratch: {scratch_churn} churn ops in {:.1} ms ({:.0} ops/s)",
+        "from-scratch: {scratch_churn} churn ops in {:.1} ms ({:.0} ops/s; probe {:.2} ms/op)",
         scratch_secs * 1e3,
-        scratch_ops_per_sec
+        scratch_ops_per_sec,
+        per_op * 1e3
     );
     let speedup = incr_ops_per_sec / scratch_ops_per_sec;
     eprintln!("single-thread incremental vs from-scratch: {speedup:.1}x");
@@ -179,6 +305,82 @@ fn main() {
         rms.remove(id);
     }
     assert!(rms.is_empty(), "RMS-LL engine must drain cleanly");
+
+    // ---- compaction: amortized cost of incremental journal compaction.
+    // Churn a journaled engine for `cadence` ops, then drive one full
+    // sliced compaction; repeat. Amortized ns/op = compaction wall time
+    // over the ops each compaction covers — the price an op stream pays
+    // for keeping the journal bounded.
+    let (ctasks, cplatform) = instance(512, 64, 0.6, 21);
+    let sink = MemorySink::new();
+    let mem = MemStorage::new();
+    let opts = DurableOptions {
+        repack_after: 0,
+        compact_every: 0, // compactions driven manually below
+        slice_bytes: 4096,
+        ..DurableOptions::default()
+    };
+    let mut gas = Gas::unlimited();
+    let mut durable = DurableEngine::create(
+        EdfAdmission,
+        &cplatform,
+        Augmentation::NONE,
+        "edf",
+        opts,
+        Box::new(mem.clone()),
+        &mut gas,
+        &sink,
+    )
+    .expect("create journaled engine");
+    let mut ids: Vec<TaskId> = Vec::new();
+    for &t in &ctasks {
+        if let Some(id) = durable
+            .add(t, &mut gas, &sink)
+            .expect("journaled add")
+            .id()
+        {
+            ids.push(id);
+        }
+    }
+    let cadence = 1024u64;
+    let rounds = 4u32;
+    let mut rng = Rng(7);
+    let mut fresh = Rng(77);
+    let mut compact_secs_total = 0.0f64;
+    for _ in 0..rounds {
+        for i in 0..cadence {
+            if i % 2 == 0 && !ids.is_empty() {
+                let pos = (rng.next_u64() % ids.len() as u64) as usize;
+                let victim = ids.swap_remove(pos);
+                durable
+                    .remove(victim, &mut gas, &sink)
+                    .expect("journaled remove");
+            } else {
+                let (extra, _) = instance(1, 1, 0.0, fresh.next_u64());
+                if let Some(id) = durable
+                    .add(extra[0], &mut gas, &sink)
+                    .expect("journaled add")
+                    .id()
+                {
+                    ids.push(id);
+                }
+            }
+        }
+        let started = Instant::now();
+        durable.compact(&mut gas, &sink).expect("sliced compaction");
+        compact_secs_total += started.elapsed().as_secs_f64();
+    }
+    let compaction_amortized_ns_per_op =
+        compact_secs_total * 1e9 / (rounds as u64 * cadence) as f64;
+    let compact_slices = sink.counter(rmetrics::JOURNAL_COMPACT_SLICES);
+    let bytes_reclaimed = sink.counter(rmetrics::JOURNAL_BYTES_RECLAIMED);
+    eprintln!(
+        "compaction: {rounds} sliced compactions over {} ops ({compact_slices} slices, \
+         {bytes_reclaimed} bytes reclaimed) — {compaction_amortized_ns_per_op:.0} ns/op amortized",
+        rounds as u64 * cadence
+    );
+    assert!(compact_slices >= rounds as u64, "each compaction slices at least once");
+    assert!(bytes_reclaimed > 0, "churned journals must shrink");
 
     // ---- scaling: independent instances across OS threads.
     let instances = 64usize;
@@ -213,11 +415,21 @@ fn main() {
 
     println!(
         "{{\n  \"bench\": \"incremental_vs_from_scratch\",\n  \"admission\": \"EDF\",\n  \
-         \"host_cpus\": {host_cpus},\n  \"single_thread\": {{\n    \"n\": {n}, \"m\": {m},\n    \
+         \"host_cpus\": {host_cpus},\n  \"streaming\": {{\n    \
+         \"ops\": {stream_ops}, \"trace_bytes\": {trace_bytes},\n    \
+         \"synth_secs\": {synth_secs:.3}, \"replay_secs\": {stream_secs:.3},\n    \
+         \"replay_ops_per_sec\": {stream_ops_per_sec:.0},\n    \
+         \"peak_rss_bytes\": {peak_rss},\n    \
+         \"digest\": \"{stream_digest:08x}\"\n  }},\n  \"single_thread\": {{\n    \
+         \"n\": {n}, \"m\": {m},\n    \
          \"incremental_churn_ops\": {incr_churn}, \"from_scratch_churn_ops\": {scratch_churn},\n    \
          \"incremental_ops_per_sec\": {incr_ops_per_sec:.0},\n    \
          \"from_scratch_ops_per_sec\": {scratch_ops_per_sec:.1},\n    \
-         \"speedup\": {speedup:.1}\n  }},\n  \"scaling\": {{\n    \
+         \"speedup\": {speedup:.1}\n  }},\n  \"compaction\": {{\n    \
+         \"cadence_ops\": {cadence}, \"rounds\": {rounds},\n    \
+         \"compact_slices\": {compact_slices}, \"bytes_reclaimed\": {bytes_reclaimed},\n    \
+         \"compaction_amortized_ns_per_op\": {compaction_amortized_ns_per_op:.0}\n  }},\n  \
+         \"scaling\": {{\n    \
          \"instances\": {instances}, \"n\": {sn}, \"m\": {sm}, \"churn\": {churn},\n    \
          \"workers_lo\": 1, \"workers_hi\": {workers_hi},\n    \
          \"secs_lo\": {secs_w1:.3}, \"secs_hi\": {secs_hi:.3},\n    \

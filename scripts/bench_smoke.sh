@@ -7,8 +7,10 @@
 # HETFEAS_BENCH_GRID=1024:16,64 for a quick local run — don't commit the
 # resulting JSON, the ci.sh gates expect the default grid).
 # Also runs the incremental-engine harness (scripts/bench_incr_smoke.rs)
-# and emits BENCH_incremental.json (churn ops/sec incremental vs
-# from-scratch, plus worker scaling with host_cpus), and the
+# and emits BENCH_incremental.json (a streamed million-op binary-trace
+# replay with trace_bytes / peak_rss_bytes, churn ops/sec incremental vs
+# a probe-scaled from-scratch baseline, amortized sliced-compaction
+# ns/op, plus worker scaling with host_cpus), and the
 # branch-and-bound harness (scripts/bench_bnb_smoke.rs) which emits
 # BENCH_bnb.json (per-instance nodes/sec and the solved-within-budget
 # grid vs the plain-DFS baseline), and the supervised-service harness
@@ -53,6 +55,8 @@ rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_lp \
     --extern hetfeas_obs="$build/libhetfeas_obs.rlib" \
     --extern hetfeas_robust="$build/libhetfeas_robust.rlib" \
     -o "$build/libhetfeas_lp.rlib"
+rustc --edition 2021 -O --crate-type rlib --crate-name rand \
+    "$repo/scripts/stubs/rand.rs" -o "$build/librand.rlib"
 rustc --edition 2021 -O --crate-type rlib --crate-name crossbeam \
     "$repo/scripts/stubs/crossbeam.rs" -o "$build/libcrossbeam.rlib"
 rustc --edition 2021 -O --crate-type rlib --crate-name parking_lot \
@@ -82,10 +86,41 @@ rustc --edition 2021 -O --crate-name bench_ffd_smoke \
 echo "wrote $out" >&2
 
 echo "building + running the incremental harness ..." >&2
+# The streaming section needs the synth + replay layers too.
+rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_workload \
+    "$repo/crates/workload/src/lib.rs" -L "$build" \
+    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    --extern rand="$build/librand.rlib" \
+    -o "$build/libhetfeas_workload.rlib"
+rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_sim \
+    "$repo/crates/sim/src/lib.rs" -L "$build" \
+    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    --extern hetfeas_obs="$build/libhetfeas_obs.rlib" \
+    --extern hetfeas_robust="$build/libhetfeas_robust.rlib" \
+    --extern rand="$build/librand.rlib" \
+    --extern hetfeas_partition="$build/libhetfeas_partition.rlib" \
+    -o "$build/libhetfeas_sim.rlib"
+rustc --edition 2021 -O --crate-type rlib --crate-name hetfeas_experiments \
+    "$repo/crates/experiments/src/lib.rs" -L "$build" \
+    --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    --extern hetfeas_obs="$build/libhetfeas_obs.rlib" \
+    --extern hetfeas_robust="$build/libhetfeas_robust.rlib" \
+    --extern hetfeas_analysis="$build/libhetfeas_analysis.rlib" \
+    --extern hetfeas_lp="$build/libhetfeas_lp.rlib" \
+    --extern rand="$build/librand.rlib" \
+    --extern hetfeas_partition="$build/libhetfeas_partition.rlib" \
+    --extern hetfeas_sim="$build/libhetfeas_sim.rlib" \
+    --extern hetfeas_workload="$build/libhetfeas_workload.rlib" \
+    --extern hetfeas_par="$build/libhetfeas_par.rlib" \
+    -o "$build/libhetfeas_experiments.rlib"
 rustc --edition 2021 -O --crate-name bench_incr_smoke \
     "$repo/scripts/bench_incr_smoke.rs" -L "$build" \
     --extern hetfeas_model="$build/libhetfeas_model.rlib" \
+    --extern hetfeas_obs="$build/libhetfeas_obs.rlib" \
+    --extern hetfeas_robust="$build/libhetfeas_robust.rlib" \
     --extern hetfeas_partition="$build/libhetfeas_partition.rlib" \
+    --extern hetfeas_workload="$build/libhetfeas_workload.rlib" \
+    --extern hetfeas_experiments="$build/libhetfeas_experiments.rlib" \
     -o "$build/bench_incr_smoke"
 "$build/bench_incr_smoke" > "$incr_out"
 echo "wrote $incr_out" >&2

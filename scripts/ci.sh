@@ -174,6 +174,64 @@ else
     echo "ci: worker scaling ${worker_speedup:-?}x on ${host_cpus:-?} cpus — reported, not gated (< 8 cpus)" >&2
 fi
 
+echo "== streaming replay gate" >&2
+# The million-op binary-trace replay must stay memory-bounded: the bench
+# harness replays it through the pull-based OpStream path and reports the
+# process peak RSS (VmHWM). A materialized replay would hold the whole
+# decoded op vector and blow through the ceiling.
+stream_rss="$(sed -n 's/.*"peak_rss_bytes": *\([0-9]*\).*/\1/p' "$fresh_incr" | head -n1)"
+stream_ops_sec="$(sed -n 's/.*"replay_ops_per_sec": *\([0-9.]*\).*/\1/p' "$fresh_incr" | head -n1)"
+compact_ns="$(sed -n 's/.*"compaction_amortized_ns_per_op": *\([0-9.]*\).*/\1/p' "$fresh_incr" | head -n1)"
+if [[ -z "$stream_rss" || -z "$stream_ops_sec" ]]; then
+    echo "ci: FAIL — BENCH_incremental.json has no streaming row (peak_rss_bytes / replay_ops_per_sec)" >&2
+    exit 1
+fi
+if [[ "$stream_rss" == "0" ]]; then
+    echo "ci: streaming replay ${stream_ops_sec} ops/s — RSS unreadable on this host, not gated" >&2
+else
+    awk -v rss="$stream_rss" -v max="${STREAM_RSS_MAX:-134217728}" -v ops="$stream_ops_sec" 'BEGIN {
+        if (rss + 0 > max + 0) {
+            printf "ci: FAIL — streaming replay peak RSS %d bytes exceeds %d ceiling\n",
+                rss, max > "/dev/stderr"
+            exit 1
+        }
+        printf "ci: streaming replay %.0f ops/s at %.1f MiB peak RSS (ceiling %.0f MiB) — ok\n",
+            ops, rss / 1048576, max / 1048576 > "/dev/stderr"
+    }'
+fi
+if [[ -n "$compact_ns" ]]; then
+    echo "ci: sliced compaction amortized ${compact_ns} ns/op — reported" >&2
+else
+    echo "ci: FAIL — BENCH_incremental.json has no compaction_amortized_ns_per_op" >&2
+    exit 1
+fi
+# Churn-throughput no-regression vs the committed baseline (same
+# tolerance as the first-fit gate; absolute ops/sec, so only meaningful
+# on comparable hosts — tune BENCH_GATE_TOL or SKIP_BENCH_GATE locally).
+incr_baseline="$repo/BENCH_incremental.json"
+churn_ops() {
+    sed -n 's/.*"incremental_ops_per_sec": *\([0-9.]*\).*/\1/p' "$1" | head -n1
+}
+if [[ ! -f "$incr_baseline" ]]; then
+    echo "ci: no committed BENCH_incremental.json — churn no-regression gate skipped" >&2
+else
+    base_churn="$(churn_ops "$incr_baseline")"
+    now_churn="$(churn_ops "$fresh_incr")"
+    if [[ -z "$now_churn" || -z "$base_churn" ]]; then
+        echo "ci: FAIL — missing incremental_ops_per_sec (fresh '${now_churn:-}', baseline '${base_churn:-}')" >&2
+        exit 1
+    fi
+    awk -v now="$now_churn" -v base="$base_churn" -v tol="${BENCH_GATE_TOL:-0.25}" 'BEGIN {
+        if (now < base * (1 - tol)) {
+            printf "ci: FAIL — incremental churn %.0f ops/s regressed below baseline %.0f (tol %.2f)\n",
+                now, base, tol > "/dev/stderr"
+            exit 1
+        }
+        printf "ci: incremental churn %.0f ops/s vs baseline %.0f (tol %.2f) — ok\n",
+            now, base, tol > "/dev/stderr"
+    }'
+fi
+
 echo "== branch-and-bound solved-count gate" >&2
 bnb_baseline="$repo/BENCH_bnb.json"
 solved() {

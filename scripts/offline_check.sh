@@ -46,6 +46,9 @@ X_MODEL=(--extern hetfeas_model="$build/libhetfeas_model.rlib")
 lib hetfeas_model "$repo/crates/model/src/lib.rs"
 testbin hetfeas_model "$repo/crates/model/src/lib.rs"
 
+# Binary op-trace format fuzz suite (dependency-free, no proptest).
+testbin prop_trace_bin "$repo/crates/model/tests/prop_trace_bin.rs" "${X_MODEL[@]}"
+
 lib hetfeas_obs "$repo/crates/obs/src/lib.rs"
 testbin hetfeas_obs "$repo/crates/obs/src/lib.rs"
 
@@ -127,6 +130,11 @@ testbin hetfeas_experiments "$repo/crates/experiments/src/lib.rs" "${X_EXPERIMEN
 
 # Checkpoint/resume integration suite (dependency-free, no proptest).
 testbin checkpoint_resume "$repo/crates/experiments/tests/checkpoint_resume.rs" \
+    "${X_EXPERIMENTS[@]}" \
+    --extern hetfeas_experiments="$build/libhetfeas_experiments.rlib"
+
+# Streaming-vs-materialized replay equivalence suite (dependency-free).
+testbin prop_stream "$repo/crates/experiments/tests/prop_stream.rs" \
     "${X_EXPERIMENTS[@]}" \
     --extern hetfeas_experiments="$build/libhetfeas_experiments.rlib"
 

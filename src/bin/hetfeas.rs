@@ -9,9 +9,12 @@
 //!                             [--budget-ms N] [--report FILE]
 //! hetfeas generate --tasks N --machines M --util U [--platform KIND] [--seed N]
 //! hetfeas faults   [--seed N] [--budget-ms N] [--report FILE]
-//! hetfeas ops      --trace TRACE.txt [--mode incremental|from-scratch] [--policy …]
+//! hetfeas trace synth --out FILE [--seed N] [--ops N] [--instances N] [--machines M]
+//!                             [--max-live N] [--adversarial PERMILLE] [--text]
+//! hetfeas trace convert IN --out OUT
+//! hetfeas ops      --trace TRACE [--mode incremental|from-scratch] [--policy …]
 //!                             [--alpha X] [--workers N] [--budget-ms N] [--report FILE] [-v]
-//!                             [--journal FILE] [--compact-every N]
+//!                             [--journal FILE] [--compact-every N] [--slice-bytes B]
 //! hetfeas recover  JOURNAL [--budget-ms N] [--report FILE] [-v]
 //! hetfeas serve    [--data-dir DIR] [--socket PATH] [--text] [--workers N] [--seed N]
 //!                             [--queue-depth N] [--batch-max N] [--max-restarts N]
@@ -67,11 +70,21 @@
 //! Exit 3 if any instance exhausted its budget; a semantically malformed
 //! trace (e.g. an `add` reusing a live id) exits 2.
 //!
+//! `hetfeas trace synth` deterministically synthesizes op-trace workloads
+//! (diurnal arrival waves, churn bursts, heavy-tailed lifetimes, optional
+//! adversarial arrivals drawn from the fault corpus) as streaming binary
+//! `.hbt` traces; `hetfeas trace convert` round-trips between the text and
+//! binary formats. `ops --trace X.hbt` detects the binary magic and
+//! replays as a pull-based stream — only the live engine state is ever
+//! resident, so million-op traces replay in bounded RSS with the same
+//! digests as a materialized text replay.
+//!
 //! `ops --journal FILE` runs a single-instance incremental replay through
 //! the crash-safe durability layer: every op is appended to a
 //! length-prefixed, CRC32-checksummed write-ahead journal *before* it is
 //! applied, with periodic snapshot compaction (`--compact-every N`
-//! records, 0 = never). `hetfeas recover JOURNAL` rebuilds the engine from
+//! records, 0 = never) copied in bounded `--slice-bytes B` slices that
+//! interleave with live appends. `hetfeas recover JOURNAL` rebuilds the engine from
 //! such a journal — truncating a torn or corrupt tail — and prints the
 //! recovered state digest; a journal with no intact config record exits 2,
 //! a recovery that exhausts `--budget-ms` exits 3. The
@@ -81,10 +94,15 @@
 //! path (`scripts/crash_smoke.sh` drives them).
 
 use hetfeas::analysis;
-use hetfeas::experiments::{replay_durable, replay_sharded, ReplayError, ReplayMode, ReplayStats};
+use hetfeas::experiments::{
+    combine_digests, replay_durable, replay_durable_stream, replay_sharded, replay_stream,
+    ReplayError, ReplayMode, ReplayStats, StreamError, StreamSummary,
+};
 use hetfeas::lp::{level_scaling_factor, lp_feasible};
 use hetfeas::model::{
-    parse_op_trace, parse_system, render_system, Augmentation, OpTrace, Ratio, System,
+    is_binary_trace, parse_op_trace, parse_system, read_op_trace_bin, render_op_trace,
+    render_system, write_op_trace_bin, Augmentation, OpStream, OpTrace, Ratio, System,
+    TraceInstance, TraceWriter,
 };
 use hetfeas::obs::{Json, MemorySink, MetricsSink, RunReport};
 use hetfeas::par::{default_workers, Progress};
@@ -100,7 +118,10 @@ use hetfeas::robust::{
     guard_with, Budget, FaultFs, FaultPlan, FaultScript, FileStorage, Gas, PanicReport, Storage,
 };
 use hetfeas::sim::{validate_assignment_within, ReleasePattern, SchedPolicy};
-use hetfeas::workload::{PeriodMenu, PlatformSpec, Scenario, UtilizationSampler, WorkloadSpec};
+use hetfeas::workload::{
+    synth_platform, PeriodMenu, PlatformSpec, Scenario, SynthSpec, TraceSynth, UtilizationSampler,
+    WorkloadSpec,
+};
 use std::process::ExitCode;
 
 #[derive(Clone, Copy, PartialEq)]
@@ -271,6 +292,12 @@ struct Common {
     mode: String,
     journal: Option<String>,
     compact_every: Option<u64>,
+    slice_bytes: Option<u64>,
+    // trace-only
+    out: Option<String>,
+    instances: Option<usize>,
+    max_live: Option<usize>,
+    adversarial: Option<u64>,
     // generate-only
     tasks: usize,
     machines: usize,
@@ -283,7 +310,7 @@ struct Common {
     text_mode: bool,
     chaos: bool,
     tenants: usize,
-    ops: usize,
+    ops: Option<usize>,
     queue_depth: Option<usize>,
     batch_max: Option<usize>,
     max_restarts: Option<u32>,
@@ -305,6 +332,11 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         mode: "incremental".into(),
         journal: None,
         compact_every: None,
+        slice_bytes: None,
+        out: None,
+        instances: None,
+        max_live: None,
+        adversarial: None,
         tasks: 10,
         machines: 4,
         util: 0.7,
@@ -315,7 +347,7 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         text_mode: false,
         chaos: false,
         tenants: 8,
-        ops: 48,
+        ops: None,
         queue_depth: None,
         batch_max: None,
         max_restarts: None,
@@ -382,6 +414,41 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
                         .map_err(|e| format!("bad --compact-every: {e}"))?,
                 )
             }
+            "--slice-bytes" => {
+                c.slice_bytes = Some(
+                    next("--slice-bytes")?
+                        .parse()
+                        .map_err(|e| format!("bad --slice-bytes: {e}"))?,
+                )
+            }
+            "--out" => c.out = Some(next("--out")?),
+            "--instances" => {
+                let n: usize = next("--instances")?
+                    .parse()
+                    .map_err(|e| format!("bad --instances: {e}"))?;
+                if n == 0 {
+                    return Err("--instances must be positive".into());
+                }
+                c.instances = Some(n);
+            }
+            "--max-live" => {
+                let n: usize = next("--max-live")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-live: {e}"))?;
+                if n == 0 {
+                    return Err("--max-live must be positive".into());
+                }
+                c.max_live = Some(n);
+            }
+            "--adversarial" => {
+                let n: u64 = next("--adversarial")?
+                    .parse()
+                    .map_err(|e| format!("bad --adversarial: {e}"))?;
+                if n > 1000 {
+                    return Err("--adversarial is per-mille (0..=1000)".into());
+                }
+                c.adversarial = Some(n);
+            }
             "--report" => c.report = Some(next("--report")?),
             "--budget-ms" => {
                 let ms: u64 = next("--budget-ms")?
@@ -405,9 +472,11 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
                 }
             }
             "--ops" => {
-                c.ops = next("--ops")?
-                    .parse()
-                    .map_err(|e| format!("bad --ops: {e}"))?
+                c.ops = Some(
+                    next("--ops")?
+                        .parse()
+                        .map_err(|e| format!("bad --ops: {e}"))?,
+                )
             }
             "--queue-depth" => {
                 c.queue_depth = Some(
@@ -1040,6 +1109,37 @@ fn journal_store(path: &str) -> Box<dyn Storage> {
     }
 }
 
+/// The durability knobs shared by the journaled replay paths and `serve`:
+/// `--compact-every` sets the snapshot-compaction cadence, `--slice-bytes`
+/// the per-slice copy budget of the incremental compactor (0 = one
+/// stop-the-world slice).
+fn durable_opts(c: &Common) -> DurableOptions {
+    let mut opts = DurableOptions::default();
+    if let Some(n) = c.compact_every {
+        opts.compact_every = n;
+    }
+    if let Some(b) = c.slice_bytes {
+        opts.slice_bytes = b;
+    }
+    opts
+}
+
+/// The `journal: …` summary line shared by the journaled replay paths.
+fn journal_summary(sink: &MemorySink) -> String {
+    use hetfeas::robust::metrics as jm;
+    format!(
+        "journal: {} appends, {} bytes, {} syncs, {} retries, {} compactions \
+         ({} slices, {} bytes reclaimed)",
+        sink.counter(jm::JOURNAL_APPENDS),
+        sink.counter(jm::JOURNAL_BYTES_WRITTEN),
+        sink.counter(jm::JOURNAL_SYNCS),
+        sink.counter(jm::JOURNAL_RETRIES),
+        sink.counter(jm::JOURNAL_COMPACTIONS),
+        sink.counter(jm::JOURNAL_COMPACT_SLICES),
+        sink.counter(jm::JOURNAL_BYTES_RECLAIMED),
+    )
+}
+
 /// `ops --journal FILE`: single-instance incremental replay through the
 /// write-ahead journal. IO errors (including injected crash faults) exit 2;
 /// an exhausted budget exits 3.
@@ -1059,12 +1159,7 @@ fn cmd_ops_journaled(
             trace.instances.len()
         ));
     };
-    let opts = DurableOptions {
-        compact_every: c
-            .compact_every
-            .unwrap_or(DurableOptions::default().compact_every),
-        ..DurableOptions::default()
-    };
+    let opts = durable_opts(c);
     let mut gas = gas_for(c);
     let sink = MemorySink::new();
     let result = match c.policy {
@@ -1127,14 +1222,7 @@ fn cmd_ops_journaled(
         stats.rollbacks,
         stats.final_live
     );
-    println!(
-        "journal: {} appends, {} bytes, {} syncs, {} retries, {} compactions",
-        sink.counter(hetfeas::robust::metrics::JOURNAL_APPENDS),
-        sink.counter(hetfeas::robust::metrics::JOURNAL_BYTES_WRITTEN),
-        sink.counter(hetfeas::robust::metrics::JOURNAL_SYNCS),
-        sink.counter(hetfeas::robust::metrics::JOURNAL_RETRIES),
-        sink.counter(hetfeas::robust::metrics::JOURNAL_COMPACTIONS),
-    );
+    println!("{}", journal_summary(&sink));
     println!("journal digest {digest:08x}");
     if let Some(out) = &c.report {
         let mut r = RunReport::new("hetfeas", "ops");
@@ -1152,6 +1240,14 @@ fn cmd_ops_journaled(
             .set("repacks", Json::UInt(stats.repacks))
             .set("final_live", Json::UInt(stats.final_live))
             .set("digest", Json::Str(format!("{digest:08x}")))
+            .set(
+                "journal_compact_slices",
+                Json::UInt(sink.counter(hetfeas::robust::metrics::JOURNAL_COMPACT_SLICES)),
+            )
+            .set(
+                "journal_bytes_reclaimed",
+                Json::UInt(sink.counter(hetfeas::robust::metrics::JOURNAL_BYTES_RECLAIMED)),
+            )
             .set("verdict", Json::Str("replayed".into()));
         r.attach_metrics(&sink.snapshot());
         write_report(out, &r)?;
@@ -1167,6 +1263,31 @@ fn cmd_ops(c: &Common) -> Result<ExitCode, String> {
         .as_ref()
         .or(c.file.as_ref())
         .ok_or("missing --trace FILE")?;
+    if c.compact_every.is_some() && c.journal.is_none() {
+        return Err("--compact-every requires --journal".into());
+    }
+    if c.slice_bytes.is_some() && c.journal.is_none() {
+        return Err("--slice-bytes requires --journal".into());
+    }
+    let head = {
+        use std::io::Read as _;
+        let mut f = std::fs::File::open(path).map_err(|e| format!("read {path}: {e}"))?;
+        let mut buf = [0u8; 8];
+        let mut n = 0;
+        while n < buf.len() {
+            match f
+                .read(&mut buf[n..])
+                .map_err(|e| format!("read {path}: {e}"))?
+            {
+                0 => break,
+                k => n += k,
+            }
+        }
+        buf[..n].to_vec()
+    };
+    if is_binary_trace(&head) {
+        return cmd_ops_stream(c, path);
+    }
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let trace = parse_op_trace(&text).map_err(|e| format!("{path}: {e}"))?;
     let mode = match c.mode.as_str() {
@@ -1179,9 +1300,6 @@ fn cmd_ops(c: &Common) -> Result<ExitCode, String> {
         }
     };
     let alpha = Augmentation::new(c.alpha).map_err(|e| e.to_string())?;
-    if c.compact_every.is_some() && c.journal.is_none() {
-        return Err("--compact-every requires --journal".into());
-    }
     if let Some(journal_path) = c.journal.clone() {
         return cmd_ops_journaled(c, path, &trace, &journal_path, alpha);
     }
@@ -1310,6 +1428,215 @@ fn cmd_ops(c: &Common) -> Result<ExitCode, String> {
     })
 }
 
+/// `ops --trace X.hbt`: pull-based streaming replay of a binary op trace.
+/// Only the live engine state and one decode frame are ever resident — the
+/// trace itself is never materialized, so a multi-gigabyte trace replays in
+/// bounded RSS. `--journal` routes a single-instance stream through the
+/// crash-safe durability layer instead.
+fn cmd_ops_stream(c: &Common, path: &str) -> Result<ExitCode, String> {
+    if c.mode != "incremental" {
+        return Err(format!(
+            "{path} is a binary trace; streaming replay is incremental-only — \
+             convert to text with `hetfeas trace convert` for --mode {}",
+            c.mode
+        ));
+    }
+    let alpha = Augmentation::new(c.alpha).map_err(|e| e.to_string())?;
+    let file = std::fs::File::open(path).map_err(|e| format!("read {path}: {e}"))?;
+    let trace_bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+    let mut stream = OpStream::new(std::io::BufReader::with_capacity(1 << 20, file))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let mut gas = gas_for(c);
+    let sink = MemorySink::new();
+    println!(
+        "streaming binary trace {path} ({trace_bytes} bytes), policy {}, mode incremental",
+        c.policy.name()
+    );
+
+    if let Some(journal_path) = c.journal.clone() {
+        let opts = durable_opts(c);
+        let result = match c.policy {
+            Policy::Edf => replay_durable_stream(
+                &mut stream,
+                EdfAdmission,
+                alpha,
+                c.policy.key(),
+                opts,
+                journal_store(&journal_path),
+                &mut gas,
+                &sink,
+            ),
+            Policy::RmsLl => replay_durable_stream(
+                &mut stream,
+                RmsLlAdmission,
+                alpha,
+                c.policy.key(),
+                opts,
+                journal_store(&journal_path),
+                &mut gas,
+                &sink,
+            ),
+            Policy::RmsHyperbolic => replay_durable_stream(
+                &mut stream,
+                RmsHyperbolicAdmission,
+                alpha,
+                c.policy.key(),
+                opts,
+                journal_store(&journal_path),
+                &mut gas,
+                &sink,
+            ),
+            Policy::RmsRta => {
+                return Err(
+                    "--policy rms-rta has no indexed admission; ops supports edf|rms|rms-hyp"
+                        .into(),
+                )
+            }
+        };
+        let (name, stats, digest) = match result {
+            Ok(v) => v,
+            Err(StreamError::Replay(ReplayError::Exhausted { op_index, cause })) => {
+                println!(
+                    "UNDECIDED — budget exhausted ({}) at op {op_index}",
+                    cause.as_str()
+                );
+                return Ok(ExitCode::from(3));
+            }
+            Err(e) => return Err(format!("{path}: {e}")),
+        };
+        println!(
+            "{}: {} ops journaled+streamed: {} admitted, {} rejected, {} removed, \
+             {} repacks, {} snapshots, {} rollbacks, live {}",
+            name,
+            stats.ops,
+            stats.admitted,
+            stats.rejected,
+            stats.removed,
+            stats.repacks,
+            stats.snapshots,
+            stats.rollbacks,
+            stats.final_live
+        );
+        println!("{}", journal_summary(&sink));
+        println!("journal digest {digest:08x}");
+        if let Some(out) = &c.report {
+            let mut r = RunReport::new("hetfeas", "ops");
+            r.set("input", Json::Str(path.to_string()))
+                .set("policy", Json::Str(c.policy.key().into()))
+                .set("mode", Json::Str("incremental".into()))
+                .set("streaming", Json::Bool(true))
+                .set("trace_bytes", Json::UInt(trace_bytes))
+                .set("journal", Json::Str(journal_path))
+                .set("ops", Json::UInt(stats.ops))
+                .set("admitted", Json::UInt(stats.admitted))
+                .set("rejected", Json::UInt(stats.rejected))
+                .set("removed", Json::UInt(stats.removed))
+                .set("snapshots", Json::UInt(stats.snapshots))
+                .set("rollbacks", Json::UInt(stats.rollbacks))
+                .set("repacks", Json::UInt(stats.repacks))
+                .set("final_live", Json::UInt(stats.final_live))
+                .set("digest", Json::Str(format!("{digest:08x}")))
+                .set(
+                    "journal_compact_slices",
+                    Json::UInt(sink.counter(hetfeas::robust::metrics::JOURNAL_COMPACT_SLICES)),
+                )
+                .set(
+                    "journal_bytes_reclaimed",
+                    Json::UInt(sink.counter(hetfeas::robust::metrics::JOURNAL_BYTES_RECLAIMED)),
+                )
+                .set("verdict", Json::Str("replayed".into()));
+            r.attach_metrics(&sink.snapshot());
+            write_report(out, &r)?;
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let result: Result<Vec<StreamSummary>, StreamError> = match c.policy {
+        Policy::Edf => replay_stream(&mut stream, EdfAdmission, alpha, &mut gas, &sink),
+        Policy::RmsLl => replay_stream(&mut stream, RmsLlAdmission, alpha, &mut gas, &sink),
+        Policy::RmsHyperbolic => {
+            replay_stream(&mut stream, RmsHyperbolicAdmission, alpha, &mut gas, &sink)
+        }
+        Policy::RmsRta => {
+            return Err(
+                "--policy rms-rta has no indexed admission; ops supports edf|rms|rms-hyp".into(),
+            )
+        }
+    };
+    let summaries = match result {
+        Ok(v) => v,
+        Err(StreamError::Replay(ReplayError::Exhausted { op_index, cause })) => {
+            println!(
+                "UNDECIDED — budget exhausted ({}) at op {op_index}",
+                cause.as_str()
+            );
+            return Ok(ExitCode::from(3));
+        }
+        Err(e) => return Err(format!("{path}: {e}")),
+    };
+    let mut total = ReplayStats::default();
+    for s in &summaries {
+        total.merge(&s.stats);
+        if c.verbose {
+            println!(
+                "  {}: {} ops, {} admitted, {} rejected, {} removed, live {}, digest {:08x}",
+                s.name,
+                s.stats.ops,
+                s.stats.admitted,
+                s.stats.rejected,
+                s.stats.removed,
+                s.stats.final_live,
+                s.digest
+            );
+        }
+    }
+    let combined = combine_digests(summaries.iter().map(|s| s.digest));
+    println!(
+        "{} instances streamed, {} ops replayed: {} admitted, {} rejected, {} removed \
+         ({} misses), {} queries ({} hits), {} repacks ({} infeasible), {} snapshots, \
+         {} rollbacks",
+        summaries.len(),
+        total.ops,
+        total.admitted,
+        total.rejected,
+        total.removed,
+        total.remove_misses,
+        total.query_hits + total.query_misses,
+        total.query_hits,
+        total.repacks,
+        total.repacks_infeasible,
+        total.snapshots,
+        total.rollbacks
+    );
+    println!("combined digest {combined:08x}");
+    if let Some(out) = &c.report {
+        let mut r = RunReport::new("hetfeas", "ops");
+        r.set("input", Json::Str(path.to_string()))
+            .set("policy", Json::Str(c.policy.key().into()))
+            .set("mode", Json::Str("incremental".into()))
+            .set("streaming", Json::Bool(true))
+            .set("trace_bytes", Json::UInt(trace_bytes))
+            .set("instances", Json::UInt(summaries.len() as u64))
+            .set("ops", Json::UInt(total.ops))
+            .set("admitted", Json::UInt(total.admitted))
+            .set("rejected", Json::UInt(total.rejected))
+            .set("removed", Json::UInt(total.removed))
+            .set("remove_misses", Json::UInt(total.remove_misses))
+            .set("query_hits", Json::UInt(total.query_hits))
+            .set("query_misses", Json::UInt(total.query_misses))
+            .set("snapshots", Json::UInt(total.snapshots))
+            .set("rollbacks", Json::UInt(total.rollbacks))
+            .set("repacks", Json::UInt(total.repacks))
+            .set("repacks_infeasible", Json::UInt(total.repacks_infeasible))
+            .set("final_live", Json::UInt(total.final_live))
+            .set("combined_digest", Json::Str(format!("{combined:08x}")))
+            .set("verdict", Json::Str("replayed".into()));
+        r.attach_metrics(&sink.snapshot());
+        write_report(out, &r)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Recover the engine from `path` and summarize it, generic over the
 /// admission test the journal's config record names.
 fn recover_summary<A: IndexableAdmission>(
@@ -1410,7 +1737,7 @@ fn cmd_serve(c: &Common) -> Result<ExitCode, String> {
         let cfg = ChaosConfig {
             seed: c.seed,
             tenants: c.tenants,
-            ops_per_tenant: c.ops,
+            ops_per_tenant: c.ops.unwrap_or(48),
             machines: c.machines,
             workers: c.workers.unwrap_or(0),
             shed_probe: true,
@@ -1467,6 +1794,9 @@ fn cmd_serve(c: &Common) -> Result<ExitCode, String> {
     if let Some(n) = c.compact_every {
         svc_cfg.opts.compact_every = n;
     }
+    if let Some(b) = c.slice_bytes {
+        svc_cfg.opts.slice_bytes = b;
+    }
     let server_cfg = ServerConfig {
         data_dir: std::path::PathBuf::from(c.data_dir.as_deref().unwrap_or(".")),
         text: c.text_mode,
@@ -1476,6 +1806,9 @@ fn cmd_serve(c: &Common) -> Result<ExitCode, String> {
         .map_err(|e| format!("create --data-dir {}: {e}", server_cfg.data_dir.display()))?;
     let svc = Service::new(svc_cfg);
     let workers = svc.workers();
+    // The serve loops consume the service; keep a handle on its metrics
+    // sink so the report can still read the final journal counters.
+    let svc_sink = svc.sink_handle();
     eprintln!(
         "serving ({} workers, data dir {})",
         workers,
@@ -1526,14 +1859,181 @@ fn cmd_serve(c: &Common) -> Result<ExitCode, String> {
                 ),
             )
             .set("quit", Json::Bool(served.quit))
+            .set(
+                "journal_compact_slices",
+                Json::UInt(svc_sink.counter(hetfeas::robust::metrics::JOURNAL_COMPACT_SLICES)),
+            )
+            .set(
+                "journal_bytes_reclaimed",
+                Json::UInt(svc_sink.counter(hetfeas::robust::metrics::JOURNAL_BYTES_RECLAIMED)),
+            )
             .set("verdict", Json::Str("served".into()));
+        r.attach_metrics(&svc_sink.snapshot());
         write_report(out, &r)?;
     }
     Ok(ExitCode::SUCCESS)
 }
 
+/// Build the synthesizer spec from the CLI knobs: seed, scale and the
+/// adversarial mix; the shape knobs (waves, bursts, lifetimes) keep their
+/// [`SynthSpec`] defaults, which is what the benchmarks pin.
+fn synth_spec(c: &Common) -> SynthSpec {
+    let mut spec = SynthSpec {
+        seed: c.seed,
+        instances: c.instances.unwrap_or(1),
+        machines: c.machines,
+        ..SynthSpec::default()
+    };
+    if let Some(n) = c.ops {
+        spec.ops_per_instance = n as u64;
+    }
+    if let Some(n) = c.max_live {
+        spec.max_live = n;
+    }
+    if let Some(per_mille) = c.adversarial {
+        spec.adversarial_per_mille = per_mille;
+        if per_mille > 0 {
+            // Seed the adversarial template pool from the fault corpus —
+            // the same huge-period / zero-slack / degenerate-speed task
+            // sets `hetfeas faults` runs, so synthesized arrivals can hit
+            // the admission tests' known weak spots.
+            let mut pool = Vec::new();
+            for case in FaultPlan::new(c.seed).cases() {
+                pool.extend_from_slice(case.tasks.as_slice());
+            }
+            spec.adversarial = pool;
+        }
+    }
+    spec
+}
+
+/// `trace synth`: deterministically synthesize an op-trace workload —
+/// diurnal arrival waves, churn bursts, heavy-tailed lifetimes, optional
+/// adversarial arrivals — and write it as a streaming binary `.hbt` trace
+/// (or text with `--text`). The binary path never materializes the trace,
+/// so million-op workloads synthesize in bounded RSS.
+fn cmd_trace_synth(c: &Common) -> Result<ExitCode, String> {
+    let out_path = c.out.as_ref().ok_or("trace synth needs --out FILE")?;
+    let spec = synth_spec(c);
+    let mut total_ops = 0u64;
+    if c.text_mode {
+        let mut instances = Vec::with_capacity(spec.instances);
+        for i in 0..spec.instances {
+            let platform = synth_platform(&spec, i);
+            let mut synth = TraceSynth::new(&spec, i);
+            let mut ops = Vec::new();
+            while let Some(op) = synth.next_op() {
+                ops.push(op);
+            }
+            total_ops += ops.len() as u64;
+            instances.push(TraceInstance {
+                name: format!("synth-{i}"),
+                platform,
+                ops,
+            });
+        }
+        let text = render_op_trace(&OpTrace { instances });
+        std::fs::write(out_path, &text).map_err(|e| format!("write {out_path}: {e}"))?;
+    } else {
+        let file =
+            std::fs::File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+        let buf = std::io::BufWriter::with_capacity(1 << 20, file);
+        let mut writer = TraceWriter::new(buf).map_err(|e| format!("write {out_path}: {e}"))?;
+        for i in 0..spec.instances {
+            let platform = synth_platform(&spec, i);
+            writer
+                .begin_instance(&format!("synth-{i}"), &platform)
+                .map_err(|e| format!("write {out_path}: {e}"))?;
+            let mut synth = TraceSynth::new(&spec, i);
+            while let Some(op) = synth.next_op() {
+                writer
+                    .op(&op)
+                    .map_err(|e| format!("write {out_path}: {e}"))?;
+            }
+            writer
+                .end_instance()
+                .map_err(|e| format!("write {out_path}: {e}"))?;
+            total_ops += synth.emitted();
+        }
+        writer
+            .finish()
+            .map_err(|e| format!("write {out_path}: {e}"))?;
+    }
+    let bytes = std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "synthesized {} instance{} ({} ops, seed {}, {} machines) → {} ({} bytes, {})",
+        spec.instances,
+        if spec.instances == 1 { "" } else { "s" },
+        total_ops,
+        spec.seed,
+        spec.machines,
+        out_path,
+        bytes,
+        if c.text_mode { "text" } else { "binary" }
+    );
+    if let Some(out) = &c.report {
+        let mut r = RunReport::new("hetfeas", "trace-synth");
+        r.set("output", Json::Str(out_path.clone()))
+            .set("seed", Json::UInt(spec.seed))
+            .set("instances", Json::UInt(spec.instances as u64))
+            .set("machines", Json::UInt(spec.machines as u64))
+            .set("max_live", Json::UInt(spec.max_live as u64))
+            .set(
+                "adversarial_per_mille",
+                Json::UInt(spec.adversarial_per_mille),
+            )
+            .set("ops", Json::UInt(total_ops))
+            .set("trace_bytes", Json::UInt(bytes))
+            .set(
+                "format",
+                Json::Str(if c.text_mode { "text" } else { "binary" }.into()),
+            )
+            .set("verdict", Json::Str("synthesized".into()));
+        write_report(out, &r)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `trace convert`: round-trip between the text and binary trace formats.
+/// The direction is sniffed from the input's magic, so
+/// `convert a.txt --out a.hbt` and `convert a.hbt --out a.txt` both just
+/// work; a binary→text→binary round trip is byte-identical.
+fn cmd_trace_convert(c: &Common) -> Result<ExitCode, String> {
+    let in_path = c.file.as_ref().ok_or("trace convert needs an input FILE")?;
+    let out_path = c.out.as_ref().ok_or("trace convert needs --out FILE")?;
+    let bytes = std::fs::read(in_path).map_err(|e| format!("read {in_path}: {e}"))?;
+    let (trace, direction) = if is_binary_trace(&bytes) {
+        let trace = read_op_trace_bin(&bytes[..]).map_err(|e| format!("{in_path}: {e}"))?;
+        let text = render_op_trace(&trace);
+        std::fs::write(out_path, &text).map_err(|e| format!("write {out_path}: {e}"))?;
+        (trace, "binary → text")
+    } else {
+        let text =
+            String::from_utf8(bytes).map_err(|_| format!("{in_path}: not UTF-8 trace text"))?;
+        let trace = parse_op_trace(&text).map_err(|e| format!("{in_path}: {e}"))?;
+        let file =
+            std::fs::File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+        let buf = std::io::BufWriter::with_capacity(1 << 20, file);
+        let mut w =
+            write_op_trace_bin(&trace, buf).map_err(|e| format!("write {out_path}: {e}"))?;
+        std::io::Write::flush(&mut w).map_err(|e| format!("write {out_path}: {e}"))?;
+        (trace, "text → binary")
+    };
+    let total_ops: usize = trace.instances.iter().map(|i| i.ops.len()).sum();
+    let out_bytes = std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "{direction}: {} instance{} ({} ops) → {} ({} bytes)",
+        trace.instances.len(),
+        if trace.instances.len() == 1 { "" } else { "s" },
+        total_ops,
+        out_path,
+        out_bytes
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 const USAGE: &str =
-    "usage: hetfeas <check|alpha|oracles|simulate|generate|faults|ops|recover|serve> [ARGS]
+    "usage: hetfeas <check|alpha|oracles|simulate|generate|faults|trace|ops|recover|serve> [ARGS]
   check    SYSTEM [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [--exact] [--workers N]
            [--report FILE] [-v]
   alpha    SYSTEM [--policy …] [--report FILE]
@@ -1542,12 +2042,20 @@ const USAGE: &str =
   generate --tasks N --machines M --util U [--platform identical|big-little|geometric|uniform]
            [--scenario automotive|avionics|media|server] [--seed N]
   faults   [--seed N] [--report FILE]
+  trace synth --out FILE [--seed N] [--ops N] [--instances N] [--machines M]
+           [--max-live N] [--adversarial PERMILLE] [--text] [--report FILE]
+           deterministic workload synthesizer (diurnal waves, churn bursts,
+           heavy-tailed lifetimes); binary .hbt by default, streamed in bounded RSS
+  trace convert IN --out OUT   text <-> binary trace round-trip (format sniffed)
   ops      --trace TRACE [--mode incremental|from-scratch] [--policy edf|rms|rms-hyp]
            [--alpha X] [--workers N] [--report FILE] [-v]
-           [--journal FILE [--compact-every N]]  write-ahead journal (single instance)
+           [--journal FILE [--compact-every N] [--slice-bytes B]]
+           write-ahead journal (single instance); binary traces replay as a
+           bounded-RSS stream (incremental only)
   recover  JOURNAL [--report FILE] [-v]   rebuild engine state from a journal
   serve    [--data-dir DIR] [--socket PATH] [--text] [--workers N] [--seed N]
            [--queue-depth N] [--batch-max N] [--max-restarts N] [--compact-every N]
+           [--slice-bytes B]
            [--report FILE]   supervised multi-tenant admission service (stdin frames
            or Unix socket); tenant crashes are bulkheaded, never fatal
   serve --chaos [--tenants N] [--ops N] [--machines M] [--seed N] [--workers N]
@@ -1563,6 +2071,21 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    // `trace` carries its own subcommand (`synth`/`convert`); split it off
+    // before flag parsing so `convert`'s input file stays the positional.
+    let (cmd, rest): (String, &[String]) = if cmd == "trace" {
+        match rest.split_first() {
+            Some((sub, tail)) if sub == "synth" || sub == "convert" => {
+                (format!("trace-{sub}"), tail)
+            }
+            _ => {
+                eprintln!("trace needs a subcommand: synth|convert\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        (cmd.clone(), rest)
+    };
     let common = match parse_common(rest) {
         Ok(c) => c,
         Err(e) => {
@@ -1577,6 +2100,8 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&common),
         "generate" => cmd_generate(&common),
         "faults" => cmd_faults(&common),
+        "trace-synth" => cmd_trace_synth(&common),
+        "trace-convert" => cmd_trace_convert(&common),
         "ops" => cmd_ops(&common),
         "recover" => cmd_recover(&common),
         "serve" => cmd_serve(&common),
