@@ -76,6 +76,18 @@ impl Backoff {
     pub fn total_ceil_ms(&self, attempts: u32) -> u64 {
         (0..attempts).fold(0u64, |acc, a| acc.saturating_add(self.ceil_ms(a)))
     }
+
+    /// [`Backoff::delay_ms`] clamped to a remaining deadline budget:
+    /// `None` when the budget cannot fit even a 1 ms sleep (the caller
+    /// should fail fast instead of sleeping through its own deadline),
+    /// otherwise the jittered delay truncated to the budget. Used by
+    /// deadline-propagating retry loops (`hetfeas-service`'s client).
+    pub fn delay_within_ms(&self, attempt: u32, budget_ms: u64) -> Option<u64> {
+        if budget_ms == 0 {
+            return None;
+        }
+        Some(self.delay_ms(attempt).min(budget_ms))
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +139,14 @@ mod tests {
         let b = Backoff::new(1, 64, 9);
         let total: u64 = (0..8).map(|k| b.delay_ms(k)).sum();
         assert!(total <= b.total_ceil_ms(8));
+    }
+
+    #[test]
+    fn delay_within_budget_clamps_and_fails_fast() {
+        let b = Backoff::new(16, 1024, 3);
+        assert_eq!(b.delay_within_ms(4, 0), None, "spent budget: no sleep");
+        assert_eq!(b.delay_within_ms(4, 1), Some(1), "clamped to budget");
+        let full = b.delay_ms(4);
+        assert_eq!(b.delay_within_ms(4, u64::MAX), Some(full), "unclamped");
     }
 }

@@ -72,6 +72,9 @@ pub struct ChaosConfig {
     /// Run the load-shedding probe (stall + queue overrun) after the
     /// storm. Disable for strict cross-run digest determinism.
     pub shed_probe: bool,
+    /// Per-ack wait bound (ms) before the storm declares a shard hung —
+    /// a liveness backstop, configurable instead of hardcoded.
+    pub ack_wait_ms: u64,
 }
 
 impl Default for ChaosConfig {
@@ -83,6 +86,7 @@ impl Default for ChaosConfig {
             machines: 3,
             workers: 0,
             shed_probe: true,
+            ack_wait_ms: 30_000,
         }
     }
 }
@@ -367,14 +371,17 @@ struct Tenant {
     live_digest: Option<u32>,
 }
 
-const ACK_TIMEOUT: Duration = Duration::from_secs(30);
-
-fn await_seq(rx: &mpsc::Receiver<(u64, Response)>, want: u64, hung: &mut bool) -> Option<Response> {
+fn await_seq(
+    rx: &mpsc::Receiver<(u64, Response)>,
+    want: u64,
+    hung: &mut bool,
+    ack_wait: Duration,
+) -> Option<Response> {
     if *hung {
         return None;
     }
     loop {
-        match rx.recv_timeout(ACK_TIMEOUT) {
+        match rx.recv_timeout(ack_wait) {
             Ok((s, resp)) if s == want => return Some(resp),
             Ok(_) => continue,
             Err(_) => {
@@ -402,7 +409,8 @@ fn record_ack(t: &mut Tenant, op: Op, resp: &Response) {
 }
 
 /// Fault-free replay of the acked-applied op stream over fresh storage.
-fn op_replay_digest(
+/// Shared with the network storm in [`crate::netchaos`].
+pub(crate) fn op_replay_digest(
     policy: PolicyKind,
     platform: &Platform,
     opts: DurableOptions,
@@ -433,8 +441,9 @@ fn op_replay_digest(
     Some(eng.state_digest())
 }
 
-/// Fault-free recovery of the tenant's final journal bytes.
-fn journal_replay_digest(policy: PolicyKind, bytes: Vec<u8>) -> Option<u32> {
+/// Fault-free recovery of the tenant's final journal bytes. Shared with
+/// the network storm in [`crate::netchaos`].
+pub(crate) fn journal_replay_digest(policy: PolicyKind, bytes: Vec<u8>) -> Option<u32> {
     if bytes.is_empty() {
         return None;
     }
@@ -471,6 +480,8 @@ pub fn run_storm(cfg: &ChaosConfig) -> ChaosReport {
         op_gas: None,
         recover_gas: None,
         alpha_rungs: DEFAULT_ALPHA_RUNGS.to_vec(),
+        dedup_window: 256,
+        shutdown_wait_ms: cfg.ack_wait_ms,
     });
 
     let mut tenants: Vec<Tenant> = Vec::with_capacity(tenant_count);
@@ -513,6 +524,7 @@ pub fn run_storm(cfg: &ChaosConfig) -> ChaosReport {
     let (tx, rx) = mpsc::channel();
     let mut seq: u64 = 0;
     let mut hung = false;
+    let ack_wait = Duration::from_millis(cfg.ack_wait_ms.max(1));
 
     // Interleaved storm, one awaited ack at a time (shedding is probed
     // separately — an awaited storm keeps queues drained, so which ops
@@ -522,7 +534,7 @@ pub fn run_storm(cfg: &ChaosConfig) -> ChaosReport {
             let op = gen_op(&mut t.rng, &t.live);
             seq += 1;
             svc.submit(seq, &t.name, Request::Op(op), &tx);
-            match await_seq(&rx, seq, &mut hung) {
+            match await_seq(&rx, seq, &mut hung, ack_wait) {
                 Some(resp) => record_ack(t, op, &resp),
                 None => break 'storm,
             }
@@ -549,7 +561,7 @@ pub fn run_storm(cfg: &ChaosConfig) -> ChaosReport {
                 if inject {
                     seq += 1;
                     svc.submit(seq, &t.name, Request::InjectPanic, &tx);
-                    if await_seq(&rx, seq, &mut hung).is_none() {
+                    if await_seq(&rx, seq, &mut hung, ack_wait).is_none() {
                         break 'storm;
                     }
                 }
@@ -573,7 +585,7 @@ pub fn run_storm(cfg: &ChaosConfig) -> ChaosReport {
         }
         let mut acks: BTreeMap<u64, Response> = BTreeMap::new();
         for _ in 0..=burst.len() {
-            match rx.recv_timeout(ACK_TIMEOUT) {
+            match rx.recv_timeout(ack_wait) {
                 Ok((s, resp)) => {
                     acks.insert(s, resp);
                 }
@@ -598,7 +610,9 @@ pub fn run_storm(cfg: &ChaosConfig) -> ChaosReport {
     for t in tenants.iter_mut() {
         seq += 1;
         svc.submit(seq, &t.name, Request::Digest, &tx);
-        if let Some(Response::Digest { digest, state, .. }) = await_seq(&rx, seq, &mut hung) {
+        if let Some(Response::Digest { digest, state, .. }) =
+            await_seq(&rx, seq, &mut hung, ack_wait)
+        {
             if state != ShardState::Quarantined {
                 t.live_digest = Some(digest);
             }
@@ -685,6 +699,7 @@ mod tests {
             machines: 2,
             workers: 2,
             shed_probe: true,
+            ack_wait_ms: 30_000,
         };
         let report = run_storm(&cfg);
         for line in report.summary_lines() {
@@ -726,6 +741,7 @@ mod tests {
             machines: 2,
             workers: 2,
             shed_probe: false,
+            ack_wait_ms: 30_000,
         };
         let a = run_storm(&cfg);
         let b = run_storm(&cfg);

@@ -23,6 +23,33 @@
 //! stats
 //! quit
 //! ```
+//!
+//! Every command may carry trailing *envelope tokens* in any order:
+//!
+//! ```text
+//! add a 3 10 rid=42 dl=500
+//! ```
+//!
+//! `rid=<u64>` is a client-assigned request id. Mutating commands that
+//! carry one are deduplicated by the shard (a per-tenant LRU window of
+//! recently acked ids), so an at-least-once retry after a torn
+//! connection is *applied* exactly once; the cached reply is re-sent
+//! and echoed back with the same `rid=` suffix so clients can match
+//! replies across duplicated or reordered frames. `dl=<ms>` is the
+//! client's remaining per-request deadline budget; the server bounds
+//! its reply wait by it (clamped to `ServerConfig::reply_wait_ms`)
+//! instead of holding short-deadline requests hostage to a global
+//! liveness backstop.
+//!
+//! Deadline semantics for `add`: the optional `[deadline]` is the task's
+//! *relative* deadline. Absent means implicit (`deadline = period`).
+//! `deadline == 0` is rejected at the parser (a zero-length scheduling
+//! window is always infeasible and almost always a client bug).
+//! Constrained deadlines (`deadline < period`) are accepted and
+//! admitted through the same demand-bound machinery as implicit ones;
+//! `deadline > period` (arbitrary-deadline) is accepted by the parser
+//! and left to the per-policy engine, which may reject it as
+//! infeasible for the configured test.
 
 use crate::engine::PolicyKind;
 use std::io::{self, Read, Write};
@@ -36,8 +63,14 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
         .ok()
         .filter(|&l| l <= MAX_FRAME_LEN)
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too long"))?;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(payload)
+    // One write, not two: splitting the 4-byte prefix from the payload
+    // sends two small TCP segments, and Nagle holds the second until
+    // the peer's delayed ACK (~40ms) when the caller writes straight to
+    // a socket.
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
 }
 
 /// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
@@ -154,11 +187,72 @@ fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
     s.parse::<u64>().map_err(|_| format!("bad {what} '{s}'"))
 }
 
-/// Parse one command line.
+/// A command plus its transport envelope: the optional client-assigned
+/// request id (`rid=`) and remaining deadline budget (`dl=`, in ms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRequest {
+    /// The parsed command.
+    pub cmd: Command,
+    /// Client-assigned idempotency token, if any.
+    pub rid: Option<u64>,
+    /// Client's remaining per-request deadline budget in ms, if any.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parse one request line: a command followed by optional trailing
+/// `rid=<u64>` / `dl=<ms>` envelope tokens (either order, at most once
+/// each). `dl=0` is rejected — an already-expired budget is a client
+/// bug, not a request.
+pub fn parse_request(line: &str) -> Result<ParsedRequest, String> {
+    let mut words: Vec<&str> = line.split_whitespace().collect();
+    let mut rid = None;
+    let mut deadline_ms = None;
+    while let Some(last) = words.last() {
+        if let Some(v) = last.strip_prefix("rid=") {
+            if rid.is_some() {
+                return Err("duplicate rid= token".to_string());
+            }
+            rid = Some(parse_u64(v, "rid")?);
+        } else if let Some(v) = last.strip_prefix("dl=") {
+            if deadline_ms.is_some() {
+                return Err("duplicate dl= token".to_string());
+            }
+            let ms = parse_u64(v, "dl")?;
+            if ms == 0 {
+                return Err("dl must be ≥ 1 ms".to_string());
+            }
+            deadline_ms = Some(ms);
+        } else {
+            break;
+        }
+        words.pop();
+    }
+    Ok(ParsedRequest {
+        cmd: parse_words(&words)?,
+        rid,
+        deadline_ms,
+    })
+}
+
+/// Best-effort rid extraction from a line that may not parse as a
+/// command — used by the server to echo `rid=` on usage-error replies
+/// so a retrying client can still match them.
+pub fn scavenge_rid(line: &str) -> Option<u64> {
+    line.split_whitespace()
+        .rev()
+        .take(2)
+        .find_map(|w| w.strip_prefix("rid=").and_then(|v| v.parse().ok()))
+}
+
+/// Parse one command line (no envelope tokens).
 pub fn parse_command(line: &str) -> Result<Command, String> {
-    let mut words = line.split_whitespace();
-    let verb = words.next().ok_or("empty command")?;
-    let rest: Vec<&str> = words.collect();
+    let words: Vec<&str> = line.split_whitespace().collect();
+    parse_words(&words)
+}
+
+fn parse_words(words: &[&str]) -> Result<Command, String> {
+    let verb = *words.first().ok_or("empty command")?;
+    let rest: Vec<&str> = words[1..].to_vec();
     let tenant_arg = |idx: usize| -> Result<String, String> {
         rest.get(idx)
             .map(|s| s.to_string())
@@ -193,11 +287,19 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             if rest.len() < 3 || rest.len() > 4 {
                 return Err("add <tenant> <wcet> <period> [deadline]".to_string());
             }
+            let deadline = rest.get(3).map(|s| parse_u64(s, "deadline")).transpose()?;
+            if deadline == Some(0) {
+                return Err(
+                    "deadline must be ≥ 1 (omit for implicit deadline = period; \
+                     deadline < period means constrained-deadline admission)"
+                        .to_string(),
+                );
+            }
             Ok(Command::Add {
                 tenant: rest[0].to_string(),
                 wcet: parse_u64(rest[1], "wcet")?,
                 period: parse_u64(rest[2], "period")?,
-                deadline: rest.get(3).map(|s| parse_u64(s, "deadline")).transpose()?,
+                deadline,
             })
         }
         "remove" | "query" => {
@@ -300,6 +402,16 @@ mod tests {
             }
         );
         assert_eq!(parse_command("quit").expect("quit"), Command::Quit);
+        assert!(parse_command("add a 3 10 0").is_err(), "zero deadline");
+        assert_eq!(
+            parse_command("add a 3 10 7").expect("constrained"),
+            Command::Add {
+                tenant: "a".to_string(),
+                wcet: 3,
+                period: 10,
+                deadline: Some(7),
+            }
+        );
         assert!(parse_command("open a edf 0.5 1").is_err(), "alpha < 1");
         assert!(
             parse_command("open a rms-rta 1 1").is_err(),
@@ -307,5 +419,32 @@ mod tests {
         );
         assert!(parse_command("warp a").is_err(), "unknown verb");
         assert!(parse_command("").is_err(), "empty");
+    }
+
+    #[test]
+    fn envelope_tokens_parse() {
+        let req = parse_request("add a 3 10 rid=42 dl=500").expect("envelope");
+        assert_eq!(req.rid, Some(42));
+        assert_eq!(req.deadline_ms, Some(500));
+        assert_eq!(
+            req.cmd,
+            Command::Add {
+                tenant: "a".to_string(),
+                wcet: 3,
+                period: 10,
+                deadline: None,
+            }
+        );
+        // Either order; bare command still parses.
+        let req = parse_request("digest a dl=9 rid=1").expect("reordered");
+        assert_eq!((req.rid, req.deadline_ms), (Some(1), Some(9)));
+        let req = parse_request("stats").expect("bare");
+        assert_eq!((req.rid, req.deadline_ms), (None, None));
+        assert!(parse_request("add a 3 10 rid=1 rid=2").is_err(), "dup rid");
+        assert!(parse_request("digest a dl=0").is_err(), "expired budget");
+        assert!(parse_request("digest a rid=x").is_err(), "bad rid");
+        // Envelope tokens are trailing only: elsewhere they are command
+        // words and fail the command's own arity check.
+        assert!(parse_request("add rid=1 a 3 10").is_err(), "non-trailing");
     }
 }

@@ -18,27 +18,35 @@
 //!   batching and coalescing, request/response types.
 //! * [`engine`] — policy-dispatched wrapper over the durable engine,
 //!   plus the shed-time α quoting probe.
-//! * [`frame`] — the length-prefixed wire protocol and its text
-//!   commands.
-//! * [`server`] — stdin / Unix-socket front ends for the `serve` CLI
-//!   subcommand.
+//! * [`frame`] — the length-prefixed wire protocol, its text commands,
+//!   and the `rid=`/`dl=` envelope tokens of the retry protocol.
+//! * [`server`] — stdin / Unix-socket / TCP front ends for the `serve`
+//!   CLI subcommand; the socket front ends accept concurrently.
+//! * [`client`] — the retrying client: deadline propagation, retry
+//!   budget, per-endpoint circuit breaker.
 //! * [`chaos`] — the seeded fault-storm harness asserting the bulkhead
 //!   and convergence contracts.
-//! * [`metrics`] — the `service.*` counter family.
+//! * [`netchaos`] — the seeded network-chaos proxy and the end-to-end
+//!   exactly-once storm over TCP.
+//! * [`metrics`] — the `service.*` and `client.*` counter families.
 
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod client;
 pub mod engine;
 pub mod frame;
 pub mod metrics;
+pub mod netchaos;
 pub mod server;
 pub mod shard;
 pub mod supervisor;
 
 pub use chaos::{run_storm, ChaosConfig, ChaosReport};
+pub use client::{Client, ClientConfig, ClientError, Endpoint, Reply};
 pub use engine::{quote_alpha, PolicyKind, TenantEngine};
-pub use server::{serve_once, serve_unix, ServeReport, ServerConfig};
+pub use netchaos::{run_net_storm, NetChaosConfig, NetChaosProxy, NetStormConfig, NetStormReport};
+pub use server::{serve_once, serve_tcp, serve_unix, ServeReport, ServerConfig};
 pub use shard::{
     ErrorKind, Op, Request, Response, ShardState, ShardStatus, StorageFactory, TenantSpec,
 };

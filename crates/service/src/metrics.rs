@@ -24,3 +24,30 @@ pub const SERVICE_RESTARTS: &str = "service.restarts";
 pub const SERVICE_QUARANTINES: &str = "service.quarantines";
 /// Ops acked with an IO / exhaustion / panic error (counter).
 pub const SERVICE_OP_ERRORS: &str = "service.op_errors";
+/// Retried ops answered from the per-tenant rid dedup window without a
+/// second application (counter).
+pub const SERVICE_DEDUP_HITS: &str = "service.dedup_hits";
+/// Connections accepted by the concurrent front end (counter).
+pub const SERVICE_CONNS: &str = "service.conns";
+/// Connections shed at accept time — in-flight connection cap reached
+/// (counter).
+pub const SERVICE_CONN_SHED: &str = "service.conn_shed";
+/// Requests that timed out waiting for a shard reply past their
+/// per-request deadline budget (counter).
+pub const SERVICE_DEADLINE_MISSES: &str = "service.deadline_misses";
+
+/// Calls issued by [`crate::client::Client`] (counter).
+pub const CLIENT_CALLS: &str = "client.calls";
+/// Retried attempts after transport errors or sheds (counter).
+pub const CLIENT_RETRIES: &str = "client.retries";
+/// Reconnects performed after a torn connection (counter).
+pub const CLIENT_RECONNECTS: &str = "client.reconnects";
+/// Calls abandoned at the per-request deadline (counter).
+pub const CLIENT_DEADLINE_EXCEEDED: &str = "client.deadline_exceeded";
+/// Retries denied by the retry budget — overload amplification guard
+/// (counter).
+pub const CLIENT_BUDGET_DENIED: &str = "client.budget_denied";
+/// Circuit-breaker transitions into Open (counter).
+pub const CLIENT_BREAKER_OPENS: &str = "client.breaker_opens";
+/// Calls rejected fast while the breaker is Open (counter).
+pub const CLIENT_BREAKER_REJECTS: &str = "client.breaker_rejects";

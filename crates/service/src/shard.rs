@@ -43,7 +43,7 @@ use hetfeas_partition::durable::{DurableError, DurableOptions, RecoverError};
 use hetfeas_partition::incremental::{AddOutcome, EngineState, RepackOutcome};
 use hetfeas_robust::journal::{with_retries, JournalError, Storage};
 use hetfeas_robust::{firewall, Backoff, Budget, Gas};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -90,6 +90,9 @@ pub struct ShardConfig {
     pub seed: u64,
     /// Journal options (auto-repack / compaction cadence).
     pub opts: DurableOptions,
+    /// Capacity of the per-tenant request-id dedup window (`0` disables
+    /// idempotent-retry dedup).
+    pub dedup_window: usize,
 }
 
 /// Lifecycle state of a shard.
@@ -350,9 +353,13 @@ impl Response {
 }
 
 /// A sequenced request plus its reply route. Coalescing folds dropped
-/// duplicates into `extra`, which receive a clone of the reply.
+/// duplicates into `extra`, which receive a clone of the reply. `rid`
+/// is the client-assigned idempotency token, when the request carried
+/// one — rid-bearing ops bypass coalescing and consult the dedup
+/// window instead.
 pub(crate) struct Envelope {
     pub seq: u64,
+    pub rid: Option<u64>,
     pub req: Request,
     pub reply: Sender<(u64, Response)>,
     pub extra: Vec<(u64, Sender<(u64, Response)>)>,
@@ -483,17 +490,60 @@ fn apply_op(
     })
 }
 
+/// A bounded per-tenant LRU of recently acked request ids and their
+/// cached replies. A retried op whose rid is still in the window is
+/// answered from the cache without touching the engine, so at-least-once
+/// delivery becomes exactly-once application. Only *applied* replies are
+/// cached — errors stay retryable. The window lives outside the
+/// supervision loop, so it survives panic-restart incarnations of the
+/// same worker (cross-process dedup is out of scope; see DESIGN.md §15).
+struct DedupWindow {
+    cap: usize,
+    map: HashMap<u64, Response>,
+    order: VecDeque<u64>,
+}
+
+impl DedupWindow {
+    fn new(cap: usize) -> DedupWindow {
+        DedupWindow {
+            cap,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, rid: u64) -> Option<&Response> {
+        self.map.get(&rid)
+    }
+
+    fn insert(&mut self, rid: u64, resp: Response) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.insert(rid, resp).is_none() {
+            self.order.push_back(rid);
+            while self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+}
+
 /// Merge adjacent duplicate idempotent ops (repack, compact): the later
 /// envelope executes once and answers both. Returns merged count.
+/// Envelopes carrying a request id are never merged — each rid must be
+/// individually acked (and individually recorded in the dedup window).
 fn coalesce(pending: &mut VecDeque<Envelope>) -> u64 {
-    fn coalescible(req: &Request) -> bool {
-        matches!(req, Request::Op(Op::Repack) | Request::Op(Op::Compact))
+    fn coalescible(env: &Envelope) -> bool {
+        env.rid.is_none() && matches!(env.req, Request::Op(Op::Repack) | Request::Op(Op::Compact))
     }
     let mut merged = 0u64;
     let mut out: VecDeque<Envelope> = VecDeque::with_capacity(pending.len());
     for env in pending.drain(..) {
         match out.back_mut() {
-            Some(prev) if coalescible(&prev.req) && prev.req == env.req => {
+            Some(prev) if coalescible(prev) && coalescible(&env) && prev.req == env.req => {
                 let mut folded = env;
                 folded.extra.append(&mut prev.extra);
                 folded.extra.push((prev.seq, prev.reply.clone()));
@@ -522,6 +572,9 @@ pub(crate) fn run(ctx: WorkerCtx) {
     let mut restarts: u32 = 0;
     let mut quarantine: Option<String> = None;
     let mut pending: VecDeque<Envelope> = VecDeque::new();
+    // Outside the supervision loop on purpose: acked ids must stay
+    // deduplicated across panic-restart incarnations.
+    let mut dedup = DedupWindow::new(ctx.cfg.dedup_window);
 
     let do_quarantine = |reason: &str,
                          engine: &mut Option<TenantEngine>,
@@ -619,6 +672,19 @@ pub(crate) fn run(ctx: WorkerCtx) {
                 env.respond(Response::Shutdown);
                 return;
             }
+            // Idempotent-retry fast path: a rid we already acked answers
+            // from the cache — even on a now-quarantined shard, because
+            // the original application *did* happen and the ack must
+            // stay consistent with the journal.
+            if let Some(rid) = env.rid {
+                if matches!(env.req, Request::Op(_)) {
+                    if let Some(cached) = dedup.get(rid) {
+                        sink.counter_add(metrics::SERVICE_DEDUP_HITS, 1);
+                        env.respond(cached.clone());
+                        continue;
+                    }
+                }
+            }
             if let Some(reason) = &quarantine {
                 match env.req {
                     Request::Digest => {
@@ -669,7 +735,14 @@ pub(crate) fn run(ctx: WorkerCtx) {
                         None => Gas::unlimited(),
                     };
                     match firewall::guard_with(&*sink, || apply_op(eng, op, &mut gas, &sink)) {
-                        Ok(Ok(resp)) => env.respond(resp),
+                        Ok(Ok(resp)) => {
+                            if let Some(rid) = env.rid {
+                                if resp.applied() {
+                                    dedup.insert(rid, resp.clone());
+                                }
+                            }
+                            env.respond(resp);
+                        }
                         Ok(Err(e)) => {
                             sink.counter_add(metrics::SERVICE_OP_ERRORS, 1);
                             let (kind, message) = match &e {
@@ -747,6 +820,7 @@ mod tests {
     fn env_for(seq: u64, req: Request, tx: &Sender<(u64, Response)>) -> Envelope {
         Envelope {
             seq,
+            rid: None,
             req,
             reply: tx.clone(),
             extra: Vec::new(),
@@ -812,5 +886,40 @@ mod tests {
     #[test]
     fn tenant_hash_separates_names() {
         assert_ne!(tenant_hash("a"), tenant_hash("b"));
+    }
+
+    #[test]
+    fn coalesce_never_merges_rid_bearing_ops() {
+        let (tx, rx) = mpsc::channel();
+        let mut pending: VecDeque<Envelope> = VecDeque::new();
+        for (seq, rid) in [(1, Some(10)), (2, Some(11)), (3, None), (4, None)] {
+            let mut env = env_for(seq, Request::Op(Op::Repack), &tx);
+            env.rid = rid;
+            pending.push_back(env);
+        }
+        // Only the two rid-less repacks merge.
+        assert_eq!(coalesce(&mut pending), 1);
+        assert_eq!(pending.len(), 3);
+        for env in &pending {
+            env.respond(Response::Done);
+        }
+        assert_eq!(rx.try_iter().count(), 4);
+    }
+
+    #[test]
+    fn dedup_window_evicts_oldest_and_keeps_recent() {
+        let mut w = DedupWindow::new(2);
+        w.insert(1, Response::Done);
+        w.insert(2, Response::Rejected);
+        assert!(w.get(1).is_some() && w.get(2).is_some());
+        w.insert(3, Response::Done);
+        assert!(w.get(1).is_none(), "oldest evicted at capacity");
+        assert!(w.get(2).is_some() && w.get(3).is_some());
+        // Re-inserting an existing rid does not double-count capacity.
+        w.insert(3, Response::Done);
+        assert!(w.get(2).is_some());
+        let mut off = DedupWindow::new(0);
+        off.insert(9, Response::Done);
+        assert!(off.get(9).is_none(), "cap 0 disables dedup");
     }
 }

@@ -58,6 +58,13 @@ pub struct ServiceConfig {
     pub recover_gas: Option<u64>,
     /// α ladder for shed-time quotes.
     pub alpha_rungs: Vec<f64>,
+    /// Per-tenant request-id dedup window capacity (`0` disables
+    /// idempotent-retry dedup).
+    pub dedup_window: usize,
+    /// How long [`Service::shutdown`] waits for each shard's drain ack
+    /// before force-joining (ms). A liveness backstop, not a deadline —
+    /// the worker is joined either way.
+    pub shutdown_wait_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -74,6 +81,8 @@ impl Default for ServiceConfig {
             op_gas: None,
             recover_gas: None,
             alpha_rungs: DEFAULT_ALPHA_RUNGS.to_vec(),
+            dedup_window: 256,
+            shutdown_wait_ms: 30_000,
         }
     }
 }
@@ -168,6 +177,7 @@ impl Service {
                 backoff_cap_ms: self.cfg.backoff_cap_ms,
                 seed: self.cfg.seed,
                 opts: self.cfg.opts,
+                dedup_window: self.cfg.dedup_window,
             },
             cell: Arc::clone(&cell),
             sink: Arc::clone(&self.sink),
@@ -196,6 +206,23 @@ impl Service {
     /// or answers `unknown-tenant`/`unavailable` immediately. The reply
     /// (tagged `seq`) arrives on `reply`.
     pub fn submit(&self, seq: u64, tenant: &str, req: Request, reply: &Sender<(u64, Response)>) {
+        self.submit_tagged(seq, None, tenant, req, reply);
+    }
+
+    /// [`Service::submit`] with a client-assigned request id. A rid that
+    /// reaches the shard is deduplicated against the tenant's LRU window
+    /// — a retried op already acked answers from the cached reply
+    /// instead of being applied twice. Sheds and `unknown-tenant`
+    /// answers are not recorded: nothing was applied, so the retry must
+    /// run for real.
+    pub fn submit_tagged(
+        &self,
+        seq: u64,
+        rid: Option<u64>,
+        tenant: &str,
+        req: Request,
+        reply: &Sender<(u64, Response)>,
+    ) {
         let Some(handle) = self.tenants.get(tenant) else {
             let _ = reply.send((
                 seq,
@@ -208,6 +235,7 @@ impl Service {
         };
         let env = Envelope {
             seq,
+            rid,
             req,
             reply: reply.clone(),
             extra: Vec::new(),
@@ -262,17 +290,22 @@ impl Service {
     }
 
     /// Drain every shard and join its worker. Returns final statuses.
+    /// The per-shard drain ack wait is bounded by
+    /// [`ServiceConfig::shutdown_wait_ms`] rather than a hardcoded
+    /// backstop.
     pub fn shutdown(mut self) -> Vec<(String, ShardStatus)> {
+        let ack_wait = Duration::from_millis(self.cfg.shutdown_wait_ms.max(1));
         for handle in self.tenants.values_mut() {
             let (ack_tx, ack_rx) = mpsc::channel();
             let env = Envelope {
                 seq: 0,
+                rid: None,
                 req: Request::Shutdown,
                 reply: ack_tx,
                 extra: Vec::new(),
             };
             if handle.tx.send(env).is_ok() {
-                let _ = ack_rx.recv_timeout(Duration::from_secs(30));
+                let _ = ack_rx.recv_timeout(ack_wait);
             }
             if let Some(join) = handle.join.take() {
                 let _ = join.join();
@@ -397,6 +430,37 @@ mod tests {
         let status = svc.status("t").expect("status");
         assert_eq!(status.restarts, 1);
         assert_eq!(svc.sink().counter(metrics::SERVICE_RESTARTS), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn retried_rid_applies_once_and_replays_cached_ack() {
+        let store = MemStorage::new();
+        let mut svc = Service::new(ServiceConfig::default());
+        svc.open_tenant(spec("t", &store)).expect("open");
+        let (tx, rx) = mpsc::channel();
+        let task = Task::implicit(3, 10).expect("task");
+        svc.submit_tagged(1, Some(77), "t", Request::Op(Op::Add(task)), &tx);
+        let first = await_seq(&rx, 1);
+        let Response::Admitted { id, machine } = first else {
+            panic!("admitted expected");
+        };
+        // An at-least-once retry of the same rid: identical cached ack,
+        // no second application.
+        svc.submit_tagged(2, Some(77), "t", Request::Op(Op::Add(task)), &tx);
+        assert_eq!(await_seq(&rx, 2), Response::Admitted { id, machine });
+        assert_eq!(svc.sink().counter(metrics::SERVICE_DEDUP_HITS), 1);
+        svc.submit(3, "t", Request::Digest, &tx);
+        let Response::Digest { live, .. } = await_seq(&rx, 3) else {
+            panic!("digest expected");
+        };
+        assert_eq!(live, 1, "retry must not admit a second task");
+        // The dedup window survives a panic-restart of the shard.
+        svc.submit(4, "t", Request::InjectPanic, &tx);
+        await_seq(&rx, 4);
+        svc.submit_tagged(5, Some(77), "t", Request::Op(Op::Add(task)), &tx);
+        assert_eq!(await_seq(&rx, 5), Response::Admitted { id, machine });
+        assert_eq!(svc.sink().counter(metrics::SERVICE_DEDUP_HITS), 2);
         svc.shutdown();
     }
 

@@ -11,11 +11,20 @@
 //!    the pre-panic digest bit-for-bit.
 //! 3. A tenant whose recovery gas budget cannot replay its journal is
 //!    quarantined after the restart cap without affecting its neighbors.
+//! 4. The wire-format parsers (binary framing and the text command
+//!    grammar with its `rid=`/`dl=` envelope tokens) never panic on
+//!    truncated, oversized or bit-flipped input — malformed frames are
+//!    per-connection errors, never process faults.
+//! 5. At-least-once delivery with client-assigned request ids is
+//!    observed exactly once: duplicated submissions ack byte-identically
+//!    and the journal replays to the digest of applying each acked op
+//!    once — across a panic-restart in the middle.
 
 use hetfeas_model::{Augmentation, Platform, Task};
 use hetfeas_robust::journal::{MemStorage, Storage};
+use hetfeas_service::frame::{parse_request, read_frame, write_frame, MAX_FRAME_LEN};
 use hetfeas_service::shard::{Op, Request, Response};
-use hetfeas_service::{PolicyKind, Service, ServiceConfig, ShardState, TenantSpec};
+use hetfeas_service::{PolicyKind, Service, ServiceConfig, ShardState, TenantEngine, TenantSpec};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
@@ -306,4 +315,302 @@ fn recovery_gas_exhaustion_quarantines_after_restart_cap() {
     let neighbor_after = h.digest(1);
     assert_eq!(neighbor_after, neighbor_before, "neighbor untouched");
     h.svc.shutdown();
+}
+
+/// Property 4a: the binary frame reader survives truncation at every
+/// byte boundary, rejects oversized length prefixes, and never panics
+/// on bit-flipped streams (mirrors the torn-tail battery the binary
+/// trace format runs in prop_trace_bin.rs).
+#[test]
+fn binary_framing_survives_truncation_oversize_and_bit_flips() {
+    let commands = [
+        "open t edf 1.0 1,2,3",
+        "add t 3 10 rid=7 dl=500",
+        "remove t 0",
+        "digest t",
+        "quit",
+    ];
+    let mut stream = Vec::new();
+    for c in &commands {
+        write_frame(&mut stream, c.as_bytes()).expect("frame");
+    }
+
+    // Truncation at every boundary: some whole frames parse, then a
+    // clean EOF (None) or an UnexpectedEof error — never a panic, never
+    // a phantom frame.
+    for cut in 0..stream.len() {
+        let mut r = &stream[..cut];
+        let mut frames = 0usize;
+        loop {
+            match read_frame(&mut r) {
+                Ok(Some(payload)) => {
+                    assert!(payload.len() <= MAX_FRAME_LEN as usize);
+                    frames += 1;
+                    assert!(frames <= commands.len(), "cut {cut}: phantom frame");
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    // Oversized length prefix: rejected as an error before any
+    // allocation of the claimed size.
+    let mut huge = Vec::new();
+    huge.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+    huge.extend_from_slice(&[0u8; 16]);
+    let mut r = &huge[..];
+    assert!(read_frame(&mut r).is_err(), "oversized frame must error");
+
+    // Seeded bit flips anywhere in the stream: every outcome is a
+    // frame, an EOF, or an error — never a panic, never an oversized
+    // payload.
+    let mut rng = Rng(0xF1_1b5);
+    for _ in 0..500 {
+        let mut bytes = stream.clone();
+        let flips = 1 + rng.below(3);
+        for _ in 0..flips {
+            let i = rng.below(bytes.len() as u64) as usize;
+            bytes[i] ^= 1 << rng.below(8);
+        }
+        let mut r = &bytes[..];
+        let mut frames = 0usize;
+        loop {
+            match read_frame(&mut r) {
+                Ok(Some(payload)) => {
+                    assert!(payload.len() <= MAX_FRAME_LEN as usize);
+                    frames += 1;
+                    if frames > commands.len() {
+                        // A flipped length prefix can re-segment the
+                        // stream, but it cannot mint more frames than
+                        // bytes allow.
+                        assert!(frames <= bytes.len() / 4);
+                    }
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Property 4b: the text command grammar (envelope tokens included)
+/// never panics on mutated input, and the envelope validation rules
+/// hold exactly.
+#[test]
+fn text_parser_never_panics_and_validates_envelopes() {
+    let corpus = [
+        "open t edf 1.0 1,2,3",
+        "add t 3 10",
+        "add t 3 10 7",
+        "add t 3 10 rid=5 dl=100",
+        "remove t 2 rid=9",
+        "query t 0",
+        "snapshot t",
+        "rollback t",
+        "repack t dl=50",
+        "compact t",
+        "digest t",
+        "panic t",
+        "stall t 40",
+        "stats",
+        "quit",
+    ];
+    // Exact validation rules first.
+    assert!(
+        parse_request("add t 3 10 0").is_err(),
+        "deadline 0 rejected"
+    );
+    assert!(parse_request("add t 3 10 dl=0").is_err(), "dl=0 rejected");
+    assert!(
+        parse_request("add t 3 10 rid=1 rid=2").is_err(),
+        "duplicate rid rejected"
+    );
+    assert!(
+        parse_request("add t 3 10 dl=1 dl=2").is_err(),
+        "duplicate dl rejected"
+    );
+    assert!(
+        parse_request("add t 3 10 rid=99999999999999999999").is_err(),
+        "overflowing rid rejected"
+    );
+    let ok = parse_request("add t 3 10 7").expect("constrained deadline accepted");
+    assert!(matches!(
+        ok.cmd,
+        hetfeas_service::frame::Command::Add {
+            deadline: Some(7),
+            ..
+        }
+    ));
+
+    // Seeded mutations: flips, truncations, token injection. The parser
+    // must return Ok or Err — any panic fails the test by crashing.
+    let mut rng = Rng(0x7e_c7);
+    for _ in 0..2000 {
+        let base = corpus[rng.below(corpus.len() as u64) as usize];
+        let mut bytes = base.as_bytes().to_vec();
+        match rng.below(4) {
+            0 => {
+                let i = rng.below(bytes.len() as u64) as usize;
+                bytes[i] ^= 1 << rng.below(8);
+            }
+            1 => {
+                bytes.truncate(rng.below(bytes.len() as u64 + 1) as usize);
+            }
+            2 => {
+                let token = [" rid=", " dl=", " rid=0x", " dl=-1", " rid="][rng.below(5) as usize];
+                bytes.extend_from_slice(token.as_bytes());
+                bytes.extend_from_slice(rng.next().to_string().as_bytes());
+            }
+            _ => {
+                bytes.extend_from_slice(b" \xff\xfe garbage");
+            }
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_request(&text);
+        let _ = hetfeas_service::frame::scavenge_rid(&text);
+    }
+}
+
+/// Property 5: duplicated rid-bearing submissions are observed exactly
+/// once. Every duplicate ack is identical to the first, the dedup
+/// window survives a mid-storm panic-restart, and the final journal
+/// replays to the digest of applying each acked op exactly once.
+#[test]
+fn duplicated_rids_apply_exactly_once_against_the_durable_digest() {
+    for seed in [0x11u64, 0xACE_D, 0xD00_D1E] {
+        let store = MemStorage::new();
+        let handle = store.clone();
+        let mut cfg = ServiceConfig::default();
+        cfg.seed = seed;
+        cfg.backoff_base_ms = 1;
+        cfg.backoff_cap_ms = 4;
+        let opts = cfg.opts;
+        let mut svc = Service::new(cfg);
+        svc.open_tenant(TenantSpec {
+            name: "t".into(),
+            policy: PolicyKind::Edf,
+            platform: Platform::from_int_speeds([1, 2, 3]).expect("platform"),
+            alpha: Augmentation::NONE,
+            factory: Arc::new(move |_inc| Box::new(handle.clone()) as Box<dyn Storage>),
+            op_gas: None,
+            recover_gas: None,
+        })
+        .expect("open tenant");
+        let (tx, rx) = channel();
+        let mut seq = 0u64;
+        let await_seq = |rx: &Receiver<(u64, Response)>, want: u64| -> Response {
+            loop {
+                let (s, resp) = rx
+                    .recv_timeout(Duration::from_secs(30))
+                    .expect("shard must answer");
+                if s == want {
+                    return resp;
+                }
+            }
+        };
+
+        let mut rng = Rng(seed);
+        let mut live: Vec<u64> = Vec::new();
+        let mut acked: Vec<Op> = Vec::new();
+        let ops = 24usize;
+        for k in 0..ops {
+            let op = if rng.below(10) < 7 || live.is_empty() {
+                Op::Add(Task::implicit(1 + rng.below(5), 10 + rng.below(30)).expect("task"))
+            } else {
+                Op::Remove(live[rng.below(live.len() as u64) as usize])
+            };
+            let rid = 1000 + k as u64;
+            // At-least-once delivery: every op is submitted twice with
+            // the same rid before either ack is consumed.
+            seq += 1;
+            let first_seq = seq;
+            svc.submit_tagged(first_seq, Some(rid), "t", Request::Op(op), &tx);
+            seq += 1;
+            let retry_seq = seq;
+            svc.submit_tagged(retry_seq, Some(rid), "t", Request::Op(op), &tx);
+            let first = await_seq(&rx, first_seq);
+            let retry = await_seq(&rx, retry_seq);
+            assert_eq!(
+                format!("{first:?}"),
+                format!("{retry:?}"),
+                "seed {seed:#x} op {k}: duplicate ack must be identical"
+            );
+            if first.applied() {
+                acked.push(op);
+                match (&op, &first) {
+                    (Op::Add(_), Response::Admitted { id, .. }) => live.push(*id),
+                    (Op::Remove(raw), Response::Removed { found: true }) => {
+                        live.retain(|x| x != raw);
+                    }
+                    _ => {}
+                }
+            }
+            // Mid-storm panic: the dedup window must survive the
+            // restart (it lives outside the supervision loop).
+            if k == ops / 2 {
+                seq += 1;
+                svc.submit_tagged(seq, None, "t", Request::InjectPanic, &tx);
+                let _ = await_seq(&rx, seq);
+                // A rid from before the panic still replays its cached
+                // ack instead of re-applying.
+                seq += 1;
+                svc.submit_tagged(seq, Some(1000), "t", Request::Op(acked[0]), &tx);
+                let replayed = await_seq(&rx, seq);
+                assert!(
+                    replayed.applied(),
+                    "seed {seed:#x}: cached ack must replay, got {replayed:?}"
+                );
+            }
+        }
+
+        seq += 1;
+        svc.submit_tagged(seq, None, "t", Request::Digest, &tx);
+        let live_digest = match await_seq(&rx, seq) {
+            Response::Digest { digest, .. } => digest,
+            other => panic!("digest expected, got {other:?}"),
+        };
+        svc.shutdown();
+
+        // Exactly-once, checked against durability twice over: the
+        // journal bytes recover to the live digest, and so does a
+        // fault-free replay applying each acked op exactly once.
+        let (recovered, _) = TenantEngine::recover(
+            PolicyKind::Edf,
+            Box::new(MemStorage::with_bytes(store.bytes())),
+            &mut hetfeas_robust::Gas::unlimited(),
+            &(),
+        )
+        .expect("journal recovers");
+        assert_eq!(
+            recovered.state_digest(),
+            live_digest,
+            "seed {seed:#x}: journal replay must match live digest"
+        );
+        let mut gas = hetfeas_robust::Gas::unlimited();
+        let mut replay = TenantEngine::create(
+            PolicyKind::Edf,
+            &Platform::from_int_speeds([1, 2, 3]).expect("platform"),
+            Augmentation::NONE,
+            opts,
+            Box::new(MemStorage::new()),
+            &mut gas,
+            &(),
+        )
+        .expect("replay engine");
+        for op in &acked {
+            match *op {
+                Op::Add(t) => {
+                    replay.add(t, &mut gas, &()).expect("replay add");
+                }
+                Op::Remove(raw) => {
+                    replay.remove(raw, &mut gas, &()).expect("replay remove");
+                }
+                _ => unreachable!("storm only adds and removes"),
+            }
+        }
+        assert_eq!(
+            replay.state_digest(),
+            live_digest,
+            "seed {seed:#x}: each acked op applied exactly once"
+        );
+    }
 }

@@ -13,7 +13,12 @@
 //!   on the same host seconds apart), so it holds on noisy 1-CPU runners
 //!   where absolute ops/sec would not;
 //! * `recovery` — panic every shard once at steady state and time the
-//!   supervised restart + journal replay until all digests answer again.
+//!   supervised restart + journal replay until all digests answer again;
+//! * `connections` / `conn_speedup` — awaited round-trip throughput over
+//!   the TCP front end with 1 vs 8 simultaneous connections (one tenant
+//!   each). On a multi-core host the concurrent accept loop overlaps
+//!   shard work across connections; the ratio is gated in `ci.sh` only
+//!   when `host_cpus >= 8`.
 //!
 //! Honest reporting: `host_cpus` and the *effective* worker count are in
 //! the JSON. On a 1-CPU host the shards time-slice one core, so
@@ -22,8 +27,10 @@
 
 use hetfeas_model::{Augmentation, Platform, Task};
 use hetfeas_robust::journal::{MemStorage, Storage};
+use hetfeas_service::frame::{read_frame, write_frame};
 use hetfeas_service::shard::{Op, Request, Response, TenantSpec};
-use hetfeas_service::{PolicyKind, Service, ServiceConfig};
+use hetfeas_service::{serve_tcp, PolicyKind, ServerConfig, Service, ServiceConfig};
+use std::io::BufReader;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -227,6 +234,86 @@ fn main() {
 
     svc.shutdown();
 
+    // Phase 4: connection concurrency. A fresh service behind the TCP
+    // front end; each connection drives its own tenant with awaited
+    // round trips, so with N connections the accept loop can overlap N
+    // shards' work.
+    let conn_ops = 600usize;
+    let run_conns = |n: usize| -> f64 {
+        let dir = std::env::temp_dir().join(format!(
+            "hetfeas-bench-conns-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("bench data dir");
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let cfg = ServerConfig {
+            data_dir: dir.clone(),
+            ..ServerConfig::default()
+        };
+        let mut svc_cfg = ServiceConfig::default();
+        svc_cfg.seed = 0xc0_11;
+        let server = std::thread::spawn(move || {
+            serve_tcp(listener, Service::new(svc_cfg), &cfg)
+        });
+        let t0 = Instant::now();
+        let clients: Vec<_> = (0..n)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut conn =
+                        std::net::TcpStream::connect(addr).expect("connect");
+                    conn.set_nodelay(true).expect("nodelay");
+                    let mut reader =
+                        BufReader::new(conn.try_clone().expect("clone"));
+                    let mut ask = |line: String| -> String {
+                        write_frame(&mut conn, line.as_bytes()).expect("send");
+                        let p = read_frame(&mut reader)
+                            .expect("read")
+                            .expect("reply");
+                        String::from_utf8_lossy(&p).into_owned()
+                    };
+                    let opened = ask(format!("open c{i} edf 1.0 1,2"));
+                    assert!(opened.contains("ok opened"), "{opened}");
+                    let mut rng = Rng(0xc0_11 + i as u64);
+                    let mut ids: Vec<u64> = Vec::new();
+                    for _ in 0..conn_ops {
+                        let reply = if ids.len() >= 64 {
+                            let idx = rng.below(ids.len() as u64) as usize;
+                            ask(format!("remove c{i} {}", ids.swap_remove(idx)))
+                        } else {
+                            let wcet = 1 + rng.below(3);
+                            let period = 50 + rng.below(200);
+                            ask(format!("add c{i} {wcet} {period}"))
+                        };
+                        assert!(reply.contains(" ok "), "{reply}");
+                        if let Some(pos) = reply.find("admitted id=") {
+                            let tail = &reply[pos + "admitted id=".len()..];
+                            let id: u64 = tail
+                                .split_whitespace()
+                                .next()
+                                .and_then(|t| t.parse().ok())
+                                .expect("admitted id");
+                            ids.push(id);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().expect("bench connection");
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let mut quitter = std::net::TcpStream::connect(addr).expect("quit conn");
+        write_frame(&mut quitter, b"quit").expect("quit");
+        let _ = server.join().expect("server thread");
+        let _ = std::fs::remove_dir_all(&dir);
+        (n * conn_ops) as f64 / secs
+    };
+    let conns1_ops_per_sec = run_conns(1);
+    let conns8_ops_per_sec = run_conns(8);
+    let conn_speedup = conns8_ops_per_sec / conns1_ops_per_sec;
+
     let batching_speedup = pipelined_ops_per_sec / awaited_ops_per_sec;
     println!("{{");
     println!("  \"bench\": \"service_supervised_admission\",");
@@ -247,6 +334,18 @@ fn main() {
     );
     println!("  }},");
     println!("  \"batching_speedup\": {batching_speedup:.2},");
+    println!("  \"connections\": {{");
+    println!("    \"ops_per_conn\": {conn_ops},");
+    println!(
+        "    \"single\": {{ \"conns\": 1, \"ops_per_sec\": {:.0} }},",
+        conns1_ops_per_sec
+    );
+    println!(
+        "    \"concurrent\": {{ \"conns\": 8, \"ops_per_sec\": {:.0} }}",
+        conns8_ops_per_sec
+    );
+    println!("  }},");
+    println!("  \"conn_speedup\": {conn_speedup:.2},");
     println!("  \"recovery\": {{");
     println!(
         "    \"shards_recovered\": {SHARDS}, \"secs\": {:.3}, \"bit_exact\": true",

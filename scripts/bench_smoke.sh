@@ -15,8 +15,9 @@
 # BENCH_bnb.json (per-instance nodes/sec and the solved-within-budget
 # grid vs the plain-DFS baseline), and the supervised-service harness
 # (scripts/bench_service_smoke.rs) which emits BENCH_service.json
-# (pipelined vs awaited ops/sec across 8 shards, batching speedup, and
-# the 8-shard panic-recovery wall time — all with honest host_cpus /
+# (pipelined vs awaited ops/sec across 8 shards, batching speedup, the
+# 8-shard panic-recovery wall time, and TCP front-end throughput with
+# 1 vs 8 concurrent connections — all with honest host_cpus /
 # effective-workers reporting).
 #
 # Uses plain-rustc harnesses compiled against the workspace rlibs — no

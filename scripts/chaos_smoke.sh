@@ -18,7 +18,15 @@
 #   3. cross-process convergence: a served session is kill -9'd
 #      mid-stream with aggressive compaction, then every tenant journal
 #      must `hetfeas recover` cleanly and a restarted server must serve
-#      the recovered state.
+#      the recovered state;
+#   4. seeded network-chaos storms (`serve --chaos --net`) across seeds:
+#      a frame-aware proxy injects delays, duplicate frames, torn
+#      mid-frame writes, resets and swallowed replies between retrying
+#      clients and the TCP server — every acked request must appear
+#      exactly once in the replayed journal;
+#   5. kill -9 of a TCP server mid-stream with a retrying `call` client:
+#      the orphaned client fails with the transport exit code (4), and a
+#      restarted server on the same data dir serves the recovered state.
 set -euo pipefail
 
 hetfeas="${HETFEAS_BIN:?set HETFEAS_BIN to the hetfeas binary}"
@@ -195,5 +203,119 @@ for seq in 3 4; do
         exit 1
     }
 done
+
+echo "== network-chaos storms are exactly-once" >&2
+for seed in 3 911 48879; do
+    report="$work/netchaos_$seed.json"
+    timeout "$cap" "$hetfeas" serve --chaos --net --seed "$seed" \
+        --tenants 4 --ops 24 --data-dir "$work/netchaos_data_$seed" \
+        --report "$report" \
+        >"$work/netchaos_$seed.out" 2>"$work/netchaos_$seed.err" || {
+        echo "chaos_smoke: FAIL — net storm seed=$seed diverged" >&2
+        cat "$work/netchaos_$seed.out" "$work/netchaos_$seed.err" >&2
+        exit 1
+    }
+    grep -q '"verdict": "converged"' "$report" || {
+        echo "chaos_smoke: FAIL — net seed=$seed verdict not converged" >&2
+        cat "$report" >&2
+        exit 1
+    }
+    if grep -q '"exactly_once": 0' "$report"; then
+        echo "chaos_smoke: FAIL — net seed=$seed verified no tenant strictly" >&2
+        cat "$report" >&2
+        exit 1
+    fi
+done
+# Across the seed matrix the proxy must actually have hurt: at least one
+# duplicated frame and at least one torn/reset/swallowed exchange.
+dup_total=0 harm_total=0
+for seed in 3 911 48879; do
+    report="$work/netchaos_$seed.json"
+    dup="$(sed -n 's/.*"duplicated": \([0-9]*\).*/\1/p' "$report" | head -1)"
+    for key in torn resets dropped_replies; do
+        v="$(sed -n "s/.*\"$key\": \([0-9]*\).*/\1/p" "$report" | head -1)"
+        harm_total=$((harm_total + ${v:-0}))
+    done
+    dup_total=$((dup_total + ${dup:-0}))
+done
+[[ "$dup_total" -ge 1 && "$harm_total" -ge 1 ]] || {
+    echo "chaos_smoke: FAIL — net matrix injected no faults (dup=$dup_total harm=$harm_total)" >&2
+    exit 1
+}
+
+echo "== kill -9 of the TCP server orphans the retrying client cleanly" >&2
+tcpdata="$work/tcp_kill_data"
+mkdir -p "$tcpdata"
+# An ephemeral port in the dynamic range, seeded by PID to dodge collisions.
+tcpport=$((20000 + $$ % 20000))
+timeout "$cap" "$hetfeas" serve --tcp "127.0.0.1:$tcpport" \
+    --data-dir "$tcpdata" >"$work/tcp_kill.out" 2>&1 &
+tcpserver=$!
+disown "$tcpserver"
+for _ in $(seq 1 100); do
+    "$hetfeas" call 'stats' --tcp "127.0.0.1:$tcpport" \
+        >/dev/null 2>&1 && break
+    sleep 0.1
+done
+"$hetfeas" call 'open k edf 1.0 1,2' --tcp "127.0.0.1:$tcpport" \
+    >/dev/null 2>&1 || {
+    echo "chaos_smoke: FAIL — could not open tenant over TCP" >&2
+    exit 1
+}
+for i in $(seq 1 6); do
+    "$hetfeas" call "add k 1 $((9 + i))" --tcp "127.0.0.1:$tcpport" \
+        >/dev/null 2>&1 || {
+        echo "chaos_smoke: FAIL — TCP add $i refused before the kill" >&2
+        exit 1
+    }
+done
+pkill -KILL -P "$tcpserver" 2>/dev/null || true
+kill -9 "$tcpserver" 2>/dev/null || true
+while kill -0 "$tcpserver" 2>/dev/null; do sleep 0.05; done
+while pgrep -f "serve --tcp 127.0.0.1:$tcpport" >/dev/null 2>&1; do
+    sleep 0.05
+done
+# The retrying client must give up with the transport exit code, not hang
+# or misreport success.
+set +e
+timeout "$cap" "$hetfeas" call 'digest k' --tcp "127.0.0.1:$tcpport" \
+    --budget-ms 2000 >/dev/null 2>&1
+dead_rc=$?
+set -e
+[[ "$dead_rc" -eq 4 ]] || {
+    echo "chaos_smoke: FAIL — call against killed server exited $dead_rc, want 4" >&2
+    exit 1
+}
+# The journal survived the SIGKILL and a restarted server serves it.
+timeout "$cap" "$hetfeas" recover "$tcpdata/k.journal" >/dev/null 2>&1 || {
+    echo "chaos_smoke: FAIL — TCP tenant journal unrecoverable after kill -9" >&2
+    exit 1
+}
+timeout "$cap" "$hetfeas" serve --tcp "127.0.0.1:$tcpport" \
+    --data-dir "$tcpdata" >"$work/tcp_restart.out" 2>&1 &
+tcpserver2=$!
+for _ in $(seq 1 100); do
+    "$hetfeas" call 'stats' --tcp "127.0.0.1:$tcpport" \
+        >/dev/null 2>&1 && break
+    sleep 0.1
+done
+"$hetfeas" call 'open k edf 1.0 1,2' --tcp "127.0.0.1:$tcpport" \
+    >/dev/null 2>&1 || {
+    echo "chaos_smoke: FAIL — reopen after restart refused" >&2
+    exit 1
+}
+"$hetfeas" call 'digest k' --tcp "127.0.0.1:$tcpport" \
+    >"$work/tcp_digest.out" 2>&1 || {
+    echo "chaos_smoke: FAIL — restarted TCP server served no digest" >&2
+    cat "$work/tcp_digest.out" >&2
+    exit 1
+}
+grep -q 'live=6' "$work/tcp_digest.out" || {
+    echo "chaos_smoke: FAIL — recovered state lost admissions" >&2
+    cat "$work/tcp_digest.out" >&2
+    exit 1
+}
+"$hetfeas" call 'quit' --tcp "127.0.0.1:$tcpport" >/dev/null 2>&1 || true
+wait "$tcpserver2" 2>/dev/null || true
 
 echo "chaos_smoke: all stages passed" >&2

@@ -30,8 +30,12 @@
 # (BENCH_service.json): the 8-shard panic-recovery phase must stay
 # bit-exact, and the batching speedup (pipelined over awaited ops/sec,
 # machine-relative) must stay within SVC_GATE_TOL (default 0.5) of the
-# committed baseline. Both smoke paths also run scripts/chaos_smoke.sh —
-# the seeded fault storms and the cross-process kill -9 stage.
+# committed baseline. On hosts with >= 8 CPUs the TCP connection
+# concurrency ratio (8 conns over 1) must reach 2x; below that it is
+# reported, not gated. Both smoke paths also run scripts/chaos_smoke.sh —
+# the seeded fault storms, the network-chaos exactly-once matrix, and
+# both cross-process kill -9 stages (stdin session and TCP with a
+# retrying `call` client).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -293,6 +297,28 @@ else
         printf "ci: service batching speedup %.2f vs baseline %.2f — ok\n",
             now, base > "/dev/stderr"
     }'
+    # Connection concurrency: 8 TCP connections must beat 1 by >= 2x —
+    # but only where the hardware can overlap them. On a 1-CPU runner
+    # the connections time-slice one core, so the ratio is reported
+    # trajectory data, not a gate.
+    svc_cpus="$(sed -n 's/.*"host_cpus": *\([0-9]*\).*/\1/p' "$fresh_svc" | head -n1)"
+    conn_speedup="$(sed -n 's/.*"conn_speedup": *\([0-9.]*\).*/\1/p' "$fresh_svc" | head -n1)"
+    if [[ -z "$conn_speedup" ]]; then
+        echo "ci: FAIL — fresh BENCH_service.json has no conn_speedup" >&2
+        exit 1
+    fi
+    if [[ -n "$svc_cpus" && "$svc_cpus" -ge 8 ]]; then
+        awk -v s="$conn_speedup" -v cpus="$svc_cpus" 'BEGIN {
+            if (s < 2.0) {
+                printf "ci: FAIL — conn speedup %.2fx on %d cpus, gate needs >= 2x\n",
+                    s, cpus > "/dev/stderr"
+                exit 1
+            }
+            printf "ci: conn speedup %.2fx on %d cpus — ok\n", s, cpus > "/dev/stderr"
+        }'
+    else
+        echo "ci: conn speedup ${conn_speedup}x on ${svc_cpus:-?} cpus — reported, not gated (< 8 cpus)" >&2
+    fi
 fi
 
 echo "ci: all gates passed" >&2

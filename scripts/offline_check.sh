@@ -103,8 +103,15 @@ X_SERVICE=("${X_PARTITION[@]}"
 lib hetfeas_service "$repo/crates/service/src/lib.rs" "${X_SERVICE[@]}"
 testbin hetfeas_service "$repo/crates/service/src/lib.rs" "${X_SERVICE[@]}"
 
-# Bulkhead-isolation property suite (dependency-free, no proptest).
+# Bulkhead-isolation + framing-fuzz + idempotent-retry property suite
+# (dependency-free, no proptest).
 testbin prop_service "$repo/crates/service/tests/prop_service.rs" \
+    "${X_SERVICE[@]}" \
+    --extern hetfeas_service="$build/libhetfeas_service.rlib"
+
+# Concurrent TCP front end + retrying client + network-chaos proxy
+# property suite (dependency-free, no proptest).
+testbin prop_net "$repo/crates/service/tests/prop_net.rs" \
     "${X_SERVICE[@]}" \
     --extern hetfeas_service="$build/libhetfeas_service.rlib"
 

@@ -16,17 +16,21 @@
 //!                             [--alpha X] [--workers N] [--budget-ms N] [--report FILE] [-v]
 //!                             [--journal FILE] [--compact-every N] [--slice-bytes B]
 //! hetfeas recover  JOURNAL [--budget-ms N] [--report FILE] [-v]
-//! hetfeas serve    [--data-dir DIR] [--socket PATH] [--text] [--workers N] [--seed N]
-//!                             [--queue-depth N] [--batch-max N] [--max-restarts N]
+//! hetfeas serve    [--data-dir DIR] [--socket PATH | --tcp ADDR] [--text] [--workers N]
+//!                             [--seed N] [--queue-depth N] [--batch-max N] [--max-restarts N]
+//!                             [--max-conns N] [--reply-wait-ms N]
 //!                             [--compact-every N] [--report FILE]
-//! hetfeas serve --chaos [--tenants N] [--ops N] [--machines M] [--seed N] [--workers N]
-//!                             [--report FILE]
+//! hetfeas serve --chaos [--net] [--tenants N] [--ops N] [--machines M] [--seed N]
+//!                             [--workers N] [--report FILE]
+//! hetfeas call     CMDLINE (--socket PATH | --tcp ADDR) [--attempts N] [--budget-ms N]
+//!                             [--seed N] [--report FILE]
 //! ```
 //!
 //! System files: `task <wcet> <period> [deadline]` and `machine <speed>`
 //! lines (see `hetfeas::model::io`). Exit codes: 0 feasible / clean,
 //! 1 infeasible / misses, 2 usage or I/O error (parse errors carry a
-//! line/col diagnostic on stderr), 3 undecided within `--budget-ms`.
+//! line/col diagnostic on stderr), 3 undecided within `--budget-ms`,
+//! 4 transport failure (`call` could not obtain a definitive reply).
 //!
 //! `--budget-ms N` bounds every potentially-expensive computation by a
 //! wall-clock deadline; a run that would otherwise hang (exponential exact
@@ -45,10 +49,23 @@
 //! journal replay (seeded-jitter exponential backoff, capped). A tenant
 //! whose journal is corrupt or whose restarts exceed the cap is
 //! *quarantined* — it keeps answering with an error, neighbors are
-//! untouched, the process never dies. `serve --chaos` runs the built-in
+//! untouched, the process never dies. The socket front ends (`--socket`,
+//! `--tcp`) accept connections concurrently up to `--max-conns`, shedding
+//! excess connections with one `err busy` reply; mutating commands may
+//! carry `rid=<u64>` idempotency tokens and `dl=<ms>` deadline budgets
+//! (capped by `--reply-wait-ms`). `serve --chaos` runs the built-in
 //! seeded fault storm instead and exits 0 only when every surviving
 //! tenant's digest matches a fault-free replay and the quarantine set is
-//! exactly the poisoned tenants (exit 1 otherwise).
+//! exactly the poisoned tenants (exit 1 otherwise); `serve --chaos --net`
+//! runs the network storm — retrying clients through the seeded
+//! fault-injecting TCP proxy — and exits 0 only when every acked op is in
+//! the journal exactly once.
+//!
+//! `hetfeas call` sends one command line to a running server with the
+//! full retry discipline (fresh rid, capped-jitter retries under a
+//! `--budget-ms` deadline, circuit breaker): exit 0 on `ok`, 1 on a
+//! definitive negative reply, 4 when no definitive reply could be
+//! obtained (the op may or may not have been applied).
 //!
 //! `hetfeas faults` runs the built-in adversarial corpus (huge periods,
 //! degenerate speeds, zero slack, LP degeneracy, exact-search blowup)
@@ -307,13 +324,19 @@ struct Common {
     // serve-only
     data_dir: Option<String>,
     socket: Option<String>,
+    tcp: Option<String>,
     text_mode: bool,
     chaos: bool,
+    net: bool,
     tenants: usize,
     ops: Option<usize>,
     queue_depth: Option<usize>,
     batch_max: Option<usize>,
     max_restarts: Option<u32>,
+    max_conns: Option<usize>,
+    reply_wait_ms: Option<u64>,
+    // call-only
+    attempts: Option<u32>,
 }
 
 fn parse_common(args: &[String]) -> Result<Common, String> {
@@ -344,13 +367,18 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         scenario: None,
         data_dir: None,
         socket: None,
+        tcp: None,
         text_mode: false,
         chaos: false,
+        net: false,
         tenants: 8,
         ops: None,
         queue_depth: None,
         batch_max: None,
         max_restarts: None,
+        max_conns: None,
+        reply_wait_ms: None,
+        attempts: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -461,8 +489,37 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
             }
             "--data-dir" => c.data_dir = Some(next("--data-dir")?),
             "--socket" => c.socket = Some(next("--socket")?),
+            "--tcp" => c.tcp = Some(next("--tcp")?),
             "--text" => c.text_mode = true,
             "--chaos" => c.chaos = true,
+            "--net" => c.net = true,
+            "--max-conns" => {
+                let n: usize = next("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-conns: {e}"))?;
+                if n == 0 {
+                    return Err("--max-conns must be positive".into());
+                }
+                c.max_conns = Some(n);
+            }
+            "--reply-wait-ms" => {
+                let ms: u64 = next("--reply-wait-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --reply-wait-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--reply-wait-ms must be positive".into());
+                }
+                c.reply_wait_ms = Some(ms);
+            }
+            "--attempts" => {
+                let n: u32 = next("--attempts")?
+                    .parse()
+                    .map_err(|e| format!("bad --attempts: {e}"))?;
+                if n == 0 {
+                    return Err("--attempts must be positive".into());
+                }
+                c.attempts = Some(n);
+            }
             "--tenants" => {
                 c.tenants = next("--tenants")?
                     .parse()
@@ -1723,7 +1780,8 @@ fn cmd_recover(c: &Common) -> Result<ExitCode, String> {
 /// only if every tenant satisfied the bulkhead/convergence contract.
 fn cmd_serve(c: &Common) -> Result<ExitCode, String> {
     use hetfeas::service::{
-        chaos::ChaosConfig, run_storm, serve_once, serve_unix, ServerConfig, Service, ServiceConfig,
+        chaos::ChaosConfig, netchaos::NetStormConfig, run_net_storm, run_storm, serve_once,
+        serve_tcp, serve_unix, ServerConfig, Service, ServiceConfig,
     };
 
     // Shard panics are contained by the firewall and handled by the
@@ -1733,6 +1791,66 @@ fn cmd_serve(c: &Common) -> Result<ExitCode, String> {
         eprintln!("shard panic contained: {info}");
     }));
 
+    if c.chaos && c.net {
+        let cfg = NetStormConfig {
+            seed: c.seed,
+            tenants: c.tenants,
+            ops_per_tenant: c.ops.unwrap_or(32),
+            machines: c.machines,
+            workers: c.workers.unwrap_or(0),
+            data_dir: std::path::PathBuf::from(
+                c.data_dir
+                    .clone()
+                    .unwrap_or_else(|| format!("netchaos-{}", std::process::id())),
+            ),
+            net: hetfeas::service::netchaos::NetChaosConfig {
+                seed: c.seed,
+                ..Default::default()
+            },
+            ..NetStormConfig::default()
+        };
+        let report = run_net_storm(&cfg).map_err(|e| format!("net storm: {e}"))?;
+        for line in report.summary_lines() {
+            println!("{line}");
+        }
+        if let Some(out) = &c.report {
+            let mut r = RunReport::new("hetfeas", "serve");
+            r.set("mode", Json::Str("netchaos".into()))
+                .set("seed", Json::UInt(report.seed))
+                .set("tenants", Json::UInt(report.tenants.len() as u64))
+                .set("proxied_conns", Json::UInt(report.proxied_conns))
+                .set("duplicated", Json::UInt(report.duplicated))
+                .set("torn", Json::UInt(report.torn))
+                .set("resets", Json::UInt(report.resets))
+                .set("dropped_replies", Json::UInt(report.dropped_replies))
+                .set("dedup_hits", Json::UInt(report.dedup_hits))
+                .set(
+                    "ambiguous_tenants",
+                    Json::UInt(report.ambiguous_tenants as u64),
+                )
+                .set(
+                    "exactly_once",
+                    Json::UInt(
+                        report
+                            .tenants
+                            .iter()
+                            .filter(|t| t.exactly_once == Some(true))
+                            .count() as u64,
+                    ),
+                )
+                .set(
+                    "verdict",
+                    Json::Str(if report.ok { "converged" } else { "diverged" }.into()),
+                );
+            write_report(out, &r)?;
+        }
+        return Ok(if report.ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        });
+    }
+
     if c.chaos {
         let cfg = ChaosConfig {
             seed: c.seed,
@@ -1741,6 +1859,7 @@ fn cmd_serve(c: &Common) -> Result<ExitCode, String> {
             machines: c.machines,
             workers: c.workers.unwrap_or(0),
             shed_probe: true,
+            ack_wait_ms: c.reply_wait_ms.unwrap_or(30_000),
         };
         let report = run_storm(&cfg);
         for line in report.summary_lines() {
@@ -1801,6 +1920,8 @@ fn cmd_serve(c: &Common) -> Result<ExitCode, String> {
         data_dir: std::path::PathBuf::from(c.data_dir.as_deref().unwrap_or(".")),
         text: c.text_mode,
         stall_cap_ms: 1_000,
+        reply_wait_ms: c.reply_wait_ms.unwrap_or(60_000),
+        max_conns: c.max_conns.unwrap_or(64),
     };
     std::fs::create_dir_all(&server_cfg.data_dir)
         .map_err(|e| format!("create --data-dir {}: {e}", server_cfg.data_dir.display()))?;
@@ -1814,19 +1935,35 @@ fn cmd_serve(c: &Common) -> Result<ExitCode, String> {
         workers,
         server_cfg.data_dir.display()
     );
-    let served = match &c.socket {
-        Some(path) => serve_unix(std::path::Path::new(path), svc, &server_cfg),
-        None => {
-            let stdin = std::io::stdin();
-            let stdout = std::io::stdout();
-            serve_once(stdin.lock(), stdout.lock(), svc, &server_cfg)
+    let served = match (&c.tcp, &c.socket) {
+        (Some(_), Some(_)) => {
+            return Err("--tcp and --socket are mutually exclusive".into());
+        }
+        (Some(addr), None) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("bind --tcp {addr}: {e}"))?;
+            eprintln!(
+                "listening on tcp {}",
+                listener
+                    .local_addr()
+                    .map_err(|e| format!("local_addr: {e}"))?
+            );
+            serve_tcp(listener, svc, &server_cfg)
+        }
+        (None, Some(path)) => serve_unix(std::path::Path::new(path), svc, &server_cfg),
+        (None, None) => {
+            // `Stdout` (not the lock) because the reply pump thread
+            // shares the writer across threads.
+            serve_once(std::io::stdin(), std::io::stdout(), svc, &server_cfg)
         }
     }
     .map_err(|e| format!("serve: {e}"))?;
     eprintln!(
-        "served {} frames, {} responses, {} tenants; {}",
+        "served {} frames, {} responses over {} connections ({} shed), {} tenants; {}",
         served.frames,
         served.responses,
+        served.conns,
+        served.conns_shed,
         served.tenants.len(),
         if served.quit { "quit" } else { "eof" }
     );
@@ -1847,6 +1984,8 @@ fn cmd_serve(c: &Common) -> Result<ExitCode, String> {
             .set("workers", Json::UInt(workers as u64))
             .set("frames", Json::UInt(served.frames))
             .set("responses", Json::UInt(served.responses))
+            .set("conns", Json::UInt(served.conns))
+            .set("conns_shed", Json::UInt(served.conns_shed))
             .set("tenants", Json::UInt(served.tenants.len() as u64))
             .set(
                 "quarantined",
@@ -1872,6 +2011,89 @@ fn cmd_serve(c: &Common) -> Result<ExitCode, String> {
         write_report(out, &r)?;
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `hetfeas call`: one command line to a running server, with the full
+/// client retry discipline (idempotency token, capped-jitter retries
+/// under a deadline, circuit breaker).
+///
+/// Exit 0 on an `ok` reply, 1 on a definitive negative reply (`err` /
+/// unretried `shed`), 2 on usage errors, 4 when no definitive reply was
+/// obtained — for mutating commands the op may or may not have been
+/// applied (rerun with the same journal digest check to resolve).
+fn cmd_call(c: &Common) -> Result<ExitCode, String> {
+    use hetfeas::service::{Client, ClientConfig, Endpoint, Reply};
+
+    let line = c
+        .file
+        .as_deref()
+        .ok_or("call needs a command line argument, e.g. 'add t 3 10'")?;
+    let endpoint = match (&c.tcp, &c.socket) {
+        (Some(addr), None) => Endpoint::Tcp(addr.clone()),
+        (None, Some(path)) => Endpoint::Unix(std::path::PathBuf::from(path)),
+        _ => return Err("call needs exactly one of --tcp ADDR or --socket PATH".into()),
+    };
+    let mut cfg = ClientConfig::default();
+    if let Some(ms) = c.budget_ms {
+        cfg.deadline_ms = ms;
+    }
+    if let Some(n) = c.attempts {
+        cfg.max_attempts = n;
+    }
+    cfg.backoff = hetfeas::robust::Backoff::new(2, 256, c.seed);
+    // The rid namespace must differ across `call` invocations — two
+    // processes sharing a namespace would have their distinct requests
+    // absorbed by the server's idempotency window as retries. Mix the
+    // pid and clock in; `--seed` still controls the backoff schedule.
+    let rid_seed = c.seed
+        ^ u64::from(std::process::id())
+        ^ std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0);
+    let mut client = Client::new(endpoint, cfg, rid_seed);
+    let result = client.call(line);
+    let (verdict, code) = match &result {
+        Ok(Reply::Ok(body)) => {
+            println!("ok {body}");
+            ("ok", ExitCode::SUCCESS)
+        }
+        Ok(Reply::Err { kind, message }) => {
+            println!("err {kind}: {message}");
+            ("refused", ExitCode::from(1))
+        }
+        Ok(Reply::Shed(alpha)) => {
+            match alpha {
+                Some(a) => println!("shed alpha={a:.2}"),
+                None => println!("shed alpha=none"),
+            }
+            ("shed", ExitCode::from(1))
+        }
+        Err(e) => {
+            eprintln!("call failed: {e}");
+            ("transport-failure", ExitCode::from(4))
+        }
+    };
+    if let Some(out) = &c.report {
+        let sink = client.sink();
+        let mut r = RunReport::new("hetfeas", "call");
+        r.set("verdict", Json::Str(verdict.into()))
+            .set(
+                "retries",
+                Json::UInt(sink.counter(hetfeas::service::metrics::CLIENT_RETRIES)),
+            )
+            .set(
+                "reconnects",
+                Json::UInt(sink.counter(hetfeas::service::metrics::CLIENT_RECONNECTS)),
+            )
+            .set(
+                "breaker_opens",
+                Json::UInt(sink.counter(hetfeas::service::metrics::CLIENT_BREAKER_OPENS)),
+            );
+        r.attach_metrics(&sink.snapshot());
+        write_report(out, &r)?;
+    }
+    Ok(code)
 }
 
 /// Build the synthesizer spec from the CLI knobs: seed, scale and the
@@ -2033,7 +2255,7 @@ fn cmd_trace_convert(c: &Common) -> Result<ExitCode, String> {
 }
 
 const USAGE: &str =
-    "usage: hetfeas <check|alpha|oracles|simulate|generate|faults|trace|ops|recover|serve> [ARGS]
+    "usage: hetfeas <check|alpha|oracles|simulate|generate|faults|trace|ops|recover|serve|call> [ARGS]
   check    SYSTEM [--policy edf|rms|rms-hyp|rms-rta] [--alpha X] [--exact] [--workers N]
            [--report FILE] [-v]
   alpha    SYSTEM [--policy …] [--report FILE]
@@ -2053,13 +2275,21 @@ const USAGE: &str =
            write-ahead journal (single instance); binary traces replay as a
            bounded-RSS stream (incremental only)
   recover  JOURNAL [--report FILE] [-v]   rebuild engine state from a journal
-  serve    [--data-dir DIR] [--socket PATH] [--text] [--workers N] [--seed N]
+  serve    [--data-dir DIR] [--socket PATH | --tcp ADDR] [--text] [--workers N] [--seed N]
            [--queue-depth N] [--batch-max N] [--max-restarts N] [--compact-every N]
-           [--slice-bytes B]
-           [--report FILE]   supervised multi-tenant admission service (stdin frames
-           or Unix socket); tenant crashes are bulkheaded, never fatal
+           [--slice-bytes B] [--max-conns N] [--reply-wait-ms N]
+           [--report FILE]   supervised multi-tenant admission service (stdin frames,
+           Unix socket, or TCP with concurrent connections); tenant crashes are
+           bulkheaded, never fatal; requests may carry rid=<u64> idempotency tokens
+           and dl=<ms> deadline budgets
   serve --chaos [--tenants N] [--ops N] [--machines M] [--seed N] [--workers N]
            [--report FILE]   seeded fault storm; exit 0 iff every tenant converged
+  serve --chaos --net [--tenants N] [--ops N] [--seed N] [--data-dir DIR]
+           [--report FILE]   network storm through the seeded chaos proxy; exit 0
+           iff every acked op landed in the journal exactly once
+  call     CMDLINE (--socket PATH | --tcp ADDR) [--attempts N] [--budget-ms N] [--seed N]
+           [--report FILE]   one retrying client call; exit 0 ok, 1 refused,
+           4 = no definitive reply (transport failure)
   --budget-ms N bounds the run by wall clock; exit 3 = undecided within budget
   --exact (check) runs exact branch-and-bound with graceful degradation to first-fit /
            utilization bound; --workers N parallelizes the search (same verdict for every N)
@@ -2105,6 +2335,7 @@ fn main() -> ExitCode {
         "ops" => cmd_ops(&common),
         "recover" => cmd_recover(&common),
         "serve" => cmd_serve(&common),
+        "call" => cmd_call(&common),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
     match result {
